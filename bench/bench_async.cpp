@@ -1,0 +1,76 @@
+// R-A11 — asynchrony tolerance: stale honest gradients.
+//
+// Sweeps the straggler probability and maximum staleness in the
+// stale-gradient model (Byzantine agents always fast — the worst case) and
+// reports the final error of DGD+CGE under gradient-reverse faults, plus a
+// fault-free column isolating the pure-staleness effect.  Shape: bounded
+// staleness costs a transient but not the limit (diminishing steps absorb
+// it); the Byzantine resilience is essentially unaffected — robust
+// aggregation composes with asynchrony.
+#include "common.h"
+
+#include "dgd/async_trainer.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"iterations", "seed", "noise", "csv"});
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 3000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+  const double noise = cli.get_double("noise", 0.03);
+
+  bench::banner("R-A11", "stale-gradient asynchrony: error vs straggler rate");
+  const std::size_t n = 9, f = 2, d = 3;
+  rng::Rng rng(seed);
+  const auto inst = data::make_orthonormal_regression(n, d, f, noise, Vector(d, 1.0), rng);
+  const std::vector<std::size_t> byzantine = {0, 1};
+  const auto honest = dgd::honest_ids(n, byzantine);
+  const Vector x_h = data::block_regression_argmin(inst, honest);
+  const auto attack = attacks::make_attack("gradient_reverse");
+
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "async",
+                              {"straggler_p", "max_staleness", "transient_50", "fault_free", "cge"});
+  util::TablePrinter table({"straggler p", "max staleness", "CGE dist @ t=50",
+                            "fault-free final", "CGE+reverse final"});
+
+  struct Case {
+    double p;
+    std::size_t s;
+  };
+  for (const Case& c : {Case{0.0, 1}, {0.2, 2}, {0.5, 4}, {0.8, 8}, {0.95, 16}}) {
+    dgd::AsyncConfig cfg;
+    filters::FilterParams fp;
+    fp.n = n;
+    fp.f = f;
+    cfg.base.filter = filters::make_filter("cge", fp);
+    cfg.base.schedule = std::make_shared<dgd::HarmonicSchedule>(0.3);
+    cfg.base.projection =
+        std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(d, 10.0));
+    cfg.base.iterations = iterations;
+    cfg.base.seed = seed;
+    cfg.base.trace_stride = 0;
+    cfg.straggler_probability = c.p;
+    cfg.max_staleness = c.s;
+    cfg.base.trace_stride = 25;  // capture the transient at t = 50
+
+    const auto fault_free = dgd::train_async(inst.problem, {}, nullptr, cfg, x_h);
+    const auto attacked = dgd::train_async(inst.problem, byzantine, attack.get(), cfg, x_h);
+    const double transient = attacked.trace.distance[2];  // t = 50
+    table.add_row({util::TablePrinter::num(c.p, 3), std::to_string(c.s),
+                   util::TablePrinter::num(transient, 4),
+                   util::TablePrinter::num(fault_free.final_distance, 4),
+                   util::TablePrinter::num(attacked.final_distance, 4)});
+    if (csv) {
+      csv->write_row(std::vector<double>{c.p, static_cast<double>(c.s), transient,
+                                         fault_free.final_distance,
+                                         attacked.final_distance});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: staleness costs only a transient (dist at t = 50 grows\n"
+               "with the straggler rate) — the asymptotic error is unchanged because\n"
+               "diminishing steps absorb bounded staleness, and CGE's Byzantine\n"
+               "resilience composes with asynchrony (attacked tracks fault-free).\n";
+  return 0;
+}

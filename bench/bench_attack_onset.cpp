@@ -1,0 +1,74 @@
+// R-A10 — sleeper agents: mid-run attack onset.
+//
+// A Byzantine agent behaves honestly for the first T iterations and then
+// switches to inner-product manipulation.  Detection-based defenses that
+// classify agents once would be locked in by the honest prefix; the
+// paper's per-iteration robust aggregation carries no such state, so the
+// filtered run absorbs the onset with at most a transient.  The bench
+// prints the distance trace around the onset for filtered and unfiltered
+// runs.
+#include "common.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"iterations", "onset", "seed", "noise", "csv"});
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 400));
+  const auto onset = static_cast<std::size_t>(cli.get_int("onset", 150));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 13));
+  const double noise = cli.get_double("noise", 0.03);
+
+  bench::banner("R-A10", "sleeper agent: attack onset at iteration " + std::to_string(onset));
+  rng::Rng rng(seed);
+  const std::size_t n = 9, f = 2, d = 3;
+  const auto inst = data::make_orthonormal_regression(n, d, f, noise, Vector(d, 1.0), rng);
+  const std::vector<std::size_t> byzantine = {0, 1};
+  const auto honest = dgd::honest_ids(n, byzantine);
+  const Vector x_h = data::block_regression_argmin(inst, honest);
+
+  attacks::AttackParams params;
+  params.switch_inner = "ipm";
+  params.switch_at = onset;
+  params.c = 4.0;
+  const auto attack = attacks::make_attack("switch", params);
+
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "attack_onset",
+                              {"series", "iteration", "distance"});
+
+  std::vector<std::pair<std::string, dgd::Trace>> series;
+  for (const std::string filter : {"mean", "cge", "cwtm"}) {
+    auto cfg = bench::make_config(n, f, filter, iterations, d, seed);
+    // Constant steps keep the adversary's leverage alive at the onset (a
+    // diminishing schedule would mask the switch behind a ~1/T step).
+    cfg.schedule = std::make_shared<dgd::ConstantSchedule>(
+        (filter == "cge" || filter == "sum") ? 0.02 : 0.1);
+    cfg.trace_stride = 1;
+    auto result = dgd::train(inst.problem, byzantine, attack.get(), cfg, x_h);
+    series.emplace_back(filter == "mean" ? "no-filter" : filter, std::move(result.trace));
+  }
+
+  util::TablePrinter table({"iter", "no-filter dist", "cge dist", "cwtm dist"});
+  for (std::size_t t = 0; t <= iterations; t += 25) {
+    std::vector<std::string> row = {std::to_string(t) + (t == onset ? " <-onset" : "")};
+    for (const auto& [label, trace] : series)
+      row.push_back(util::TablePrinter::num(trace.distance[t], 4));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  if (csv) {
+    for (const auto& [label, trace] : series) {
+      for (std::size_t k = 0; k < trace.iteration.size(); ++k) {
+        csv->write_row(std::vector<std::string>{label, std::to_string(trace.iteration[k]),
+                                                std::to_string(trace.distance[k])});
+      }
+    }
+  }
+
+  std::cout << "\nShape check: all runs converge during the honest prefix; at the\n"
+               "onset the unfiltered run is steered away and stays off; the robust\n"
+               "filters absorb the switch with at most a transient — per-iteration\n"
+               "aggregation needs no identity tracking to survive sleeper agents.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// R-A8 — Theorem 3's descent condition, measured.
+//
+// For each filter, probes phi(x) = <x - x_H, GradFilter(gradients at x)>
+// on spheres around x_H under inner-product-manipulation faults (c = 4;
+// orthonormal-block instance, alpha > 0).  Theorem 3 says DGD converges to within D* of x_H
+// as soon as min phi > 0 outside radius D*; the bench reports min phi per
+// radius and the empirical D* per filter, next to Theorem 4's D*eps for
+// CGE.  Plain averaging never turns positive — the descent-condition view
+// of why it fails.
+#include "common.h"
+
+#include <cmath>
+#include <limits>
+
+#include "dgd/descent_probe.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"n", "f", "d", "noise", "seed", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 9));
+  const auto f = static_cast<std::size_t>(cli.get_int("f", 2));
+  const auto d = static_cast<std::size_t>(cli.get_int("d", 3));
+  const double noise = cli.get_double("noise", 0.05);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
+
+  bench::banner("R-A8", "Theorem 3's descent condition phi(x) measured per filter");
+  rng::Rng rng(seed);
+  const auto inst = data::make_orthonormal_regression(n, d, f, noise, Vector(d, 1.0), rng);
+  std::vector<std::size_t> byzantine;
+  for (std::size_t b = 0; b < f; ++b) byzantine.push_back(b);
+  const auto honest = dgd::honest_ids(n, byzantine);
+  const Vector x_h = data::block_regression_argmin(inst, honest);
+  const double eps = redundancy::measure_redundancy(inst.problem.costs, f).epsilon;
+  const double alpha = core::cge_alpha(n, f, 2.0, 2.0);
+  const double d_theory = 4.0 * 2.0 * static_cast<double>(f) / (alpha * 2.0) * eps;
+  std::cout << "eps = " << eps << "  alpha = " << alpha
+            << "  Theorem-4 radius D*eps = " << d_theory << "\n\n";
+
+  attacks::AttackParams attack_params;
+  attack_params.c = 4.0;  // strong inner-product manipulation
+  const auto attack = attacks::make_attack("ipm", attack_params);
+  dgd::DescentProbeConfig probe;
+  probe.radii = {0.01, 0.03, 0.1, 0.3, 1.0, 3.0};
+  probe.samples_per_radius = 128;
+  probe.seed = seed;
+
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "descent_condition",
+                              {"filter", "radius", "min_phi", "mean_phi"});
+
+  std::vector<std::string> header = {"radius"};
+  const std::vector<std::string> filter_list = {"cge", "cwtm", "geomed", "mean"};
+  for (const auto& name : filter_list) header.push_back("min phi (" + name + ")");
+  util::TablePrinter table(header);
+
+  std::vector<dgd::DescentProbeResult> results;
+  for (const auto& name : filter_list) {
+    filters::FilterParams fp;
+    fp.n = n;
+    fp.f = f;
+    const auto filter = filters::make_filter(name, fp);
+    results.push_back(dgd::probe_descent_condition(inst.problem, byzantine, attack.get(),
+                                                   *filter, x_h, probe));
+    if (csv) {
+      for (const auto& shell : results.back().shells) {
+        csv->write_row(std::vector<std::string>{name, std::to_string(shell.radius),
+                                                std::to_string(shell.min_phi),
+                                                std::to_string(shell.mean_phi)});
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < probe.radii.size(); ++k) {
+    std::vector<std::string> row = {util::TablePrinter::num(probe.radii[k], 3)};
+    for (const auto& result : results) {
+      row.push_back(util::TablePrinter::num(result.shells[k].min_phi, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nempirical D* per filter:";
+  for (std::size_t i = 0; i < filter_list.size(); ++i) {
+    const double d_star = results[i].empirical_d_star;
+    std::cout << "  " << filter_list[i] << "="
+              << (std::isinf(d_star) ? std::string("inf")
+                                     : util::TablePrinter::num(d_star, 3));
+  }
+  std::cout << "\n\nShape check: robust filters' min phi turns positive at a small\n"
+               "radius (well inside Theorem 4's D*eps for CGE), guaranteeing\n"
+               "convergence into that ball; the plain mean's phi is NEGATIVE at\n"
+               "every radius — the descent-condition view of why unfiltered DGD\n"
+               "is steered away by coordinated faults.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// R-T4 — the exhaustive exact algorithm (Theorem 2's construction).
+//
+// Runs the full-information subset-ranking algorithm on (a) an exactly
+// 2f-redundant regression instance (exact recovery expected despite an
+// adversarial cost) and (b) noisy instances (output within 2*eps of x_H).
+// Reports the chosen subset, the score r_S, and the error, for every
+// placement of the Byzantine agent.
+#include "common.h"
+
+#include "core/exact_algorithm.h"
+#include "core/quadratic_cost.h"
+#include "util/subsets.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+std::string subset_string(const std::vector<std::size_t>& s) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(s[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"seed", "csv"});
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 4));
+
+  bench::banner("R-T4", "exhaustive exact algorithm: recovery and 2*eps bound");
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "exact_algorithm",
+                              {"noise", "byzantine", "dist", "two_eps", "within"});
+
+  for (double noise : {0.0, 0.05}) {
+    const bench::PaperExperiment exp(noise, seed);
+    std::cout << "\nnoise sigma = " << noise << "   eps = " << exp.epsilon << "\n";
+    util::TablePrinter table({"byzantine agent", "chosen set S", "r_S", "dist(x_H, out)",
+                              "<= 2 eps?"});
+    // The Byzantine agent submits a cost pulling far away.
+    const auto bad = std::make_shared<core::QuadraticCost>(
+        core::QuadraticCost::squared_distance(Vector{25.0, -25.0}));
+    for (std::size_t byz = 0; byz < 6; ++byz) {
+      auto received = exp.instance.problem.costs;
+      received[byz] = bad;
+      const auto result = core::run_exact_algorithm(received, 1);
+      const auto honest = util::complement(6, {byz});
+      const Vector x_h = data::regression_argmin(exp.instance, honest);
+      const double dist = linalg::distance(result.output, x_h);
+      const bool within = dist <= 2.0 * exp.epsilon + 1e-9;
+      table.add_row({std::to_string(byz), subset_string(result.chosen_set),
+                     util::TablePrinter::num(result.chosen_score, 4),
+                     util::TablePrinter::num(dist, 4), within ? "yes" : "no"});
+      if (csv) {
+        csv->write_row(std::vector<double>{noise, static_cast<double>(byz), dist,
+                                           2.0 * exp.epsilon, within ? 1.0 : 0.0});
+      }
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\nShape check: with exact redundancy (noise 0) the output is x_H\n"
+               "itself; with noise it stays within 2*eps (Theorem 2), and the\n"
+               "chosen subset excludes the Byzantine agent.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// R-P2 — cost growth of the exhaustive exact algorithm (google-benchmark).
+//
+// The constructive algorithm of Theorem 2 enumerates all C(n, f) subsets
+// of size n - f and, inside each, all C(n - f, f) subsets of size n - 2f:
+// the run time explodes combinatorially in n and f.  This bench measures
+// it directly — the quantitative version of the paper's remark that the
+// construction "is not a very practical algorithm".
+#include <benchmark/benchmark.h>
+
+#include "core/exact_algorithm.h"
+#include "core/quadratic_cost.h"
+#include "rng/rng.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+std::vector<core::CostPtr> make_costs(std::size_t n, std::size_t d, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  std::vector<core::CostPtr> costs;
+  costs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector center(rng.gaussian_vector(d));
+    center *= 0.01;  // nearly redundant instance
+    costs.push_back(
+        std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(center)));
+  }
+  return costs;
+}
+
+void exact_algorithm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto f = static_cast<std::size_t>(state.range(1));
+  const auto costs = make_costs(n, 2, 7);
+  std::size_t subsets = 0;
+  for (auto _ : state) {
+    const auto result = core::run_exact_algorithm(costs, f);
+    subsets = result.subsets_evaluated;
+    benchmark::DoNotOptimize(result.output);
+  }
+  state.counters["subsets"] = static_cast<double>(subsets);
+}
+
+BENCHMARK(exact_algorithm)
+    ->Args({5, 1})
+    ->Args({7, 1})
+    ->Args({9, 1})
+    ->Args({11, 1})
+    ->Args({7, 2})
+    ->Args({9, 2})
+    ->Args({11, 2})
+    ->Args({9, 3})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

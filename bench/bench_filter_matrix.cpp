@@ -1,0 +1,87 @@
+// R-A1 — filter x attack ablation matrix.
+//
+// Orthonormal-block regression (n = 12, f = 2, d = 5): final error
+// dist(x_H, x_out) for every applicable registered gradient-filter against
+// every registered attack.  The paper evaluates CGE and CWTM; this matrix
+// positions them against the classical baselines (Krum, geometric median,
+// Bulyan, coordinate-wise median, norm clipping, plain mean).
+#include "common.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"n", "d", "f", "iterations", "seed", "noise", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 12));
+  const auto d = static_cast<std::size_t>(cli.get_int("d", 5));
+  const auto f = static_cast<std::size_t>(cli.get_int("f", 2));
+  const double noise = cli.get_double("noise", 0.02);
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 1500));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+
+  bench::banner("R-A1", "final error for every filter x attack (n=" + std::to_string(n) +
+                            ", f=" + std::to_string(f) + ", d=" + std::to_string(d) + ")");
+
+  rng::Rng rng(seed);
+  Vector x_star(d, 1.0);
+  const auto inst = data::make_orthonormal_regression(n, d, f, noise, x_star, rng);
+  std::vector<std::size_t> byzantine;
+  for (std::size_t b = 0; b < f; ++b) byzantine.push_back(b);
+  const auto honest = dgd::honest_ids(n, byzantine);
+  const Vector x_h = data::block_regression_argmin(inst, honest);
+  const double eps = redundancy::measure_redundancy(inst.problem.costs, f).epsilon;
+  std::cout << "measured eps = " << eps << "\n\n";
+
+  const auto filter_list = filters::applicable_filter_names(n, f);
+  const auto attack_list = attacks::attack_names();
+
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "filter_matrix",
+                              {"filter", "attack", "dist"});
+
+  std::vector<std::string> header = {"filter \\ attack"};
+  for (const auto& a : attack_list) header.push_back(a);
+  util::TablePrinter table(header);
+
+  for (const auto& filter : filter_list) {
+    std::vector<std::string> row = {filter};
+    for (const auto& attack_name : attack_list) {
+      const auto attack = attacks::make_attack(attack_name);
+      filters::FilterParams fp;
+      fp.n = n;
+      fp.f = f;
+      fp.multikrum_m = n - f - 2;
+      fp.clip_tau = 5.0;
+      dgd::TrainerConfig cfg;
+      cfg.filter = filters::make_filter(filter, fp);
+      cfg.schedule =
+          std::make_shared<dgd::HarmonicSchedule>(bench::schedule_coefficient(filter));
+      cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(d, 10.0));
+      cfg.iterations = iterations;
+      cfg.seed = seed;
+      cfg.trace_stride = 0;
+      // The dropout attack triggers agent elimination (paper step S1);
+      // rebuild the same filter for the reduced (n, f).
+      cfg.filter_factory = [filter](std::size_t n_active, std::size_t f_active) {
+        filters::FilterParams fp2;
+        fp2.n = n_active;
+        fp2.f = f_active;
+        fp2.multikrum_m = n_active > f_active + 2 ? n_active - f_active - 2 : 1;
+        fp2.clip_tau = 5.0;
+        return filters::FilterPtr(filters::make_filter(filter, fp2));
+      };
+      const auto r = dgd::train(inst.problem, byzantine, attack.get(), cfg, x_h);
+      row.push_back(util::TablePrinter::num(r.final_distance, 3));
+      if (csv) {
+        csv->write_row(
+            std::vector<std::string>{filter, attack_name, std::to_string(r.final_distance)});
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: every robust filter holds every attack to O(eps) error;\n"
+               "mean/sum blow up under random and large-norm faults; dropout rows\n"
+               "exercise the S1 elimination path (agent removed, run is fault-free\n"
+               "afterwards); krum pays a flat single-gradient-selection penalty.\n";
+  return 0;
+}

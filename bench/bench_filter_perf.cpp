@@ -1,0 +1,63 @@
+// R-P1 — gradient-filter throughput (google-benchmark).
+//
+// Cost of one GradFilter application versus the number of agents n and the
+// dimension d.  Characterizes *this* implementation (the paper reports no
+// wall-clock numbers): mean/cge/cwtm are near-linear scans; krum/bulyan
+// pay O(n^2 d) pairwise distances; geomed pays Weiszfeld iterations.
+#include <benchmark/benchmark.h>
+
+#include "filters/registry.h"
+#include "rng/rng.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+std::vector<Vector> make_gradients(std::size_t n, std::size_t d) {
+  rng::Rng rng(12345);
+  std::vector<Vector> gs;
+  gs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) gs.push_back(Vector(rng.gaussian_vector(d)));
+  return gs;
+}
+
+void run_filter(benchmark::State& state, const std::string& name) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = static_cast<std::size_t>(state.range(1));
+  filters::FilterParams params;
+  params.n = n;
+  params.f = (n - 3) / 4;  // largest budget Bulyan's n >= 4f + 3 admits
+  params.multikrum_m = 2;
+  std::unique_ptr<filters::GradientFilter> filter;
+  try {
+    filter = filters::make_filter(name, params);
+  } catch (const PreconditionError&) {
+    state.SkipWithError("filter not applicable at this (n, f)");
+    return;
+  }
+  const auto gradients = make_gradients(n, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter->apply(gradients));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * d));
+}
+
+void register_all() {
+  // This benchmark library version takes const char* names; keep the
+  // qualified names alive for the program's lifetime.
+  static std::vector<std::string> names;
+  names.reserve(7);
+  for (const char* name : {"mean", "cge", "cwtm", "cwmed", "krum", "geomed", "bulyan"}) {
+    names.push_back(std::string("filter/") + name);
+    auto* bench = benchmark::RegisterBenchmark(
+        names.back().c_str(), [name](benchmark::State& s) { run_filter(s, name); });
+    bench->Args({8, 10})->Args({32, 10})->Args({128, 10})->Args({32, 100})->Args({32, 1000});
+  }
+}
+
+const bool registered = (register_all(), true);
+
+}  // namespace

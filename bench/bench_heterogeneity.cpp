@@ -1,0 +1,105 @@
+// R-A7 — data heterogeneity versus fault-tolerance (the paper's
+// distributed-learning discussion, quantified).
+//
+// The paper: "our results characterize the relationship between the
+// correlation amongst different agents' data (i.e., degree of redundancy)
+// and the fault-tolerance achieved."  This bench sweeps the per-agent
+// distribution-shift parameter of the synthetic classification task and
+// reports, per level: a gradient-dissimilarity proxy for the redundancy
+// gap, and the test accuracy of fault-free / unfiltered / CGE / CWTM runs
+// under little-is-enough (LIE) faults.
+#include "common.h"
+
+#include "data/classification.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+/// Mean pairwise distance of honest agents' gradients at a reference
+/// point (the fault-free optimum) — a cheap proxy for the redundancy gap
+/// of the learning instance: at the honest optimum the gradients of
+/// identically-distributed agents nearly cancel, while heterogeneous
+/// agents pull in different directions.
+double gradient_dissimilarity(const core::MultiAgentProblem& problem,
+                              const std::vector<std::size_t>& honest, const Vector& at) {
+  std::vector<Vector> gs;
+  gs.reserve(honest.size());
+  for (std::size_t id : honest) gs.push_back(problem.costs[id]->gradient(at));
+  double acc = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    for (std::size_t j = i + 1; j < gs.size(); ++j) {
+      acc += linalg::distance(gs[i], gs[j]);
+      ++pairs;
+    }
+  }
+  return acc / static_cast<double>(pairs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"iterations", "seed", "csv"});
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 1500));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
+
+  bench::banner("R-A7", "data heterogeneity (redundancy) versus achieved accuracy");
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "heterogeneity",
+                              {"heterogeneity", "dissimilarity", "fault_free", "no_filter",
+                               "cge", "cwtm"});
+
+  util::TablePrinter table({"heterogeneity", "grad dissimilarity", "fault-free acc",
+                            "no-filter acc", "CGE acc", "CWTM acc"});
+  const std::vector<std::size_t> byzantine = {0, 1};
+  attacks::AttackParams attack_params;
+  attack_params.z = 1.5;
+  const auto attack = attacks::make_attack("lie", attack_params);
+
+  for (double h : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    data::ClassificationConfig cfg_data;
+    cfg_data.n = 10;
+    cfg_data.f = 2;
+    cfg_data.d = 8;
+    cfg_data.samples_per_agent = 40;
+    cfg_data.separation = 1.5;
+    cfg_data.heterogeneity = h;
+    rng::Rng rng(seed);
+    const auto inst = data::make_classification(cfg_data, rng);
+    const auto honest = dgd::honest_ids(10, byzantine);
+
+    double fault_free_acc = 0.0;
+    Vector fault_free_estimate(8);
+    {
+      core::MultiAgentProblem clean;
+      clean.f = 0;
+      for (std::size_t id : honest) clean.costs.push_back(inst.problem.costs[id]);
+      auto cfg = bench::make_config(8, 0, "mean", iterations, 8, seed);
+      fault_free_estimate = dgd::train(clean, {}, nullptr, cfg).estimate;
+      fault_free_acc = data::test_accuracy(inst, fault_free_estimate);
+    }
+    const double dissimilarity =
+        gradient_dissimilarity(inst.problem, honest, fault_free_estimate);
+    double accs[3];
+    int k = 0;
+    for (const std::string filter : {"mean", "cge", "cwtm"}) {
+      auto cfg = bench::make_config(10, 2, filter, iterations, 8, seed);
+      const auto r = dgd::train(inst.problem, byzantine, attack.get(), cfg);
+      accs[k++] = data::test_accuracy(inst, r.estimate);
+    }
+    table.add_row({util::TablePrinter::num(h, 3), util::TablePrinter::num(dissimilarity, 4),
+                   util::TablePrinter::num(fault_free_acc, 4),
+                   util::TablePrinter::num(accs[0], 4), util::TablePrinter::num(accs[1], 4),
+                   util::TablePrinter::num(accs[2], 4)});
+    if (csv) {
+      csv->write_row(
+          std::vector<double>{h, dissimilarity, fault_free_acc, accs[0], accs[1], accs[2]});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: gradient dissimilarity grows with heterogeneity; the\n"
+               "filtered runs track the fault-free accuracy, with the gap widening\n"
+               "as the agents' data decorrelate (redundancy weakens).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// R-F3 — distributed learning (substitution for the paper's MNIST/SVM
+// experiment; see DESIGN.md).
+//
+// Synthetic two-class Gaussian mixture, n = 10 agents, f = 2 Byzantine,
+// d = 10 features, logistic and smoothed-hinge losses.  Reports test
+// accuracy and honest loss for: fault-free DGD, unfiltered DGD, DGD+CGE,
+// DGD+CWTM, under gradient-reverse and LIE faults, at two heterogeneity
+// levels (the knob playing the role of inter-agent data correlation).
+#include "common.h"
+
+#include "data/classification.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"iterations", "seed", "loss", "csv"});
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 1500));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+  const std::string loss = cli.get_string("loss", "logistic");
+
+  bench::banner("R-F3", "distributed learning on synthetic mixtures (" + loss + " loss)");
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "learning",
+                              {"heterogeneity", "attack", "series", "accuracy", "loss"});
+
+  for (double heterogeneity : {0.0, 1.0}) {
+    data::ClassificationConfig cfg_data;
+    cfg_data.n = 10;
+    cfg_data.f = 2;
+    cfg_data.d = 10;
+    cfg_data.samples_per_agent = 50;
+    cfg_data.separation = 1.5;
+    cfg_data.heterogeneity = heterogeneity;
+    cfg_data.loss = loss;
+    rng::Rng rng(seed);
+    const auto inst = data::make_classification(cfg_data, rng);
+    const std::vector<std::size_t> byzantine = {0, 1};
+    const auto honest = dgd::honest_ids(10, byzantine);
+
+    std::cout << "\n--- heterogeneity " << heterogeneity << " ---\n";
+    util::TablePrinter table({"attack", "series", "test accuracy", "honest loss"});
+
+    auto report = [&](const std::string& attack_name, const std::string& series,
+                      const dgd::TrainResult& r) {
+      const double acc = data::test_accuracy(inst, r.estimate);
+      table.add_row({attack_name, series, util::TablePrinter::num(acc, 4),
+                     util::TablePrinter::num(r.final_loss, 4)});
+      if (csv) {
+        csv->write_row(std::vector<std::string>{std::to_string(heterogeneity), attack_name,
+                                                series, std::to_string(acc),
+                                                std::to_string(r.final_loss)});
+      }
+    };
+
+    // Fault-free reference: the 8 honest agents only.
+    {
+      core::MultiAgentProblem fault_free;
+      fault_free.f = 0;
+      for (std::size_t id : honest) fault_free.costs.push_back(inst.problem.costs[id]);
+      auto cfg = bench::make_config(8, 0, "mean", iterations, 10, seed);
+      report("none", "fault-free", dgd::train(fault_free, {}, nullptr, cfg));
+    }
+
+    for (const std::string attack_name : {"gradient_reverse", "lie"}) {
+      const auto attack = attacks::make_attack(attack_name);
+      for (const std::string filter : {"mean", "cge", "cwtm"}) {
+        auto cfg = bench::make_config(10, 2, filter, iterations, 10, seed);
+        const auto r = dgd::train(inst.problem, byzantine, attack.get(), cfg);
+        report(attack_name, filter == "mean" ? "no-filter" : filter, r);
+      }
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nShape check (paper Sec. 5 discussion): filtered runs reach accuracy\n"
+               "comparable to fault-free; the unfiltered run degrades under attack;\n"
+               "higher heterogeneity (weaker data correlation) costs some accuracy.\n";
+  return 0;
+}

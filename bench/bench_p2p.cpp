@@ -1,0 +1,72 @@
+// R-A4 — peer-to-peer simulation via Byzantine broadcast (Figure 1b).
+//
+// Runs the same DGD execution (n = 7, f = 2, gradient-reverse) three ways:
+// in-process trainer, message-passing server protocol, and peer-to-peer
+// with OM(f) Byzantine broadcast (with and without equivocation).  Reports
+// the outputs (identical for consistent attacks), whether the honest
+// agents stayed in lockstep, and the message complexity — the O(n^f)
+// price of removing the trusted server.
+#include "common.h"
+
+#include "net/p2p.h"
+#include "net/server_protocol.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"iterations", "seed", "noise", "csv"});
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 120));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 11));
+  const double noise = cli.get_double("noise", 0.02);
+
+  bench::banner("R-A4", "server-based versus peer-to-peer (OM(f)) execution");
+  const std::size_t n = 7, f = 2, d = 2;
+  rng::Rng rng(seed);
+  const auto inst = data::make_orthonormal_regression(n, d, f, noise, Vector{1.0, 1.0}, rng);
+  const std::vector<std::size_t> byzantine = {1, 4};
+  const auto honest = dgd::honest_ids(n, byzantine);
+  const Vector x_h = data::block_regression_argmin(inst, honest);
+  const auto attack = attacks::make_attack("gradient_reverse");
+  auto cfg = bench::make_config(n, f, "cge", iterations, d, seed);
+
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "p2p",
+                              {"mode", "dist", "messages", "agreement"});
+  util::TablePrinter table({"mode", "dist(x_H, x_out)", "messages", "honest agreement"});
+
+  const auto fast = dgd::train(inst.problem, byzantine, attack.get(), cfg, x_h);
+  table.add_row({"in-process", util::TablePrinter::num(fast.final_distance, 5), "-", "-"});
+
+  const auto server = net::run_server_protocol(inst.problem, byzantine, attack.get(), cfg, x_h);
+  table.add_row({"server-based", util::TablePrinter::num(server.train.final_distance, 5),
+                 std::to_string(server.stats.messages_delivered), "-"});
+
+  const auto p2p = net::run_p2p_protocol(inst.problem, byzantine, attack.get(), cfg, x_h);
+  table.add_row({"p2p OM(f)", util::TablePrinter::num(p2p.train.final_distance, 5),
+                 std::to_string(p2p.messages), p2p.honest_agreement ? "yes" : "NO"});
+
+  const auto p2p_eq =
+      net::run_p2p_protocol(inst.problem, byzantine, attack.get(), cfg, x_h, true);
+  table.add_row({"p2p + equivocation",
+                 util::TablePrinter::num(p2p_eq.train.final_distance, 5),
+                 std::to_string(p2p_eq.messages), p2p_eq.honest_agreement ? "yes" : "NO"});
+
+  table.print(std::cout);
+  if (csv) {
+    csv->write_row(std::vector<std::string>{"in-process", std::to_string(fast.final_distance),
+                                            "0", "1"});
+    csv->write_row(std::vector<std::string>{
+        "server", std::to_string(server.train.final_distance),
+        std::to_string(server.stats.messages_delivered), "1"});
+    csv->write_row(std::vector<std::string>{"p2p", std::to_string(p2p.train.final_distance),
+                                            std::to_string(p2p.messages),
+                                            p2p.honest_agreement ? "1" : "0"});
+    csv->write_row(std::vector<std::string>{
+        "p2p_equivocate", std::to_string(p2p_eq.train.final_distance),
+        std::to_string(p2p_eq.messages), p2p_eq.honest_agreement ? "1" : "0"});
+  }
+  std::cout << "\nShape check: all modes agree on the output for consistent attacks;\n"
+               "honest agents stay in lockstep even under equivocation; the p2p\n"
+               "message count is ~n^2 larger per iteration (OM(2) fan-out).\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// R-A6 — redundancy by design: replication-factor sweep.
+//
+// m shards assigned cyclically to n agents with replication factor r; the
+// bench reports, per r: whether the (n - 2f)-coverage property holds
+// (guaranteed for r >= 2f + 1), the measured (2f, eps)-redundancy under
+// observation noise, and the final error of DGD+CGE under
+// gradient-reverse faults.  Shape: eps and the achieved error shrink
+// monotonically as r grows — the storage/accuracy dial the paper's
+// "redundancy can be realized by design" remark implies.
+#include "common.h"
+
+#include "data/replicated_regression.h"
+#include "redundancy/design.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"m", "n", "d", "f", "noise", "iterations", "seed", "csv"});
+  const auto m = static_cast<std::size_t>(cli.get_int("m", 9));
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 9));
+  const auto d = static_cast<std::size_t>(cli.get_int("d", 2));
+  const auto f = static_cast<std::size_t>(cli.get_int("f", 2));
+  const double noise = cli.get_double("noise", 0.05);
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 3000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
+
+  bench::banner("R-A6", "redundancy by design: replication factor r sweep (n=" +
+                            std::to_string(n) + ", f=" + std::to_string(f) + ")");
+  std::cout << "coverage threshold: r >= 2f + 1 = " << 2 * f + 1 << "\n\n";
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "replication",
+                              {"r", "covered", "epsilon", "cge_dist"});
+
+  util::TablePrinter table({"r", "storage/agent", "covers (n-2f)-subsets", "eps(2f)",
+                            "CGE dist"});
+  std::vector<std::size_t> byzantine;
+  for (std::size_t b = 0; b < f; ++b) byzantine.push_back(b);
+  const auto attack = attacks::make_attack("gradient_reverse");
+
+  for (std::size_t r = 1; r <= n; r += (r < 2 * f + 1 ? 2 : (n - r > 2 ? 2 : 1))) {
+    rng::Rng rng(seed);  // same shards/noise for every r
+    const auto inst =
+        data::make_replicated_regression(m, d, n, f, r, noise, Vector(d, 1.0), rng);
+    const bool covered = redundancy::covers_all_shards(inst.design, f);
+    const double eps = redundancy::measure_redundancy(inst.problem.costs, f).epsilon;
+
+    const auto honest = dgd::honest_ids(n, byzantine);
+    const Vector x_h = data::replicated_regression_argmin(inst, honest);
+    filters::FilterParams fp;
+    fp.n = n;
+    fp.f = f;
+    dgd::TrainerConfig cfg;
+    cfg.filter = filters::make_filter("cge", fp);
+    cfg.schedule = std::make_shared<dgd::HarmonicSchedule>(0.2);
+    cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(d, 10.0));
+    cfg.iterations = iterations;
+    cfg.seed = seed;
+    cfg.trace_stride = 0;
+    const auto result = dgd::train(inst.problem, byzantine, attack.get(), cfg, x_h);
+
+    table.add_row({std::to_string(r),
+                   util::TablePrinter::num(static_cast<double>(m) * r / n, 3),
+                   covered ? "yes" : "no", util::TablePrinter::num(eps, 4),
+                   util::TablePrinter::num(result.final_distance, 4)});
+    if (csv) {
+      csv->write_row(std::vector<double>{static_cast<double>(r), covered ? 1.0 : 0.0, eps,
+                                         result.final_distance});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: eps (and the achieved error) shrink as the replication\n"
+               "factor grows; coverage flips to 'yes' exactly at r = 2f + 1; full\n"
+               "replication reaches exact redundancy even under noise.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// R-A9 — robust mean estimation as fault-tolerant optimization
+// (the paper's robust-statistics connection, Section 2.3 shape).
+//
+// Honest agents hold Q_i(x) = ||x - x_i||^2 for samples x_i ~ N(mu, s^2 I);
+// the honest aggregate minimizes at the honest sample mean.  The bench
+// sweeps the contamination fraction f/n and reports the estimation error
+// of the distributed estimators (DGD with mean / CGE / CWTM / geomed
+// aggregation, large-norm adversarial samples) against two references:
+// the honest sample mean (what fault-tolerance can recover) and the true
+// distribution mean (statistical error floor).  Shape: robust aggregation
+// tracks the honest mean up to f/n -> 1/2-ish; plain averaging is hijacked
+// by a single contaminated sample.
+#include "common.h"
+
+#include "data/mean_estimation.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"n", "d", "sigma", "iterations", "seed", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 15));
+  const auto d = static_cast<std::size_t>(cli.get_int("d", 4));
+  const double sigma = cli.get_double("sigma", 0.5);
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 2500));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 12));
+
+  bench::banner("R-A9", "robust mean estimation: error versus contamination f/n");
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "robust_mean",
+                              {"f", "statistical_floor", "mean", "cge", "cwtm", "geomed"});
+
+  Vector mu(d);
+  for (std::size_t k = 0; k < d; ++k) mu[k] = static_cast<double>(k) - 1.0;
+
+  util::TablePrinter table({"f", "f/n", "stat floor", "mean", "CGE", "CWTM", "geomed"});
+  const auto attack = attacks::make_attack("large_norm");
+
+  for (std::size_t f : {0u, 1u, 3u, 5u, 7u}) {
+    if (2 * f >= n) break;
+    rng::Rng rng(seed);  // same samples for every f
+    const auto inst = data::make_mean_estimation(mu, sigma, n, f, rng);
+    std::vector<std::size_t> byzantine;
+    for (std::size_t b = 0; b < f; ++b) byzantine.push_back(b);
+    const auto honest = dgd::honest_ids(n, byzantine);
+    const Vector honest_mean = data::honest_sample_mean(inst, honest);
+    const double statistical_floor = linalg::distance(honest_mean, mu);
+
+    std::vector<std::string> row = {std::to_string(f),
+                                    util::TablePrinter::num(static_cast<double>(f) / n, 2),
+                                    util::TablePrinter::num(statistical_floor, 3)};
+    std::vector<double> csv_row = {static_cast<double>(f), statistical_floor};
+    for (const std::string filter : {"mean", "cge", "cwtm", "geomed"}) {
+      filters::FilterParams fp;
+      fp.n = n;
+      fp.f = f;
+      dgd::TrainerConfig cfg;
+      cfg.filter = filters::make_filter(filter, fp);
+      const double coeff = (filter == "cge" || filter == "sum") ? 0.1 : 1.0;
+      cfg.schedule = std::make_shared<dgd::HarmonicSchedule>(coeff);
+      cfg.projection =
+          std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(d, 20.0));
+      cfg.iterations = iterations;
+      cfg.seed = seed;
+      cfg.trace_stride = 0;
+      const auto result =
+          dgd::train(inst.problem, byzantine, attack.get(), cfg, honest_mean);
+      row.push_back(util::TablePrinter::num(result.final_distance, 3));
+      csv_row.push_back(result.final_distance);
+    }
+    table.add_row(std::move(row));
+    if (csv) csv->write_row(csv_row);
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: robust aggregation recovers the honest sample mean\n"
+               "(error << statistical floor) at every contamination level f < n/2;\n"
+               "plain averaging is hijacked by the very first adversarial sample.\n"
+               "The agents never shared their raw samples — only gradients.\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// R-P3 — making the sufficiency construction practical: Monte-Carlo subset
+// sampling versus full enumeration.
+//
+// The exhaustive algorithm of Theorem 2 is exponential in n (bench_exact_perf);
+// the sampled variant scores a bounded number of random subsets instead.
+// This bench (a) compares its output against the exhaustive algorithm
+// where both can run, and (b) demonstrates it on instance sizes where
+// enumeration is hopeless, reporting wall-clock and accuracy versus the
+// sampling budget.  (The worst-case 2*eps guarantee is forfeited — this is
+// an engineering heuristic; see core/exact_algorithm.h.)
+#include "common.h"
+
+#include "core/exact_algorithm.h"
+#include "core/quadratic_cost.h"
+#include "util/stopwatch.h"
+#include "util/subsets.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+/// Near-redundant quadratic instance with f adversarial costs installed.
+std::vector<core::CostPtr> make_instance(std::size_t n, std::size_t f, std::size_t d,
+                                         double spread, std::uint64_t seed,
+                                         Vector* honest_mean_out) {
+  rng::Rng rng(seed);
+  std::vector<core::CostPtr> costs;
+  Vector mean(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector center(d);
+    for (auto& c : center) c = 1.0 + rng.gaussian(0.0, spread);
+    if (i >= f) mean += center;  // honest agents are f..n-1
+    costs.push_back(
+        std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(center)));
+  }
+  mean /= static_cast<double>(n - f);
+  // Agents 0..f-1 are Byzantine: adversarial pull toward a far point.
+  for (std::size_t b = 0; b < f; ++b) {
+    costs[b] = std::make_shared<core::QuadraticCost>(
+        core::QuadraticCost::squared_distance(Vector(d, 30.0)));
+  }
+  *honest_mean_out = mean;
+  return costs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"seed", "csv"});
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 19));
+
+  bench::banner("R-P3", "sampled versus exhaustive sufficiency construction");
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "sampled_exact",
+                              {"n", "f", "mode", "samples", "error", "ms"});
+
+  util::TablePrinter table({"n", "f", "mode", "subsets scored", "error vs honest argmin",
+                            "time (ms)"});
+
+  // (a) Head-to-head where enumeration is feasible.
+  for (auto [n, f] : {std::pair<std::size_t, std::size_t>{10, 2}, {12, 3}}) {
+    Vector honest_mean;
+    const auto costs = make_instance(n, f, 3, 0.02, seed, &honest_mean);
+
+    util::Stopwatch watch;
+    const auto exhaustive = core::run_exact_algorithm(costs, f);
+    const double exhaustive_ms = watch.elapsed_ms();
+    table.add_row({std::to_string(n), std::to_string(f), "exhaustive",
+                   std::to_string(exhaustive.subsets_evaluated),
+                   util::TablePrinter::num(linalg::distance(exhaustive.output, honest_mean), 4),
+                   util::TablePrinter::num(exhaustive_ms, 4)});
+
+    for (std::size_t budget : {16u, 64u}) {
+      core::SampledExactOptions sampling;
+      sampling.outer_samples = budget;
+      sampling.inner_samples = budget;
+      sampling.seed = seed;
+      watch.reset();
+      const auto sampled = core::run_sampled_exact_algorithm(costs, f, sampling);
+      const double sampled_ms = watch.elapsed_ms();
+      table.add_row({std::to_string(n), std::to_string(f),
+                     "sampled(" + std::to_string(budget) + ")",
+                     std::to_string(sampled.subsets_evaluated),
+                     util::TablePrinter::num(linalg::distance(sampled.output, honest_mean), 4),
+                     util::TablePrinter::num(sampled_ms, 4)});
+      if (csv) {
+        csv->write_row(std::vector<std::string>{
+            std::to_string(n), std::to_string(f), "sampled", std::to_string(budget),
+            std::to_string(linalg::distance(sampled.output, honest_mean)),
+            std::to_string(sampled_ms)});
+      }
+    }
+  }
+
+  // (b) Beyond enumeration: n = 30, f = 6 would need C(30, 6) ~ 6e5 outer
+  // subsets each with huge inner counts.  Uniform sampling FAILS here by
+  // construction — with exactly f faulty agents only ONE outer subset is
+  // fault-free, and a random (n - f)-subset carries ~f(n-f)/n faulty
+  // members — while the guided mode (rank agents by argmin centrality)
+  // recovers the honest subset in milliseconds.
+  {
+    const std::size_t n = 30, f = 6;
+    Vector honest_mean;
+    const auto costs = make_instance(n, f, 3, 0.02, seed, &honest_mean);
+    for (bool guided : {false, true}) {
+      core::SampledExactOptions sampling;
+      sampling.outer_samples = 128;
+      sampling.inner_samples = 128;
+      sampling.seed = seed;
+      sampling.guided = guided;
+      util::Stopwatch watch;
+      const auto sampled = core::run_sampled_exact_algorithm(costs, f, sampling);
+      table.add_row({std::to_string(n), std::to_string(f),
+                     guided ? "sampled(128)+guided" : "sampled(128) uniform",
+                     std::to_string(sampled.subsets_evaluated),
+                     util::TablePrinter::num(linalg::distance(sampled.output, honest_mean), 4),
+                     util::TablePrinter::num(watch.elapsed_ms(), 4)});
+    }
+    std::cout << "(exhaustive at n=30, f=6 would score C(30,24) = "
+              << util::binomial(30, 24) << " outer subsets — not attempted)\n\n";
+  }
+
+  table.print(std::cout);
+  std::cout << "\nShape check: at small n the sampled variant matches the exhaustive\n"
+               "output once the budget covers the subset space.  At scale, UNIFORM\n"
+               "sampling fails structurally (nearly every subset is contaminated;\n"
+               "the single fault-free subset is a needle in C(n, f) straws) — the\n"
+               "exhaustive ranking is doing real work, which is the quantitative\n"
+               "content of the paper's impracticality remark.  Guided sampling\n"
+               "(argmin-centrality agent ranking) restores accuracy in milliseconds,\n"
+               "at the price of Theorem 2's worst-case guarantee.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// R-A3 — step-size schedule ablation.
+//
+// Theorem 3 asks for diminishing steps (sum eta_t = inf, sum eta_t^2 <
+// inf).  This ablation shows the practical face of that requirement:
+// diminishing schedules (harmonic, sqrt-decay) tolerate an aggressive
+// coefficient — a few early unstable steps are clamped by the projection
+// set W and the shrinking step then converges — while a *constant* step
+// with the same coefficient sits above the 2/L stability threshold forever
+// and never converges.  A hand-tuned small constant step converges too,
+// but requires knowing L; the diminishing schedule does not.
+#include "common.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"iterations", "seed", "noise", "csv"});
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 3000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const double noise = cli.get_double("noise", 0.1);
+
+  bench::banner("R-A3", "step-size schedules: aggressive coefficients (DGD+CGE)");
+  const bench::PaperExperiment exp(noise, seed);
+  attacks::AttackParams params;
+  params.sigma = 0.1;  // small random fault that survives norm elimination
+  const auto attack = attacks::make_attack("random", params);
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "schedule_ablation",
+                              {"schedule", "coefficient", "dist", "loss"});
+
+  util::TablePrinter table({"schedule", "coefficient", "dist(x_H, x_out)", "final loss"});
+  struct Case {
+    std::string name;
+    double coefficient;
+  };
+  for (const Case& c : {Case{"harmonic", 0.5}, Case{"sqrt", 0.5}, Case{"constant", 0.5},
+                        Case{"constant", 0.05}}) {
+    auto cfg = bench::make_config(6, 1, "cge", iterations, 2, seed);
+    cfg.schedule = dgd::make_schedule(c.name, c.coefficient);
+    cfg.x0 = exp.x0();
+    const auto r = dgd::train(exp.instance.problem, {0}, attack.get(), cfg, exp.x_h);
+    table.add_row({c.name, util::TablePrinter::num(c.coefficient, 3),
+                   util::TablePrinter::num(r.final_distance, 4),
+                   util::TablePrinter::num(r.final_loss, 5)});
+    if (csv) {
+      csv->write_row(std::vector<std::string>{c.name, std::to_string(c.coefficient),
+                                              std::to_string(r.final_distance),
+                                              std::to_string(r.final_loss)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: harmonic and sqrt converge at coefficient 0.5; the\n"
+               "constant schedule at the same coefficient sits above the stability\n"
+               "threshold and never converges (it needs hand-tuning, e.g. 0.05).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// R-A5 — stochastic gradients: batch size and momentum (extension, after
+// the authors' companion CGE-SGD work, reference [21] of the follow-up).
+//
+// Data-holding agents reply with mini-batch gradients; the bench sweeps
+// the batch size (sampling-noise level) and server-side momentum for
+// DGD+CGE under the LIE attack — the attack that hides inside the honest
+// spread, where sampling noise helps the adversary most.  Shape: error
+// shrinks as batches grow (the (2f, eps)-redundancy of the *sampled*
+// costs tightens), and momentum recovers part of the small-batch loss.
+#include "common.h"
+
+#include "sgd/empirical_cost.h"
+#include "sgd/sgd_trainer.h"
+
+using namespace redopt;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+core::MultiAgentProblem make_problem(std::size_t n, std::size_t f, std::size_t d,
+                                     std::size_t samples, const Vector& w_star, double noise,
+                                     rng::Rng& rng) {
+  core::MultiAgentProblem problem;
+  problem.f = f;
+  for (std::size_t i = 0; i < n; ++i) {
+    Matrix x(samples, d);
+    Vector y(samples);
+    for (std::size_t j = 0; j < samples; ++j) {
+      double pred = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        x(j, k) = rng.gaussian();
+        pred += x(j, k) * w_star[k];
+      }
+      y[j] = pred + rng.gaussian(0.0, noise);
+    }
+    problem.costs.push_back(std::make_shared<sgd::EmpiricalCost>(
+        std::move(x), std::move(y), sgd::Loss::kSquare, 0.0));
+  }
+  problem.validate();
+  return problem;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"n", "f", "d", "samples", "iterations", "seed", "csv"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 10));
+  const auto f = static_cast<std::size_t>(cli.get_int("f", 2));
+  const auto d = static_cast<std::size_t>(cli.get_int("d", 4));
+  const auto samples = static_cast<std::size_t>(cli.get_int("samples", 40));
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 3000));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 6));
+
+  bench::banner("R-A5", "Byzantine SGD: batch size and momentum (CGE, LIE attack)");
+  rng::Rng rng(seed);
+  Vector w_star(d);
+  for (std::size_t k = 0; k < d; ++k) w_star[k] = k % 2 == 0 ? 1.0 : -1.0;
+  const auto problem = make_problem(n, f, d, samples, w_star, 0.05, rng);
+  std::vector<std::size_t> byzantine;
+  for (std::size_t b = 0; b < f; ++b) byzantine.push_back(b);
+  const auto attack = attacks::make_attack("lie");
+
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "sgd",
+                              {"batch", "momentum", "dist", "loss"});
+  util::TablePrinter table({"batch size", "momentum", "dist(w*, w_out)", "honest loss"});
+
+  for (std::size_t batch : {1u, 4u, 16u, 40u}) {
+    for (double momentum : {0.0, 0.9}) {
+      sgd::SgdConfig cfg;
+      filters::FilterParams fp;
+      fp.n = n;
+      fp.f = f;
+      cfg.base.filter = filters::make_filter("cge", fp);
+      cfg.base.schedule = std::make_shared<dgd::HarmonicSchedule>(momentum > 0.0 ? 0.02 : 0.1);
+      cfg.base.projection =
+          std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(d, 10.0));
+      cfg.base.iterations = iterations;
+      cfg.base.seed = seed;
+      cfg.base.trace_stride = 0;
+      cfg.batch_size = batch;
+      cfg.momentum = momentum;
+      const auto r = sgd::train_sgd(problem, byzantine, attack.get(), cfg, w_star);
+      table.add_row({std::to_string(batch), util::TablePrinter::num(momentum, 2),
+                     util::TablePrinter::num(r.final_distance, 4),
+                     util::TablePrinter::num(r.final_loss, 5)});
+      if (csv) {
+        csv->write_row(std::vector<double>{static_cast<double>(batch), momentum,
+                                           r.final_distance, r.final_loss});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check: error shrinks with the batch size (sampling noise is\n"
+               "adversary-exploitable scatter); momentum narrows the small-batch gap.\n";
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared setup for the bench harnesses: the paper-shaped regression
+// experiment (n = 6, f = 1, d = 2) and config builders.
+//
+// Every harness binary prints (a) a banner naming the experiment it
+// regenerates (DESIGN.md R-* id), (b) the table rows / series, and, when
+// --csv is passed, (c) a CSV file under bench_out/ for plotting.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "attacks/registry.h"
+#include "data/regression.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+#include "redundancy/redundancy.h"
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace redopt::bench {
+
+/// Step-schedule coefficient matched to the filter's output scale: filters
+/// that *sum* ~n gradients (cge, sum) take a smaller coefficient than
+/// filters that average.
+inline double schedule_coefficient(const std::string& filter) {
+  return (filter == "cge" || filter == "sum") ? 0.5 : 2.0;
+}
+
+/// Standard trainer configuration used across the harnesses.
+inline dgd::TrainerConfig make_config(std::size_t n, std::size_t f, const std::string& filter,
+                                      std::size_t iterations, std::size_t d,
+                                      std::uint64_t seed = 1) {
+  filters::FilterParams fp;
+  fp.n = n;
+  fp.f = f;
+  dgd::TrainerConfig cfg;
+  cfg.filter = filters::make_filter(filter, fp);
+  cfg.schedule = std::make_shared<dgd::HarmonicSchedule>(schedule_coefficient(filter));
+  cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(d, 10.0));
+  cfg.iterations = iterations;
+  cfg.seed = seed;
+  cfg.trace_stride = 0;
+  return cfg;
+}
+
+/// The paper-shaped experiment instance (Section 5): n = 6 agents, f = 1,
+/// d = 2, x* = (1, 1), unit-norm observation rows, Gaussian observation
+/// noise.  Agent 0 is the Byzantine agent in all executions.
+struct PaperExperiment {
+  data::RegressionInstance instance;
+  linalg::Vector x_h;        ///< honest aggregate minimum (agents 1..5)
+  double epsilon;            ///< measured (2f, eps)-redundancy constant
+  data::RegressionConstants constants;  ///< mu, gamma over the honest agents
+
+  explicit PaperExperiment(double noise_sigma = 0.03, std::uint64_t seed = 42)
+      : instance([&] {
+          rng::Rng rng(seed);
+          return data::make_regression(data::paper_matrix(), linalg::Vector{1.0, 1.0},
+                                       noise_sigma, 1, rng);
+        }()),
+        x_h(data::regression_argmin(instance, {1, 2, 3, 4, 5})),
+        epsilon(redundancy::measure_redundancy(instance.problem.costs, 1).epsilon),
+        constants(data::regression_constants(instance, {1, 2, 3, 4, 5})) {}
+
+  /// The paper's published initial estimate.
+  linalg::Vector x0() const { return linalg::Vector{-0.0085, -0.5643}; }
+};
+
+/// Prints the experiment banner.
+inline void banner(const std::string& id, const std::string& what) {
+  std::cout << "==============================================================\n"
+            << id << " — " << what << "\n"
+            << "==============================================================\n";
+}
+
+/// Opens bench_out/<name>.csv when requested (creates the directory).
+inline std::unique_ptr<util::CsvWriter> maybe_csv(bool enabled, const std::string& name,
+                                                  const std::vector<std::string>& header) {
+  if (!enabled) return nullptr;
+  std::filesystem::create_directories("bench_out");
+  auto writer = std::make_unique<util::CsvWriter>("bench_out/" + name + ".csv", header);
+  std::cout << "(writing bench_out/" << name << ".csv)\n";
+  return writer;
+}
+
+}  // namespace redopt::bench

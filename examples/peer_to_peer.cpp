@@ -1,0 +1,63 @@
+// Peer-to-peer fault-tolerant optimization without a trusted server
+// (Figure 1b of the paper): the server-based DGD algorithm simulated with
+// OM(f) Byzantine broadcast, f < n/3.
+//
+// Every agent broadcasts its gradient to all peers each iteration; the
+// broadcast's agreement property keeps all honest agents' filter inputs —
+// and therefore their local estimates — in lockstep, even when Byzantine
+// agents equivocate (send different values to different peers).
+#include <iostream>
+
+#include "attacks/registry.h"
+#include "data/regression.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+#include "net/p2p.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace redopt;
+  using linalg::Vector;
+
+  const util::Cli cli(argc, argv, {"seed", "iterations"});
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 150));
+
+  // n = 7 agents, f = 2 Byzantine: satisfies the broadcast bound n > 3f.
+  const std::size_t n = 7, f = 2, d = 2;
+  rng::Rng rng(seed);
+  const auto instance =
+      data::make_orthonormal_regression(n, d, f, 0.02, Vector{1.0, 1.0}, rng);
+  const std::vector<std::size_t> byzantine = {2, 5};
+  const auto honest = dgd::honest_ids(n, byzantine);
+  const Vector x_h = data::block_regression_argmin(instance, honest);
+
+  filters::FilterParams fp;
+  fp.n = n;
+  fp.f = f;
+  dgd::TrainerConfig config;
+  config.filter = filters::make_filter("cge", fp);
+  config.schedule = std::make_shared<dgd::HarmonicSchedule>(0.5);
+  config.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(d, 10.0));
+  config.iterations = iterations;
+  config.seed = seed;
+  config.trace_stride = 0;
+
+  const auto attack = attacks::make_attack("gradient_reverse");
+
+  std::cout << "peer-to-peer DGD, n=" << n << " f=" << f << ", honest minimum x_H = " << x_h
+            << "\n\n";
+  for (bool equivocate : {false, true}) {
+    const auto result = net::run_p2p_protocol(instance.problem, byzantine, attack.get(),
+                                              config, x_h, equivocate);
+    std::cout << (equivocate ? "with equivocation   " : "consistent adversary")
+              << " : estimate " << result.train.estimate
+              << ", error " << result.train.final_distance
+              << ", honest agreement " << (result.honest_agreement ? "yes" : "NO")
+              << ", OM(f) messages " << result.messages << "\n";
+    if (!result.honest_agreement) return 1;
+  }
+  std::cout << "\nAgreement held in both runs: Byzantine broadcast makes the\n"
+               "peer-to-peer system equivalent to the trusted-server system.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: Byzantine fault-tolerant distributed optimization in ~40
+// lines.
+//
+// Six agents each observe one row of a linear system; one of them is
+// Byzantine and reverses its gradients.  Plain distributed gradient
+// descent would be steered away; equipping the server with the CGE
+// gradient-filter recovers the honest agents' minimum.
+#include <iostream>
+
+#include "attacks/registry.h"
+#include "data/regression.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+
+int main() {
+  using namespace redopt;
+  using linalg::Vector;
+
+  // 1. A distributed linear-regression problem: n = 6 agents, up to f = 1
+  //    Byzantine, d = 2, ground truth x* = (1, 1), noisy observations.
+  rng::Rng rng(/*seed=*/7);
+  const auto instance =
+      data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, /*noise=*/0.02,
+                            /*f=*/1, rng);
+
+  // 2. The honest agents' aggregate minimum (what we want to recover).
+  const std::vector<std::size_t> byzantine = {0};
+  const auto honest = dgd::honest_ids(6, byzantine);
+  const Vector x_h = data::regression_argmin(instance, honest);
+
+  // 3. Configure DGD with the CGE gradient-filter, a diminishing step
+  //    schedule, and a compact constraint box W.
+  filters::FilterParams fp;
+  fp.n = 6;
+  fp.f = 1;
+  dgd::TrainerConfig config;
+  config.filter = filters::make_filter("cge", fp);
+  config.schedule = std::make_shared<dgd::HarmonicSchedule>(0.5);
+  config.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(2, 10.0));
+  config.iterations = 1000;
+
+  // 4. Run with agent 0 Byzantine (gradient-reverse fault).
+  const auto attack = attacks::make_attack("gradient_reverse");
+  const auto result = dgd::train(instance.problem, byzantine, attack.get(), config, x_h);
+
+  std::cout << "honest minimum x_H   = " << x_h << "\n"
+            << "DGD + CGE output     = " << result.estimate << "\n"
+            << "approximation error  = " << result.final_distance << "\n";
+  return result.final_distance < 0.05 ? 0 : 1;
+}

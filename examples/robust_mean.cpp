@@ -1,0 +1,70 @@
+// Robust mean estimation as fault-tolerant distributed optimization
+// (Section 2.3 of the paper family).
+//
+// Each honest agent holds Q_i(x) = ||x - x_i||^2 for a private sample
+// x_i ~ N(mu, sigma^2 I); the honest aggregate minimizes at the honest
+// sample mean.  Byzantine agents try to drag the estimate away.  The
+// example compares plain averaging against CGE and the coordinate-wise
+// trimmed mean, and against the centralized trimmed estimate.
+#include <iostream>
+
+#include "attacks/registry.h"
+#include "data/mean_estimation.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace redopt;
+  using linalg::Vector;
+
+  const util::Cli cli(argc, argv, {"n", "d", "f", "sigma", "seed"});
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 15));
+  const auto d = static_cast<std::size_t>(cli.get_int("d", 4));
+  const auto f = static_cast<std::size_t>(cli.get_int("f", 3));
+  const double sigma = cli.get_double("sigma", 0.5);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2));
+
+  Vector mu(d);
+  for (std::size_t k = 0; k < d; ++k) mu[k] = static_cast<double>(k) - 1.0;
+
+  rng::Rng rng(seed);
+  const auto instance = data::make_mean_estimation(mu, sigma, n, f, rng);
+  std::vector<std::size_t> byzantine;
+  for (std::size_t b = 0; b < f; ++b) byzantine.push_back(b);
+  const auto honest = dgd::honest_ids(n, byzantine);
+  const Vector honest_mean = data::honest_sample_mean(instance, honest);
+
+  std::cout << "robust mean estimation: n=" << n << " f=" << f << " d=" << d
+            << " sigma=" << sigma << "\n"
+            << "true mean         = " << mu << "\n"
+            << "honest sample mean = " << honest_mean << "\n\n";
+
+  // Byzantine agents report samples far away (modelled by the large-norm
+  // gradient fault, which is what an adversarially placed sample induces).
+  const auto attack = attacks::make_attack("large_norm");
+
+  util::TablePrinter table({"aggregator", "estimate error vs honest mean"});
+  for (const std::string name : {"mean", "cge", "cwtm", "geomed"}) {
+    filters::FilterParams fp;
+    fp.n = n;
+    fp.f = f;
+    dgd::TrainerConfig config;
+    config.filter = filters::make_filter(name, fp);
+    const double coeff = (name == "cge" || name == "sum") ? 0.2 : 1.0;
+    config.schedule = std::make_shared<dgd::HarmonicSchedule>(coeff);
+    config.projection =
+        std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(d, 20.0));
+    config.iterations = 2000;
+    config.trace_stride = 0;
+    const auto result =
+        dgd::train(instance.problem, byzantine, attack.get(), config, honest_mean);
+    table.add_row({name, util::TablePrinter::num(result.final_distance, 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote: the distributed estimate never needed the agents to share\n"
+               "their samples — only gradients of their private costs.\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Config-file driven experiment runner.
+//
+//   run_config --config examples/configs/regression.cfg
+//
+// Describes an experiment (instance family, fault model, filter, schedule)
+// in a small key = value file that can live in a repository next to its
+// results, and runs it end to end: redundancy measurement, DGD execution,
+// error report.  See examples/configs/ for annotated samples.
+#include <iostream>
+
+#include "attacks/registry.h"
+#include "data/regression.h"
+#include "data/replicated_regression.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+#include "redundancy/redundancy.h"
+#include "util/cli.h"
+#include "util/config.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace redopt;
+using linalg::Vector;
+
+struct Experiment {
+  core::MultiAgentProblem problem;
+  Vector x_h;  // honest aggregate minimum
+  std::size_t n;
+  std::size_t f;
+  std::size_t d;
+};
+
+Experiment build_instance(const util::Config& config, rng::Rng& rng,
+                          const std::vector<std::size_t>& byzantine) {
+  const std::string family = config.get_string("instance", "regression");
+  const auto n = static_cast<std::size_t>(config.get_int("n", 6));
+  const auto d = static_cast<std::size_t>(config.get_int("d", 2));
+  const auto f = static_cast<std::size_t>(config.get_int("f", 1));
+  const double noise = config.get_double("noise", 0.02);
+  Vector x_star(d, 1.0);
+
+  Experiment experiment;
+  experiment.n = n;
+  experiment.f = f;
+  experiment.d = d;
+  const auto honest = dgd::honest_ids(n, byzantine);
+
+  if (family == "paper") {
+    REDOPT_REQUIRE(n == 6 && d == 2 && f == 1, "instance=paper fixes n=6, d=2, f=1");
+    const auto inst = data::make_regression(data::paper_matrix(), x_star, noise, f, rng);
+    experiment.problem = inst.problem;
+    experiment.x_h = data::regression_argmin(inst, honest);
+  } else if (family == "regression") {
+    const auto a = data::redundant_matrix(n, d, f, rng);
+    const auto inst = data::make_regression(a, x_star, noise, f, rng);
+    experiment.problem = inst.problem;
+    experiment.x_h = data::regression_argmin(inst, honest);
+  } else if (family == "orthonormal") {
+    const auto inst = data::make_orthonormal_regression(n, d, f, noise, x_star, rng);
+    experiment.problem = inst.problem;
+    experiment.x_h = data::block_regression_argmin(inst, honest);
+  } else if (family == "replicated") {
+    const auto shards = static_cast<std::size_t>(config.get_int("shards", n));
+    const auto replication =
+        static_cast<std::size_t>(config.get_int("replication", 2 * f + 1));
+    const auto inst =
+        data::make_replicated_regression(shards, d, n, f, replication, noise, x_star, rng);
+    experiment.problem = inst.problem;
+    experiment.x_h = data::replicated_regression_argmin(inst, honest);
+  } else {
+    REDOPT_REQUIRE(false, "unknown instance family: " + family);
+  }
+  return experiment;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv, {"config"});
+    const std::string path = cli.get_string("config", "");
+    REDOPT_REQUIRE(!path.empty(), "usage: run_config --config <file>");
+    const auto config = util::Config::load(path);
+
+    const auto seed = static_cast<std::uint64_t>(config.get_int("seed", 1));
+    rng::Rng rng(seed);
+
+    const auto f = static_cast<std::size_t>(config.get_int("f", 1));
+    const auto actual_faults =
+        static_cast<std::size_t>(config.get_int("actual_faults", f));
+    std::vector<std::size_t> byzantine;
+    for (std::size_t b = 0; b < actual_faults; ++b) byzantine.push_back(b);
+
+    const auto experiment = build_instance(config, rng, byzantine);
+
+    std::cout << "experiment from " << path << ":\n";
+    for (const auto& [key, value] : config.values()) {
+      std::cout << "  " << key << " = " << value << "\n";
+    }
+
+    if (config.get_bool("measure_redundancy", true)) {
+      const double eps =
+          redundancy::measure_redundancy(experiment.problem.costs, experiment.f).epsilon;
+      std::cout << "measured (2f, eps)-redundancy: eps = " << eps << "\n";
+    }
+
+    const std::string filter_name = config.get_string("filter", "cge");
+    filters::FilterParams fp;
+    fp.n = experiment.n;
+    fp.f = experiment.f;
+    fp.multikrum_m = static_cast<std::size_t>(config.get_int("multikrum_m", 1));
+    fp.clip_tau = config.get_double("clip_tau", 1.0);
+
+    dgd::TrainerConfig trainer_config;
+    trainer_config.filter = filters::make_filter(filter_name, fp);
+    const double default_coeff =
+        (filter_name == "cge" || filter_name == "sum") ? 0.3 : 2.0;
+    trainer_config.schedule =
+        dgd::make_schedule(config.get_string("schedule", "harmonic"),
+                           config.get_double("step_coefficient", default_coeff));
+    trainer_config.projection = std::make_shared<dgd::BoxProjection>(
+        dgd::BoxProjection::cube(experiment.d, config.get_double("box_half_width", 10.0)));
+    trainer_config.iterations =
+        static_cast<std::size_t>(config.get_int("iterations", 3000));
+    trainer_config.seed = seed;
+    trainer_config.trace_stride = 0;
+
+    const auto attack = attacks::make_attack(config.get_string("attack", "gradient_reverse"));
+    const auto result = dgd::train(experiment.problem, byzantine, attack.get(),
+                                   trainer_config, experiment.x_h);
+    std::cout << "honest minimum x_H = " << experiment.x_h << "\n"
+              << "output             = " << result.estimate << "\n"
+              << "error              = " << result.final_distance << "\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

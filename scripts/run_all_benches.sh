@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure (DESIGN.md R-* index) at full scale,
+# teeing the output and dumping CSV series under bench_out/.
+set -u
+BUILD=${1:-build}
+OUT=${2:-bench_output.txt}
+: > "$OUT"
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "=== $b ===" | tee -a "$OUT"
+  case "$b" in
+    *_perf) "$b" 2>&1 | tee -a "$OUT" ;;
+    *)      "$b" --csv 2>&1 | tee -a "$OUT" ;;
+  esac
+done
+echo "done; full log in $OUT, CSV series in bench_out/"

@@ -1,0 +1,135 @@
+#include "attacks/attacks.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace redopt::attacks {
+
+namespace detail {
+
+void check_context(const AttackContext& ctx, bool needs_honest_gradients, const char* who) {
+  REDOPT_REQUIRE(ctx.honest_gradient != nullptr,
+                 std::string(who) + ": context missing the honest gradient");
+  REDOPT_REQUIRE(ctx.estimate != nullptr, std::string(who) + ": context missing the estimate");
+  REDOPT_REQUIRE(ctx.rng != nullptr, std::string(who) + ": context missing the rng");
+  if (needs_honest_gradients) {
+    REDOPT_REQUIRE(ctx.honest_gradients != nullptr && !ctx.honest_gradients->empty(),
+                   std::string(who) + ": context missing honest gradients");
+  }
+}
+
+}  // namespace detail
+
+GradientReverseAttack::GradientReverseAttack(double scale) : scale_(scale) {
+  REDOPT_REQUIRE(scale > 0.0, "gradient-reverse scale must be positive");
+}
+
+Vector GradientReverseAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, false, "gradient_reverse");
+  return *ctx.honest_gradient * (-scale_);
+}
+
+RandomGaussianAttack::RandomGaussianAttack(double sigma) : sigma_(sigma) {
+  REDOPT_REQUIRE(sigma >= 0.0, "random attack sigma must be non-negative");
+}
+
+Vector RandomGaussianAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, false, "random");
+  Vector out(ctx.honest_gradient->size());
+  for (auto& x : out) x = ctx.rng->gaussian(0.0, sigma_);
+  return out;
+}
+
+Vector ZeroAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, false, "zero");
+  return Vector(ctx.honest_gradient->size());
+}
+
+LargeNormAttack::LargeNormAttack(double magnitude) : magnitude_(magnitude) {
+  REDOPT_REQUIRE(magnitude > 0.0, "large-norm magnitude must be positive");
+}
+
+Vector LargeNormAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, false, "large_norm");
+  const auto dir = ctx.rng->unit_sphere(ctx.honest_gradient->size());
+  return Vector(dir) * magnitude_;
+}
+
+LittleIsEnoughAttack::LittleIsEnoughAttack(double z) : z_(z) {
+  REDOPT_REQUIRE(z > 0.0, "LIE z must be positive");
+}
+
+Vector LittleIsEnoughAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, true, "lie");
+  const auto& honest = *ctx.honest_gradients;
+  const Vector mu = linalg::mean(honest);
+  Vector sd(mu.size());
+  for (std::size_t k = 0; k < mu.size(); ++k) {
+    double var = 0.0;
+    for (const auto& g : honest) {
+      const double diff = g[k] - mu[k];
+      var += diff * diff;
+    }
+    sd[k] = std::sqrt(var / static_cast<double>(honest.size()));
+  }
+  return mu - sd * z_;
+}
+
+InnerProductAttack::InnerProductAttack(double c) : c_(c) {
+  REDOPT_REQUIRE(c > 0.0, "IPM factor must be positive");
+}
+
+Vector InnerProductAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, true, "ipm");
+  return linalg::mean(*ctx.honest_gradients) * (-c_);
+}
+
+MimicAttack::MimicAttack(std::size_t target_rank) : target_rank_(target_rank) {}
+
+Vector MimicAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, true, "mimic");
+  const auto& honest = *ctx.honest_gradients;
+  return honest[target_rank_ % honest.size()];
+}
+
+SwitchAttack::SwitchAttack(AttackPtr inner, std::size_t switch_at)
+    : inner_(std::move(inner)), switch_at_(switch_at) {
+  REDOPT_REQUIRE(inner_ != nullptr, "switch attack needs an inner attack");
+}
+
+Vector SwitchAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, false, "switch");
+  if (ctx.iteration < switch_at_) return *ctx.honest_gradient;  // sleeper phase
+  return inner_->craft(ctx);
+}
+
+bool SwitchAttack::responds(const AttackContext& ctx) const {
+  if (ctx.iteration < switch_at_) return true;
+  return inner_->responds(ctx);
+}
+
+DropoutAttack::DropoutAttack(std::size_t drop_after) : drop_after_(drop_after) {}
+
+Vector DropoutAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, false, "dropout");
+  // Behaves honestly while it still replies.
+  return *ctx.honest_gradient;
+}
+
+bool DropoutAttack::responds(const AttackContext& ctx) const {
+  return ctx.iteration < drop_after_;
+}
+
+PoisonedCostAttack::PoisonedCostAttack(double noise) : noise_(noise) {
+  REDOPT_REQUIRE(noise >= 0.0, "poisoned-cost noise must be non-negative");
+}
+
+Vector PoisonedCostAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, false, "poisoned_cost");
+  Vector out = -*ctx.honest_gradient;
+  for (auto& x : out) x += ctx.rng->gaussian(0.0, noise_);
+  return out;
+}
+
+}  // namespace redopt::attacks

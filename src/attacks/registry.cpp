@@ -1,0 +1,31 @@
+#include "attacks/registry.h"
+
+#include "attacks/attacks.h"
+#include "util/error.h"
+
+namespace redopt::attacks {
+
+std::unique_ptr<Attack> make_attack(const std::string& name, const AttackParams& p) {
+  if (name == "gradient_reverse") return std::make_unique<GradientReverseAttack>(p.scale);
+  if (name == "random") return std::make_unique<RandomGaussianAttack>(p.sigma);
+  if (name == "zero") return std::make_unique<ZeroAttack>();
+  if (name == "large_norm") return std::make_unique<LargeNormAttack>(p.magnitude);
+  if (name == "lie") return std::make_unique<LittleIsEnoughAttack>(p.z);
+  if (name == "ipm") return std::make_unique<InnerProductAttack>(p.c);
+  if (name == "poisoned_cost") return std::make_unique<PoisonedCostAttack>(p.noise);
+  if (name == "mimic") return std::make_unique<MimicAttack>(p.mimic_target);
+  if (name == "dropout") return std::make_unique<DropoutAttack>(p.drop_after);
+  if (name == "switch") {
+    REDOPT_REQUIRE(p.switch_inner != "switch", "switch attack cannot wrap itself");
+    return std::make_unique<SwitchAttack>(make_attack(p.switch_inner, p), p.switch_at);
+  }
+  REDOPT_REQUIRE(false, "unknown attack: " + name);
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> attack_names() {
+  return {"gradient_reverse", "random",        "zero",  "large_norm", "lie",
+          "ipm",              "poisoned_cost", "mimic", "dropout",    "switch"};
+}
+
+}  // namespace redopt::attacks

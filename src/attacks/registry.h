@@ -1,0 +1,37 @@
+// Name-based attack construction for benches and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string>
+#include <vector>
+
+#include "attacks/attack.h"
+
+namespace redopt::attacks {
+
+/// Hyper-parameters for the attack constructors (defaults match the paper's
+/// experiment where applicable).
+struct AttackParams {
+  double scale = 1.0;        ///< gradient_reverse scale
+  double sigma = 200.0;      ///< random-Gaussian standard deviation (paper value)
+  double magnitude = 1e6;    ///< large_norm magnitude
+  double z = 1.0;            ///< LIE z-score
+  double c = 1.0;            ///< IPM factor
+  double noise = 0.1;        ///< poisoned-cost noise
+  std::size_t drop_after = 0;  ///< dropout: last iteration with a reply
+  std::size_t mimic_target = 0;  ///< mimic: honest-gradient rank to copy
+  std::string switch_inner = "gradient_reverse";  ///< switch: wrapped attack
+  std::size_t switch_at = 0;   ///< switch: first malicious iteration
+};
+
+/// Constructs the attack registered under @p name.
+/// Known names: gradient_reverse, random, zero, large_norm, lie, ipm,
+/// poisoned_cost, mimic, dropout, switch (sleeper wrapping params.switch_inner).
+/// Throws PreconditionError for unknown names.
+std::unique_ptr<Attack> make_attack(const std::string& name, const AttackParams& params = {});
+
+/// All registered attack names (deterministic order).
+std::vector<std::string> attack_names();
+
+}  // namespace redopt::attacks

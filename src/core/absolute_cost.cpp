@@ -1,0 +1,91 @@
+#include "core/absolute_cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace redopt::core {
+
+AbsoluteCost::AbsoluteCost(std::vector<double> points, std::vector<double> weights)
+    : points_(std::move(points)), weights_(std::move(weights)) {
+  REDOPT_REQUIRE(!points_.empty(), "absolute cost needs at least one point");
+  REDOPT_REQUIRE(points_.size() == weights_.size(), "point/weight count mismatch");
+  for (double w : weights_) REDOPT_REQUIRE(w > 0.0, "absolute-cost weights must be positive");
+}
+
+AbsoluteCost::AbsoluteCost(std::vector<double> points)
+    : AbsoluteCost(points, std::vector<double>(points.size(), 1.0)) {}
+
+double AbsoluteCost::value(const Vector& x) const {
+  REDOPT_REQUIRE(x.size() == 1, "absolute cost is scalar");
+  double acc = 0.0;
+  for (std::size_t j = 0; j < points_.size(); ++j) {
+    acc += weights_[j] * std::abs(x[0] - points_[j]);
+  }
+  return acc;
+}
+
+Vector AbsoluteCost::gradient(const Vector& x) const {
+  REDOPT_REQUIRE(x.size() == 1, "absolute cost is scalar");
+  double g = 0.0;
+  for (std::size_t j = 0; j < points_.size(); ++j) {
+    if (x[0] > points_[j]) {
+      g += weights_[j];
+    } else if (x[0] < points_[j]) {
+      g -= weights_[j];
+    }
+    // At a kink the subgradient contribution is chosen as 0.
+  }
+  return Vector{g};
+}
+
+std::unique_ptr<CostFunction> AbsoluteCost::clone() const {
+  return std::make_unique<AbsoluteCost>(*this);
+}
+
+std::string AbsoluteCost::describe() const {
+  return "absolute(points=" + std::to_string(points_.size()) + ")";
+}
+
+std::pair<double, double> weighted_median_interval(const std::vector<double>& points,
+                                                   const std::vector<double>& weights) {
+  REDOPT_REQUIRE(!points.empty(), "weighted median of no points");
+  REDOPT_REQUIRE(points.size() == weights.size(), "point/weight count mismatch");
+  double total = 0.0;
+  for (double w : weights) {
+    REDOPT_REQUIRE(w > 0.0, "weighted median needs positive weights");
+    total += w;
+  }
+
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return points[a] < points[b]; });
+
+  // The minimizers of sum w_j |x - c_j| are the x where the left weight
+  // mass is >= total/2 and the right mass is >= total/2.  Scanning sorted
+  // points: find the first k with prefix(k) >= total/2.  If the prefix hits
+  // total/2 exactly, every x in [c_k, c_{k+1}] is optimal; otherwise c_k is
+  // the unique minimizer.
+  const double half = total / 2.0;
+  double prefix = 0.0;
+  for (std::size_t idx = 0; idx < order.size(); ++idx) {
+    prefix += weights[order[idx]];
+    if (prefix > half + 1e-15 * total) {
+      const double c = points[order[idx]];
+      return {c, c};
+    }
+    if (std::abs(prefix - half) <= 1e-15 * total) {
+      // Exactly half the mass at or left of this point: the optimum is the
+      // whole segment to the next point.
+      REDOPT_ASSERT(idx + 1 < order.size(), "weighted median scan overran");
+      return {points[order[idx]], points[order[idx + 1]]};
+    }
+  }
+  REDOPT_ASSERT(false, "weighted median scan failed");
+  return {0.0, 0.0};  // unreachable
+}
+
+}  // namespace redopt::core

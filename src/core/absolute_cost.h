@@ -1,0 +1,49 @@
+// Scalar absolute-deviation (L1) cost: Q(x) = sum_j w_j |x - c_j|.
+//
+// The paper's Part-1 results (necessity and sufficiency of redundancy) are
+// stated for generic costs "that need not even be differentiable"; the
+// weighted absolute deviation is the canonical non-differentiable scalar
+// example.  Its argmin set is the weighted-median set — a point or a
+// closed interval — which exercises the interval branch of MinimizerSet,
+// and lets the redundancy checker and the exhaustive exact algorithm run
+// on non-smooth instances.  gradient() returns a subgradient (0 at kinks),
+// which is what the projected subgradient method needs.
+#pragma once
+
+#include "core/cost_function.h"
+
+namespace redopt::core {
+
+class AbsoluteCost final : public CostFunction {
+ public:
+  /// Q(x) = sum_j weights[j] * |x - points[j]|, x scalar.
+  /// Weights must be positive; at least one point.
+  AbsoluteCost(std::vector<double> points, std::vector<double> weights);
+
+  /// Unweighted convenience.
+  explicit AbsoluteCost(std::vector<double> points);
+
+  std::size_t dimension() const override { return 1; }
+  double value(const Vector& x) const override;
+
+  /// A subgradient: sum_j w_j * sign(x - c_j), with sign(0) = 0.
+  Vector gradient(const Vector& x) const override;
+
+  std::unique_ptr<CostFunction> clone() const override;
+  std::string describe() const override;
+
+  const std::vector<double>& points() const { return points_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> points_;
+  std::vector<double> weights_;
+};
+
+/// The argmin set of sum_j w_j |x - c_j|: the weighted-median set, either
+/// a single point or the closed interval between two adjacent points.
+/// Requires positive weights and at least one point.
+std::pair<double, double> weighted_median_interval(const std::vector<double>& points,
+                                                   const std::vector<double>& weights);
+
+}  // namespace redopt::core

@@ -1,0 +1,73 @@
+#include "core/aggregate_cost.h"
+
+#include "util/error.h"
+
+namespace redopt::core {
+
+AggregateCost::AggregateCost(std::vector<CostPtr> terms)
+    : AggregateCost(std::move(terms), {}) {}
+
+AggregateCost::AggregateCost(std::vector<CostPtr> terms, std::vector<double> weights)
+    : terms_(std::move(terms)), weights_(std::move(weights)) {
+  REDOPT_REQUIRE(!terms_.empty(), "aggregate of zero cost functions");
+  for (const auto& t : terms_) REDOPT_REQUIRE(t != nullptr, "aggregate term is null");
+  if (weights_.empty()) weights_.assign(terms_.size(), 1.0);
+  REDOPT_REQUIRE(weights_.size() == terms_.size(), "aggregate weight count mismatch");
+  const std::size_t d = terms_.front()->dimension();
+  for (const auto& t : terms_)
+    REDOPT_REQUIRE(t->dimension() == d, "aggregate terms must share one dimension");
+}
+
+AggregateCost AggregateCost::average(std::vector<CostPtr> terms) {
+  const double w = 1.0 / static_cast<double>(terms.size());
+  std::vector<double> weights(terms.size(), w);
+  return AggregateCost(std::move(terms), std::move(weights));
+}
+
+std::size_t AggregateCost::dimension() const { return terms_.front()->dimension(); }
+
+double AggregateCost::value(const Vector& x) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < terms_.size(); ++i) acc += weights_[i] * terms_[i]->value(x);
+  return acc;
+}
+
+Vector AggregateCost::gradient(const Vector& x) const {
+  Vector g(dimension());
+  for (std::size_t i = 0; i < terms_.size(); ++i) g += terms_[i]->gradient(x) * weights_[i];
+  return g;
+}
+
+std::optional<Matrix> AggregateCost::hessian(const Vector& x) const {
+  Matrix h(dimension(), dimension());
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    auto hi = terms_[i]->hessian(x);
+    if (!hi) return std::nullopt;
+    *hi *= weights_[i];
+    h += *hi;
+  }
+  return h;
+}
+
+std::unique_ptr<CostFunction> AggregateCost::clone() const {
+  return std::make_unique<AggregateCost>(*this);
+}
+
+std::string AggregateCost::describe() const {
+  return "aggregate(" + std::to_string(terms_.size()) + " terms, d=" +
+         std::to_string(dimension()) + ")";
+}
+
+AggregateCost aggregate_subset(const std::vector<CostPtr>& costs,
+                               const std::vector<std::size_t>& subset) {
+  REDOPT_REQUIRE(!subset.empty(), "aggregate over an empty subset");
+  std::vector<CostPtr> terms;
+  terms.reserve(subset.size());
+  for (std::size_t idx : subset) {
+    REDOPT_REQUIRE(idx < costs.size(), "subset index out of range");
+    terms.push_back(costs[idx]);
+  }
+  return AggregateCost(std::move(terms));
+}
+
+}  // namespace redopt::core

@@ -1,0 +1,50 @@
+// Aggregates of agent costs: sum_{i in S} w_i Q_i(x).
+//
+// Every theorem in the paper is a statement about minimum points of
+// aggregates over agent subsets, so the aggregate is itself a CostFunction
+// and can be fed back into any machinery that accepts one (numeric argmin,
+// DGD in a centralized sanity check, redundancy measurement, ...).
+#pragma once
+
+#include <vector>
+
+#include "core/cost_function.h"
+
+namespace redopt::core {
+
+/// Weighted sum of cost functions sharing one dimension.
+class AggregateCost final : public CostFunction {
+ public:
+  /// Uniform weights (plain sum).  Requires at least one term and equal
+  /// dimensions across all terms.
+  explicit AggregateCost(std::vector<CostPtr> terms);
+
+  /// Weighted sum; weights.size() must equal terms.size().
+  AggregateCost(std::vector<CostPtr> terms, std::vector<double> weights);
+
+  /// Average (weights 1/|terms|) — the Q_H of Assumption 3.
+  static AggregateCost average(std::vector<CostPtr> terms);
+
+  std::size_t dimension() const override;
+  double value(const Vector& x) const override;
+  Vector gradient(const Vector& x) const override;
+
+  /// Sum of the terms' Hessians (weighted); nullopt if any term lacks one.
+  std::optional<Matrix> hessian(const Vector& x) const override;
+
+  std::unique_ptr<CostFunction> clone() const override;
+  std::string describe() const override;
+
+  const std::vector<CostPtr>& terms() const { return terms_; }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<CostPtr> terms_;
+  std::vector<double> weights_;
+};
+
+/// Builds the plain-sum aggregate of the costs at the given indices.
+AggregateCost aggregate_subset(const std::vector<CostPtr>& costs,
+                               const std::vector<std::size_t>& subset);
+
+}  // namespace redopt::core

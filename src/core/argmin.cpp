@@ -1,0 +1,200 @@
+#include "core/argmin.h"
+
+#include <cmath>
+
+#include "core/absolute_cost.h"
+#include "core/aggregate_cost.h"
+#include "core/least_squares_cost.h"
+#include "core/quadratic_cost.h"
+#include "linalg/decompose.h"
+#include "util/error.h"
+
+namespace redopt::core {
+
+namespace {
+
+/// One leaf term of a (possibly nested) aggregate, with its total weight.
+struct WeightedTerm {
+  const CostFunction* cost;
+  double weight;
+};
+
+/// Flattens nested AggregateCost structure into leaf terms.
+void flatten(const CostFunction& cost, double weight, std::vector<WeightedTerm>& out) {
+  if (const auto* agg = dynamic_cast<const AggregateCost*>(&cost)) {
+    for (std::size_t i = 0; i < agg->terms().size(); ++i) {
+      flatten(*agg->terms()[i], weight * agg->weights()[i], out);
+    }
+  } else {
+    out.push_back({&cost, weight});
+  }
+}
+
+/// Orthonormal kernel basis of a symmetric PSD matrix, from its
+/// eigendecomposition, using a relative eigenvalue cutoff.
+Matrix kernel_basis(const linalg::SymmetricEigen& eig, double rel_tol) {
+  const std::size_t d = eig.eigenvalues.size();
+  const double scale = std::max(std::abs(eig.eigenvalues[d - 1]), 1e-300);
+  std::size_t k = 0;
+  while (k < d && std::abs(eig.eigenvalues[k]) <= rel_tol * scale) ++k;
+  Matrix basis(d, k);
+  for (std::size_t c = 0; c < k; ++c)
+    for (std::size_t r = 0; r < d; ++r) basis(r, c) = eig.eigenvectors(r, c);
+  return basis;
+}
+
+/// Solves the stationarity system P x = rhs for symmetric PSD P via
+/// pseudo-inverse, returning the affine argmin set.  Throws if the system is
+/// inconsistent (cost unbounded below).
+MinimizerSet solve_stationarity(const Matrix& p, const Vector& rhs, double rel_tol) {
+  const auto eig = linalg::symmetric_eigen(p);
+  const std::size_t d = rhs.size();
+  const double scale = std::max(std::abs(eig.eigenvalues[d - 1]), 1e-300);
+
+  // x0 = V diag(1/lambda_i on the non-kernel part) V^T rhs
+  Vector coeffs(d);
+  for (std::size_t k = 0; k < d; ++k) {
+    double proj = 0.0;
+    for (std::size_t r = 0; r < d; ++r) proj += eig.eigenvectors(r, k) * rhs[r];
+    if (std::abs(eig.eigenvalues[k]) > rel_tol * scale) {
+      coeffs[k] = proj / eig.eigenvalues[k];
+    } else {
+      // Kernel direction: rhs must have no component here, else no minimum.
+      REDOPT_REQUIRE(std::abs(proj) <= 1e-7 * std::max(1.0, rhs.norm()),
+                     "cost is unbounded below: stationarity system inconsistent "
+                     "(violates Assumption 1)");
+      coeffs[k] = 0.0;
+    }
+  }
+  Vector x0(d);
+  for (std::size_t k = 0; k < d; ++k)
+    for (std::size_t r = 0; r < d; ++r) x0[r] += coeffs[k] * eig.eigenvectors(r, k);
+
+  return MinimizerSet::affine(std::move(x0), kernel_basis(eig, rel_tol));
+}
+
+}  // namespace
+
+Vector numeric_argmin(const CostFunction& cost, const NumericArgminOptions& opt) {
+  const std::size_t d = cost.dimension();
+  Vector x(d);
+  double fx = cost.value(x);
+  double step = opt.initial_step;
+  for (std::size_t it = 0; it < opt.max_iterations; ++it) {
+    const Vector g = cost.gradient(x);
+    const double gnorm = g.norm();
+    if (gnorm < opt.gradient_tolerance) break;
+    // Armijo backtracking along -g.
+    double trial_step = step;
+    bool accepted = false;
+    for (int bt = 0; bt < 60; ++bt) {
+      const Vector x_new = x - g * trial_step;
+      const double f_new = cost.value(x_new);
+      if (f_new <= fx - opt.armijo_c * trial_step * gnorm * gnorm) {
+        x = x_new;
+        fx = f_new;
+        // Gentle step growth so a conservative early step does not persist.
+        step = trial_step * 2.0;
+        accepted = true;
+        break;
+      }
+      trial_step *= opt.backtrack;
+    }
+    if (!accepted) break;  // step underflow: at numerical stationarity
+  }
+  return x;
+}
+
+MinimizerSet argmin_set(const CostFunction& cost, const ArgminOptions& options) {
+  std::vector<WeightedTerm> terms;
+  flatten(cost, 1.0, terms);
+
+  bool all_least_squares = true;
+  bool all_quadratic = true;
+  bool all_absolute = true;
+  for (const auto& t : terms) {
+    if (dynamic_cast<const LeastSquaresCost*>(t.cost) == nullptr) all_least_squares = false;
+    if (dynamic_cast<const QuadraticCost*>(t.cost) == nullptr &&
+        dynamic_cast<const LeastSquaresCost*>(t.cost) == nullptr) {
+      all_quadratic = false;
+    }
+    if (dynamic_cast<const AbsoluteCost*>(t.cost) == nullptr) all_absolute = false;
+    REDOPT_REQUIRE(t.weight >= 0.0, "argmin of an aggregate with negative weights");
+  }
+
+  const std::size_t d = cost.dimension();
+
+  if (all_absolute) {
+    // Weighted L1 aggregate: the argmin is the weighted-median set, a
+    // point or a closed interval (the non-differentiable scalar family).
+    std::vector<double> points;
+    std::vector<double> weights;
+    for (const auto& t : terms) {
+      if (t.weight == 0.0) continue;  // zero-weight terms contribute nothing
+      const auto* abs_cost = static_cast<const AbsoluteCost*>(t.cost);
+      for (std::size_t j = 0; j < abs_cost->points().size(); ++j) {
+        points.push_back(abs_cost->points()[j]);
+        weights.push_back(t.weight * abs_cost->weights()[j]);
+      }
+    }
+    const auto [lo, hi] = weighted_median_interval(points, weights);
+    return MinimizerSet::interval(lo, hi);
+  }
+
+  if (all_least_squares) {
+    // sum_i w_i ||A_i x - b_i||^2  =  ||A' x - b'||^2 with rows scaled by
+    // sqrt(w_i); argmin set is the solution set of the normal equations.
+    std::size_t total_rows = 0;
+    for (const auto& t : terms)
+      total_rows += static_cast<const LeastSquaresCost*>(t.cost)->a().rows();
+    Matrix a(total_rows, d);
+    Vector b(total_rows);
+    std::size_t r = 0;
+    for (const auto& t : terms) {
+      const auto* ls = static_cast<const LeastSquaresCost*>(t.cost);
+      const double s = std::sqrt(t.weight);
+      for (std::size_t i = 0; i < ls->a().rows(); ++i, ++r) {
+        for (std::size_t c = 0; c < d; ++c) a(r, c) = s * ls->a()(i, c);
+        b[r] = s * ls->b()[i];
+      }
+    }
+    // Least squares is always bounded below, so no consistency concern:
+    // P = 2 A^T A, rhs = 2 A^T b, and A^T b is in range(A^T A).
+    const Matrix gram = a.gram();
+    const Vector atb = linalg::matvec_transposed(a, b);
+    return solve_stationarity(gram, atb, options.rank_tolerance);
+  }
+
+  if (all_quadratic) {
+    // Mixed quadratics / least-squares: accumulate P and q with
+    // least-squares terms contributing P = 2 A^T A, q = -2 A^T b.
+    Matrix p(d, d);
+    Vector q(d);
+    for (const auto& t : terms) {
+      if (const auto* quad = dynamic_cast<const QuadraticCost*>(t.cost)) {
+        Matrix pi = quad->p();
+        pi *= t.weight;
+        p += pi;
+        q += quad->q() * t.weight;
+      } else {
+        const auto* ls = static_cast<const LeastSquaresCost*>(t.cost);
+        Matrix pi = ls->a().gram();
+        pi *= 2.0 * t.weight;
+        p += pi;
+        q -= linalg::matvec_transposed(ls->a(), ls->b()) * (2.0 * t.weight);
+      }
+    }
+    REDOPT_REQUIRE(linalg::min_eigenvalue(p) >= -1e-8 * std::max(1.0, p.max_abs()),
+                   "quadratic aggregate is not convex (negative curvature)");
+    return solve_stationarity(p, -q, options.rank_tolerance);
+  }
+
+  // Generic differentiable cost: numeric minimizer, singleton result.
+  return MinimizerSet::singleton(numeric_argmin(cost, options.numeric));
+}
+
+Vector argmin_point(const CostFunction& cost, const ArgminOptions& options) {
+  return argmin_set(cost, options).representative();
+}
+
+}  // namespace redopt::core

@@ -1,0 +1,50 @@
+// Computation of argmin sets of cost functions.
+//
+// Dispatches on the analytic structure of the cost:
+//   * pure least-squares aggregates  -> stack rows, solve normal equations;
+//     the argmin set is affine (point + null space of the stacked matrix);
+//   * pure quadratic aggregates      -> solve P x = -q via eigendecomposition;
+//     the argmin set is affine (point + kernel of P);
+//   * everything else                -> numeric gradient descent with Armijo
+//     backtracking, returning a singleton set.
+//
+// Exactness of the analytic paths is what lets the redundancy checker and
+// the exhaustive exact algorithm match the paper's definitions without
+// numeric slack.
+#pragma once
+
+#include "core/cost_function.h"
+#include "core/minimizer_set.h"
+
+namespace redopt::core {
+
+/// Options for the numeric fallback minimizer.
+struct NumericArgminOptions {
+  std::size_t max_iterations = 50'000;  ///< hard iteration cap
+  double gradient_tolerance = 1e-11;    ///< stop when ||grad|| falls below
+  double initial_step = 1.0;            ///< first Armijo trial step
+  double armijo_c = 1e-4;               ///< sufficient-decrease constant
+  double backtrack = 0.5;               ///< step shrink factor
+};
+
+/// Options for argmin-set computation.
+struct ArgminOptions {
+  double rank_tolerance = 1e-9;   ///< relative eigenvalue cutoff for kernels
+  NumericArgminOptions numeric;   ///< settings for the numeric fallback
+};
+
+/// Computes the argmin set of @p cost.
+///
+/// Throws PreconditionError if the cost is recognisably unbounded below
+/// (a quadratic/least-squares family whose stationarity system is
+/// inconsistent), violating Assumption 1.
+MinimizerSet argmin_set(const CostFunction& cost, const ArgminOptions& options = {});
+
+/// A single minimum point (the representative of argmin_set()).
+Vector argmin_point(const CostFunction& cost, const ArgminOptions& options = {});
+
+/// Numeric minimizer (exposed for tests): gradient descent with Armijo
+/// backtracking started from the origin.
+Vector numeric_argmin(const CostFunction& cost, const NumericArgminOptions& options = {});
+
+}  // namespace redopt::core

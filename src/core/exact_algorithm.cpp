@@ -1,0 +1,186 @@
+#include "core/exact_algorithm.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "core/aggregate_cost.h"
+#include "rng/rng.h"
+#include "util/error.h"
+#include "util/subsets.h"
+
+namespace redopt::core {
+
+ExactAlgorithmResult run_exact_algorithm(const std::vector<CostPtr>& received_costs,
+                                         std::size_t f, const ArgminOptions& options) {
+  const std::size_t n = received_costs.size();
+  REDOPT_REQUIRE(f >= 1, "exact algorithm is trivial for f = 0; use argmin directly");
+  REDOPT_REQUIRE(n > 2 * f, "exact algorithm requires n > 2f");
+  for (const auto& c : received_costs)
+    REDOPT_REQUIRE(c != nullptr, "received cost function is null");
+
+  // The same (n-2f)-subset appears inside many (n-f)-subsets; memoize its
+  // argmin set keyed by the sorted index list.
+  std::map<std::vector<std::size_t>, MinimizerSet> inner_cache;
+  auto inner_set = [&](const std::vector<std::size_t>& subset) -> const MinimizerSet& {
+    auto it = inner_cache.find(subset);
+    if (it == inner_cache.end()) {
+      it = inner_cache
+               .emplace(subset, argmin_set(aggregate_subset(received_costs, subset), options))
+               .first;
+    }
+    return it->second;
+  };
+
+  ExactAlgorithmResult best;
+  double best_score = std::numeric_limits<double>::infinity();
+
+  util::for_each_subset(n, n - f, [&](const std::vector<std::size_t>& t) {
+    const Vector x_t = argmin_point(aggregate_subset(received_costs, t), options);
+
+    // r_T = max over (n-2f)-subsets of T of dist(x_T, argmin of the subset).
+    double r_t = 0.0;
+    util::for_each_subset_of(t, n - 2 * f, [&](const std::vector<std::size_t>& t_hat) {
+      r_t = std::max(r_t, inner_set(t_hat).distance_to(x_t));
+      // Early exit: this T already scores worse than the best seen.
+      return r_t < best_score;
+    });
+
+    if (r_t < best_score) {
+      best_score = r_t;
+      best.output = x_t;
+      best.chosen_set = t;
+      best.chosen_score = r_t;
+    }
+    ++best.subsets_evaluated;
+    return true;
+  });
+
+  REDOPT_ASSERT(!best.chosen_set.empty(), "exact algorithm evaluated no subsets");
+  return best;
+}
+
+ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& received_costs,
+                                                 std::size_t f,
+                                                 const SampledExactOptions& sampling,
+                                                 const ArgminOptions& options) {
+  const std::size_t n = received_costs.size();
+  REDOPT_REQUIRE(f >= 1, "sampled exact algorithm is trivial for f = 0");
+  REDOPT_REQUIRE(n > 2 * f, "sampled exact algorithm requires n > 2f");
+  REDOPT_REQUIRE(sampling.outer_samples >= 1 && sampling.inner_samples >= 1,
+                 "sampling budgets must be positive");
+  for (const auto& c : received_costs)
+    REDOPT_REQUIRE(c != nullptr, "received cost function is null");
+
+  rng::Rng rng(sampling.seed);
+  std::map<std::vector<std::size_t>, MinimizerSet> inner_cache;
+  auto inner_set = [&](const std::vector<std::size_t>& subset) -> const MinimizerSet& {
+    auto it = inner_cache.find(subset);
+    if (it == inner_cache.end()) {
+      it = inner_cache
+               .emplace(subset, argmin_set(aggregate_subset(received_costs, subset), options))
+               .first;
+    }
+    return it->second;
+  };
+
+  // Agent centrality (guided mode): rank agents by the median distance of
+  // their own argmin representative to the other agents'.  Under
+  // redundancy the honest minimizers cluster while adversarial ones sit
+  // apart, so centrality both (a) nominates a strong honest-leaning outer
+  // candidate and (b) nominates, per outer subset, the *revealing* inner
+  // subset — the one that drops the most suspicious 2f members, which is
+  // what exposes a contaminated T's true score (uniform inner sampling
+  // almost never hits it).
+  std::vector<double> centrality;
+  if (sampling.guided) {
+    std::vector<Vector> points;
+    points.reserve(n);
+    for (const auto& cost : received_costs) points.push_back(argmin_point(*cost, options));
+    centrality.resize(n);
+    std::vector<double> distances(n - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t k = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) distances[k++] = linalg::distance(points[i], points[j]);
+      }
+      std::nth_element(distances.begin(),
+                       distances.begin() + static_cast<std::ptrdiff_t>(distances.size() / 2),
+                       distances.end());
+      centrality[i] = distances[distances.size() / 2];  // median distance
+    }
+  }
+
+  // Distinct outer subsets: enumerate exactly when the count fits the
+  // budget, otherwise draw without duplicates.
+  std::vector<std::vector<std::size_t>> outers;
+  if (sampling.guided) {
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return centrality[a] < centrality[b]; });
+    std::vector<std::size_t> central(order.begin(),
+                                     order.begin() + static_cast<std::ptrdiff_t>(n - f));
+    std::sort(central.begin(), central.end());
+    outers.push_back(std::move(central));
+  }
+  if (util::binomial(n, f) <= sampling.outer_samples) {
+    util::for_each_subset(n, n - f, [&](const std::vector<std::size_t>& t) {
+      outers.push_back(t);
+      return true;
+    });
+  } else {
+    std::set<std::vector<std::size_t>> distinct;
+    while (distinct.size() < sampling.outer_samples) {
+      distinct.insert(rng.subset(n, n - f));
+    }
+    outers.insert(outers.end(), distinct.begin(), distinct.end());
+  }
+
+  ExactAlgorithmResult best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (const auto& t : outers) {
+    const Vector x_t = argmin_point(aggregate_subset(received_costs, t), options);
+
+    double r_t = 0.0;
+    if (sampling.guided) {
+      // Revealing inner candidate: drop the 2f least-central members of T.
+      std::vector<std::size_t> by_centrality = t;
+      std::sort(by_centrality.begin(), by_centrality.end(), [&](std::size_t a, std::size_t b) {
+        return centrality[a] < centrality[b];
+      });
+      std::vector<std::size_t> revealing(by_centrality.begin(),
+                                         by_centrality.end() -
+                                             static_cast<std::ptrdiff_t>(2 * f));
+      std::sort(revealing.begin(), revealing.end());
+      r_t = std::max(r_t, inner_set(revealing).distance_to(x_t));
+    }
+    const std::uint64_t inner_count = util::binomial(t.size(), 2 * f);  // C(n-f, n-2f)
+    if (inner_count <= sampling.inner_samples) {
+      util::for_each_subset_of(t, n - 2 * f, [&](const std::vector<std::size_t>& t_hat) {
+        r_t = std::max(r_t, inner_set(t_hat).distance_to(x_t));
+        return r_t < best_score;
+      });
+    } else {
+      for (std::size_t s = 0; s < sampling.inner_samples && r_t < best_score; ++s) {
+        const auto positions = rng.subset(t.size(), n - 2 * f);
+        std::vector<std::size_t> t_hat(positions.size());
+        for (std::size_t i = 0; i < positions.size(); ++i) t_hat[i] = t[positions[i]];
+        r_t = std::max(r_t, inner_set(t_hat).distance_to(x_t));
+      }
+    }
+
+    if (r_t < best_score) {
+      best_score = r_t;
+      best.output = x_t;
+      best.chosen_set = t;
+      best.chosen_score = r_t;
+    }
+    ++best.subsets_evaluated;
+  }
+  REDOPT_ASSERT(!best.chosen_set.empty(), "sampled exact algorithm evaluated no subsets");
+  return best;
+}
+
+}  // namespace redopt::core

@@ -1,0 +1,74 @@
+// The constructive full-information algorithm from the sufficiency proof.
+//
+// Each agent sends its entire cost function to the server (a Byzantine agent
+// sends an arbitrary function).  The server then
+//
+//   Step 2: for every subset T with |T| = n - f, computes a minimum point
+//           x_T of sum_{i in T} Q_i and the score
+//             r_T = max over T-hat subset of T, |T-hat| = n - 2f, of
+//                   dist(x_T, argmin sum_{i in T-hat} Q_i);
+//   Step 3: outputs x_S for the subset S minimizing r_T.
+//
+// Under 2f-redundancy this achieves exact fault-tolerance; under
+// (2f, eps)-redundancy it is (f, 2 eps)-resilient.  The algorithm is
+// exponential in n (it exists to prove sufficiency, not to be practical);
+// bench_exact_perf measures exactly how quickly it becomes infeasible.
+#pragma once
+
+#include <vector>
+
+#include "core/argmin.h"
+#include "core/cost_function.h"
+
+namespace redopt::core {
+
+/// Outcome of the exhaustive algorithm.
+struct ExactAlgorithmResult {
+  Vector output;                        ///< x_S, the algorithm's output point
+  std::vector<std::size_t> chosen_set;  ///< the minimizing subset S (|S| = n - f)
+  double chosen_score = 0.0;            ///< r_S
+  std::size_t subsets_evaluated = 0;    ///< number of (n-f)-subsets scored
+};
+
+/// Runs the algorithm on the n received cost functions with fault budget f.
+/// Requires n > 2f and f >= 1.
+ExactAlgorithmResult run_exact_algorithm(const std::vector<CostPtr>& received_costs,
+                                         std::size_t f, const ArgminOptions& options = {});
+
+/// Sampling budget for the randomized variant below.
+struct SampledExactOptions {
+  std::size_t outer_samples = 64;  ///< (n - f)-subsets T scored
+  std::size_t inner_samples = 64;  ///< (n - 2f)-subsets per T (exact when fewer exist)
+  std::uint64_t seed = 1;          ///< subset-sampling stream
+
+  /// Guided outer sampling: rank agents by the centrality of their own
+  /// argmin representatives (median distance to the other agents') and
+  /// always include the n - f most central agents as one candidate T,
+  /// filling the rest of the budget with random subsets.  Uniform sampling
+  /// provably fails at scale — when exactly f agents are faulty, only ONE
+  /// of the C(n, f) outer subsets is fault-free, and a random (n-f)-subset
+  /// contains ~f(n-f)/n faulty agents in expectation — so guidance is what
+  /// makes the heuristic usable (bench_sampled_exact shows both modes).
+  /// Requires agents' argmin representatives to be meaningful (unique-ish
+  /// minimizers); for flat per-agent costs leave this off.
+  bool guided = false;
+};
+
+/// Monte-Carlo variant of the exhaustive algorithm for n where full subset
+/// enumeration is infeasible: scores a random sample of (n - f)-subsets,
+/// estimating each r_T from a random sample of its (n - 2f)-subsets
+/// (falling back to exact enumeration whenever the count fits the budget).
+///
+/// This is a HEURISTIC: sampled scores are lower bounds of the true r_T,
+/// so the worst-case (f, 2*eps)-guarantee of Theorem 2 no longer holds —
+/// what survives in practice is that under (2f, eps)-redundancy *every*
+/// (n - f)-subset containing only honest agents scores <= eps, so any
+/// sampled honest-leaning subset keeps the output near the honest argmin.
+/// bench_sampled_exact measures accuracy against the exhaustive algorithm
+/// where both can run, and scalability where only sampling can.
+ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& received_costs,
+                                                 std::size_t f,
+                                                 const SampledExactOptions& sampling = {},
+                                                 const ArgminOptions& options = {});
+
+}  // namespace redopt::core

@@ -1,0 +1,106 @@
+#include "core/logistic_cost.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace redopt::core {
+
+namespace {
+
+/// log(1 + exp(z)) computed without overflow for large |z|.
+double log1pexp(double z) {
+  if (z > 30.0) return z;
+  if (z < -30.0) return std::exp(z);
+  return std::log1p(std::exp(z));
+}
+
+/// Logistic sigmoid 1 / (1 + exp(-z)).
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LogisticCost::LogisticCost(Matrix features, Vector labels, double reg)
+    : features_(std::move(features)), labels_(std::move(labels)), reg_(reg) {
+  REDOPT_REQUIRE(features_.rows() >= 1, "logistic cost needs at least one example");
+  REDOPT_REQUIRE(features_.rows() == labels_.size(), "feature/label count mismatch");
+  REDOPT_REQUIRE(reg_ >= 0.0, "regularization must be non-negative");
+  for (double y : labels_)
+    REDOPT_REQUIRE(y == 1.0 || y == -1.0, "labels must be -1 or +1");
+}
+
+double LogisticCost::value(const Vector& w) const {
+  REDOPT_REQUIRE(w.size() == dimension(), "logistic value dimension mismatch");
+  const std::size_t m = features_.rows();
+  double acc = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    double margin = 0.0;
+    for (std::size_t k = 0; k < dimension(); ++k) margin += features_(j, k) * w[k];
+    acc += log1pexp(-labels_[j] * margin);
+  }
+  return acc / static_cast<double>(m) + 0.5 * reg_ * w.norm_squared();
+}
+
+Vector LogisticCost::gradient(const Vector& w) const {
+  REDOPT_REQUIRE(w.size() == dimension(), "logistic gradient dimension mismatch");
+  const std::size_t m = features_.rows();
+  Vector g(dimension());
+  for (std::size_t j = 0; j < m; ++j) {
+    double margin = 0.0;
+    for (std::size_t k = 0; k < dimension(); ++k) margin += features_(j, k) * w[k];
+    // d/dw log(1+exp(-y m)) = -y sigmoid(-y m) x
+    const double coeff = -labels_[j] * sigmoid(-labels_[j] * margin);
+    for (std::size_t k = 0; k < dimension(); ++k) g[k] += coeff * features_(j, k);
+  }
+  g /= static_cast<double>(m);
+  g += w * reg_;
+  return g;
+}
+
+std::optional<Matrix> LogisticCost::hessian(const Vector& w) const {
+  REDOPT_REQUIRE(w.size() == dimension(), "logistic hessian dimension mismatch");
+  const std::size_t m = features_.rows();
+  const std::size_t d = dimension();
+  Matrix h(d, d);
+  for (std::size_t j = 0; j < m; ++j) {
+    double margin = 0.0;
+    for (std::size_t k = 0; k < d; ++k) margin += features_(j, k) * w[k];
+    const double s = sigmoid(margin);
+    const double coeff = s * (1.0 - s) / static_cast<double>(m);
+    for (std::size_t p = 0; p < d; ++p)
+      for (std::size_t q = 0; q < d; ++q) h(p, q) += coeff * features_(j, p) * features_(j, q);
+  }
+  for (std::size_t p = 0; p < d; ++p) h(p, p) += reg_;
+  return h;
+}
+
+std::unique_ptr<CostFunction> LogisticCost::clone() const {
+  return std::make_unique<LogisticCost>(*this);
+}
+
+std::string LogisticCost::describe() const {
+  return "logistic(m=" + std::to_string(features_.rows()) +
+         ", d=" + std::to_string(dimension()) + ", reg=" + std::to_string(reg_) + ")";
+}
+
+double LogisticCost::accuracy(const Matrix& features, const Vector& labels, const Vector& w) {
+  REDOPT_REQUIRE(features.rows() == labels.size(), "accuracy feature/label count mismatch");
+  REDOPT_REQUIRE(features.cols() == w.size(), "accuracy dimension mismatch");
+  if (features.rows() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t j = 0; j < features.rows(); ++j) {
+    double margin = 0.0;
+    for (std::size_t k = 0; k < w.size(); ++k) margin += features(j, k) * w[k];
+    if (margin * labels[j] > 0.0) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(features.rows());
+}
+
+}  // namespace redopt::core

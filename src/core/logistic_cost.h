@@ -1,0 +1,42 @@
+// Regularized logistic-regression cost over a local dataset.
+//
+// Used by the distributed-learning experiments (the paper's learning
+// evaluation is substituted with synthetic classification; see DESIGN.md).
+// Q(w) = (1/m) sum_j log(1 + exp(-y_j <x_j, w>)) + (reg/2) ||w||^2,
+// with labels y_j in {-1, +1}.  The regularizer makes honest aggregates
+// strongly convex (Assumption 3 of the DGD theorems).
+#pragma once
+
+#include "core/cost_function.h"
+
+namespace redopt::core {
+
+class LogisticCost final : public CostFunction {
+ public:
+  /// @p features: m x d data matrix (row j = example j).
+  /// @p labels:   m entries, each -1 or +1.
+  /// @p reg:      L2 regularization strength, >= 0.
+  LogisticCost(Matrix features, Vector labels, double reg = 0.0);
+
+  std::size_t dimension() const override { return features_.cols(); }
+  double value(const Vector& w) const override;
+  Vector gradient(const Vector& w) const override;
+  std::optional<Matrix> hessian(const Vector& w) const override;
+  std::unique_ptr<CostFunction> clone() const override;
+  std::string describe() const override;
+
+  const Matrix& features() const { return features_; }
+  const Vector& labels() const { return labels_; }
+  double regularization() const { return reg_; }
+
+  /// Fraction of examples in (@p features, @p labels) classified correctly
+  /// by sign(<x, w>).  Ties (zero margin) count as errors.
+  static double accuracy(const Matrix& features, const Vector& labels, const Vector& w);
+
+ private:
+  Matrix features_;
+  Vector labels_;
+  double reg_;
+};
+
+}  // namespace redopt::core

@@ -1,0 +1,126 @@
+#include "core/minimizer_set.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace redopt::core {
+
+MinimizerSet MinimizerSet::singleton(Vector x) {
+  const std::size_t d = x.size();
+  return MinimizerSet(Kind::kAffine, std::move(x), Matrix(d, 0), 0.0, 0.0);
+}
+
+MinimizerSet MinimizerSet::affine(Vector x0, Matrix basis) {
+  REDOPT_REQUIRE(basis.cols() == 0 || basis.rows() == x0.size(),
+                 "affine basis row count must match the point dimension");
+  // Verify orthonormality of the basis columns.
+  for (std::size_t i = 0; i < basis.cols(); ++i) {
+    for (std::size_t j = i; j < basis.cols(); ++j) {
+      double dotij = 0.0;
+      for (std::size_t r = 0; r < basis.rows(); ++r) dotij += basis(r, i) * basis(r, j);
+      const double expected = (i == j) ? 1.0 : 0.0;
+      REDOPT_REQUIRE(std::abs(dotij - expected) <= 1e-8,
+                     "affine basis columns must be orthonormal");
+    }
+  }
+  return MinimizerSet(Kind::kAffine, std::move(x0), std::move(basis), 0.0, 0.0);
+}
+
+MinimizerSet MinimizerSet::interval(double lo, double hi) {
+  REDOPT_REQUIRE(lo <= hi, "interval requires lo <= hi");
+  return MinimizerSet(Kind::kInterval, Vector{0.5 * (lo + hi)}, Matrix(1, 0), lo, hi);
+}
+
+bool MinimizerSet::is_singleton() const {
+  if (kind_ == Kind::kInterval) return lo_ == hi_;
+  return basis_.cols() == 0;
+}
+
+double MinimizerSet::interval_lo() const {
+  REDOPT_REQUIRE(kind_ == Kind::kInterval, "not an interval set");
+  return lo_;
+}
+
+double MinimizerSet::interval_hi() const {
+  REDOPT_REQUIRE(kind_ == Kind::kInterval, "not an interval set");
+  return hi_;
+}
+
+std::size_t MinimizerSet::affine_dimension() const {
+  return kind_ == Kind::kAffine ? basis_.cols() : 0;
+}
+
+Vector MinimizerSet::project(const Vector& x) const {
+  REDOPT_REQUIRE(x.size() == dimension(), "projection dimension mismatch");
+  if (kind_ == Kind::kInterval) {
+    return Vector{std::clamp(x[0], lo_, hi_)};
+  }
+  Vector p = point_;
+  const Vector delta = x - point_;
+  for (std::size_t k = 0; k < basis_.cols(); ++k) {
+    double coeff = 0.0;
+    for (std::size_t r = 0; r < basis_.rows(); ++r) coeff += basis_(r, k) * delta[r];
+    for (std::size_t r = 0; r < basis_.rows(); ++r) p[r] += coeff * basis_(r, k);
+  }
+  return p;
+}
+
+double MinimizerSet::distance_to(const Vector& x) const {
+  return linalg::distance(x, project(x));
+}
+
+namespace {
+
+/// True if every column of @p b lies in colspan(@p a) (a's columns orthonormal).
+bool subspace_contains(const Matrix& a, const Matrix& b, double tol) {
+  for (std::size_t k = 0; k < b.cols(); ++k) {
+    // Residual of b_k after projecting onto colspan(a).
+    Vector col = b.col(k);
+    Vector residual = col;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      double coeff = 0.0;
+      for (std::size_t r = 0; r < a.rows(); ++r) coeff += a(r, j) * col[r];
+      for (std::size_t r = 0; r < a.rows(); ++r) residual[r] -= coeff * a(r, j);
+    }
+    if (residual.norm() > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double hausdorff_distance(const MinimizerSet& x, const MinimizerSet& y, double tol) {
+  REDOPT_REQUIRE(x.dimension() == y.dimension(), "hausdorff dimension mismatch");
+
+  // Interval cases (1-D).  A degenerate interval behaves like a singleton.
+  if (x.is_interval() || y.is_interval()) {
+    auto bounds = [](const MinimizerSet& s) {
+      if (s.is_interval()) return std::pair<double, double>{s.interval_lo(), s.interval_hi()};
+      return std::pair<double, double>{s.representative()[0], s.representative()[0]};
+    };
+    // Against an affine set of positive dimension (a full line in 1-D),
+    // the sup over the line diverges.
+    if ((x.is_interval() ? y.affine_dimension() : x.affine_dimension()) > 0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const auto [xlo, xhi] = bounds(x);
+    const auto [ylo, yhi] = bounds(y);
+    return std::max(std::abs(xlo - ylo), std::abs(xhi - yhi));
+  }
+
+  // Finite Hausdorff distance between affine sets requires identical
+  // direction spaces: otherwise the sup over the richer set diverges.
+  const bool same_space = x.affine_dimension() == y.affine_dimension() &&
+                          subspace_contains(x.basis(), y.basis(), tol) &&
+                          subspace_contains(y.basis(), x.basis(), tol);
+  if (!same_space) return std::numeric_limits<double>::infinity();
+  // With equal direction spaces, the Hausdorff distance is the distance from
+  // any point of one set to the other set (translation along the common
+  // direction space is free).
+  return y.distance_to(x.representative());
+}
+
+}  // namespace redopt::core

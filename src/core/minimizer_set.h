@@ -1,0 +1,94 @@
+// Representation of argmin sets and distances between them.
+//
+// The redundancy definitions compare *sets* of minimum points: dist(x, X)
+// for a point against a set, and the Hausdorff distance dist(X, Y) between
+// two sets (Definition 3 / eq. (4) of the paper family).  The cost
+// families in this library produce argmin sets of three shapes:
+//
+//   * a single point            (strongly convex costs, numeric argmin);
+//   * an affine set x0 + span(B) (rank-deficient quadratic/least-squares
+//     aggregates);
+//   * a closed interval [lo, hi] in R^1 (weighted-median sets of the
+//     non-differentiable absolute/L1 costs — the paper's Part-1 results
+//     cover non-differentiable costs, and this is their canonical scalar
+//     instance).
+//
+// MinimizerSet models exactly these shapes.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace redopt::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// An argmin set: affine (point + orthonormal direction basis, possibly
+/// zero-dimensional) or a 1-D closed interval.
+class MinimizerSet {
+ public:
+  /// Single-point set {x}.
+  static MinimizerSet singleton(Vector x);
+
+  /// Affine set x0 + colspan(basis).  Basis columns must be orthonormal to
+  /// 1e-8 tolerance; a 0-column basis yields a singleton.
+  static MinimizerSet affine(Vector x0, Matrix basis);
+
+  /// Closed interval [lo, hi] in R^1 (requires lo <= hi).  A degenerate
+  /// interval (lo == hi) is a singleton.
+  static MinimizerSet interval(double lo, double hi);
+
+  std::size_t dimension() const { return point_.size(); }
+
+  /// True if the set is one point.
+  bool is_singleton() const;
+
+  /// True if the set is a (possibly degenerate) 1-D interval.
+  bool is_interval() const { return kind_ == Kind::kInterval; }
+
+  /// Interval bounds; only valid when is_interval().
+  double interval_lo() const;
+  double interval_hi() const;
+
+  /// Dimension of the direction space (0 for singletons and intervals;
+  /// intervals are bounded, so translation along them is not free).
+  std::size_t affine_dimension() const;
+
+  /// Some point in the set (affine: the anchor; interval: the midpoint).
+  const Vector& representative() const { return point_; }
+
+  /// Orthonormal basis of the direction space (d x k; empty for intervals).
+  const Matrix& basis() const { return basis_; }
+
+  /// Orthogonal projection of @p x onto the set.
+  Vector project(const Vector& x) const;
+
+  /// dist(x, X) = inf_{y in X} ||x - y||   (eq. (3)).
+  double distance_to(const Vector& x) const;
+
+ private:
+  enum class Kind { kAffine, kInterval };
+
+  MinimizerSet(Kind kind, Vector point, Matrix basis, double lo, double hi)
+      : kind_(kind), point_(std::move(point)), basis_(std::move(basis)), lo_(lo), hi_(hi) {}
+
+  Kind kind_ = Kind::kAffine;
+  Vector point_;   // a point in the set (interval: the midpoint)
+  Matrix basis_;   // d x k orthonormal direction basis (affine only)
+  double lo_ = 0.0, hi_ = 0.0;  // interval bounds (interval only)
+
+  friend double hausdorff_distance(const MinimizerSet& x, const MinimizerSet& y, double tol);
+};
+
+/// Euclidean Hausdorff distance between two argmin sets (eq. (4)).
+///
+/// Finite iff the sets have matching "unbounded directions": two affine
+/// sets need identical direction spaces; an interval against an affine set
+/// of positive dimension (or vice versa) diverges; interval-vs-interval
+/// and anything-vs-singleton are always finite.
+double hausdorff_distance(const MinimizerSet& x, const MinimizerSet& y, double tol = 1e-8);
+
+}  // namespace redopt::core

@@ -1,0 +1,82 @@
+#include "core/problem.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "linalg/decompose.h"
+#include "util/error.h"
+#include "util/subsets.h"
+
+namespace redopt::core {
+
+std::size_t MultiAgentProblem::dimension() const {
+  REDOPT_REQUIRE(!costs.empty(), "problem has no agents");
+  return costs.front()->dimension();
+}
+
+void MultiAgentProblem::validate() const {
+  REDOPT_REQUIRE(!costs.empty(), "problem has no agents");
+  const std::size_t d = costs.front()->dimension();
+  for (const auto& c : costs) {
+    REDOPT_REQUIRE(c != nullptr, "agent cost is null");
+    REDOPT_REQUIRE(c->dimension() == d, "agents disagree on problem dimension");
+  }
+  REDOPT_REQUIRE(costs.size() > 2 * f, "need n > 2f agents for fault-tolerance machinery");
+}
+
+std::vector<std::size_t> MultiAgentProblem::all_agents() const {
+  std::vector<std::size_t> ids(costs.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  return ids;
+}
+
+double lipschitz_constant(const MultiAgentProblem& problem,
+                          const std::vector<std::size_t>& agents, const Vector& reference) {
+  REDOPT_REQUIRE(!agents.empty(), "lipschitz_constant over empty agent set");
+  double mu = 0.0;
+  for (std::size_t id : agents) {
+    REDOPT_REQUIRE(id < problem.num_agents(), "agent id out of range");
+    auto h = problem.costs[id]->hessian(reference);
+    REDOPT_REQUIRE(h.has_value(), "agent cost exposes no Hessian; cannot compute mu");
+    mu = std::max(mu, linalg::max_eigenvalue(*h));
+  }
+  return mu;
+}
+
+double strong_convexity_constant(const MultiAgentProblem& problem,
+                                 const std::vector<std::size_t>& honest_agents,
+                                 const Vector& reference) {
+  const std::size_t n = problem.num_agents();
+  const std::size_t f = problem.f;
+  REDOPT_REQUIRE(honest_agents.size() >= n - f,
+                 "need at least n-f honest agents for Assumption 3");
+
+  // Cache per-agent Hessians once.
+  std::vector<Matrix> hessians;
+  hessians.reserve(honest_agents.size());
+  for (std::size_t id : honest_agents) {
+    REDOPT_REQUIRE(id < n, "agent id out of range");
+    auto h = problem.costs[id]->hessian(reference);
+    REDOPT_REQUIRE(h.has_value(), "agent cost exposes no Hessian; cannot compute gamma");
+    hessians.push_back(std::move(*h));
+  }
+
+  double gamma = std::numeric_limits<double>::infinity();
+  util::for_each_subset(honest_agents.size(), n - f,
+                        [&](const std::vector<std::size_t>& positions) {
+                          Matrix avg(problem.dimension(), problem.dimension());
+                          for (std::size_t p : positions) avg += hessians[p];
+                          avg *= 1.0 / static_cast<double>(positions.size());
+                          gamma = std::min(gamma, linalg::min_eigenvalue(avg));
+                          return true;
+                        });
+  return gamma;
+}
+
+double cge_alpha(std::size_t n, std::size_t f, double mu, double gamma) {
+  REDOPT_REQUIRE(n > 0, "cge_alpha requires n > 0");
+  REDOPT_REQUIRE(gamma > 0.0, "cge_alpha requires gamma > 0");
+  return 1.0 - (static_cast<double>(f) / static_cast<double>(n)) * (1.0 + 2.0 * mu / gamma);
+}
+
+}  // namespace redopt::core

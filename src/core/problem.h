@@ -1,0 +1,58 @@
+// The multi-agent optimization problem: one cost per agent plus the
+// Byzantine-fault parameters, and the smoothness/convexity constants
+// (Assumptions 2 and 3) that the fault-tolerance theorems are stated in.
+#pragma once
+
+#include <vector>
+
+#include "core/aggregate_cost.h"
+#include "core/argmin.h"
+#include "core/cost_function.h"
+
+namespace redopt::core {
+
+/// A system of n agents, agent i holding costs[i], of which up to f may be
+/// Byzantine faulty.  The struct carries only the fault *budget* f; which
+/// agents actually misbehave in an execution is chosen by the caller.
+struct MultiAgentProblem {
+  std::vector<CostPtr> costs;  ///< one cost per agent; index == agent id
+  std::size_t f = 0;           ///< maximum number of Byzantine agents
+
+  std::size_t num_agents() const { return costs.size(); }
+
+  /// Decision-variable dimension d (agents must agree; validated by validate()).
+  std::size_t dimension() const;
+
+  /// Checks the structural invariants: non-empty, equal dimensions,
+  /// n > 2f (Lemma: no resilience is possible for f >= n/2, and the
+  /// machinery additionally needs non-empty (n-2f)-subsets).
+  void validate() const;
+
+  /// All agent ids 0..n-1.
+  std::vector<std::size_t> all_agents() const;
+
+  /// Plain-sum aggregate over a subset of agents.
+  AggregateCost aggregate(const std::vector<std::size_t>& subset) const {
+    return aggregate_subset(costs, subset);
+  }
+};
+
+/// Per-agent Lipschitz-smoothness constant mu (Assumption 2): the largest
+/// Hessian eigenvalue over the given agents.  Uses the Hessian at
+/// @p reference; exact for quadratic families (constant Hessian).
+/// Throws PreconditionError if some agent exposes no Hessian.
+double lipschitz_constant(const MultiAgentProblem& problem,
+                          const std::vector<std::size_t>& agents, const Vector& reference);
+
+/// Strong-convexity constant gamma (Assumption 3): the smallest eigenvalue
+/// of the *average* Hessian over every (n-f)-subset of @p honest_agents.
+/// Throws PreconditionError if some agent exposes no Hessian.
+double strong_convexity_constant(const MultiAgentProblem& problem,
+                                 const std::vector<std::size_t>& honest_agents,
+                                 const Vector& reference);
+
+/// The CGE resilience margin  alpha = 1 - (f/n)(1 + 2 mu / gamma)
+/// from Theorem 4; DGD+CGE is guaranteed to converge only when alpha > 0.
+double cge_alpha(std::size_t n, std::size_t f, double mu, double gamma);
+
+}  // namespace redopt::core

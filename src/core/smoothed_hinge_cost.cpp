@@ -1,0 +1,72 @@
+#include "core/smoothed_hinge_cost.h"
+
+#include "util/error.h"
+
+namespace redopt::core {
+
+SmoothedHingeCost::SmoothedHingeCost(Matrix features, Vector labels, double reg, double smoothing)
+    : features_(std::move(features)), labels_(std::move(labels)), reg_(reg), h_(smoothing) {
+  REDOPT_REQUIRE(features_.rows() >= 1, "hinge cost needs at least one example");
+  REDOPT_REQUIRE(features_.rows() == labels_.size(), "feature/label count mismatch");
+  REDOPT_REQUIRE(reg_ >= 0.0, "regularization must be non-negative");
+  REDOPT_REQUIRE(h_ > 0.0 && h_ <= 1.0, "smoothing must lie in (0, 1]");
+  for (double y : labels_)
+    REDOPT_REQUIRE(y == 1.0 || y == -1.0, "labels must be -1 or +1");
+}
+
+double SmoothedHingeCost::value(const Vector& w) const {
+  REDOPT_REQUIRE(w.size() == dimension(), "hinge value dimension mismatch");
+  const std::size_t m = features_.rows();
+  double acc = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    double margin = 0.0;
+    for (std::size_t k = 0; k < dimension(); ++k) margin += features_(j, k) * w[k];
+    const double z = labels_[j] * margin;
+    if (z >= 1.0) {
+      // zero loss
+    } else if (z > 1.0 - h_) {
+      const double u = 1.0 - z;
+      acc += u * u / (2.0 * h_);
+    } else {
+      acc += 1.0 - z - h_ / 2.0;
+    }
+  }
+  return acc / static_cast<double>(m) + 0.5 * reg_ * w.norm_squared();
+}
+
+Vector SmoothedHingeCost::gradient(const Vector& w) const {
+  REDOPT_REQUIRE(w.size() == dimension(), "hinge gradient dimension mismatch");
+  const std::size_t m = features_.rows();
+  Vector g(dimension());
+  for (std::size_t j = 0; j < m; ++j) {
+    double margin = 0.0;
+    for (std::size_t k = 0; k < dimension(); ++k) margin += features_(j, k) * w[k];
+    const double z = labels_[j] * margin;
+    double dloss_dz;
+    if (z >= 1.0) {
+      dloss_dz = 0.0;
+    } else if (z > 1.0 - h_) {
+      dloss_dz = -(1.0 - z) / h_;
+    } else {
+      dloss_dz = -1.0;
+    }
+    if (dloss_dz != 0.0) {
+      const double coeff = dloss_dz * labels_[j];
+      for (std::size_t k = 0; k < dimension(); ++k) g[k] += coeff * features_(j, k);
+    }
+  }
+  g /= static_cast<double>(m);
+  g += w * reg_;
+  return g;
+}
+
+std::unique_ptr<CostFunction> SmoothedHingeCost::clone() const {
+  return std::make_unique<SmoothedHingeCost>(*this);
+}
+
+std::string SmoothedHingeCost::describe() const {
+  return "smoothed_hinge(m=" + std::to_string(features_.rows()) +
+         ", d=" + std::to_string(dimension()) + ", h=" + std::to_string(h_) + ")";
+}
+
+}  // namespace redopt::core

@@ -1,0 +1,42 @@
+// Smoothed-hinge (quadratically smoothed SVM) cost over a local dataset.
+//
+// The paper's distributed-learning experiment trains a support-vector
+// machine with gradient descent; the plain hinge is non-differentiable, so
+// (as is standard) we use the quadratic smoothing with parameter h:
+//
+//   loss(z) = 0                     if z >= 1
+//           = (1 - z)^2 / (2h)      if 1 - h < z < 1
+//           = 1 - z - h/2           if z <= 1 - h
+//
+// where z = y <x, w>.  Q(w) = (1/m) sum_j loss(z_j) + (reg/2) ||w||^2.
+// The gradient of this loss is Lipschitz with constant 1/h, so Assumption 2
+// of the DGD theorems holds.
+#pragma once
+
+#include "core/cost_function.h"
+
+namespace redopt::core {
+
+class SmoothedHingeCost final : public CostFunction {
+ public:
+  /// @p features: m x d data matrix; @p labels: m entries in {-1, +1};
+  /// @p reg >= 0; @p smoothing h in (0, 1].
+  SmoothedHingeCost(Matrix features, Vector labels, double reg = 0.0, double smoothing = 0.5);
+
+  std::size_t dimension() const override { return features_.cols(); }
+  double value(const Vector& w) const override;
+  Vector gradient(const Vector& w) const override;
+  std::unique_ptr<CostFunction> clone() const override;
+  std::string describe() const override;
+
+  double regularization() const { return reg_; }
+  double smoothing() const { return h_; }
+
+ private:
+  Matrix features_;
+  Vector labels_;
+  double reg_;
+  double h_;
+};
+
+}  // namespace redopt::core

@@ -1,0 +1,72 @@
+#include "data/classification.h"
+
+#include "core/logistic_cost.h"
+#include "core/smoothed_hinge_cost.h"
+#include "util/error.h"
+
+namespace redopt::data {
+
+namespace {
+
+/// Draws @p count labelled samples around the two class means.
+void draw_samples(Matrix& features, Vector& labels, const Vector& pos_mean,
+                  const Vector& neg_mean, rng::Rng& rng) {
+  const std::size_t count = features.rows();
+  const std::size_t d = features.cols();
+  for (std::size_t j = 0; j < count; ++j) {
+    const bool positive = rng.uniform() < 0.5;
+    const Vector& mean = positive ? pos_mean : neg_mean;
+    labels[j] = positive ? 1.0 : -1.0;
+    for (std::size_t k = 0; k < d; ++k) features(j, k) = mean[k] + rng.gaussian();
+  }
+}
+
+}  // namespace
+
+ClassificationInstance make_classification(const ClassificationConfig& cfg, rng::Rng& rng) {
+  REDOPT_REQUIRE(cfg.n > 2 * cfg.f, "classification config requires n > 2f");
+  REDOPT_REQUIRE(cfg.d >= 1 && cfg.samples_per_agent >= 1, "empty classification config");
+  REDOPT_REQUIRE(cfg.loss == "logistic" || cfg.loss == "hinge",
+                 "loss must be 'logistic' or 'hinge'");
+  REDOPT_REQUIRE(cfg.separation > 0.0, "class separation must be positive");
+  REDOPT_REQUIRE(cfg.heterogeneity >= 0.0, "heterogeneity must be non-negative");
+
+  ClassificationInstance inst;
+  inst.class_direction = Vector(rng.unit_sphere(cfg.d));
+  const Vector global_pos = inst.class_direction * cfg.separation;
+  const Vector global_neg = inst.class_direction * (-cfg.separation);
+
+  inst.problem.f = cfg.f;
+  inst.problem.costs.reserve(cfg.n);
+  for (std::size_t i = 0; i < cfg.n; ++i) {
+    // Agent-specific offset models non-identical data distributions.
+    Vector offset(cfg.d);
+    if (cfg.heterogeneity > 0.0) {
+      for (auto& c : offset) c = rng.gaussian(0.0, cfg.heterogeneity);
+    }
+    Matrix features(cfg.samples_per_agent, cfg.d);
+    Vector labels(cfg.samples_per_agent);
+    draw_samples(features, labels, global_pos + offset, global_neg + offset, rng);
+
+    if (cfg.loss == "logistic") {
+      inst.problem.costs.push_back(std::make_shared<core::LogisticCost>(
+          std::move(features), std::move(labels), cfg.regularization));
+    } else {
+      inst.problem.costs.push_back(std::make_shared<core::SmoothedHingeCost>(
+          std::move(features), std::move(labels), cfg.regularization, cfg.hinge_smoothing));
+    }
+  }
+  inst.problem.validate();
+
+  // Held-out test data from the *global* (offset-free) distribution.
+  inst.test_features = Matrix(cfg.test_samples, cfg.d);
+  inst.test_labels = Vector(cfg.test_samples);
+  draw_samples(inst.test_features, inst.test_labels, global_pos, global_neg, rng);
+  return inst;
+}
+
+double test_accuracy(const ClassificationInstance& instance, const Vector& w) {
+  return core::LogisticCost::accuracy(instance.test_features, instance.test_labels, w);
+}
+
+}  // namespace redopt::data

@@ -1,0 +1,52 @@
+// Synthetic distributed-learning data (substitution for the paper's
+// MNIST/SVM experiment — see DESIGN.md).
+//
+// Two-class Gaussian mixture: class y in {-1, +1} has mean y * separation *
+// direction.  Each agent draws its own local dataset; a heterogeneity
+// parameter shifts each agent's class means by an agent-specific random
+// offset, playing the role of inter-agent data correlation (the paper's
+// discussion: the more similar the agents' data distributions, the closer
+// the instance is to 2f-redundancy and the better the achievable
+// fault-tolerance).
+#pragma once
+
+#include <string>
+
+#include "core/problem.h"
+#include "linalg/matrix.h"
+#include "rng/rng.h"
+
+namespace redopt::data {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Parameters of the synthetic learning task.
+struct ClassificationConfig {
+  std::size_t n = 10;              ///< number of agents
+  std::size_t f = 2;               ///< fault budget
+  std::size_t d = 10;              ///< feature dimension
+  std::size_t samples_per_agent = 50;
+  std::size_t test_samples = 1000;
+  double separation = 2.0;         ///< distance of each class mean from origin
+  double heterogeneity = 0.0;      ///< stddev of per-agent mean offsets
+  double regularization = 0.01;    ///< L2 term (makes aggregates strongly convex)
+  std::string loss = "logistic";   ///< "logistic" or "hinge"
+  double hinge_smoothing = 0.5;
+};
+
+/// A generated learning instance.
+struct ClassificationInstance {
+  core::MultiAgentProblem problem;  ///< agent i holds its local empirical risk
+  Matrix test_features;             ///< held-out test set
+  Vector test_labels;
+  Vector class_direction;           ///< unit vector along which classes separate
+};
+
+/// Draws the instance.  All randomness flows through @p rng.
+ClassificationInstance make_classification(const ClassificationConfig& config, rng::Rng& rng);
+
+/// Test accuracy of the linear classifier sign(<x, w>).
+double test_accuracy(const ClassificationInstance& instance, const Vector& w);
+
+}  // namespace redopt::data

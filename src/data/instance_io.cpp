@@ -1,0 +1,109 @@
+#include "data/instance_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "core/least_squares_cost.h"
+#include "util/error.h"
+
+namespace redopt::data {
+
+std::string regression_to_string(const RegressionInstance& instance) {
+  const std::size_t n = instance.a.rows();
+  const std::size_t d = instance.a.cols();
+  REDOPT_REQUIRE(instance.b.size() == n, "instance observations inconsistent with matrix");
+  REDOPT_REQUIRE(instance.x_star.size() == d, "instance x_star inconsistent with matrix");
+
+  std::ostringstream out;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << "redopt-regression v1\n";
+  out << "n " << n << " d " << d << " f " << instance.problem.f << "\n";
+  out << "x_star";
+  for (std::size_t k = 0; k < d; ++k) out << ' ' << instance.x_star[k];
+  out << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    out << "row";
+    for (std::size_t k = 0; k < d; ++k) out << ' ' << instance.a(i, k);
+    out << " obs " << instance.b[i] << "\n";
+  }
+  return out.str();
+}
+
+void save_regression(const RegressionInstance& instance, const std::string& path) {
+  std::ofstream out(path);
+  REDOPT_REQUIRE(out.good(), "cannot write instance file: " + path);
+  out << regression_to_string(instance);
+  REDOPT_REQUIRE(out.good(), "write failed for instance file: " + path);
+}
+
+RegressionInstance regression_from_string(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+
+  REDOPT_REQUIRE(std::getline(in, line) && line == "redopt-regression v1",
+                 "bad instance header (expected 'redopt-regression v1')");
+
+  std::string token;
+  std::size_t n = 0, d = 0, f = 0;
+  {
+    REDOPT_REQUIRE(static_cast<bool>(std::getline(in, line)), "missing dimensions line");
+    std::istringstream fields(line);
+    std::string kn, kd, kf;
+    REDOPT_REQUIRE(static_cast<bool>(fields >> kn >> n >> kd >> d >> kf >> f) &&
+                       kn == "n" && kd == "d" && kf == "f",
+                   "malformed dimensions line: " + line);
+    REDOPT_REQUIRE(n >= 1 && d >= 1, "instance must have n >= 1, d >= 1");
+  }
+
+  RegressionInstance instance;
+  instance.problem.f = f;
+  instance.x_star = linalg::Vector(d);
+  {
+    REDOPT_REQUIRE(static_cast<bool>(std::getline(in, line)), "missing x_star line");
+    std::istringstream fields(line);
+    REDOPT_REQUIRE(static_cast<bool>(fields >> token) && token == "x_star",
+                   "malformed x_star line: " + line);
+    for (std::size_t k = 0; k < d; ++k) {
+      REDOPT_REQUIRE(static_cast<bool>(fields >> instance.x_star[k]),
+                     "x_star line has too few values");
+    }
+  }
+
+  instance.a = linalg::Matrix(n, d);
+  instance.b = linalg::Vector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    REDOPT_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                   "missing row line " + std::to_string(i));
+    std::istringstream fields(line);
+    REDOPT_REQUIRE(static_cast<bool>(fields >> token) && token == "row",
+                   "malformed row line: " + line);
+    for (std::size_t k = 0; k < d; ++k) {
+      REDOPT_REQUIRE(static_cast<bool>(fields >> instance.a(i, k)),
+                     "row line has too few values: " + line);
+    }
+    REDOPT_REQUIRE(static_cast<bool>(fields >> token) && token == "obs",
+                   "row line missing 'obs': " + line);
+    REDOPT_REQUIRE(static_cast<bool>(fields >> instance.b[i]),
+                   "row line missing observation: " + line);
+  }
+
+  instance.problem.costs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    instance.problem.costs.push_back(std::make_shared<core::LeastSquaresCost>(
+        core::LeastSquaresCost::single(instance.a.row(i), instance.b[i])));
+  }
+  instance.problem.validate();
+  return instance;
+}
+
+RegressionInstance load_regression(const std::string& path) {
+  std::ifstream in(path);
+  REDOPT_REQUIRE(in.good(), "cannot read instance file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return regression_from_string(buffer.str());
+}
+
+}  // namespace redopt::data

@@ -1,0 +1,37 @@
+// Serialization of regression instances to a plain-text format.
+//
+// Experiments should be reproducible from artifacts, not only from seeds:
+// save_regression() writes the observation matrix, observations, ground
+// truth and fault budget to a human-readable file; load_regression()
+// reconstructs the identical MultiAgentProblem (bit-exact round-trip,
+// checked by the tests).  The format is line-oriented:
+//
+//   redopt-regression v1
+//   n <rows> d <cols> f <budget>
+//   x_star <d values>
+//   row <d values> obs <value>     (n lines)
+//
+// All numbers are printed with max_digits10 so the round-trip is exact.
+#pragma once
+
+#include <string>
+
+#include "data/regression.h"
+
+namespace redopt::data {
+
+/// Serializes @p instance to @p path.
+/// Throws redopt::PreconditionError if the file cannot be written.
+void save_regression(const RegressionInstance& instance, const std::string& path);
+
+/// Serializes to a string (exposed for tests and embedding).
+std::string regression_to_string(const RegressionInstance& instance);
+
+/// Reconstructs an instance from @p path.
+/// Throws redopt::PreconditionError on missing file or malformed content.
+RegressionInstance load_regression(const std::string& path);
+
+/// Parses the serialized form (inverse of regression_to_string).
+RegressionInstance regression_from_string(const std::string& text);
+
+}  // namespace redopt::data

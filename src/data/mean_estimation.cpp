@@ -1,0 +1,41 @@
+#include "data/mean_estimation.h"
+
+#include "core/quadratic_cost.h"
+#include "util/error.h"
+
+namespace redopt::data {
+
+MeanEstimationInstance make_mean_estimation(const Vector& mu, double sigma, std::size_t n,
+                                            std::size_t f, rng::Rng& rng) {
+  REDOPT_REQUIRE(!mu.empty(), "mean must have dimension >= 1");
+  REDOPT_REQUIRE(sigma >= 0.0, "sigma must be non-negative");
+  REDOPT_REQUIRE(n > 2 * f, "mean estimation requires n > 2f");
+
+  MeanEstimationInstance inst;
+  inst.true_mean = mu;
+  inst.problem.f = f;
+  inst.samples.reserve(n);
+  inst.problem.costs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector sample = mu;
+    for (auto& c : sample) c += rng.gaussian(0.0, sigma);
+    inst.problem.costs.push_back(
+        std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(sample)));
+    inst.samples.push_back(std::move(sample));
+  }
+  inst.problem.validate();
+  return inst;
+}
+
+Vector honest_sample_mean(const MeanEstimationInstance& instance,
+                          const std::vector<std::size_t>& honest) {
+  REDOPT_REQUIRE(!honest.empty(), "honest sample mean over empty set");
+  Vector acc(instance.true_mean.size());
+  for (std::size_t id : honest) {
+    REDOPT_REQUIRE(id < instance.samples.size(), "agent id out of range");
+    acc += instance.samples[id];
+  }
+  return acc / static_cast<double>(honest.size());
+}
+
+}  // namespace redopt::data

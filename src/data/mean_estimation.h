@@ -1,0 +1,34 @@
+// Robust mean estimation cast as fault-tolerant distributed optimization
+// (Section 2.3 of the paper family).
+//
+// Each honest agent i samples x_i ~ N(mu, sigma^2 I) and holds the cost
+// Q_i(x) = ||x - x_i||^2; the minimum point of the honest aggregate is the
+// honest sample mean.  A Byzantine agent may report an arbitrary cost —
+// here, an adversarially placed sample.  This instance family is what the
+// robust-mean example and several property tests run on.
+#pragma once
+
+#include "core/problem.h"
+#include "linalg/vector.h"
+#include "rng/rng.h"
+
+namespace redopt::data {
+
+using linalg::Vector;
+
+/// A generated robust-mean instance.
+struct MeanEstimationInstance {
+  core::MultiAgentProblem problem;  ///< agent i holds ||x - sample_i||^2
+  std::vector<Vector> samples;      ///< the per-agent data points
+  Vector true_mean;                 ///< the distribution mean mu
+};
+
+/// Draws n samples from N(mu, sigma^2 I); each agent holds one.
+MeanEstimationInstance make_mean_estimation(const Vector& mu, double sigma, std::size_t n,
+                                            std::size_t f, rng::Rng& rng);
+
+/// The honest aggregate's minimum point: the average of the honest samples.
+Vector honest_sample_mean(const MeanEstimationInstance& instance,
+                          const std::vector<std::size_t>& honest);
+
+}  // namespace redopt::data

@@ -1,0 +1,96 @@
+#include "data/replicated_regression.h"
+
+#include "core/least_squares_cost.h"
+#include "linalg/decompose.h"
+#include "util/error.h"
+
+namespace redopt::data {
+
+ReplicatedRegressionInstance make_replicated_regression(std::size_t num_shards, std::size_t d,
+                                                        std::size_t n, std::size_t f,
+                                                        std::size_t replication,
+                                                        double noise_sigma,
+                                                        const Vector& x_star, rng::Rng& rng) {
+  REDOPT_REQUIRE(num_shards >= d, "need at least d shards for identifiability");
+  REDOPT_REQUIRE(x_star.size() == d, "x_star dimension mismatch");
+  REDOPT_REQUIRE(noise_sigma >= 0.0, "noise sigma must be non-negative");
+  REDOPT_REQUIRE(n > 2 * f, "replicated regression requires n > 2f");
+
+  ReplicatedRegressionInstance inst;
+  inst.x_star = x_star;
+  inst.design = redundancy::cyclic_replication(num_shards, n, replication);
+
+  // Unit-norm base rows with full column rank.
+  for (int attempt = 0;; ++attempt) {
+    REDOPT_REQUIRE(attempt < 100, "failed to draw full-rank shard rows");
+    Matrix rows(num_shards, d);
+    for (std::size_t j = 0; j < num_shards; ++j) {
+      const auto row = rng.unit_sphere(d);
+      for (std::size_t c = 0; c < d; ++c) rows(j, c) = row[c];
+    }
+    if (linalg::rank(rows) == d) {
+      inst.shard_rows = std::move(rows);
+      break;
+    }
+  }
+  inst.shard_observations = linalg::matvec(inst.shard_rows, x_star);
+  for (std::size_t j = 0; j < num_shards; ++j) {
+    inst.shard_observations[j] += rng.gaussian(0.0, noise_sigma);
+  }
+
+  inst.problem.f = f;
+  inst.problem.costs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& shards = inst.design.agent_shards[i];
+    // An agent with no shards contributes a constant-zero cost; represent
+    // it with a zero observation row (gradient identically zero).
+    if (shards.empty()) {
+      inst.problem.costs.push_back(std::make_shared<core::LeastSquaresCost>(
+          core::LeastSquaresCost::single(Vector(d), 0.0)));
+      continue;
+    }
+    Matrix a(shards.size(), d);
+    Vector b(shards.size());
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+      for (std::size_t c = 0; c < d; ++c) a(k, c) = inst.shard_rows(shards[k], c);
+      b[k] = inst.shard_observations[shards[k]];
+    }
+    inst.problem.costs.push_back(
+        std::make_shared<core::LeastSquaresCost>(std::move(a), std::move(b)));
+  }
+  inst.problem.validate();
+  return inst;
+}
+
+Vector replicated_regression_argmin(const ReplicatedRegressionInstance& instance,
+                                    const std::vector<std::size_t>& honest) {
+  REDOPT_REQUIRE(!honest.empty(), "argmin over empty agent set");
+  // Stack every honest agent's shard rows (with multiplicity, matching the
+  // honest aggregate cost).
+  std::size_t total = 0;
+  for (std::size_t id : honest) {
+    REDOPT_REQUIRE(id < instance.design.agent_shards.size(), "agent id out of range");
+    total += std::max<std::size_t>(instance.design.agent_shards[id].size(), 1);
+  }
+  const std::size_t d = instance.x_star.size();
+  Matrix a(total, d);
+  Vector b(total);
+  std::size_t r = 0;
+  for (std::size_t id : honest) {
+    const auto& shards = instance.design.agent_shards[id];
+    if (shards.empty()) {
+      ++r;  // zero row, zero observation
+      continue;
+    }
+    for (std::size_t shard : shards) {
+      for (std::size_t c = 0; c < d; ++c) a(r, c) = instance.shard_rows(shard, c);
+      b[r] = instance.shard_observations[shard];
+      ++r;
+    }
+  }
+  linalg::QrDecomposition qr(a);
+  REDOPT_REQUIRE(qr.rank() == d, "honest shard union is rank-deficient; argmin not unique");
+  return qr.solve_least_squares(b);
+}
+
+}  // namespace redopt::data

@@ -1,0 +1,125 @@
+#include "dgd/async_trainer.h"
+
+#include <deque>
+#include <limits>
+
+#include "util/error.h"
+
+namespace redopt::dgd {
+
+TrainResult train_async(const core::MultiAgentProblem& problem,
+                        const std::vector<std::size_t>& byzantine_ids,
+                        const attacks::Attack* attack, const AsyncConfig& config,
+                        const std::optional<linalg::Vector>& reference) {
+  problem.validate();
+  const auto& base = config.base;
+  REDOPT_REQUIRE(base.filter != nullptr, "async config needs a gradient filter");
+  REDOPT_REQUIRE(base.schedule != nullptr, "async config needs a step schedule");
+  REDOPT_REQUIRE(base.projection != nullptr, "async config needs a projection set");
+  REDOPT_REQUIRE(byzantine_ids.size() <= problem.f, "more byzantine agents than fault budget");
+  REDOPT_REQUIRE(byzantine_ids.empty() || attack != nullptr,
+                 "byzantine agents present but no attack supplied");
+  REDOPT_REQUIRE(base.filter->expected_inputs() == problem.num_agents(),
+                 "filter was constructed for a different number of agents");
+  REDOPT_REQUIRE(config.straggler_probability >= 0.0 && config.straggler_probability <= 1.0,
+                 "straggler probability must lie in [0, 1]");
+  REDOPT_REQUIRE(config.max_staleness >= 1 || config.straggler_probability == 0.0,
+                 "max_staleness must be >= 1 when stragglers are enabled");
+
+  const std::size_t n = problem.num_agents();
+  const std::size_t d = problem.dimension();
+  const auto honest = honest_ids(n, byzantine_ids);
+  if (reference) REDOPT_REQUIRE(reference->size() == d, "reference dimension mismatch");
+
+  std::vector<bool> is_byzantine(n, false);
+  for (std::size_t id : byzantine_ids) is_byzantine[id] = true;
+
+  linalg::Vector x = base.x0.empty() ? linalg::Vector(d) : base.x0;
+  REDOPT_REQUIRE(x.size() == d, "x0 dimension mismatch");
+  x = base.projection->project(x);
+
+  const rng::Rng root(base.seed);
+  std::vector<rng::Rng> attack_rngs;
+  std::vector<rng::Rng> staleness_rngs;
+  attack_rngs.reserve(n);
+  staleness_rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    attack_rngs.push_back(root.fork("byzantine-agent-" + std::to_string(i)));
+    staleness_rngs.push_back(root.fork("staleness-agent-" + std::to_string(i)));
+  }
+
+  auto honest_loss = [&](const linalg::Vector& at) {
+    double acc = 0.0;
+    for (std::size_t id : honest) acc += problem.costs[id]->value(at);
+    return acc;
+  };
+
+  TrainResult result;
+  auto record = [&](std::size_t t) {
+    if (base.trace_stride == 0) return;
+    if (t % base.trace_stride != 0 && t != base.iterations) return;
+    result.trace.iteration.push_back(t);
+    result.trace.loss.push_back(honest_loss(x));
+    result.trace.distance.push_back(
+        reference ? linalg::distance(x, *reference) : std::numeric_limits<double>::quiet_NaN());
+    result.trace.estimates.push_back(x);
+  };
+
+  // Estimate history for staleness: history.front() is x^t, history[s] is
+  // x^{t-s} (clamped at the oldest available).
+  std::deque<linalg::Vector> history;
+  history.push_front(x);
+
+  record(0);
+  std::vector<linalg::Vector> gradients(n);
+  std::vector<linalg::Vector> honest_gradients;
+  for (std::size_t t = 0; t < base.iterations; ++t) {
+    honest_gradients.clear();
+    honest_gradients.reserve(honest.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_byzantine[i]) continue;
+      // Straggler draw: consume randomness only when stragglers are
+      // enabled, so probability 0 replays the synchronous execution.
+      std::size_t staleness = 0;
+      if (config.straggler_probability > 0.0) {
+        if (staleness_rngs[i].uniform() < config.straggler_probability) {
+          staleness = static_cast<std::size_t>(staleness_rngs[i].uniform_int(
+              1, static_cast<std::int64_t>(config.max_staleness)));
+        }
+      }
+      const std::size_t available = history.size() - 1;
+      staleness = std::min(staleness, available);
+      gradients[i] = problem.costs[i]->gradient(history[staleness]);
+      honest_gradients.push_back(gradients[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_byzantine[i]) continue;
+      // Byzantine agents are never stale (the worst case for the server).
+      const linalg::Vector true_gradient = problem.costs[i]->gradient(x);
+      attacks::AttackContext ctx;
+      ctx.iteration = t;
+      ctx.agent_id = i;
+      ctx.n = n;
+      ctx.f = problem.f;
+      ctx.estimate = &x;
+      ctx.honest_gradient = &true_gradient;
+      ctx.honest_gradients = &honest_gradients;
+      ctx.rng = &attack_rngs[i];
+      gradients[i] = attack->craft(ctx);
+      REDOPT_REQUIRE(gradients[i].size() == d, "attack crafted a wrong-dimension vector");
+    }
+
+    const linalg::Vector direction = base.filter->apply(gradients);
+    x = base.projection->project(x - direction * base.schedule->step(t));
+    history.push_front(x);
+    while (history.size() > config.max_staleness + 1) history.pop_back();
+    record(t + 1);
+  }
+
+  result.estimate = x;
+  result.final_loss = honest_loss(x);
+  if (reference) result.final_distance = linalg::distance(x, *reference);
+  return result;
+}
+
+}  // namespace redopt::dgd

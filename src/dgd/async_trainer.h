@@ -1,0 +1,34 @@
+// Asynchrony tolerance: DGD with stale honest gradients.
+//
+// The paper assumes a synchronous system; real deployments have
+// stragglers.  The standard bridge (cf. the asynchronous Byzantine-ML line
+// of work the paper cites, Damaskinos et al.) is the *stale gradient*
+// model: every agent replies every round, but a straggling honest agent's
+// reply was computed at an earlier estimate x^{t-s}.  Byzantine agents are
+// assumed fast (staleness only ever helps them, so the worst case is
+// none).  This module runs DGD under that model, with per-agent random
+// staleness, so the bench can map how much asynchrony the gradient-filters
+// tolerate before the resilience guarantees visibly degrade.
+#pragma once
+
+#include <optional>
+
+#include "dgd/trainer.h"
+
+namespace redopt::dgd {
+
+/// Staleness model parameters.
+struct AsyncConfig {
+  TrainerConfig base;             ///< filter, schedule, projection, iterations, seed
+  double straggler_probability = 0.2;  ///< chance an honest reply is stale
+  std::size_t max_staleness = 5;  ///< stale replies use x^{t-s}, s uniform in [1, max]
+};
+
+/// Runs DGD under the stale-gradient model.  With straggler_probability = 0
+/// the execution is bit-identical to dgd::train (checked by tests).
+TrainResult train_async(const core::MultiAgentProblem& problem,
+                        const std::vector<std::size_t>& byzantine_ids,
+                        const attacks::Attack* attack, const AsyncConfig& config,
+                        const std::optional<linalg::Vector>& reference = std::nullopt);
+
+}  // namespace redopt::dgd

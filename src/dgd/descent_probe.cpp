@@ -1,0 +1,101 @@
+#include "dgd/descent_probe.h"
+
+#include <limits>
+
+#include "dgd/trainer.h"
+#include "util/error.h"
+
+namespace redopt::dgd {
+
+DescentProbeResult probe_descent_condition(const core::MultiAgentProblem& problem,
+                                           const std::vector<std::size_t>& byzantine_ids,
+                                           const attacks::Attack* attack,
+                                           const filters::GradientFilter& filter,
+                                           const linalg::Vector& reference,
+                                           const DescentProbeConfig& config) {
+  problem.validate();
+  REDOPT_REQUIRE(!config.radii.empty(), "probe needs at least one radius");
+  for (double r : config.radii) REDOPT_REQUIRE(r > 0.0, "probe radii must be positive");
+  REDOPT_REQUIRE(config.samples_per_radius >= 1, "probe needs at least one sample per radius");
+  REDOPT_REQUIRE(byzantine_ids.empty() || attack != nullptr,
+                 "byzantine agents present but no attack supplied");
+  REDOPT_REQUIRE(filter.expected_inputs() == problem.num_agents(),
+                 "filter was constructed for a different number of agents");
+  const std::size_t n = problem.num_agents();
+  const std::size_t d = problem.dimension();
+  REDOPT_REQUIRE(reference.size() == d, "reference dimension mismatch");
+
+  std::vector<bool> is_byzantine(n, false);
+  for (std::size_t id : byzantine_ids) {
+    REDOPT_REQUIRE(id < n, "byzantine id out of range");
+    is_byzantine[id] = true;
+  }
+  const auto honest = honest_ids(n, byzantine_ids);
+
+  rng::Rng direction_rng = rng::Rng(config.seed).fork("probe-directions");
+  std::vector<rng::Rng> agent_rngs;
+  agent_rngs.reserve(n);
+  const rng::Rng root(config.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    agent_rngs.push_back(root.fork("byzantine-agent-" + std::to_string(i)));
+  }
+
+  DescentProbeResult result;
+  result.empirical_d_star = std::numeric_limits<double>::infinity();
+
+  std::vector<linalg::Vector> gradients(n);
+  std::vector<linalg::Vector> honest_gradients;
+  for (double radius : config.radii) {
+    DescentShell shell;
+    shell.radius = radius;
+    shell.min_phi = std::numeric_limits<double>::infinity();
+    double phi_sum = 0.0;
+
+    for (std::size_t s = 0; s < config.samples_per_radius; ++s) {
+      const linalg::Vector x =
+          reference + linalg::Vector(direction_rng.unit_sphere(d)) * radius;
+
+      honest_gradients.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!is_byzantine[i]) {
+          gradients[i] = problem.costs[i]->gradient(x);
+          honest_gradients.push_back(gradients[i]);
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!is_byzantine[i]) continue;
+        const linalg::Vector true_gradient = problem.costs[i]->gradient(x);
+        attacks::AttackContext ctx;
+        ctx.iteration = s;
+        ctx.agent_id = i;
+        ctx.n = n;
+        ctx.f = problem.f;
+        ctx.estimate = &x;
+        ctx.honest_gradient = &true_gradient;
+        ctx.honest_gradients = &honest_gradients;
+        ctx.rng = &agent_rngs[i];
+        gradients[i] = attack->craft(ctx);
+      }
+
+      const double phi = linalg::dot(x - reference, filter.apply(gradients));
+      shell.min_phi = std::min(shell.min_phi, phi);
+      phi_sum += phi;
+    }
+    shell.mean_phi = phi_sum / static_cast<double>(config.samples_per_radius);
+    result.shells.push_back(shell);
+  }
+
+  // Empirical D*: the smallest radius such that every probed shell at or
+  // beyond it has strictly positive min phi.
+  for (std::size_t k = result.shells.size(); k > 0; --k) {
+    const auto& shell = result.shells[k - 1];
+    if (shell.min_phi > 0.0) {
+      result.empirical_d_star = shell.radius;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace redopt::dgd

@@ -1,0 +1,58 @@
+// Empirical probe of Theorem 3's generic convergence condition.
+//
+// Theorem 3: DGD with any gradient-filter converges to within D* of x* if
+// the filtered direction satisfies the descent condition
+//
+//     phi(x) = < x - x*, GradFilter(g_1(x), ..., g_n(x)) >  >=  xi > 0
+//
+// whenever ||x - x*|| >= D*.  This module measures phi directly: it
+// samples points on spheres of increasing radius around the reference
+// point, evaluates the filtered direction under a chosen attack, and
+// reports the minimum phi per radius.  The smallest radius whose shell has
+// min phi > 0 is an empirical D* — the radius at which the filter's
+// guarantee "switches on".  bench_descent_condition uses this to show
+// CGE's D* tracking D*eps while plain averaging never turns positive
+// under attack.
+#pragma once
+
+#include <vector>
+
+#include "attacks/attack.h"
+#include "core/problem.h"
+#include "filters/gradient_filter.h"
+#include "rng/rng.h"
+
+namespace redopt::dgd {
+
+/// Probe configuration.
+struct DescentProbeConfig {
+  std::vector<double> radii;          ///< shell radii to probe (ascending)
+  std::size_t samples_per_radius = 64;  ///< random directions per shell
+  std::uint64_t seed = 1;             ///< sampling + attack randomness
+};
+
+/// Per-radius results.
+struct DescentShell {
+  double radius = 0.0;
+  double min_phi = 0.0;    ///< worst inner product on the shell
+  double mean_phi = 0.0;   ///< average inner product on the shell
+};
+
+/// Full probe result.
+struct DescentProbeResult {
+  std::vector<DescentShell> shells;
+  /// Smallest probed radius from which every (probed) larger shell has
+  /// min_phi > 0; +infinity if none.
+  double empirical_d_star = 0.0;
+};
+
+/// Runs the probe around @p reference with the given Byzantine agents and
+/// attack (may be empty/null for the fault-free condition).
+DescentProbeResult probe_descent_condition(const core::MultiAgentProblem& problem,
+                                           const std::vector<std::size_t>& byzantine_ids,
+                                           const attacks::Attack* attack,
+                                           const filters::GradientFilter& filter,
+                                           const linalg::Vector& reference,
+                                           const DescentProbeConfig& config);
+
+}  // namespace redopt::dgd

@@ -1,0 +1,102 @@
+#include "dgd/elimination_stats.h"
+
+#include "filters/cge.h"
+#include "util/error.h"
+
+namespace redopt::dgd {
+
+EliminationStats analyze_cge_elimination(const core::MultiAgentProblem& problem,
+                                         const std::vector<std::size_t>& byzantine_ids,
+                                         const attacks::Attack* attack,
+                                         const TrainerConfig& config) {
+  problem.validate();
+  REDOPT_REQUIRE(config.schedule != nullptr, "config needs a step schedule");
+  REDOPT_REQUIRE(config.projection != nullptr, "config needs a projection set");
+  REDOPT_REQUIRE(byzantine_ids.size() <= problem.f, "more byzantine agents than fault budget");
+  REDOPT_REQUIRE(byzantine_ids.empty() || attack != nullptr,
+                 "byzantine agents present but no attack supplied");
+
+  const std::size_t n = problem.num_agents();
+  const std::size_t d = problem.dimension();
+  const filters::CgeFilter cge(n, problem.f);
+
+  std::vector<bool> is_byzantine(n, false);
+  for (std::size_t id : byzantine_ids) {
+    REDOPT_REQUIRE(id < n, "byzantine id out of range");
+    is_byzantine[id] = true;
+  }
+  const auto honest = honest_ids(n, byzantine_ids);
+
+  const rng::Rng root(config.seed);
+  std::vector<rng::Rng> agent_rngs;
+  agent_rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    agent_rngs.push_back(root.fork("byzantine-agent-" + std::to_string(i)));
+  }
+
+  linalg::Vector x = config.x0.empty() ? linalg::Vector(d) : config.x0;
+  REDOPT_REQUIRE(x.size() == d, "x0 dimension mismatch");
+  x = config.projection->project(x);
+
+  EliminationStats stats;
+  stats.iterations = config.iterations;
+  stats.survival_counts.assign(n, 0);
+  stats.min_honest_retained = honest.size();
+  std::size_t rounds_all_byzantine_out = 0;
+  std::size_t honest_retained_total = 0;
+
+  std::vector<linalg::Vector> gradients(n);
+  std::vector<linalg::Vector> honest_gradients;
+  for (std::size_t t = 0; t < config.iterations; ++t) {
+    honest_gradients.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_byzantine[i]) {
+        gradients[i] = problem.costs[i]->gradient(x);
+        honest_gradients.push_back(gradients[i]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_byzantine[i]) continue;
+      const linalg::Vector true_gradient = problem.costs[i]->gradient(x);
+      attacks::AttackContext ctx;
+      ctx.iteration = t;
+      ctx.agent_id = i;
+      ctx.n = n;
+      ctx.f = problem.f;
+      ctx.estimate = &x;
+      ctx.honest_gradient = &true_gradient;
+      ctx.honest_gradients = &honest_gradients;
+      ctx.rng = &agent_rngs[i];
+      gradients[i] = attack->craft(ctx);
+    }
+
+    const auto survivors = cge.surviving_indices(gradients);
+    std::size_t byzantine_in = 0;
+    std::size_t honest_in = 0;
+    linalg::Vector direction(d);
+    for (std::size_t idx : survivors) {
+      ++stats.survival_counts[idx];
+      direction += gradients[idx];
+      if (is_byzantine[idx]) {
+        ++byzantine_in;
+      } else {
+        ++honest_in;
+      }
+    }
+    if (byzantine_in == 0) ++rounds_all_byzantine_out;
+    honest_retained_total += honest_in;
+    stats.min_honest_retained = std::min(stats.min_honest_retained, honest_in);
+
+    x = config.projection->project(x - direction * config.schedule->step(t));
+  }
+
+  if (config.iterations > 0) {
+    stats.all_byzantine_eliminated_fraction =
+        static_cast<double>(rounds_all_byzantine_out) / static_cast<double>(config.iterations);
+    stats.mean_honest_retained =
+        static_cast<double>(honest_retained_total) / static_cast<double>(config.iterations);
+  }
+  return stats;
+}
+
+}  // namespace redopt::dgd

@@ -1,0 +1,40 @@
+#include "dgd/schedule.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace redopt::dgd {
+
+ConstantSchedule::ConstantSchedule(double c) : c_(c) {
+  REDOPT_REQUIRE(c > 0.0, "step size must be positive");
+}
+
+double ConstantSchedule::step(std::size_t) const { return c_; }
+
+HarmonicSchedule::HarmonicSchedule(double c, double offset) : c_(c), offset_(offset) {
+  REDOPT_REQUIRE(c > 0.0, "step size must be positive");
+  REDOPT_REQUIRE(offset >= 0.0, "harmonic offset must be non-negative");
+}
+
+double HarmonicSchedule::step(std::size_t t) const {
+  return c_ / (static_cast<double>(t) + 1.0 + offset_);
+}
+
+SqrtSchedule::SqrtSchedule(double c) : c_(c) {
+  REDOPT_REQUIRE(c > 0.0, "step size must be positive");
+}
+
+double SqrtSchedule::step(std::size_t t) const {
+  return c_ / std::sqrt(static_cast<double>(t) + 1.0);
+}
+
+SchedulePtr make_schedule(const std::string& name, double c) {
+  if (name == "constant") return std::make_shared<ConstantSchedule>(c);
+  if (name == "harmonic") return std::make_shared<HarmonicSchedule>(c);
+  if (name == "sqrt") return std::make_shared<SqrtSchedule>(c);
+  REDOPT_REQUIRE(false, "unknown step schedule: " + name);
+  return nullptr;  // unreachable
+}
+
+}  // namespace redopt::dgd

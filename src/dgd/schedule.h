@@ -1,0 +1,63 @@
+// Step-size schedules for the DGD method.
+//
+// Theorem 3 requires diminishing steps with sum eta_t = infinity and
+// sum eta_t^2 < infinity; HarmonicSchedule (c / (t + 1)) satisfies both.
+// SqrtSchedule (c / sqrt(t + 1)) has divergent square-sum and ConstantSchedule
+// diverges on both counts — they are included for the schedule ablation,
+// which shows empirically why the theorem asks for what it asks.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace redopt::dgd {
+
+/// Maps the iteration index t (0-based) to the step size eta_t > 0.
+class StepSchedule {
+ public:
+  virtual ~StepSchedule() = default;
+  virtual double step(std::size_t t) const = 0;
+  virtual std::string name() const = 0;
+};
+
+using SchedulePtr = std::shared_ptr<const StepSchedule>;
+
+/// eta_t = c.
+class ConstantSchedule final : public StepSchedule {
+ public:
+  explicit ConstantSchedule(double c);
+  double step(std::size_t t) const override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  double c_;
+};
+
+/// eta_t = c / (t + 1 + offset) — satisfies Theorem 3's conditions.
+class HarmonicSchedule final : public StepSchedule {
+ public:
+  explicit HarmonicSchedule(double c, double offset = 0.0);
+  double step(std::size_t t) const override;
+  std::string name() const override { return "harmonic"; }
+
+ private:
+  double c_;
+  double offset_;
+};
+
+/// eta_t = c / sqrt(t + 1).
+class SqrtSchedule final : public StepSchedule {
+ public:
+  explicit SqrtSchedule(double c);
+  double step(std::size_t t) const override;
+  std::string name() const override { return "sqrt"; }
+
+ private:
+  double c_;
+};
+
+/// Constructs a schedule by name ("constant", "harmonic", "sqrt") with
+/// coefficient @p c.  Throws PreconditionError for unknown names.
+SchedulePtr make_schedule(const std::string& name, double c);
+
+}  // namespace redopt::dgd

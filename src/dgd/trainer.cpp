@@ -1,0 +1,193 @@
+#include "dgd/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace redopt::dgd {
+
+std::vector<std::size_t> honest_ids(std::size_t n, const std::vector<std::size_t>& byzantine_ids) {
+  std::vector<bool> bad(n, false);
+  for (std::size_t id : byzantine_ids) {
+    REDOPT_REQUIRE(id < n, "byzantine id out of range");
+    REDOPT_REQUIRE(!bad[id], "duplicate byzantine id");
+    bad[id] = true;
+  }
+  std::vector<std::size_t> honest;
+  honest.reserve(n - byzantine_ids.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!bad[i]) honest.push_back(i);
+  }
+  return honest;
+}
+
+OnlineTrainer::OnlineTrainer(const core::MultiAgentProblem& problem,
+                             std::vector<std::size_t> byzantine_ids,
+                             const attacks::Attack* attack, TrainerConfig config)
+    : problem_(problem),
+      config_(std::move(config)),
+      byzantine_ids_(std::move(byzantine_ids)),
+      attack_(attack) {
+  problem_.validate();
+  REDOPT_REQUIRE(config_.filter != nullptr, "trainer config needs a gradient filter");
+  REDOPT_REQUIRE(config_.schedule != nullptr, "trainer config needs a step schedule");
+  REDOPT_REQUIRE(config_.projection != nullptr, "trainer config needs a projection set");
+  REDOPT_REQUIRE(byzantine_ids_.size() <= problem_.f,
+                 "more byzantine agents than the problem's fault budget f");
+  REDOPT_REQUIRE(byzantine_ids_.empty() || attack_ != nullptr,
+                 "byzantine agents present but no attack supplied");
+  REDOPT_REQUIRE(config_.filter->expected_inputs() == problem_.num_agents(),
+                 "filter was constructed for a different number of agents");
+
+  const std::size_t n = problem_.num_agents();
+  const std::size_t d = problem_.dimension();
+  honest_ = honest_ids(n, byzantine_ids_);
+  is_byzantine_.assign(n, false);
+  for (std::size_t id : byzantine_ids_) is_byzantine_[id] = true;
+
+  x_ = config_.x0.empty() ? linalg::Vector(d) : config_.x0;
+  REDOPT_REQUIRE(x_.size() == d, "x0 dimension mismatch");
+  x_ = config_.projection->project(x_);
+
+  // Each Byzantine agent draws from its own named stream so executions are
+  // reproducible and independent of iteration order — and so the
+  // message-passing implementation (net/server_protocol.h), where each
+  // faulty node owns its stream, produces bit-identical runs.
+  const rng::Rng root(config_.seed);
+  agent_rngs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    agent_rngs_.push_back(root.fork("byzantine-agent-" + std::to_string(i)));
+  }
+
+  active_.assign(n, true);
+  n_active_ = n;
+  f_active_ = problem_.f;
+  filter_ = config_.filter;
+}
+
+double OnlineTrainer::honest_loss() const {
+  double acc = 0.0;
+  for (std::size_t id : honest_) acc += problem_.costs[id]->value(x_);
+  return acc;
+}
+
+linalg::Vector OnlineTrainer::step() {
+  const std::size_t n = problem_.num_agents();
+  const std::size_t d = problem_.dimension();
+  const std::size_t t = iteration_;
+
+  // S1: honest replies (honest agents always reply in a synchronous
+  // fault-free link model).
+  std::vector<linalg::Vector> honest_gradients;
+  honest_gradients.reserve(honest_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (active_[i] && !is_byzantine_[i]) {
+      honest_gradients.push_back(problem_.costs[i]->gradient(x_));
+    }
+  }
+
+  // Byzantine replies: first decide who responds at all, then craft.
+  bool eliminated_this_round = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active_[i] || !is_byzantine_[i]) continue;
+    const linalg::Vector true_gradient = problem_.costs[i]->gradient(x_);
+    attacks::AttackContext ctx;
+    ctx.iteration = t;
+    ctx.agent_id = i;
+    ctx.n = n_active_;
+    ctx.f = f_active_;
+    ctx.estimate = &x_;
+    ctx.honest_gradient = &true_gradient;
+    ctx.honest_gradients = &honest_gradients;
+    ctx.rng = &agent_rngs_[i];
+    if (!attack_->responds(ctx)) {
+      // Missing reply in a synchronous system: the agent is provably
+      // faulty.  Eliminate it and update (n, f) — the paper's step S1.
+      active_[i] = false;
+      --n_active_;
+      if (f_active_ > 0) --f_active_;
+      eliminated_agents_.push_back(i);
+      eliminated_this_round = true;
+    }
+  }
+  if (eliminated_this_round) {
+    REDOPT_REQUIRE(config_.filter_factory != nullptr,
+                   "agent eliminated but no filter_factory configured to rebuild the "
+                   "gradient filter for the reduced (n, f)");
+    filter_ = config_.filter_factory(n_active_, f_active_);
+    REDOPT_REQUIRE(filter_ != nullptr && filter_->expected_inputs() == n_active_,
+                   "filter_factory produced an unusable filter");
+  }
+
+  // Collect the round's gradients from the still-active agents, in
+  // ascending agent-id order (honest replies were already computed).
+  std::vector<linalg::Vector> gradients;
+  gradients.reserve(n_active_);
+  std::size_t honest_index = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active_[i]) continue;
+    if (!is_byzantine_[i]) {
+      gradients.push_back(honest_gradients[honest_index++]);
+      continue;
+    }
+    const linalg::Vector true_gradient = problem_.costs[i]->gradient(x_);
+    attacks::AttackContext ctx;
+    ctx.iteration = t;
+    ctx.agent_id = i;
+    ctx.n = n_active_;
+    ctx.f = f_active_;
+    ctx.estimate = &x_;
+    ctx.honest_gradient = &true_gradient;
+    ctx.honest_gradients = &honest_gradients;
+    ctx.rng = &agent_rngs_[i];
+    gradients.push_back(attack_->craft(ctx));
+    REDOPT_REQUIRE(gradients.back().size() == d, "attack crafted a wrong-dimension vector");
+  }
+
+  // S2: filter and projected update.
+  linalg::Vector direction = filter_->apply(gradients);
+  x_ = config_.projection->project(x_ - direction * config_.schedule->step(t));
+  ++iteration_;
+  return direction;
+}
+
+void OnlineTrainer::run(std::size_t steps) {
+  for (std::size_t s = 0; s < steps; ++s) step();
+}
+
+TrainResult train(const core::MultiAgentProblem& problem,
+                  const std::vector<std::size_t>& byzantine_ids, const attacks::Attack* attack,
+                  const TrainerConfig& config,
+                  const std::optional<linalg::Vector>& reference) {
+  if (reference) {
+    REDOPT_REQUIRE(reference->size() == problem.dimension(), "reference point dimension mismatch");
+  }
+  OnlineTrainer trainer(problem, byzantine_ids, attack, config);
+
+  TrainResult result;
+  auto record = [&](std::size_t t) {
+    if (config.trace_stride == 0) return;
+    if (t % config.trace_stride != 0 && t != config.iterations) return;
+    result.trace.iteration.push_back(t);
+    result.trace.loss.push_back(trainer.honest_loss());
+    result.trace.distance.push_back(reference
+                                        ? linalg::distance(trainer.estimate(), *reference)
+                                        : std::numeric_limits<double>::quiet_NaN());
+    result.trace.estimates.push_back(trainer.estimate());
+  };
+
+  record(0);
+  for (std::size_t t = 0; t < config.iterations; ++t) {
+    trainer.step();
+    record(t + 1);
+  }
+
+  result.estimate = trainer.estimate();
+  result.final_loss = trainer.honest_loss();
+  if (reference) result.final_distance = linalg::distance(trainer.estimate(), *reference);
+  result.eliminated_agents = trainer.eliminated_agents();
+  return result;
+}
+
+}  // namespace redopt::dgd

@@ -1,0 +1,57 @@
+#include "filters/bulyan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "filters/krum.h"
+#include "util/error.h"
+
+namespace redopt::filters {
+
+BulyanFilter::BulyanFilter(std::size_t n, std::size_t f) : n_(n), f_(f) {
+  REDOPT_REQUIRE(n >= 4 * f + 3, "Bulyan requires n >= 4f + 3");
+}
+
+Vector BulyanFilter::apply(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "bulyan");
+  const std::size_t d = gradients.front().size();
+  const std::size_t theta = n_ - 2 * f_;
+  const std::size_t beta = theta - 2 * f_;
+
+  // Stage 1: iterative Krum selection of theta gradients.  Reuse Krum by
+  // shrinking the candidate pool; the fault budget f stays fixed.
+  std::vector<Vector> selected;
+  selected.reserve(theta);
+  {
+    // Shrink a shared active mask; krum_select tolerates pools below
+    // f + 3 in the final rounds (it degrades to nearest-neighbour there).
+    std::vector<bool> active(n_, true);
+    for (std::size_t round = 0; round < theta; ++round) {
+      const std::size_t pick = krum_select(gradients, active, f_);
+      selected.push_back(gradients[pick]);
+      active[pick] = false;
+    }
+  }
+
+  // Stage 2: per coordinate, average the beta values closest to the median
+  // of the selected set.
+  Vector out(d);
+  std::vector<double> column(theta);
+  for (std::size_t k = 0; k < d; ++k) {
+    for (std::size_t i = 0; i < theta; ++i) column[i] = selected[i][k];
+    std::sort(column.begin(), column.end());
+    const double median = (theta % 2 == 1)
+                              ? column[theta / 2]
+                              : 0.5 * (column[theta / 2 - 1] + column[theta / 2]);
+    std::sort(column.begin(), column.end(), [median](double a, double b) {
+      return std::abs(a - median) < std::abs(b - median);
+    });
+    double acc = 0.0;
+    for (std::size_t i = 0; i < beta; ++i) acc += column[i];
+    out[k] = acc / static_cast<double>(beta);
+  }
+  return out;
+}
+
+}  // namespace redopt::filters

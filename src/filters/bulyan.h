@@ -1,0 +1,27 @@
+// Bulyan (El Mhamdi, Guerraoui, Rouault, ICML 2018).
+//
+// Two stages: (1) iteratively select theta = n - 2f gradients with the Krum
+// rule; (2) per coordinate, average the beta = theta - 2f selected values
+// closest to the selected set's coordinate median.  Requires n >= 4f + 3.
+// Included as the strongest classical baseline in the filter ablation.
+#pragma once
+
+#include "filters/gradient_filter.h"
+
+namespace redopt::filters {
+
+class BulyanFilter final : public GradientFilter {
+ public:
+  /// Requires n >= 4f + 3.
+  BulyanFilter(std::size_t n, std::size_t f);
+
+  Vector apply(const std::vector<Vector>& gradients) const override;
+  std::string name() const override { return "bulyan"; }
+  std::size_t expected_inputs() const override { return n_; }
+
+ private:
+  std::size_t n_;
+  std::size_t f_;
+};
+
+}  // namespace redopt::filters

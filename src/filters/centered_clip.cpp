@@ -1,0 +1,42 @@
+#include "filters/centered_clip.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace redopt::filters {
+
+CenteredClipFilter::CenteredClipFilter(std::size_t n, double tau, std::size_t inner_iterations)
+    : n_(n), tau_(tau), inner_iterations_(inner_iterations) {
+  REDOPT_REQUIRE(n >= 1, "centered clipping requires n >= 1");
+  REDOPT_REQUIRE(tau > 0.0, "clipping radius must be positive");
+  REDOPT_REQUIRE(inner_iterations >= 1, "need at least one re-centering iteration");
+}
+
+Vector CenteredClipFilter::apply(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "cclip");
+  const std::size_t d = gradients.front().size();
+
+  // Robust, order-invariant starting center: the coordinate-wise median.
+  Vector v(d);
+  std::vector<double> column(n_);
+  for (std::size_t k = 0; k < d; ++k) {
+    for (std::size_t i = 0; i < n_; ++i) column[i] = gradients[i][k];
+    std::sort(column.begin(), column.end());
+    v[k] = (n_ % 2 == 1) ? column[n_ / 2] : 0.5 * (column[n_ / 2 - 1] + column[n_ / 2]);
+  }
+
+  for (std::size_t it = 0; it < inner_iterations_; ++it) {
+    Vector correction(d);
+    for (const auto& g : gradients) {
+      Vector deviation = g - v;
+      const double norm = deviation.norm();
+      if (norm > tau_) deviation *= tau_ / norm;
+      correction += deviation;
+    }
+    v += correction / static_cast<double>(n_);
+  }
+  return v;
+}
+
+}  // namespace redopt::filters

@@ -1,0 +1,38 @@
+// Centered clipping (Karimireddy, He, Jaggi, 2021 — the paper's reference
+// [26] line of work).
+//
+// Iteratively re-centers: starting from a robust reference point v (the
+// coordinate-wise median of the inputs), each gradient's deviation from v
+// is clipped to radius tau and the clipped deviations are averaged back
+// into v:
+//
+//   v <- v + (1/n) sum_i clip(g_i - v, tau),   repeated L times.
+//
+// Unlike norm-based elimination, clipping never discards honest gradients
+// entirely.  This implementation is stateless (a pure function of the
+// gradient multiset, like every redopt filter): the original paper's
+// variant re-centers on the *previous aggregate*; cold-starting from the
+// coordinate-wise median gives the same contraction guarantee per call
+// without cross-iteration state.
+#pragma once
+
+#include "filters/gradient_filter.h"
+
+namespace redopt::filters {
+
+class CenteredClipFilter final : public GradientFilter {
+ public:
+  /// @p tau: clipping radius; @p inner_iterations: re-centering steps L.
+  CenteredClipFilter(std::size_t n, double tau = 1.0, std::size_t inner_iterations = 3);
+
+  Vector apply(const std::vector<Vector>& gradients) const override;
+  std::string name() const override { return "cclip"; }
+  std::size_t expected_inputs() const override { return n_; }
+
+ private:
+  std::size_t n_;
+  double tau_;
+  std::size_t inner_iterations_;
+};
+
+}  // namespace redopt::filters

@@ -1,0 +1,40 @@
+#include "filters/cge.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace redopt::filters {
+
+CgeFilter::CgeFilter(std::size_t n, std::size_t f, bool normalize)
+    : n_(n), f_(f), normalize_(normalize) {
+  REDOPT_REQUIRE(n >= 1, "CGE requires n >= 1");
+  REDOPT_REQUIRE(f < n, "CGE requires f < n");
+}
+
+std::vector<std::size_t> CgeFilter::surviving_indices(
+    const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "cge");
+  std::vector<double> norms(n_);
+  for (std::size_t i = 0; i < n_; ++i) norms[i] = gradients[i].norm();
+  std::vector<std::size_t> order(n_);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Stable tie-break on agent index keeps the filter deterministic.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (norms[a] != norms[b]) return norms[a] < norms[b];
+    return a < b;
+  });
+  order.resize(n_ - f_);
+  return order;
+}
+
+Vector CgeFilter::apply(const std::vector<Vector>& gradients) const {
+  const auto survivors = surviving_indices(gradients);
+  Vector out(gradients.front().size());
+  for (std::size_t idx : survivors) out += gradients[idx];
+  if (normalize_) out /= static_cast<double>(survivors.size());
+  return out;
+}
+
+}  // namespace redopt::filters

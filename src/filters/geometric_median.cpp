@@ -1,0 +1,42 @@
+#include "filters/geometric_median.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace redopt::filters {
+
+GeometricMedianFilter::GeometricMedianFilter(std::size_t n, double tol,
+                                             std::size_t max_iterations, double smoothing)
+    : n_(n), tol_(tol), max_iterations_(max_iterations), smoothing_(smoothing) {
+  REDOPT_REQUIRE(n >= 1, "geometric median requires n >= 1");
+  REDOPT_REQUIRE(tol > 0.0 && smoothing > 0.0, "tolerance and smoothing must be positive");
+}
+
+Vector GeometricMedianFilter::weiszfeld(const std::vector<Vector>& points, double tol,
+                                        std::size_t max_iterations, double smoothing) {
+  REDOPT_REQUIRE(!points.empty(), "weiszfeld on empty point set");
+  Vector z = linalg::mean(points);  // mean is the classical starting point
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    Vector numerator(z.size());
+    double denominator = 0.0;
+    for (const auto& p : points) {
+      const double dist = std::max(linalg::distance(z, p), smoothing);
+      const double w = 1.0 / dist;
+      numerator += p * w;
+      denominator += w;
+    }
+    Vector z_next = numerator / denominator;
+    const double moved = linalg::distance(z, z_next);
+    z = std::move(z_next);
+    if (moved < tol) break;
+  }
+  return z;
+}
+
+Vector GeometricMedianFilter::apply(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "geomed");
+  return weiszfeld(gradients, tol_, max_iterations_, smoothing_);
+}
+
+}  // namespace redopt::filters

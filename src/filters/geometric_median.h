@@ -1,0 +1,36 @@
+// Geometric median via the smoothed Weiszfeld iteration.
+//
+// The geometric median minimizes sum_i ||z - g_i|| and tolerates up to half
+// the inputs being arbitrary; it underlies the geometric-median-of-means
+// filter family (Chen, Su, Xu 2017).  We use Weiszfeld's fixed-point
+// iteration with a small smoothing term so points coinciding with the
+// current iterate do not produce a division by zero.
+#pragma once
+
+#include "filters/gradient_filter.h"
+
+namespace redopt::filters {
+
+class GeometricMedianFilter final : public GradientFilter {
+ public:
+  /// @p tol: stop when successive iterates move less than this;
+  /// @p max_iterations: hard cap; @p smoothing: denominator floor.
+  explicit GeometricMedianFilter(std::size_t n, double tol = 1e-10,
+                                 std::size_t max_iterations = 1000, double smoothing = 1e-12);
+
+  Vector apply(const std::vector<Vector>& gradients) const override;
+  std::string name() const override { return "geomed"; }
+  std::size_t expected_inputs() const override { return n_; }
+
+  /// The underlying algorithm, usable on any point set (exposed for tests).
+  static Vector weiszfeld(const std::vector<Vector>& points, double tol,
+                          std::size_t max_iterations, double smoothing);
+
+ private:
+  std::size_t n_;
+  double tol_;
+  std::size_t max_iterations_;
+  double smoothing_;
+};
+
+}  // namespace redopt::filters

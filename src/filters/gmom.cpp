@@ -1,0 +1,35 @@
+#include "filters/gmom.h"
+
+#include "filters/geometric_median.h"
+#include "util/error.h"
+
+namespace redopt::filters {
+
+GmomFilter::GmomFilter(std::size_t n, std::size_t f, std::size_t buckets)
+    : n_(n), buckets_(buckets == 0 ? 2 * f + 1 : buckets) {
+  REDOPT_REQUIRE(n >= 1, "GMOM requires n >= 1");
+  REDOPT_REQUIRE(buckets_ >= 1 && buckets_ <= n, "GMOM bucket count must lie in [1, n]");
+  REDOPT_REQUIRE(buckets_ >= 2 * f + 1,
+                 "GMOM needs at least 2f + 1 buckets to out-vote f corrupted ones");
+}
+
+Vector GmomFilter::apply(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "gmom");
+  const std::size_t d = gradients.front().size();
+
+  // Contiguous bucketing (agent order): bucket b gets indices with
+  // i % buckets == b, so bucket sizes differ by at most one.
+  std::vector<Vector> means(buckets_, Vector(d));
+  std::vector<std::size_t> counts(buckets_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    means[i % buckets_] += gradients[i];
+    ++counts[i % buckets_];
+  }
+  for (std::size_t b = 0; b < buckets_; ++b) {
+    REDOPT_ASSERT(counts[b] > 0, "GMOM produced an empty bucket");
+    means[b] /= static_cast<double>(counts[b]);
+  }
+  return GeometricMedianFilter::weiszfeld(means, 1e-10, 1000, 1e-12);
+}
+
+}  // namespace redopt::filters

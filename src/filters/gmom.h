@@ -1,0 +1,32 @@
+// Geometric median of means (GMOM) — Chen, Su, Xu 2017, one of the
+// gradient-filters the paper's related work enumerates.
+//
+// The n gradients are partitioned into k buckets; each bucket is averaged;
+// the output is the geometric median (Weiszfeld) of the k bucket means.
+// Averaging first reduces variance; the median step tolerates up to
+// (k-1)/2 contaminated buckets, so k is chosen with k >= 2f + 1 to ensure
+// the f Byzantine gradients can spoil at most f < k/2 buckets.
+#pragma once
+
+#include "filters/gradient_filter.h"
+
+namespace redopt::filters {
+
+class GmomFilter final : public GradientFilter {
+ public:
+  /// @p buckets: number of groups k (defaults to 2f + 1 when 0 is passed).
+  /// Requires 1 <= k <= n and, for a meaningful guarantee, k >= 2f + 1.
+  GmomFilter(std::size_t n, std::size_t f, std::size_t buckets = 0);
+
+  Vector apply(const std::vector<Vector>& gradients) const override;
+  std::string name() const override { return "gmom"; }
+  std::size_t expected_inputs() const override { return n_; }
+
+  std::size_t buckets() const { return buckets_; }
+
+ private:
+  std::size_t n_;
+  std::size_t buckets_;
+};
+
+}  // namespace redopt::filters

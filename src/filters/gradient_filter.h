@@ -1,0 +1,52 @@
+// Gradient-filter (robust gradient aggregation) interface.
+//
+// In the DGD method of Section 4, the server aggregates the n received
+// gradients with  GradFilter : R^{d x n} -> R^d  before taking a step.  A
+// filter is a pure function of the gradient multiset; all state (n, f,
+// hyper-parameters) is fixed at construction, and apply() is const and
+// thread-compatible.
+//
+// Scale conventions follow the paper exactly:
+//   * CGE outputs the *sum* of the n - f smallest-norm gradients (eq. 23);
+//   * CWTM outputs the coordinate-wise *average* of the surviving
+//     n - 2f entries (eq. 24).
+// Filters that naturally produce a sum take a `normalize` flag to divide by
+// the number of survivors, so ablations can compare on one scale.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace redopt::filters {
+
+using linalg::Vector;
+
+/// Robust aggregation of n agent gradients into one descent direction.
+class GradientFilter {
+ public:
+  virtual ~GradientFilter() = default;
+
+  /// Aggregates the gradients (one per agent, equal dimensions).
+  /// The expected count is fixed at construction; passing a different
+  /// number of gradients throws PreconditionError.
+  virtual Vector apply(const std::vector<Vector>& gradients) const = 0;
+
+  /// Canonical registry name, e.g. "cge".
+  virtual std::string name() const = 0;
+
+  /// Number of gradients the filter expects per call.
+  virtual std::size_t expected_inputs() const = 0;
+};
+
+using FilterPtr = std::shared_ptr<const GradientFilter>;
+
+namespace detail {
+
+/// Shared validation for all filters.
+void check_inputs(const std::vector<Vector>& gradients, std::size_t expected_n, const char* who);
+
+}  // namespace detail
+}  // namespace redopt::filters

@@ -1,0 +1,94 @@
+#include "filters/krum.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace redopt::filters {
+
+/// Krum score of each still-active gradient: sum of its n_active - f - 2
+/// smallest squared distances to other active gradients.
+std::size_t krum_select(const std::vector<Vector>& gradients,
+                        const std::vector<bool>& active, std::size_t f) {
+  const std::size_t n = gradients.size();
+  std::size_t n_active = 0;
+  for (bool a : active) n_active += a ? 1 : 0;
+  REDOPT_REQUIRE(n_active >= 1, "krum selection requires at least 1 active gradient");
+  if (n_active == 1) {
+    // Degenerate pool (Bulyan's final selection rounds at f = 0): the only
+    // remaining gradient is the selection.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i]) return i;
+    }
+  }
+  // Bulyan's iterative selection legitimately shrinks the pool below
+  // f + 3 in its final rounds (pool bottoms out at 2f + 1); degrade the
+  // neighbourhood to the single nearest other gradient there.  The
+  // standalone KrumFilter still enforces n >= f + 3 at construction.
+  const std::size_t neighbourhood = n_active >= f + 3 ? n_active - f - 2 : 1;
+
+  double best_score = std::numeric_limits<double>::infinity();
+  std::size_t best = n;  // sentinel
+  std::vector<double> dists;
+  // Exact score ties are possible (two mutually-nearest gradients with
+  // neighbourhood size 1 share the score d(i,j)^2), so ties are broken by
+  // the gradients' values, keeping selection independent of input order
+  // (permutation invariance).
+  auto lex_less = [&](std::size_t a, std::size_t b) {
+    return gradients[a].data() < gradients[b].data();
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!active[i]) continue;
+    dists.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || !active[j]) continue;
+      const double dij = linalg::distance(gradients[i], gradients[j]);
+      dists.push_back(dij * dij);
+    }
+    std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(neighbourhood - 1),
+                     dists.end());
+    double score = 0.0;
+    for (std::size_t k = 0; k < neighbourhood; ++k) score += dists[k];
+    if (score < best_score || (score == best_score && best < n && lex_less(i, best))) {
+      best_score = score;
+      best = i;
+    }
+  }
+  REDOPT_ASSERT(best < n, "krum selected no gradient");
+  return best;
+}
+
+KrumFilter::KrumFilter(std::size_t n, std::size_t f) : n_(n), f_(f) {
+  REDOPT_REQUIRE(n >= f + 3, "Krum requires n >= f + 3");
+}
+
+std::size_t KrumFilter::select(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "krum");
+  return krum_select(gradients, std::vector<bool>(n_, true), f_);
+}
+
+Vector KrumFilter::apply(const std::vector<Vector>& gradients) const {
+  return gradients[select(gradients)];
+}
+
+MultiKrumFilter::MultiKrumFilter(std::size_t n, std::size_t f, std::size_t m)
+    : n_(n), f_(f), m_(m) {
+  REDOPT_REQUIRE(m >= 1, "Multi-Krum requires m >= 1");
+  // After removing m - 1 gradients a Krum selection must still be possible.
+  REDOPT_REQUIRE(n >= f + 2 + m, "Multi-Krum requires n >= f + 2 + m");
+}
+
+Vector MultiKrumFilter::apply(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "multikrum");
+  std::vector<bool> active(n_, true);
+  Vector acc(gradients.front().size());
+  for (std::size_t round = 0; round < m_; ++round) {
+    const std::size_t pick = krum_select(gradients, active, f_);
+    acc += gradients[pick];
+    active[pick] = false;
+  }
+  return acc / static_cast<double>(m_);
+}
+
+}  // namespace redopt::filters

@@ -1,0 +1,55 @@
+// Krum and Multi-Krum (Blanchard et al., NeurIPS 2017) — distance-based
+// selection filters used as comparison baselines in the filter ablation.
+//
+// Krum scores each gradient by the sum of squared distances to its
+// n - f - 2 nearest other gradients and outputs the gradient with the
+// smallest score.  Multi-Krum iteratively selects m gradients by the Krum
+// rule and averages them.
+#pragma once
+
+#include "filters/gradient_filter.h"
+
+namespace redopt::filters {
+
+/// One Krum selection over the gradients whose @p active flag is set:
+/// returns the index minimizing the sum of squared distances to its
+/// nearest other active gradients.  Tolerates small pools (below f + 3 the
+/// neighbourhood degrades to the single nearest gradient), which Bulyan's
+/// iterative selection needs in its final rounds.  Requires at least two
+/// active gradients.
+std::size_t krum_select(const std::vector<Vector>& gradients, const std::vector<bool>& active,
+                        std::size_t f);
+
+class KrumFilter final : public GradientFilter {
+ public:
+  /// Requires n >= f + 3 so the neighbourhood size n - f - 2 is positive.
+  KrumFilter(std::size_t n, std::size_t f);
+
+  Vector apply(const std::vector<Vector>& gradients) const override;
+  std::string name() const override { return "krum"; }
+  std::size_t expected_inputs() const override { return n_; }
+
+  /// Index selected by the Krum rule (exposed for tests).
+  std::size_t select(const std::vector<Vector>& gradients) const;
+
+ private:
+  std::size_t n_;
+  std::size_t f_;
+};
+
+class MultiKrumFilter final : public GradientFilter {
+ public:
+  /// Selects @p m gradients (1 <= m <= n - f - 2 recommended) and averages.
+  MultiKrumFilter(std::size_t n, std::size_t f, std::size_t m);
+
+  Vector apply(const std::vector<Vector>& gradients) const override;
+  std::string name() const override { return "multikrum"; }
+  std::size_t expected_inputs() const override { return n_; }
+
+ private:
+  std::size_t n_;
+  std::size_t f_;
+  std::size_t m_;
+};
+
+}  // namespace redopt::filters

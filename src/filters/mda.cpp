@@ -1,0 +1,55 @@
+#include "filters/mda.h"
+
+#include <limits>
+
+#include "util/error.h"
+#include "util/subsets.h"
+
+namespace redopt::filters {
+
+MdaFilter::MdaFilter(std::size_t n, std::size_t f, std::uint64_t max_subsets) : n_(n), f_(f) {
+  REDOPT_REQUIRE(n >= 1, "MDA requires n >= 1");
+  REDOPT_REQUIRE(f < n, "MDA requires f < n");
+  REDOPT_REQUIRE(util::binomial(n, f) <= max_subsets,
+                 "MDA subset enumeration too large; reduce n or f");
+}
+
+std::vector<std::size_t> MdaFilter::select(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "mda");
+
+  // Pairwise distances once; subsets then reuse them.
+  std::vector<std::vector<double>> dist(n_, std::vector<double>(n_, 0.0));
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      dist[i][j] = dist[j][i] = linalg::distance(gradients[i], gradients[j]);
+    }
+  }
+
+  double best_diameter = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best;
+  util::for_each_subset(n_, n_ - f_, [&](const std::vector<std::size_t>& subset) {
+    double diameter = 0.0;
+    for (std::size_t a = 0; a < subset.size() && diameter < best_diameter; ++a) {
+      for (std::size_t b = a + 1; b < subset.size(); ++b) {
+        diameter = std::max(diameter, dist[subset[a]][subset[b]]);
+        if (diameter >= best_diameter) break;  // already worse; prune
+      }
+    }
+    if (diameter < best_diameter) {
+      best_diameter = diameter;
+      best = subset;
+    }
+    return true;
+  });
+  REDOPT_ASSERT(!best.empty(), "MDA selected no subset");
+  return best;
+}
+
+Vector MdaFilter::apply(const std::vector<Vector>& gradients) const {
+  const auto subset = select(gradients);
+  Vector acc(gradients.front().size());
+  for (std::size_t idx : subset) acc += gradients[idx];
+  return acc / static_cast<double>(subset.size());
+}
+
+}  // namespace redopt::filters

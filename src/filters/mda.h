@@ -1,0 +1,36 @@
+// Minimum-Diameter Averaging (MDA), a.k.a. the brute-force core of Bulyan's
+// analysis (El Mhamdi et al.): among all C(n, f) subsets of n - f
+// gradients, pick the one with the smallest Euclidean diameter and output
+// its average.
+//
+// MDA is combinatorial — O(C(n, f) * (n-f)^2) distance checks — so it only
+// suits small n (it is the aggregation analogue of the exhaustive exact
+// algorithm, and bench_filter_perf quantifies the blow-up).  Included
+// because its diameter-selection rule is the tightest classical notion of
+// "pick the mutually consistent majority".
+#pragma once
+
+#include "filters/gradient_filter.h"
+
+namespace redopt::filters {
+
+class MdaFilter final : public GradientFilter {
+ public:
+  /// Requires f < n.  @p max_subsets caps the enumeration as a safety rail
+  /// against accidental huge instances (throws if C(n, f) exceeds it).
+  MdaFilter(std::size_t n, std::size_t f, std::uint64_t max_subsets = 2'000'000);
+
+  Vector apply(const std::vector<Vector>& gradients) const override;
+  std::string name() const override { return "mda"; }
+  std::size_t expected_inputs() const override { return n_; }
+
+  /// The selected subset (ascending agent indices) for the given
+  /// gradients; exposed for tests.
+  std::vector<std::size_t> select(const std::vector<Vector>& gradients) const;
+
+ private:
+  std::size_t n_;
+  std::size_t f_;
+};
+
+}  // namespace redopt::filters

@@ -1,0 +1,40 @@
+#include "filters/mean.h"
+
+#include "util/error.h"
+
+namespace redopt::filters {
+
+namespace detail {
+
+void check_inputs(const std::vector<Vector>& gradients, std::size_t expected_n, const char* who) {
+  REDOPT_REQUIRE(gradients.size() == expected_n,
+                 std::string(who) + ": expected " + std::to_string(expected_n) +
+                     " gradients, got " + std::to_string(gradients.size()));
+  REDOPT_REQUIRE(!gradients.empty(), std::string(who) + ": no gradients");
+  const std::size_t d = gradients.front().size();
+  REDOPT_REQUIRE(d >= 1, std::string(who) + ": zero-dimensional gradients");
+  for (const auto& g : gradients)
+    REDOPT_REQUIRE(g.size() == d, std::string(who) + ": gradient dimension mismatch");
+}
+
+}  // namespace detail
+
+MeanFilter::MeanFilter(std::size_t n) : n_(n) {
+  REDOPT_REQUIRE(n >= 1, "mean filter requires n >= 1");
+}
+
+Vector MeanFilter::apply(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "mean");
+  return linalg::mean(gradients);
+}
+
+SumFilter::SumFilter(std::size_t n) : n_(n) {
+  REDOPT_REQUIRE(n >= 1, "sum filter requires n >= 1");
+}
+
+Vector SumFilter::apply(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "sum");
+  return linalg::sum(gradients);
+}
+
+}  // namespace redopt::filters

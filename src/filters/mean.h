@@ -1,0 +1,35 @@
+// Non-robust baselines: plain average and plain sum of all n gradients.
+//
+// These are the "DGD without any gradient-filter" baselines; under Byzantine
+// faults they are expected to fail (that failure is part of the evaluation).
+#pragma once
+
+#include "filters/gradient_filter.h"
+
+namespace redopt::filters {
+
+/// Average of all n gradients.
+class MeanFilter final : public GradientFilter {
+ public:
+  explicit MeanFilter(std::size_t n);
+  Vector apply(const std::vector<Vector>& gradients) const override;
+  std::string name() const override { return "mean"; }
+  std::size_t expected_inputs() const override { return n_; }
+
+ private:
+  std::size_t n_;
+};
+
+/// Sum of all n gradients (the classical DGD aggregate).
+class SumFilter final : public GradientFilter {
+ public:
+  explicit SumFilter(std::size_t n);
+  Vector apply(const std::vector<Vector>& gradients) const override;
+  std::string name() const override { return "sum"; }
+  std::size_t expected_inputs() const override { return n_; }
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace redopt::filters

@@ -1,0 +1,40 @@
+#include "filters/norm_clip.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace redopt::filters {
+
+NormClipFilter::NormClipFilter(std::size_t n, std::size_t f, double tau, bool adaptive)
+    : n_(n), f_(f), tau_(tau), adaptive_(adaptive) {
+  REDOPT_REQUIRE(n >= 1, "norm clip requires n >= 1");
+  REDOPT_REQUIRE(f < n, "norm clip requires f < n");
+  REDOPT_REQUIRE(adaptive || tau > 0.0, "clipping radius must be positive");
+}
+
+Vector NormClipFilter::apply(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "normclip");
+  double tau = tau_;
+  if (adaptive_) {
+    // Clip at the (n - f)-th smallest norm: Byzantine gradients cannot
+    // raise the threshold above the largest honest norm.
+    std::vector<double> norms(n_);
+    for (std::size_t i = 0; i < n_; ++i) norms[i] = gradients[i].norm();
+    std::nth_element(norms.begin(), norms.begin() + static_cast<std::ptrdiff_t>(n_ - f_ - 1),
+                     norms.end());
+    tau = norms[n_ - f_ - 1];
+  }
+  Vector acc(gradients.front().size());
+  for (const auto& g : gradients) {
+    const double norm = g.norm();
+    if (norm > tau && norm > 0.0) {
+      acc += g * (tau / norm);
+    } else {
+      acc += g;
+    }
+  }
+  return acc / static_cast<double>(n_);
+}
+
+}  // namespace redopt::filters

@@ -1,0 +1,31 @@
+// Norm clipping: rescale every gradient to norm <= tau, then average.
+//
+// A simple robustification baseline (related to CGE in spirit: both act on
+// gradient norms); it bounds a Byzantine gradient's magnitude but not its
+// direction, so it is expected to sit between plain averaging and CGE in
+// the ablation.
+#pragma once
+
+#include "filters/gradient_filter.h"
+
+namespace redopt::filters {
+
+class NormClipFilter final : public GradientFilter {
+ public:
+  /// @p tau > 0: the clipping radius.  If @p adaptive is true, tau is
+  /// ignored and each call clips at the (n - f)-th smallest input norm,
+  /// which needs no tuning and mirrors CGE's elimination threshold.
+  NormClipFilter(std::size_t n, std::size_t f, double tau, bool adaptive = false);
+
+  Vector apply(const std::vector<Vector>& gradients) const override;
+  std::string name() const override { return adaptive_ ? "normclip_adaptive" : "normclip"; }
+  std::size_t expected_inputs() const override { return n_; }
+
+ private:
+  std::size_t n_;
+  std::size_t f_;
+  double tau_;
+  bool adaptive_;
+};
+
+}  // namespace redopt::filters

@@ -1,0 +1,61 @@
+#include "filters/registry.h"
+
+#include "filters/bulyan.h"
+#include "filters/centered_clip.h"
+#include "filters/cge.h"
+#include "filters/geometric_median.h"
+#include "filters/gmom.h"
+#include "filters/krum.h"
+#include "filters/mda.h"
+#include "filters/mean.h"
+#include "filters/norm_clip.h"
+#include "filters/trimmed_mean.h"
+#include "util/error.h"
+
+namespace redopt::filters {
+
+std::unique_ptr<GradientFilter> make_filter(const std::string& name, const FilterParams& p) {
+  REDOPT_REQUIRE(p.n >= 1, "FilterParams.n must be set");
+  if (name == "mean") return std::make_unique<MeanFilter>(p.n);
+  if (name == "sum") return std::make_unique<SumFilter>(p.n);
+  if (name == "cge") return std::make_unique<CgeFilter>(p.n, p.f, /*normalize=*/false);
+  if (name == "cge_avg") return std::make_unique<CgeFilter>(p.n, p.f, /*normalize=*/true);
+  if (name == "cwtm") return std::make_unique<CwtmFilter>(p.n, p.f);
+  if (name == "cwmed") return std::make_unique<CwMedianFilter>(p.n);
+  if (name == "krum") return std::make_unique<KrumFilter>(p.n, p.f);
+  if (name == "multikrum") return std::make_unique<MultiKrumFilter>(p.n, p.f, p.multikrum_m);
+  if (name == "geomed") return std::make_unique<GeometricMedianFilter>(p.n);
+  if (name == "gmom") return std::make_unique<GmomFilter>(p.n, p.f, p.gmom_buckets);
+  if (name == "bulyan") return std::make_unique<BulyanFilter>(p.n, p.f);
+  if (name == "cclip") return std::make_unique<CenteredClipFilter>(p.n, p.clip_tau);
+  if (name == "mda") return std::make_unique<MdaFilter>(p.n, p.f);
+  if (name == "normclip") return std::make_unique<NormClipFilter>(p.n, p.f, p.clip_tau, false);
+  if (name == "normclip_adaptive")
+    return std::make_unique<NormClipFilter>(p.n, p.f, p.clip_tau, true);
+  REDOPT_REQUIRE(false, "unknown gradient filter: " + name);
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> filter_names() {
+  return {"mean",   "sum",    "cge",       "cge_avg", "cwtm",
+          "cwmed",  "krum",   "multikrum", "geomed",  "gmom",
+          "bulyan", "cclip",  "mda",       "normclip", "normclip_adaptive"};
+}
+
+std::vector<std::string> applicable_filter_names(std::size_t n, std::size_t f) {
+  std::vector<std::string> out;
+  for (const auto& name : filter_names()) {
+    FilterParams p;
+    p.n = n;
+    p.f = f;
+    try {
+      (void)make_filter(name, p);
+      out.push_back(name);
+    } catch (const PreconditionError&) {
+      // filter's (n, f) requirement not met; skip
+    }
+  }
+  return out;
+}
+
+}  // namespace redopt::filters

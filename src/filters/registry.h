@@ -1,0 +1,34 @@
+// Name-based filter construction, used by benches and examples so a filter
+// can be chosen with a --filter=cge style flag.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filters/gradient_filter.h"
+
+namespace redopt::filters {
+
+/// Parameters shared by all filter constructors.
+struct FilterParams {
+  std::size_t n = 0;            ///< total number of agents (required)
+  std::size_t f = 0;            ///< fault budget
+  std::size_t multikrum_m = 1;  ///< selection count for "multikrum"
+  double clip_tau = 1.0;        ///< radius for "normclip" and "cclip"
+  std::size_t gmom_buckets = 0; ///< bucket count for "gmom" (0 = 2f + 1)
+};
+
+/// Constructs the filter registered under @p name.
+/// Known names: mean, sum, cge, cge_avg, cwtm, cwmed, krum, multikrum,
+/// geomed, gmom, bulyan, cclip, mda, normclip, normclip_adaptive.
+/// Throws PreconditionError for unknown names or invalid parameters.
+std::unique_ptr<GradientFilter> make_filter(const std::string& name, const FilterParams& params);
+
+/// All registered filter names (in deterministic order).
+std::vector<std::string> filter_names();
+
+/// The subset of filter_names() whose (n, f) requirements are satisfied.
+std::vector<std::string> applicable_filter_names(std::size_t n, std::size_t f);
+
+}  // namespace redopt::filters

@@ -1,0 +1,46 @@
+#include "filters/trimmed_mean.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace redopt::filters {
+
+CwtmFilter::CwtmFilter(std::size_t n, std::size_t f) : n_(n), f_(f) {
+  REDOPT_REQUIRE(n > 2 * f, "CWTM requires n > 2f");
+}
+
+Vector CwtmFilter::apply(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "cwtm");
+  const std::size_t d = gradients.front().size();
+  Vector out(d);
+  std::vector<double> column(n_);
+  for (std::size_t k = 0; k < d; ++k) {
+    for (std::size_t i = 0; i < n_; ++i) column[i] = gradients[i][k];
+    std::sort(column.begin(), column.end());
+    double acc = 0.0;
+    for (std::size_t i = f_; i < n_ - f_; ++i) acc += column[i];
+    out[k] = acc / static_cast<double>(n_ - 2 * f_);
+  }
+  return out;
+}
+
+CwMedianFilter::CwMedianFilter(std::size_t n) : n_(n) {
+  REDOPT_REQUIRE(n >= 1, "CWMed requires n >= 1");
+}
+
+Vector CwMedianFilter::apply(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "cwmed");
+  const std::size_t d = gradients.front().size();
+  Vector out(d);
+  std::vector<double> column(n_);
+  for (std::size_t k = 0; k < d; ++k) {
+    for (std::size_t i = 0; i < n_; ++i) column[i] = gradients[i][k];
+    std::sort(column.begin(), column.end());
+    out[k] = (n_ % 2 == 1) ? column[n_ / 2]
+                           : 0.5 * (column[n_ / 2 - 1] + column[n_ / 2]);
+  }
+  return out;
+}
+
+}  // namespace redopt::filters

@@ -1,0 +1,89 @@
+// Matrix decompositions: Cholesky, column-pivoted Householder QR, and a
+// cyclic Jacobi eigensolver for symmetric matrices.
+//
+// These cover everything the reproduction needs: solving normal equations
+// (regression argmin), numerical rank (the 2f-redundancy condition is a rank
+// condition on row subsets), and extreme eigenvalues of Hessians (the
+// smoothness/convexity constants mu and gamma that appear in the theorems).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace redopt::linalg {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Returns std::nullopt if A is not (numerically) positive definite.
+std::optional<Matrix> cholesky(const Matrix& a);
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky.
+/// Returns std::nullopt if A is not positive definite.
+std::optional<Vector> solve_spd(const Matrix& a, const Vector& b);
+
+/// Column-pivoted Householder QR factorization  A P = Q R.
+///
+/// Supports any shape m x n.  The factor Q is kept in implicit Householder
+/// form; apply_qt() replays it against a vector, which is all the solvers
+/// need.  rank() reads the numerical rank off the diagonal of R.
+class QrDecomposition {
+ public:
+  /// Factorizes @p a (copied).  @p pivot enables column pivoting, which is
+  /// required for reliable rank revelation.
+  explicit QrDecomposition(const Matrix& a, bool pivot = true);
+
+  std::size_t rows() const { return m_; }
+  std::size_t cols() const { return n_; }
+
+  /// Numerical rank: number of diagonal entries of R exceeding
+  /// @p rel_tol * |R(0,0)|.  Uses a scale-relative threshold.
+  std::size_t rank(double rel_tol = 1e-10) const;
+
+  /// Computes Q^T b (length m).  Requires b.size() == rows().
+  Vector apply_qt(const Vector& b) const;
+
+  /// Minimum-norm-ish least-squares solution of min_x ||A x - b||.
+  ///
+  /// For full column rank this is the unique least-squares solution.  For
+  /// rank-deficient A it returns the basic solution with the pivoted free
+  /// variables set to zero.
+  Vector solve_least_squares(const Vector& b, double rel_tol = 1e-10) const;
+
+  /// Upper-triangular factor R (m x n, explicit copy).
+  Matrix r() const;
+
+  /// Column permutation: column j of A P is column perm()[j] of A.
+  const std::vector<std::size_t>& perm() const { return perm_; }
+
+ private:
+  std::size_t m_ = 0, n_ = 0;
+  Matrix qr_;                       // R in upper triangle, Householder vectors below
+  std::vector<double> beta_;        // Householder scalars
+  std::vector<std::size_t> perm_;   // column permutation
+};
+
+/// Solves a square nonsingular system A x = b via pivoted QR.
+/// Throws PreconditionError if A is singular to working precision.
+Vector solve(const Matrix& a, const Vector& b);
+
+/// Numerical rank of a general matrix via pivoted QR.
+std::size_t rank(const Matrix& a, double rel_tol = 1e-10);
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T.
+struct SymmetricEigen {
+  Vector eigenvalues;  ///< ascending order
+  Matrix eigenvectors; ///< column k pairs with eigenvalues[k]
+};
+
+/// Cyclic Jacobi eigensolver for a symmetric matrix.
+/// Throws PreconditionError if @p a is not square or not symmetric
+/// (to tolerance @p sym_tol relative to max |a_ij|).
+SymmetricEigen symmetric_eigen(const Matrix& a, double sym_tol = 1e-9);
+
+/// Smallest and largest eigenvalues of a symmetric matrix (convenience).
+double min_eigenvalue(const Matrix& a);
+double max_eigenvalue(const Matrix& a);
+
+}  // namespace redopt::linalg

@@ -1,0 +1,212 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace redopt::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    REDOPT_REQUIRE(row.size() == cols_, "all matrix rows must have equal length");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t d) {
+  Matrix m(d, d);
+  for (std::size_t i = 0; i < d; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  REDOPT_REQUIRE(!rows.empty(), "from_rows requires at least one row");
+  const std::size_t cols = rows.front().size();
+  Matrix m(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    REDOPT_REQUIRE(rows[r].size() == cols, "all rows must have equal length");
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  REDOPT_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  REDOPT_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+  return (*this)(r, c);
+}
+
+Vector Matrix::row(std::size_t r) const {
+  REDOPT_REQUIRE(r < rows_, "row index out of range");
+  Vector v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  REDOPT_REQUIRE(c < cols_, "column index out of range");
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::set_row(std::size_t r, const Vector& v) {
+  REDOPT_REQUIRE(r < rows_, "row index out of range");
+  REDOPT_REQUIRE(v.size() == cols_, "row dimension mismatch");
+  for (std::size_t c = 0; c < cols_; ++c) (*this)(r, c) = v[c];
+}
+
+Matrix Matrix::select_rows(const std::vector<std::size_t>& row_indices) const {
+  Matrix m(row_indices.size(), cols_);
+  for (std::size_t r = 0; r < row_indices.size(); ++r) {
+    REDOPT_REQUIRE(row_indices[r] < rows_, "selected row index out of range");
+    for (std::size_t c = 0; c < cols_; ++c) m(r, c) = (*this)(row_indices[r], c);
+  }
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = i; j < cols_; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < rows_; ++r) acc += (*this)(r, i) * (*this)(r, j);
+      g(i, j) = acc;
+      g(j, i) = acc;
+    }
+  }
+  return g;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Matrix::max_abs() const {
+  double acc = 0.0;
+  for (double x : data_) acc = std::max(acc, std::abs(x));
+  return acc;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  REDOPT_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  REDOPT_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+std::string Matrix::to_string(int digits) const {
+  std::ostringstream os;
+  os.precision(digits);
+  os << '[';
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r > 0) os << "; ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+  }
+  os << ']';
+  return os.str();
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Matrix operator-(Matrix lhs, const Matrix& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Matrix operator*(Matrix m, double s) {
+  m *= s;
+  return m;
+}
+
+Matrix operator*(double s, Matrix m) {
+  m *= s;
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  REDOPT_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  REDOPT_REQUIRE(a.cols() == x.size(), "matvec shape mismatch");
+  Vector out(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Vector matvec_transposed(const Matrix& a, const Vector& x) {
+  REDOPT_REQUIRE(a.rows() == x.size(), "matvec_transposed shape mismatch");
+  Vector out(a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += a(i, j) * xi;
+  }
+  return out;
+}
+
+Matrix outer(const Vector& a, const Vector& b) {
+  Matrix out(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j) out(i, j) = a[i] * b[j];
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) { return os << m.to_string(); }
+
+}  // namespace redopt::linalg

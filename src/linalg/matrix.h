@@ -1,0 +1,111 @@
+// Dense row-major real matrix.
+//
+// Sized for the problems in this reproduction (tens to a few hundred rows);
+// operations are straightforward O(n^3)/O(n^2) loops with no blocking.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace redopt::linalg {
+
+/// Dense matrix in R^{m x n}, row-major, value semantics.
+class Matrix {
+ public:
+  /// Empty (0 x 0) matrix.
+  Matrix() = default;
+
+  /// Zero matrix of the given shape.
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Matrix with every entry equal to @p fill.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construction from nested braces: Matrix{{1, 2}, {3, 4}}.
+  /// All rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// d x d identity.
+  static Matrix identity(std::size_t d);
+
+  /// Builds a matrix by stacking the given equally sized row vectors.
+  static Matrix from_rows(const std::vector<Vector>& rows);
+
+  /// Diagonal matrix from a vector of diagonal entries.
+  static Matrix diagonal(const Vector& diag);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Bounds-checked access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Copy of row @p r as a Vector.
+  Vector row(std::size_t r) const;
+  /// Copy of column @p c as a Vector.
+  Vector col(std::size_t c) const;
+  /// Overwrites row @p r (dimension-checked).
+  void set_row(std::size_t r, const Vector& v);
+
+  /// Submatrix of the given rows, in the given order.
+  Matrix select_rows(const std::vector<std::size_t>& row_indices) const;
+
+  Matrix transposed() const;
+
+  /// A^T A (Gram matrix), symmetric positive semi-definite.
+  Matrix gram() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Largest absolute entry.
+  double max_abs() const;
+
+  // In-place arithmetic (shape-checked).
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  std::string to_string(int digits = 6) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix m, double s);
+Matrix operator*(double s, Matrix m);
+
+/// Matrix product A * B; requires A.cols() == B.rows().
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Matrix-vector product A * x; requires A.cols() == x.size().
+Vector matvec(const Matrix& a, const Vector& x);
+
+/// Transposed product A^T * x; requires A.rows() == x.size().
+Vector matvec_transposed(const Matrix& a, const Vector& x);
+
+/// Outer product a * b^T.
+Matrix outer(const Vector& a, const Vector& b);
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace redopt::linalg

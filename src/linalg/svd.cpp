@@ -1,0 +1,180 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace redopt::linalg {
+
+Svd svd(const Matrix& a, std::size_t max_sweeps) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  REDOPT_REQUIRE(m >= n && n >= 1, "svd requires rows() >= cols() >= 1");
+
+  // One-sided Jacobi: orthogonalize the columns of a working copy W = A V
+  // by plane rotations accumulated into V; singular values are the final
+  // column norms and U the normalized columns.
+  Matrix w = a;
+  Matrix v = Matrix::identity(n);
+
+  const double eps = 1e-14;
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t r = 0; r < m; ++r) {
+          app += w(r, p) * w(r, p);
+          aqq += w(r, q) * w(r, q);
+          apq += w(r, p) * w(r, q);
+        }
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0) continue;
+        rotated = true;
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t r = 0; r < m; ++r) {
+          const double wp = w(r, p);
+          const double wq = w(r, q);
+          w(r, p) = c * wp - s * wq;
+          w(r, q) = s * wp + c * wq;
+        }
+        for (std::size_t r = 0; r < n; ++r) {
+          const double vp = v(r, p);
+          const double vq = v(r, q);
+          v(r, p) = c * vp - s * vq;
+          v(r, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Column norms are the singular values; sort descending.
+  std::vector<double> norms(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < m; ++r) acc += w(r, j) * w(r, j);
+    norms[j] = std::sqrt(acc);
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return norms[i] > norms[j]; });
+
+  Svd out;
+  out.sigma = Vector(n);
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t j = order[k];
+    out.sigma[k] = norms[j];
+    // Zero singular value: leave the U column zero (not part of the range).
+    const double inv = norms[j] > 0.0 ? 1.0 / norms[j] : 0.0;
+    for (std::size_t r = 0; r < m; ++r) out.u(r, k) = w(r, j) * inv;
+    for (std::size_t r = 0; r < n; ++r) out.v(r, k) = v(r, j);
+  }
+  return out;
+}
+
+std::size_t svd_rank(const Matrix& a, double rel_tol) {
+  const bool wide = a.rows() < a.cols();
+  const Svd decomposition = svd(wide ? a.transposed() : a);
+  const double scale = decomposition.sigma[0];
+  if (scale == 0.0) return 0;
+  std::size_t rank = 0;
+  for (std::size_t k = 0; k < decomposition.sigma.size(); ++k) {
+    if (decomposition.sigma[k] > rel_tol * scale) ++rank;
+  }
+  return rank;
+}
+
+double condition_number(const Matrix& a) {
+  const bool wide = a.rows() < a.cols();
+  const Svd decomposition = svd(wide ? a.transposed() : a);
+  const double smax = decomposition.sigma[0];
+  const double smin = decomposition.sigma[decomposition.sigma.size() - 1];
+  if (smin <= 0.0 || smax / smin > 1e15) return std::numeric_limits<double>::infinity();
+  return smax / smin;
+}
+
+LuDecomposition::LuDecomposition(const Matrix& a) : n_(a.rows()), lu_(a), perm_(a.rows()) {
+  REDOPT_REQUIRE(a.rows() == a.cols() && a.rows() >= 1, "LU requires a square matrix");
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: largest magnitude in column k at/below the diagonal.
+    std::size_t pivot = k;
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      if (std::abs(lu_(r, k)) > std::abs(lu_(pivot, k))) pivot = r;
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+      sign_ = -sign_;
+    }
+    const double diag = lu_(k, k);
+    if (diag == 0.0) continue;  // singular; detected by invertible()
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      lu_(r, k) /= diag;
+      const double factor = lu_(r, k);
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n_; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+bool LuDecomposition::invertible(double rel_tol) const {
+  double scale = 0.0;
+  for (std::size_t k = 0; k < n_; ++k) scale = std::max(scale, std::abs(lu_(k, k)));
+  if (scale == 0.0) return false;
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (std::abs(lu_(k, k)) <= rel_tol * scale) return false;
+  }
+  return true;
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  REDOPT_REQUIRE(b.size() == n_, "LU solve dimension mismatch");
+  REDOPT_REQUIRE(invertible(), "LU solve on a singular matrix");
+  // Forward substitution with permuted b (L has unit diagonal).
+  Vector y(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) acc -= lu_(i, k) * y[k];
+    y[i] = acc;
+  }
+  // Back substitution.
+  Vector x(n_);
+  for (std::size_t ii = n_; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = y[i];
+    for (std::size_t k = i + 1; k < n_; ++k) acc -= lu_(i, k) * x[k];
+    x[i] = acc / lu_(i, i);
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  double det = static_cast<double>(sign_);
+  for (std::size_t k = 0; k < n_; ++k) det *= lu_(k, k);
+  return det;
+}
+
+Matrix LuDecomposition::inverse() const {
+  Matrix inv(n_, n_);
+  Vector e(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    e[j] = 1.0;
+    const Vector column = solve(e);
+    for (std::size_t i = 0; i < n_; ++i) inv(i, j) = column[i];
+    e[j] = 0.0;
+  }
+  return inv;
+}
+
+}  // namespace redopt::linalg

@@ -1,0 +1,62 @@
+// Singular value decomposition (one-sided Jacobi) and LU factorization
+// with partial pivoting.
+//
+// The SVD gives scale-independent rank decisions (cross-checking the
+// pivoted-QR rank used by the redundancy machinery) and the spectral
+// condition number sigma_max / sigma_min — the quantity behind the mu /
+// gamma ratio that decides whether an instance sits inside Theorem 4's
+// alpha > 0 regime.  LU provides determinants and a second linear-solve
+// path used by the test-suite to cross-validate the QR solver.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace redopt::linalg {
+
+/// Thin SVD A = U diag(sigma) V^T for m x n with m >= n.
+struct Svd {
+  Matrix u;       ///< m x n, orthonormal columns
+  Vector sigma;   ///< n singular values, descending, non-negative
+  Matrix v;       ///< n x n orthogonal
+};
+
+/// One-sided Jacobi SVD.  Requires rows() >= cols() (transpose first for
+/// wide matrices).  Deterministic; accuracy ~1e-12 relative.
+Svd svd(const Matrix& a, std::size_t max_sweeps = 60);
+
+/// Numerical rank from singular values: count of sigma_i > rel_tol * sigma_0.
+std::size_t svd_rank(const Matrix& a, double rel_tol = 1e-10);
+
+/// Spectral condition number sigma_max / sigma_min; +infinity when
+/// numerically singular.
+double condition_number(const Matrix& a);
+
+/// LU factorization with partial pivoting: P A = L U.
+class LuDecomposition {
+ public:
+  /// Factorizes the square matrix @p a (copied).
+  explicit LuDecomposition(const Matrix& a);
+
+  /// True if no zero pivot was hit (matrix nonsingular to working precision).
+  bool invertible(double rel_tol = 1e-12) const;
+
+  /// Solves A x = b.  Throws PreconditionError if singular.
+  Vector solve(const Vector& b) const;
+
+  /// det(A) (sign-corrected for row swaps).
+  double determinant() const;
+
+  /// A^{-1} (column-by-column solve).  Throws if singular.
+  Matrix inverse() const;
+
+ private:
+  std::size_t n_;
+  Matrix lu_;                       ///< L below diagonal (unit), U on/above
+  std::vector<std::size_t> perm_;   ///< row permutation
+  int sign_ = 1;                    ///< permutation parity
+};
+
+}  // namespace redopt::linalg

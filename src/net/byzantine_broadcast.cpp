@@ -1,0 +1,126 @@
+#include "net/byzantine_broadcast.h"
+
+#include <map>
+
+#include "util/error.h"
+
+namespace redopt::net {
+
+Value majority_value(const std::vector<Value>& values, std::size_t dim) {
+  std::map<std::vector<double>, std::size_t> counts;
+  for (const auto& v : values) ++counts[v.data()];
+  for (const auto& [data, count] : counts) {
+    if (2 * count > values.size()) return Value(std::vector<double>(data));
+  }
+  return Value(dim);  // ⊥: the all-zero default
+}
+
+namespace {
+
+struct OmContext {
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  const std::vector<bool>* is_byzantine = nullptr;
+  const ByzantineRelay* relay = nullptr;
+  std::uint64_t messages = 0;
+};
+
+/// What @p sender actually transmits to @p dest when an honest node would
+/// transmit @p value.
+Value transmitted(OmContext& ctx, std::vector<NodeId>& path, NodeId sender, NodeId dest,
+                  const Value& value) {
+  ++ctx.messages;
+  if ((*ctx.is_byzantine)[sender] && *ctx.relay != nullptr) {
+    path.push_back(sender);
+    Value v = (*ctx.relay)(path, dest, value);
+    path.pop_back();
+    REDOPT_REQUIRE(v.size() == ctx.dim, "byzantine relay produced wrong-dimension value");
+    return v;
+  }
+  return value;
+}
+
+/// OM(m) with the given commander and lieutenant set; returns the value
+/// each lieutenant decides for this (sub-)broadcast, indexed by position in
+/// @p lieutenants.
+std::vector<Value> om(OmContext& ctx, std::size_t m, NodeId commander,
+                      const std::vector<NodeId>& lieutenants, const Value& commander_value,
+                      std::vector<NodeId>& path) {
+  const std::size_t k = lieutenants.size();
+  // The value each lieutenant receives from the commander.
+  std::vector<Value> received(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    received[i] = transmitted(ctx, path, commander, lieutenants[i], commander_value);
+  }
+  if (m == 0 || k <= 1) return received;
+
+  // Each lieutenant j relays its received value to the others via OM(m-1);
+  // sub[j] holds, for each position i != j, the value lieutenant i decided
+  // for j's relay.
+  std::vector<std::vector<Value>> sub(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    std::vector<NodeId> others;
+    others.reserve(k - 1);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i != j) others.push_back(lieutenants[i]);
+    }
+    path.push_back(commander);
+    sub[j] = om(ctx, m - 1, lieutenants[j], others, received[j], path);
+    path.pop_back();
+  }
+
+  // Each lieutenant i decides the majority of its own received value and
+  // the relayed values it decided for the other lieutenants.
+  std::vector<Value> decided(k);
+  std::vector<Value> votes;
+  for (std::size_t i = 0; i < k; ++i) {
+    votes.clear();
+    votes.push_back(received[i]);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      // Position of i within "others" of j: i's index shifts down by one
+      // when i > j.
+      const std::size_t pos = i > j ? i - 1 : i;
+      votes.push_back(sub[j][pos]);
+    }
+    decided[i] = majority_value(votes, ctx.dim);
+  }
+  return decided;
+}
+
+}  // namespace
+
+BroadcastResult byzantine_broadcast(const Value& value, NodeId commander, std::size_t n,
+                                    std::size_t f, const std::vector<bool>& is_byzantine,
+                                    const ByzantineRelay& relay) {
+  REDOPT_REQUIRE(n > 3 * f, "byzantine broadcast requires n > 3f");
+  REDOPT_REQUIRE(commander < n, "commander id out of range");
+  REDOPT_REQUIRE(is_byzantine.size() == n, "is_byzantine size mismatch");
+  REDOPT_REQUIRE(!value.empty(), "broadcast value must be non-empty");
+
+  OmContext ctx;
+  ctx.n = n;
+  ctx.dim = value.size();
+  ctx.is_byzantine = &is_byzantine;
+  ctx.relay = &relay;
+
+  std::vector<NodeId> lieutenants;
+  lieutenants.reserve(n - 1);
+  for (NodeId i = 0; i < n; ++i) {
+    if (i != commander) lieutenants.push_back(i);
+  }
+
+  std::vector<NodeId> path;
+  const auto decided_lts = om(ctx, f, commander, lieutenants, value, path);
+
+  BroadcastResult result;
+  result.decided.assign(n, Value(ctx.dim));
+  result.decided[commander] = value;
+  for (std::size_t i = 0; i < lieutenants.size(); ++i) {
+    result.decided[lieutenants[i]] = decided_lts[i];
+  }
+  result.messages = ctx.messages;
+  return result;
+}
+
+}  // namespace redopt::net

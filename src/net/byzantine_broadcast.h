@@ -1,0 +1,60 @@
+// Byzantine broadcast via the Oral Messages algorithm OM(f)
+// (Lamport, Shostak, Pease 1982).
+//
+// The paper's peer-to-peer architecture (Figure 1) simulates the
+// server-based algorithm using Byzantine broadcast, which is possible when
+// f < n/3.  This module implements OM(f) over deterministic simulated
+// nodes: a commander broadcasts a vector value; despite up to f Byzantine
+// participants (who may equivocate arbitrarily, including the commander),
+// all honest participants decide the same value (agreement), and if the
+// commander is honest they decide its value (validity).
+//
+// OM(f) costs O(n^f) messages — that exponential is intrinsic to the
+// oral-messages model and is measured by bench_p2p.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "net/message.h"
+
+namespace redopt::net {
+
+using Value = linalg::Vector;
+
+/// What a Byzantine participant sends in place of honest relaying.
+///
+/// @p path   the relay chain so far, ending with this Byzantine node;
+/// @p dest   the destination node;
+/// @p value  the value an honest node would have relayed.
+/// Returning different values for different destinations models
+/// equivocation.
+using ByzantineRelay =
+    std::function<Value(const std::vector<NodeId>& path, NodeId dest, const Value& value)>;
+
+/// Outcome of one OM(f) broadcast.
+struct BroadcastResult {
+  /// Decided value per node id.  The commander's entry is its own input.
+  std::vector<Value> decided;
+  /// Total messages exchanged (for the complexity bench).
+  std::uint64_t messages = 0;
+};
+
+/// Runs OM(f) with nodes {0..n-1}, the given commander, and input @p value.
+///
+/// Requires n > 3f (the classical bound) and commander < n.  The relay
+/// function is consulted whenever a Byzantine node (commander or
+/// lieutenant) sends; pass nullptr to make Byzantine nodes follow the
+/// protocol honestly.
+BroadcastResult byzantine_broadcast(const Value& value, NodeId commander, std::size_t n,
+                                    std::size_t f, const std::vector<bool>& is_byzantine,
+                                    const ByzantineRelay& relay = nullptr);
+
+/// Majority value among @p values under exact equality; returns the
+/// all-zero "default" vector of dimension @p dim when no strict majority
+/// exists (the classical ⊥ default).
+Value majority_value(const std::vector<Value>& values, std::size_t dim);
+
+}  // namespace redopt::net

@@ -1,0 +1,31 @@
+// Message type for the simulated synchronous network.
+//
+// The paper assumes a synchronous system (Section 1.4): computation
+// proceeds in rounds, and a message sent in round r is delivered at the
+// start of round r + 1.  Payloads are real vectors (estimates, gradients);
+// the tag distinguishes protocol phases.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "linalg/vector.h"
+
+namespace redopt::net {
+
+using NodeId = std::size_t;
+
+/// Destination value meaning "deliver to every other node".
+inline constexpr NodeId kBroadcast = std::numeric_limits<NodeId>::max();
+
+/// One network message.
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;           ///< a node id, or kBroadcast
+  std::size_t round = 0;   ///< round in which the message was sent
+  std::string tag;         ///< protocol phase, e.g. "estimate", "gradient"
+  linalg::Vector payload;  ///< message body
+};
+
+}  // namespace redopt::net

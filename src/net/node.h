@@ -1,0 +1,21 @@
+// Node interface for the simulated synchronous network.
+#pragma once
+
+#include <vector>
+
+#include "net/message.h"
+
+namespace redopt::net {
+
+/// A protocol participant driven by the SyncNetwork in rounds.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Called once per round with all messages delivered this round (those
+  /// sent to this node, or broadcast, in the previous round).  Returns the
+  /// messages to send; they are delivered at the start of the next round.
+  virtual std::vector<Message> on_round(std::size_t round, const std::vector<Message>& inbox) = 0;
+};
+
+}  // namespace redopt::net

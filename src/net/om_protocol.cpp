@@ -1,0 +1,166 @@
+#include "net/om_protocol.h"
+
+#include <memory>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace redopt::net {
+
+namespace {
+
+/// Encodes a relay path as a message tag "om:0,3,5".
+std::string encode_path(const std::vector<NodeId>& path) {
+  std::string tag = "om:";
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) tag += ',';
+    tag += std::to_string(path[i]);
+  }
+  return tag;
+}
+
+/// Parses an "om:..." tag back into a path; returns false on other tags.
+bool decode_path(const std::string& tag, std::vector<NodeId>& path) {
+  if (tag.rfind("om:", 0) != 0) return false;
+  path.clear();
+  std::istringstream stream(tag.substr(3));
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    path.push_back(static_cast<NodeId>(std::stoull(token)));
+  }
+  return !path.empty();
+}
+
+}  // namespace
+
+OmNode::OmNode(NodeId id, std::size_t n, std::size_t f, NodeId commander, bool byzantine,
+               ByzantineRelay relay)
+    : id_(id), n_(n), f_(f), commander_(commander), byzantine_(byzantine),
+      relay_(std::move(relay)) {
+  REDOPT_REQUIRE(n > 3 * f, "OM protocol requires n > 3f");
+  REDOPT_REQUIRE(id < n && commander < n, "node/commander id out of range");
+}
+
+void OmNode::set_input(Value value) {
+  REDOPT_REQUIRE(id_ == commander_, "only the commander takes an input");
+  REDOPT_REQUIRE(!value.empty(), "broadcast value must be non-empty");
+  dim_ = value.size();
+  input_ = std::move(value);
+}
+
+Value OmNode::transmitted(const std::vector<NodeId>& path_with_self, NodeId dest,
+                          const Value& honest_value) const {
+  if (byzantine_ && relay_ != nullptr) {
+    Value v = relay_(path_with_self, dest, honest_value);
+    REDOPT_REQUIRE(v.size() == honest_value.size(),
+                   "byzantine relay produced wrong-dimension value");
+    return v;
+  }
+  return honest_value;
+}
+
+std::vector<Message> OmNode::on_round(std::size_t round, const std::vector<Message>& inbox) {
+  std::vector<Message> out;
+
+  // Round 0: the commander initiates, sending its value to every other
+  // node with the one-element path (itself).
+  if (round == 0) {
+    if (id_ == commander_) {
+      REDOPT_REQUIRE(!input_.empty(), "commander has no input value");
+      const std::vector<NodeId> path = {commander_};
+      for (NodeId dest = 0; dest < n_; ++dest) {
+        if (dest == id_) continue;
+        Message m;
+        m.to = dest;
+        m.tag = encode_path(path);
+        m.payload = transmitted(path, dest, input_);
+        out.push_back(std::move(m));
+      }
+    }
+    return out;
+  }
+
+  // Delivery rounds: store every OM message and relay those whose chain
+  // can still grow (|path| <= f: the relayed copy has |path| + 1 <= f + 1).
+  std::vector<NodeId> path;
+  for (const Message& m : inbox) {
+    if (!decode_path(m.tag, path)) continue;
+    REDOPT_REQUIRE(!path.empty() && path.back() == m.from,
+                   "OM message path does not end with its sender");
+    if (dim_ == 0) dim_ = m.payload.size();
+    tree_[path] = m.payload;
+
+    if (path.size() <= f_) {
+      // Relay to every node not already in the chain (and not ourselves).
+      std::vector<NodeId> extended = path;
+      extended.push_back(id_);
+      std::vector<bool> in_chain(n_, false);
+      for (NodeId p : extended) in_chain[p] = true;
+      for (NodeId dest = 0; dest < n_; ++dest) {
+        if (in_chain[dest]) continue;
+        Message relay_msg;
+        relay_msg.to = dest;
+        relay_msg.tag = encode_path(extended);
+        relay_msg.payload = transmitted(extended, dest, m.payload);
+        out.push_back(std::move(relay_msg));
+      }
+    }
+  }
+  return out;
+}
+
+Value OmNode::decide(const std::vector<NodeId>& path) const {
+  const auto it = tree_.find(path);
+  const Value own = it != tree_.end() ? it->second : Value(dim_);  // ⊥ = zero default
+  if (path.size() == f_ + 1) return own;
+
+  // Participants of this sub-broadcast: everyone not already in the chain.
+  std::vector<bool> in_chain(n_, false);
+  for (NodeId p : path) in_chain[p] = true;
+  std::vector<Value> votes;
+  votes.push_back(own);
+  std::vector<NodeId> child = path;
+  for (NodeId j = 0; j < n_; ++j) {
+    if (in_chain[j] || j == id_) continue;
+    child.push_back(j);
+    votes.push_back(decide(child));
+    child.pop_back();
+  }
+  return majority_value(votes, dim_);
+}
+
+Value OmNode::decision() const {
+  if (id_ == commander_) return input_;
+  REDOPT_REQUIRE(dim_ > 0, "decision requested before any OM message arrived");
+  return decide({commander_});
+}
+
+OmProtocolResult run_om_protocol(const Value& value, NodeId commander, std::size_t n,
+                                 std::size_t f, const std::vector<bool>& is_byzantine,
+                                 const ByzantineRelay& relay) {
+  REDOPT_REQUIRE(n > 3 * f, "OM protocol requires n > 3f");
+  REDOPT_REQUIRE(commander < n, "commander id out of range");
+  REDOPT_REQUIRE(is_byzantine.size() == n, "is_byzantine size mismatch");
+  REDOPT_REQUIRE(!value.empty(), "broadcast value must be non-empty");
+
+  std::vector<std::unique_ptr<OmNode>> nodes;
+  nodes.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    nodes.push_back(std::make_unique<OmNode>(i, n, f, commander, is_byzantine[i], relay));
+  }
+  nodes[commander]->set_input(value);
+
+  std::vector<Node*> raw;
+  raw.reserve(n);
+  for (auto& node : nodes) raw.push_back(node.get());
+  SyncNetwork network(std::move(raw));
+  network.run(nodes.front()->rounds_needed());
+
+  OmProtocolResult result;
+  result.decided.reserve(n);
+  for (NodeId i = 0; i < n; ++i) result.decided.push_back(nodes[i]->decision());
+  result.stats = network.stats();
+  return result;
+}
+
+}  // namespace redopt::net

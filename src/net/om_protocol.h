@@ -1,0 +1,79 @@
+// OM(f) Byzantine broadcast as an actual message-passing protocol.
+//
+// net/byzantine_broadcast.h computes the oral-messages recursion
+// *centrally* (a faithful but shortcut simulation).  This module runs the
+// real protocol over the SyncNetwork substrate: each node only ever acts
+// on messages it received, maintaining its own EIG (exponential
+// information gathering) tree of relayed values keyed by the relay path,
+// and decides by recursive majority after f + 1 delivery rounds.
+//
+// The test suite checks this protocol decides exactly the same values as
+// the functional recursion for every fault pattern — the standard
+// cross-validation between a model and its distributed implementation.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/byzantine_broadcast.h"
+#include "net/node.h"
+#include "net/sync_network.h"
+
+namespace redopt::net {
+
+/// One OM(f) participant.  Node ids 0..n-1; the commander is one of them.
+class OmNode final : public Node {
+ public:
+  /// @p relay is consulted when this node is Byzantine and about to send
+  /// (empty relay = follow the protocol honestly despite being marked).
+  OmNode(NodeId id, std::size_t n, std::size_t f, NodeId commander, bool byzantine,
+         ByzantineRelay relay);
+
+  /// Sets the commander's input value (only meaningful on the commander).
+  void set_input(Value value);
+
+  std::vector<Message> on_round(std::size_t round, const std::vector<Message>& inbox) override;
+
+  /// The decision, valid after f + 2 network rounds.  The commander
+  /// decides its own input.
+  Value decision() const;
+
+  /// Number of protocol rounds needed: one send round plus f + 1 delivery
+  /// rounds.
+  std::size_t rounds_needed() const { return f_ + 2; }
+
+ private:
+  /// Recursive EIG majority over the stored value tree.
+  Value decide(const std::vector<NodeId>& path) const;
+
+  /// The value this node transmits for chain @p path_with_self (applies
+  /// the Byzantine relay when marked).
+  Value transmitted(const std::vector<NodeId>& path_with_self, NodeId dest,
+                    const Value& honest_value) const;
+
+  NodeId id_;
+  std::size_t n_;
+  std::size_t f_;
+  NodeId commander_;
+  bool byzantine_;
+  ByzantineRelay relay_;
+  Value input_;  // commander only
+  std::size_t dim_ = 0;
+  /// Received values keyed by relay path (path[0] == commander, last
+  /// element == the node that sent it to us).
+  std::map<std::vector<NodeId>, Value> tree_;
+};
+
+/// Outcome of a full protocol execution.
+struct OmProtocolResult {
+  std::vector<Value> decided;  ///< per node (commander: its input)
+  NetworkStats stats;          ///< network traffic of the execution
+};
+
+/// Convenience driver: builds the nodes, runs f + 2 rounds, collects
+/// decisions.  Same contract as byzantine_broadcast().
+OmProtocolResult run_om_protocol(const Value& value, NodeId commander, std::size_t n,
+                                 std::size_t f, const std::vector<bool>& is_byzantine,
+                                 const ByzantineRelay& relay = nullptr);
+
+}  // namespace redopt::net

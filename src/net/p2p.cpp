@@ -1,0 +1,160 @@
+#include "net/p2p.h"
+
+#include <limits>
+
+#include "net/byzantine_broadcast.h"
+#include "net/om_protocol.h"
+#include "util/error.h"
+
+namespace redopt::net {
+
+P2pResult run_p2p_protocol(const core::MultiAgentProblem& problem,
+                           const std::vector<std::size_t>& byzantine_ids,
+                           const attacks::Attack* attack, const dgd::TrainerConfig& config,
+                           const std::optional<linalg::Vector>& reference, bool equivocate,
+                           bool use_message_protocol) {
+  problem.validate();
+  const std::size_t n = problem.num_agents();
+  const std::size_t d = problem.dimension();
+  REDOPT_REQUIRE(n > 3 * problem.f, "peer-to-peer simulation requires n > 3f");
+  REDOPT_REQUIRE(config.filter != nullptr, "config needs a gradient filter");
+  REDOPT_REQUIRE(config.schedule != nullptr, "config needs a step schedule");
+  REDOPT_REQUIRE(config.projection != nullptr, "config needs a projection set");
+  REDOPT_REQUIRE(byzantine_ids.size() <= problem.f, "more byzantine agents than fault budget");
+  REDOPT_REQUIRE(byzantine_ids.empty() || attack != nullptr,
+                 "byzantine agents present but no attack supplied");
+
+  const auto honest = dgd::honest_ids(n, byzantine_ids);
+  std::vector<bool> is_byzantine(n, false);
+  for (std::size_t id : byzantine_ids) is_byzantine[id] = true;
+  if (reference) REDOPT_REQUIRE(reference->size() == d, "reference dimension mismatch");
+
+  const rng::Rng root(config.seed);
+  std::vector<rng::Rng> agent_rngs;
+  agent_rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    agent_rngs.push_back(root.fork("byzantine-agent-" + std::to_string(i)));
+  rng::Rng equivocation_rng = root.fork("equivocation");
+
+  // Every honest agent's estimate; kept per-agent to *check* lockstep
+  // rather than assume it.
+  std::vector<linalg::Vector> estimates(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    linalg::Vector x0 = config.x0.empty() ? linalg::Vector(d) : config.x0;
+    REDOPT_REQUIRE(x0.size() == d, "x0 dimension mismatch");
+    estimates[i] = config.projection->project(x0);
+  }
+
+  auto honest_loss = [&](const linalg::Vector& at) {
+    double acc = 0.0;
+    for (std::size_t id : honest) acc += problem.costs[id]->value(at);
+    return acc;
+  };
+
+  P2pResult result;
+  const std::size_t lead = honest.front();  // representative honest agent
+  auto record = [&](std::size_t t) {
+    if (config.trace_stride == 0) return;
+    if (t % config.trace_stride != 0 && t != config.iterations) return;
+    result.train.trace.iteration.push_back(t);
+    result.train.trace.loss.push_back(honest_loss(estimates[lead]));
+    result.train.trace.distance.push_back(
+        reference ? linalg::distance(estimates[lead], *reference)
+                  : std::numeric_limits<double>::quiet_NaN());
+    result.train.trace.estimates.push_back(estimates[lead]);
+  };
+
+  record(0);
+  for (std::size_t t = 0; t < config.iterations; ++t) {
+    const linalg::Vector& x = estimates[lead];
+
+    // Honest gradients at the common estimate (the attack context's
+    // omniscient view).
+    std::vector<linalg::Vector> honest_gradients;
+    honest_gradients.reserve(honest.size());
+    for (std::size_t id : honest) honest_gradients.push_back(problem.costs[id]->gradient(x));
+
+    // Each agent broadcasts its value via OM(f); honest agents decide one
+    // consistent vector per sender.
+    std::vector<std::vector<linalg::Vector>> decided_by(n);  // [receiver][sender]
+    for (std::size_t i = 0; i < n; ++i) decided_by[i].resize(n);
+
+    for (std::size_t sender = 0; sender < n; ++sender) {
+      linalg::Vector value;
+      if (is_byzantine[sender]) {
+        const linalg::Vector true_gradient = problem.costs[sender]->gradient(x);
+        attacks::AttackContext ctx;
+        ctx.iteration = t;
+        ctx.agent_id = sender;
+        ctx.n = n;
+        ctx.f = problem.f;
+        ctx.estimate = &x;
+        ctx.honest_gradient = &true_gradient;
+        ctx.honest_gradients = &honest_gradients;
+        ctx.rng = &agent_rngs[sender];
+        value = attack->craft(ctx);
+      } else {
+        value = problem.costs[sender]->gradient(x);
+      }
+
+      ByzantineRelay relay = nullptr;
+      if (equivocate) {
+        // A Byzantine relayer perturbs the value differently per
+        // destination: the strongest consistency challenge for OM(f).
+        relay = [&](const std::vector<NodeId>& /*path*/, NodeId dest,
+                    const Value& v) -> Value {
+          Value perturbed = v;
+          for (auto& c : perturbed) {
+            c += equivocation_rng.gaussian(0.0, 1.0) + static_cast<double>(dest);
+          }
+          return perturbed;
+        };
+      }
+
+      std::vector<linalg::Vector> decided;
+      if (use_message_protocol) {
+        const auto broadcast =
+            run_om_protocol(value, sender, n, problem.f, is_byzantine, relay);
+        result.messages += broadcast.stats.messages_delivered;
+        decided = broadcast.decided;
+      } else {
+        const auto broadcast =
+            byzantine_broadcast(value, sender, n, problem.f, is_byzantine, relay);
+        result.messages += broadcast.messages;
+        decided = broadcast.decided;
+      }
+      for (std::size_t receiver = 0; receiver < n; ++receiver) {
+        decided_by[receiver][sender] = decided[receiver];
+      }
+    }
+
+    // Agreement check: all honest agents decided identical gradient sets.
+    for (std::size_t h : honest) {
+      for (std::size_t sender = 0; sender < n; ++sender) {
+        if (!(decided_by[h][sender] == decided_by[lead][sender])) {
+          result.honest_agreement = false;
+        }
+      }
+    }
+
+    // Every honest agent filters and updates locally.
+    for (std::size_t h : honest) {
+      const linalg::Vector direction = config.filter->apply(decided_by[h]);
+      estimates[h] =
+          config.projection->project(estimates[h] - direction * config.schedule->step(t));
+    }
+    for (std::size_t h : honest) {
+      if (!(estimates[h] == estimates[lead])) result.honest_agreement = false;
+    }
+    record(t + 1);
+  }
+
+  result.train.estimate = estimates[lead];
+  result.train.final_loss = honest_loss(estimates[lead]);
+  if (reference) {
+    result.train.final_distance = linalg::distance(estimates[lead], *reference);
+  }
+  return result;
+}
+
+}  // namespace redopt::net

@@ -1,0 +1,45 @@
+// Peer-to-peer DGD via Byzantine broadcast (Figure 1b).
+//
+// Without a trusted server, each agent maintains its own estimate and in
+// every iteration broadcasts its gradient to all peers using OM(f)
+// Byzantine broadcast (f < n/3).  Agreement of the broadcast guarantees
+// every honest agent sees the *same* multiset of n gradients — including
+// identical copies of whatever each Byzantine agent equivocated — so all
+// honest agents apply the gradient-filter to identical inputs and their
+// estimates stay in lockstep.  This is the standard simulation of the
+// server-based algorithm in the peer-to-peer model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dgd/trainer.h"
+
+namespace redopt::net {
+
+/// Outcome of a peer-to-peer DGD execution.
+struct P2pResult {
+  dgd::TrainResult train;        ///< observables of the (common) honest estimate
+  std::uint64_t messages = 0;    ///< total OM(f) messages over the execution
+  bool honest_agreement = true;  ///< honest estimates identical every iteration
+};
+
+/// Runs peer-to-peer DGD.  Same contract as dgd::train, plus n > 3f.
+///
+/// If @p equivocate is true, each Byzantine agent sends *different* values
+/// to different peers when acting as broadcast commander (the hardest
+/// behaviour for agreement); OM(f) still forces a consistent decided value.
+///
+/// If @p use_message_protocol is true, each broadcast runs as the real
+/// message-passing OM protocol over the network substrate
+/// (net/om_protocol.h) instead of the functional recursion; the two are
+/// decision-equivalent (cross-validated by the test suite), so results
+/// are identical — this flag exists to exercise the full distributed
+/// stack end to end.
+P2pResult run_p2p_protocol(const core::MultiAgentProblem& problem,
+                           const std::vector<std::size_t>& byzantine_ids,
+                           const attacks::Attack* attack, const dgd::TrainerConfig& config,
+                           const std::optional<linalg::Vector>& reference = std::nullopt,
+                           bool equivocate = false, bool use_message_protocol = false);
+
+}  // namespace redopt::net

@@ -1,0 +1,258 @@
+#include "net/server_protocol.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace redopt::net {
+
+namespace {
+
+using dgd::TrainerConfig;
+using linalg::Vector;
+
+/// The trusted server: broadcasts the estimate, filters replies, updates.
+class ServerNode final : public Node {
+ public:
+  ServerNode(std::size_t n, std::size_t f, std::size_t d, const TrainerConfig& config)
+      : n_(n), d_(d), config_(config), active_(n, true), n_active_(n), f_active_(f),
+        filter_(config.filter) {
+    x_ = config.x0.empty() ? Vector(d) : config.x0;
+    REDOPT_REQUIRE(x_.size() == d, "x0 dimension mismatch");
+    x_ = config.projection->project(x_);
+  }
+
+  // Timing: a message sent in round r is delivered in round r + 1.  The
+  // server broadcasts x^t in even round 2t; agents reply in odd round
+  // 2t + 1; the replies arrive in even round 2t + 2, where the server
+  // updates and immediately broadcasts x^{t+1}.
+  std::vector<Message> on_round(std::size_t round, const std::vector<Message>& inbox) override {
+    if (round % 2 == 1) return {};  // replies are in flight; nothing to do
+
+    if (round > 0) {
+      // Gradient-collection.  The system is synchronous, so a missing
+      // reply *identifies* the sender as faulty: the server eliminates it
+      // and updates (n, f) — the paper's step S1.
+      std::vector<Vector> replies(n_);
+      std::vector<bool> seen(n_, false);
+      for (const Message& m : inbox) {
+        if (m.tag != "gradient") continue;
+        REDOPT_REQUIRE(m.from < n_, "gradient from unknown agent");
+        if (!active_[m.from]) continue;  // eliminated agents are ignored
+        REDOPT_REQUIRE(!seen[m.from], "duplicate gradient from one agent");
+        seen[m.from] = true;
+        replies[m.from] = m.payload;
+      }
+      bool eliminated_this_round = false;
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (active_[i] && !seen[i]) {
+          active_[i] = false;
+          --n_active_;
+          if (f_active_ > 0) --f_active_;
+          eliminated_agents_.push_back(i);
+          eliminated_this_round = true;
+        }
+      }
+      if (eliminated_this_round) {
+        REDOPT_REQUIRE(config_.filter_factory != nullptr,
+                       "agent eliminated but no filter_factory configured");
+        filter_ = config_.filter_factory(n_active_, f_active_);
+        REDOPT_REQUIRE(filter_ != nullptr && filter_->expected_inputs() == n_active_,
+                       "filter_factory produced an unusable filter");
+      }
+
+      std::vector<Vector> gradients;
+      gradients.reserve(n_active_);
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (active_[i]) gradients.push_back(replies[i]);
+      }
+      const Vector direction = filter_->apply(gradients);
+      x_ = config_.projection->project(x_ - direction * config_.schedule->step(iteration_));
+      ++iteration_;
+    }
+
+    Message m;
+    m.to = kBroadcast;
+    m.tag = "estimate";
+    m.payload = x_;
+    return {m};
+  }
+
+  const Vector& estimate() const { return x_; }
+  const std::vector<std::size_t>& eliminated_agents() const { return eliminated_agents_; }
+  std::size_t iterations_done() const { return iteration_; }
+
+ private:
+  std::size_t n_;
+  std::size_t d_;
+  TrainerConfig config_;
+  Vector x_;
+  std::size_t iteration_ = 0;
+  std::vector<bool> active_;
+  std::size_t n_active_;
+  std::size_t f_active_;
+  filters::FilterPtr filter_;
+  std::vector<std::size_t> eliminated_agents_;
+};
+
+/// An honest agent: replies to "estimate" with its gradient.
+class HonestAgentNode final : public Node {
+ public:
+  HonestAgentNode(core::CostPtr cost, NodeId server) : cost_(std::move(cost)), server_(server) {}
+
+  std::vector<Message> on_round(std::size_t, const std::vector<Message>& inbox) override {
+    std::vector<Message> out;
+    for (const Message& m : inbox) {
+      if (m.tag != "estimate") continue;
+      Message reply;
+      reply.to = server_;
+      reply.tag = "gradient";
+      reply.payload = cost_->gradient(m.payload);
+      out.push_back(std::move(reply));
+    }
+    return out;
+  }
+
+ private:
+  core::CostPtr cost_;
+  NodeId server_;
+};
+
+/// A Byzantine agent: crafts its reply with the configured attack.  The
+/// adversary is omniscient (it knows all honest costs), matching the
+/// in-process trainer's worst-case model.
+class ByzantineAgentNode final : public Node {
+ public:
+  ByzantineAgentNode(const core::MultiAgentProblem& problem, std::size_t agent_id,
+                     const std::vector<std::size_t>& honest, const attacks::Attack& attack,
+                     rng::Rng rng, NodeId server)
+      : problem_(problem),
+        agent_id_(agent_id),
+        honest_(honest),
+        attack_(attack),
+        rng_(std::move(rng)),
+        server_(server) {}
+
+  std::vector<Message> on_round(std::size_t round, const std::vector<Message>& inbox) override {
+    std::vector<Message> out;
+    for (const Message& m : inbox) {
+      if (m.tag != "estimate") continue;
+      const Vector& x = m.payload;
+      const Vector true_gradient = problem_.costs[agent_id_]->gradient(x);
+      std::vector<Vector> honest_gradients;
+      honest_gradients.reserve(honest_.size());
+      for (std::size_t id : honest_) honest_gradients.push_back(problem_.costs[id]->gradient(x));
+
+      attacks::AttackContext ctx;
+      ctx.iteration = round / 2;
+      ctx.agent_id = agent_id_;
+      ctx.n = problem_.num_agents();
+      ctx.f = problem_.f;
+      ctx.estimate = &x;
+      ctx.honest_gradient = &true_gradient;
+      ctx.honest_gradients = &honest_gradients;
+      ctx.rng = &rng_;
+
+      // Omission faults simply do not reply; the server's synchronous
+      // collection round detects the gap and eliminates the agent.
+      if (!attack_.responds(ctx)) continue;
+
+      Message reply;
+      reply.to = server_;
+      reply.tag = "gradient";
+      reply.payload = attack_.craft(ctx);
+      out.push_back(std::move(reply));
+    }
+    return out;
+  }
+
+ private:
+  const core::MultiAgentProblem& problem_;
+  std::size_t agent_id_;
+  std::vector<std::size_t> honest_;
+  const attacks::Attack& attack_;
+  rng::Rng rng_;
+  NodeId server_;
+};
+
+}  // namespace
+
+ServerProtocolResult run_server_protocol(const core::MultiAgentProblem& problem,
+                                         const std::vector<std::size_t>& byzantine_ids,
+                                         const attacks::Attack* attack,
+                                         const dgd::TrainerConfig& config,
+                                         const std::optional<linalg::Vector>& reference) {
+  problem.validate();
+  REDOPT_REQUIRE(config.filter != nullptr, "config needs a gradient filter");
+  REDOPT_REQUIRE(config.schedule != nullptr, "config needs a step schedule");
+  REDOPT_REQUIRE(config.projection != nullptr, "config needs a projection set");
+  REDOPT_REQUIRE(byzantine_ids.size() <= problem.f, "more byzantine agents than fault budget");
+  REDOPT_REQUIRE(byzantine_ids.empty() || attack != nullptr,
+                 "byzantine agents present but no attack supplied");
+
+  const std::size_t n = problem.num_agents();
+  const std::size_t d = problem.dimension();
+  const NodeId server_id = n;
+  const auto honest = dgd::honest_ids(n, byzantine_ids);
+  if (reference) REDOPT_REQUIRE(reference->size() == d, "reference dimension mismatch");
+
+  std::vector<bool> is_byzantine(n, false);
+  for (std::size_t id : byzantine_ids) is_byzantine[id] = true;
+
+  const rng::Rng root(config.seed);
+  std::vector<std::unique_ptr<Node>> agents;
+  agents.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_byzantine[i]) {
+      agents.push_back(std::make_unique<ByzantineAgentNode>(
+          problem, i, honest, *attack, root.fork("byzantine-agent-" + std::to_string(i)),
+          server_id));
+    } else {
+      agents.push_back(std::make_unique<HonestAgentNode>(problem.costs[i], server_id));
+    }
+  }
+  ServerNode server(n, problem.f, d, config);
+
+  std::vector<Node*> nodes;
+  nodes.reserve(n + 1);
+  for (auto& a : agents) nodes.push_back(a.get());
+  nodes.push_back(&server);
+  SyncNetwork network(std::move(nodes));
+
+  auto honest_loss = [&](const Vector& at) {
+    double acc = 0.0;
+    for (std::size_t id : honest) acc += problem.costs[id]->value(at);
+    return acc;
+  };
+
+  ServerProtocolResult result;
+  auto record = [&](std::size_t t) {
+    if (config.trace_stride == 0) return;
+    if (t % config.trace_stride != 0 && t != config.iterations) return;
+    result.train.trace.iteration.push_back(t);
+    result.train.trace.loss.push_back(honest_loss(server.estimate()));
+    result.train.trace.distance.push_back(reference
+                                              ? linalg::distance(server.estimate(), *reference)
+                                              : std::numeric_limits<double>::quiet_NaN());
+    result.train.trace.estimates.push_back(server.estimate());
+  };
+
+  record(0);
+  network.run_round();  // round 0: server broadcasts x^0
+  for (std::size_t t = 0; t < config.iterations; ++t) {
+    network.run_round();  // round 2t+1: agents reply with gradients
+    network.run_round();  // round 2t+2: server updates to x^{t+1}, broadcasts
+    record(t + 1);
+  }
+  REDOPT_ASSERT(server.iterations_done() == config.iterations,
+                "server did not complete all iterations");
+
+  result.train.estimate = server.estimate();
+  result.train.eliminated_agents = server.eliminated_agents();
+  result.train.final_loss = honest_loss(server.estimate());
+  if (reference) result.train.final_distance = linalg::distance(server.estimate(), *reference);
+  result.stats = network.stats();
+  return result;
+}
+
+}  // namespace redopt::net

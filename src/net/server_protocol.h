@@ -1,0 +1,35 @@
+// The server-based DGD algorithm executed over the simulated synchronous
+// network (message-passing version of dgd::train).
+//
+// Topology (Figure 1a): node ids 0..n-1 are agents, node id n is the
+// trusted server.  Each DGD iteration takes two network rounds:
+//   round 2t   : server broadcasts the estimate x^t        (tag "estimate")
+//   round 2t+1 : each agent replies with its gradient      (tag "gradient")
+// after which the server filters and updates.
+//
+// Given the same TrainerConfig and seed, this produces bit-identical
+// iterates to the in-process dgd::train (verified by the integration
+// tests) — the point being that the fast path used by benches is a
+// faithful execution of the distributed protocol.
+#pragma once
+
+#include <optional>
+
+#include "dgd/trainer.h"
+#include "net/sync_network.h"
+
+namespace redopt::net {
+
+/// Outcome of a message-passing DGD execution.
+struct ServerProtocolResult {
+  dgd::TrainResult train;  ///< same observables as dgd::train
+  NetworkStats stats;      ///< network traffic of the execution
+};
+
+/// Runs the protocol.  Same contract as dgd::train.
+ServerProtocolResult run_server_protocol(
+    const core::MultiAgentProblem& problem, const std::vector<std::size_t>& byzantine_ids,
+    const attacks::Attack* attack, const dgd::TrainerConfig& config,
+    const std::optional<linalg::Vector>& reference = std::nullopt);
+
+}  // namespace redopt::net

@@ -1,0 +1,66 @@
+#include "net/sync_network.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace redopt::net {
+
+SyncNetwork::SyncNetwork(std::vector<Node*> nodes) : nodes_(std::move(nodes)) {
+  REDOPT_REQUIRE(!nodes_.empty(), "network needs at least one node");
+  for (const Node* n : nodes_) REDOPT_REQUIRE(n != nullptr, "network node is null");
+}
+
+std::size_t SyncNetwork::run_round() {
+  const std::size_t n = nodes_.size();
+
+  // Partition in-flight messages into per-node inboxes; broadcasts fan out
+  // to every node except the sender.
+  std::vector<std::vector<Message>> inboxes(n);
+  std::size_t delivered = 0;
+  for (const Message& m : in_flight_) {
+    if (m.to == kBroadcast) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (i == m.from) continue;
+        Message copy = m;
+        copy.to = i;
+        inboxes[i].push_back(std::move(copy));
+        ++delivered;
+        stats_.scalars_transferred += m.payload.size();
+      }
+    } else {
+      REDOPT_REQUIRE(m.to < n, "message addressed to unknown node");
+      stats_.scalars_transferred += m.payload.size();
+      inboxes[m.to].push_back(m);
+      ++delivered;
+    }
+  }
+  in_flight_.clear();
+
+  // Deterministic delivery order: by sender id (stable sort keeps each
+  // sender's emission order).
+  for (auto& inbox : inboxes) {
+    std::stable_sort(inbox.begin(), inbox.end(),
+                     [](const Message& a, const Message& b) { return a.from < b.from; });
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    auto outgoing = nodes_[i]->on_round(round_, inboxes[i]);
+    for (auto& m : outgoing) {
+      m.from = i;
+      m.round = round_;
+      in_flight_.push_back(std::move(m));
+    }
+  }
+
+  ++round_;
+  ++stats_.rounds;
+  stats_.messages_delivered += delivered;
+  return delivered;
+}
+
+void SyncNetwork::run(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+}  // namespace redopt::net

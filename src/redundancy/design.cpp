@@ -1,0 +1,74 @@
+#include "redundancy/design.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/subsets.h"
+
+namespace redopt::redundancy {
+
+ReplicationDesign cyclic_replication(std::size_t num_shards, std::size_t num_agents,
+                                     std::size_t replication) {
+  REDOPT_REQUIRE(num_shards >= 1, "need at least one shard");
+  REDOPT_REQUIRE(num_agents >= 1, "need at least one agent");
+  REDOPT_REQUIRE(replication >= 1 && replication <= num_agents,
+                 "replication factor must lie in [1, n]");
+
+  ReplicationDesign design;
+  design.num_agents = num_agents;
+  design.replication = replication;
+  design.shard_holders.resize(num_shards);
+  design.agent_shards.resize(num_agents);
+  for (std::size_t j = 0; j < num_shards; ++j) {
+    for (std::size_t k = 0; k < replication; ++k) {
+      const std::size_t agent = (j + k) % num_agents;
+      design.shard_holders[j].push_back(agent);
+      design.agent_shards[agent].push_back(j);
+    }
+    std::sort(design.shard_holders[j].begin(), design.shard_holders[j].end());
+  }
+  for (auto& shards : design.agent_shards) std::sort(shards.begin(), shards.end());
+  return design;
+}
+
+bool covers_all_shards(const ReplicationDesign& design, std::size_t f) {
+  const std::size_t n = design.num_agents;
+  REDOPT_REQUIRE(n > 2 * f, "coverage check requires n > 2f");
+  const std::size_t subset_size = n - 2 * f;
+
+  bool covered = true;
+  util::for_each_subset(n, subset_size, [&](const std::vector<std::size_t>& agents) {
+    // Does this agent subset hold every shard?
+    std::vector<bool> in_subset(n, false);
+    for (std::size_t a : agents) in_subset[a] = true;
+    for (const auto& holders : design.shard_holders) {
+      bool shard_covered = false;
+      for (std::size_t h : holders) {
+        if (in_subset[h]) {
+          shard_covered = true;
+          break;
+        }
+      }
+      if (!shard_covered) {
+        covered = false;
+        return false;  // stop enumeration
+      }
+    }
+    return true;
+  });
+  return covered;
+}
+
+std::size_t max_covered_f(const ReplicationDesign& design) {
+  std::size_t best = 0;
+  for (std::size_t f = 1; 2 * f < design.num_agents; ++f) {
+    if (covers_all_shards(design, f)) {
+      best = f;
+    } else {
+      break;  // coverage is monotone: failing at f fails at f + 1
+    }
+  }
+  return best;
+}
+
+}  // namespace redopt::redundancy

@@ -1,0 +1,48 @@
+// Redundancy by design: shard-replication layouts.
+//
+// The paper notes that 2f-redundancy "can be realized by design for many
+// applications" (distributed sensing/learning) — typically by assigning
+// each data shard to several agents.  This module provides the layout
+// machinery: a cyclic (fractional-repetition) assignment of m shards to n
+// agents with replication factor r, and the coverage check that makes the
+// redundancy argument work:
+//
+//   if r >= 2f + 1, every subset of n - 2f agents jointly holds every
+//   shard (at most 2f agents are excluded, fewer than any shard's r
+//   holders), so for *consistent* shard costs (all minimized at a common
+//   x*) every admissible aggregate has the same argmin — exact
+//   2f-redundancy by construction.
+//
+// data/replicated_regression.h instantiates this for linear regression;
+// bench_replication sweeps r to show the r = 2f + 1 threshold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace redopt::redundancy {
+
+/// A shard-to-agent assignment.
+struct ReplicationDesign {
+  std::vector<std::vector<std::size_t>> shard_holders;  ///< per shard: its r agents (sorted)
+  std::vector<std::vector<std::size_t>> agent_shards;   ///< per agent: its shard ids (sorted)
+  std::size_t num_agents = 0;
+  std::size_t replication = 0;
+};
+
+/// Cyclic assignment: shard j is held by agents j, j+1, ..., j+r-1 (mod n).
+/// Requires 1 <= r <= n and m >= 1.
+ReplicationDesign cyclic_replication(std::size_t num_shards, std::size_t num_agents,
+                                     std::size_t replication);
+
+/// True iff every subset of (n - 2f) agents jointly covers every shard —
+/// the combinatorial core of the 2f-redundancy-by-design argument.
+/// Exhaustive over subsets; intended for design-time validation.
+bool covers_all_shards(const ReplicationDesign& design, std::size_t f);
+
+/// The tight threshold: the largest f for which coverage holds
+/// (scans f upward; returns 0 if even f = 1 fails... i.e. the maximum f
+/// with covers_all_shards(design, f) true, 0 when none).
+std::size_t max_covered_f(const ReplicationDesign& design);
+
+}  // namespace redopt::redundancy

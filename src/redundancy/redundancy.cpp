@@ -1,0 +1,75 @@
+#include "redundancy/redundancy.h"
+
+#include <limits>
+#include <map>
+
+#include "core/aggregate_cost.h"
+#include "core/minimizer_set.h"
+#include "linalg/decompose.h"
+#include "util/error.h"
+#include "util/subsets.h"
+
+namespace redopt::redundancy {
+
+RedundancyReport measure_redundancy(const std::vector<core::CostPtr>& costs, std::size_t f,
+                                    const core::ArgminOptions& options) {
+  const std::size_t n = costs.size();
+  REDOPT_REQUIRE(n > 2 * f, "redundancy measurement requires n > 2f");
+  for (const auto& c : costs) REDOPT_REQUIRE(c != nullptr, "cost function is null");
+
+  if (f == 0) return {};  // every admissible pair is (S, S): trivially exact
+
+  // Argmin sets are shared across many pairs; memoize by subset.
+  std::map<std::vector<std::size_t>, core::MinimizerSet> cache;
+  auto set_of = [&](const std::vector<std::size_t>& subset) -> const core::MinimizerSet& {
+    auto it = cache.find(subset);
+    if (it == cache.end()) {
+      it = cache.emplace(subset, core::argmin_set(core::aggregate_subset(costs, subset), options))
+               .first;
+    }
+    return it->second;
+  };
+
+  RedundancyReport report;
+  util::for_each_subset(n, n - f, [&](const std::vector<std::size_t>& s) {
+    const core::MinimizerSet& xs = set_of(s);
+    // All proper subsets S-hat of S with n - 2f <= |S-hat| < |S|.
+    for (std::size_t k = n - 2 * f; k < n - f; ++k) {
+      util::for_each_subset_of(s, k, [&](const std::vector<std::size_t>& s_hat) {
+        const double dist = core::hausdorff_distance(xs, set_of(s_hat));
+        ++report.pairs_checked;
+        if (dist > report.epsilon) {
+          report.epsilon = dist;
+          report.worst_superset = s;
+          report.worst_subset = s_hat;
+        }
+        return true;
+      });
+    }
+    return true;
+  });
+  return report;
+}
+
+bool has_2f_redundancy(const std::vector<core::CostPtr>& costs, std::size_t f, double tol,
+                       const core::ArgminOptions& options) {
+  return measure_redundancy(costs, f, options).epsilon <= tol;
+}
+
+bool regression_rank_condition(const linalg::Matrix& a, std::size_t f, double rel_tol) {
+  const std::size_t n = a.rows();
+  const std::size_t d = a.cols();
+  REDOPT_REQUIRE(n > 2 * f, "rank condition requires n > 2f");
+  if (n - 2 * f < d) return false;  // too few rows to ever reach rank d
+  bool ok = true;
+  util::for_each_subset(n, n - 2 * f, [&](const std::vector<std::size_t>& rows) {
+    if (linalg::rank(a.select_rows(rows), rel_tol) < d) {
+      ok = false;
+      return false;  // stop early
+    }
+    return true;
+  });
+  return ok;
+}
+
+}  // namespace redopt::redundancy

@@ -1,0 +1,54 @@
+// Measurement and verification of the redundancy properties.
+//
+// 2f-redundancy (Definition 1): for every pair of subsets S-hat ⊆ S with
+// |S| = n - f and |S-hat| >= n - 2f, the aggregate costs over S and S-hat
+// have identical argmin sets.  This is the paper's necessary-and-sufficient
+// condition for exact fault-tolerance.
+//
+// (2f, eps)-redundancy (Definition 3) relaxes equality to Hausdorff
+// distance <= eps.  measure_redundancy() returns the *smallest* eps for
+// which a problem instance satisfies the property — i.e. the maximum
+// Hausdorff distance over all admissible subset pairs — which is the
+// quantity every approximate-resilience bound is stated in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/argmin.h"
+#include "core/cost_function.h"
+#include "linalg/matrix.h"
+
+namespace redopt::redundancy {
+
+/// Result of scanning all admissible subset pairs.
+struct RedundancyReport {
+  /// Smallest eps such that (2f, eps)-redundancy holds; 0 means exact
+  /// 2f-redundancy, +infinity means some pair has argmin sets whose
+  /// Hausdorff distance diverges (different affine direction spaces).
+  double epsilon = 0.0;
+
+  /// The pair realizing epsilon (sorted agent-id lists).
+  std::vector<std::size_t> worst_superset;
+  std::vector<std::size_t> worst_subset;
+
+  /// Number of (S, S-hat) pairs examined.
+  std::size_t pairs_checked = 0;
+};
+
+/// Measures the tight (2f, eps)-redundancy constant of the cost family.
+/// Requires n > 2f.  Exponential in n — intended for the small instances
+/// used in evaluation (see DESIGN.md).
+RedundancyReport measure_redundancy(const std::vector<core::CostPtr>& costs, std::size_t f,
+                                    const core::ArgminOptions& options = {});
+
+/// True iff the costs have exact 2f-redundancy up to tolerance @p tol.
+bool has_2f_redundancy(const std::vector<core::CostPtr>& costs, std::size_t f,
+                       double tol = 1e-7, const core::ArgminOptions& options = {});
+
+/// Specialization for distributed linear regression where agent i holds
+/// observation row i of @p a: 2f-redundancy (with noiseless observations)
+/// holds iff every (n - 2f)-row submatrix has full column rank d.
+bool regression_rank_condition(const linalg::Matrix& a, std::size_t f, double rel_tol = 1e-10);
+
+}  // namespace redopt::redundancy

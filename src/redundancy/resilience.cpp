@@ -1,0 +1,68 @@
+#include "redundancy/resilience.h"
+
+#include <map>
+
+#include "core/aggregate_cost.h"
+#include "core/minimizer_set.h"
+#include "util/error.h"
+#include "util/subsets.h"
+
+namespace redopt::redundancy {
+
+ResilienceReport measure_resilience(const std::vector<core::CostPtr>& honest_costs,
+                                    std::size_t f, const AlgorithmFn& algorithm,
+                                    const std::vector<core::CostPtr>& adversarial_costs,
+                                    const core::ArgminOptions& options) {
+  const std::size_t n = honest_costs.size();
+  REDOPT_REQUIRE(n > 2 * f, "resilience certification requires n > 2f");
+  REDOPT_REQUIRE(algorithm != nullptr, "no algorithm under test");
+  REDOPT_REQUIRE(!adversarial_costs.empty(), "need at least one adversarial cost");
+  for (const auto& c : honest_costs) REDOPT_REQUIRE(c != nullptr, "honest cost is null");
+  for (const auto& c : adversarial_costs)
+    REDOPT_REQUIRE(c != nullptr && c->dimension() == honest_costs.front()->dimension(),
+                   "adversarial cost missing or dimension mismatch");
+
+  // Honest-subset argmin sets are scenario-independent; memoize them.
+  std::map<std::vector<std::size_t>, core::MinimizerSet> cache;
+  auto argmin_of = [&](const std::vector<std::size_t>& subset) -> const core::MinimizerSet& {
+    auto it = cache.find(subset);
+    if (it == cache.end()) {
+      it = cache
+               .emplace(subset,
+                        core::argmin_set(core::aggregate_subset(honest_costs, subset), options))
+               .first;
+    }
+    return it->second;
+  };
+
+  ResilienceReport report;
+  // Byzantine sets of every size 0..f (fewer-than-budget faults are legal
+  // executions and must satisfy the same guarantee).
+  for (std::size_t b = 0; b <= f; ++b) {
+    util::for_each_subset(n, b, [&](const std::vector<std::size_t>& byzantine) {
+      for (const auto& bad_cost : adversarial_costs) {
+        auto received = honest_costs;
+        for (std::size_t id : byzantine) received[id] = bad_cost;
+        const core::Vector output = algorithm(received, f);
+        ++report.scenarios_run;
+
+        // Every (n - f)-subset of the non-faulty agents.
+        const auto honest = util::complement(n, byzantine);
+        util::for_each_subset_of(honest, n - f, [&](const std::vector<std::size_t>& subset) {
+          const double dist = argmin_of(subset).distance_to(output);
+          if (dist > report.epsilon) {
+            report.epsilon = dist;
+            report.worst_byzantine = byzantine;
+            report.worst_subset = subset;
+          }
+          return true;
+        });
+        if (b == 0) break;  // with no Byzantine agents all costs are equal; one run suffices
+      }
+      return true;
+    });
+  }
+  return report;
+}
+
+}  // namespace redopt::redundancy

@@ -1,0 +1,46 @@
+// Empirical (f, eps)-resilience certification.
+//
+// Definition 2 quantifies over every Byzantine set and every honest
+// (n - f)-subset.  For a *full-information* algorithm (one that maps the n
+// received cost functions to an output point), this module enumerates the
+// quantifiers directly: every Byzantine placement of size 0..f, every
+// adversarial cost substitution, every honest (n - f)-subset — and reports
+// the tight empirical eps the algorithm achieved.  Used by the tests to
+// certify the exhaustive exact algorithm against its 2*eps bound, and
+// usable by downstream users to stress their own aggregation rules.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/argmin.h"
+#include "core/cost_function.h"
+
+namespace redopt::redundancy {
+
+/// Algorithm under test: receives the n cost functions (some possibly
+/// adversarial) and the fault budget, returns its output point.
+using AlgorithmFn =
+    std::function<core::Vector(const std::vector<core::CostPtr>& received, std::size_t f)>;
+
+/// Result of a certification sweep.
+struct ResilienceReport {
+  /// Tight empirical eps: the worst dist(output, argmin of an honest
+  /// (n - f)-subset aggregate) over all scenarios.
+  double epsilon = 0.0;
+  std::size_t scenarios_run = 0;            ///< (byzantine set x adversarial cost) pairs
+  std::vector<std::size_t> worst_byzantine; ///< the Byzantine set achieving epsilon
+  std::vector<std::size_t> worst_subset;    ///< the honest subset achieving epsilon
+};
+
+/// Certifies @p algorithm on @p honest_costs: for every Byzantine set B
+/// with |B| <= f and every cost in @p adversarial_costs (substituted at
+/// all agents of B), runs the algorithm and measures the distance from its
+/// output to the argmin set of every honest (n - f)-subset aggregate.
+/// Exhaustive — intended for the small n of design-time validation.
+ResilienceReport measure_resilience(const std::vector<core::CostPtr>& honest_costs,
+                                    std::size_t f, const AlgorithmFn& algorithm,
+                                    const std::vector<core::CostPtr>& adversarial_costs,
+                                    const core::ArgminOptions& options = {});
+
+}  // namespace redopt::redundancy

@@ -1,0 +1,145 @@
+#include "sgd/empirical_cost.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace redopt::sgd {
+
+namespace {
+constexpr double kHingeSmoothing = 0.5;
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double log1pexp(double z) {
+  if (z > 30.0) return z;
+  if (z < -30.0) return std::exp(z);
+  return std::log1p(std::exp(z));
+}
+}  // namespace
+
+Loss parse_loss(const std::string& name) {
+  if (name == "square") return Loss::kSquare;
+  if (name == "logistic") return Loss::kLogistic;
+  if (name == "hinge") return Loss::kHinge;
+  REDOPT_REQUIRE(false, "unknown loss: " + name);
+  return Loss::kSquare;  // unreachable
+}
+
+EmpiricalCost::EmpiricalCost(Matrix features, Vector targets, Loss loss, double reg)
+    : features_(std::move(features)), targets_(std::move(targets)), loss_(loss), reg_(reg) {
+  REDOPT_REQUIRE(features_.rows() >= 1, "empirical cost needs at least one example");
+  REDOPT_REQUIRE(features_.rows() == targets_.size(), "feature/target count mismatch");
+  REDOPT_REQUIRE(reg_ >= 0.0, "regularization must be non-negative");
+  if (loss_ != Loss::kSquare) {
+    for (double y : targets_)
+      REDOPT_REQUIRE(y == 1.0 || y == -1.0, "classification targets must be -1 or +1");
+  }
+}
+
+double EmpiricalCost::loss_value(double prediction, double target) const {
+  switch (loss_) {
+    case Loss::kSquare: {
+      const double r = target - prediction;
+      return r * r;
+    }
+    case Loss::kLogistic:
+      return log1pexp(-target * prediction);
+    case Loss::kHinge: {
+      const double z = target * prediction;
+      if (z >= 1.0) return 0.0;
+      if (z > 1.0 - kHingeSmoothing) {
+        const double u = 1.0 - z;
+        return u * u / (2.0 * kHingeSmoothing);
+      }
+      return 1.0 - z - kHingeSmoothing / 2.0;
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+double EmpiricalCost::dloss(double prediction, double target) const {
+  // Derivative of the per-example loss with respect to the prediction
+  // <x_j, w>.
+  switch (loss_) {
+    case Loss::kSquare:
+      return -2.0 * (target - prediction);
+    case Loss::kLogistic:
+      return -target * sigmoid(-target * prediction);
+    case Loss::kHinge: {
+      const double z = target * prediction;
+      if (z >= 1.0) return 0.0;
+      if (z > 1.0 - kHingeSmoothing) return -target * (1.0 - z) / kHingeSmoothing;
+      return -target;
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+void EmpiricalCost::accumulate_example_gradient(std::size_t j, const Vector& w, double weight,
+                                                Vector& out) const {
+  double prediction = 0.0;
+  for (std::size_t k = 0; k < dimension(); ++k) prediction += features_(j, k) * w[k];
+  const double coeff = weight * dloss(prediction, targets_[j]);
+  if (coeff == 0.0) return;
+  for (std::size_t k = 0; k < dimension(); ++k) out[k] += coeff * features_(j, k);
+}
+
+double EmpiricalCost::value(const Vector& w) const {
+  REDOPT_REQUIRE(w.size() == dimension(), "empirical value dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t j = 0; j < num_examples(); ++j) {
+    double prediction = 0.0;
+    for (std::size_t k = 0; k < dimension(); ++k) prediction += features_(j, k) * w[k];
+    acc += loss_value(prediction, targets_[j]);
+  }
+  return acc / static_cast<double>(num_examples()) + 0.5 * reg_ * w.norm_squared();
+}
+
+Vector EmpiricalCost::gradient(const Vector& w) const {
+  REDOPT_REQUIRE(w.size() == dimension(), "empirical gradient dimension mismatch");
+  Vector g(dimension());
+  const double weight = 1.0 / static_cast<double>(num_examples());
+  for (std::size_t j = 0; j < num_examples(); ++j) {
+    accumulate_example_gradient(j, w, weight, g);
+  }
+  g += w * reg_;
+  return g;
+}
+
+Vector EmpiricalCost::stochastic_gradient(const Vector& w, std::size_t batch_size,
+                                          rng::Rng& rng) const {
+  REDOPT_REQUIRE(w.size() == dimension(), "stochastic gradient dimension mismatch");
+  REDOPT_REQUIRE(batch_size >= 1, "batch size must be at least 1");
+  if (batch_size >= num_examples()) return gradient(w);
+  Vector g(dimension());
+  const double weight = 1.0 / static_cast<double>(batch_size);
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(num_examples()) - 1));
+    accumulate_example_gradient(j, w, weight, g);
+  }
+  g += w * reg_;
+  return g;
+}
+
+std::unique_ptr<core::CostFunction> EmpiricalCost::clone() const {
+  return std::make_unique<EmpiricalCost>(*this);
+}
+
+std::string EmpiricalCost::describe() const {
+  const char* loss_name = loss_ == Loss::kSquare     ? "square"
+                          : loss_ == Loss::kLogistic ? "logistic"
+                                                     : "hinge";
+  return std::string("empirical(") + loss_name + ", m=" + std::to_string(num_examples()) +
+         ", d=" + std::to_string(dimension()) + ")";
+}
+
+}  // namespace redopt::sgd

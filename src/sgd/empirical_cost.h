@@ -1,0 +1,71 @@
+// Empirical-risk costs with mini-batch stochastic gradients.
+//
+// The paper's companion line of work (Gupta, Liu, Vaidya 2021 — reference
+// [21], "Byzantine Fault-Tolerant Distributed Machine Learning Using
+// Stochastic Gradient Descent and Norm-Based Comparative Gradient
+// Elimination") extends the DGD results to the stochastic setting: agents
+// hold datasets and reply with *mini-batch* gradients.  EmpiricalCost is
+// the data-holding agent cost: a pluggable per-example loss over a local
+// dataset, exposing both the exact empirical gradient (CostFunction
+// contract) and an unbiased mini-batch estimate.
+#pragma once
+
+#include <string>
+
+#include "core/cost_function.h"
+#include "rng/rng.h"
+
+namespace redopt::sgd {
+
+using core::Matrix;
+using core::Vector;
+
+/// Per-example loss families supported by EmpiricalCost.
+enum class Loss {
+  kSquare,    ///< (y - <x, w>)^2            (regression)
+  kLogistic,  ///< log(1 + exp(-y <x, w>))   (classification, y in {-1,1})
+  kHinge,     ///< smoothed hinge, h = 0.5   (classification, y in {-1,1})
+};
+
+/// Parses "square" / "logistic" / "hinge"; throws on other strings.
+Loss parse_loss(const std::string& name);
+
+/// Empirical risk  Q(w) = (1/m) sum_j loss(x_j, y_j; w) + (reg/2)||w||^2
+/// with mini-batch gradient sampling.
+class EmpiricalCost final : public core::CostFunction {
+ public:
+  /// @p features: m x d examples; @p targets: m values (labels in {-1, +1}
+  /// for classification losses, arbitrary reals for kSquare).
+  EmpiricalCost(Matrix features, Vector targets, Loss loss, double reg = 0.0);
+
+  std::size_t dimension() const override { return features_.cols(); }
+  double value(const Vector& w) const override;
+  Vector gradient(const Vector& w) const override;
+  std::unique_ptr<core::CostFunction> clone() const override;
+  std::string describe() const override;
+
+  /// Unbiased mini-batch gradient: averages @p batch_size per-example
+  /// gradients drawn uniformly with replacement via @p rng, plus the
+  /// regularizer.  batch_size >= num_examples() falls back to the exact
+  /// gradient (and consumes no randomness).
+  Vector stochastic_gradient(const Vector& w, std::size_t batch_size, rng::Rng& rng) const;
+
+  std::size_t num_examples() const { return features_.rows(); }
+  Loss loss() const { return loss_; }
+
+ private:
+  /// d loss(z)/dz at margin/residual z for one example (chain rule core).
+  double dloss(double z, double target) const;
+  /// loss value for one example.
+  double loss_value(double z, double target) const;
+  /// Gradient of example @p j at @p w accumulated into @p out with weight.
+  void accumulate_example_gradient(std::size_t j, const Vector& w, double weight,
+                                   Vector& out) const;
+
+  Matrix features_;
+  Vector targets_;
+  Loss loss_;
+  double reg_;
+};
+
+}  // namespace redopt::sgd

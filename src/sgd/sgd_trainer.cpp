@@ -1,0 +1,122 @@
+#include "sgd/sgd_trainer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "sgd/empirical_cost.h"
+#include "util/error.h"
+
+namespace redopt::sgd {
+
+dgd::TrainResult train_sgd(const core::MultiAgentProblem& problem,
+                           const std::vector<std::size_t>& byzantine_ids,
+                           const attacks::Attack* attack, const SgdConfig& config,
+                           const std::optional<linalg::Vector>& reference) {
+  problem.validate();
+  const auto& base = config.base;
+  REDOPT_REQUIRE(base.filter != nullptr, "sgd config needs a gradient filter");
+  REDOPT_REQUIRE(base.schedule != nullptr, "sgd config needs a step schedule");
+  REDOPT_REQUIRE(base.projection != nullptr, "sgd config needs a projection set");
+  REDOPT_REQUIRE(byzantine_ids.size() <= problem.f, "more byzantine agents than fault budget");
+  REDOPT_REQUIRE(byzantine_ids.empty() || attack != nullptr,
+                 "byzantine agents present but no attack supplied");
+  REDOPT_REQUIRE(base.filter->expected_inputs() == problem.num_agents(),
+                 "filter was constructed for a different number of agents");
+  REDOPT_REQUIRE(config.batch_size >= 1, "batch size must be at least 1");
+  REDOPT_REQUIRE(config.momentum >= 0.0 && config.momentum < 1.0,
+                 "momentum must lie in [0, 1)");
+
+  const std::size_t n = problem.num_agents();
+  const std::size_t d = problem.dimension();
+  const auto honest = dgd::honest_ids(n, byzantine_ids);
+  if (reference) REDOPT_REQUIRE(reference->size() == d, "reference dimension mismatch");
+
+  std::vector<bool> is_byzantine(n, false);
+  for (std::size_t id : byzantine_ids) is_byzantine[id] = true;
+
+  linalg::Vector x = base.x0.empty() ? linalg::Vector(d) : base.x0;
+  REDOPT_REQUIRE(x.size() == d, "x0 dimension mismatch");
+  x = base.projection->project(x);
+
+  // Per-agent streams: sampling noise for honest agents, attack noise for
+  // Byzantine ones; both independent of iteration order.
+  const rng::Rng root(base.seed);
+  std::vector<rng::Rng> sample_rngs;
+  std::vector<rng::Rng> attack_rngs;
+  sample_rngs.reserve(n);
+  attack_rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sample_rngs.push_back(root.fork("sgd-sample-agent-" + std::to_string(i)));
+    attack_rngs.push_back(root.fork("byzantine-agent-" + std::to_string(i)));
+  }
+
+  auto honest_loss = [&](const linalg::Vector& at) {
+    double acc = 0.0;
+    for (std::size_t id : honest) acc += problem.costs[id]->value(at);
+    return acc;
+  };
+
+  auto agent_gradient = [&](std::size_t i, const linalg::Vector& at) {
+    if (const auto* empirical = dynamic_cast<const EmpiricalCost*>(problem.costs[i].get())) {
+      return empirical->stochastic_gradient(at, config.batch_size, sample_rngs[i]);
+    }
+    return problem.costs[i]->gradient(at);
+  };
+
+  dgd::TrainResult result;
+  auto record = [&](std::size_t t) {
+    if (base.trace_stride == 0) return;
+    if (t % base.trace_stride != 0 && t != base.iterations) return;
+    result.trace.iteration.push_back(t);
+    result.trace.loss.push_back(honest_loss(x));
+    result.trace.distance.push_back(
+        reference ? linalg::distance(x, *reference) : std::numeric_limits<double>::quiet_NaN());
+    result.trace.estimates.push_back(x);
+  };
+
+  record(0);
+  std::vector<linalg::Vector> gradients(n);
+  std::vector<linalg::Vector> honest_gradients;
+  linalg::Vector velocity(d);
+  for (std::size_t t = 0; t < base.iterations; ++t) {
+    honest_gradients.clear();
+    honest_gradients.reserve(honest.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_byzantine[i]) {
+        gradients[i] = agent_gradient(i, x);
+        honest_gradients.push_back(gradients[i]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!is_byzantine[i]) continue;
+      const linalg::Vector true_gradient = agent_gradient(i, x);
+      attacks::AttackContext ctx;
+      ctx.iteration = t;
+      ctx.agent_id = i;
+      ctx.n = n;
+      ctx.f = problem.f;
+      ctx.estimate = &x;
+      ctx.honest_gradient = &true_gradient;
+      ctx.honest_gradients = &honest_gradients;
+      ctx.rng = &attack_rngs[i];
+      gradients[i] = attack->craft(ctx);
+      REDOPT_REQUIRE(gradients[i].size() == d, "attack crafted a wrong-dimension vector");
+    }
+
+    const linalg::Vector direction = base.filter->apply(gradients);
+    if (config.momentum > 0.0) {
+      velocity = velocity * config.momentum + direction;
+      x = base.projection->project(x - velocity * base.schedule->step(t));
+    } else {
+      x = base.projection->project(x - direction * base.schedule->step(t));
+    }
+    record(t + 1);
+  }
+
+  result.estimate = x;
+  result.final_loss = honest_loss(x);
+  if (reference) result.final_distance = linalg::distance(x, *reference);
+  return result;
+}
+
+}  // namespace redopt::sgd

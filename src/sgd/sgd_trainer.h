@@ -1,0 +1,35 @@
+// Byzantine fault-tolerant distributed *stochastic* gradient descent.
+//
+// The stochastic counterpart of dgd::train, following the paper's
+// companion work on CGE with SGD (reference [21]): data-holding agents
+// reply with mini-batch gradients instead of exact ones, so the server
+// aggregates noisy honest gradients — the regime where gradient-filters
+// must separate Byzantine values from sampling noise.  Optionally applies
+// server-side heavy-ball momentum to the filtered direction (the
+// history-based variance reduction that the related work [26] argues is
+// essential for Byzantine SGD).
+#pragma once
+
+#include <optional>
+
+#include "dgd/trainer.h"
+
+namespace redopt::sgd {
+
+/// Configuration of one SGD execution.
+struct SgdConfig {
+  dgd::TrainerConfig base;     ///< filter, schedule, projection, iterations, x0, seed
+  std::size_t batch_size = 1;  ///< mini-batch size per agent per iteration
+  double momentum = 0.0;       ///< server-side heavy-ball coefficient in [0, 1)
+};
+
+/// Runs fault-tolerant distributed SGD.  Same contract as dgd::train;
+/// agents whose cost is an sgd::EmpiricalCost reply with mini-batch
+/// gradients (from per-agent deterministic streams), all other costs reply
+/// with their exact gradient.
+dgd::TrainResult train_sgd(const core::MultiAgentProblem& problem,
+                           const std::vector<std::size_t>& byzantine_ids,
+                           const attacks::Attack* attack, const SgdConfig& config,
+                           const std::optional<linalg::Vector>& reference = std::nullopt);
+
+}  // namespace redopt::sgd

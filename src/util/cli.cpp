@@ -1,0 +1,64 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace redopt::util {
+
+Cli::Cli(int argc, const char* const* argv, const std::vector<std::string>& known) {
+  auto is_known = [&](const std::string& k) {
+    return std::find(known.begin(), known.end(), k) != known.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    REDOPT_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    std::string key, value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg;
+      // `--key value` form: consume the next token unless it is another flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    REDOPT_REQUIRE(is_known(key), "unknown flag: --" + key);
+    values_[key] = value;
+  }
+}
+
+std::optional<std::string> Cli::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Cli::get_string(const std::string& key, const std::string& def) const {
+  return get(key).value_or(def);
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  auto v = get(key);
+  if (!v) return def;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  auto v = get(key);
+  if (!v) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  auto v = get(key);
+  if (!v) return def;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+}  // namespace redopt::util

@@ -1,0 +1,34 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Supports `--key=value` and `--key value` forms plus boolean `--flag`.
+// Unknown flags are rejected so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace redopt::util {
+
+/// Parses argv into a key/value map with typed accessors and defaults.
+class Cli {
+ public:
+  /// Parses @p argv; @p known lists the accepted flag names (without "--").
+  /// Throws redopt::PreconditionError on unknown or malformed flags.
+  Cli(int argc, const char* const* argv, const std::vector<std::string>& known);
+
+  /// Returns the raw value of @p key, if provided.
+  std::optional<std::string> get(const std::string& key) const;
+
+  std::string get_string(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace redopt::util

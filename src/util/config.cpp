@@ -1,0 +1,79 @@
+#include "util/config.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace redopt::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+Config Config::parse(const std::string& text) {
+  Config config;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::string trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto eq = trimmed.find('=');
+    REDOPT_REQUIRE(eq != std::string::npos,
+                   "config line " + std::to_string(line_number) + " has no '=': " + trimmed);
+    const std::string key = trim(trimmed.substr(0, eq));
+    const std::string value = trim(trimmed.substr(eq + 1));
+    REDOPT_REQUIRE(!key.empty(),
+                   "config line " + std::to_string(line_number) + " has an empty key");
+    config.values_[key] = value;
+  }
+  return config;
+}
+
+Config Config::load(const std::string& path) {
+  std::ifstream in(path);
+  REDOPT_REQUIRE(in.good(), "cannot read config file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& def) const {
+  return get(key).value_or(def);
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  return *v == "true" || *v == "1" || *v == "yes";
+}
+
+}  // namespace redopt::util

@@ -1,0 +1,44 @@
+// Minimal key = value configuration-file parser for the experiment runner.
+//
+// Format: one `key = value` pair per line; blank lines and lines starting
+// with '#' are ignored; whitespace around keys and values is trimmed.
+// Later assignments override earlier ones.  Deliberately tiny — enough to
+// describe an experiment (instance, filter, attack, schedule) in a file
+// that can be checked into a repo next to its results.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace redopt::util {
+
+/// Parsed configuration with typed accessors.
+class Config {
+ public:
+  /// Parses file contents (the text, not a path).
+  /// Throws redopt::PreconditionError on malformed lines.
+  static Config parse(const std::string& text);
+
+  /// Reads and parses the file at @p path.
+  /// Throws redopt::PreconditionError if the file cannot be read.
+  static Config load(const std::string& path);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_string(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Number of distinct keys.
+  std::size_t size() const { return values_.size(); }
+
+  /// All key/value pairs (sorted by key).
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace redopt::util

@@ -1,0 +1,52 @@
+#include "util/csv.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace redopt::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  REDOPT_REQUIRE(out_.good(), "cannot open CSV output file: " + path);
+  REDOPT_REQUIRE(!header.empty(), "CSV header must be non-empty");
+  rows_ = 1;  // count the header so write_row() can reuse the row emitter
+  write_row(header);
+  rows_ = 0;
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  REDOPT_REQUIRE(cells.size() == arity_, "CSV row arity mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream os;
+    os << std::setprecision(17) << v;
+    text.push_back(os.str());
+  }
+  write_row(text);
+}
+
+}  // namespace redopt::util

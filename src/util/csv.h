@@ -1,0 +1,42 @@
+// Minimal CSV emission used by bench harnesses to dump series for plotting.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace redopt::util {
+
+/// Streams rows of comma-separated values to a file.
+///
+/// Values containing commas, quotes or newlines are quoted per RFC 4180.
+/// The writer owns the stream; the file is flushed and closed on destruction.
+class CsvWriter {
+ public:
+  /// Opens @p path for writing and emits @p header as the first row.
+  /// Throws redopt::PreconditionError if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row.  Must have the same arity as the header.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience overload formatting doubles with full precision.
+  void write_row(const std::vector<double>& cells);
+
+  /// Number of data rows written so far (excluding the header).
+  std::size_t rows_written() const { return rows_; }
+
+  /// Escapes one cell per RFC 4180 (exposed for testing).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace redopt::util

@@ -1,0 +1,62 @@
+// Precondition checking for the redopt library.
+//
+// All public entry points validate their arguments with REDOPT_REQUIRE and
+// throw redopt::PreconditionError on violation.  Internal invariants that
+// indicate a bug in redopt itself (rather than bad caller input) use
+// REDOPT_ASSERT, which throws redopt::InternalError.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace redopt {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant of the library is violated (a bug).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* cond, const char* file, int line,
+                                            const std::string& msg) {
+  std::ostringstream os;
+  os << "redopt precondition failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_internal(const char* cond, const char* file, int line,
+                                        const std::string& msg) {
+  std::ostringstream os;
+  os << "redopt internal invariant failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+
+}  // namespace detail
+}  // namespace redopt
+
+/// Validate a caller-supplied precondition; throws redopt::PreconditionError.
+#define REDOPT_REQUIRE(cond, msg)                                             \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::redopt::detail::throw_precondition(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                         \
+  } while (false)
+
+/// Validate an internal invariant; throws redopt::InternalError.
+#define REDOPT_ASSERT(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::redopt::detail::throw_internal(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                     \
+  } while (false)

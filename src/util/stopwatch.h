@@ -1,0 +1,29 @@
+// Wall-clock stopwatch for coarse timing in benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace redopt::util {
+
+/// Measures elapsed wall-clock time since construction or the last reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last reset().
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace redopt::util

@@ -1,0 +1,91 @@
+// Enumeration of fixed-size index subsets.
+//
+// The redundancy definitions and the exhaustive exact algorithm quantify
+// over all agent subsets of sizes n-f and n-2f; this header provides the
+// shared combinatorial machinery (lexicographic k-subset enumeration).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace redopt::util {
+
+/// Binomial coefficient C(n, k) in unsigned 64-bit arithmetic.
+/// Intended for the small n used by exhaustive enumeration; overflow for
+/// astronomically large inputs is the caller's responsibility.
+inline std::uint64_t binomial(std::size_t n, std::size_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (std::size_t i = 0; i < k; ++i) {
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+/// Invokes @p fn once for each k-subset of {0, ..., n-1}, in lexicographic
+/// order.  The span passed to fn is sorted ascending and only valid for the
+/// duration of the call.  fn may return false to stop early (return true to
+/// continue); the function returns false iff enumeration was stopped.
+inline bool for_each_subset(std::size_t n, std::size_t k,
+                            const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  if (k > n) return true;  // no subsets; vacuously complete
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+  if (k == 0) return fn(idx);
+  while (true) {
+    if (!fn(idx)) return false;
+    // Advance to the next lexicographic combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (idx[i] != i + n - k) {
+        ++idx[i];
+        for (std::size_t j = i + 1; j < k; ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return true;  // exhausted
+    }
+  }
+}
+
+/// All k-subsets of {0, ..., n-1} materialized (for tests and small n).
+inline std::vector<std::vector<std::size_t>> all_subsets(std::size_t n, std::size_t k) {
+  std::vector<std::vector<std::size_t>> out;
+  for_each_subset(n, k, [&](const std::vector<std::size_t>& s) {
+    out.push_back(s);
+    return true;
+  });
+  return out;
+}
+
+/// k-subsets of an arbitrary (sorted or unsorted) index pool, enumerated by
+/// position.  Each emitted subset preserves the pool's element order.
+inline bool for_each_subset_of(const std::vector<std::size_t>& pool, std::size_t k,
+                               const std::function<bool(const std::vector<std::size_t>&)>& fn) {
+  return for_each_subset(pool.size(), k, [&](const std::vector<std::size_t>& positions) {
+    std::vector<std::size_t> subset(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) subset[i] = pool[positions[i]];
+    return fn(subset);
+  });
+}
+
+/// Sorted complement of @p subset within {0, ..., n-1}.
+/// @p subset must be sorted ascending with unique in-range entries.
+inline std::vector<std::size_t> complement(std::size_t n, const std::vector<std::size_t>& subset) {
+  std::vector<std::size_t> out;
+  out.reserve(n - subset.size());
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (j < subset.size() && subset[j] == i) {
+      ++j;
+    } else {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace redopt::util

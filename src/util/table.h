@@ -1,0 +1,38 @@
+// Aligned plain-text table printing for bench harness output.
+//
+// Benches regenerate the paper's tables as text; TablePrinter keeps the
+// columns aligned so the output is directly readable in a terminal or log.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace redopt::util {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; shorter rows are padded with empty cells.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders header, separator and all rows to @p os.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with @p digits significant digits (helper for rows).
+  static std::string num(double v, int digits = 6);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace redopt::util

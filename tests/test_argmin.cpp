@@ -1,0 +1,204 @@
+// Unit tests for argmin-set computation and MinimizerSet geometry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/aggregate_cost.h"
+#include "core/argmin.h"
+#include "core/least_squares_cost.h"
+#include "core/logistic_cost.h"
+#include "core/minimizer_set.h"
+#include "core/quadratic_cost.h"
+#include "rng/rng.h"
+#include "util/error.h"
+
+using namespace redopt;
+using core::MinimizerSet;
+using linalg::Matrix;
+using linalg::Vector;
+
+// ---------------------------------------------------------------- MinimizerSet
+
+TEST(MinimizerSet, SingletonDistanceIsEuclidean) {
+  const auto s = MinimizerSet::singleton(Vector{1.0, 2.0});
+  EXPECT_TRUE(s.is_singleton());
+  EXPECT_DOUBLE_EQ(s.distance_to(Vector{4.0, 6.0}), 5.0);
+  EXPECT_EQ(s.project(Vector{9.0, 9.0}), (Vector{1.0, 2.0}));
+}
+
+TEST(MinimizerSet, AffineLineProjection) {
+  // Line {(t, 0)}: x0 = origin, basis = e1.
+  Matrix basis(2, 1);
+  basis(0, 0) = 1.0;
+  const auto line = MinimizerSet::affine(Vector(2), basis);
+  EXPECT_FALSE(line.is_singleton());
+  EXPECT_EQ(line.affine_dimension(), 1u);
+  EXPECT_EQ(line.project(Vector{3.0, 4.0}), (Vector{3.0, 0.0}));
+  EXPECT_DOUBLE_EQ(line.distance_to(Vector{3.0, 4.0}), 4.0);
+}
+
+TEST(MinimizerSet, AffineRequiresOrthonormalBasis) {
+  Matrix bad(2, 1);
+  bad(0, 0) = 2.0;  // not unit norm
+  EXPECT_THROW(MinimizerSet::affine(Vector(2), bad), redopt::PreconditionError);
+  Matrix bad2(2, 2);
+  bad2(0, 0) = 1.0;
+  bad2(0, 1) = 1.0;  // not orthogonal
+  EXPECT_THROW(MinimizerSet::affine(Vector(2), bad2), redopt::PreconditionError);
+}
+
+TEST(MinimizerSet, HausdorffBetweenSingletons) {
+  const auto a = MinimizerSet::singleton(Vector{0.0, 0.0});
+  const auto b = MinimizerSet::singleton(Vector{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(core::hausdorff_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(core::hausdorff_distance(a, a), 0.0);
+}
+
+TEST(MinimizerSet, HausdorffParallelLines) {
+  Matrix e1(2, 1);
+  e1(0, 0) = 1.0;
+  const auto l0 = MinimizerSet::affine(Vector{0.0, 0.0}, e1);
+  const auto l1 = MinimizerSet::affine(Vector{7.0, 2.0}, e1);  // same direction, offset 2 in y
+  EXPECT_NEAR(core::hausdorff_distance(l0, l1), 2.0, 1e-12);
+}
+
+TEST(MinimizerSet, HausdorffDivergesForDifferentDirections) {
+  Matrix e1(2, 1), e2(2, 1);
+  e1(0, 0) = 1.0;
+  e2(1, 0) = 1.0;
+  const auto lx = MinimizerSet::affine(Vector(2), e1);
+  const auto ly = MinimizerSet::affine(Vector(2), e2);
+  EXPECT_TRUE(std::isinf(core::hausdorff_distance(lx, ly)));
+  // Point vs line also diverges (sup over the line is unbounded).
+  const auto pt = MinimizerSet::singleton(Vector(2));
+  EXPECT_TRUE(std::isinf(core::hausdorff_distance(pt, lx)));
+}
+
+// ---------------------------------------------------------------- Analytic argmin
+
+TEST(Argmin, QuadraticUniqueMinimizer) {
+  // 0.5 x^T diag(2,8) x + (-2, -8)^T x minimizes at (1, 1).
+  const core::QuadraticCost q(Matrix::diagonal(Vector{2.0, 8.0}), Vector{-2.0, -8.0});
+  const auto set = core::argmin_set(q);
+  EXPECT_TRUE(set.is_singleton());
+  EXPECT_NEAR(linalg::distance(set.representative(), Vector{1.0, 1.0}), 0.0, 1e-10);
+}
+
+TEST(Argmin, SquaredDistanceAggregateMinimizesAtMean) {
+  std::vector<core::CostPtr> costs;
+  const std::vector<Vector> centers = {{0.0, 0.0}, {2.0, 0.0}, {1.0, 3.0}};
+  for (const auto& c : centers) {
+    costs.push_back(
+        std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(c)));
+  }
+  const auto set = core::argmin_set(core::AggregateCost(costs));
+  EXPECT_NEAR(linalg::distance(set.representative(), Vector{1.0, 1.0}), 0.0, 1e-9);
+}
+
+TEST(Argmin, LeastSquaresConsistentSystemRecoversTruth) {
+  rng::Rng rng(1);
+  Matrix a(6, 3);
+  for (std::size_t r = 0; r < 6; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.gaussian();
+  const Vector x_true(rng.gaussian_vector(3));
+  const core::LeastSquaresCost q(a, linalg::matvec(a, x_true));
+  const auto set = core::argmin_set(q);
+  EXPECT_TRUE(set.is_singleton());
+  EXPECT_NEAR(set.distance_to(x_true), 0.0, 1e-8);
+}
+
+TEST(Argmin, AggregateOfSingleRowsMatchesStacked) {
+  rng::Rng rng(2);
+  Matrix a(5, 2);
+  Vector b(5);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) a(r, c) = rng.gaussian();
+    b[r] = rng.gaussian();
+  }
+  std::vector<core::CostPtr> per_agent;
+  for (std::size_t r = 0; r < 5; ++r) {
+    per_agent.push_back(std::make_shared<core::LeastSquaresCost>(
+        core::LeastSquaresCost::single(a.row(r), b[r])));
+  }
+  const auto agg_set = core::argmin_set(core::AggregateCost(per_agent));
+  const auto stacked_set = core::argmin_set(core::LeastSquaresCost(a, b));
+  EXPECT_NEAR(
+      linalg::distance(agg_set.representative(), stacked_set.representative()), 0.0, 1e-8);
+}
+
+TEST(Argmin, RankDeficientLeastSquaresYieldsAffineSet) {
+  // One observation row in R^2: minimizers form a line.
+  const auto q = core::LeastSquaresCost::single(Vector{1.0, 1.0}, 2.0);
+  const auto set = core::argmin_set(q);
+  EXPECT_FALSE(set.is_singleton());
+  EXPECT_EQ(set.affine_dimension(), 1u);
+  // Every representative satisfies the observation exactly.
+  EXPECT_NEAR(q.value(set.representative()), 0.0, 1e-12);
+  // (2, 0) and (0, 2) both lie in the set.
+  EXPECT_NEAR(set.distance_to(Vector{2.0, 0.0}), 0.0, 1e-9);
+  EXPECT_NEAR(set.distance_to(Vector{0.0, 2.0}), 0.0, 1e-9);
+  // (0, 0) is at distance sqrt(2) from the line x + y = 2.
+  EXPECT_NEAR(set.distance_to(Vector{0.0, 0.0}), std::sqrt(2.0), 1e-9);
+}
+
+TEST(Argmin, SingularQuadraticYieldsKernelDirections) {
+  // P = diag(2, 0): flat in the second coordinate.
+  const core::QuadraticCost q(Matrix::diagonal(Vector{2.0, 0.0}), Vector{-2.0, 0.0});
+  const auto set = core::argmin_set(q);
+  EXPECT_EQ(set.affine_dimension(), 1u);
+  EXPECT_NEAR(set.distance_to(Vector{1.0, 100.0}), 0.0, 1e-9);
+  EXPECT_NEAR(set.distance_to(Vector{0.0, 0.0}), 1.0, 1e-9);
+}
+
+TEST(Argmin, UnboundedQuadraticThrows) {
+  // P = diag(2, 0) with a linear term along the kernel: unbounded below.
+  const core::QuadraticCost q(Matrix::diagonal(Vector{2.0, 0.0}), Vector{0.0, 1.0});
+  EXPECT_THROW(core::argmin_set(q), redopt::PreconditionError);
+}
+
+TEST(Argmin, MixedQuadraticAndLeastSquaresAggregate) {
+  // ||x - 1||^2 (quadratic form) + (2 - x)^2 (least squares) minimizes at 1.5.
+  auto quad = std::make_shared<core::QuadraticCost>(
+      core::QuadraticCost::squared_distance(Vector{1.0}));
+  auto ls = std::make_shared<core::LeastSquaresCost>(
+      core::LeastSquaresCost::single(Vector{1.0}, 2.0));
+  const auto set = core::argmin_set(core::AggregateCost({quad, ls}));
+  EXPECT_NEAR(set.representative()[0], 1.5, 1e-10);
+}
+
+// ---------------------------------------------------------------- Numeric argmin
+
+TEST(Argmin, NumericFallbackOnLogisticCost) {
+  // Separable-ish data with regularization: strongly convex, unique optimum.
+  rng::Rng rng(3);
+  Matrix x(20, 2);
+  Vector y(20);
+  for (std::size_t r = 0; r < 20; ++r) {
+    const double label = r % 2 == 0 ? 1.0 : -1.0;
+    x(r, 0) = label * 2.0 + rng.gaussian();
+    x(r, 1) = rng.gaussian();
+    y[r] = label;
+  }
+  const core::LogisticCost q(x, y, 0.1);
+  const auto set = core::argmin_set(q);
+  EXPECT_TRUE(set.is_singleton());
+  // At the optimum the gradient vanishes.
+  EXPECT_NEAR(q.gradient(set.representative()).norm(), 0.0, 1e-6);
+}
+
+TEST(Argmin, NumericMatchesAnalyticOnQuadratic) {
+  const core::QuadraticCost q(Matrix::diagonal(Vector{2.0, 10.0}), Vector{-4.0, -10.0});
+  const Vector numeric = core::numeric_argmin(q);
+  const Vector analytic = core::argmin_point(q);
+  EXPECT_NEAR(linalg::distance(numeric, analytic), 0.0, 1e-7);
+}
+
+TEST(Argmin, NumericHandlesModeratelyIllConditionedQuadratic) {
+  // Condition number 1e4: plain gradient descent still converges within
+  // the iteration budget (1e6+ would not — that is intrinsic to GD).
+  const core::QuadraticCost q(Matrix::diagonal(Vector{0.1, 1e3}), Vector{-0.1, -1e3});
+  const Vector x = core::numeric_argmin(q);
+  EXPECT_NEAR(x[1], 1.0, 1e-6);  // stiff direction converges fast
+  EXPECT_NEAR(x[0], 1.0, 1e-3);  // soft direction converges slower but gets there
+}

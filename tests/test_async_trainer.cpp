@@ -1,0 +1,93 @@
+// Tests for the stale-gradient asynchronous trainer.
+#include <gtest/gtest.h>
+
+#include "attacks/registry.h"
+#include "data/regression.h"
+#include "dgd/async_trainer.h"
+#include "filters/registry.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+dgd::AsyncConfig async_config(const std::string& filter, std::size_t iterations,
+                              double straggler_probability, std::size_t max_staleness) {
+  filters::FilterParams fp;
+  fp.n = 6;
+  fp.f = 1;
+  dgd::AsyncConfig cfg;
+  cfg.base.filter = filters::make_filter(filter, fp);
+  cfg.base.schedule = std::make_shared<dgd::HarmonicSchedule>(
+      (filter == "cge" || filter == "sum") ? 0.5 : 2.0);
+  cfg.base.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(2, 10.0));
+  cfg.base.iterations = iterations;
+  cfg.base.trace_stride = 0;
+  cfg.straggler_probability = straggler_probability;
+  cfg.max_staleness = max_staleness;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(AsyncTrainer, ZeroStragglersMatchesSynchronousTrainer) {
+  rng::Rng rng(1);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.02, 1, rng);
+  const auto attack = attacks::make_attack("random");
+  const auto cfg = async_config("cwtm", 100, 0.0, 1);
+  const auto async = dgd::train_async(inst.problem, {2}, attack.get(), cfg);
+  dgd::TrainerConfig sync_cfg = cfg.base;
+  const auto sync = dgd::train(inst.problem, {2}, attack.get(), sync_cfg);
+  EXPECT_EQ(async.estimate, sync.estimate);  // bit-identical replay
+}
+
+TEST(AsyncTrainer, ConvergesUnderModerateStaleness) {
+  rng::Rng rng(2);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto honest = dgd::honest_ids(6, {0});
+  const Vector x_h = data::regression_argmin(inst, honest);
+  const auto attack = attacks::make_attack("gradient_reverse");
+  const auto result = dgd::train_async(inst.problem, {0}, attack.get(),
+                                       async_config("cge", 3000, 0.3, 3), x_h);
+  EXPECT_LT(result.final_distance, 0.02);
+}
+
+TEST(AsyncTrainer, HeavyStalenessSlowsConvergence) {
+  // Property: at a fixed (small) iteration budget, heavier staleness leaves
+  // the run further from the optimum (diminishing steps eventually absorb
+  // any bounded staleness, so this is a transient-phase comparison).
+  rng::Rng rng(3);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const Vector x_all{1.0, 1.0};
+  auto error_at = [&](double probability, std::size_t staleness) {
+    auto cfg = async_config("cge", 40, probability, staleness);
+    return dgd::train_async(inst.problem, {}, nullptr, cfg, x_all).final_distance;
+  };
+  const double fresh = error_at(0.0, 1);
+  const double stale = error_at(0.9, 8);
+  EXPECT_LT(fresh, stale);
+}
+
+TEST(AsyncTrainer, DeterministicGivenSeed) {
+  rng::Rng rng(4);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.01, 1, rng);
+  const auto attack = attacks::make_attack("lie");
+  const auto cfg = async_config("cwtm", 150, 0.4, 4);
+  const auto r1 = dgd::train_async(inst.problem, {5}, attack.get(), cfg);
+  const auto r2 = dgd::train_async(inst.problem, {5}, attack.get(), cfg);
+  EXPECT_EQ(r1.estimate, r2.estimate);
+}
+
+TEST(AsyncTrainer, ValidatesConfiguration) {
+  rng::Rng rng(5);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  auto cfg = async_config("cge", 10, 1.5, 2);
+  EXPECT_THROW(dgd::train_async(inst.problem, {}, nullptr, cfg), redopt::PreconditionError);
+  cfg = async_config("cge", 10, 0.5, 2);
+  cfg.max_staleness = 0;
+  EXPECT_THROW(dgd::train_async(inst.problem, {}, nullptr, cfg), redopt::PreconditionError);
+  cfg = async_config("cge", 10, 0.5, 2);
+  cfg.base.filter = nullptr;
+  EXPECT_THROW(dgd::train_async(inst.problem, {}, nullptr, cfg), redopt::PreconditionError);
+}

@@ -1,0 +1,202 @@
+// Unit tests for the Byzantine attack behaviours.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/attacks.h"
+#include "attacks/registry.h"
+#include "rng/rng.h"
+#include "util/error.h"
+
+using namespace redopt;
+using attacks::AttackContext;
+using linalg::Vector;
+
+namespace {
+
+struct ContextFixture {
+  Vector estimate{0.5, -0.5};
+  Vector honest_gradient{2.0, -4.0};
+  std::vector<Vector> honest_gradients = {{1.0, 0.0}, {3.0, 0.0}, {2.0, 3.0}};
+  rng::Rng rng{123};
+
+  AttackContext make() {
+    AttackContext ctx;
+    ctx.iteration = 7;
+    ctx.agent_id = 1;
+    ctx.n = 4;
+    ctx.f = 1;
+    ctx.estimate = &estimate;
+    ctx.honest_gradient = &honest_gradient;
+    ctx.honest_gradients = &honest_gradients;
+    ctx.rng = &rng;
+    return ctx;
+  }
+};
+
+}  // namespace
+
+TEST(GradientReverse, NegatesHonestGradient) {
+  ContextFixture fx;
+  const attacks::GradientReverseAttack attack;
+  EXPECT_EQ(attack.craft(fx.make()), (Vector{-2.0, 4.0}));
+}
+
+TEST(GradientReverse, ScaleMultiplies) {
+  ContextFixture fx;
+  const attacks::GradientReverseAttack attack(2.5);
+  EXPECT_EQ(attack.craft(fx.make()), (Vector{-5.0, 10.0}));
+  EXPECT_THROW(attacks::GradientReverseAttack(0.0), redopt::PreconditionError);
+}
+
+TEST(RandomGaussian, MatchesRequestedDimensionAndScale) {
+  ContextFixture fx;
+  const attacks::RandomGaussianAttack attack(200.0);
+  double acc = 0.0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    const Vector v = attack.craft(fx.make());
+    ASSERT_EQ(v.size(), 2u);
+    acc += v.norm_squared();
+  }
+  // E||v||^2 = d * sigma^2 = 2 * 40000.
+  EXPECT_NEAR(acc / trials, 80000.0, 8000.0);
+}
+
+TEST(RandomGaussian, DeterministicGivenRngState) {
+  ContextFixture fx1, fx2;
+  const attacks::RandomGaussianAttack attack;
+  EXPECT_EQ(attack.craft(fx1.make()), attack.craft(fx2.make()));
+}
+
+TEST(Zero, SendsZeroVector) {
+  ContextFixture fx;
+  const attacks::ZeroAttack attack;
+  EXPECT_TRUE(attack.craft(fx.make()).is_zero());
+}
+
+TEST(LargeNorm, HasRequestedMagnitude) {
+  ContextFixture fx;
+  const attacks::LargeNormAttack attack(1e6);
+  EXPECT_NEAR(attack.craft(fx.make()).norm(), 1e6, 1e-3);
+  EXPECT_THROW(attacks::LargeNormAttack(0.0), redopt::PreconditionError);
+}
+
+TEST(LittleIsEnough, StaysWithinMeanMinusZStd) {
+  ContextFixture fx;
+  const attacks::LittleIsEnoughAttack attack(1.5);
+  const Vector out = attack.craft(fx.make());
+  // Honest gradients: mean = (2, 1); std per coordinate:
+  // coord 0: values 1,3,2 -> var 2/3; coord 1: 0,0,3 -> var 2.
+  EXPECT_NEAR(out[0], 2.0 - 1.5 * std::sqrt(2.0 / 3.0), 1e-9);
+  EXPECT_NEAR(out[1], 1.0 - 1.5 * std::sqrt(2.0), 1e-9);
+}
+
+TEST(InnerProduct, SendsNegatedScaledHonestMean) {
+  ContextFixture fx;
+  const attacks::InnerProductAttack attack(2.0);
+  const Vector out = attack.craft(fx.make());
+  EXPECT_NEAR(out[0], -4.0, 1e-12);  // -2 * mean(1,3,2)
+  EXPECT_NEAR(out[1], -2.0, 1e-12);  // -2 * mean(0,0,3)
+  // The crafted vector opposes the honest mean direction.
+  EXPECT_LT(linalg::dot(out, linalg::mean(fx.honest_gradients)), 0.0);
+}
+
+TEST(PoisonedCost, NoiselessVariantIsExactReverse) {
+  ContextFixture fx;
+  const attacks::PoisonedCostAttack attack(0.0);
+  EXPECT_EQ(attack.craft(fx.make()), (Vector{-2.0, 4.0}));
+}
+
+TEST(Mimic, CopiesTargetHonestGradient) {
+  ContextFixture fx;
+  const attacks::MimicAttack attack(1);
+  EXPECT_EQ(attack.craft(fx.make()), fx.honest_gradients[1]);
+  // Rank wraps modulo the honest count.
+  const attacks::MimicAttack wrapped(4);
+  EXPECT_EQ(wrapped.craft(fx.make()), fx.honest_gradients[1]);
+}
+
+TEST(Mimic, IndistinguishableFromHonestValue) {
+  // The crafted value IS one of the honest gradients: any per-value outlier
+  // test must accept it (the attack's whole point).
+  ContextFixture fx;
+  const attacks::MimicAttack attack(0);
+  const auto crafted = attack.craft(fx.make());
+  bool matches_honest = false;
+  for (const auto& g : fx.honest_gradients) matches_honest |= (crafted == g);
+  EXPECT_TRUE(matches_honest);
+}
+
+TEST(Switch, SleepsThenTurnsMalicious) {
+  ContextFixture fx;
+  const attacks::SwitchAttack attack(attacks::make_attack("gradient_reverse"), 10);
+  auto ctx = fx.make();
+  ctx.iteration = 5;
+  EXPECT_EQ(attack.craft(ctx), fx.honest_gradient);  // sleeper phase
+  EXPECT_TRUE(attack.responds(ctx));
+  ctx.iteration = 10;
+  EXPECT_EQ(attack.craft(ctx), -fx.honest_gradient);  // switched
+}
+
+TEST(Switch, ForwardsRespondsToInner) {
+  ContextFixture fx;
+  attacks::AttackParams params;
+  params.drop_after = 0;  // inner never responds
+  const attacks::SwitchAttack attack(attacks::make_attack("dropout", params), 3);
+  auto ctx = fx.make();
+  ctx.iteration = 2;
+  EXPECT_TRUE(attack.responds(ctx));
+  ctx.iteration = 3;
+  EXPECT_FALSE(attack.responds(ctx));
+}
+
+TEST(Switch, RejectsNullInner) {
+  EXPECT_THROW(attacks::SwitchAttack(nullptr, 5), redopt::PreconditionError);
+}
+
+TEST(Dropout, RespondsUntilThreshold) {
+  ContextFixture fx;
+  const attacks::DropoutAttack attack(4);
+  auto ctx = fx.make();
+  ctx.iteration = 3;
+  EXPECT_TRUE(attack.responds(ctx));
+  EXPECT_EQ(attack.craft(ctx), fx.honest_gradient);  // honest while replying
+  ctx.iteration = 4;
+  EXPECT_FALSE(attack.responds(ctx));
+}
+
+TEST(Attacks, MissingContextFieldsThrow) {
+  ContextFixture fx;
+  const attacks::GradientReverseAttack attack;
+  auto ctx = fx.make();
+  ctx.honest_gradient = nullptr;
+  EXPECT_THROW(attack.craft(ctx), redopt::PreconditionError);
+  ctx = fx.make();
+  ctx.rng = nullptr;
+  EXPECT_THROW(attack.craft(ctx), redopt::PreconditionError);
+  const attacks::LittleIsEnoughAttack lie;
+  ctx = fx.make();
+  ctx.honest_gradients = nullptr;
+  EXPECT_THROW(lie.craft(ctx), redopt::PreconditionError);
+}
+
+TEST(AttackRegistry, ConstructsEveryRegisteredAttack) {
+  for (const auto& name : attacks::attack_names()) {
+    const auto attack = attacks::make_attack(name);
+    ASSERT_NE(attack, nullptr) << name;
+    EXPECT_EQ(attack->name(), name);
+  }
+}
+
+TEST(AttackRegistry, RejectsUnknownName) {
+  EXPECT_THROW(attacks::make_attack("nope"), redopt::PreconditionError);
+}
+
+TEST(AttackRegistry, ParamsReachConstructors) {
+  ContextFixture fx;
+  attacks::AttackParams p;
+  p.scale = 3.0;
+  const auto attack = attacks::make_attack("gradient_reverse", p);
+  EXPECT_EQ(attack->craft(fx.make()), (Vector{-6.0, 12.0}));
+}

@@ -1,0 +1,124 @@
+// Tests for OM(f) Byzantine broadcast: validity, agreement, and the
+// classical impossibility boundary.
+#include <gtest/gtest.h>
+
+#include "net/byzantine_broadcast.h"
+#include "rng/rng.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Vector;
+using net::byzantine_broadcast;
+using net::NodeId;
+
+namespace {
+
+/// Relay that perturbs per destination — maximal equivocation.
+net::ByzantineRelay equivocating_relay() {
+  return [](const std::vector<NodeId>& path, NodeId dest, const net::Value& v) {
+    net::Value out = v;
+    for (auto& c : out) c += 1000.0 * static_cast<double>(dest + 1) + static_cast<double>(path.size());
+    return out;
+  };
+}
+
+}  // namespace
+
+TEST(Majority, StrictMajorityWins) {
+  const std::vector<net::Value> values = {Vector{1.0}, Vector{1.0}, Vector{2.0}};
+  EXPECT_EQ(net::majority_value(values, 1), (Vector{1.0}));
+}
+
+TEST(Majority, NoMajorityYieldsDefault) {
+  const std::vector<net::Value> values = {Vector{1.0}, Vector{2.0}, Vector{3.0}, Vector{1.0}};
+  EXPECT_EQ(net::majority_value(values, 1), (Vector{0.0}));  // 2/4 is not strict
+}
+
+TEST(Broadcast, ValidityWithHonestCommanderNoFaults) {
+  const Vector value{3.14, 2.71};
+  const auto result = byzantine_broadcast(value, 0, 4, 1, std::vector<bool>(4, false));
+  for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(result.decided[i], value) << "node " << i;
+}
+
+TEST(Broadcast, ValidityWithByzantineLieutenant) {
+  // Honest commander, one equivocating lieutenant: every honest node must
+  // still decide the commander's value (validity).
+  const Vector value{1.0};
+  for (NodeId traitor = 1; traitor < 4; ++traitor) {
+    std::vector<bool> byz(4, false);
+    byz[traitor] = true;
+    const auto result = byzantine_broadcast(value, 0, 4, 1, byz, equivocating_relay());
+    for (NodeId i = 0; i < 4; ++i) {
+      if (i == traitor) continue;
+      EXPECT_EQ(result.decided[i], value) << "traitor " << traitor << " node " << i;
+    }
+  }
+}
+
+TEST(Broadcast, AgreementWithByzantineCommander) {
+  // Byzantine commander equivocates: honest lieutenants may decide anything
+  // but must agree with each other.
+  const Vector value{5.0, -5.0};
+  std::vector<bool> byz(4, false);
+  byz[0] = true;
+  const auto result = byzantine_broadcast(value, 0, 4, 1, byz, equivocating_relay());
+  EXPECT_EQ(result.decided[1], result.decided[2]);
+  EXPECT_EQ(result.decided[2], result.decided[3]);
+}
+
+TEST(Broadcast, TwoFaultsNeedSevenNodes) {
+  // n = 7, f = 2: byzantine commander + byzantine lieutenant both
+  // equivocating; the five honest lieutenants must agree.
+  const Vector value{1.0};
+  std::vector<bool> byz(7, false);
+  byz[0] = true;
+  byz[3] = true;
+  const auto result = byzantine_broadcast(value, 0, 7, 2, byz, equivocating_relay());
+  const auto& reference = result.decided[1];
+  for (NodeId i : {2u, 4u, 5u, 6u}) EXPECT_EQ(result.decided[i], reference) << "node " << i;
+}
+
+TEST(Broadcast, TwoFaultsValidityHolds) {
+  const Vector value{9.0};
+  std::vector<bool> byz(7, false);
+  byz[2] = true;
+  byz[5] = true;
+  const auto result = byzantine_broadcast(value, 0, 7, 2, byz, equivocating_relay());
+  for (NodeId i : {1u, 3u, 4u, 6u}) EXPECT_EQ(result.decided[i], value) << "node " << i;
+}
+
+TEST(Broadcast, RejectsTooManyFaults) {
+  // The classical n > 3f bound.
+  EXPECT_THROW(byzantine_broadcast(Vector{1.0}, 0, 3, 1, std::vector<bool>(3, false)),
+               redopt::PreconditionError);
+  EXPECT_THROW(byzantine_broadcast(Vector{1.0}, 0, 6, 2, std::vector<bool>(6, false)),
+               redopt::PreconditionError);
+}
+
+TEST(Broadcast, RejectsMalformedArguments) {
+  EXPECT_THROW(byzantine_broadcast(Vector{1.0}, 9, 4, 1, std::vector<bool>(4, false)),
+               redopt::PreconditionError);
+  EXPECT_THROW(byzantine_broadcast(Vector{1.0}, 0, 4, 1, std::vector<bool>(3, false)),
+               redopt::PreconditionError);
+  EXPECT_THROW(byzantine_broadcast(Vector{}, 0, 4, 1, std::vector<bool>(4, false)),
+               redopt::PreconditionError);
+}
+
+TEST(Broadcast, MessageCountGrowsExponentiallyInF) {
+  // OM(f) sends (n-1)(n-2)...(n-1-f) messages: verify the counts.
+  const Vector value{1.0};
+  const auto r0 = byzantine_broadcast(value, 0, 7, 0, std::vector<bool>(7, false));
+  EXPECT_EQ(r0.messages, 6u);  // n - 1
+  const auto r1 = byzantine_broadcast(value, 0, 7, 1, std::vector<bool>(7, false));
+  EXPECT_EQ(r1.messages, 6u + 6u * 5u);
+  const auto r2 = byzantine_broadcast(value, 0, 7, 2, std::vector<bool>(7, false));
+  EXPECT_EQ(r2.messages, 6u + 6u * (5u + 5u * 4u));
+}
+
+TEST(Broadcast, VectorValuedPayloadsSupported) {
+  const Vector value{1.5, -2.5, 3.5, 0.0};
+  std::vector<bool> byz(5, false);
+  byz[4] = true;
+  const auto result = byzantine_broadcast(value, 1, 5, 1, byz, equivocating_relay());
+  for (NodeId i : {0u, 2u, 3u}) EXPECT_EQ(result.decided[i], value);
+}

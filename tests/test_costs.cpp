@@ -1,0 +1,286 @@
+// Unit tests for the cost-function family, including finite-difference
+// verification of every analytic gradient and Hessian.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aggregate_cost.h"
+#include "core/least_squares_cost.h"
+#include "core/logistic_cost.h"
+#include "core/quadratic_cost.h"
+#include "core/smoothed_hinge_cost.h"
+#include "rng/rng.h"
+#include "util/error.h"
+
+using namespace redopt;
+using core::CostPtr;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+/// Central finite-difference gradient of @p cost at @p x.
+Vector fd_gradient(const core::CostFunction& cost, const Vector& x, double h = 1e-6) {
+  Vector g(x.size());
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    Vector xp = x, xm = x;
+    xp[k] += h;
+    xm[k] -= h;
+    g[k] = (cost.value(xp) - cost.value(xm)) / (2.0 * h);
+  }
+  return g;
+}
+
+void expect_gradient_matches_fd(const core::CostFunction& cost, const Vector& x,
+                                double tol = 1e-5) {
+  EXPECT_NEAR(linalg::distance(cost.gradient(x), fd_gradient(cost, x)), 0.0, tol)
+      << "analytic vs finite-difference gradient mismatch for " << cost.describe();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Quadratic
+
+TEST(QuadraticCost, ValueAndGradientHandChecked) {
+  // Q(x) = 0.5 x^T diag(2, 4) x + (1, -1)^T x + 3.
+  const core::QuadraticCost q(Matrix::diagonal(Vector{2.0, 4.0}), Vector{1.0, -1.0}, 3.0);
+  const Vector x{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(q.value(x), 0.5 * (2.0 + 16.0) + (1.0 - 2.0) + 3.0);
+  EXPECT_EQ(q.gradient(x), (Vector{3.0, 7.0}));
+  EXPECT_EQ(q.dimension(), 2u);
+}
+
+TEST(QuadraticCost, GradientMatchesFiniteDifference) {
+  rng::Rng rng(1);
+  Matrix a(4, 3);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.gaussian();
+  const core::QuadraticCost q(a.gram(), Vector(rng.gaussian_vector(3)), 0.7);
+  expect_gradient_matches_fd(q, Vector(rng.gaussian_vector(3)));
+}
+
+TEST(QuadraticCost, HessianIsP) {
+  const Matrix p = Matrix::diagonal(Vector{1.0, 2.0});
+  const core::QuadraticCost q(p, Vector(2));
+  EXPECT_EQ(*q.hessian(Vector{5.0, 5.0}), p);
+}
+
+TEST(QuadraticCost, SquaredDistanceMinimizesAtCenter) {
+  const Vector center{1.0, -2.0, 3.0};
+  const auto q = core::QuadraticCost::squared_distance(center);
+  EXPECT_NEAR(q.value(center), 0.0, 1e-12);
+  EXPECT_TRUE(q.gradient(center).is_zero(1e-12));
+  EXPECT_NEAR(q.value(Vector{1.0, -2.0, 4.0}), 1.0, 1e-12);
+}
+
+TEST(QuadraticCost, RejectsAsymmetricOrMismatched) {
+  EXPECT_THROW(core::QuadraticCost(Matrix{{1.0, 2.0}, {0.0, 1.0}}, Vector(2)),
+               redopt::PreconditionError);
+  EXPECT_THROW(core::QuadraticCost(Matrix::identity(2), Vector(3)), redopt::PreconditionError);
+  const core::QuadraticCost q(Matrix::identity(2), Vector(2));
+  EXPECT_THROW(q.value(Vector(3)), redopt::PreconditionError);
+  EXPECT_THROW(q.gradient(Vector(3)), redopt::PreconditionError);
+}
+
+TEST(QuadraticCost, CloneIsDeepAndEqualValued) {
+  const core::QuadraticCost q(Matrix::identity(2), Vector{1.0, 2.0}, 5.0);
+  const auto c = q.clone();
+  const Vector x{0.3, -0.4};
+  EXPECT_DOUBLE_EQ(c->value(x), q.value(x));
+}
+
+// ---------------------------------------------------------------- Least squares
+
+TEST(LeastSquaresCost, SingleObservationMatchesPaperForm) {
+  // Q_i(x) = (B_i - A_i x)^2 with A_i = (1, 2), B_i = 3.
+  const auto q = core::LeastSquaresCost::single(Vector{1.0, 2.0}, 3.0);
+  const Vector x{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(q.value(x), 0.0);
+  const Vector y{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(q.value(y), 9.0);
+  // gradient = 2 A^T (A x - b) = 2 * (0 - 3) * (1, 2) at y.
+  EXPECT_EQ(q.gradient(y), (Vector{-6.0, -12.0}));
+}
+
+TEST(LeastSquaresCost, GradientMatchesFiniteDifference) {
+  rng::Rng rng(2);
+  Matrix a(5, 3);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.gaussian();
+  const core::LeastSquaresCost q(a, Vector(rng.gaussian_vector(5)));
+  expect_gradient_matches_fd(q, Vector(rng.gaussian_vector(3)), 1e-4);
+}
+
+TEST(LeastSquaresCost, HessianIsTwiceGram) {
+  const Matrix a{{1.0, 0.0}, {0.0, 2.0}};
+  const core::LeastSquaresCost q(a, Vector(2));
+  const auto h = q.hessian(Vector(2));
+  ASSERT_TRUE(h.has_value());
+  EXPECT_DOUBLE_EQ((*h)(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ((*h)(1, 1), 8.0);
+}
+
+TEST(LeastSquaresCost, RejectsBadShapes) {
+  EXPECT_THROW(core::LeastSquaresCost(Matrix(2, 2), Vector(3)), redopt::PreconditionError);
+  EXPECT_THROW(core::LeastSquaresCost(Matrix(0, 2), Vector(0)), redopt::PreconditionError);
+}
+
+// ---------------------------------------------------------------- Logistic
+
+TEST(LogisticCost, ValueAtZeroIsLog2) {
+  const Matrix x{{1.0, 0.0}, {0.0, 1.0}};
+  const core::LogisticCost q(x, Vector{1.0, -1.0});
+  EXPECT_NEAR(q.value(Vector(2)), std::log(2.0), 1e-12);
+}
+
+TEST(LogisticCost, GradientMatchesFiniteDifference) {
+  rng::Rng rng(3);
+  Matrix x(8, 4);
+  Vector y(8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) x(r, c) = rng.gaussian();
+    y[r] = rng.uniform() < 0.5 ? -1.0 : 1.0;
+  }
+  const core::LogisticCost q(x, y, 0.1);
+  expect_gradient_matches_fd(q, Vector(rng.gaussian_vector(4)), 1e-5);
+}
+
+TEST(LogisticCost, HessianMatchesFiniteDifferenceOfGradient) {
+  rng::Rng rng(4);
+  Matrix x(6, 3);
+  Vector y(6);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) x(r, c) = rng.gaussian();
+    y[r] = rng.uniform() < 0.5 ? -1.0 : 1.0;
+  }
+  const core::LogisticCost q(x, y, 0.05);
+  const Vector w(rng.gaussian_vector(3));
+  const auto h = q.hessian(w);
+  ASSERT_TRUE(h.has_value());
+  const double step = 1e-6;
+  for (std::size_t k = 0; k < 3; ++k) {
+    Vector wp = w, wm = w;
+    wp[k] += step;
+    wm[k] -= step;
+    const Vector col = (q.gradient(wp) - q.gradient(wm)) / (2.0 * step);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR((*h)(j, k), col[j], 1e-4);
+  }
+}
+
+TEST(LogisticCost, NumericallyStableForExtremeMargins) {
+  const Matrix x{{1000.0}};
+  const core::LogisticCost q(x, Vector{1.0});
+  EXPECT_TRUE(std::isfinite(q.value(Vector{1.0})));
+  EXPECT_TRUE(std::isfinite(q.value(Vector{-1.0})));
+  EXPECT_TRUE(std::isfinite(q.gradient(Vector{-1.0})[0]));
+}
+
+TEST(LogisticCost, RejectsInvalidLabels) {
+  EXPECT_THROW(core::LogisticCost(Matrix{{1.0}}, Vector{0.5}), redopt::PreconditionError);
+  EXPECT_THROW(core::LogisticCost(Matrix{{1.0}}, Vector{1.0}, -1.0), redopt::PreconditionError);
+}
+
+TEST(LogisticCost, AccuracyCountsCorrectSigns) {
+  const Matrix x{{1.0, 0.0}, {-1.0, 0.0}, {0.0, 1.0}, {0.0, 0.0}};
+  const Vector y{1.0, 1.0, -1.0, 1.0};
+  const Vector w{1.0, 1.0};
+  // margins: 1 (correct), -1 (wrong), 1 vs label -1 (wrong), 0 (tie=wrong).
+  EXPECT_DOUBLE_EQ(core::LogisticCost::accuracy(x, y, w), 0.25);
+}
+
+// ---------------------------------------------------------------- Smoothed hinge
+
+TEST(SmoothedHingeCost, PiecewiseRegionsHandChecked) {
+  const double h = 0.5;
+  const Matrix x{{1.0}};
+  const core::SmoothedHingeCost q(x, Vector{1.0}, 0.0, h);
+  // margin z = w; z >= 1 -> 0.
+  EXPECT_DOUBLE_EQ(q.value(Vector{2.0}), 0.0);
+  // z = 0.8 in (1-h, 1): (1-z)^2/(2h) = 0.04/1.0 = 0.04.
+  EXPECT_NEAR(q.value(Vector{0.8}), 0.04, 1e-12);
+  // z = 0 <= 1-h: 1 - z - h/2 = 0.75.
+  EXPECT_NEAR(q.value(Vector{0.0}), 0.75, 1e-12);
+}
+
+TEST(SmoothedHingeCost, GradientMatchesFiniteDifference) {
+  rng::Rng rng(5);
+  Matrix x(10, 3);
+  Vector y(10);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) x(r, c) = rng.gaussian();
+    y[r] = rng.uniform() < 0.5 ? -1.0 : 1.0;
+  }
+  const core::SmoothedHingeCost q(x, y, 0.02, 0.5);
+  expect_gradient_matches_fd(q, Vector(rng.gaussian_vector(3)), 1e-4);
+}
+
+TEST(SmoothedHingeCost, ContinuousAcrossBreakpoints) {
+  const core::SmoothedHingeCost q(Matrix{{1.0}}, Vector{1.0}, 0.0, 0.5);
+  const double eps = 1e-9;
+  EXPECT_NEAR(q.value(Vector{1.0 - eps}), q.value(Vector{1.0 + eps}), 1e-7);
+  EXPECT_NEAR(q.value(Vector{0.5 - eps}), q.value(Vector{0.5 + eps}), 1e-7);
+}
+
+TEST(SmoothedHingeCost, RejectsBadSmoothing) {
+  EXPECT_THROW(core::SmoothedHingeCost(Matrix{{1.0}}, Vector{1.0}, 0.0, 0.0),
+               redopt::PreconditionError);
+  EXPECT_THROW(core::SmoothedHingeCost(Matrix{{1.0}}, Vector{1.0}, 0.0, 1.5),
+               redopt::PreconditionError);
+}
+
+// ---------------------------------------------------------------- Aggregate
+
+TEST(AggregateCost, SumsValuesAndGradients) {
+  auto q1 = std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(
+      Vector{1.0, 0.0}));
+  auto q2 = std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(
+      Vector{0.0, 1.0}));
+  const core::AggregateCost agg({q1, q2});
+  const Vector x{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(agg.value(x), q1->value(x) + q2->value(x));
+  EXPECT_EQ(agg.gradient(x), q1->gradient(x) + q2->gradient(x));
+}
+
+TEST(AggregateCost, WeightedAverage) {
+  auto q = std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(
+      Vector{2.0}));
+  const auto avg = core::AggregateCost::average({q, q, q, q});
+  EXPECT_DOUBLE_EQ(avg.value(Vector{0.0}), q->value(Vector{0.0}));
+}
+
+TEST(AggregateCost, HessianSumsOrPropagatesAbsence) {
+  auto q = std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(
+      Vector{0.0}));
+  const core::AggregateCost agg({q, q});
+  const auto h = agg.hessian(Vector{0.0});
+  ASSERT_TRUE(h.has_value());
+  EXPECT_DOUBLE_EQ((*h)(0, 0), 4.0);  // 2 + 2
+  // Smoothed hinge exposes no Hessian; the aggregate should say so too.
+  auto hinge = std::make_shared<core::SmoothedHingeCost>(Matrix{{1.0}}, Vector{1.0});
+  const core::AggregateCost mixed({q, hinge});
+  EXPECT_FALSE(mixed.hessian(Vector{0.0}).has_value());
+}
+
+TEST(AggregateCost, RejectsInvalidConstruction) {
+  EXPECT_THROW(core::AggregateCost(std::vector<CostPtr>{}), redopt::PreconditionError);
+  auto q1 = std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(
+      Vector{0.0}));
+  auto q2 = std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(
+      Vector{0.0, 0.0}));
+  EXPECT_THROW(core::AggregateCost({q1, q2}), redopt::PreconditionError);
+  EXPECT_THROW(core::AggregateCost({q1, nullptr}), redopt::PreconditionError);
+  EXPECT_THROW(core::AggregateCost({q1}, {1.0, 2.0}), redopt::PreconditionError);
+}
+
+TEST(AggregateCost, SubsetHelperSelectsByIndex) {
+  std::vector<CostPtr> costs;
+  for (double c = 0.0; c < 3.0; c += 1.0) {
+    costs.push_back(std::make_shared<core::QuadraticCost>(
+        core::QuadraticCost::squared_distance(Vector{c})));
+  }
+  const auto agg = core::aggregate_subset(costs, {0, 2});
+  // At x = 0: ||0-0||^2 + ||0-2||^2 = 4.
+  EXPECT_DOUBLE_EQ(agg.value(Vector{0.0}), 4.0);
+  EXPECT_THROW(core::aggregate_subset(costs, {7}), redopt::PreconditionError);
+  EXPECT_THROW(core::aggregate_subset(costs, {}), redopt::PreconditionError);
+}

@@ -1,0 +1,206 @@
+// Unit and property tests for the matrix decompositions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decompose.h"
+#include "rng/rng.h"
+#include "util/error.h"
+
+using redopt::linalg::Matrix;
+using redopt::linalg::Vector;
+namespace rl = redopt::linalg;
+
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, redopt::rng::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.gaussian();
+  return m;
+}
+
+Matrix random_spd(std::size_t n, redopt::rng::Rng& rng) {
+  // A^T A + I is symmetric positive definite.
+  const Matrix a = random_matrix(n + 2, n, rng);
+  Matrix spd = a.gram();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 1.0;
+  return spd;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Cholesky
+
+TEST(Cholesky, ReconstructsSpdMatrix) {
+  redopt::rng::Rng rng(1);
+  const Matrix a = random_spd(5, rng);
+  const auto l = rl::cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  const Matrix reconstructed = rl::matmul(*l, l->transposed());
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_NEAR(reconstructed(i, j), a(i, j), 1e-9);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  const Matrix indefinite{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(rl::cholesky(indefinite).has_value());
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(rl::cholesky(Matrix(2, 3)), redopt::PreconditionError);
+}
+
+TEST(SolveSpd, RecoversKnownSolution) {
+  redopt::rng::Rng rng(2);
+  const Matrix a = random_spd(6, rng);
+  const Vector x_true(rng.gaussian_vector(6));
+  const Vector b = rl::matvec(a, x_true);
+  const auto x = rl::solve_spd(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(rl::distance(*x, x_true), 0.0, 1e-8);
+}
+
+TEST(SolveSpd, ReturnsNulloptForIndefinite) {
+  const Matrix indefinite{{0.0, 1.0}, {1.0, 0.0}};
+  EXPECT_FALSE(rl::solve_spd(indefinite, Vector{1.0, 1.0}).has_value());
+}
+
+// ---------------------------------------------------------------- QR
+
+TEST(Qr, QtPreservesNorm) {
+  redopt::rng::Rng rng(3);
+  const Matrix a = random_matrix(8, 5, rng);
+  const rl::QrDecomposition qr(a);
+  const Vector b(rng.gaussian_vector(8));
+  EXPECT_NEAR(qr.apply_qt(b).norm(), b.norm(), 1e-10);
+}
+
+TEST(Qr, LeastSquaresMatchesNormalEquations) {
+  redopt::rng::Rng rng(4);
+  const Matrix a = random_matrix(10, 4, rng);
+  const Vector b(rng.gaussian_vector(10));
+  const rl::QrDecomposition qr(a);
+  const Vector x = qr.solve_least_squares(b);
+  // Normal equations: A^T A x = A^T b.
+  const Vector lhs = rl::matvec(a.gram(), x);
+  const Vector rhs = rl::matvec_transposed(a, b);
+  EXPECT_NEAR(rl::distance(lhs, rhs), 0.0, 1e-8);
+}
+
+TEST(Qr, ExactSolutionForConsistentSystem) {
+  redopt::rng::Rng rng(5);
+  const Matrix a = random_matrix(7, 3, rng);
+  const Vector x_true(rng.gaussian_vector(3));
+  const Vector b = rl::matvec(a, x_true);
+  EXPECT_NEAR(rl::distance(rl::QrDecomposition(a).solve_least_squares(b), x_true), 0.0, 1e-9);
+}
+
+TEST(Qr, FullRankDetected) {
+  redopt::rng::Rng rng(6);
+  const Matrix a = random_matrix(6, 4, rng);
+  EXPECT_EQ(rl::rank(a), 4u);
+}
+
+TEST(Qr, RankDeficiencyDetected) {
+  // Third column = first + second.
+  Matrix a(5, 3);
+  redopt::rng::Rng rng(7);
+  for (std::size_t r = 0; r < 5; ++r) {
+    a(r, 0) = rng.gaussian();
+    a(r, 1) = rng.gaussian();
+    a(r, 2) = a(r, 0) + a(r, 1);
+  }
+  EXPECT_EQ(rl::rank(a), 2u);
+}
+
+TEST(Qr, ZeroMatrixHasRankZero) { EXPECT_EQ(rl::rank(Matrix(4, 3)), 0u); }
+
+TEST(Qr, WideMatrixRank) {
+  redopt::rng::Rng rng(8);
+  const Matrix a = random_matrix(3, 7, rng);
+  EXPECT_EQ(rl::rank(a), 3u);
+}
+
+TEST(Qr, RFactorIsUpperTriangular) {
+  redopt::rng::Rng rng(9);
+  const rl::QrDecomposition qr(random_matrix(6, 4, rng));
+  const Matrix r = qr.r();
+  for (std::size_t i = 1; i < r.rows(); ++i)
+    for (std::size_t j = 0; j < std::min<std::size_t>(i, r.cols()); ++j)
+      EXPECT_DOUBLE_EQ(r(i, j), 0.0);
+}
+
+TEST(Solve, SquareSystemRoundTrip) {
+  redopt::rng::Rng rng(10);
+  const Matrix a = random_matrix(5, 5, rng);
+  const Vector x_true(rng.gaussian_vector(5));
+  EXPECT_NEAR(rl::distance(rl::solve(a, rl::matvec(a, x_true)), x_true), 0.0, 1e-8);
+}
+
+TEST(Solve, SingularSystemThrows) {
+  const Matrix singular{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(rl::solve(singular, Vector{1.0, 2.0}), redopt::PreconditionError);
+}
+
+// ---------------------------------------------------------------- Eigen
+
+TEST(Eigen, DiagonalMatrixEigenvaluesSorted) {
+  const auto eig = rl::symmetric_eigen(Matrix::diagonal(Vector{3.0, -1.0, 2.0}));
+  EXPECT_NEAR(eig.eigenvalues[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(Eigen, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  const auto eig = rl::symmetric_eigen(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, SatisfiesDefinitionOnRandomSymmetric) {
+  redopt::rng::Rng rng(11);
+  const Matrix a = random_spd(6, rng);
+  const auto eig = rl::symmetric_eigen(a);
+  // Check A v_k = lambda_k v_k for every k, and orthonormality of V.
+  for (std::size_t k = 0; k < 6; ++k) {
+    const Vector v = eig.eigenvectors.col(k);
+    const Vector av = rl::matvec(a, v);
+    EXPECT_NEAR(rl::distance(av, v * eig.eigenvalues[k]), 0.0, 1e-8);
+    EXPECT_NEAR(v.norm(), 1.0, 1e-10);
+    for (std::size_t j = k + 1; j < 6; ++j) {
+      EXPECT_NEAR(rl::dot(v, eig.eigenvectors.col(j)), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Eigen, TraceEqualsEigenvalueSum) {
+  redopt::rng::Rng rng(12);
+  const Matrix a = random_spd(5, rng);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) trace += a(i, i);
+  const auto eig = rl::symmetric_eigen(a);
+  double sum = 0.0;
+  for (double l : eig.eigenvalues) sum += l;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(Eigen, RejectsAsymmetric) {
+  EXPECT_THROW(rl::symmetric_eigen(Matrix{{1.0, 2.0}, {0.0, 1.0}}), redopt::PreconditionError);
+  EXPECT_THROW(rl::symmetric_eigen(Matrix(2, 3)), redopt::PreconditionError);
+}
+
+TEST(Eigen, MinMaxEigenvalueHelpers) {
+  const Matrix a{{4.0, 0.0}, {0.0, 9.0}};
+  EXPECT_NEAR(rl::min_eigenvalue(a), 4.0, 1e-12);
+  EXPECT_NEAR(rl::max_eigenvalue(a), 9.0, 1e-12);
+}
+
+TEST(Eigen, PsdGramHasNonNegativeEigenvalues) {
+  redopt::rng::Rng rng(13);
+  const Matrix a = random_matrix(4, 6, rng);  // wide => gram is singular PSD
+  const auto eig = rl::symmetric_eigen(a.gram());
+  for (double l : eig.eigenvalues) EXPECT_GE(l, -1e-9);
+  EXPECT_NEAR(eig.eigenvalues[0], 0.0, 1e-9);  // rank <= 4 < 6
+}

@@ -1,0 +1,137 @@
+// Tests for the Theorem-3 descent-condition probe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/registry.h"
+#include "data/regression.h"
+#include "dgd/descent_probe.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+struct Fixture {
+  data::BlockRegressionInstance instance;
+  std::vector<std::size_t> byzantine{0, 1};
+  Vector x_h;
+
+  explicit Fixture(double noise = 0.03)
+      : instance([&] {
+          rng::Rng rng(5);
+          return data::make_orthonormal_regression(9, 3, 2, noise, Vector(3, 1.0), rng);
+        }()) {
+    x_h = data::block_regression_argmin(instance, dgd::honest_ids(9, byzantine));
+  }
+};
+
+std::unique_ptr<filters::GradientFilter> make(const std::string& name) {
+  filters::FilterParams fp;
+  fp.n = 9;
+  fp.f = 2;
+  return filters::make_filter(name, fp);
+}
+
+dgd::DescentProbeConfig default_probe() {
+  dgd::DescentProbeConfig probe;
+  probe.radii = {0.05, 0.2, 1.0};
+  probe.samples_per_radius = 32;
+  probe.seed = 3;
+  return probe;
+}
+
+}  // namespace
+
+TEST(DescentProbe, FaultFreeSumIsPositiveOnAllShells) {
+  // With no faults, the plain gradient sum of a strongly convex aggregate
+  // satisfies phi(x) >= gamma' ||x - x*||^2 > 0 away from the minimum.
+  const Fixture fx(0.0);
+  const auto filter = make("sum");
+  const auto result = dgd::probe_descent_condition(fx.instance.problem, {}, nullptr, *filter,
+                                                   fx.x_h, default_probe());
+  for (const auto& shell : result.shells) {
+    EXPECT_GT(shell.min_phi, 0.0) << "radius " << shell.radius;
+  }
+  EXPECT_DOUBLE_EQ(result.empirical_d_star, 0.05);
+}
+
+TEST(DescentProbe, CgePositiveOutsideSmallRadiusUnderAttack) {
+  const Fixture fx;
+  const auto filter = make("cge");
+  const auto attack = attacks::make_attack("gradient_reverse");
+  const auto result = dgd::probe_descent_condition(fx.instance.problem, fx.byzantine,
+                                                   attack.get(), *filter, fx.x_h,
+                                                   default_probe());
+  EXPECT_LE(result.empirical_d_star, 0.2);
+  // The shells beyond D* are positive by definition of the probe.
+  EXPECT_GT(result.shells.back().min_phi, 0.0);
+}
+
+TEST(DescentProbe, MeanNegativeUnderStrongIpm) {
+  const Fixture fx;
+  const auto filter = make("mean");
+  attacks::AttackParams params;
+  params.c = 4.0;
+  const auto attack = attacks::make_attack("ipm", params);
+  const auto result = dgd::probe_descent_condition(fx.instance.problem, fx.byzantine,
+                                                   attack.get(), *filter, fx.x_h,
+                                                   default_probe());
+  EXPECT_TRUE(std::isinf(result.empirical_d_star));
+  for (const auto& shell : result.shells) EXPECT_LT(shell.min_phi, 0.0);
+}
+
+TEST(DescentProbe, MeanPhiGrowsWithRadius) {
+  // phi scales ~ radius^2 for quadratic aggregates; the shells' mean phi
+  // must be increasing for the fault-free sum.
+  const Fixture fx(0.0);
+  const auto filter = make("sum");
+  const auto result = dgd::probe_descent_condition(fx.instance.problem, {}, nullptr, *filter,
+                                                   fx.x_h, default_probe());
+  EXPECT_LT(result.shells[0].mean_phi, result.shells[1].mean_phi);
+  EXPECT_LT(result.shells[1].mean_phi, result.shells[2].mean_phi);
+}
+
+TEST(DescentProbe, DeterministicGivenSeed) {
+  const Fixture fx;
+  const auto filter = make("cwtm");
+  const auto attack = attacks::make_attack("random");
+  const auto r1 = dgd::probe_descent_condition(fx.instance.problem, fx.byzantine, attack.get(),
+                                               *filter, fx.x_h, default_probe());
+  const auto r2 = dgd::probe_descent_condition(fx.instance.problem, fx.byzantine, attack.get(),
+                                               *filter, fx.x_h, default_probe());
+  for (std::size_t k = 0; k < r1.shells.size(); ++k) {
+    EXPECT_DOUBLE_EQ(r1.shells[k].min_phi, r2.shells[k].min_phi);
+  }
+}
+
+TEST(DescentProbe, ValidatesArguments) {
+  const Fixture fx;
+  const auto filter = make("cge");
+  auto probe = default_probe();
+  probe.radii.clear();
+  EXPECT_THROW(dgd::probe_descent_condition(fx.instance.problem, {}, nullptr, *filter, fx.x_h,
+                                            probe),
+               redopt::PreconditionError);
+  probe = default_probe();
+  probe.radii = {0.0};
+  EXPECT_THROW(dgd::probe_descent_condition(fx.instance.problem, {}, nullptr, *filter, fx.x_h,
+                                            probe),
+               redopt::PreconditionError);
+  probe = default_probe();
+  probe.samples_per_radius = 0;
+  EXPECT_THROW(dgd::probe_descent_condition(fx.instance.problem, {}, nullptr, *filter, fx.x_h,
+                                            probe),
+               redopt::PreconditionError);
+  // Byzantine agents without an attack.
+  EXPECT_THROW(dgd::probe_descent_condition(fx.instance.problem, fx.byzantine, nullptr,
+                                            *filter, fx.x_h, default_probe()),
+               redopt::PreconditionError);
+  // Wrong-dimension reference.
+  EXPECT_THROW(dgd::probe_descent_condition(fx.instance.problem, {}, nullptr, *filter,
+                                            Vector{1.0}, default_probe()),
+               redopt::PreconditionError);
+}

@@ -1,0 +1,216 @@
+// Tests for redundancy-by-design (shard replication) and empirical
+// (f, eps)-resilience certification.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/registry.h"
+#include "core/exact_algorithm.h"
+#include "core/quadratic_cost.h"
+#include "data/replicated_regression.h"
+#include "data/regression.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+#include "redundancy/design.h"
+#include "redundancy/redundancy.h"
+#include "redundancy/resilience.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+// ---------------------------------------------------------------- Layouts
+
+TEST(ReplicationDesign, CyclicLayoutStructure) {
+  const auto design = redundancy::cyclic_replication(5, 4, 2);
+  EXPECT_EQ(design.shard_holders.size(), 5u);
+  EXPECT_EQ(design.agent_shards.size(), 4u);
+  // Shard 3 held by agents 3 and 0 (cyclic wrap).
+  EXPECT_EQ(design.shard_holders[3], (std::vector<std::size_t>{0, 3}));
+  // Every shard has exactly r holders.
+  for (const auto& holders : design.shard_holders) EXPECT_EQ(holders.size(), 2u);
+  // Shard/agent views are consistent.
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t a : design.shard_holders[j]) {
+      const auto& shards = design.agent_shards[a];
+      EXPECT_NE(std::find(shards.begin(), shards.end(), j), shards.end());
+    }
+  }
+}
+
+TEST(ReplicationDesign, ValidatesArguments) {
+  EXPECT_THROW(redundancy::cyclic_replication(0, 4, 2), redopt::PreconditionError);
+  EXPECT_THROW(redundancy::cyclic_replication(5, 4, 5), redopt::PreconditionError);
+  EXPECT_THROW(redundancy::cyclic_replication(5, 4, 0), redopt::PreconditionError);
+}
+
+TEST(ReplicationDesign, CoverageThresholdIsTwoFPlusOne) {
+  // n = 7, f = 2: coverage needs r >= 2f + 1 = 5.
+  const std::size_t n = 7, f = 2;
+  EXPECT_FALSE(redundancy::covers_all_shards(redundancy::cyclic_replication(7, n, 4), f));
+  EXPECT_TRUE(redundancy::covers_all_shards(redundancy::cyclic_replication(7, n, 5), f));
+}
+
+TEST(ReplicationDesign, MaxCoveredFMatchesFormula) {
+  // Cyclic layout with m = n shards: r >= 2f + 1 <=> f <= (r - 1) / 2.
+  for (std::size_t r : {1u, 3u, 5u}) {
+    const auto design = redundancy::cyclic_replication(9, 9, r);
+    EXPECT_EQ(redundancy::max_covered_f(design), (r - 1) / 2) << "r=" << r;
+  }
+}
+
+TEST(ReplicationDesign, FullReplicationCoversEverything) {
+  const auto design = redundancy::cyclic_replication(4, 5, 5);
+  EXPECT_TRUE(redundancy::covers_all_shards(design, 2));
+  EXPECT_EQ(redundancy::max_covered_f(design), 2u);  // capped by n > 2f
+}
+
+// ---------------------------------------------------------------- Replicated regression
+
+TEST(ReplicatedRegression, NoiselessWithEnoughReplicationIsExactlyRedundant) {
+  rng::Rng rng(1);
+  // n = 7, f = 2, r = 2f + 1 = 5.
+  const auto inst =
+      data::make_replicated_regression(7, 2, 7, 2, 5, 0.0, Vector{1.0, -1.0}, rng);
+  const auto report = redundancy::measure_redundancy(inst.problem.costs, 2);
+  EXPECT_NEAR(report.epsilon, 0.0, 1e-7);
+}
+
+TEST(ReplicatedRegression, MoreReplicationTightensEpsilonUnderNoise) {
+  // With noiseless consistent shards every aggregate minimizes at x*
+  // regardless of r (the shared minimum hides the layout), so the value of
+  // replication shows under observation noise: higher r means admissible
+  // subsets share more shards, so their minimizers disagree less.  The
+  // same seed fixes the shard rows and noise across r, isolating the
+  // layout's effect.
+  auto epsilon_at = [](std::size_t r) {
+    rng::Rng rng(2);
+    const auto inst =
+        data::make_replicated_regression(7, 2, 7, 2, r, 0.05, Vector{1.0, -1.0}, rng);
+    return redundancy::measure_redundancy(inst.problem.costs, 2).epsilon;
+  };
+  const double eps_r1 = epsilon_at(1);
+  const double eps_r3 = epsilon_at(3);
+  const double eps_r5 = epsilon_at(5);
+  const double eps_r7 = epsilon_at(7);
+  EXPECT_GT(eps_r1, eps_r5);
+  EXPECT_GT(eps_r3, eps_r7);
+  // Full replication: all agents share one dataset -> exact redundancy
+  // even with noise.
+  EXPECT_NEAR(eps_r7, 0.0, 1e-9);
+}
+
+TEST(ReplicatedRegression, NoiseScalesEpsilon) {
+  rng::Rng rng1(3), rng2(3);
+  const auto small =
+      data::make_replicated_regression(8, 2, 8, 2, 5, 0.01, Vector{1.0, 1.0}, rng1);
+  const auto large =
+      data::make_replicated_regression(8, 2, 8, 2, 5, 0.1, Vector{1.0, 1.0}, rng2);
+  const double eps_small = redundancy::measure_redundancy(small.problem.costs, 2).epsilon;
+  const double eps_large = redundancy::measure_redundancy(large.problem.costs, 2).epsilon;
+  EXPECT_NEAR(eps_large / eps_small, 10.0, 1e-6);  // same noise shape, scaled
+}
+
+TEST(ReplicatedRegression, ArgminRecoversTruthNoiseless) {
+  rng::Rng rng(4);
+  const auto inst =
+      data::make_replicated_regression(9, 3, 8, 2, 5, 0.0, Vector{1.0, 2.0, 3.0}, rng);
+  const Vector x_h = data::replicated_regression_argmin(inst, {0, 2, 3, 5, 6, 7});
+  EXPECT_NEAR(linalg::distance(x_h, Vector{1.0, 2.0, 3.0}), 0.0, 1e-9);
+}
+
+TEST(ReplicatedRegression, DgdCgeRecoversUnderAttack) {
+  rng::Rng rng(5);
+  const auto inst =
+      data::make_replicated_regression(9, 2, 9, 2, 5, 0.0, Vector{1.0, -1.0}, rng);
+  const std::vector<std::size_t> byzantine = {1, 6};
+  const auto honest = dgd::honest_ids(9, byzantine);
+  const Vector x_h = data::replicated_regression_argmin(inst, honest);
+  const auto attack = attacks::make_attack("gradient_reverse");
+  filters::FilterParams fp;
+  fp.n = 9;
+  fp.f = 2;
+  dgd::TrainerConfig cfg;
+  cfg.filter = filters::make_filter("cge", fp);
+  cfg.schedule = std::make_shared<dgd::HarmonicSchedule>(0.2);
+  cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(2, 10.0));
+  cfg.iterations = 3000;
+  cfg.trace_stride = 0;
+  const auto result = dgd::train(inst.problem, byzantine, attack.get(), cfg, x_h);
+  EXPECT_LT(result.final_distance, 0.02);
+}
+
+// ---------------------------------------------------------------- Resilience certification
+
+namespace {
+
+redundancy::AlgorithmFn exact_algorithm_fn() {
+  return [](const std::vector<core::CostPtr>& received, std::size_t f) {
+    return core::run_exact_algorithm(received, f).output;
+  };
+}
+
+std::vector<core::CostPtr> adversarial_pulls(std::size_t d) {
+  std::vector<core::CostPtr> bad;
+  bad.push_back(std::make_shared<core::QuadraticCost>(
+      core::QuadraticCost::squared_distance(Vector(d, 10.0))));
+  bad.push_back(std::make_shared<core::QuadraticCost>(
+      core::QuadraticCost::squared_distance(Vector(d, -10.0))));
+  return bad;
+}
+
+}  // namespace
+
+TEST(ResilienceCertification, ExactAlgorithmWithinTwoEpsilon) {
+  rng::Rng rng(6);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.04, 1, rng);
+  const double eps = redundancy::measure_redundancy(inst.problem.costs, 1).epsilon;
+  const auto report = redundancy::measure_resilience(inst.problem.costs, 1,
+                                                     exact_algorithm_fn(),
+                                                     adversarial_pulls(2));
+  // Theorem 2's guarantee, certified over every scenario the sweep covers.
+  EXPECT_LE(report.epsilon, 2.0 * eps + 1e-9);
+  // 6 byzantine placements x 2 adversarial costs + 1 fault-free scenario.
+  EXPECT_EQ(report.scenarios_run, 13u);
+}
+
+TEST(ResilienceCertification, ExactAlgorithmExactUnderExactRedundancy) {
+  rng::Rng rng(7);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto report = redundancy::measure_resilience(inst.problem.costs, 1,
+                                                     exact_algorithm_fn(),
+                                                     adversarial_pulls(2));
+  EXPECT_NEAR(report.epsilon, 0.0, 1e-7);
+}
+
+TEST(ResilienceCertification, NaiveAveragingFailsCertification) {
+  // Algorithm under test: minimize the average of ALL received costs.
+  const redundancy::AlgorithmFn naive = [](const std::vector<core::CostPtr>& received,
+                                           std::size_t) {
+    return core::argmin_point(core::AggregateCost(received));
+  };
+  rng::Rng rng(8);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.02, 1, rng);
+  const double eps = redundancy::measure_redundancy(inst.problem.costs, 1).epsilon;
+  const auto naive_report =
+      redundancy::measure_resilience(inst.problem.costs, 1, naive, adversarial_pulls(2));
+  const auto exact_report = redundancy::measure_resilience(
+      inst.problem.costs, 1, exact_algorithm_fn(), adversarial_pulls(2));
+  EXPECT_GT(naive_report.epsilon, 10.0 * eps);  // dragged by the adversarial cost
+  EXPECT_GT(naive_report.epsilon, 10.0 * exact_report.epsilon);
+  EXPECT_FALSE(naive_report.worst_byzantine.empty());
+}
+
+TEST(ResilienceCertification, ValidatesArguments) {
+  rng::Rng rng(9);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  EXPECT_THROW(redundancy::measure_resilience(inst.problem.costs, 1, nullptr,
+                                              adversarial_pulls(2)),
+               redopt::PreconditionError);
+  EXPECT_THROW(
+      redundancy::measure_resilience(inst.problem.costs, 1, exact_algorithm_fn(), {}),
+      redopt::PreconditionError);
+  EXPECT_THROW(redundancy::measure_resilience(inst.problem.costs, 3, exact_algorithm_fn(),
+                                              adversarial_pulls(2)),
+               redopt::PreconditionError);
+}

@@ -1,0 +1,182 @@
+// Tests for the exhaustive exact algorithm (Theorem 2's construction):
+// exact fault-tolerance under 2f-redundancy, (f, 2 eps)-resilience under
+// (2f, eps)-redundancy.
+#include <gtest/gtest.h>
+
+#include "core/exact_algorithm.h"
+#include "core/least_squares_cost.h"
+#include "core/quadratic_cost.h"
+#include "data/regression.h"
+#include "dgd/trainer.h"
+#include "redundancy/redundancy.h"
+#include "rng/rng.h"
+#include "util/error.h"
+#include "util/subsets.h"
+
+using namespace redopt;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+/// Builds the received-cost vector: honest agents send their true costs,
+/// Byzantine agents send @p byzantine_cost.
+std::vector<core::CostPtr> with_byzantine(const std::vector<core::CostPtr>& honest_costs,
+                                          const std::vector<std::size_t>& byzantine_ids,
+                                          const core::CostPtr& byzantine_cost) {
+  std::vector<core::CostPtr> received = honest_costs;
+  for (std::size_t id : byzantine_ids) received[id] = byzantine_cost;
+  return received;
+}
+
+}  // namespace
+
+TEST(ExactAlgorithm, RecoversMinimumUnderRedundancyNoFaults) {
+  rng::Rng rng(1);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto result = core::run_exact_algorithm(inst.problem.costs, 1);
+  EXPECT_NEAR(linalg::distance(result.output, Vector{1.0, 1.0}), 0.0, 1e-7);
+  EXPECT_NEAR(result.chosen_score, 0.0, 1e-7);
+  EXPECT_EQ(result.subsets_evaluated, 6u);  // C(6, 5)
+}
+
+TEST(ExactAlgorithm, ExactToleranceAgainstAdversarialCost) {
+  // One Byzantine agent submits a cost pulling toward (100, 100); under
+  // exact 2f-redundancy the output must still be x* exactly.
+  rng::Rng rng(2);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto bad = std::make_shared<core::QuadraticCost>(
+      core::QuadraticCost::squared_distance(Vector{100.0, 100.0}));
+  for (std::size_t byz = 0; byz < 6; ++byz) {
+    const auto received = with_byzantine(inst.problem.costs, {byz}, bad);
+    const auto result = core::run_exact_algorithm(received, 1);
+    EXPECT_NEAR(linalg::distance(result.output, Vector{1.0, 1.0}), 0.0, 1e-6)
+        << "byzantine agent " << byz;
+  }
+}
+
+TEST(ExactAlgorithm, TwoFaultsWithEnoughRedundancy) {
+  rng::Rng rng(3);
+  const Matrix a = data::redundant_matrix(9, 2, 2, rng);
+  const Vector x_star{-0.5, 2.0};
+  const auto inst = data::make_regression(a, x_star, 0.0, 2, rng);
+  const auto bad = std::make_shared<core::QuadraticCost>(
+      core::QuadraticCost::squared_distance(Vector{-50.0, 7.0}));
+  const auto received = with_byzantine(inst.problem.costs, {1, 4}, bad);
+  const auto result = core::run_exact_algorithm(received, 2);
+  EXPECT_NEAR(linalg::distance(result.output, x_star), 0.0, 1e-6);
+}
+
+TEST(ExactAlgorithm, ResilienceBoundUnderNoisyRedundancy) {
+  // Theorem 2: under (2f, eps)-redundancy the output is within 2*eps of
+  // the honest aggregate argmin, for EVERY choice of Byzantine agent and
+  // an adversarially chosen Byzantine cost.
+  rng::Rng rng(4);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.05, 1, rng);
+  const double eps = redundancy::measure_redundancy(inst.problem.costs, 1).epsilon;
+  ASSERT_GT(eps, 0.0);
+
+  const auto bad = std::make_shared<core::QuadraticCost>(
+      core::QuadraticCost::squared_distance(Vector{3.0, -3.0}));
+  for (std::size_t byz = 0; byz < 6; ++byz) {
+    const auto received = with_byzantine(inst.problem.costs, {byz}, bad);
+    const auto result = core::run_exact_algorithm(received, 1);
+    // Honest set: everyone but byz.
+    const auto honest = util::complement(6, {byz});
+    const Vector x_h = data::regression_argmin(inst, honest);
+    EXPECT_LE(linalg::distance(result.output, x_h), 2.0 * eps + 1e-9)
+        << "byzantine agent " << byz;
+  }
+}
+
+TEST(ExactAlgorithm, ScoreOfChosenSetBoundedByEpsilon) {
+  // From the proof: r_S <= r_G <= eps for the honest set G, so the chosen
+  // score never exceeds the measured redundancy epsilon.
+  rng::Rng rng(5);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.08, 1, rng);
+  const double eps = redundancy::measure_redundancy(inst.problem.costs, 1).epsilon;
+  const auto bad = std::make_shared<core::QuadraticCost>(
+      core::QuadraticCost::squared_distance(Vector{9.0, 9.0}));
+  const auto received = with_byzantine(inst.problem.costs, {2}, bad);
+  const auto result = core::run_exact_algorithm(received, 1);
+  EXPECT_LE(result.chosen_score, eps + 1e-9);
+}
+
+TEST(SampledExactAlgorithm, MatchesExhaustiveWhenBudgetCoversSpace) {
+  rng::Rng rng(7);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.03, 1, rng);
+  const auto bad = std::make_shared<core::QuadraticCost>(
+      core::QuadraticCost::squared_distance(Vector{50.0, -50.0}));
+  const auto received = with_byzantine(inst.problem.costs, {2}, bad);
+  const auto exhaustive = core::run_exact_algorithm(received, 1);
+  core::SampledExactOptions sampling;
+  sampling.outer_samples = 100;  // > C(6, 1) = 6: full enumeration path
+  sampling.inner_samples = 100;
+  const auto sampled = core::run_sampled_exact_algorithm(received, 1, sampling);
+  EXPECT_EQ(sampled.chosen_set, exhaustive.chosen_set);
+  EXPECT_NEAR(linalg::distance(sampled.output, exhaustive.output), 0.0, 1e-12);
+}
+
+TEST(SampledExactAlgorithm, GuidedModeRecoversAtScale) {
+  // n = 24, f = 5: exhaustive enumeration is infeasible (C(24,5) = 42504
+  // outer subsets with ~1e5 inner subsets each); guided sampling nominates
+  // the honest subset via argmin centrality and certifies it with the
+  // revealing inner candidate.
+  const std::size_t n = 24, f = 5, d = 3;
+  rng::Rng rng(8);
+  std::vector<core::CostPtr> costs;
+  Vector honest_mean(d);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector center(d, 1.0);
+    for (auto& c : center) c += rng.gaussian(0.0, 0.02);
+    if (i >= f) honest_mean += center;
+    costs.push_back(
+        std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(center)));
+  }
+  honest_mean /= static_cast<double>(n - f);
+  for (std::size_t b = 0; b < f; ++b) {
+    costs[b] = std::make_shared<core::QuadraticCost>(
+        core::QuadraticCost::squared_distance(Vector(d, 40.0)));
+  }
+  core::SampledExactOptions sampling;
+  sampling.outer_samples = 64;
+  sampling.inner_samples = 64;
+  sampling.guided = true;
+  const auto result = core::run_sampled_exact_algorithm(costs, f, sampling);
+  EXPECT_LT(linalg::distance(result.output, honest_mean), 0.05);
+  // The chosen set excludes every Byzantine agent.
+  for (std::size_t member : result.chosen_set) EXPECT_GE(member, f);
+}
+
+TEST(SampledExactAlgorithm, ValidatesArguments) {
+  std::vector<core::CostPtr> costs;
+  for (int i = 0; i < 5; ++i) {
+    costs.push_back(std::make_shared<core::QuadraticCost>(
+        core::QuadraticCost::squared_distance(Vector{0.0})));
+  }
+  core::SampledExactOptions sampling;
+  sampling.outer_samples = 0;
+  EXPECT_THROW(core::run_sampled_exact_algorithm(costs, 1, sampling),
+               redopt::PreconditionError);
+  EXPECT_THROW(core::run_sampled_exact_algorithm(costs, 0), redopt::PreconditionError);
+  EXPECT_THROW(core::run_sampled_exact_algorithm(costs, 3), redopt::PreconditionError);
+}
+
+TEST(ExactAlgorithm, ValidatesArguments) {
+  std::vector<core::CostPtr> costs;
+  for (int i = 0; i < 3; ++i) {
+    costs.push_back(std::make_shared<core::QuadraticCost>(
+        core::QuadraticCost::squared_distance(Vector{0.0})));
+  }
+  EXPECT_THROW(core::run_exact_algorithm(costs, 0), redopt::PreconditionError);   // f = 0
+  EXPECT_THROW(core::run_exact_algorithm(costs, 2), redopt::PreconditionError);   // n <= 2f
+  costs[1] = nullptr;
+  EXPECT_THROW(core::run_exact_algorithm(costs, 1), redopt::PreconditionError);
+}
+
+TEST(ExactAlgorithm, ChosenSetHasCorrectSize) {
+  rng::Rng rng(6);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.01, 1, rng);
+  const auto result = core::run_exact_algorithm(inst.problem.costs, 1);
+  EXPECT_EQ(result.chosen_set.size(), 5u);  // n - f
+}

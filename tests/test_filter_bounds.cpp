@@ -1,0 +1,101 @@
+// Property sweep: the bounded-output condition of Theorems 4(1)/5(1).
+//
+// A gradient-filter can only confer fault-tolerance if a bounded honest
+// majority keeps its output bounded no matter what the f Byzantine inputs
+// are.  For each robust filter, this sweep feeds n - f bounded honest
+// gradients plus f arbitrarily large adversarial ones and checks the
+// output norm against a filter-appropriate bound.  The non-robust
+// baselines (mean, sum, fixed-radius normclip is bounded by construction
+// but included for contrast) are checked for the *opposite*: their output
+// escapes any bound.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "filters/registry.h"
+#include "rng/rng.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+constexpr std::size_t kN = 11;
+constexpr std::size_t kF = 2;
+constexpr std::size_t kD = 4;
+constexpr double kHonestBound = 3.0;
+
+/// n - f honest gradients with norm <= kHonestBound plus f huge ones.
+std::vector<Vector> adversarial_inputs(double magnitude, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  std::vector<Vector> gs;
+  for (std::size_t i = 0; i < kN - kF; ++i) {
+    Vector g(rng.gaussian_vector(kD));
+    const double norm = g.norm();
+    if (norm > kHonestBound) g *= kHonestBound / norm;
+    gs.push_back(std::move(g));
+  }
+  for (std::size_t i = 0; i < kF; ++i) {
+    Vector g(rng.unit_sphere(kD));
+    gs.push_back(g * magnitude);
+  }
+  return gs;
+}
+
+std::unique_ptr<filters::GradientFilter> make(const std::string& name) {
+  filters::FilterParams p;
+  p.n = kN;
+  p.f = kF;
+  p.multikrum_m = kN - kF - 2;
+  p.clip_tau = kHonestBound;
+  return filters::make_filter(name, p);
+}
+
+}  // namespace
+
+class RobustFilterBoundedness : public testing::TestWithParam<std::string> {};
+
+TEST_P(RobustFilterBoundedness, OutputBoundedDespiteArbitraryByzantineInputs) {
+  const auto filter = make(GetParam());
+  // Sum-scaled filters may legitimately output up to (n - f) * bound;
+  // everything robust must stay within that regardless of the adversary's
+  // magnitude.
+  const double allowed = static_cast<double>(kN - kF) * kHonestBound + 1e-9;
+  for (double magnitude : {1e3, 1e6, 1e12}) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      const auto gs = adversarial_inputs(magnitude, seed);
+      const double out_norm = filter->apply(gs).norm();
+      EXPECT_LE(out_norm, allowed)
+          << GetParam() << " magnitude=" << magnitude << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(RobustFilterBoundedness, OutputInvariantToByzantineMagnitudeGrowth) {
+  // Once the adversarial gradients are far outside the honest cluster,
+  // growing them further must not change the output at all (elimination /
+  // trimming / selection has already discarded them) — or change it only
+  // boundedly (clipping).
+  const auto filter = make(GetParam());
+  const auto small = filter->apply(adversarial_inputs(1e6, 7));
+  const auto large = filter->apply(adversarial_inputs(1e12, 7));
+  EXPECT_LE(linalg::distance(small, large), 2.0 * kHonestBound)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RobustFilters, RobustFilterBoundedness,
+                         testing::Values("cge", "cge_avg", "cwtm", "cwmed", "krum",
+                                         "multikrum", "geomed", "gmom", "bulyan", "mda",
+                                         "normclip", "normclip_adaptive", "cclip"),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(NonRobustBaselines, MeanAndSumEscapeEveryBound) {
+  for (const char* name : {"mean", "sum"}) {
+    const auto filter = make(name);
+    const double out = filter->apply(adversarial_inputs(1e9, 5)).norm();
+    EXPECT_GT(out, 1e6) << name;  // dominated by the adversarial inputs
+  }
+}

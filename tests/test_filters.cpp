@@ -1,0 +1,423 @@
+// Unit and property tests for the gradient filters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "filters/bulyan.h"
+#include "filters/centered_clip.h"
+#include "filters/cge.h"
+#include "filters/mda.h"
+#include "filters/geometric_median.h"
+#include "filters/gmom.h"
+#include "filters/krum.h"
+#include "filters/mean.h"
+#include "filters/norm_clip.h"
+#include "filters/registry.h"
+#include "filters/trimmed_mean.h"
+#include "rng/rng.h"
+#include "util/error.h"
+
+using namespace redopt;
+using filters::FilterParams;
+using linalg::Vector;
+
+namespace {
+
+std::vector<Vector> random_gradients(std::size_t n, std::size_t d, redopt::rng::Rng& rng) {
+  std::vector<Vector> gs;
+  gs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) gs.push_back(Vector(rng.gaussian_vector(d)));
+  return gs;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Mean / Sum
+
+TEST(MeanFilter, AveragesInputs) {
+  const filters::MeanFilter mean(3);
+  const std::vector<Vector> gs = {{3.0, 0.0}, {0.0, 3.0}, {3.0, 3.0}};
+  EXPECT_EQ(mean.apply(gs), (Vector{2.0, 2.0}));
+}
+
+TEST(SumFilter, SumsInputs) {
+  const filters::SumFilter sum(2);
+  EXPECT_EQ(sum.apply({{1.0}, {2.0}}), (Vector{3.0}));
+}
+
+TEST(Filters, RejectWrongInputCount) {
+  const filters::MeanFilter mean(3);
+  EXPECT_THROW(mean.apply({{1.0}, {2.0}}), redopt::PreconditionError);
+  EXPECT_THROW(mean.apply({{1.0}, {2.0}, {3.0, 4.0}}), redopt::PreconditionError);
+}
+
+// ---------------------------------------------------------------- CGE
+
+TEST(Cge, SumsSmallestNormGradients) {
+  // n = 4, f = 1: the largest-norm gradient (10, 0) must be eliminated.
+  const filters::CgeFilter cge(4, 1);
+  const std::vector<Vector> gs = {{1.0, 0.0}, {10.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ(cge.apply(gs), (Vector{2.0, 2.0}));
+}
+
+TEST(Cge, SurvivorsSortedByNormWithIndexTieBreak) {
+  const filters::CgeFilter cge(4, 2);
+  const std::vector<Vector> gs = {{2.0}, {1.0}, {1.0}, {3.0}};
+  const auto survivors = cge.surviving_indices(gs);
+  EXPECT_EQ(survivors, (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Cge, NormalizedVariantDividesBySurvivorCount) {
+  const filters::CgeFilter cge(4, 1, /*normalize=*/true);
+  const std::vector<Vector> gs = {{3.0}, {3.0}, {3.0}, {100.0}};
+  EXPECT_EQ(cge.apply(gs), (Vector{3.0}));
+  EXPECT_EQ(cge.name(), "cge_avg");
+}
+
+TEST(Cge, OutputNormBoundedBySumOfSurvivingNorms) {
+  // The boundedness property Theorem 4(1) relies on: ||CGE|| <= (n - f) *
+  // max honest norm whenever at least one honest gradient survives every
+  // Byzantine one.
+  rng::Rng rng(1);
+  const filters::CgeFilter cge(7, 2);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto gs = random_gradients(7, 3, rng);
+    std::vector<double> norms;
+    for (const auto& g : gs) norms.push_back(g.norm());
+    std::sort(norms.begin(), norms.end());
+    double bound = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) bound += norms[i];
+    EXPECT_LE(cge.apply(gs).norm(), bound + 1e-9);
+  }
+}
+
+TEST(Cge, FaultFreeEqualsPlainSum) {
+  rng::Rng rng(2);
+  const auto gs = random_gradients(5, 2, rng);
+  const filters::CgeFilter cge(5, 0);
+  const filters::SumFilter sum(5);
+  EXPECT_NEAR(linalg::distance(cge.apply(gs), sum.apply(gs)), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- CWTM / CWMed
+
+TEST(Cwtm, TrimsExtremesPerCoordinate) {
+  // n = 5, f = 1: drop min and max per coordinate, average middle 3.
+  // coord 0: {-90, 0, 1, 2, 3} -> (0 + 1 + 2) / 3 = 1;
+  // coord 1: {1, 2, 3, 4, 50} -> (2 + 3 + 4) / 3 = 3.
+  const filters::CwtmFilter cwtm(5, 1);
+  const std::vector<Vector> gs = {{0.0, 50.0}, {1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}, {-90.0, 4.0}};
+  EXPECT_EQ(cwtm.apply(gs), (Vector{1.0, 3.0}));
+}
+
+TEST(Cwtm, OutputWithinHonestRangeDespiteOutliers) {
+  // With at most f Byzantine inputs, each trimmed-mean coordinate lies in
+  // the honest min..max range.
+  rng::Rng rng(3);
+  const std::size_t n = 9, f = 2, d = 4;
+  const filters::CwtmFilter cwtm(n, f);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto gs = random_gradients(n - f, d, rng);  // honest
+    Vector lo = gs[0], hi = gs[0];
+    for (const auto& g : gs) {
+      lo = linalg::cwise_min(lo, g);
+      hi = linalg::cwise_max(hi, g);
+    }
+    // Add f adversarial outliers.
+    gs.push_back(Vector(d, 1e9));
+    gs.push_back(Vector(d, -1e9));
+    const Vector out = cwtm.apply(gs);
+    for (std::size_t k = 0; k < d; ++k) {
+      EXPECT_GE(out[k], lo[k] - 1e-9);
+      EXPECT_LE(out[k], hi[k] + 1e-9);
+    }
+  }
+}
+
+TEST(Cwtm, RequiresMoreThanTwoFAgents) {
+  EXPECT_THROW(filters::CwtmFilter(4, 2), redopt::PreconditionError);
+}
+
+TEST(CwMedian, OddAndEvenCounts) {
+  const filters::CwMedianFilter med3(3);
+  EXPECT_EQ(med3.apply({{1.0}, {9.0}, {2.0}}), (Vector{2.0}));
+  const filters::CwMedianFilter med4(4);
+  EXPECT_EQ(med4.apply({{1.0}, {2.0}, {3.0}, {100.0}}), (Vector{2.5}));
+}
+
+// ---------------------------------------------------------------- Krum
+
+TEST(Krum, PicksMemberOfTightCluster) {
+  // Five nearly identical honest gradients plus one far outlier: Krum must
+  // select a cluster member.
+  const filters::KrumFilter krum(6, 1);
+  std::vector<Vector> gs;
+  for (int i = 0; i < 5; ++i) gs.push_back(Vector{1.0 + 0.01 * i, 1.0});
+  gs.push_back(Vector{100.0, -100.0});
+  const Vector out = krum.apply(gs);
+  EXPECT_LT(linalg::distance(out, Vector{1.0, 1.0}), 0.1);
+}
+
+TEST(Krum, SelectReturnsIndex) {
+  const filters::KrumFilter krum(4, 1);
+  const std::vector<Vector> gs = {{0.0}, {0.1}, {0.05}, {50.0}};
+  const std::size_t pick = krum.select(gs);
+  EXPECT_LT(pick, 3u);  // never the outlier
+}
+
+TEST(Krum, RequiresEnoughAgents) {
+  EXPECT_THROW(filters::KrumFilter(3, 1), redopt::PreconditionError);
+}
+
+TEST(MultiKrum, AveragesSelectedGradients) {
+  const filters::MultiKrumFilter mk(7, 1, 3);
+  std::vector<Vector> gs;
+  for (int i = 0; i < 6; ++i) gs.push_back(Vector{2.0});
+  gs.push_back(Vector{1000.0});
+  EXPECT_NEAR(mk.apply(gs)[0], 2.0, 1e-12);
+}
+
+TEST(MultiKrum, ValidatesSelectionCount) {
+  EXPECT_THROW(filters::MultiKrumFilter(5, 1, 0), redopt::PreconditionError);
+  EXPECT_THROW(filters::MultiKrumFilter(5, 1, 3), redopt::PreconditionError);  // n < f+2+m
+}
+
+// ---------------------------------------------------------------- Geometric median
+
+TEST(GeoMed, MatchesMedianInOneDimension) {
+  const filters::GeometricMedianFilter gm(3);
+  EXPECT_NEAR(gm.apply({{0.0}, {1.0}, {10.0}})[0], 1.0, 1e-6);
+}
+
+TEST(GeoMed, WeiszfeldMinimizesSumOfDistances) {
+  rng::Rng rng(5);
+  const auto pts = random_gradients(9, 3, rng);
+  const Vector gm = filters::GeometricMedianFilter::weiszfeld(pts, 1e-12, 5000, 1e-12);
+  auto objective = [&](const Vector& z) {
+    double acc = 0.0;
+    for (const auto& p : pts) acc += linalg::distance(z, p);
+    return acc;
+  };
+  const double at_gm = objective(gm);
+  // Perturbations in every axis direction must not decrease the objective.
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (double step : {0.01, -0.01}) {
+      Vector z = gm;
+      z[k] += step;
+      EXPECT_GE(objective(z), at_gm - 1e-6);
+    }
+  }
+}
+
+TEST(GeoMed, RobustToMinorityOutliers) {
+  const filters::GeometricMedianFilter gm(7);
+  std::vector<Vector> gs;
+  for (int i = 0; i < 5; ++i) gs.push_back(Vector{1.0, 1.0});
+  gs.push_back(Vector{1e6, 1e6});
+  gs.push_back(Vector{-1e6, 1e6});
+  EXPECT_LT(linalg::distance(gm.apply(gs), Vector{1.0, 1.0}), 0.01);
+}
+
+// ---------------------------------------------------------------- GMOM
+
+TEST(Gmom, DefaultBucketsAreTwoFPlusOne) {
+  const filters::GmomFilter gmom(11, 2);
+  EXPECT_EQ(gmom.buckets(), 5u);
+}
+
+TEST(Gmom, CleanInputsNearPlainMean) {
+  rng::Rng rng(11);
+  const auto gs = random_gradients(12, 3, rng);
+  const filters::GmomFilter gmom(12, 1, 3);
+  // With no faults the bucket means cluster around the global mean; the
+  // geometric median of three nearby means stays close to it.
+  EXPECT_LT(linalg::distance(gmom.apply(gs), linalg::mean(gs)), 1.0);
+}
+
+TEST(Gmom, ToleratesMinorityCorruptedBuckets) {
+  // 10 gradients at (1,1) plus one huge outlier: the outlier spoils one of
+  // 3 buckets; the median of the bucket means ignores it.
+  const filters::GmomFilter gmom(11, 1, 3);
+  std::vector<Vector> gs(10, Vector{1.0, 1.0});
+  gs.push_back(Vector{1e9, -1e9});
+  EXPECT_LT(linalg::distance(gmom.apply(gs), Vector{1.0, 1.0}), 0.01);
+}
+
+TEST(Gmom, ValidatesBucketCount) {
+  EXPECT_THROW(filters::GmomFilter(10, 2, 3), redopt::PreconditionError);   // < 2f+1
+  EXPECT_THROW(filters::GmomFilter(4, 2), redopt::PreconditionError);       // 2f+1 > n
+  EXPECT_NO_THROW(filters::GmomFilter(10, 2, 5));
+}
+
+// ---------------------------------------------------------------- Bulyan
+
+TEST(Bulyan, RequiresFourFPlusThree) {
+  EXPECT_THROW(filters::BulyanFilter(6, 1), redopt::PreconditionError);
+  EXPECT_NO_THROW(filters::BulyanFilter(7, 1));
+}
+
+TEST(Bulyan, IgnoresOutlier) {
+  const filters::BulyanFilter bulyan(7, 1);
+  std::vector<Vector> gs;
+  for (int i = 0; i < 6; ++i) gs.push_back(Vector{1.0 + 0.001 * i, 2.0});
+  gs.push_back(Vector{-500.0, 500.0});
+  EXPECT_LT(linalg::distance(bulyan.apply(gs), Vector{1.0, 2.0}), 0.1);
+}
+
+// ---------------------------------------------------------------- Centered clip
+
+TEST(CenteredClip, CleanClusterAveragesExactly) {
+  // All deviations within tau: one re-centering step lands on the mean and
+  // stays there.
+  const filters::CenteredClipFilter cclip(4, /*tau=*/10.0);
+  const std::vector<Vector> gs = {{1.0, 0.0}, {3.0, 0.0}, {2.0, 1.0}, {2.0, -1.0}};
+  EXPECT_NEAR(linalg::distance(cclip.apply(gs), Vector{2.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(CenteredClip, OutlierInfluenceBoundedByTauOverN) {
+  // A single arbitrarily large outlier moves the output by at most
+  // L * tau / n from the clean aggregate.
+  const double tau = 1.0;
+  const std::size_t inner = 3;
+  const filters::CenteredClipFilter cclip(5, tau, inner);
+  std::vector<Vector> gs(4, Vector{1.0, 1.0});
+  gs.push_back(Vector{1e9, -1e9});
+  const Vector out = cclip.apply(gs);
+  EXPECT_LE(linalg::distance(out, Vector{1.0, 1.0}),
+            static_cast<double>(inner) * tau / 5.0 + 1e-9);
+}
+
+TEST(CenteredClip, ValidatesParameters) {
+  EXPECT_THROW(filters::CenteredClipFilter(3, 0.0), redopt::PreconditionError);
+  EXPECT_THROW(filters::CenteredClipFilter(3, 1.0, 0), redopt::PreconditionError);
+}
+
+// ---------------------------------------------------------------- MDA
+
+TEST(Mda, SelectsTightestSubset) {
+  const filters::MdaFilter mda(5, 2);
+  const std::vector<Vector> gs = {{1.0}, {1.1}, {0.9}, {50.0}, {-50.0}};
+  EXPECT_EQ(mda.select(gs), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_NEAR(mda.apply(gs)[0], 1.0, 1e-12);
+}
+
+TEST(Mda, FaultFreeIsPlainMean) {
+  rng::Rng rng(9);
+  const auto gs = random_gradients(6, 3, rng);
+  const filters::MdaFilter mda(6, 0);
+  EXPECT_NEAR(linalg::distance(mda.apply(gs), linalg::mean(gs)), 0.0, 1e-12);
+}
+
+TEST(Mda, RejectsHugeEnumerations) {
+  EXPECT_THROW(filters::MdaFilter(64, 32), redopt::PreconditionError);
+  EXPECT_NO_THROW(filters::MdaFilter(12, 3));
+}
+
+// ---------------------------------------------------------------- Norm clip
+
+TEST(NormClip, ClipsLargeGradients) {
+  const filters::NormClipFilter clip(2, 0, 1.0);
+  const Vector out = clip.apply({{10.0, 0.0}, {0.0, 0.5}});
+  // First clipped to (1, 0); average = (0.5, 0.25).
+  EXPECT_NEAR(out[0], 0.5, 1e-12);
+  EXPECT_NEAR(out[1], 0.25, 1e-12);
+}
+
+TEST(NormClip, AdaptiveThresholdTracksHonestNorms) {
+  const filters::NormClipFilter clip(4, 1, 0.0, /*adaptive=*/true);
+  const std::vector<Vector> gs = {{1.0}, {2.0}, {3.0}, {1000.0}};
+  // Threshold = 3rd smallest norm = 3; clipped sum = 1+2+3+3 = 9; avg 2.25.
+  EXPECT_NEAR(clip.apply(gs)[0], 2.25, 1e-12);
+}
+
+// ---------------------------------------------------------------- Registry
+
+TEST(Registry, ConstructsEveryRegisteredFilter) {
+  FilterParams p;
+  p.n = 11;
+  p.f = 2;
+  p.multikrum_m = 2;
+  for (const auto& name : filters::filter_names()) {
+    const auto filter = filters::make_filter(name, p);
+    ASSERT_NE(filter, nullptr) << name;
+    EXPECT_EQ(filter->name(), name);
+    EXPECT_EQ(filter->expected_inputs(), 11u);
+  }
+}
+
+TEST(Registry, RejectsUnknownName) {
+  FilterParams p;
+  p.n = 5;
+  EXPECT_THROW(filters::make_filter("nope", p), redopt::PreconditionError);
+  EXPECT_THROW(filters::make_filter("mean", FilterParams{}), redopt::PreconditionError);
+}
+
+TEST(Registry, ApplicableNamesRespectConstraints) {
+  // n = 5, f = 2: cwtm (needs n > 2f) is allowed, krum (n >= f+3) is
+  // allowed, bulyan (n >= 4f+3 = 11) is not.
+  const auto names = filters::applicable_filter_names(5, 2);
+  EXPECT_NE(std::find(names.begin(), names.end(), "cwtm"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "krum"), names.end());
+  EXPECT_EQ(std::find(names.begin(), names.end(), "bulyan"), names.end());
+}
+
+// ---------------------------------------------------------------- Shared properties
+
+/// Property sweep: every filter is permutation-invariant (the aggregate
+/// does not depend on agent order) and maps identical inputs to that input.
+class FilterPropertyTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(FilterPropertyTest, PermutationInvariant) {
+  if (GetParam() == "gmom") {
+    // GMOM buckets by agent index (as in its original formulation), so it
+    // is deliberately not permutation invariant.
+    GTEST_SKIP() << "gmom buckets by agent index";
+  }
+  FilterParams p;
+  p.n = 11;
+  p.f = 2;
+  p.multikrum_m = 2;
+  const auto filter = filters::make_filter(GetParam(), p);
+  rng::Rng rng(7);
+  auto gs = random_gradients(11, 3, rng);
+  const Vector base = filter->apply(gs);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto perm = rng.permutation(11);
+    std::vector<Vector> shuffled(11);
+    for (std::size_t i = 0; i < 11; ++i) shuffled[i] = gs[perm[i]];
+    EXPECT_NEAR(linalg::distance(filter->apply(shuffled), base), 0.0, 1e-9) << GetParam();
+  }
+}
+
+TEST_P(FilterPropertyTest, IdenticalInputsMapToScaledInput) {
+  FilterParams p;
+  p.n = 11;
+  p.f = 2;
+  p.multikrum_m = 2;
+  const auto filter = filters::make_filter(GetParam(), p);
+  const Vector g{0.5, -1.5, 2.0};
+  const std::vector<Vector> gs(11, g);
+  const Vector out = filter->apply(gs);
+  // Sum-scaled filters return k * g; norm-clipping may shrink g; all
+  // filters must stay on g's ray (positively proportional output).
+  const double ratio = out[0] / g[0];
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_NEAR(out[k], ratio * g[k], 1e-9);
+  EXPECT_GT(ratio, 0.0);
+}
+
+TEST_P(FilterPropertyTest, ZeroInputsGiveZeroOutput) {
+  FilterParams p;
+  p.n = 11;
+  p.f = 2;
+  p.multikrum_m = 2;
+  const auto filter = filters::make_filter(GetParam(), p);
+  const std::vector<Vector> gs(11, Vector(4));
+  EXPECT_TRUE(filter->apply(gs).is_zero(1e-12)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, FilterPropertyTest,
+                         testing::ValuesIn(filters::filter_names()),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });

@@ -1,0 +1,143 @@
+// Unit tests for linalg::Matrix.
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "util/error.h"
+
+using redopt::linalg::Matrix;
+using redopt::linalg::Vector;
+namespace rl = redopt::linalg;
+
+TEST(Matrix, ConstructionAndShape) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(Matrix(2, 2, 7.0)(0, 1), 7.0);
+  EXPECT_TRUE(Matrix().empty());
+}
+
+TEST(Matrix, NestedBracesConstruction) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), redopt::PreconditionError);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 2), 0.0);
+  const Matrix d = Matrix::diagonal(Vector{2.0, 5.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, FromRowsStacksVectors) {
+  const Matrix m = Matrix::from_rows({Vector{1.0, 2.0}, Vector{3.0, 4.0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+  EXPECT_THROW(Matrix::from_rows({Vector{1.0}, Vector{1.0, 2.0}}), redopt::PreconditionError);
+  EXPECT_THROW(Matrix::from_rows({}), redopt::PreconditionError);
+}
+
+TEST(Matrix, RowColAccessors) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.row(1), (Vector{3.0, 4.0}));
+  EXPECT_EQ(m.col(0), (Vector{1.0, 3.0, 5.0}));
+  EXPECT_THROW(m.row(3), redopt::PreconditionError);
+  EXPECT_THROW(m.col(2), redopt::PreconditionError);
+}
+
+TEST(Matrix, SetRowValidates) {
+  Matrix m(2, 2);
+  m.set_row(0, Vector{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_THROW(m.set_row(0, Vector{1.0}), redopt::PreconditionError);
+  EXPECT_THROW(m.set_row(2, Vector{1.0, 2.0}), redopt::PreconditionError);
+}
+
+TEST(Matrix, SelectRows) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Matrix sub = m.select_rows({2, 0});
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_EQ(sub.row(0), (Vector{5.0, 6.0}));
+  EXPECT_EQ(sub.row(1), (Vector{1.0, 2.0}));
+  EXPECT_THROW(m.select_rows({5}), redopt::PreconditionError);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), m);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = rl::matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  EXPECT_THROW(rl::matmul(a, Matrix(3, 2)), redopt::PreconditionError);
+}
+
+TEST(Matrix, MatmulIdentityIsNeutral) {
+  const Matrix a{{1.0, -2.0}, {0.5, 3.0}};
+  EXPECT_EQ(rl::matmul(a, Matrix::identity(2)), a);
+  EXPECT_EQ(rl::matmul(Matrix::identity(2), a), a);
+}
+
+TEST(Matrix, MatvecAndTransposedMatvec) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Vector x{1.0, -1.0};
+  EXPECT_EQ(rl::matvec(a, x), (Vector{-1.0, -1.0, -1.0}));
+  const Vector y{1.0, 0.0, 1.0};
+  EXPECT_EQ(rl::matvec_transposed(a, y), (Vector{6.0, 8.0}));
+  EXPECT_THROW(rl::matvec(a, Vector{1.0}), redopt::PreconditionError);
+  EXPECT_THROW(rl::matvec_transposed(a, Vector{1.0}), redopt::PreconditionError);
+}
+
+TEST(Matrix, GramIsTransposeTimesSelf) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  const Matrix g = a.gram();
+  const Matrix expected = rl::matmul(a.transposed(), a);
+  EXPECT_EQ(g.rows(), 2u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_NEAR(g(i, j), expected(i, j), 1e-12);
+}
+
+TEST(Matrix, OuterProduct) {
+  const Matrix o = rl::outer(Vector{1.0, 2.0}, Vector{3.0, 4.0, 5.0});
+  EXPECT_EQ(o.rows(), 2u);
+  EXPECT_EQ(o.cols(), 3u);
+  EXPECT_DOUBLE_EQ(o(1, 2), 10.0);
+}
+
+TEST(Matrix, NormsAndMaxAbs) {
+  const Matrix m{{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  const Matrix a{{1.0, 2.0}};
+  const Matrix b{{3.0, 5.0}};
+  EXPECT_EQ(a + b, (Matrix{{4.0, 7.0}}));
+  EXPECT_EQ(b - a, (Matrix{{2.0, 3.0}}));
+  EXPECT_EQ(a * 2.0, (Matrix{{2.0, 4.0}}));
+  EXPECT_EQ(2.0 * a, (Matrix{{2.0, 4.0}}));
+  Matrix c = a;
+  EXPECT_THROW(c += Matrix(2, 2), redopt::PreconditionError);
+}
+
+TEST(Matrix, BoundsCheckedAt) {
+  Matrix m(2, 2);
+  m.at(1, 1) = 9.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 9.0);
+  EXPECT_THROW(m.at(2, 0), redopt::PreconditionError);
+}

@@ -1,0 +1,113 @@
+// Tests for the synchronous network simulation.
+#include <gtest/gtest.h>
+
+#include "net/sync_network.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Vector;
+using net::Message;
+
+namespace {
+
+/// Records its inbox each round and sends a scripted message list once.
+class ScriptedNode final : public net::Node {
+ public:
+  explicit ScriptedNode(std::vector<Message> to_send_round0 = {})
+      : to_send_(std::move(to_send_round0)) {}
+
+  std::vector<Message> on_round(std::size_t round, const std::vector<Message>& inbox) override {
+    received_.push_back(inbox);
+    if (round == 0) return to_send_;
+    return {};
+  }
+
+  const std::vector<std::vector<Message>>& received() const { return received_; }
+
+ private:
+  std::vector<Message> to_send_;
+  std::vector<std::vector<Message>> received_;
+};
+
+Message make_msg(net::NodeId to, const std::string& tag, Vector payload) {
+  Message m;
+  m.to = to;
+  m.tag = tag;
+  m.payload = std::move(payload);
+  return m;
+}
+
+}  // namespace
+
+TEST(SyncNetwork, DeliversNextRound) {
+  ScriptedNode sender({make_msg(1, "hello", Vector{1.0, 2.0})});
+  ScriptedNode receiver;
+  net::SyncNetwork network({&sender, &receiver});
+
+  EXPECT_EQ(network.run_round(), 0u);  // nothing in flight yet
+  EXPECT_TRUE(receiver.received()[0].empty());
+
+  EXPECT_EQ(network.run_round(), 1u);  // the hello arrives
+  ASSERT_EQ(receiver.received()[1].size(), 1u);
+  EXPECT_EQ(receiver.received()[1][0].tag, "hello");
+  EXPECT_EQ(receiver.received()[1][0].from, 0u);
+  EXPECT_EQ(receiver.received()[1][0].payload, (Vector{1.0, 2.0}));
+}
+
+TEST(SyncNetwork, BroadcastReachesAllButSender) {
+  ScriptedNode sender({make_msg(net::kBroadcast, "b", Vector{7.0})});
+  ScriptedNode r1, r2;
+  net::SyncNetwork network({&sender, &r1, &r2});
+  network.run(2);
+  EXPECT_TRUE(sender.received()[1].empty());  // no self-delivery
+  ASSERT_EQ(r1.received()[1].size(), 1u);
+  ASSERT_EQ(r2.received()[1].size(), 1u);
+  EXPECT_EQ(r1.received()[1][0].payload, (Vector{7.0}));
+}
+
+TEST(SyncNetwork, DeliveryOrderSortedBySender) {
+  ScriptedNode s0({make_msg(2, "a", Vector{0.0})});
+  ScriptedNode s1({make_msg(2, "b", Vector{1.0})});
+  ScriptedNode receiver;
+  net::SyncNetwork network({&s0, &s1, &receiver});
+  network.run(2);
+  ASSERT_EQ(receiver.received()[1].size(), 2u);
+  EXPECT_EQ(receiver.received()[1][0].from, 0u);
+  EXPECT_EQ(receiver.received()[1][1].from, 1u);
+}
+
+TEST(SyncNetwork, StatsCountTraffic) {
+  ScriptedNode sender({make_msg(net::kBroadcast, "b", Vector{1.0, 2.0, 3.0})});
+  ScriptedNode r1, r2;
+  net::SyncNetwork network({&sender, &r1, &r2});
+  network.run(2);
+  EXPECT_EQ(network.stats().rounds, 2u);
+  EXPECT_EQ(network.stats().messages_delivered, 2u);       // fan-out of 2
+  EXPECT_EQ(network.stats().scalars_transferred, 6u);      // 3 scalars x 2
+  EXPECT_EQ(network.current_round(), 2u);
+}
+
+TEST(SyncNetwork, RejectsUnknownDestination) {
+  ScriptedNode sender({make_msg(5, "x", Vector{1.0})});
+  ScriptedNode other;
+  net::SyncNetwork network({&sender, &other});
+  network.run_round();
+  EXPECT_THROW(network.run_round(), redopt::PreconditionError);
+}
+
+TEST(SyncNetwork, ValidatesNodes) {
+  EXPECT_THROW(net::SyncNetwork({}), redopt::PreconditionError);
+  EXPECT_THROW(net::SyncNetwork({nullptr}), redopt::PreconditionError);
+}
+
+TEST(SyncNetwork, SenderFieldOverwrittenByNetwork) {
+  // A node cannot spoof its sender id: the network stamps m.from.
+  Message spoofed = make_msg(1, "s", Vector{1.0});
+  spoofed.from = 42;
+  ScriptedNode sender({spoofed});
+  ScriptedNode receiver;
+  net::SyncNetwork network({&sender, &receiver});
+  network.run(2);
+  ASSERT_EQ(receiver.received()[1].size(), 1u);
+  EXPECT_EQ(receiver.received()[1][0].from, 0u);
+}

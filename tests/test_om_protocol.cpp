@@ -1,0 +1,119 @@
+// Tests for the message-passing OM(f) protocol, cross-validated against
+// the functional recursion in byzantine_broadcast.h.
+#include <gtest/gtest.h>
+
+#include "net/byzantine_broadcast.h"
+#include "net/om_protocol.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Vector;
+using net::NodeId;
+
+namespace {
+
+/// Deterministic stateless equivocating relay (pure function of its
+/// arguments, so the functional and message-passing executions see the
+/// same adversary).
+net::ByzantineRelay equivocator() {
+  return [](const std::vector<NodeId>& path, NodeId dest, const net::Value& v) {
+    net::Value out = v;
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      out[k] += 100.0 * static_cast<double>(dest + 1) + 7.0 * static_cast<double>(path.size()) +
+                static_cast<double>(path.back());
+    }
+    return out;
+  };
+}
+
+}  // namespace
+
+TEST(OmProtocol, ValidityNoFaults) {
+  const Vector value{2.5, -1.5};
+  const auto result =
+      net::run_om_protocol(value, 0, 4, 1, std::vector<bool>(4, false));
+  for (NodeId i = 0; i < 4; ++i) EXPECT_EQ(result.decided[i], value) << "node " << i;
+}
+
+TEST(OmProtocol, ValidityWithByzantineLieutenant) {
+  const Vector value{1.0};
+  for (NodeId traitor = 1; traitor < 4; ++traitor) {
+    std::vector<bool> byz(4, false);
+    byz[traitor] = true;
+    const auto result = net::run_om_protocol(value, 0, 4, 1, byz, equivocator());
+    for (NodeId i = 0; i < 4; ++i) {
+      if (i == traitor) continue;
+      EXPECT_EQ(result.decided[i], value) << "traitor " << traitor << " node " << i;
+    }
+  }
+}
+
+TEST(OmProtocol, AgreementWithByzantineCommander) {
+  const Vector value{5.0};
+  std::vector<bool> byz(4, false);
+  byz[0] = true;
+  const auto result = net::run_om_protocol(value, 0, 4, 1, byz, equivocator());
+  EXPECT_EQ(result.decided[1], result.decided[2]);
+  EXPECT_EQ(result.decided[2], result.decided[3]);
+}
+
+TEST(OmProtocol, MatchesFunctionalRecursionExactly) {
+  // Every fault pattern with up to f = 2 traitors at n = 7: the
+  // message-passing protocol and the central recursion must decide
+  // identical values at every honest node.
+  const Vector value{3.0, 1.0};
+  const std::size_t n = 7, f = 2;
+  for (NodeId commander : {NodeId{0}, NodeId{3}}) {
+    for (NodeId t1 = 0; t1 < n; ++t1) {
+      for (NodeId t2 = t1; t2 < n; ++t2) {
+        std::vector<bool> byz(n, false);
+        byz[t1] = true;
+        byz[t2] = true;  // t1 == t2 gives a single-traitor pattern
+        const auto functional =
+            net::byzantine_broadcast(value, commander, n, f, byz, equivocator());
+        const auto protocol = net::run_om_protocol(value, commander, n, f, byz, equivocator());
+        for (NodeId i = 0; i < n; ++i) {
+          if (byz[i]) continue;  // Byzantine decisions are unconstrained
+          EXPECT_EQ(protocol.decided[i], functional.decided[i])
+              << "commander=" << commander << " traitors={" << t1 << "," << t2 << "} node="
+              << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(OmProtocol, MessageCountMatchesFunctionalRecursion) {
+  const Vector value{1.0};
+  const std::size_t n = 7;
+  for (std::size_t f : {0u, 1u, 2u}) {
+    const auto functional =
+        net::byzantine_broadcast(value, 0, n, f, std::vector<bool>(n, false));
+    const auto protocol = net::run_om_protocol(value, 0, n, f, std::vector<bool>(n, false));
+    EXPECT_EQ(protocol.stats.messages_delivered, functional.messages) << "f=" << f;
+  }
+}
+
+TEST(OmProtocol, RoundComplexityIsFPlusTwo) {
+  const Vector value{1.0};
+  const auto result = net::run_om_protocol(value, 0, 7, 2, std::vector<bool>(7, false));
+  EXPECT_EQ(result.stats.rounds, 4u);  // send + f + 1 delivery rounds
+}
+
+TEST(OmProtocol, RejectsInvalidConfigurations) {
+  EXPECT_THROW(net::run_om_protocol(Vector{1.0}, 0, 3, 1, std::vector<bool>(3, false)),
+               redopt::PreconditionError);
+  EXPECT_THROW(net::run_om_protocol(Vector{1.0}, 9, 4, 1, std::vector<bool>(4, false)),
+               redopt::PreconditionError);
+  EXPECT_THROW(net::run_om_protocol(Vector{}, 0, 4, 1, std::vector<bool>(4, false)),
+               redopt::PreconditionError);
+  EXPECT_THROW(net::run_om_protocol(Vector{1.0}, 0, 4, 1, std::vector<bool>(3, false)),
+               redopt::PreconditionError);
+}
+
+TEST(OmProtocol, CommanderInputGuard) {
+  net::OmNode node(1, 4, 1, /*commander=*/0, false, nullptr);
+  EXPECT_THROW(node.set_input(Vector{1.0}), redopt::PreconditionError);
+  net::OmNode commander(0, 4, 1, 0, false, nullptr);
+  EXPECT_THROW(commander.set_input(Vector{}), redopt::PreconditionError);
+}

@@ -1,0 +1,183 @@
+// Cross-implementation tests: the message-passing server protocol and the
+// peer-to-peer (Byzantine-broadcast) protocol must reproduce the in-process
+// trainer's executions.
+#include <gtest/gtest.h>
+
+#include "attacks/registry.h"
+#include "data/regression.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+#include "net/p2p.h"
+#include "net/server_protocol.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+dgd::TrainerConfig make_config(std::size_t n, std::size_t f, const std::string& filter,
+                               std::size_t iterations) {
+  filters::FilterParams fp;
+  fp.n = n;
+  fp.f = f;
+  dgd::TrainerConfig cfg;
+  cfg.filter = filters::make_filter(filter, fp);
+  cfg.schedule = std::make_shared<dgd::HarmonicSchedule>(0.5);
+  cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(2, 10.0));
+  cfg.iterations = iterations;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ServerProtocol, BitIdenticalToInProcessTrainerFaultFree) {
+  rng::Rng rng(1);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto cfg = make_config(6, 1, "cge", 150);
+  const auto fast = dgd::train(inst.problem, {}, nullptr, cfg, Vector{1.0, 1.0});
+  const auto net = net::run_server_protocol(inst.problem, {}, nullptr, cfg, Vector{1.0, 1.0});
+  ASSERT_EQ(fast.trace.estimates.size(), net.train.trace.estimates.size());
+  for (std::size_t i = 0; i < fast.trace.estimates.size(); ++i) {
+    EXPECT_EQ(fast.trace.estimates[i], net.train.trace.estimates[i]) << "iterate " << i;
+  }
+  EXPECT_EQ(fast.estimate, net.train.estimate);
+}
+
+TEST(ServerProtocol, BitIdenticalUnderRandomizedAttack) {
+  // The randomized attack draws from per-agent forked streams; both
+  // implementations must consume them identically.
+  rng::Rng rng(2);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.02, 1, rng);
+  const auto attack = attacks::make_attack("random");
+  auto cfg = make_config(6, 1, "cwtm", 120);
+  cfg.seed = 77;
+  const auto fast = dgd::train(inst.problem, {3}, attack.get(), cfg);
+  const auto net = net::run_server_protocol(inst.problem, {3}, attack.get(), cfg);
+  EXPECT_EQ(fast.estimate, net.train.estimate);
+}
+
+TEST(ServerProtocol, NetworkTrafficAccounting) {
+  rng::Rng rng(3);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto cfg = make_config(6, 1, "cge", 10);
+  const auto net = net::run_server_protocol(inst.problem, {}, nullptr, cfg);
+  // Per iteration: 6 broadcast deliveries (estimate) + 6 gradient replies.
+  // One extra broadcast round at the start and the final update round's
+  // broadcast is emitted but not delivered within the run window.
+  EXPECT_GE(net.stats.messages_delivered, 10u * 12u);
+  EXPECT_GT(net.stats.scalars_transferred, 0u);
+}
+
+TEST(ServerProtocol, DropoutEliminationMatchesInProcessTrainer) {
+  // A Byzantine agent that goes silent mid-run: both implementations must
+  // eliminate it at the same iteration (paper step S1) and produce
+  // bit-identical iterates afterwards.
+  rng::Rng rng(9);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.01, 1, rng);
+  attacks::AttackParams params;
+  params.drop_after = 7;
+  const auto attack = attacks::make_attack("dropout", params);
+  auto cfg = make_config(6, 1, "cge", 60);
+  cfg.filter_factory = [](std::size_t n, std::size_t f) {
+    filters::FilterParams fp;
+    fp.n = n;
+    fp.f = f;
+    return filters::FilterPtr(filters::make_filter("cge", fp));
+  };
+  const auto fast = dgd::train(inst.problem, {2}, attack.get(), cfg);
+  const auto net = net::run_server_protocol(inst.problem, {2}, attack.get(), cfg);
+  EXPECT_EQ(fast.eliminated_agents, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(net.train.eliminated_agents, fast.eliminated_agents);
+  EXPECT_EQ(fast.estimate, net.train.estimate);
+}
+
+TEST(P2p, MatchesServerBasedExecutionUnderConsistentAttack) {
+  // With a deterministic attack and no equivocation, the p2p simulation
+  // decides exactly the values the server would have received, so the
+  // honest estimates coincide with the in-process trainer's.
+  rng::Rng rng(4);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto attack = attacks::make_attack("gradient_reverse");
+  const auto cfg = make_config(6, 1, "cge", 60);
+  const auto fast = dgd::train(inst.problem, {2}, attack.get(), cfg);
+  const auto p2p = net::run_p2p_protocol(inst.problem, {2}, attack.get(), cfg);
+  EXPECT_TRUE(p2p.honest_agreement);
+  EXPECT_EQ(fast.estimate, p2p.train.estimate);
+  EXPECT_GT(p2p.messages, 0u);
+}
+
+TEST(P2p, HonestAgreementSurvivesEquivocation) {
+  rng::Rng rng(5);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto attack = attacks::make_attack("gradient_reverse");
+  const auto cfg = make_config(6, 1, "cge", 30);
+  const auto p2p =
+      net::run_p2p_protocol(inst.problem, {1}, attack.get(), cfg, std::nullopt, true);
+  EXPECT_TRUE(p2p.honest_agreement);
+}
+
+TEST(P2p, MessageProtocolModeMatchesFunctionalMode) {
+  // The two OM implementations are decision-equivalent, so the full p2p
+  // DGD run must be bit-identical whichever one carries the broadcasts.
+  rng::Rng rng(10);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.01, 1, rng);
+  const auto attack = attacks::make_attack("gradient_reverse");
+  const auto cfg = make_config(6, 1, "cge", 25);
+  const auto functional =
+      net::run_p2p_protocol(inst.problem, {4}, attack.get(), cfg, std::nullopt, false, false);
+  const auto protocol =
+      net::run_p2p_protocol(inst.problem, {4}, attack.get(), cfg, std::nullopt, false, true);
+  EXPECT_EQ(functional.train.estimate, protocol.train.estimate);
+  EXPECT_TRUE(protocol.honest_agreement);
+  EXPECT_EQ(functional.messages, protocol.messages);
+}
+
+TEST(P2p, RequiresNGreaterThanThreeF) {
+  rng::Rng rng(6);
+  // n = 6 with f = 2 violates n > 3f.
+  const auto a = data::redundant_matrix(6, 2, 2, rng);
+  const auto inst = data::make_regression(a, Vector{1.0, 1.0}, 0.0, 2, rng);
+  const auto attack = attacks::make_attack("zero");
+  const auto cfg = make_config(6, 2, "cge", 5);
+  EXPECT_THROW(net::run_p2p_protocol(inst.problem, {0, 1}, attack.get(), cfg),
+               redopt::PreconditionError);
+}
+
+/// Sweep: the message-passing server protocol must be bit-identical to the
+/// in-process trainer for EVERY registered filter (not just cge/cwtm).
+class ServerEquivalenceSweep : public testing::TestWithParam<std::string> {};
+
+TEST_P(ServerEquivalenceSweep, BitIdenticalAcrossImplementations) {
+  rng::Rng rng(31);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.02, 1, rng);
+  const auto attack = attacks::make_attack("lie");
+  filters::FilterParams fp;
+  fp.n = 6;
+  fp.f = 1;
+  fp.multikrum_m = 2;
+  dgd::TrainerConfig cfg;
+  cfg.filter = filters::make_filter(GetParam(), fp);
+  cfg.schedule = std::make_shared<dgd::HarmonicSchedule>(
+      (GetParam() == "cge" || GetParam() == "sum") ? 0.3 : 1.0);
+  cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(2, 10.0));
+  cfg.iterations = 40;
+  cfg.trace_stride = 0;
+  const auto fast = dgd::train(inst.problem, {1}, attack.get(), cfg);
+  const auto net = net::run_server_protocol(inst.problem, {1}, attack.get(), cfg);
+  EXPECT_EQ(fast.estimate, net.train.estimate) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, ServerEquivalenceSweep,
+                         testing::ValuesIn(filters::applicable_filter_names(6, 1)),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(P2p, FaultFreeConvergesLikeTrainer) {
+  rng::Rng rng(7);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  auto cfg = make_config(6, 1, "cge", 400);
+  const auto p2p = net::run_p2p_protocol(inst.problem, {}, nullptr, cfg, Vector{1.0, 1.0});
+  EXPECT_LT(p2p.train.final_distance, 0.05);
+}

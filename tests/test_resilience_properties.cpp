@@ -1,0 +1,189 @@
+// Property-based sweeps over (filter, attack, seed): the theorems'
+// resilience guarantees, exercised as executable properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "attacks/registry.h"
+#include "data/regression.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+#include "redundancy/redundancy.h"
+#include "util/subsets.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+struct Sweep {
+  std::string filter;
+  std::string attack;
+  std::uint64_t seed;
+};
+
+std::string sweep_name(const testing::TestParamInfo<Sweep>& info) {
+  return info.param.filter + "_" + info.param.attack + "_s" +
+         std::to_string(info.param.seed);
+}
+
+dgd::TrainerConfig sweep_config(std::size_t n, std::size_t f, const std::string& filter,
+                                std::size_t iterations, std::uint64_t seed) {
+  filters::FilterParams fp;
+  fp.n = n;
+  fp.f = f;
+  dgd::TrainerConfig cfg;
+  cfg.filter = filters::make_filter(filter, fp);
+  // Sum-scaled filters take a smaller step coefficient than average-scaled.
+  const double coeff = (filter == "cge" || filter == "sum") ? 0.5 : 2.0;
+  cfg.schedule = std::make_shared<dgd::HarmonicSchedule>(coeff);
+  cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(2, 10.0));
+  cfg.iterations = iterations;
+  cfg.seed = seed;
+  cfg.trace_stride = 0;
+  return cfg;
+}
+
+}  // namespace
+
+/// On an exactly 2f-redundant instance (noiseless regression), every robust
+/// filter must land near the honest minimum under every attack.  This is
+/// the (f, 0)-resilience property of Theorems 4/5 at epsilon = 0.
+class RobustFilterResilience : public testing::TestWithParam<Sweep> {};
+
+TEST_P(RobustFilterResilience, ExactRedundancyImpliesNearExactRecovery) {
+  const auto& param = GetParam();
+  rng::Rng rng(param.seed);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const std::size_t byz = param.seed % 6;  // vary the Byzantine agent with the seed
+  const auto honest = dgd::honest_ids(6, {byz});
+  const Vector x_h = data::regression_argmin(inst, honest);
+
+  const auto attack = attacks::make_attack(param.attack);
+  const auto cfg = sweep_config(6, 1, param.filter, 3000, param.seed);
+  const auto result = dgd::train(inst.problem, {byz}, attack.get(), cfg, x_h);
+  EXPECT_LT(result.final_distance, 0.02)
+      << "filter=" << param.filter << " attack=" << param.attack << " byz=" << byz;
+}
+
+namespace {
+
+std::vector<Sweep> make_sweeps() {
+  std::vector<Sweep> sweeps;
+  for (const char* filter : {"cge", "cwtm"}) {
+    for (const char* attack :
+         {"gradient_reverse", "random", "zero", "large_norm", "lie", "ipm"}) {
+      for (std::uint64_t seed : {1u, 2u, 5u}) {
+        sweeps.push_back({filter, attack, seed});
+      }
+    }
+  }
+  return sweeps;
+}
+
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RobustFilterResilience, testing::ValuesIn(make_sweeps()),
+                         sweep_name);
+
+/// Under (2f, eps)-redundancy (noisy observations), the asymptotic error of
+/// DGD+CGE is bounded by (4 mu f / (alpha gamma)) * eps  (Theorem 4).  The
+/// property checks the *measured* error against the *measured* constants.
+class CgeEpsilonBound : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CgeEpsilonBound, ErrorWithinTheoreticalBound) {
+  // Single-row agents cannot reach alpha > 0 at n = 6, f = 1, so the bound
+  // is checked on the orthonormal-block family where mu = gamma = 2 and
+  // alpha = 1 - 3 f / n = 1/2 exactly (see data/regression.h).
+  rng::Rng rng(GetParam());
+  const auto inst =
+      data::make_orthonormal_regression(6, 2, 1, 0.05, Vector{1.0, 1.0}, rng);
+  const double eps = redundancy::measure_redundancy(inst.problem.costs, 1).epsilon;
+  const std::size_t byz = GetParam() % 6;
+  const auto honest = dgd::honest_ids(6, {byz});
+  const Vector x_h = data::block_regression_argmin(inst, honest);
+  const double mu = core::lipschitz_constant(inst.problem, honest, Vector(2));
+  const double gamma = core::strong_convexity_constant(inst.problem, honest, Vector(2));
+  const double alpha = core::cge_alpha(6, 1, mu, gamma);
+  ASSERT_GT(alpha, 0.0) << "instance outside CGE's guarantee regime";
+  const double bound = 4.0 * mu * 1.0 / (alpha * gamma) * eps;  // D * eps, Theorem 4
+
+  const auto attack = attacks::make_attack("gradient_reverse");
+  const auto cfg = sweep_config(6, 1, "cge", 4000, GetParam());
+  const auto result = dgd::train(inst.problem, {byz}, attack.get(), cfg, x_h);
+  EXPECT_LE(result.final_distance, bound + 1e-3)
+      << "eps=" << eps << " bound=" << bound;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CgeEpsilonBound,
+                         testing::Values(std::uint64_t{3}, std::uint64_t{7}, std::uint64_t{11},
+                                         std::uint64_t{19}, std::uint64_t{23}));
+
+/// (f, eps)-resilience quantifies over EVERY (n - f)-subset of honest
+/// agents: when fewer than f agents actually misbehave, the output must be
+/// near the minimum of every such subset's aggregate.
+TEST(ResilienceDefinition, OutputCloseToEveryNMinusFSubsetMinimum) {
+  rng::Rng rng(31);
+  const auto inst =
+      data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.02, 1, rng);
+  const double eps = redundancy::measure_redundancy(inst.problem.costs, 1).epsilon;
+  // Zero actual faults, budget f = 1.
+  const auto cfg = sweep_config(6, 1, "cge", 4000, 1);
+  const auto result = dgd::train(inst.problem, {}, nullptr, cfg);
+  util::for_each_subset(6, 5, [&](const std::vector<std::size_t>& s) {
+    const Vector x_s = data::regression_argmin(inst, s);
+    // Allow the Theorem-4 style slack: a small multiple of eps.
+    EXPECT_LT(linalg::distance(result.estimate, x_s), 10.0 * eps + 0.02);
+    return true;
+  });
+}
+
+/// Monotonicity: more observation noise => weaker redundancy (larger eps)
+/// and larger final error for CGE.  The "zero" attack is used because a
+/// muted agent always survives norm-based elimination, displacing one
+/// honest gradient — the error it induces scales with the redundancy gap
+/// (a gradient-reverse gradient instead gets eliminated once its norm
+/// exceeds the honest ones, which hides the effect).
+TEST(ResilienceScaling, ErrorGrowsWithRedundancyRelaxation) {
+  double prev_eps = 0.0;
+  std::vector<double> errors;
+  for (double sigma : {0.0, 0.05, 0.2}) {
+    rng::Rng rng(77);  // same noise shape, scaled
+    const auto inst =
+        data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, sigma, 1, rng);
+    const double eps = redundancy::measure_redundancy(inst.problem.costs, 1).epsilon;
+    EXPECT_GE(eps, prev_eps - 1e-12);
+    prev_eps = eps;
+
+    const auto honest = dgd::honest_ids(6, {0});
+    const Vector x_h = data::regression_argmin(inst, honest);
+    const auto attack = attacks::make_attack("zero");
+    const auto cfg = sweep_config(6, 1, "cge", 3000, 5);
+    errors.push_back(
+        dgd::train(inst.problem, {0}, attack.get(), cfg, x_h).final_distance);
+  }
+  EXPECT_LT(errors.front(), errors[1]);
+  EXPECT_LT(errors[1], errors.back());
+}
+
+/// The fault-free special case f = 0: D = 0 in Theorem 4, so CGE (= plain
+/// sum) converges to the exact minimum even with noisy observations.
+TEST(ResilienceScaling, FaultFreeCaseIsExact) {
+  rng::Rng rng(13);
+  const auto a = data::paper_matrix();
+  const auto inst = data::make_regression(a, Vector{1.0, 1.0}, 0.1, 0, rng);
+  const Vector x_all = data::regression_argmin(inst, {0, 1, 2, 3, 4, 5});
+  filters::FilterParams fp;
+  fp.n = 6;
+  fp.f = 0;
+  dgd::TrainerConfig cfg;
+  cfg.filter = filters::make_filter("cge", fp);
+  cfg.schedule = std::make_shared<dgd::HarmonicSchedule>(0.5);
+  cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(2, 10.0));
+  cfg.iterations = 5000;
+  cfg.trace_stride = 0;
+  const auto result = dgd::train(inst.problem, {}, nullptr, cfg, x_all);
+  EXPECT_LT(result.final_distance, 5e-3);
+}

@@ -1,0 +1,150 @@
+// Unit tests for the deterministic RNG substrate.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "rng/rng.h"
+#include "util/error.h"
+
+namespace rr = redopt::rng;
+
+TEST(Rng, SameSeedSameSequence) {
+  rr::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDifferentSequences) {
+  rr::Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  rr::Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  rr::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW(rng.uniform(2.0, 2.0), redopt::PreconditionError);
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  rr::Rng rng(11);
+  double acc = 0.0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / trials, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  rr::Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values should appear in 1000 draws
+  EXPECT_THROW(rng.uniform_int(3, 2), redopt::PreconditionError);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal) {
+  rr::Rng rng(17);
+  const int trials = 200'000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / trials, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianScaleAndShift) {
+  rr::Rng rng(19);
+  const int trials = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) sum += rng.gaussian(10.0, 0.5);
+  EXPECT_NEAR(sum / trials, 10.0, 0.02);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), redopt::PreconditionError);
+}
+
+TEST(Rng, UnitSphereHasUnitNorm) {
+  rr::Rng rng(23);
+  for (std::size_t d : {1u, 2u, 5u, 50u}) {
+    const auto v = rng.unit_sphere(d);
+    ASSERT_EQ(v.size(), d);
+    double norm2 = 0.0;
+    for (double x : v) norm2 += x * x;
+    EXPECT_NEAR(norm2, 1.0, 1e-12);
+  }
+  EXPECT_THROW(rng.unit_sphere(0), redopt::PreconditionError);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  rr::Rng rng(29);
+  const auto p = rng.permutation(20);
+  std::vector<std::size_t> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, SubsetIsSortedUniqueInRange) {
+  rr::Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = rng.subset(10, 4);
+    ASSERT_EQ(s.size(), 4u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    for (std::size_t i = 1; i < s.size(); ++i) EXPECT_NE(s[i - 1], s[i]);
+    for (std::size_t v : s) EXPECT_LT(v, 10u);
+  }
+  EXPECT_THROW(rng.subset(3, 4), redopt::PreconditionError);
+}
+
+TEST(Rng, SubsetFullAndEmpty) {
+  rr::Rng rng(37);
+  EXPECT_EQ(rng.subset(5, 5).size(), 5u);
+  EXPECT_TRUE(rng.subset(5, 0).empty());
+}
+
+TEST(Rng, ForkIsDeterministicAndLabelSensitive) {
+  const rr::Rng root(99);
+  rr::Rng a1 = root.fork("alpha");
+  rr::Rng a2 = root.fork("alpha");
+  rr::Rng b = root.fork("beta");
+  EXPECT_EQ(a1.next_u64(), a2.next_u64());
+  rr::Rng a3 = root.fork("alpha");
+  EXPECT_NE(a3.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  rr::Rng a(5), b(5);
+  (void)a.fork("child");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, HashLabelDistinguishesLabels) {
+  EXPECT_NE(rr::hash_label("agent-1"), rr::hash_label("agent-2"));
+  EXPECT_EQ(rr::hash_label("x"), rr::hash_label("x"));
+}
+
+TEST(Rng, GaussianVectorLength) {
+  rr::Rng rng(41);
+  EXPECT_EQ(rng.gaussian_vector(17).size(), 17u);
+  EXPECT_TRUE(rng.gaussian_vector(0).empty());
+}

@@ -1,0 +1,135 @@
+// Tests for step-size schedules and projection sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dgd/projection.h"
+#include "dgd/schedule.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+// ---------------------------------------------------------------- Schedules
+
+TEST(Schedule, ConstantIsConstant) {
+  const dgd::ConstantSchedule s(0.3);
+  EXPECT_DOUBLE_EQ(s.step(0), 0.3);
+  EXPECT_DOUBLE_EQ(s.step(1000), 0.3);
+  EXPECT_THROW(dgd::ConstantSchedule(0.0), redopt::PreconditionError);
+}
+
+TEST(Schedule, HarmonicMatchesFormula) {
+  const dgd::HarmonicSchedule s(2.0);
+  EXPECT_DOUBLE_EQ(s.step(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.step(3), 0.5);
+  const dgd::HarmonicSchedule offset(1.0, 9.0);
+  EXPECT_DOUBLE_EQ(offset.step(0), 0.1);
+}
+
+TEST(Schedule, SqrtMatchesFormula) {
+  const dgd::SqrtSchedule s(3.0);
+  EXPECT_DOUBLE_EQ(s.step(0), 3.0);
+  EXPECT_DOUBLE_EQ(s.step(3), 1.5);
+}
+
+TEST(Schedule, HarmonicSatisfiesTheorem3Conditions) {
+  // sum eta_t diverges (grows like log T) while sum eta_t^2 converges.
+  const dgd::HarmonicSchedule s(1.0);
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t t = 0; t < 100'000; ++t) {
+    sum += s.step(t);
+    sum_sq += s.step(t) * s.step(t);
+  }
+  EXPECT_GT(sum, 11.0);           // ~ln(1e5) + gamma ~ 12.1
+  EXPECT_LT(sum_sq, 1.65);        // -> pi^2/6 ~ 1.645
+}
+
+TEST(Schedule, MonotoneNonIncreasing) {
+  const auto harmonic = dgd::make_schedule("harmonic", 1.0);
+  const auto sqrt_s = dgd::make_schedule("sqrt", 1.0);
+  for (std::size_t t = 0; t < 100; ++t) {
+    EXPECT_LE(harmonic->step(t + 1), harmonic->step(t));
+    EXPECT_LE(sqrt_s->step(t + 1), sqrt_s->step(t));
+  }
+}
+
+TEST(Schedule, FactoryKnowsAllNamesAndRejectsOthers) {
+  EXPECT_EQ(dgd::make_schedule("constant", 1.0)->name(), "constant");
+  EXPECT_EQ(dgd::make_schedule("harmonic", 1.0)->name(), "harmonic");
+  EXPECT_EQ(dgd::make_schedule("sqrt", 1.0)->name(), "sqrt");
+  EXPECT_THROW(dgd::make_schedule("geometric", 1.0), redopt::PreconditionError);
+}
+
+// ---------------------------------------------------------------- Projections
+
+TEST(Projection, IdentityIsNoOp) {
+  const dgd::IdentityProjection id;
+  const Vector x{5.0, -7.0};
+  EXPECT_EQ(id.project(x), x);
+  EXPECT_TRUE(id.contains(x, 0.0));
+}
+
+TEST(Projection, BoxClampsCoordinates) {
+  const auto box = dgd::BoxProjection::cube(2, 1.0);
+  EXPECT_EQ(box.project(Vector{2.0, -3.0}), (Vector{1.0, -1.0}));
+  EXPECT_EQ(box.project(Vector{0.5, 0.5}), (Vector{0.5, 0.5}));
+}
+
+TEST(Projection, BoxMembership) {
+  const dgd::BoxProjection box(Vector{0.0, 0.0}, Vector{1.0, 2.0});
+  EXPECT_TRUE(box.contains(Vector{0.5, 1.5}, 0.0));
+  EXPECT_FALSE(box.contains(Vector{1.5, 1.0}, 0.0));
+  EXPECT_TRUE(box.contains(Vector{1.0 + 1e-13, 1.0}, 1e-12));
+  EXPECT_FALSE(box.contains(Vector{0.5}, 0.0));  // wrong dimension
+}
+
+TEST(Projection, BoxValidatesBounds) {
+  EXPECT_THROW(dgd::BoxProjection(Vector{1.0}, Vector{0.0}), redopt::PreconditionError);
+  EXPECT_THROW(dgd::BoxProjection(Vector{0.0}, Vector{1.0, 2.0}), redopt::PreconditionError);
+}
+
+TEST(Projection, BallProjectsRadially) {
+  const dgd::BallProjection ball(Vector{0.0, 0.0}, 1.0);
+  EXPECT_EQ(ball.project(Vector{0.3, 0.0}), (Vector{0.3, 0.0}));
+  const Vector p = ball.project(Vector{3.0, 4.0});
+  EXPECT_NEAR(p.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(p[0], 0.6, 1e-12);
+  EXPECT_NEAR(p[1], 0.8, 1e-12);
+}
+
+TEST(Projection, BallOffCenter) {
+  const dgd::BallProjection ball(Vector{1.0, 1.0}, 2.0);
+  EXPECT_TRUE(ball.contains(Vector{2.0, 2.0}, 0.0));
+  const Vector p = ball.project(Vector{1.0, 10.0});
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 3.0, 1e-12);
+}
+
+TEST(Projection, ProjectionIsIdempotent) {
+  const auto box = dgd::BoxProjection::cube(3, 2.0);
+  const dgd::BallProjection ball(Vector(3), 1.5);
+  const Vector x{4.0, -9.0, 0.1};
+  EXPECT_EQ(box.project(box.project(x)), box.project(x));
+  const Vector bp = ball.project(x);
+  EXPECT_NEAR(linalg::distance(ball.project(bp), bp), 0.0, 1e-12);
+}
+
+TEST(Projection, ProjectionIsNearestPoint) {
+  // For convex W the projection is the unique nearest point: verify the
+  // distance to the projection lower-bounds distance to sampled members.
+  const auto box = dgd::BoxProjection::cube(2, 1.0);
+  const Vector x{3.0, 0.4};
+  const Vector px = box.project(x);
+  const double dist = linalg::distance(x, px);
+  for (double a : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+    for (double b : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+      EXPECT_GE(linalg::distance(x, Vector{a, b}) + 1e-12, dist);
+    }
+  }
+}
+
+TEST(Projection, BallValidatesArguments) {
+  EXPECT_THROW(dgd::BallProjection(Vector{}, 1.0), redopt::PreconditionError);
+  EXPECT_THROW(dgd::BallProjection(Vector{0.0}, -1.0), redopt::PreconditionError);
+}

@@ -1,0 +1,259 @@
+// Tests for the stochastic (mini-batch) extension: EmpiricalCost and
+// train_sgd.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/registry.h"
+#include "data/regression.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+#include "sgd/empirical_cost.h"
+#include "sgd/sgd_trainer.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Matrix;
+using linalg::Vector;
+using sgd::EmpiricalCost;
+using sgd::Loss;
+
+namespace {
+
+EmpiricalCost make_cost(Loss loss, std::size_t m, std::size_t d, rng::Rng& rng,
+                        double reg = 0.05) {
+  Matrix x(m, d);
+  Vector y(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t k = 0; k < d; ++k) x(j, k) = rng.gaussian();
+    y[j] = loss == Loss::kSquare ? rng.gaussian() : (rng.uniform() < 0.5 ? -1.0 : 1.0);
+  }
+  return EmpiricalCost(std::move(x), std::move(y), loss, reg);
+}
+
+Vector fd_gradient(const core::CostFunction& cost, const Vector& w, double h = 1e-6) {
+  Vector g(w.size());
+  for (std::size_t k = 0; k < w.size(); ++k) {
+    Vector wp = w, wm = w;
+    wp[k] += h;
+    wm[k] -= h;
+    g[k] = (cost.value(wp) - cost.value(wm)) / (2.0 * h);
+  }
+  return g;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- EmpiricalCost
+
+TEST(EmpiricalCost, ParseLoss) {
+  EXPECT_EQ(sgd::parse_loss("square"), Loss::kSquare);
+  EXPECT_EQ(sgd::parse_loss("logistic"), Loss::kLogistic);
+  EXPECT_EQ(sgd::parse_loss("hinge"), Loss::kHinge);
+  EXPECT_THROW(sgd::parse_loss("mse"), redopt::PreconditionError);
+}
+
+TEST(EmpiricalCost, GradientMatchesFiniteDifferenceAllLosses) {
+  rng::Rng rng(1);
+  for (Loss loss : {Loss::kSquare, Loss::kLogistic, Loss::kHinge}) {
+    const auto cost = make_cost(loss, 12, 4, rng);
+    const Vector w(rng.gaussian_vector(4));
+    EXPECT_NEAR(linalg::distance(cost.gradient(w), fd_gradient(cost, w)), 0.0, 1e-4)
+        << cost.describe();
+  }
+}
+
+TEST(EmpiricalCost, SquareLossMatchesLeastSquaresScale) {
+  // One example, square loss, no reg: value = (y - <x, w>)^2.
+  const EmpiricalCost cost(Matrix{{1.0, 2.0}}, Vector{3.0}, Loss::kSquare);
+  EXPECT_DOUBLE_EQ(cost.value(Vector{1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(cost.value(Vector{0.0, 0.0}), 9.0);
+}
+
+TEST(EmpiricalCost, StochasticGradientIsUnbiased) {
+  rng::Rng rng(2);
+  const auto cost = make_cost(Loss::kLogistic, 30, 3, rng, 0.0);
+  const Vector w(rng.gaussian_vector(3));
+  const Vector exact = cost.gradient(w);
+  Vector mean(3);
+  const int draws = 20'000;
+  rng::Rng sample_rng(99);
+  for (int i = 0; i < draws; ++i) mean += cost.stochastic_gradient(w, 2, sample_rng);
+  mean /= static_cast<double>(draws);
+  EXPECT_NEAR(linalg::distance(mean, exact), 0.0, 0.02);
+}
+
+TEST(EmpiricalCost, FullBatchFallsBackToExactGradient) {
+  rng::Rng rng(3);
+  const auto cost = make_cost(Loss::kHinge, 8, 3, rng);
+  const Vector w(rng.gaussian_vector(3));
+  rng::Rng sample_rng(7);
+  const auto before = sample_rng;  // copy
+  const Vector g = cost.stochastic_gradient(w, 8, sample_rng);
+  EXPECT_NEAR(linalg::distance(g, cost.gradient(w)), 0.0, 1e-12);
+  // No randomness consumed on the full-batch path.
+  rng::Rng replay = before;
+  EXPECT_EQ(replay.next_u64(), sample_rng.next_u64());
+}
+
+TEST(EmpiricalCost, SmallerBatchesHaveLargerVariance) {
+  rng::Rng rng(4);
+  const auto cost = make_cost(Loss::kSquare, 40, 3, rng, 0.0);
+  const Vector w(rng.gaussian_vector(3));
+  const Vector exact = cost.gradient(w);
+  auto variance_of = [&](std::size_t batch) {
+    rng::Rng sample_rng(5);
+    double acc = 0.0;
+    const int draws = 2000;
+    for (int i = 0; i < draws; ++i) {
+      const Vector g = cost.stochastic_gradient(w, batch, sample_rng);
+      acc += linalg::distance(g, exact) * linalg::distance(g, exact);
+    }
+    return acc / draws;
+  };
+  EXPECT_GT(variance_of(1), 2.0 * variance_of(8));
+}
+
+TEST(EmpiricalCost, ValidatesArguments) {
+  EXPECT_THROW(EmpiricalCost(Matrix{{1.0}}, Vector{0.5}, Loss::kLogistic),
+               redopt::PreconditionError);
+  EXPECT_THROW(EmpiricalCost(Matrix{{1.0}}, Vector{1.0, 2.0}, Loss::kSquare),
+               redopt::PreconditionError);
+  const EmpiricalCost ok(Matrix{{1.0}}, Vector{1.0}, Loss::kSquare);
+  rng::Rng rng(1);
+  EXPECT_THROW(ok.stochastic_gradient(Vector{0.0}, 0, rng), redopt::PreconditionError);
+}
+
+// ---------------------------------------------------------------- train_sgd
+
+namespace {
+
+/// Distributed least-squares learning task where each agent holds a small
+/// dataset sampled from the same linear model.
+core::MultiAgentProblem make_sgd_problem(std::size_t n, std::size_t f, std::size_t d,
+                                         std::size_t samples, const Vector& w_star,
+                                         double noise, rng::Rng& rng) {
+  core::MultiAgentProblem problem;
+  problem.f = f;
+  for (std::size_t i = 0; i < n; ++i) {
+    Matrix x(samples, d);
+    Vector y(samples);
+    for (std::size_t j = 0; j < samples; ++j) {
+      double pred = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        x(j, k) = rng.gaussian();
+        pred += x(j, k) * w_star[k];
+      }
+      y[j] = pred + rng.gaussian(0.0, noise);
+    }
+    problem.costs.push_back(
+        std::make_shared<EmpiricalCost>(std::move(x), std::move(y), Loss::kSquare, 0.0));
+  }
+  problem.validate();
+  return problem;
+}
+
+sgd::SgdConfig sgd_config(std::size_t n, std::size_t f, const std::string& filter,
+                          std::size_t d, std::size_t iterations, std::size_t batch) {
+  filters::FilterParams fp;
+  fp.n = n;
+  fp.f = f;
+  sgd::SgdConfig cfg;
+  cfg.base.filter = filters::make_filter(filter, fp);
+  const double coeff = (filter == "cge" || filter == "sum") ? 0.1 : 0.5;
+  cfg.base.schedule = std::make_shared<dgd::HarmonicSchedule>(coeff);
+  cfg.base.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(d, 10.0));
+  cfg.base.iterations = iterations;
+  cfg.base.trace_stride = 0;
+  cfg.batch_size = batch;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(TrainSgd, FaultFreeConvergesNearTruth) {
+  rng::Rng rng(10);
+  const Vector w_star{1.0, -1.0, 0.5};
+  const auto problem = make_sgd_problem(6, 1, 3, 30, w_star, 0.01, rng);
+  const auto result =
+      sgd::train_sgd(problem, {}, nullptr, sgd_config(6, 1, "cge", 3, 3000, 5), w_star);
+  EXPECT_LT(result.final_distance, 0.05);
+}
+
+TEST(TrainSgd, CgeSurvivesLargeNormAttackUnderSampling) {
+  rng::Rng rng(11);
+  const Vector w_star{1.0, -1.0, 0.5};
+  const auto problem = make_sgd_problem(8, 2, 3, 30, w_star, 0.01, rng);
+  const auto attack = attacks::make_attack("large_norm");
+  const auto cge = sgd::train_sgd(problem, {0, 1}, attack.get(),
+                                  sgd_config(8, 2, "cge", 3, 3000, 5), w_star);
+  const auto mean = sgd::train_sgd(problem, {0, 1}, attack.get(),
+                                   sgd_config(8, 2, "mean", 3, 3000, 5), w_star);
+  EXPECT_LT(cge.final_distance, 0.1);
+  EXPECT_GT(mean.final_distance, 10.0 * cge.final_distance);
+}
+
+TEST(TrainSgd, LargerBatchesReduceFinalError) {
+  rng::Rng rng(12);
+  const Vector w_star{2.0, 0.0};
+  const auto problem = make_sgd_problem(6, 1, 2, 40, w_star, 0.0, rng);
+  const auto attack = attacks::make_attack("lie");
+  double err_small = 0.0, err_large = 0.0;
+  {
+    auto cfg = sgd_config(6, 1, "cwtm", 2, 2000, 1);
+    err_small = sgd::train_sgd(problem, {3}, attack.get(), cfg, w_star).final_distance;
+  }
+  {
+    auto cfg = sgd_config(6, 1, "cwtm", 2, 2000, 40);  // full batch
+    err_large = sgd::train_sgd(problem, {3}, attack.get(), cfg, w_star).final_distance;
+  }
+  EXPECT_LT(err_large, err_small);
+}
+
+TEST(TrainSgd, DeterministicGivenSeed) {
+  rng::Rng rng(13);
+  const Vector w_star{1.0, 1.0};
+  const auto problem = make_sgd_problem(6, 1, 2, 20, w_star, 0.02, rng);
+  const auto attack = attacks::make_attack("random");
+  const auto cfg = sgd_config(6, 1, "cwtm", 2, 200, 2);
+  const auto r1 = sgd::train_sgd(problem, {2}, attack.get(), cfg);
+  const auto r2 = sgd::train_sgd(problem, {2}, attack.get(), cfg);
+  EXPECT_EQ(r1.estimate, r2.estimate);
+}
+
+TEST(TrainSgd, MomentumAcceleratesEarlyProgress) {
+  rng::Rng rng(14);
+  const Vector w_star{1.0, -2.0, 0.0, 3.0};
+  const auto problem = make_sgd_problem(6, 1, 4, 50, w_star, 0.01, rng);
+  auto cfg_plain = sgd_config(6, 1, "cge", 4, 150, 5);
+  auto cfg_momentum = cfg_plain;
+  cfg_momentum.momentum = 0.8;
+  const auto plain = sgd::train_sgd(problem, {}, nullptr, cfg_plain, w_star);
+  const auto momentum = sgd::train_sgd(problem, {}, nullptr, cfg_momentum, w_star);
+  EXPECT_LT(momentum.final_distance, plain.final_distance);
+}
+
+TEST(TrainSgd, ValidatesConfiguration) {
+  rng::Rng rng(15);
+  const Vector w_star{1.0};
+  const auto problem = make_sgd_problem(4, 1, 1, 10, w_star, 0.0, rng);
+  auto cfg = sgd_config(4, 1, "cge", 1, 10, 2);
+  cfg.batch_size = 0;
+  EXPECT_THROW(sgd::train_sgd(problem, {}, nullptr, cfg), redopt::PreconditionError);
+  cfg = sgd_config(4, 1, "cge", 1, 10, 2);
+  cfg.momentum = 1.0;
+  EXPECT_THROW(sgd::train_sgd(problem, {}, nullptr, cfg), redopt::PreconditionError);
+  cfg = sgd_config(4, 1, "cge", 1, 10, 2);
+  EXPECT_THROW(sgd::train_sgd(problem, {0, 1}, nullptr, cfg), redopt::PreconditionError);
+}
+
+TEST(TrainSgd, MixedCostTypesUseExactGradients) {
+  // Non-empirical costs (plain least-squares agents) fall back to exact
+  // gradients inside train_sgd; the run must converge like dgd::train.
+  rng::Rng rng(16);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  auto cfg = sgd_config(6, 1, "cge", 2, 2000, 3);
+  cfg.base.schedule = std::make_shared<dgd::HarmonicSchedule>(0.5);
+  const auto result = sgd::train_sgd(inst.problem, {}, nullptr, cfg, Vector{1.0, 1.0});
+  EXPECT_LT(result.final_distance, 1e-3);
+}

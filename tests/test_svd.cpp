@@ -1,0 +1,165 @@
+// Tests for the SVD and LU decompositions, including cross-validation
+// against the QR-based rank/solve paths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decompose.h"
+#include "linalg/svd.h"
+#include "rng/rng.h"
+#include "util/error.h"
+
+using redopt::linalg::LuDecomposition;
+using redopt::linalg::Matrix;
+using redopt::linalg::Vector;
+namespace rl = redopt::linalg;
+
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, redopt::rng::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.gaussian();
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- SVD
+
+TEST(Svd, DiagonalMatrixSingularValues) {
+  const auto result = rl::svd(Matrix::diagonal(Vector{3.0, -5.0, 1.0}));
+  EXPECT_NEAR(result.sigma[0], 5.0, 1e-12);
+  EXPECT_NEAR(result.sigma[1], 3.0, 1e-12);
+  EXPECT_NEAR(result.sigma[2], 1.0, 1e-12);
+}
+
+TEST(Svd, ReconstructsInputMatrix) {
+  redopt::rng::Rng rng(1);
+  const Matrix a = random_matrix(8, 5, rng);
+  const auto result = rl::svd(a);
+  // A == U diag(sigma) V^T
+  const Matrix usv =
+      rl::matmul(result.u, rl::matmul(Matrix::diagonal(result.sigma), result.v.transposed()));
+  EXPECT_NEAR((a - usv).frobenius_norm(), 0.0, 1e-9);
+}
+
+TEST(Svd, FactorsAreOrthonormal) {
+  redopt::rng::Rng rng(2);
+  const Matrix a = random_matrix(7, 4, rng);
+  const auto result = rl::svd(a);
+  const Matrix utu = result.u.gram();
+  const Matrix vtv = result.v.gram();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(utu(i, j), i == j ? 1.0 : 0.0, 1e-10);
+      EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Svd, SingularValuesDescendingNonNegative) {
+  redopt::rng::Rng rng(3);
+  const auto result = rl::svd(random_matrix(10, 6, rng));
+  for (std::size_t k = 0; k + 1 < 6; ++k) {
+    EXPECT_GE(result.sigma[k], result.sigma[k + 1]);
+    EXPECT_GE(result.sigma[k + 1], 0.0);
+  }
+}
+
+TEST(Svd, FrobeniusNormIdentity) {
+  // ||A||_F^2 == sum sigma_i^2.
+  redopt::rng::Rng rng(4);
+  const Matrix a = random_matrix(6, 6, rng);
+  const auto result = rl::svd(a);
+  double sum_sq = 0.0;
+  for (std::size_t k = 0; k < 6; ++k) sum_sq += result.sigma[k] * result.sigma[k];
+  EXPECT_NEAR(a.frobenius_norm() * a.frobenius_norm(), sum_sq, 1e-9);
+}
+
+TEST(Svd, RankAgreesWithQrRank) {
+  redopt::rng::Rng rng(5);
+  // Full rank case.
+  const Matrix full = random_matrix(8, 4, rng);
+  EXPECT_EQ(rl::svd_rank(full), rl::rank(full));
+  // Deficient case: duplicate a column.
+  Matrix deficient(6, 3);
+  for (std::size_t r = 0; r < 6; ++r) {
+    deficient(r, 0) = rng.gaussian();
+    deficient(r, 1) = rng.gaussian();
+    deficient(r, 2) = deficient(r, 0) * 2.0 - deficient(r, 1);
+  }
+  EXPECT_EQ(rl::svd_rank(deficient), 2u);
+  EXPECT_EQ(rl::rank(deficient), 2u);
+}
+
+TEST(Svd, WideMatrixRankViaTranspose) {
+  redopt::rng::Rng rng(6);
+  EXPECT_EQ(rl::svd_rank(random_matrix(3, 8, rng)), 3u);
+}
+
+TEST(Svd, ConditionNumberKnownCases) {
+  EXPECT_NEAR(rl::condition_number(Matrix::diagonal(Vector{10.0, 1.0})), 10.0, 1e-9);
+  EXPECT_NEAR(rl::condition_number(Matrix::identity(4)), 1.0, 1e-12);
+  EXPECT_TRUE(std::isinf(rl::condition_number(Matrix{{1.0, 1.0}, {1.0, 1.0}})));
+}
+
+TEST(Svd, RejectsInvalidShapes) {
+  EXPECT_THROW(rl::svd(Matrix(2, 3)), redopt::PreconditionError);  // wide, not transposed
+  EXPECT_THROW(rl::svd(Matrix()), redopt::PreconditionError);
+}
+
+// ---------------------------------------------------------------- LU
+
+TEST(Lu, SolveRoundTrip) {
+  redopt::rng::Rng rng(7);
+  const Matrix a = random_matrix(6, 6, rng);
+  const Vector x_true(rng.gaussian_vector(6));
+  const LuDecomposition lu(a);
+  EXPECT_TRUE(lu.invertible());
+  EXPECT_NEAR(rl::distance(lu.solve(rl::matvec(a, x_true)), x_true), 0.0, 1e-9);
+}
+
+TEST(Lu, AgreesWithQrSolve) {
+  redopt::rng::Rng rng(8);
+  const Matrix a = random_matrix(5, 5, rng);
+  const Vector b(rng.gaussian_vector(5));
+  EXPECT_NEAR(rl::distance(LuDecomposition(a).solve(b), rl::solve(a, b)), 0.0, 1e-8);
+}
+
+TEST(Lu, DeterminantKnownCases) {
+  EXPECT_NEAR(LuDecomposition(Matrix{{2.0, 0.0}, {0.0, 3.0}}).determinant(), 6.0, 1e-12);
+  // Row swap flips the sign: [[0,1],[1,0]] has det -1.
+  EXPECT_NEAR(LuDecomposition(Matrix{{0.0, 1.0}, {1.0, 0.0}}).determinant(), -1.0, 1e-12);
+  EXPECT_NEAR(LuDecomposition(Matrix{{1.0, 2.0}, {3.0, 4.0}}).determinant(), -2.0, 1e-12);
+}
+
+TEST(Lu, DeterminantMatchesEigenvalueProductForSpd) {
+  redopt::rng::Rng rng(9);
+  const Matrix base = random_matrix(6, 4, rng);
+  Matrix spd = base.gram();
+  for (std::size_t i = 0; i < 4; ++i) spd(i, i) += 1.0;
+  const auto eig = rl::symmetric_eigen(spd);
+  double product = 1.0;
+  for (double lambda : eig.eigenvalues.data()) product *= lambda;
+  EXPECT_NEAR(LuDecomposition(spd).determinant() / product, 1.0, 1e-8);
+}
+
+TEST(Lu, SingularMatrixDetected) {
+  const LuDecomposition lu(Matrix{{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_FALSE(lu.invertible());
+  EXPECT_THROW(lu.solve(Vector{1.0, 1.0}), redopt::PreconditionError);
+  EXPECT_NEAR(lu.determinant(), 0.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesMatrixIsIdentity) {
+  redopt::rng::Rng rng(10);
+  const Matrix a = random_matrix(5, 5, rng);
+  const Matrix prod = rl::matmul(LuDecomposition(a).inverse(), a);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-8);
+}
+
+TEST(Lu, RejectsNonSquare) {
+  EXPECT_THROW(LuDecomposition(Matrix(2, 3)), redopt::PreconditionError);
+}

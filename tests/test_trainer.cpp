@@ -1,0 +1,320 @@
+// Integration tests for the in-process DGD trainer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attacks/registry.h"
+#include "data/regression.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+#include "util/error.h"
+#include "util/subsets.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+dgd::TrainerConfig default_config(std::size_t n, std::size_t f, const std::string& filter,
+                                  std::size_t iterations = 600) {
+  filters::FilterParams fp;
+  fp.n = n;
+  fp.f = f;
+  dgd::TrainerConfig cfg;
+  cfg.filter = filters::make_filter(filter, fp);
+  // Sum-scaled filters (cge, sum) aggregate ~n gradients, so they take a
+  // smaller coefficient than average-scaled filters (cwtm, mean, ...).
+  const double coeff = (filter == "cge" || filter == "sum") ? 0.5 : 2.0;
+  cfg.schedule = std::make_shared<dgd::HarmonicSchedule>(coeff);
+  cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(2, 10.0));
+  cfg.iterations = iterations;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Trainer, FaultFreeConvergesToHonestMinimum) {
+  rng::Rng rng(1);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto cfg = default_config(6, 1, "cge", 2000);
+  const auto result = dgd::train(inst.problem, {}, nullptr, cfg, Vector{1.0, 1.0});
+  EXPECT_LT(result.final_distance, 1e-3);
+  EXPECT_LT(result.final_loss, 1e-5);
+}
+
+TEST(Trainer, HonestIdsComplement) {
+  EXPECT_EQ(dgd::honest_ids(5, {1, 3}), (std::vector<std::size_t>{0, 2, 4}));
+  EXPECT_EQ(dgd::honest_ids(3, {}), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_THROW(dgd::honest_ids(3, {5}), redopt::PreconditionError);
+  EXPECT_THROW(dgd::honest_ids(3, {1, 1}), redopt::PreconditionError);
+}
+
+TEST(Trainer, CgeSurvivesGradientReverse) {
+  rng::Rng rng(2);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto attack = attacks::make_attack("gradient_reverse");
+  const auto honest = dgd::honest_ids(6, {0});
+  const Vector x_h = data::regression_argmin(inst, honest);
+  const auto result =
+      dgd::train(inst.problem, {0}, attack.get(), default_config(6, 1, "cge", 2000), x_h);
+  // Exact 2f-redundancy (noiseless): CGE converges to x_H itself.
+  EXPECT_LT(result.final_distance, 1e-2);
+}
+
+TEST(Trainer, CwtmSurvivesGradientReverse) {
+  rng::Rng rng(3);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto attack = attacks::make_attack("gradient_reverse");
+  const auto honest = dgd::honest_ids(6, {0});
+  const Vector x_h = data::regression_argmin(inst, honest);
+  const auto result =
+      dgd::train(inst.problem, {0}, attack.get(), default_config(6, 1, "cwtm", 3000), x_h);
+  EXPECT_LT(result.final_distance, 5e-3);
+}
+
+TEST(Trainer, PlainMeanFailsUnderLargeNormAttack) {
+  rng::Rng rng(4);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto attack = attacks::make_attack("large_norm");
+  const auto honest = dgd::honest_ids(6, {0});
+  const Vector x_h = data::regression_argmin(inst, honest);
+  const auto no_filter = dgd::train(inst.problem, {0}, attack.get(),
+                                    default_config(6, 1, "mean", 600), x_h);
+  const auto with_cge = dgd::train(inst.problem, {0}, attack.get(),
+                                   default_config(6, 1, "cge", 600), x_h);
+  // The robust filter must beat the non-robust one by a wide margin.
+  EXPECT_GT(no_filter.final_distance, 10.0 * with_cge.final_distance);
+  EXPECT_GT(no_filter.final_distance, 0.5);  // mean is dragged away
+}
+
+TEST(Trainer, TraceRecordsRequestedIterations) {
+  rng::Rng rng(5);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  auto cfg = default_config(6, 1, "cge", 100);
+  cfg.trace_stride = 10;
+  const auto result = dgd::train(inst.problem, {}, nullptr, cfg, Vector{1.0, 1.0});
+  ASSERT_EQ(result.trace.iteration.size(), 11u);  // 0, 10, ..., 100
+  EXPECT_EQ(result.trace.iteration.front(), 0u);
+  EXPECT_EQ(result.trace.iteration.back(), 100u);
+  EXPECT_EQ(result.trace.loss.size(), result.trace.iteration.size());
+  EXPECT_EQ(result.trace.estimates.size(), result.trace.iteration.size());
+  // Loss trace should (weakly) decrease overall in the fault-free run.
+  EXPECT_LT(result.trace.loss.back(), result.trace.loss.front());
+}
+
+TEST(Trainer, NoTraceWhenStrideZero) {
+  rng::Rng rng(6);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  auto cfg = default_config(6, 1, "cge", 50);
+  cfg.trace_stride = 0;
+  const auto result = dgd::train(inst.problem, {}, nullptr, cfg);
+  EXPECT_TRUE(result.trace.iteration.empty());
+  EXPECT_TRUE(std::isnan(result.final_distance));  // no reference given
+}
+
+TEST(Trainer, GoldenExecutionIsStableAcrossBuilds) {
+  // Pins one canonical randomized execution (generator draws, attack
+  // noise, full DGD pipeline) to golden values: any unintended change to
+  // the RNG streams, sampling order, or update arithmetic shows up here.
+  rng::Rng rng(2024);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.02, 1, rng);
+  // Golden observation vector (generator determinism).
+  EXPECT_NEAR(inst.b[0], 1.0157554099749166, 1e-14);
+  EXPECT_NEAR(inst.b[3], 0.97076969348082687, 1e-14);
+  EXPECT_NEAR(inst.b[5], -0.37850691064372677, 1e-14);
+
+  const auto attack = attacks::make_attack("random");
+  filters::FilterParams fp;
+  fp.n = 6;
+  fp.f = 1;
+  dgd::TrainerConfig cfg;
+  cfg.filter = filters::make_filter("cwtm", fp);
+  cfg.schedule = std::make_shared<dgd::HarmonicSchedule>(2.0);
+  cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(2, 10.0));
+  cfg.iterations = 100;
+  cfg.seed = 99;
+  cfg.trace_stride = 0;
+  const auto result = dgd::train(inst.problem, {5}, attack.get(), cfg);
+  EXPECT_NEAR(result.estimate[0], 0.99965774433927335, 1e-13);
+  EXPECT_NEAR(result.estimate[1], 0.98201807307075828, 1e-13);
+}
+
+TEST(Trainer, DeterministicAcrossRuns) {
+  rng::Rng rng(7);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.01, 1, rng);
+  const auto attack = attacks::make_attack("random");
+  const auto cfg = default_config(6, 1, "cwtm", 200);
+  const auto r1 = dgd::train(inst.problem, {2}, attack.get(), cfg);
+  const auto r2 = dgd::train(inst.problem, {2}, attack.get(), cfg);
+  EXPECT_EQ(r1.estimate, r2.estimate);
+}
+
+TEST(Trainer, SeedChangesRandomAttackTrajectory) {
+  rng::Rng rng(8);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.01, 1, rng);
+  const auto attack = attacks::make_attack("random");
+  auto cfg1 = default_config(6, 1, "cwtm", 50);
+  auto cfg2 = cfg1;
+  cfg2.seed = 999;
+  const auto r1 = dgd::train(inst.problem, {2}, attack.get(), cfg1);
+  const auto r2 = dgd::train(inst.problem, {2}, attack.get(), cfg2);
+  EXPECT_NE(r1.estimate, r2.estimate);
+}
+
+TEST(Trainer, EstimatesStayInProjectionSet) {
+  rng::Rng rng(9);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto attack = attacks::make_attack("large_norm");
+  auto cfg = default_config(6, 1, "mean", 100);  // no robustness: big kicks
+  cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(2, 2.0));
+  const auto result = dgd::train(inst.problem, {0}, attack.get(), cfg);
+  for (const auto& x : result.trace.estimates) {
+    EXPECT_TRUE(cfg.projection->contains(x, 1e-9));
+  }
+}
+
+TEST(Trainer, CustomInitialPoint) {
+  rng::Rng rng(10);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  auto cfg = default_config(6, 1, "cge", 0);  // zero iterations: output = x0
+  cfg.x0 = Vector{-0.0085, -0.5643};          // the paper's initial estimate
+  const auto result = dgd::train(inst.problem, {}, nullptr, cfg);
+  EXPECT_EQ(result.estimate, cfg.x0);
+}
+
+TEST(OnlineTrainer, StepwiseMatchesBatchTrain) {
+  // N calls of OnlineTrainer::step() must be bit-identical to
+  // dgd::train(iterations = N) — train() is built on the class.
+  rng::Rng rng(21);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.02, 1, rng);
+  const auto attack = attacks::make_attack("random");
+  const auto cfg = default_config(6, 1, "cwtm", 120);
+
+  dgd::OnlineTrainer online(inst.problem, {3}, attack.get(), cfg);
+  online.run(120);
+  const auto batch = dgd::train(inst.problem, {3}, attack.get(), cfg);
+  EXPECT_EQ(online.estimate(), batch.estimate);
+  EXPECT_EQ(online.iteration(), 120u);
+  EXPECT_DOUBLE_EQ(online.honest_loss(), batch.final_loss);
+}
+
+TEST(OnlineTrainer, StepReturnsAppliedDirection) {
+  rng::Rng rng(22);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  auto cfg = default_config(6, 1, "cge", 1);
+  dgd::OnlineTrainer online(inst.problem, {}, nullptr, cfg);
+  const Vector before = online.estimate();
+  const Vector direction = online.step();
+  // Without projection clamping (interior point), x1 = x0 - eta0 * dir.
+  const Vector expected = before - direction * cfg.schedule->step(0);
+  EXPECT_NEAR(linalg::distance(online.estimate(), expected), 0.0, 1e-12);
+}
+
+TEST(OnlineTrainer, SupportsAdaptiveStopping) {
+  // The step-wise API exists so callers can stop on their own criteria.
+  rng::Rng rng(23);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  dgd::OnlineTrainer online(inst.problem, {}, nullptr, default_config(6, 1, "cge", 0));
+  std::size_t steps = 0;
+  while (online.honest_loss() > 1e-8 && steps < 5000) {
+    online.step();
+    ++steps;
+  }
+  EXPECT_LT(online.honest_loss(), 1e-8);
+  EXPECT_LT(steps, 5000u);
+  EXPECT_EQ(online.iteration(), steps);
+}
+
+TEST(Trainer, ValidatesConfiguration) {
+  rng::Rng rng(11);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  auto cfg = default_config(6, 1, "cge", 10);
+  const auto attack = attacks::make_attack("zero");
+
+  auto broken = cfg;
+  broken.filter = nullptr;
+  EXPECT_THROW(dgd::train(inst.problem, {}, nullptr, broken), redopt::PreconditionError);
+
+  broken = cfg;
+  broken.schedule = nullptr;
+  EXPECT_THROW(dgd::train(inst.problem, {}, nullptr, broken), redopt::PreconditionError);
+
+  // Too many byzantine agents for the fault budget f = 1.
+  EXPECT_THROW(dgd::train(inst.problem, {0, 1}, attack.get(), cfg), redopt::PreconditionError);
+  // Byzantine agents without an attack.
+  EXPECT_THROW(dgd::train(inst.problem, {0}, nullptr, cfg), redopt::PreconditionError);
+  // Filter sized for the wrong n.
+  filters::FilterParams fp;
+  fp.n = 7;
+  fp.f = 1;
+  broken = cfg;
+  broken.filter = filters::make_filter("cge", fp);
+  EXPECT_THROW(dgd::train(inst.problem, {}, nullptr, broken), redopt::PreconditionError);
+  // Wrong-dimension x0 and reference.
+  broken = cfg;
+  broken.x0 = Vector{1.0};
+  EXPECT_THROW(dgd::train(inst.problem, {}, nullptr, broken), redopt::PreconditionError);
+  EXPECT_THROW(dgd::train(inst.problem, {}, nullptr, cfg, Vector{1.0}),
+               redopt::PreconditionError);
+}
+
+TEST(Trainer, DropoutAgentIsEliminated) {
+  rng::Rng rng(13);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto honest = dgd::honest_ids(6, {4});
+  const Vector x_h = data::regression_argmin(inst, honest);
+
+  attacks::AttackParams params;
+  params.drop_after = 50;  // behaves honestly, then goes silent
+  const auto attack = attacks::make_attack("dropout", params);
+
+  auto cfg = default_config(6, 1, "cge", 2000);
+  cfg.filter_factory = [](std::size_t n, std::size_t f) {
+    filters::FilterParams fp;
+    fp.n = n;
+    fp.f = f;
+    return filters::FilterPtr(filters::make_filter("cge", fp));
+  };
+  const auto result = dgd::train(inst.problem, {4}, attack.get(), cfg, x_h);
+  EXPECT_EQ(result.eliminated_agents, (std::vector<std::size_t>{4}));
+  // After elimination the run is fault-free over the honest agents.
+  EXPECT_LT(result.final_distance, 1e-2);
+}
+
+TEST(Trainer, DropoutWithoutFactoryThrows) {
+  rng::Rng rng(14);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  attacks::AttackParams params;
+  params.drop_after = 0;  // never responds
+  const auto attack = attacks::make_attack("dropout", params);
+  const auto cfg = default_config(6, 1, "cge", 10);  // no filter_factory
+  EXPECT_THROW(dgd::train(inst.problem, {2}, attack.get(), cfg), redopt::PreconditionError);
+}
+
+TEST(Trainer, ImmediateDropoutBecomesFaultFreeRun) {
+  rng::Rng rng(15);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto honest = dgd::honest_ids(6, {0});
+  const Vector x_h = data::regression_argmin(inst, honest);
+  attacks::AttackParams params;
+  params.drop_after = 0;
+  const auto attack = attacks::make_attack("dropout", params);
+  auto cfg = default_config(6, 1, "cge", 2000);
+  cfg.filter_factory = [](std::size_t n, std::size_t f) {
+    filters::FilterParams fp;
+    fp.n = n;
+    fp.f = f;
+    return filters::FilterPtr(filters::make_filter("cge", fp));
+  };
+  const auto result = dgd::train(inst.problem, {0}, attack.get(), cfg, x_h);
+  EXPECT_EQ(result.eliminated_agents.size(), 1u);
+  EXPECT_LT(result.final_distance, 1e-3);  // exactly the fault-free dynamics
+}
+
+TEST(Trainer, FewerActualFaultsThanBudgetIsAllowed) {
+  // The fault budget is an upper bound; executions may have 0..f faults.
+  rng::Rng rng(12);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto result = dgd::train(inst.problem, {}, nullptr, default_config(6, 1, "cge", 100));
+  EXPECT_EQ(result.estimate.size(), 2u);
+}

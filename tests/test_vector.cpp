@@ -1,0 +1,117 @@
+// Unit tests for linalg::Vector.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "linalg/vector.h"
+#include "util/error.h"
+
+using redopt::linalg::Vector;
+namespace rl = redopt::linalg;
+
+TEST(Vector, ConstructionVariants) {
+  EXPECT_TRUE(Vector().empty());
+  EXPECT_EQ(Vector(3).size(), 3u);
+  EXPECT_DOUBLE_EQ(Vector(3)[1], 0.0);
+  EXPECT_DOUBLE_EQ(Vector(2, 1.5)[0], 1.5);
+  const Vector v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+  EXPECT_EQ(Vector(std::vector<double>{4.0, 5.0}).size(), 2u);
+}
+
+TEST(Vector, BoundsCheckedAccess) {
+  Vector v{1.0};
+  EXPECT_DOUBLE_EQ(v.at(0), 1.0);
+  EXPECT_THROW(v.at(1), redopt::PreconditionError);
+  const Vector& cv = v;
+  EXPECT_THROW(cv.at(5), redopt::PreconditionError);
+}
+
+TEST(Vector, Arithmetic) {
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vector{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vector{-2.0, 3.0}));
+  EXPECT_EQ(-a, (Vector{-1.0, -2.0}));
+  EXPECT_EQ(a * 2.0, (Vector{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vector{2.0, 4.0}));
+  EXPECT_EQ(a / 2.0, (Vector{0.5, 1.0}));
+}
+
+TEST(Vector, InPlaceArithmetic) {
+  Vector v{1.0, 1.0};
+  v += Vector{1.0, 2.0};
+  EXPECT_EQ(v, (Vector{2.0, 3.0}));
+  v -= Vector{1.0, 1.0};
+  EXPECT_EQ(v, (Vector{1.0, 2.0}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vector{3.0, 6.0}));
+  v /= 3.0;
+  EXPECT_EQ(v, (Vector{1.0, 2.0}));
+}
+
+TEST(Vector, DimensionMismatchThrows) {
+  Vector a{1.0, 2.0};
+  const Vector b{1.0};
+  EXPECT_THROW(a += b, redopt::PreconditionError);
+  EXPECT_THROW(a -= b, redopt::PreconditionError);
+  EXPECT_THROW(rl::dot(a, b), redopt::PreconditionError);
+  EXPECT_THROW(rl::distance(a, b), redopt::PreconditionError);
+}
+
+TEST(Vector, DivisionByZeroThrows) {
+  Vector v{1.0};
+  EXPECT_THROW(v /= 0.0, redopt::PreconditionError);
+}
+
+TEST(Vector, Norms) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_squared(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm_l1(), 7.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+}
+
+TEST(Vector, DotAndDistance) {
+  const Vector a{1.0, 2.0, 3.0};
+  const Vector b{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(rl::dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(rl::distance(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 5.0);
+}
+
+TEST(Vector, CauchySchwarzHolds) {
+  // Property: |<a,b>| <= ||a|| ||b|| for arbitrary vectors.
+  const Vector a{0.3, -1.7, 2.2, 0.0};
+  const Vector b{-5.0, 0.1, 0.4, 9.9};
+  EXPECT_LE(std::abs(rl::dot(a, b)), a.norm() * b.norm() + 1e-12);
+}
+
+TEST(Vector, CwiseMinMax) {
+  const Vector a{1.0, 5.0};
+  const Vector b{2.0, 3.0};
+  EXPECT_EQ(rl::cwise_min(a, b), (Vector{1.0, 3.0}));
+  EXPECT_EQ(rl::cwise_max(a, b), (Vector{2.0, 5.0}));
+}
+
+TEST(Vector, SumAndMean) {
+  const std::vector<Vector> vs = {{1.0, 0.0}, {3.0, 2.0}, {2.0, 4.0}};
+  EXPECT_EQ(rl::sum(vs), (Vector{6.0, 6.0}));
+  EXPECT_EQ(rl::mean(vs), (Vector{2.0, 2.0}));
+  EXPECT_THROW(rl::sum({}), redopt::PreconditionError);
+}
+
+TEST(Vector, IsZeroWithTolerance) {
+  EXPECT_TRUE(Vector(3).is_zero());
+  EXPECT_FALSE((Vector{1e-6, 0.0}).is_zero());
+  EXPECT_TRUE((Vector{1e-6, 0.0}).is_zero(1e-5));
+}
+
+TEST(Vector, ToStringAndStream) {
+  const Vector v{1.0, 2.5};
+  EXPECT_EQ(v.to_string(), "(1, 2.5)");
+  std::ostringstream os;
+  os << v;
+  EXPECT_EQ(os.str(), "(1, 2.5)");
+}
