@@ -15,7 +15,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"iterations", "seed", "noise", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"iterations", "seed", "noise", "csv"}));
+  const bench::Harness harness(cli, "R-A11");
   const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 3000));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
   const double noise = cli.get_double("noise", 0.03);

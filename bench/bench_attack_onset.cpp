@@ -13,7 +13,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"iterations", "onset", "seed", "noise", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"iterations", "onset", "seed", "noise", "csv"}));
+  const bench::Harness harness(cli, "R-A10");
   const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 400));
   const auto onset = static_cast<std::size_t>(cli.get_int("onset", 150));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 13));

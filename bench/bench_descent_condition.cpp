@@ -18,7 +18,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"n", "f", "d", "noise", "seed", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"n", "f", "d", "noise", "seed", "csv"}));
+  const bench::Harness harness(cli, "R-A8");
   const auto n = static_cast<std::size_t>(cli.get_int("n", 9));
   const auto f = static_cast<std::size_t>(cli.get_int("f", 2));
   const auto d = static_cast<std::size_t>(cli.get_int("d", 3));

@@ -14,7 +14,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"n", "f", "iterations", "seed", "noise", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"n", "f", "iterations", "seed", "noise", "csv"}));
+  const bench::Harness harness(cli, "R-A2");
   const auto n = static_cast<std::size_t>(cli.get_int("n", 10));
   const auto f = static_cast<std::size_t>(cli.get_int("f", 2));
   const double noise = cli.get_double("noise", 0.05);

@@ -14,7 +14,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"n", "d", "f", "iterations", "seed", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"n", "d", "f", "iterations", "seed", "csv"}));
+  const bench::Harness harness(cli, "R-T3");
   const auto n = static_cast<std::size_t>(cli.get_int("n", 10));
   const auto d = static_cast<std::size_t>(cli.get_int("d", 3));
   const auto f = static_cast<std::size_t>(cli.get_int("f", 2));

@@ -28,7 +28,8 @@ std::string subset_string(const std::vector<std::size_t>& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"seed", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"seed", "csv"}));
+  const bench::Harness harness(cli, "R-T4");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 4));
 
   bench::banner("R-T4", "exhaustive exact algorithm: recovery and 2*eps bound");

@@ -9,6 +9,7 @@
 
 #include "core/exact_algorithm.h"
 #include "core/quadratic_cost.h"
+#include "perf_common.h"
 #include "rng/rng.h"
 
 using namespace redopt;
@@ -54,3 +55,5 @@ BENCHMARK(exact_algorithm)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+int main(int argc, char** argv) { return bench::run_perf_bench(argc, argv); }

@@ -11,7 +11,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"n", "d", "noise", "iterations", "seed", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"n", "d", "noise", "iterations", "seed", "csv"}));
+  const bench::Harness harness(cli, "R-T2");
   const auto n = static_cast<std::size_t>(cli.get_int("n", 15));
   const auto d = static_cast<std::size_t>(cli.get_int("d", 4));
   const double noise = cli.get_double("noise", 0.05);

@@ -20,7 +20,8 @@ struct Series {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"noise", "iterations", "seed", "csv", "stride"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"noise", "iterations", "seed", "csv", "stride"}));
+  const bench::Harness harness(cli, "R-F1");
   const double noise = cli.get_double("noise", 0.03);
   const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 500));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));

@@ -8,7 +8,8 @@
 using namespace redopt;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"noise", "seed", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"noise", "seed", "csv"}));
+  const bench::Harness harness(cli, "R-F2");
   const double noise = cli.get_double("noise", 0.03);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   const std::size_t iterations = 80;

@@ -11,7 +11,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"n", "d", "f", "iterations", "seed", "noise", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"n", "d", "f", "iterations", "seed", "noise", "csv"}));
+  const bench::Harness harness(cli, "R-A1");
   const auto n = static_cast<std::size_t>(cli.get_int("n", 12));
   const auto d = static_cast<std::size_t>(cli.get_int("d", 5));
   const auto f = static_cast<std::size_t>(cli.get_int("f", 2));

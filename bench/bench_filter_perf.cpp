@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "filters/registry.h"
+#include "perf_common.h"
 #include "rng/rng.h"
 #include "util/error.h"
 
@@ -61,3 +62,5 @@ void register_all() {
 const bool registered = (register_all(), true);
 
 }  // namespace
+
+int main(int argc, char** argv) { return bench::run_perf_bench(argc, argv); }

@@ -41,7 +41,8 @@ double gradient_dissimilarity(const core::MultiAgentProblem& problem,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"iterations", "seed", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"iterations", "seed", "csv"}));
+  const bench::Harness harness(cli, "R-A7");
   const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 1500));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 9));
 

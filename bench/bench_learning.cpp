@@ -14,7 +14,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"iterations", "seed", "loss", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"iterations", "seed", "loss", "csv"}));
+  const bench::Harness harness(cli, "R-F3");
   const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 1500));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 3));
   const std::string loss = cli.get_string("loss", "logistic");

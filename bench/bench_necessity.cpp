@@ -17,7 +17,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"csv"}));
+  const bench::Harness harness(cli, "R-T5");
   bench::banner("R-T5", "necessity: worst-case error >= gap/2 without redundancy");
   auto csv = bench::maybe_csv(cli.get_bool("csv", false), "necessity",
                               {"gap", "measured_eps", "worst_error", "lower_bound"});

@@ -1,0 +1,186 @@
+// R-P4 — strong scaling of the runtime-wired hot paths.
+//
+// Runs the four paths that fan out over runtime::parallel_for /
+// parallel_reduce (DGD training, Byzantine SGD, the exhaustive exact
+// algorithm, resilience certification) at increasing thread counts,
+// reports wall time and speedup, and *checks* the determinism contract:
+// every path must produce bit-identical output at every thread count.
+// On a single-core host the sweep still runs (oversubscribed) and the
+// bit-identity check is the part that matters.
+#include "common.h"
+
+#include <algorithm>
+
+#include "core/exact_algorithm.h"
+#include "core/quadratic_cost.h"
+#include "redundancy/resilience.h"
+#include "rng/rng.h"
+#include "sgd/empirical_cost.h"
+#include "sgd/sgd_trainer.h"
+#include "util/error.h"
+
+using namespace redopt;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+std::vector<core::CostPtr> quadratic_costs(std::size_t n, std::size_t d, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  std::vector<core::CostPtr> costs;
+  costs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector center(rng.gaussian_vector(d));
+    center *= 0.01;  // nearly redundant instance
+    costs.push_back(
+        std::make_shared<core::QuadraticCost>(core::QuadraticCost::squared_distance(center)));
+  }
+  return costs;
+}
+
+core::MultiAgentProblem empirical_problem(std::size_t n, std::size_t f, std::size_t d,
+                                          std::size_t samples, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  core::MultiAgentProblem problem;
+  problem.f = f;
+  for (std::size_t i = 0; i < n; ++i) {
+    Matrix x(samples, d);
+    Vector y(samples);
+    for (std::size_t j = 0; j < samples; ++j) {
+      double pred = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        x(j, k) = rng.gaussian();
+        pred += x(j, k) * (k % 2 == 0 ? 1.0 : -1.0);
+      }
+      y[j] = pred + rng.gaussian(0.0, 0.05);
+    }
+    problem.costs.push_back(std::make_shared<sgd::EmpiricalCost>(
+        std::move(x), std::move(y), sgd::Loss::kSquare, 0.0));
+  }
+  problem.validate();
+  return problem;
+}
+
+bool identical(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// One wired path: a closure producing a flat vector of observables whose
+/// bit pattern must not depend on the thread count.
+struct Path {
+  std::string name;
+  std::function<Vector()> run;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv,
+                      bench::with_runtime_flags(
+                          {"n", "f", "d", "samples", "iterations", "seed", "max-threads", "csv"}));
+  const bench::Harness harness(cli, "R-P4");
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 10));
+  const auto f = static_cast<std::size_t>(cli.get_int("f", 2));
+  const auto d = static_cast<std::size_t>(cli.get_int("d", 4));
+  const auto samples = static_cast<std::size_t>(cli.get_int("samples", 40));
+  const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 400));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 7));
+  const auto max_threads = static_cast<std::size_t>(cli.get_int("max-threads", 8));
+
+  bench::banner("R-P4", "parallel runtime: strong scaling and bit-identity per path");
+
+  // Thread counts to sweep: {1, 2, 4, 8} clamped by --max-threads; an
+  // explicit --threads t runs exactly {1, t}.
+  std::vector<std::size_t> counts;
+  if (const std::int64_t t = cli.get_int("threads", 0); t > 1) {
+    counts = {1, static_cast<std::size_t>(t)};
+  } else {
+    for (std::size_t c = 1; c <= std::max<std::size_t>(1, max_threads); c *= 2) counts.push_back(c);
+  }
+
+  // The workloads: sized so the per-item work (agent gradients, subset
+  // scores, placement sweeps) dominates the fork/join overhead.
+  const auto quad = quadratic_costs(n, d, seed);
+  core::MultiAgentProblem dgd_problem;
+  dgd_problem.costs = quad;
+  dgd_problem.f = f;
+  dgd_problem.validate();
+  const auto sgd_problem = empirical_problem(n, f, d, samples, seed);
+  std::vector<std::size_t> byzantine;
+  for (std::size_t b = 0; b < f; ++b) byzantine.push_back(b);
+  const auto attack = attacks::make_attack("gradient_reverse");
+
+  // Resilience certification is exponential in its n; keep it small and
+  // independent of the sweep's --n so the bench stays runnable.
+  const auto res_costs = quadratic_costs(6, 2, seed + 1);
+  const std::vector<core::CostPtr> adversarial = {std::make_shared<core::QuadraticCost>(
+      core::QuadraticCost::squared_distance(Vector{5.0, -5.0}))};
+
+  std::vector<Path> paths;
+  paths.push_back({"dgd/train", [&] {
+                     const auto cfg = bench::make_config(n, f, "cge", iterations, d, seed);
+                     return dgd::train(dgd_problem, byzantine, attack.get(), cfg).estimate;
+                   }});
+  paths.push_back({"sgd/train_sgd", [&] {
+                     sgd::SgdConfig cfg;
+                     cfg.base = bench::make_config(n, f, "cge", iterations, d, seed);
+                     cfg.batch_size = 4;
+                     return sgd::train_sgd(sgd_problem, byzantine, attack.get(), cfg).estimate;
+                   }});
+  paths.push_back({"core/exact_algorithm", [&] {
+                     const auto r = core::run_exact_algorithm(quad, f);
+                     Vector obs = r.output;
+                     obs.data().push_back(r.chosen_score);
+                     return obs;
+                   }});
+  paths.push_back({"redundancy/resilience", [&] {
+                     const auto report = redundancy::measure_resilience(
+                         res_costs, 1,
+                         [](const std::vector<core::CostPtr>& received, std::size_t budget) {
+                           return core::run_exact_algorithm(received, budget).output;
+                         },
+                         adversarial);
+                     return Vector{report.epsilon, static_cast<double>(report.scenarios_run)};
+                   }});
+
+  auto csv = bench::maybe_csv(cli.get_bool("csv", false), "parallel_scaling",
+                              {"path", "threads", "seconds", "speedup"});
+  util::TablePrinter table({"path", "threads", "seconds", "speedup", "identical"});
+
+  bool all_identical = true;
+  for (const auto& path : paths) {
+    Vector baseline;
+    double base_seconds = 0.0;
+    for (std::size_t threads : counts) {
+      runtime::set_threads(threads);
+      const util::Stopwatch watch;
+      const Vector observed = path.run();
+      const double seconds = watch.elapsed_seconds();
+      const bool same = threads == counts.front() || identical(observed, baseline);
+      if (threads == counts.front()) {
+        baseline = observed;
+        base_seconds = seconds;
+      }
+      all_identical = all_identical && same;
+      table.add_row({path.name, std::to_string(threads), util::TablePrinter::num(seconds, 4),
+                     util::TablePrinter::num(base_seconds / seconds, 2), same ? "yes" : "NO"});
+      bench::json_summary("R-P4/" + path.name, threads,
+                          {{"n", std::to_string(n)}, {"f", std::to_string(f)}},
+                          seconds);
+      if (csv) {
+        csv->write_row({path.name, std::to_string(threads), std::to_string(seconds),
+                        std::to_string(base_seconds / seconds)});
+      }
+    }
+  }
+  runtime::set_threads(1);
+  table.print(std::cout);
+  REDOPT_REQUIRE(all_identical, "a wired path produced thread-count-dependent output");
+  std::cout << "\nEvery path produced bit-identical output at every thread count.\n"
+               "Speedups are meaningful only on a multi-core host.\n";
+  return 0;
+}

@@ -16,7 +16,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"m", "n", "d", "f", "noise", "iterations", "seed", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"m", "n", "d", "f", "noise", "iterations", "seed", "csv"}));
+  const bench::Harness harness(cli, "R-A6");
   const auto m = static_cast<std::size_t>(cli.get_int("m", 9));
   const auto n = static_cast<std::size_t>(cli.get_int("n", 9));
   const auto d = static_cast<std::size_t>(cli.get_int("d", 2));

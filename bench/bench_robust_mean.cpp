@@ -18,7 +18,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"n", "d", "sigma", "iterations", "seed", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"n", "d", "sigma", "iterations", "seed", "csv"}));
+  const bench::Harness harness(cli, "R-A9");
   const auto n = static_cast<std::size_t>(cli.get_int("n", 15));
   const auto d = static_cast<std::size_t>(cli.get_int("d", 4));
   const double sigma = cli.get_double("sigma", 0.5);

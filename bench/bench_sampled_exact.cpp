@@ -47,7 +47,8 @@ std::vector<core::CostPtr> make_instance(std::size_t n, std::size_t f, std::size
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"seed", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"seed", "csv"}));
+  const bench::Harness harness(cli, "R-P3");
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 19));
 
   bench::banner("R-P3", "sampled versus exhaustive sufficiency construction");

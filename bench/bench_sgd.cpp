@@ -44,7 +44,8 @@ core::MultiAgentProblem make_problem(std::size_t n, std::size_t f, std::size_t d
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"n", "f", "d", "samples", "iterations", "seed", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"n", "f", "d", "samples", "iterations", "seed", "csv"}));
+  const bench::Harness harness(cli, "R-A5");
   const auto n = static_cast<std::size_t>(cli.get_int("n", 10));
   const auto f = static_cast<std::size_t>(cli.get_int("f", 2));
   const auto d = static_cast<std::size_t>(cli.get_int("d", 4));

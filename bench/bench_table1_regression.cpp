@@ -12,7 +12,8 @@ using namespace redopt;
 using linalg::Vector;
 
 int main(int argc, char** argv) {
-  const util::Cli cli(argc, argv, {"noise", "iterations", "seed", "csv"});
+  const util::Cli cli(argc, argv, bench::with_runtime_flags({"noise", "iterations", "seed", "csv"}));
+  const bench::Harness harness(cli, "R-T1");
   const double noise = cli.get_double("noise", 0.03);
   const auto iterations = static_cast<std::size_t>(cli.get_int("iterations", 2000));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));

@@ -8,8 +8,10 @@
 
 #include <filesystem>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "attacks/registry.h"
@@ -17,11 +19,80 @@
 #include "dgd/trainer.h"
 #include "filters/registry.h"
 #include "redundancy/redundancy.h"
+#include "runtime/runtime.h"
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace redopt::bench {
+
+/// Appends the flags every harness binary accepts uniformly (--threads).
+inline std::vector<std::string> with_runtime_flags(std::vector<std::string> flags) {
+  flags.emplace_back("threads");
+  return flags;
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Prints the machine-readable single-line summary every harness emits
+/// alongside its human-readable table:
+///
+///   BENCH_JSON {"bench":"R-T4","threads":1,"params":{...},"wall_s":0.42}
+///
+/// The BENCH_JSON prefix makes the line greppable, so perf trajectories
+/// can be collected across runs into BENCH_*.json files.
+inline void json_summary(const std::string& name, std::size_t threads,
+                         const std::map<std::string, std::string>& params,
+                         double wall_seconds) {
+  std::ostringstream os;
+  os << "BENCH_JSON {\"bench\":\"" << json_escape(name) << "\",\"threads\":" << threads
+     << ",\"params\":{";
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(key) << "\":\"" << json_escape(value) << "\"";
+  }
+  os << "},\"wall_s\":" << wall_seconds << "}";
+  std::cout << os.str() << "\n";
+}
+
+/// Per-binary harness bookkeeping: applies --threads (REDOPT_THREADS env
+/// fallback) to the runtime at construction and prints the BENCH_JSON
+/// summary — with every flag the user passed as params — at destruction.
+class Harness {
+ public:
+  Harness(const util::Cli& cli, std::string name)
+      : name_(std::move(name)), params_(cli.items()) {
+    const std::int64_t threads = cli.get_int_env("threads", "REDOPT_THREADS", 0);
+    if (threads > 0) runtime::set_threads(static_cast<std::size_t>(threads));
+  }
+  ~Harness() { json_summary(name_, runtime::threads(), params_, watch_.elapsed_seconds()); }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+ private:
+  std::string name_;
+  std::map<std::string, std::string> params_;
+  util::Stopwatch watch_;
+};
 
 /// Step-schedule coefficient matched to the filter's output scale: filters
 /// that *sum* ~n gradients (cge, sum) take a smaller coefficient than

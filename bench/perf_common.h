@@ -1,0 +1,48 @@
+// Shared main() for the google-benchmark perf binaries (R-P1, R-P2).
+//
+// google-benchmark owns the command line, so the uniform --threads knob is
+// stripped here (REDOPT_THREADS env as fallback) and applied to the
+// runtime before benchmark::Initialize sees the remaining flags.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.h"
+#include "util/cli.h"
+
+namespace redopt::bench {
+
+/// Runs the registered benchmarks after consuming --threads N /
+/// --threads=N (flag wins over the REDOPT_THREADS environment variable).
+inline int run_perf_bench(int argc, char** argv) {
+  std::vector<char*> rest;
+  rest.reserve(static_cast<std::size_t>(argc));
+  std::vector<const char*> threads_flag;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (i > 0 && arg == "--threads" && i + 1 < argc) {
+      threads_flag = {"bench", argv[i], argv[i + 1]};
+      ++i;
+    } else if (i > 0 && arg.rfind("--threads=", 0) == 0) {
+      threads_flag = {"bench", argv[i]};
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const util::Cli cli(static_cast<int>(threads_flag.size()), threads_flag.data(), {"threads"});
+  const std::int64_t threads = cli.get_int_env("threads", "REDOPT_THREADS", 0);
+  if (threads > 0) runtime::set_threads(static_cast<std::size_t>(threads));
+
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace redopt::bench

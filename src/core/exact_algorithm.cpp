@@ -4,13 +4,80 @@
 #include <limits>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "core/aggregate_cost.h"
 #include "rng/rng.h"
+#include "runtime/runtime.h"
 #include "util/error.h"
 #include "util/subsets.h"
 
 namespace redopt::core {
+
+namespace {
+
+/// Memoizing argmin-set lookup for inner subsets.  One instance per chunk
+/// of outer candidates: lexicographically adjacent outers share most of
+/// their inner subsets, so chunk-local caches retain nearly all the reuse
+/// without any cross-thread sharing.
+class InnerCache {
+ public:
+  InnerCache(const std::vector<CostPtr>& costs, const ArgminOptions& options)
+      : costs_(costs), options_(options) {}
+
+  const MinimizerSet& set_for(const std::vector<std::size_t>& subset) {
+    auto it = cache_.find(subset);
+    if (it == cache_.end()) {
+      it = cache_.emplace(subset, argmin_set(aggregate_subset(costs_, subset), options_)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  const std::vector<CostPtr>& costs_;
+  const ArgminOptions& options_;
+  std::map<std::vector<std::size_t>, MinimizerSet> cache_;
+};
+
+/// Best outer candidate found in a contiguous chunk of the candidate list.
+struct RangeBest {
+  double score = std::numeric_limits<double>::infinity();
+  std::size_t outer_index = std::numeric_limits<std::size_t>::max();
+  Vector output;
+  std::vector<std::size_t> chosen;
+};
+
+/// Deterministic merge: strict lexicographic (score, candidate index), so
+/// ties keep the earliest candidate — exactly what the sequential sweep's
+/// strict `<` update rule does.
+RangeBest better(const RangeBest& a, const RangeBest& b) {
+  if (b.score < a.score) return b;
+  if (a.score < b.score) return a;
+  return b.outer_index < a.outer_index ? b : a;
+}
+
+/// [lo, hi) bounds of block c when count items split into `chunks` blocks.
+std::pair<std::size_t, std::size_t> chunk_bounds(std::size_t count, std::size_t chunks,
+                                                 std::size_t c) {
+  const std::size_t base = count / chunks;
+  const std::size_t rem = count % chunks;
+  const std::size_t lo = c * base + std::min(c, rem);
+  return {lo, lo + base + (c < rem ? 1 : 0)};
+}
+
+/// Number of chunks the candidate ranking splits into.  Depends only on
+/// the configured lane count (never on nesting or pool state), so the
+/// chunk-local pruning pattern — and therefore every intermediate value —
+/// is reproducible for a given set_threads() value, while the *returned*
+/// winner is identical for every value (pruning can only truncate the
+/// inner enumeration of candidates that already lost: a pruned candidate's
+/// partial score is >= the bound that pruned it, so it can never be
+/// selected, and the winner is always fully evaluated).
+std::size_t ranking_chunks(std::size_t candidates) {
+  return std::max<std::size_t>(1, std::min(runtime::threads(), candidates));
+}
+
+}  // namespace
 
 ExactAlgorithmResult run_exact_algorithm(const std::vector<CostPtr>& received_costs,
                                          std::size_t f, const ArgminOptions& options) {
@@ -20,45 +87,49 @@ ExactAlgorithmResult run_exact_algorithm(const std::vector<CostPtr>& received_co
   for (const auto& c : received_costs)
     REDOPT_REQUIRE(c != nullptr, "received cost function is null");
 
-  // The same (n-2f)-subset appears inside many (n-f)-subsets; memoize its
-  // argmin set keyed by the sorted index list.
-  std::map<std::vector<std::size_t>, MinimizerSet> inner_cache;
-  auto inner_set = [&](const std::vector<std::size_t>& subset) -> const MinimizerSet& {
-    auto it = inner_cache.find(subset);
-    if (it == inner_cache.end()) {
-      it = inner_cache
-               .emplace(subset, argmin_set(aggregate_subset(received_costs, subset), options))
-               .first;
-    }
-    return it->second;
-  };
-
-  ExactAlgorithmResult best;
-  double best_score = std::numeric_limits<double>::infinity();
-
+  // Materialize the outer candidates so they can be statically chunked
+  // across the runtime's lanes; for any n where exhaustive enumeration is
+  // viable at all, this list is small.
+  std::vector<std::vector<std::size_t>> outers;
+  outers.reserve(static_cast<std::size_t>(util::binomial(n, f)));
   util::for_each_subset(n, n - f, [&](const std::vector<std::size_t>& t) {
-    const Vector x_t = argmin_point(aggregate_subset(received_costs, t), options);
-
-    // r_T = max over (n-2f)-subsets of T of dist(x_T, argmin of the subset).
-    double r_t = 0.0;
-    util::for_each_subset_of(t, n - 2 * f, [&](const std::vector<std::size_t>& t_hat) {
-      r_t = std::max(r_t, inner_set(t_hat).distance_to(x_t));
-      // Early exit: this T already scores worse than the best seen.
-      return r_t < best_score;
-    });
-
-    if (r_t < best_score) {
-      best_score = r_t;
-      best.output = x_t;
-      best.chosen_set = t;
-      best.chosen_score = r_t;
-    }
-    ++best.subsets_evaluated;
+    outers.push_back(t);
     return true;
   });
 
-  REDOPT_ASSERT(!best.chosen_set.empty(), "exact algorithm evaluated no subsets");
-  return best;
+  const std::size_t chunks = ranking_chunks(outers.size());
+  const RangeBest best = runtime::parallel_reduce(
+      std::size_t{0}, chunks, RangeBest{},
+      [&](std::size_t c) {
+        const auto [lo, hi] = chunk_bounds(outers.size(), chunks, c);
+        InnerCache cache(received_costs, options);
+        RangeBest local;
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto& t = outers[k];
+          const Vector x_t = argmin_point(aggregate_subset(received_costs, t), options);
+
+          // r_T = max over (n-2f)-subsets of T of dist(x_T, argmin subset).
+          double r_t = 0.0;
+          util::for_each_subset_of(t, n - 2 * f, [&](const std::vector<std::size_t>& t_hat) {
+            r_t = std::max(r_t, cache.set_for(t_hat).distance_to(x_t));
+            // Early exit: this T already scores worse than the chunk best.
+            return r_t < local.score;
+          });
+
+          if (r_t < local.score) local = RangeBest{r_t, k, x_t, t};
+        }
+        return local;
+      },
+      better);
+
+  REDOPT_ASSERT(best.outer_index != std::numeric_limits<std::size_t>::max(),
+                "exact algorithm evaluated no subsets");
+  ExactAlgorithmResult result;
+  result.output = best.output;
+  result.chosen_set = best.chosen;
+  result.chosen_score = best.score;
+  result.subsets_evaluated = outers.size();
+  return result;
 }
 
 ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& received_costs,
@@ -74,16 +145,6 @@ ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& rec
     REDOPT_REQUIRE(c != nullptr, "received cost function is null");
 
   rng::Rng rng(sampling.seed);
-  std::map<std::vector<std::size_t>, MinimizerSet> inner_cache;
-  auto inner_set = [&](const std::vector<std::size_t>& subset) -> const MinimizerSet& {
-    auto it = inner_cache.find(subset);
-    if (it == inner_cache.end()) {
-      it = inner_cache
-               .emplace(subset, argmin_set(aggregate_subset(received_costs, subset), options))
-               .first;
-    }
-    return it->second;
-  };
 
   // Agent centrality (guided mode): rank agents by the median distance of
   // their own argmin representative to the other agents'.  Under
@@ -95,9 +156,10 @@ ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& rec
   // almost never hits it).
   std::vector<double> centrality;
   if (sampling.guided) {
-    std::vector<Vector> points;
-    points.reserve(n);
-    for (const auto& cost : received_costs) points.push_back(argmin_point(*cost, options));
+    std::vector<Vector> points(n);
+    runtime::parallel_for(0, n, [&](std::size_t i) {
+      points[i] = argmin_point(*received_costs[i], options);
+    });
     centrality.resize(n);
     std::vector<double> distances(n - 1);
     for (std::size_t i = 0; i < n; ++i) {
@@ -138,49 +200,62 @@ ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& rec
     outers.insert(outers.end(), distinct.begin(), distinct.end());
   }
 
-  ExactAlgorithmResult best;
-  double best_score = std::numeric_limits<double>::infinity();
-  for (const auto& t : outers) {
-    const Vector x_t = argmin_point(aggregate_subset(received_costs, t), options);
+  // Inner-sampling streams are forked per outer candidate, so the drawn
+  // inner subsets depend only on (seed, candidate position) — never on
+  // evaluation order, pruning depth, or thread count.
+  const std::size_t chunks = ranking_chunks(outers.size());
+  const RangeBest best = runtime::parallel_reduce(
+      std::size_t{0}, chunks, RangeBest{},
+      [&](std::size_t c) {
+        const auto [lo, hi] = chunk_bounds(outers.size(), chunks, c);
+        InnerCache cache(received_costs, options);
+        RangeBest local;
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto& t = outers[k];
+          const Vector x_t = argmin_point(aggregate_subset(received_costs, t), options);
 
-    double r_t = 0.0;
-    if (sampling.guided) {
-      // Revealing inner candidate: drop the 2f least-central members of T.
-      std::vector<std::size_t> by_centrality = t;
-      std::sort(by_centrality.begin(), by_centrality.end(), [&](std::size_t a, std::size_t b) {
-        return centrality[a] < centrality[b];
-      });
-      std::vector<std::size_t> revealing(by_centrality.begin(),
-                                         by_centrality.end() -
-                                             static_cast<std::ptrdiff_t>(2 * f));
-      std::sort(revealing.begin(), revealing.end());
-      r_t = std::max(r_t, inner_set(revealing).distance_to(x_t));
-    }
-    const std::uint64_t inner_count = util::binomial(t.size(), 2 * f);  // C(n-f, n-2f)
-    if (inner_count <= sampling.inner_samples) {
-      util::for_each_subset_of(t, n - 2 * f, [&](const std::vector<std::size_t>& t_hat) {
-        r_t = std::max(r_t, inner_set(t_hat).distance_to(x_t));
-        return r_t < best_score;
-      });
-    } else {
-      for (std::size_t s = 0; s < sampling.inner_samples && r_t < best_score; ++s) {
-        const auto positions = rng.subset(t.size(), n - 2 * f);
-        std::vector<std::size_t> t_hat(positions.size());
-        for (std::size_t i = 0; i < positions.size(); ++i) t_hat[i] = t[positions[i]];
-        r_t = std::max(r_t, inner_set(t_hat).distance_to(x_t));
-      }
-    }
+          double r_t = 0.0;
+          if (sampling.guided) {
+            // Revealing inner candidate: drop the 2f least-central members of T.
+            std::vector<std::size_t> by_centrality = t;
+            std::sort(by_centrality.begin(), by_centrality.end(),
+                      [&](std::size_t a, std::size_t b) { return centrality[a] < centrality[b]; });
+            std::vector<std::size_t> revealing(by_centrality.begin(),
+                                               by_centrality.end() -
+                                                   static_cast<std::ptrdiff_t>(2 * f));
+            std::sort(revealing.begin(), revealing.end());
+            r_t = std::max(r_t, cache.set_for(revealing).distance_to(x_t));
+          }
+          const std::uint64_t inner_count = util::binomial(t.size(), 2 * f);  // C(n-f, n-2f)
+          if (inner_count <= sampling.inner_samples) {
+            util::for_each_subset_of(t, n - 2 * f, [&](const std::vector<std::size_t>& t_hat) {
+              r_t = std::max(r_t, cache.set_for(t_hat).distance_to(x_t));
+              return r_t < local.score;
+            });
+          } else {
+            rng::Rng inner_rng = rng.fork("inner-" + std::to_string(k));
+            for (std::size_t s = 0; s < sampling.inner_samples && r_t < local.score; ++s) {
+              const auto positions = inner_rng.subset(t.size(), n - 2 * f);
+              std::vector<std::size_t> t_hat(positions.size());
+              for (std::size_t i = 0; i < positions.size(); ++i) t_hat[i] = t[positions[i]];
+              r_t = std::max(r_t, cache.set_for(t_hat).distance_to(x_t));
+            }
+          }
 
-    if (r_t < best_score) {
-      best_score = r_t;
-      best.output = x_t;
-      best.chosen_set = t;
-      best.chosen_score = r_t;
-    }
-    ++best.subsets_evaluated;
-  }
-  REDOPT_ASSERT(!best.chosen_set.empty(), "sampled exact algorithm evaluated no subsets");
-  return best;
+          if (r_t < local.score) local = RangeBest{r_t, k, x_t, t};
+        }
+        return local;
+      },
+      better);
+
+  REDOPT_ASSERT(best.outer_index != std::numeric_limits<std::size_t>::max(),
+                "sampled exact algorithm evaluated no subsets");
+  ExactAlgorithmResult result;
+  result.output = best.output;
+  result.chosen_set = best.chosen;
+  result.chosen_score = best.score;
+  result.subsets_evaluated = outers.size();
+  return result;
 }
 
 }  // namespace redopt::core

@@ -3,6 +3,7 @@
 #include <deque>
 #include <limits>
 
+#include "runtime/runtime.h"
 #include "util/error.h"
 
 namespace redopt::dgd {
@@ -74,10 +75,11 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
   std::vector<linalg::Vector> gradients(n);
   std::vector<linalg::Vector> honest_gradients;
   for (std::size_t t = 0; t < base.iterations; ++t) {
-    honest_gradients.clear();
-    honest_gradients.reserve(honest.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      if (is_byzantine[i]) continue;
+    // Honest fan-out: each agent draws staleness from its own stream and
+    // writes its own gradient slot, so the parallel evaluation is
+    // bit-identical at any runtime::threads() setting.
+    runtime::parallel_for(0, honest.size(), [&](std::size_t j) {
+      const std::size_t i = honest[j];
       // Straggler draw: consume randomness only when stragglers are
       // enabled, so probability 0 replays the synchronous execution.
       std::size_t staleness = 0;
@@ -90,8 +92,10 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
       const std::size_t available = history.size() - 1;
       staleness = std::min(staleness, available);
       gradients[i] = problem.costs[i]->gradient(history[staleness]);
-      honest_gradients.push_back(gradients[i]);
-    }
+    });
+    honest_gradients.clear();
+    honest_gradients.reserve(honest.size());
+    for (std::size_t id : honest) honest_gradients.push_back(gradients[id]);
     for (std::size_t i = 0; i < n; ++i) {
       if (!is_byzantine[i]) continue;
       // Byzantine agents are never stale (the worst case for the server).

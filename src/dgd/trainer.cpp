@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/runtime.h"
 #include "util/error.h"
 
 namespace redopt::dgd {
@@ -78,14 +79,18 @@ linalg::Vector OnlineTrainer::step() {
   const std::size_t t = iteration_;
 
   // S1: honest replies (honest agents always reply in a synchronous
-  // fault-free link model).
-  std::vector<linalg::Vector> honest_gradients;
-  honest_gradients.reserve(honest_.size());
+  // fault-free link model).  Each agent's gradient is an independent
+  // evaluation written to its own slot, so the fan-out is bit-identical
+  // at any runtime::threads() setting.
+  std::vector<std::size_t> responders;
+  responders.reserve(honest_.size());
   for (std::size_t i = 0; i < n; ++i) {
-    if (active_[i] && !is_byzantine_[i]) {
-      honest_gradients.push_back(problem_.costs[i]->gradient(x_));
-    }
+    if (active_[i] && !is_byzantine_[i]) responders.push_back(i);
   }
+  std::vector<linalg::Vector> honest_gradients(responders.size());
+  runtime::parallel_for(0, responders.size(), [&](std::size_t j) {
+    honest_gradients[j] = problem_.costs[responders[j]]->gradient(x_);
+  });
 
   // Byzantine replies: first decide who responds at all, then craft.
   bool eliminated_this_round = false;

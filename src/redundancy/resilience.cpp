@@ -1,13 +1,42 @@
 #include "redundancy/resilience.h"
 
+#include <limits>
 #include <map>
+#include <optional>
 
 #include "core/aggregate_cost.h"
 #include "core/minimizer_set.h"
+#include "runtime/runtime.h"
 #include "util/error.h"
 #include "util/subsets.h"
 
 namespace redopt::redundancy {
+
+namespace {
+
+/// Worst scenario observed in a block of Byzantine placements, plus the
+/// number of (byzantine set x adversarial cost) scenarios it ran.
+struct SweepResult {
+  double epsilon = 0.0;
+  std::size_t placement_index = std::numeric_limits<std::size_t>::max();
+  std::size_t scenarios = 0;
+  std::vector<std::size_t> byzantine;
+  std::vector<std::size_t> subset;
+};
+
+/// Deterministic merge: scenario counts add; the worst case follows strict
+/// `>` on epsilon with ties resolved to the earlier placement — exactly
+/// the sequential sweep's strict update rule.
+SweepResult merge(const SweepResult& a, const SweepResult& b) {
+  const SweepResult& pick =
+      b.epsilon > a.epsilon ? b : (a.epsilon > b.epsilon ? a
+                                   : (a.placement_index <= b.placement_index ? a : b));
+  SweepResult out = pick;
+  out.scenarios = a.scenarios + b.scenarios;
+  return out;
+}
+
+}  // namespace
 
 ResilienceReport measure_resilience(const std::vector<core::CostPtr>& honest_costs,
                                     std::size_t f, const AlgorithmFn& algorithm,
@@ -22,46 +51,66 @@ ResilienceReport measure_resilience(const std::vector<core::CostPtr>& honest_cos
     REDOPT_REQUIRE(c != nullptr && c->dimension() == honest_costs.front()->dimension(),
                    "adversarial cost missing or dimension mismatch");
 
-  // Honest-subset argmin sets are scenario-independent; memoize them.
-  std::map<std::vector<std::size_t>, core::MinimizerSet> cache;
-  auto argmin_of = [&](const std::vector<std::size_t>& subset) -> const core::MinimizerSet& {
-    auto it = cache.find(subset);
-    if (it == cache.end()) {
-      it = cache
-               .emplace(subset,
-                        core::argmin_set(core::aggregate_subset(honest_costs, subset), options))
-               .first;
-    }
-    return it->second;
-  };
+  // Argmin sets of every honest (n - f)-subset: the b = 0 scenario alone
+  // consults all of them, so precomputing the full table (in parallel,
+  // each entry an independent argmin) does no extra work and removes the
+  // shared lazy cache from the sweep.
+  const auto honest_subsets = util::all_subsets(n, n - f);
+  std::vector<std::optional<core::MinimizerSet>> table(honest_subsets.size());
+  runtime::parallel_for(0, honest_subsets.size(), [&](std::size_t i) {
+    table[i] = core::argmin_set(core::aggregate_subset(honest_costs, honest_subsets[i]), options);
+  });
+  std::map<std::vector<std::size_t>, std::size_t> rank;
+  for (std::size_t i = 0; i < honest_subsets.size(); ++i) rank.emplace(honest_subsets[i], i);
 
-  ResilienceReport report;
   // Byzantine sets of every size 0..f (fewer-than-budget faults are legal
-  // executions and must satisfy the same guarantee).
+  // executions and must satisfy the same guarantee), flattened into one
+  // placement list so the certification sweep fans out over it.  With
+  // runtime::threads() > 1 the algorithm under test is invoked
+  // concurrently and must be safe to call from multiple threads.
+  std::vector<std::vector<std::size_t>> placements;
   for (std::size_t b = 0; b <= f; ++b) {
     util::for_each_subset(n, b, [&](const std::vector<std::size_t>& byzantine) {
-      for (const auto& bad_cost : adversarial_costs) {
-        auto received = honest_costs;
-        for (std::size_t id : byzantine) received[id] = bad_cost;
-        const core::Vector output = algorithm(received, f);
-        ++report.scenarios_run;
-
-        // Every (n - f)-subset of the non-faulty agents.
-        const auto honest = util::complement(n, byzantine);
-        util::for_each_subset_of(honest, n - f, [&](const std::vector<std::size_t>& subset) {
-          const double dist = argmin_of(subset).distance_to(output);
-          if (dist > report.epsilon) {
-            report.epsilon = dist;
-            report.worst_byzantine = byzantine;
-            report.worst_subset = subset;
-          }
-          return true;
-        });
-        if (b == 0) break;  // with no Byzantine agents all costs are equal; one run suffices
-      }
+      placements.push_back(byzantine);
       return true;
     });
   }
+
+  const SweepResult worst = runtime::parallel_reduce(
+      std::size_t{0}, placements.size(), SweepResult{},
+      [&](std::size_t p) {
+        const auto& byzantine = placements[p];
+        SweepResult local;
+        for (const auto& bad_cost : adversarial_costs) {
+          auto received = honest_costs;
+          for (std::size_t id : byzantine) received[id] = bad_cost;
+          const core::Vector output = algorithm(received, f);
+          ++local.scenarios;
+
+          // Every (n - f)-subset of the non-faulty agents.
+          const auto honest = util::complement(n, byzantine);
+          util::for_each_subset_of(honest, n - f, [&](const std::vector<std::size_t>& subset) {
+            const double dist = table[rank.at(subset)]->distance_to(output);
+            if (dist > local.epsilon) {
+              local.epsilon = dist;
+              local.placement_index = p;
+              local.byzantine = byzantine;
+              local.subset = subset;
+            }
+            return true;
+          });
+          // With no Byzantine agents all costs are equal; one run suffices.
+          if (byzantine.empty()) break;
+        }
+        return local;
+      },
+      merge);
+
+  ResilienceReport report;
+  report.epsilon = worst.epsilon;
+  report.scenarios_run = worst.scenarios;
+  report.worst_byzantine = worst.byzantine;
+  report.worst_subset = worst.subset;
   return report;
 }
 

@@ -38,6 +38,11 @@ struct ResilienceReport {
 /// all agents of B), runs the algorithm and measures the distance from its
 /// output to the argmin set of every honest (n - f)-subset aggregate.
 /// Exhaustive — intended for the small n of design-time validation.
+///
+/// The sweep fans out over the runtime (see runtime/runtime.h): with
+/// runtime::threads() > 1, @p algorithm is invoked concurrently and must
+/// be safe to call from multiple threads (the library's own algorithms
+/// are).  The report is bit-identical for every thread count.
 ResilienceReport measure_resilience(const std::vector<core::CostPtr>& honest_costs,
                                     std::size_t f, const AlgorithmFn& algorithm,
                                     const std::vector<core::CostPtr>& adversarial_costs,

@@ -1,0 +1,108 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace redopt::runtime {
+
+namespace {
+
+std::mutex g_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_threads = 0;  // 0 = not yet resolved
+
+/// REDOPT_THREADS if set to a positive integer, else 1 (serial).
+std::size_t resolve_default_threads() {
+  if (const char* env = std::getenv("REDOPT_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value >= 1) return static_cast<std::size_t>(value);
+  }
+  return 1;
+}
+
+std::size_t threads_locked() {
+  if (g_threads == 0) g_threads = resolve_default_threads();
+  return g_threads;
+}
+
+}  // namespace
+
+std::size_t threads() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return threads_locked();
+}
+
+void set_threads(std::size_t n) {
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (g_threads == n) return;
+    old = std::move(g_pool);
+    g_threads = n;
+  }
+  // The old pool's workers join here, outside g_mutex: its run() holds the
+  // pool's own lock while tasks may call threads(), so joining under
+  // g_mutex would order the two mutexes both ways (potential deadlock).
+}
+
+ThreadPool& default_pool() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  const std::size_t n = threads_locked();
+  if (!g_pool || g_pool->threads() != n) g_pool = std::make_unique<ThreadPool>(n);
+  return *g_pool;
+}
+
+void shutdown() {
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    old = std::move(g_pool);
+  }
+  // Destroyed (and therefore joined) outside g_mutex — same ordering
+  // concern as set_threads; default_pool() lazily recreates on next use.
+}
+
+namespace detail {
+
+bool& region_flag() {
+  thread_local bool in_region = false;
+  return in_region;
+}
+
+}  // namespace detail
+
+bool in_parallel_region() { return detail::region_flag(); }
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  if (count == 1 || in_parallel_region()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  ThreadPool& pool = default_pool();
+  if (pool.threads() == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunks = std::min(count, pool.threads());
+  const std::size_t base = count / chunks;
+  const std::size_t rem = count % chunks;
+  pool.run(chunks, [&](std::size_t c) {
+    const detail::RegionGuard guard;
+    const std::size_t lo = begin + c * base + std::min(c, rem);
+    const std::size_t hi = lo + base + (c < rem ? 1 : 0);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace redopt::runtime

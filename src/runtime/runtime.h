@@ -1,0 +1,106 @@
+// Process-wide deterministic parallel execution runtime.
+//
+// These primitives are the sanctioned way for redopt hot paths to use
+// multiple cores.  Determinism is a hard requirement, not best-effort:
+// for every wired code path, results are bit-identical for every value of
+// set_threads().  The primitives make that easy to uphold:
+//
+//   * parallel_for(begin, end, fn) — invokes fn(i) exactly once per index
+//     with static chunking (contiguous blocks, one per lane).  fn must
+//     write only per-index state; with that discipline the thread count
+//     cannot influence results.
+//   * parallel_reduce(begin, end, identity, map, combine) — evaluates
+//     map(i) per index (in parallel) and folds the leaves through a
+//     FIXED-SHAPE binary reduction tree whose shape depends only on the
+//     element count, never on the thread count, so even non-associative
+//     floating-point combines produce bit-identical results at any lane
+//     count.
+//
+// The default pool is process-wide and lazily started.  Configure it with
+// set_threads() or the REDOPT_THREADS environment variable; the default is
+// 1 (fully serial, the library's historical behaviour), so nothing changes
+// unless a caller opts in.  Nested parallel regions execute inline on the
+// calling thread — chunk shapes still depend only on the configured lane
+// count, keeping nested and top-level execution bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+
+namespace redopt::runtime {
+
+/// Configured lane count: the last set_threads() value, else the
+/// REDOPT_THREADS environment variable, else 1.
+std::size_t threads();
+
+/// Reconfigures the default pool to @p n lanes (0 = hardware concurrency).
+/// Joins any existing pool first.  Must not be called from inside a
+/// parallel region or concurrently with parallel work.
+void set_threads(std::size_t n);
+
+/// The process-wide pool backing parallel_for / parallel_reduce.  Lazily
+/// constructed (and lazily started) on first use.
+ThreadPool& default_pool();
+
+/// Joins the default pool's workers (it restarts lazily on next use).
+/// Useful for tests and for a clean process exit under sanitizers.
+void shutdown();
+
+/// True while the calling thread executes inside a parallel region; the
+/// primitives degrade to inline serial execution there.
+bool in_parallel_region();
+
+/// Invokes fn(i) exactly once for every i in [begin, end), statically
+/// chunked across the default pool's lanes.  fn must be safe to invoke
+/// concurrently for distinct indices.  Blocks until every index finished;
+/// rethrows the exception of the lowest-indexed failing invocation.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+namespace detail {
+
+bool& region_flag();
+
+/// Marks the enclosing scope as a parallel region on this thread.
+struct RegionGuard {
+  RegionGuard() : previous(region_flag()) { region_flag() = true; }
+  ~RegionGuard() { region_flag() = previous; }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+  bool previous;
+};
+
+}  // namespace detail
+
+/// Maps every index in [begin, end) through @p map (in parallel) and folds
+/// the results with @p combine through a fixed-shape binary reduction tree:
+/// adjacent pairs are combined level by level, an odd trailing element is
+/// carried up unchanged.  The tree shape depends only on the element
+/// count, so the result is bit-identical for every thread count.  The
+/// leaves are combined on the calling thread, in deterministic order;
+/// @p identity is returned only for an empty range (it never enters the
+/// tree).  T must be copy-constructible and movable.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(std::size_t begin, std::size_t end, T identity, MapFn&& map,
+                  CombineFn&& combine) {
+  if (end <= begin) return identity;
+  const std::size_t count = end - begin;
+  std::vector<T> level(count, identity);
+  parallel_for(begin, end, [&](std::size_t i) { level[i - begin] = map(i); });
+  while (level.size() > 1) {
+    std::vector<T> next;
+    next.reserve(level.size() / 2 + (level.size() & 1));
+    for (std::size_t p = 0; p + 1 < level.size(); p += 2) {
+      next.push_back(combine(level[p], level[p + 1]));
+    }
+    if (level.size() & 1) next.push_back(std::move(level.back()));
+    level = std::move(next);
+  }
+  return std::move(level.front());
+}
+
+}  // namespace redopt::runtime

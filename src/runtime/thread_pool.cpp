@@ -1,0 +1,112 @@
+#include "runtime/thread_pool.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace redopt::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) : threads_(threads) {
+  REDOPT_REQUIRE(threads >= 1, "thread pool needs at least one lane");
+}
+
+ThreadPool::~ThreadPool() { join(); }
+
+bool ThreadPool::started() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !workers_.empty();
+}
+
+void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (threads_ == 1 || count == 1) {
+    // Inline fast path: no workers, exceptions propagate naturally.
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  auto job = std::make_shared<Job>();
+  job->task = &task;
+  job->count = count;
+  job->error_index = std::numeric_limits<std::size_t>::max();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensure_started_locked();
+    job_ = job;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+  drain(*job);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return job->done.load(std::memory_order_acquire) >= job->count; });
+    job_.reset();
+    error = job->error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::drain(Job& job) {
+  std::size_t i;
+  while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) < job.count) {
+    try {
+      (*job.task)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job.error == nullptr || i < job.error_index) {
+        job.error = std::current_exception();
+        job.error_index = i;
+      }
+    }
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.count) {
+      // Notify under the mutex so the caller cannot miss the wakeup
+      // between its predicate check and its wait.
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(std::uint64_t seen_generation) {
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    // job_ may already be cleared if the batch finished before this worker
+    // woke; a stale shared batch is exhausted, so drain() no-ops.
+    if (job) drain(*job);
+  }
+}
+
+void ThreadPool::ensure_started_locked() {
+  if (!workers_.empty()) return;
+  workers_.reserve(threads_ - 1);
+  for (std::size_t w = 0; w + 1 < threads_; ++w) {
+    workers_.emplace_back([this, seen = generation_] { worker_loop(seen); });
+  }
+}
+
+void ThreadPool::join() {
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (workers_.empty()) return;
+    stop_ = true;
+    workers.swap(workers_);
+  }
+  job_cv_.notify_all();
+  for (auto& worker : workers) worker.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stop_ = false;
+}
+
+}  // namespace redopt::runtime

@@ -1,0 +1,93 @@
+// Fixed-size worker pool underpinning the runtime's parallel primitives.
+//
+// Design constraints (see runtime.h for the user-facing primitives):
+//
+//   * fixed size — the lane count is set at construction and never changes;
+//   * lazily started — no thread is spawned until the first multi-lane
+//     run(), so a pool that is never exercised costs nothing;
+//   * joinable — join() stops and reclaims the workers; a later run()
+//     restarts them transparently;
+//   * exception-propagating — if task invocations throw, the exception of
+//     the lowest-indexed failing task is rethrown in the caller.
+//
+// Work distribution uses a shared atomic index counter, so *which* lane
+// executes a given task index is unspecified; determinism therefore comes
+// from the task decomposition (each index writes its own slot), which the
+// higher-level parallel_for / parallel_reduce primitives guarantee.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace redopt::runtime {
+
+/// A pool of N execution lanes *including the calling thread*: run() uses
+/// N - 1 background workers plus the caller, so a 1-lane pool executes
+/// everything inline and never spawns a thread.
+class ThreadPool {
+ public:
+  /// Requires threads >= 1.  Does not spawn anything yet.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes (>= 1), fixed at construction.
+  std::size_t threads() const { return threads_; }
+
+  /// True while background workers are alive (spawned and not joined).
+  bool started() const;
+
+  /// Invokes task(i) for every i in [0, count), distributing indices over
+  /// the caller plus the workers, and blocks until all invocations have
+  /// finished.  Every index is attempted even if some invocations throw;
+  /// afterwards the exception raised by the lowest-indexed failing task is
+  /// rethrown.  Concurrent run() calls from different threads serialize.
+  /// run() must not be called from inside a task — the runtime's
+  /// parallel_for degrades nested parallelism to inline execution instead.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+  /// Stops and joins the background workers.  The pool restarts lazily on
+  /// the next run().  Must not be called concurrently with run().
+  void join();
+
+ private:
+  /// One batch of tasks.  Heap-allocated and shared with the workers so a
+  /// worker waking up late for an already-finished job can only no-op on
+  /// the stale batch — it can never steal indices from a newer one.
+  struct Job {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t error_index = 0;
+    std::exception_ptr error;
+  };
+
+  void ensure_started_locked();
+  void worker_loop(std::uint64_t seen_generation);
+  void drain(Job& job);
+
+  const std::size_t threads_;
+
+  std::mutex run_mutex_;  // serializes run() / join() callers
+
+  mutable std::mutex mutex_;         // guards everything below
+  std::condition_variable job_cv_;   // wakes workers: new job or stop
+  std::condition_variable done_cv_;  // wakes the caller: job complete
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  std::shared_ptr<Job> job_;
+};
+
+}  // namespace redopt::runtime

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/runtime.h"
 #include "sgd/empirical_cost.h"
 #include "util/error.h"
 
@@ -79,14 +80,16 @@ dgd::TrainResult train_sgd(const core::MultiAgentProblem& problem,
   std::vector<linalg::Vector> honest_gradients;
   linalg::Vector velocity(d);
   for (std::size_t t = 0; t < base.iterations; ++t) {
+    // Honest mini-batch fan-out: each agent samples from its own stream
+    // and writes its own gradient slot, so the parallel evaluation is
+    // bit-identical at any runtime::threads() setting.
+    runtime::parallel_for(0, honest.size(), [&](std::size_t j) {
+      const std::size_t i = honest[j];
+      gradients[i] = agent_gradient(i, x);
+    });
     honest_gradients.clear();
     honest_gradients.reserve(honest.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!is_byzantine[i]) {
-        gradients[i] = agent_gradient(i, x);
-        honest_gradients.push_back(gradients[i]);
-      }
-    }
+    for (std::size_t id : honest) honest_gradients.push_back(gradients[id]);
     for (std::size_t i = 0; i < n; ++i) {
       if (!is_byzantine[i]) continue;
       const linalg::Vector true_gradient = agent_gradient(i, x);

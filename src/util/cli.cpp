@@ -1,6 +1,7 @@
 #include "util/cli.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/error.h"
@@ -43,10 +44,35 @@ std::string Cli::get_string(const std::string& key, const std::string& def) cons
   return get(key).value_or(def);
 }
 
+namespace {
+
+/// Whole-token decimal parse; std::nullopt when @p text is not an integer.
+std::optional<std::int64_t> parse_int(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
 std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
   auto v = get(key);
   if (!v) return def;
-  return std::strtoll(v->c_str(), nullptr, 10);
+  auto parsed = parse_int(*v);
+  REDOPT_REQUIRE(parsed.has_value(), "flag --" + key + " expects an integer, got: " + *v);
+  return *parsed;
+}
+
+std::int64_t Cli::get_int_env(const std::string& key, const char* env_var,
+                              std::int64_t def) const {
+  if (get(key)) return get_int(key, def);
+  if (const char* env = std::getenv(env_var)) {
+    if (auto parsed = parse_int(env)) return *parsed;
+  }
+  return def;
 }
 
 double Cli::get_double(const std::string& key, double def) const {

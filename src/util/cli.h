@@ -23,9 +23,22 @@ class Cli {
   std::optional<std::string> get(const std::string& key) const;
 
   std::string get_string(const std::string& key, const std::string& def) const;
+
+  /// Integer flag value.  Throws redopt::PreconditionError when the
+  /// provided value is not a (possibly signed) decimal integer.
   std::int64_t get_int(const std::string& key, std::int64_t def) const;
+
+  /// Integer flag with environment fallback: the flag wins, then the
+  /// @p env_var environment variable (when set to a valid integer), then
+  /// @p def.  Used for knobs like --threads / REDOPT_THREADS that every
+  /// bench binary accepts uniformly.
+  std::int64_t get_int_env(const std::string& key, const char* env_var, std::int64_t def) const;
+
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
+
+  /// All parsed flag/value pairs (for machine-readable run summaries).
+  const std::map<std::string, std::string>& items() const { return values_; }
 
  private:
   std::map<std::string, std::string> values_;
