@@ -20,70 +20,71 @@
 #include "filters/registry.h"
 #include "redundancy/redundancy.h"
 #include "runtime/runtime.h"
+#include "telemetry/events.h"
+#include "telemetry/metrics.h"
 #include "util/cli.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
 namespace redopt::bench {
 
-/// Appends the flags every harness binary accepts uniformly (--threads).
+// The JSON helpers moved to util/json.h; keep the old names visible for
+// bench code written against this header.
+using util::json_escape;
+using util::json_summary;
+
+/// Appends the flags every harness binary accepts uniformly:
+/// --threads, --telemetry <path> (JSONL run manifest), --dump-metrics
+/// (Prometheus text exposition on stdout at exit).
 inline std::vector<std::string> with_runtime_flags(std::vector<std::string> flags) {
   flags.emplace_back("threads");
+  flags.emplace_back("telemetry");
+  flags.emplace_back("dump-metrics");
   return flags;
 }
 
-/// Minimal JSON string escaping (quotes, backslashes, control chars).
-inline std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      out += ' ';
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-/// Prints the machine-readable single-line summary every harness emits
-/// alongside its human-readable table:
-///
-///   BENCH_JSON {"bench":"R-T4","threads":1,"params":{...},"wall_s":0.42}
-///
-/// The BENCH_JSON prefix makes the line greppable, so perf trajectories
-/// can be collected across runs into BENCH_*.json files.
-inline void json_summary(const std::string& name, std::size_t threads,
-                         const std::map<std::string, std::string>& params,
-                         double wall_seconds) {
-  std::ostringstream os;
-  os << "BENCH_JSON {\"bench\":\"" << json_escape(name) << "\",\"threads\":" << threads
-     << ",\"params\":{";
-  bool first = true;
-  for (const auto& [key, value] : params) {
-    if (!first) os << ",";
-    first = false;
-    os << "\"" << json_escape(key) << "\":\"" << json_escape(value) << "\"";
-  }
-  os << "},\"wall_s\":" << wall_seconds << "}";
-  std::cout << os.str() << "\n";
-}
-
 /// Per-binary harness bookkeeping: applies --threads (REDOPT_THREADS env
-/// fallback) to the runtime at construction and prints the BENCH_JSON
-/// summary — with every flag the user passed as params — at destruction.
+/// fallback) to the runtime at construction, switches telemetry on when
+/// --telemetry/--dump-metrics is passed, and prints the BENCH_JSON summary
+/// — with every flag the user passed as params — at destruction.
+///
+/// With --telemetry <path>, the harness writes a JSONL run manifest: a
+/// "run.start" event (bench name + flags; the thread count goes in the nd
+/// section so manifests stay byte-identical across REDOPT_THREADS values),
+/// the bench's own event stream, the final metric snapshot, and "run.end".
 class Harness {
  public:
   Harness(const util::Cli& cli, std::string name)
       : name_(std::move(name)), params_(cli.items()) {
     const std::int64_t threads = cli.get_int_env("threads", "REDOPT_THREADS", 0);
     if (threads > 0) runtime::set_threads(static_cast<std::size_t>(threads));
+
+    dump_metrics_ = cli.get_bool("dump-metrics", false);
+    const std::string telemetry_path = cli.get_string("telemetry", "");
+    if (dump_metrics_ || !telemetry_path.empty()) telemetry::set_enabled(true);
+    if (!telemetry_path.empty()) {
+      sink_ = std::make_shared<telemetry::JsonlSink>(telemetry_path);
+      telemetry::add_sink(sink_);
+      telemetry::Event start("run.start");
+      start.with("bench", name_);
+      for (const auto& [key, value] : params_) start.with("flag." + key, value);
+      start.with_nd("threads", static_cast<std::uint64_t>(runtime::threads()));
+      telemetry::emit(start);
+    }
   }
-  ~Harness() { json_summary(name_, runtime::threads(), params_, watch_.elapsed_seconds()); }
+
+  ~Harness() {
+    const double wall_seconds = watch_.elapsed_seconds();
+    if (sink_) {
+      telemetry::emit_metrics_snapshot(telemetry::registry().snapshot());
+      telemetry::emit(telemetry::Event("run.end").with_nd("wall_s", wall_seconds));
+      telemetry::remove_sink(sink_.get());
+    }
+    if (dump_metrics_) std::cout << telemetry::render_prometheus(telemetry::registry().snapshot());
+    json_summary(name_, runtime::threads(), params_, wall_seconds);
+  }
 
   Harness(const Harness&) = delete;
   Harness& operator=(const Harness&) = delete;
@@ -92,6 +93,8 @@ class Harness {
   std::string name_;
   std::map<std::string, std::string> params_;
   util::Stopwatch watch_;
+  std::shared_ptr<telemetry::JsonlSink> sink_;
+  bool dump_metrics_ = false;
 };
 
 /// Step-schedule coefficient matched to the filter's output scale: filters
@@ -115,6 +118,9 @@ inline dgd::TrainerConfig make_config(std::size_t n, std::size_t f, const std::s
   cfg.iterations = iterations;
   cfg.seed = seed;
   cfg.trace_stride = 0;
+  // Sweeps run many configurations; keeping every iterate would cost
+  // O(T * d) per run for data nothing reads.
+  cfg.trace_estimates = false;
   return cfg;
 }
 

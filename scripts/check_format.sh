@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Checks that the C++ sources are clang-format clean (dry run, no edits).
+#
+#   scripts/check_format.sh
+#
+# Skips with exit 0 when clang-format is not installed, so the script is
+# safe to call unconditionally from CI recipes and pre-commit hooks on
+# machines without the toolchain.
+set -eu
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format.sh: clang-format not found, skipping"
+  exit 0
+fi
+
+FILES=$(find src tests bench examples -name '*.h' -o -name '*.cpp' 2>/dev/null)
+if [ -z "$FILES" ]; then
+  echo "check_format.sh: no sources found"
+  exit 0
+fi
+
+# shellcheck disable=SC2086
+clang-format --dry-run --Werror $FILES
+echo "format check passed ($(echo "$FILES" | wc -l) files)"

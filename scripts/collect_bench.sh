@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Collects the machine-readable BENCH_JSON summary lines that every bench
+# harness prints into one JSONL file per day.
+#
+#   scripts/collect_bench.sh log1.txt [log2.txt ...]   # from saved logs
+#   some_bench --threads 4 | scripts/collect_bench.sh  # from a pipe
+#
+# Each matching line has its "BENCH_JSON " prefix stripped and is appended
+# to BENCH_<YYYYMMDD>.json in the current directory, so repeated runs
+# accumulate and the file is directly loadable as JSON lines.
+set -eu
+
+OUT="BENCH_$(date +%Y%m%d).json"
+
+collect() {
+  # `|| true`: grep exits 1 when a log contains no BENCH_JSON lines, which
+  # is not an error for this script.
+  grep -h '^BENCH_JSON ' "$@" | sed 's/^BENCH_JSON //' || true
+}
+
+if [ "$#" -gt 0 ]; then
+  for f in "$@"; do
+    [ -r "$f" ] || { echo "collect_bench.sh: cannot read $f" >&2; exit 1; }
+  done
+  collect "$@" >> "$OUT"
+else
+  collect - >> "$OUT"
+fi
+
+echo "appended $(grep -c . "$OUT" || true) total line(s) in $OUT"

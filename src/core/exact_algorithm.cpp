@@ -1,6 +1,7 @@
 #include "core/exact_algorithm.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <map>
 #include <set>
@@ -9,6 +10,8 @@
 #include "core/aggregate_cost.h"
 #include "rng/rng.h"
 #include "runtime/runtime.h"
+#include "telemetry/events.h"
+#include "telemetry/metrics.h"
 #include "util/error.h"
 #include "util/subsets.h"
 
@@ -16,18 +19,50 @@ namespace redopt::core {
 
 namespace {
 
+/// Telemetry handles for one exact-algorithm run.  The inner-evaluation
+/// and cache-miss counts depend on the chunk-local pruning pattern (how
+/// early a candidate exits varies with the configured lane count), so
+/// they are registered kUnstable; runs and outer_candidates are exact.
+struct ExactMetrics {
+  telemetry::Counter runs;
+  telemetry::Counter outer_candidates;
+  telemetry::Counter inner_evaluations;
+  telemetry::Counter inner_cache_misses;
+
+  ExactMetrics() {
+    auto& reg = telemetry::registry();
+    runs = reg.counter("exact.runs");
+    outer_candidates = reg.counter("exact.outer_candidates");
+    inner_evaluations = reg.counter("exact.inner_evaluations", telemetry::Determinism::kUnstable);
+    inner_cache_misses = reg.counter("exact.inner_cache_misses", telemetry::Determinism::kUnstable);
+  }
+};
+
+/// Run-local evaluation counts.  Kept in atomics (not registry counters)
+/// while the parallel region is active because a run may itself execute
+/// inside an outer parallel region (the resilience sweep invokes the whole
+/// algorithm per worker), where reading registry counters back is illegal;
+/// the totals are flushed into the registry after the reduce returns.
+struct RunCounters {
+  std::atomic<std::uint64_t> inner_evaluations{0};
+  std::atomic<std::uint64_t> inner_cache_misses{0};
+};
+
 /// Memoizing argmin-set lookup for inner subsets.  One instance per chunk
 /// of outer candidates: lexicographically adjacent outers share most of
 /// their inner subsets, so chunk-local caches retain nearly all the reuse
 /// without any cross-thread sharing.
 class InnerCache {
  public:
-  InnerCache(const std::vector<CostPtr>& costs, const ArgminOptions& options)
-      : costs_(costs), options_(options) {}
+  InnerCache(const std::vector<CostPtr>& costs, const ArgminOptions& options,
+             RunCounters& counters)
+      : costs_(costs), options_(options), counters_(counters) {}
 
   const MinimizerSet& set_for(const std::vector<std::size_t>& subset) {
+    counters_.inner_evaluations.fetch_add(1, std::memory_order_relaxed);
     auto it = cache_.find(subset);
     if (it == cache_.end()) {
+      counters_.inner_cache_misses.fetch_add(1, std::memory_order_relaxed);
       it = cache_.emplace(subset, argmin_set(aggregate_subset(costs_, subset), options_)).first;
     }
     return it->second;
@@ -36,6 +71,7 @@ class InnerCache {
  private:
   const std::vector<CostPtr>& costs_;
   const ArgminOptions& options_;
+  RunCounters& counters_;
   std::map<std::vector<std::size_t>, MinimizerSet> cache_;
 };
 
@@ -97,12 +133,17 @@ ExactAlgorithmResult run_exact_algorithm(const std::vector<CostPtr>& received_co
     return true;
   });
 
+  const ExactMetrics metrics;
+  metrics.runs.inc();
+  metrics.outer_candidates.inc(outers.size());
+  RunCounters counters;
+
   const std::size_t chunks = ranking_chunks(outers.size());
   const RangeBest best = runtime::parallel_reduce(
       std::size_t{0}, chunks, RangeBest{},
       [&](std::size_t c) {
         const auto [lo, hi] = chunk_bounds(outers.size(), chunks, c);
-        InnerCache cache(received_costs, options);
+        InnerCache cache(received_costs, options, counters);
         RangeBest local;
         for (std::size_t k = lo; k < hi; ++k) {
           const auto& t = outers[k];
@@ -122,8 +163,23 @@ ExactAlgorithmResult run_exact_algorithm(const std::vector<CostPtr>& received_co
       },
       better);
 
+  const std::uint64_t inner_evaluations =
+      counters.inner_evaluations.load(std::memory_order_relaxed);
+  metrics.inner_evaluations.inc(inner_evaluations);
+  metrics.inner_cache_misses.inc(counters.inner_cache_misses.load(std::memory_order_relaxed));
+
   REDOPT_ASSERT(best.outer_index != std::numeric_limits<std::size_t>::max(),
                 "exact algorithm evaluated no subsets");
+  if (telemetry::tracing_enabled()) {
+    telemetry::emit(telemetry::Event("exact.run")
+                        .with("n", static_cast<std::uint64_t>(n))
+                        .with("f", static_cast<std::uint64_t>(f))
+                        .with("sampled", false)
+                        .with("outer_candidates", static_cast<std::uint64_t>(outers.size()))
+                        .with("chosen_rank", static_cast<std::uint64_t>(best.outer_index))
+                        .with("chosen_score", best.score)
+                        .with_nd("inner_evaluations", inner_evaluations));
+  }
   ExactAlgorithmResult result;
   result.output = best.output;
   result.chosen_set = best.chosen;
@@ -200,6 +256,11 @@ ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& rec
     outers.insert(outers.end(), distinct.begin(), distinct.end());
   }
 
+  const ExactMetrics metrics;
+  metrics.runs.inc();
+  metrics.outer_candidates.inc(outers.size());
+  RunCounters counters;
+
   // Inner-sampling streams are forked per outer candidate, so the drawn
   // inner subsets depend only on (seed, candidate position) — never on
   // evaluation order, pruning depth, or thread count.
@@ -208,7 +269,7 @@ ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& rec
       std::size_t{0}, chunks, RangeBest{},
       [&](std::size_t c) {
         const auto [lo, hi] = chunk_bounds(outers.size(), chunks, c);
-        InnerCache cache(received_costs, options);
+        InnerCache cache(received_costs, options, counters);
         RangeBest local;
         for (std::size_t k = lo; k < hi; ++k) {
           const auto& t = outers[k];
@@ -248,8 +309,23 @@ ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& rec
       },
       better);
 
+  const std::uint64_t inner_evaluations =
+      counters.inner_evaluations.load(std::memory_order_relaxed);
+  metrics.inner_evaluations.inc(inner_evaluations);
+  metrics.inner_cache_misses.inc(counters.inner_cache_misses.load(std::memory_order_relaxed));
+
   REDOPT_ASSERT(best.outer_index != std::numeric_limits<std::size_t>::max(),
                 "sampled exact algorithm evaluated no subsets");
+  if (telemetry::tracing_enabled()) {
+    telemetry::emit(telemetry::Event("exact.run")
+                        .with("n", static_cast<std::uint64_t>(n))
+                        .with("f", static_cast<std::uint64_t>(f))
+                        .with("sampled", true)
+                        .with("outer_candidates", static_cast<std::uint64_t>(outers.size()))
+                        .with("chosen_rank", static_cast<std::uint64_t>(best.outer_index))
+                        .with("chosen_score", best.score)
+                        .with_nd("inner_evaluations", inner_evaluations));
+  }
   ExactAlgorithmResult result;
   result.output = best.output;
   result.chosen_set = best.chosen;

@@ -3,7 +3,10 @@
 #include <deque>
 #include <limits>
 
+#include "filters/instrumented.h"
 #include "runtime/runtime.h"
+#include "telemetry/events.h"
+#include "telemetry/metrics.h"
 #include "util/error.h"
 
 namespace redopt::dgd {
@@ -55,6 +58,18 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
     return acc;
   };
 
+  filters::FilterPtr filter = base.filter;
+  if (telemetry::enabled()) filter = filters::instrument(filter, "async");
+  auto& reg = telemetry::registry();
+  const auto metric_iterations = reg.counter("async.iterations");
+  const auto norm_layout = telemetry::BucketLayout::exponential(1e-6, 10.0, 12);
+  const auto metric_direction_norm = reg.histogram("async.direction_norm", norm_layout);
+  const auto metric_step_norm = reg.histogram("async.step_norm", norm_layout);
+  // Staleness values are small integers, so the histogram's double sum is
+  // exact in any recording order — safe to observe inside the fan-out.
+  const auto metric_staleness = reg.histogram(
+      "async.staleness", telemetry::BucketLayout::linear(0.0, 1.0, 16));
+
   TrainResult result;
   auto record = [&](std::size_t t) {
     if (base.trace_stride == 0) return;
@@ -63,7 +78,7 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
     result.trace.loss.push_back(honest_loss(x));
     result.trace.distance.push_back(
         reference ? linalg::distance(x, *reference) : std::numeric_limits<double>::quiet_NaN());
-    result.trace.estimates.push_back(x);
+    if (base.trace_estimates) result.trace.estimates.push_back(x);
   };
 
   // Estimate history for staleness: history.front() is x^t, history[s] is
@@ -91,6 +106,7 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
       }
       const std::size_t available = history.size() - 1;
       staleness = std::min(staleness, available);
+      metric_staleness.observe(static_cast<double>(staleness));
       gradients[i] = problem.costs[i]->gradient(history[staleness]);
     });
     honest_gradients.clear();
@@ -113,10 +129,24 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
       REDOPT_REQUIRE(gradients[i].size() == d, "attack crafted a wrong-dimension vector");
     }
 
-    const linalg::Vector direction = base.filter->apply(gradients);
+    const linalg::Vector direction = filter->apply(gradients);
+    const linalg::Vector previous = x;
     x = base.projection->project(x - direction * base.schedule->step(t));
     history.push_front(x);
     while (history.size() > config.max_staleness + 1) history.pop_back();
+
+    metric_iterations.inc();
+    const double direction_norm = direction.norm();
+    const double step_norm = linalg::distance(x, previous);
+    metric_direction_norm.observe(direction_norm);
+    metric_step_norm.observe(step_norm);
+    if (telemetry::tracing_enabled()) {
+      telemetry::emit(telemetry::Event("async.iteration")
+                          .with("t", static_cast<std::int64_t>(t))
+                          .with("loss", honest_loss(x))
+                          .with("direction_norm", direction_norm)
+                          .with("step_norm", step_norm));
+    }
     record(t + 1);
   }
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "filters/instrumented.h"
 #include "runtime/runtime.h"
+#include "telemetry/events.h"
 #include "util/error.h"
 
 namespace redopt::dgd {
@@ -65,6 +67,17 @@ OnlineTrainer::OnlineTrainer(const core::MultiAgentProblem& problem,
   n_active_ = n;
   f_active_ = problem_.f;
   filter_ = config_.filter;
+  // The instrumentation shim re-derives each call's accept set, which for
+  // selection filters repeats the selection work — only pay for it when
+  // telemetry is switched on.
+  if (telemetry::enabled()) filter_ = filters::instrument(filter_, "dgd");
+
+  auto& reg = telemetry::registry();
+  metric_iterations_ = reg.counter("dgd.iterations");
+  metric_eliminations_ = reg.counter("dgd.eliminations");
+  const auto norm_layout = telemetry::BucketLayout::exponential(1e-6, 10.0, 12);
+  metric_direction_norm_ = reg.histogram("dgd.direction_norm", norm_layout);
+  metric_step_norm_ = reg.histogram("dgd.step_norm", norm_layout);
 }
 
 double OnlineTrainer::honest_loss() const {
@@ -94,6 +107,7 @@ linalg::Vector OnlineTrainer::step() {
 
   // Byzantine replies: first decide who responds at all, then craft.
   bool eliminated_this_round = false;
+  std::uint64_t eliminated_round_count = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (!active_[i] || !is_byzantine_[i]) continue;
     const linalg::Vector true_gradient = problem_.costs[i]->gradient(x_);
@@ -114,6 +128,7 @@ linalg::Vector OnlineTrainer::step() {
       if (f_active_ > 0) --f_active_;
       eliminated_agents_.push_back(i);
       eliminated_this_round = true;
+      ++eliminated_round_count;
     }
   }
   if (eliminated_this_round) {
@@ -123,6 +138,7 @@ linalg::Vector OnlineTrainer::step() {
     filter_ = config_.filter_factory(n_active_, f_active_);
     REDOPT_REQUIRE(filter_ != nullptr && filter_->expected_inputs() == n_active_,
                    "filter_factory produced an unusable filter");
+    if (telemetry::enabled()) filter_ = filters::instrument(filter_, "dgd");
   }
 
   // Collect the round's gradients from the still-active agents, in
@@ -152,8 +168,26 @@ linalg::Vector OnlineTrainer::step() {
 
   // S2: filter and projected update.
   linalg::Vector direction = filter_->apply(gradients);
+  const linalg::Vector previous = x_;
   x_ = config_.projection->project(x_ - direction * config_.schedule->step(t));
   ++iteration_;
+
+  metric_iterations_.inc();
+  if (eliminated_this_round) {
+    metric_eliminations_.inc(eliminated_round_count);
+  }
+  const double direction_norm = direction.norm();
+  const double step_norm = linalg::distance(x_, previous);
+  metric_direction_norm_.observe(direction_norm);
+  metric_step_norm_.observe(step_norm);
+  if (telemetry::tracing_enabled()) {
+    telemetry::emit(telemetry::Event("dgd.iteration")
+                        .with("t", static_cast<std::int64_t>(t))
+                        .with("loss", honest_loss())
+                        .with("direction_norm", direction_norm)
+                        .with("step_norm", step_norm)
+                        .with("eliminated", static_cast<std::int64_t>(eliminated_round_count)));
+  }
   return direction;
 }
 
@@ -179,7 +213,7 @@ TrainResult train(const core::MultiAgentProblem& problem,
     result.trace.distance.push_back(reference
                                         ? linalg::distance(trainer.estimate(), *reference)
                                         : std::numeric_limits<double>::quiet_NaN());
-    result.trace.estimates.push_back(trainer.estimate());
+    if (config.trace_estimates) result.trace.estimates.push_back(trainer.estimate());
   };
 
   record(0);

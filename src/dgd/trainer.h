@@ -25,6 +25,7 @@
 #include "dgd/schedule.h"
 #include "filters/gradient_filter.h"
 #include "rng/rng.h"
+#include "telemetry/metrics.h"
 
 namespace redopt::dgd {
 
@@ -36,6 +37,10 @@ struct TrainerConfig {
   std::size_t iterations = 500;   ///< number of update steps
   linalg::Vector x0;              ///< initial estimate; empty = origin
   std::size_t trace_stride = 1;   ///< record every k-th iterate (0 = no trace)
+  /// Keep the traced iterates x^t in Trace::estimates.  Loss/distance
+  /// traces cost O(T) doubles, but estimates cost O(T * d) — sweeps over
+  /// many configurations should switch this off and keep only the scalars.
+  bool trace_estimates = true;
   std::uint64_t seed = 1;         ///< seeds the attack randomness
 
   /// Rebuilds the gradient-filter after an agent is eliminated (paper step
@@ -113,6 +118,13 @@ class OnlineTrainer {
   std::size_t f_active_;
   filters::FilterPtr filter_;
   std::vector<std::size_t> eliminated_agents_;
+
+  // Telemetry handles (registered at construction — serial context — so
+  // step() only performs record operations).
+  telemetry::Counter metric_iterations_;
+  telemetry::Counter metric_eliminations_;
+  telemetry::Histogram metric_direction_norm_;
+  telemetry::Histogram metric_step_norm_;
 };
 
 /// Runs DGD on @p problem with the given Byzantine agents and fault

@@ -13,26 +13,40 @@ BulyanFilter::BulyanFilter(std::size_t n, std::size_t f) : n_(n), f_(f) {
   REDOPT_REQUIRE(n >= 4 * f + 3, "Bulyan requires n >= 4f + 3");
 }
 
+std::vector<std::size_t> BulyanFilter::select_indices(const std::vector<Vector>& gradients) const {
+  // Stage 1: iterative Krum selection of theta gradients.  Reuse Krum by
+  // shrinking the candidate pool; the fault budget f stays fixed.
+  // krum_select tolerates pools below f + 3 in the final rounds (it
+  // degrades to nearest-neighbour there).
+  const std::size_t theta = n_ - 2 * f_;
+  std::vector<bool> active(n_, true);
+  std::vector<std::size_t> picks;
+  picks.reserve(theta);
+  for (std::size_t round = 0; round < theta; ++round) {
+    const std::size_t pick = krum_select(gradients, active, f_);
+    picks.push_back(pick);
+    active[pick] = false;
+  }
+  return picks;
+}
+
+std::vector<std::size_t> BulyanFilter::accepted_inputs(
+    const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "bulyan");
+  std::vector<std::size_t> picks = select_indices(gradients);
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
+
 Vector BulyanFilter::apply(const std::vector<Vector>& gradients) const {
   detail::check_inputs(gradients, n_, "bulyan");
   const std::size_t d = gradients.front().size();
   const std::size_t theta = n_ - 2 * f_;
   const std::size_t beta = theta - 2 * f_;
 
-  // Stage 1: iterative Krum selection of theta gradients.  Reuse Krum by
-  // shrinking the candidate pool; the fault budget f stays fixed.
   std::vector<Vector> selected;
   selected.reserve(theta);
-  {
-    // Shrink a shared active mask; krum_select tolerates pools below
-    // f + 3 in the final rounds (it degrades to nearest-neighbour there).
-    std::vector<bool> active(n_, true);
-    for (std::size_t round = 0; round < theta; ++round) {
-      const std::size_t pick = krum_select(gradients, active, f_);
-      selected.push_back(gradients[pick]);
-      active[pick] = false;
-    }
-  }
+  for (std::size_t pick : select_indices(gradients)) selected.push_back(gradients[pick]);
 
   // Stage 2: per coordinate, average the beta values closest to the median
   // of the selected set.

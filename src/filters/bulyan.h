@@ -19,7 +19,16 @@ class BulyanFilter final : public GradientFilter {
   std::string name() const override { return "bulyan"; }
   std::size_t expected_inputs() const override { return n_; }
 
+  /// The theta = n - 2f gradients picked by stage 1, in ascending index
+  /// order.  Stage 2's coordinate-wise trimming mixes values from the
+  /// selected set, so the selection stage is the meaningful accept set.
+  std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override;
+
  private:
+  /// Stage-1 iterative Krum selection, in pick order (shared by apply and
+  /// accepted_inputs).
+  std::vector<std::size_t> select_indices(const std::vector<Vector>& gradients) const;
+
   std::size_t n_;
   std::size_t f_;
 };

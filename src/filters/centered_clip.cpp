@@ -39,4 +39,14 @@ Vector CenteredClipFilter::apply(const std::vector<Vector>& gradients) const {
   return v;
 }
 
+std::vector<std::size_t> CenteredClipFilter::accepted_inputs(
+    const std::vector<Vector>& gradients) const {
+  const Vector v = apply(gradients);
+  std::vector<std::size_t> accepted;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if ((gradients[i] - v).norm() <= tau_) accepted.push_back(i);
+  }
+  return accepted;
+}
+
 }  // namespace redopt::filters

@@ -29,6 +29,11 @@ class CenteredClipFilter final : public GradientFilter {
   std::string name() const override { return "cclip"; }
   std::size_t expected_inputs() const override { return n_; }
 
+  /// Inputs whose deviation from the final center lies within the clipping
+  /// radius (they enter the last averaging step unclipped).  Clipping never
+  /// discards a gradient outright, so "rejected" here means "attenuated".
+  std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override;
+
  private:
   std::size_t n_;
   double tau_;

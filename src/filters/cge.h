@@ -28,6 +28,11 @@ class CgeFilter final : public GradientFilter {
   /// for the elimination-trace diagnostics.
   std::vector<std::size_t> surviving_indices(const std::vector<Vector>& gradients) const;
 
+  /// The CGE survivors — the set the telemetry shim counts.
+  std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override {
+    return surviving_indices(gradients);
+  }
+
  private:
   std::size_t n_;
   std::size_t f_;

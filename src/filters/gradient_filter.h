@@ -39,6 +39,15 @@ class GradientFilter {
 
   /// Number of gradients the filter expects per call.
   virtual std::size_t expected_inputs() const = 0;
+
+  /// Indices of the inputs that contribute to the output for this call —
+  /// the accept/reject decision the telemetry shim records.  Selection
+  /// filters override this (CGE: norm survivors; Krum/Bulyan/MDA: the
+  /// selected set; CWTM: per-coordinate survivor union; clipping filters:
+  /// the unclipped inputs).  Filters where every input keeps positive
+  /// influence (mean, sum, medians, geometric median, GMoM) use this
+  /// default: all indices, ascending.
+  virtual std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const;
 };
 
 using FilterPtr = std::shared_ptr<const GradientFilter>;

@@ -1,0 +1,60 @@
+#include "filters/instrumented.h"
+
+#include <utility>
+
+#include "telemetry/metrics.h"
+#include "util/error.h"
+
+namespace redopt::filters {
+
+namespace {
+
+class InstrumentedFilter final : public GradientFilter {
+ public:
+  InstrumentedFilter(FilterPtr inner, const std::string& scope) : inner_(std::move(inner)) {
+    REDOPT_REQUIRE(inner_ != nullptr, "instrument: null filter");
+    auto& reg = telemetry::registry();
+    const std::string prefix = scope + ".filter." + inner_->name() + ".";
+    gradient_norm_ = reg.histogram(prefix + "gradient_norm",
+                                   telemetry::BucketLayout::exponential(1e-6, 10.0, 12));
+    accepted_total_ = reg.counter(prefix + "accepted_total");
+    rejected_total_ = reg.counter(prefix + "rejected_total");
+    const std::size_t n = inner_->expected_inputs();
+    agent_accepts_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      agent_accepts_.push_back(reg.counter(prefix + "accept.agent_" + std::to_string(i)));
+    }
+  }
+
+  Vector apply(const std::vector<Vector>& gradients) const override {
+    for (const auto& g : gradients) gradient_norm_.observe(g.norm());
+    const std::vector<std::size_t> accepted = inner_->accepted_inputs(gradients);
+    accepted_total_.inc(accepted.size());
+    rejected_total_.inc(gradients.size() - accepted.size());
+    for (std::size_t i : accepted) {
+      if (i < agent_accepts_.size()) agent_accepts_[i].inc();
+    }
+    return inner_->apply(gradients);
+  }
+
+  std::string name() const override { return inner_->name(); }
+  std::size_t expected_inputs() const override { return inner_->expected_inputs(); }
+  std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override {
+    return inner_->accepted_inputs(gradients);
+  }
+
+ private:
+  FilterPtr inner_;
+  telemetry::Histogram gradient_norm_;
+  telemetry::Counter accepted_total_;
+  telemetry::Counter rejected_total_;
+  std::vector<telemetry::Counter> agent_accepts_;
+};
+
+}  // namespace
+
+FilterPtr instrument(FilterPtr inner, const std::string& scope) {
+  return std::make_shared<const InstrumentedFilter>(std::move(inner), scope);
+}
+
+}  // namespace redopt::filters

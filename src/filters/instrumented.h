@@ -1,0 +1,26 @@
+// Telemetry shim shared by every gradient filter.
+//
+// instrument() wraps a filter in a decorator that records, per apply() call:
+//   <scope>.filter.<name>.gradient_norm     histogram of input gradient norms
+//   <scope>.filter.<name>.accepted_total    counter, sum of |accepted_inputs|
+//   <scope>.filter.<name>.rejected_total    counter, n - |accepted_inputs|
+//   <scope>.filter.<name>.accept.agent_<i>  counter per input slot i
+// and then delegates to the wrapped filter unchanged.  The wrapper is a
+// pure pass-through for name(), expected_inputs(), and accepted_inputs(),
+// so instrumenting a filter never changes trainer behaviour.
+//
+// Metric handles are registered at wrap time (serial context), so apply()
+// itself only performs record operations and stays safe inside the
+// deterministic parallel runtime.
+#pragma once
+
+#include "filters/gradient_filter.h"
+
+namespace redopt::filters {
+
+/// Wraps @p inner with the telemetry decorator.  @p scope prefixes the
+/// metric names (e.g. "dgd" -> "dgd.filter.cge.accepted_total") so the
+/// same filter class can be distinguished across trainers.
+FilterPtr instrument(FilterPtr inner, const std::string& scope);
+
+}  // namespace redopt::filters

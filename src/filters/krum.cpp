@@ -81,14 +81,24 @@ MultiKrumFilter::MultiKrumFilter(std::size_t n, std::size_t f, std::size_t m)
 
 Vector MultiKrumFilter::apply(const std::vector<Vector>& gradients) const {
   detail::check_inputs(gradients, n_, "multikrum");
-  std::vector<bool> active(n_, true);
   Vector acc(gradients.front().size());
+  for (std::size_t pick : accepted_inputs(gradients)) acc += gradients[pick];
+  return acc / static_cast<double>(m_);
+}
+
+std::vector<std::size_t> MultiKrumFilter::accepted_inputs(
+    const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "multikrum");
+  std::vector<bool> active(n_, true);
+  std::vector<std::size_t> picks;
+  picks.reserve(m_);
   for (std::size_t round = 0; round < m_; ++round) {
     const std::size_t pick = krum_select(gradients, active, f_);
-    acc += gradients[pick];
+    picks.push_back(pick);
     active[pick] = false;
   }
-  return acc / static_cast<double>(m_);
+  std::sort(picks.begin(), picks.end());
+  return picks;
 }
 
 }  // namespace redopt::filters

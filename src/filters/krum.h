@@ -32,6 +32,11 @@ class KrumFilter final : public GradientFilter {
   /// Index selected by the Krum rule (exposed for tests).
   std::size_t select(const std::vector<Vector>& gradients) const;
 
+  /// The single selected gradient.
+  std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override {
+    return {select(gradients)};
+  }
+
  private:
   std::size_t n_;
   std::size_t f_;
@@ -45,6 +50,9 @@ class MultiKrumFilter final : public GradientFilter {
   Vector apply(const std::vector<Vector>& gradients) const override;
   std::string name() const override { return "multikrum"; }
   std::size_t expected_inputs() const override { return n_; }
+
+  /// The m iteratively-selected gradients, in ascending index order.
+  std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override;
 
  private:
   std::size_t n_;

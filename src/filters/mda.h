@@ -28,6 +28,11 @@ class MdaFilter final : public GradientFilter {
   /// gradients; exposed for tests.
   std::vector<std::size_t> select(const std::vector<Vector>& gradients) const;
 
+  /// The minimum-diameter subset — MDA averages exactly these inputs.
+  std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override {
+    return select(gradients);
+  }
+
  private:
   std::size_t n_;
   std::size_t f_;

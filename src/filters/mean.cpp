@@ -1,8 +1,17 @@
 #include "filters/mean.h"
 
+#include <numeric>
+
 #include "util/error.h"
 
 namespace redopt::filters {
+
+std::vector<std::size_t> GradientFilter::accepted_inputs(
+    const std::vector<Vector>& gradients) const {
+  std::vector<std::size_t> all(gradients.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return all;
+}
 
 namespace detail {
 

@@ -13,18 +13,20 @@ NormClipFilter::NormClipFilter(std::size_t n, std::size_t f, double tau, bool ad
   REDOPT_REQUIRE(adaptive || tau > 0.0, "clipping radius must be positive");
 }
 
+double NormClipFilter::effective_tau(const std::vector<Vector>& gradients) const {
+  if (!adaptive_) return tau_;
+  // Clip at the (n - f)-th smallest norm: Byzantine gradients cannot
+  // raise the threshold above the largest honest norm.
+  std::vector<double> norms(n_);
+  for (std::size_t i = 0; i < n_; ++i) norms[i] = gradients[i].norm();
+  std::nth_element(norms.begin(), norms.begin() + static_cast<std::ptrdiff_t>(n_ - f_ - 1),
+                   norms.end());
+  return norms[n_ - f_ - 1];
+}
+
 Vector NormClipFilter::apply(const std::vector<Vector>& gradients) const {
   detail::check_inputs(gradients, n_, "normclip");
-  double tau = tau_;
-  if (adaptive_) {
-    // Clip at the (n - f)-th smallest norm: Byzantine gradients cannot
-    // raise the threshold above the largest honest norm.
-    std::vector<double> norms(n_);
-    for (std::size_t i = 0; i < n_; ++i) norms[i] = gradients[i].norm();
-    std::nth_element(norms.begin(), norms.begin() + static_cast<std::ptrdiff_t>(n_ - f_ - 1),
-                     norms.end());
-    tau = norms[n_ - f_ - 1];
-  }
+  const double tau = effective_tau(gradients);
   Vector acc(gradients.front().size());
   for (const auto& g : gradients) {
     const double norm = g.norm();
@@ -35,6 +37,17 @@ Vector NormClipFilter::apply(const std::vector<Vector>& gradients) const {
     }
   }
   return acc / static_cast<double>(n_);
+}
+
+std::vector<std::size_t> NormClipFilter::accepted_inputs(
+    const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "normclip");
+  const double tau = effective_tau(gradients);
+  std::vector<std::size_t> accepted;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (gradients[i].norm() <= tau) accepted.push_back(i);
+  }
+  return accepted;
 }
 
 }  // namespace redopt::filters

@@ -21,7 +21,15 @@ class NormClipFilter final : public GradientFilter {
   std::string name() const override { return adaptive_ ? "normclip_adaptive" : "normclip"; }
   std::size_t expected_inputs() const override { return n_; }
 
+  /// Inputs whose norm is within the (possibly adaptive) clipping radius;
+  /// the rest are rescaled, not dropped.
+  std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override;
+
  private:
+  /// The effective radius for this call (tau_, or the (n - f)-th smallest
+  /// input norm in adaptive mode).
+  double effective_tau(const std::vector<Vector>& gradients) const;
+
   std::size_t n_;
   std::size_t f_;
   double tau_;

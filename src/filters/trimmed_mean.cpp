@@ -1,6 +1,7 @@
 #include "filters/trimmed_mean.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/error.h"
 
@@ -23,6 +24,26 @@ Vector CwtmFilter::apply(const std::vector<Vector>& gradients) const {
     out[k] = acc / static_cast<double>(n_ - 2 * f_);
   }
   return out;
+}
+
+std::vector<std::size_t> CwtmFilter::accepted_inputs(const std::vector<Vector>& gradients) const {
+  detail::check_inputs(gradients, n_, "cwtm");
+  const std::size_t d = gradients.front().size();
+  std::vector<bool> survives(n_, false);
+  std::vector<std::size_t> order(n_);
+  for (std::size_t k = 0; k < d; ++k) {
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (gradients[a][k] != gradients[b][k]) return gradients[a][k] < gradients[b][k];
+      return a < b;
+    });
+    for (std::size_t i = f_; i < n_ - f_; ++i) survives[order[i]] = true;
+  }
+  std::vector<std::size_t> accepted;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (survives[i]) accepted.push_back(i);
+  }
+  return accepted;
 }
 
 CwMedianFilter::CwMedianFilter(std::size_t n) : n_(n) {

@@ -22,6 +22,10 @@ class CwtmFilter final : public GradientFilter {
   std::string name() const override { return "cwtm"; }
   std::size_t expected_inputs() const override { return n_; }
 
+  /// Agents whose value survives trimming in at least one coordinate
+  /// (ties broken by agent index, matching a stable per-coordinate sort).
+  std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override;
+
  private:
   std::size_t n_;
   std::size_t f_;

@@ -61,7 +61,7 @@ P2pResult run_p2p_protocol(const core::MultiAgentProblem& problem,
     result.train.trace.distance.push_back(
         reference ? linalg::distance(estimates[lead], *reference)
                   : std::numeric_limits<double>::quiet_NaN());
-    result.train.trace.estimates.push_back(estimates[lead]);
+    if (config.trace_estimates) result.train.trace.estimates.push_back(estimates[lead]);
   };
 
   record(0);

@@ -234,7 +234,7 @@ ServerProtocolResult run_server_protocol(const core::MultiAgentProblem& problem,
     result.train.trace.distance.push_back(reference
                                               ? linalg::distance(server.estimate(), *reference)
                                               : std::numeric_limits<double>::quiet_NaN());
-    result.train.trace.estimates.push_back(server.estimate());
+    if (config.trace_estimates) result.train.trace.estimates.push_back(server.estimate());
   };
 
   record(0);

@@ -2,37 +2,91 @@
 
 #include <algorithm>
 
+#include "telemetry/events.h"
 #include "util/error.h"
 
 namespace redopt::net {
 
-SyncNetwork::SyncNetwork(std::vector<Node*> nodes) : nodes_(std::move(nodes)) {
+SyncNetwork::SyncNetwork(std::vector<Node*> nodes, LinkFaults faults)
+    : nodes_(std::move(nodes)), faults_(faults), fault_rng_(faults.seed) {
   REDOPT_REQUIRE(!nodes_.empty(), "network needs at least one node");
   for (const Node* n : nodes_) REDOPT_REQUIRE(n != nullptr, "network node is null");
+  REDOPT_REQUIRE(faults_.drop_probability >= 0.0 && faults_.drop_probability <= 1.0,
+                 "drop probability must lie in [0, 1]");
+
+  auto& reg = telemetry::registry();
+  metric_rounds_ = reg.counter("net.rounds");
+  metric_sent_ = reg.counter("net.messages_sent");
+  metric_delivered_ = reg.counter("net.messages_delivered");
+  metric_dropped_ = reg.counter("net.messages_dropped");
+  metric_delayed_ = reg.counter("net.messages_delayed");
+  metric_scalars_ = reg.counter("net.scalars_transferred");
 }
 
 std::size_t SyncNetwork::run_round() {
   const std::size_t n = nodes_.size();
 
-  // Partition in-flight messages into per-node inboxes; broadcasts fan out
-  // to every node except the sender.
   std::vector<std::vector<Message>> inboxes(n);
   std::size_t delivered = 0;
-  for (const Message& m : in_flight_) {
+  std::uint64_t dropped = 0;
+  std::uint64_t delayed = 0;
+  auto deliver = [&](Message m) {
+    stats_.scalars_transferred += m.payload.size();
+    metric_scalars_.inc(m.payload.size());
+    inboxes[m.to].push_back(std::move(m));
+    ++delivered;
+  };
+
+  // Delayed messages whose round has come are delivered first; they carry
+  // their original sender id, so the per-inbox stable sort below still
+  // yields a deterministic delivery order.
+  if (!pending_.empty()) {
+    std::vector<Delayed> still_pending;
+    still_pending.reserve(pending_.size());
+    for (auto& p : pending_) {
+      if (p.deliver_round <= round_) {
+        deliver(std::move(p.message));
+      } else {
+        still_pending.push_back(std::move(p));
+      }
+    }
+    pending_ = std::move(still_pending);
+  }
+
+  // Expand in-flight messages into per-recipient deliveries (broadcasts
+  // fan out to every node except the sender) and apply the fault model to
+  // each delivery independently, in expansion order.
+  auto route = [&](Message m) {
+    REDOPT_REQUIRE(m.to < n, "message addressed to unknown node");
+    ++stats_.messages_sent;
+    metric_sent_.inc();
+    if (faults_.drop_probability > 0.0 && fault_rng_.uniform() < faults_.drop_probability) {
+      ++stats_.messages_dropped;
+      ++dropped;
+      return;
+    }
+    if (faults_.max_delay > 0) {
+      const auto delay = static_cast<std::size_t>(
+          fault_rng_.uniform_int(0, static_cast<std::int64_t>(faults_.max_delay)));
+      if (delay > 0) {
+        ++stats_.messages_delayed;
+        ++delayed;
+        pending_.push_back(Delayed{std::move(m), round_ + delay});
+        return;
+      }
+    }
+    deliver(std::move(m));
+  };
+  for (Message& m : in_flight_) {
     if (m.to == kBroadcast) {
       for (std::size_t i = 0; i < n; ++i) {
         if (i == m.from) continue;
         Message copy = m;
         copy.to = i;
-        inboxes[i].push_back(std::move(copy));
-        ++delivered;
-        stats_.scalars_transferred += m.payload.size();
+        route(std::move(copy));
       }
     } else {
-      REDOPT_REQUIRE(m.to < n, "message addressed to unknown node");
-      stats_.scalars_transferred += m.payload.size();
-      inboxes[m.to].push_back(m);
-      ++delivered;
+      route(std::move(m));
     }
   }
   in_flight_.clear();
@@ -56,6 +110,17 @@ std::size_t SyncNetwork::run_round() {
   ++round_;
   ++stats_.rounds;
   stats_.messages_delivered += delivered;
+  metric_rounds_.inc();
+  metric_delivered_.inc(delivered);
+  metric_dropped_.inc(dropped);
+  metric_delayed_.inc(delayed);
+  if (telemetry::tracing_enabled()) {
+    telemetry::emit(telemetry::Event("net.round")
+                        .with("round", static_cast<std::uint64_t>(round_ - 1))
+                        .with("delivered", static_cast<std::uint64_t>(delivered))
+                        .with("dropped", dropped)
+                        .with("delayed", delayed));
+  }
   return delivered;
 }
 

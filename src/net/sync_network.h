@@ -1,30 +1,49 @@
-// Lossless synchronous round-based network simulation.
+// Synchronous round-based network simulation, lossless by default.
 //
 // Drives a fixed set of Nodes: each round, every node receives the messages
 // addressed to it (or broadcast) in the previous round and emits messages
 // for the next round.  Delivery order within a round is deterministic
 // (sorted by sender id, then emission order), so protocol executions are
 // bit-reproducible.
+//
+// An optional LinkFaults model makes links lossy: each per-recipient
+// delivery is independently dropped or delayed, with draws taken from a
+// dedicated deterministic stream in delivery-expansion order (message
+// emission order, recipients ascending for broadcasts) — so a faulty
+// execution is just as reproducible as a lossless one.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "net/node.h"
+#include "rng/rng.h"
+#include "telemetry/metrics.h"
 
 namespace redopt::net {
 
 /// Traffic counters, for the message-complexity benches.
 struct NetworkStats {
   std::uint64_t rounds = 0;
+  std::uint64_t messages_sent = 0;  ///< per-recipient deliveries attempted
   std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t messages_delayed = 0;
   std::uint64_t scalars_transferred = 0;  ///< total payload entries delivered
+};
+
+/// Opt-in lossy-link model.  The default (both fields zero) consumes no
+/// randomness and reproduces the lossless network exactly.
+struct LinkFaults {
+  double drop_probability = 0.0;  ///< in [0, 1]; per per-recipient delivery
+  std::size_t max_delay = 0;      ///< extra rounds, drawn uniformly from [0, max_delay]
+  std::uint64_t seed = 1;         ///< seeds the fault stream
 };
 
 class SyncNetwork {
  public:
   /// The network does not own the nodes; node i has id i.
-  explicit SyncNetwork(std::vector<Node*> nodes);
+  explicit SyncNetwork(std::vector<Node*> nodes, LinkFaults faults = {});
 
   /// Executes one synchronous round; returns the number of messages
   /// delivered in it.
@@ -38,10 +57,26 @@ class SyncNetwork {
   std::size_t current_round() const { return round_; }
 
  private:
+  struct Delayed {
+    Message message;
+    std::size_t deliver_round;
+  };
+
   std::vector<Node*> nodes_;
   std::vector<Message> in_flight_;  ///< sent last round, delivered next
+  std::vector<Delayed> pending_;   ///< delayed by the fault model
   std::size_t round_ = 0;
   NetworkStats stats_;
+  LinkFaults faults_;
+  rng::Rng fault_rng_;
+
+  // Telemetry handles (registered at construction).
+  telemetry::Counter metric_rounds_;
+  telemetry::Counter metric_sent_;
+  telemetry::Counter metric_delivered_;
+  telemetry::Counter metric_dropped_;
+  telemetry::Counter metric_delayed_;
+  telemetry::Counter metric_scalars_;
 };
 
 }  // namespace redopt::net

@@ -3,8 +3,11 @@
 #include <cmath>
 #include <limits>
 
+#include "filters/instrumented.h"
 #include "runtime/runtime.h"
 #include "sgd/empirical_cost.h"
+#include "telemetry/events.h"
+#include "telemetry/metrics.h"
 #include "util/error.h"
 
 namespace redopt::sgd {
@@ -64,6 +67,14 @@ dgd::TrainResult train_sgd(const core::MultiAgentProblem& problem,
     return problem.costs[i]->gradient(at);
   };
 
+  filters::FilterPtr filter = base.filter;
+  if (telemetry::enabled()) filter = filters::instrument(filter, "sgd");
+  auto& reg = telemetry::registry();
+  const auto metric_iterations = reg.counter("sgd.iterations");
+  const auto norm_layout = telemetry::BucketLayout::exponential(1e-6, 10.0, 12);
+  const auto metric_direction_norm = reg.histogram("sgd.direction_norm", norm_layout);
+  const auto metric_step_norm = reg.histogram("sgd.step_norm", norm_layout);
+
   dgd::TrainResult result;
   auto record = [&](std::size_t t) {
     if (base.trace_stride == 0) return;
@@ -72,7 +83,7 @@ dgd::TrainResult train_sgd(const core::MultiAgentProblem& problem,
     result.trace.loss.push_back(honest_loss(x));
     result.trace.distance.push_back(
         reference ? linalg::distance(x, *reference) : std::numeric_limits<double>::quiet_NaN());
-    result.trace.estimates.push_back(x);
+    if (base.trace_estimates) result.trace.estimates.push_back(x);
   };
 
   record(0);
@@ -106,12 +117,26 @@ dgd::TrainResult train_sgd(const core::MultiAgentProblem& problem,
       REDOPT_REQUIRE(gradients[i].size() == d, "attack crafted a wrong-dimension vector");
     }
 
-    const linalg::Vector direction = base.filter->apply(gradients);
+    const linalg::Vector direction = filter->apply(gradients);
+    const linalg::Vector previous = x;
     if (config.momentum > 0.0) {
       velocity = velocity * config.momentum + direction;
       x = base.projection->project(x - velocity * base.schedule->step(t));
     } else {
       x = base.projection->project(x - direction * base.schedule->step(t));
+    }
+
+    metric_iterations.inc();
+    const double direction_norm = direction.norm();
+    const double step_norm = linalg::distance(x, previous);
+    metric_direction_norm.observe(direction_norm);
+    metric_step_norm.observe(step_norm);
+    if (telemetry::tracing_enabled()) {
+      telemetry::emit(telemetry::Event("sgd.iteration")
+                          .with("t", static_cast<std::int64_t>(t))
+                          .with("loss", honest_loss(x))
+                          .with("direction_norm", direction_norm)
+                          .with("step_norm", step_norm));
     }
     record(t + 1);
   }

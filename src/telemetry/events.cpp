@@ -1,0 +1,169 @@
+#include "telemetry/events.h"
+
+#include <atomic>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace redopt::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_has_sinks{false};
+std::mutex g_sink_mutex;
+std::vector<std::shared_ptr<EventSink>>& sinks() {
+  static std::vector<std::shared_ptr<EventSink>> instance;
+  return instance;
+}
+
+void append_value(std::ostringstream& os, const Value& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    os << *i;
+  } else if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+    os << *u;
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    os << util::json_number(*d);
+  } else if (const auto* b = std::get_if<bool>(&value)) {
+    os << (*b ? "true" : "false");
+  } else {
+    os << '"' << util::json_escape(std::get<std::string>(value)) << '"';
+  }
+}
+
+void append_fields(std::ostringstream& os, const std::vector<std::pair<std::string, Value>>& fields) {
+  os << '{';
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << util::json_escape(key) << "\":";
+    append_value(os, value);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+struct JsonlSink::Impl {
+  std::ofstream out;
+};
+
+JsonlSink::JsonlSink(const std::string& path) : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path, std::ios::out | std::ios::trunc);
+  REDOPT_REQUIRE(impl_->out.is_open(), "cannot open telemetry JSONL file: " + path);
+}
+
+JsonlSink::~JsonlSink() = default;
+
+std::string JsonlSink::to_json(const Event& event) {
+  std::ostringstream os;
+  os << "{\"event\":\"" << util::json_escape(event.name) << "\",\"fields\":";
+  append_fields(os, event.fields);
+  if (!event.nd_fields.empty()) {
+    os << ",\"nd\":";
+    append_fields(os, event.nd_fields);
+  }
+  os << '}';
+  return os.str();
+}
+
+void JsonlSink::emit(const Event& event) { impl_->out << to_json(event) << '\n'; }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool tracing_enabled() { return enabled() && g_has_sinks.load(std::memory_order_relaxed); }
+
+void add_sink(std::shared_ptr<EventSink> sink) {
+  REDOPT_REQUIRE(sink != nullptr, "cannot attach a null telemetry sink");
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sinks().push_back(std::move(sink));
+  g_has_sinks.store(true, std::memory_order_relaxed);
+}
+
+void remove_sink(const EventSink* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  auto& list = sinks();
+  for (auto it = list.begin(); it != list.end(); ++it) {
+    if (it->get() == sink) {
+      list.erase(it);
+      break;
+    }
+  }
+  g_has_sinks.store(!list.empty(), std::memory_order_relaxed);
+}
+
+void clear_sinks() {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sinks().clear();
+  g_has_sinks.store(false, std::memory_order_relaxed);
+}
+
+void emit(const Event& event) {
+  if (!tracing_enabled()) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  for (const auto& sink : sinks()) sink->emit(event);
+}
+
+void emit_metrics_snapshot(const Snapshot& snapshot) {
+  for (const MetricValue& m : snapshot) {
+    Event event("metric");
+    event.with("name", m.name);
+    const bool stable = m.determinism == Determinism::kStable;
+    auto put = [&](std::string key, Value value) {
+      if (stable) {
+        event.with(std::move(key), std::move(value));
+      } else {
+        event.with_nd(std::move(key), std::move(value));
+      }
+    };
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        event.with("kind", std::string("counter"));
+        put("value", m.counter);
+        break;
+      case MetricValue::Kind::kGauge:
+        event.with("kind", std::string("gauge"));
+        put("value", m.gauge);
+        break;
+      case MetricValue::Kind::kHistogram: {
+        event.with("kind", std::string("histogram"));
+        put("count", m.count);
+        if (m.count > 0) {
+          put("sum", m.sum);
+          put("min", m.min);
+          put("max", m.max);
+        }
+        // Buckets as parallel field lists keeps the line flat (the JSONL
+        // writer has no nested-array support and does not need it).
+        for (std::size_t b = 0; b < m.upper_bounds.size(); ++b) {
+          if (m.bucket_counts[b] == 0) continue;
+          put("le_" + util::json_number(m.upper_bounds[b]), m.bucket_counts[b]);
+        }
+        if (m.overflow_count > 0) put("le_inf", m.overflow_count);
+        break;
+      }
+    }
+    emit(event);
+  }
+}
+
+Scope::Scope(const std::string& name) : active_(enabled()) {
+  if (!active_) return;
+  calls_ = registry().counter(name + ".calls");
+  seconds_ = registry().histogram(name + ".seconds",
+                                  BucketLayout::exponential(1e-6, 10.0, 9), Determinism::kUnstable);
+}
+
+Scope::~Scope() {
+  if (!active_) return;
+  calls_.inc();
+  seconds_.observe(watch_.elapsed_seconds());
+}
+
+}  // namespace redopt::telemetry

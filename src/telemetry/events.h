@@ -1,0 +1,142 @@
+// Structured event tracing with pluggable sinks, plus the global
+// enable/disable switch the hot paths consult.
+//
+// An Event is a named record with two field sections:
+//
+//   * `fields` — values covered by the determinism contract: for a fixed
+//     problem, config, and seed they are byte-identical in the JSONL
+//     output at every runtime::set_threads() value;
+//   * `nd`     — values excluded from the contract (wall-clock durations,
+//     configured lane counts).  The JSONL sink writes them under a
+//     separate "nd" key so bit-identity checks can strip them wholesale:
+//
+//       {"event":"dgd.iteration","fields":{"t":3,"loss":0.71},"nd":{...}}
+//
+// Emission is serialized (one mutex around the sink fan-out); hot paths
+// emit from serial sections only, so the lock is uncontended.
+//
+// The global switch: telemetry::set_enabled(true) turns on metric
+// recording and filter instrumentation in the wired hot paths (trainers,
+// filters, exact algorithm, net).  Events additionally require a sink
+// (tracing_enabled()); with no sink attached, emit() is a no-op.  The
+// default is fully off — a library user who never touches telemetry pays
+// one relaxed atomic load per hot-path branch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "telemetry/metrics.h"
+#include "util/stopwatch.h"
+
+namespace redopt::telemetry {
+
+/// One event field value.
+using Value = std::variant<std::int64_t, std::uint64_t, double, bool, std::string>;
+
+/// A structured trace event.  Field order is preserved in the output.
+struct Event {
+  std::string name;
+  std::vector<std::pair<std::string, Value>> fields;     ///< deterministic
+  std::vector<std::pair<std::string, Value>> nd_fields;  ///< masked by bit-identity checks
+
+  Event() = default;
+  explicit Event(std::string event_name) : name(std::move(event_name)) {}
+
+  Event& with(std::string key, Value value) {
+    fields.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  Event& with_nd(std::string key, Value value) {
+    nd_fields.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+};
+
+/// Receives every emitted event.  Implementations must tolerate being
+/// called from any serial context; emission is externally serialized.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const Event& event) = 0;
+};
+
+/// Test sink: records every event in memory.
+class MemorySink final : public EventSink {
+ public:
+  void emit(const Event& event) override { events_.push_back(event); }
+  const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Writes one JSON object per event, one per line (JSONL).  Deterministic
+/// serialization: field order is the emission order, numbers use
+/// util::json_number.  Flushes on destruction.
+class JsonlSink final : public EventSink {
+ public:
+  /// Opens @p path for writing (truncates).  Throws PreconditionError when
+  /// the file cannot be opened.
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+
+  void emit(const Event& event) override;
+
+  /// Serializes @p event exactly as the sink writes it (minus newline);
+  /// exposed so tests can assert the representation.
+  static std::string to_json(const Event& event);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Global telemetry switch (metrics + instrumentation in wired hot paths).
+bool enabled();
+void set_enabled(bool on);
+
+/// True when enabled() and at least one sink is attached.
+bool tracing_enabled();
+
+void add_sink(std::shared_ptr<EventSink> sink);
+void remove_sink(const EventSink* sink);
+void clear_sinks();
+
+/// Forwards @p event to every attached sink; no-op when !tracing_enabled().
+void emit(const Event& event);
+
+/// Emits one "metric" event per entry of @p snapshot (values of kUnstable
+/// metrics go into the nd section), so a JSONL file carries the final
+/// metric state alongside the event stream.
+void emit_metrics_snapshot(const Snapshot& snapshot);
+
+/// RAII timer for a named operation, backed by util::Stopwatch.  On
+/// destruction bumps the counter "<name>.calls" (deterministic) and
+/// observes the elapsed seconds into the histogram "<name>.seconds"
+/// (registered kUnstable — wall-clock).  Inert when telemetry is disabled
+/// at construction.  Serial-context only (it registers metrics).
+class Scope {
+ public:
+  explicit Scope(const std::string& name);
+  ~Scope();
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+  /// Seconds since construction (exposed for tests).
+  double elapsed_seconds() const { return watch_.elapsed_seconds(); }
+
+ private:
+  bool active_ = false;
+  Counter calls_;
+  Histogram seconds_;
+  util::Stopwatch watch_;
+};
+
+}  // namespace redopt::telemetry

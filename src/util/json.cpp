@@ -1,0 +1,81 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace redopt::util {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (byte < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Integral values within the exactly-representable range print as plain
+  // integers; everything else uses 17 significant digits, which round-trips
+  // any double bit pattern.
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+void json_summary(const std::string& name, std::size_t threads,
+                  const std::map<std::string, std::string>& params, double wall_seconds) {
+  std::ostringstream os;
+  os << "BENCH_JSON {\"bench\":\"" << json_escape(name) << "\",\"threads\":" << threads
+     << ",\"params\":{";
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(key) << "\":\"" << json_escape(value) << "\"";
+  }
+  os << "},\"wall_s\":" << wall_seconds << "}";
+  std::cout << os.str() << "\n";
+}
+
+}  // namespace redopt::util

@@ -1,0 +1,38 @@
+// Minimal JSON emission helpers shared by the telemetry JSONL sink and the
+// bench harnesses' BENCH_JSON summaries.
+//
+// This is a *writer* only — redopt never parses JSON.  The helpers produce
+// deterministic output (fixed escaping, fixed number formatting), which the
+// telemetry determinism contract relies on: two runs that record the same
+// values produce byte-identical JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace redopt::util {
+
+/// Escapes @p s for embedding inside a JSON string literal.  Quotes and
+/// backslashes are backslash-escaped; control characters below 0x20 are
+/// emitted as \uXXXX (with the conventional short forms \n, \t, \r, \b,
+/// \f), so no input byte is ever lost.
+std::string json_escape(const std::string& s);
+
+/// Formats @p v as a JSON number token.  Uses 17 significant digits (enough
+/// to round-trip any double) and prints integral values without an
+/// exponent where possible.  JSON has no NaN/Infinity, so non-finite
+/// values are emitted as `null`.
+std::string json_number(double v);
+
+/// Prints the machine-readable single-line summary every bench harness
+/// emits alongside its human-readable table:
+///
+///   BENCH_JSON {"bench":"R-T4","threads":1,"params":{...},"wall_s":0.42}
+///
+/// The BENCH_JSON prefix makes the line greppable (scripts/collect_bench.sh
+/// gathers the lines across runs into BENCH_<date>.json files).
+void json_summary(const std::string& name, std::size_t threads,
+                  const std::map<std::string, std::string>& params, double wall_seconds);
+
+}  // namespace redopt::util

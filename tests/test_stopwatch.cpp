@@ -1,0 +1,55 @@
+// Tests for util::Stopwatch: monotonicity, restart semantics, and unit
+// consistency.  Wall-clock assertions use generous one-sided bounds so the
+// suite stays reliable on loaded CI machines.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/stopwatch.h"
+
+namespace ru = redopt::util;
+
+TEST(Stopwatch, ElapsedIsNonNegativeAndNonDecreasing) {
+  ru::Stopwatch watch;
+  double previous = watch.elapsed_seconds();
+  EXPECT_GE(previous, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    const double now = watch.elapsed_seconds();
+    EXPECT_GE(now, previous);  // steady_clock never goes backwards
+    previous = now;
+  }
+}
+
+TEST(Stopwatch, ObservesARealSleep) {
+  ru::Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // sleep_for guarantees *at least* the requested duration.
+  EXPECT_GE(watch.elapsed_seconds(), 0.010);
+  EXPECT_GE(watch.elapsed_ms(), 10.0);
+}
+
+TEST(Stopwatch, ResetRestartsTheWindow) {
+  ru::Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double before_reset = watch.elapsed_seconds();
+  watch.reset();
+  const double after_reset = watch.elapsed_seconds();
+  // The new window excludes the sleep: it must be strictly shorter than the
+  // old window was at reset time (reading the clock takes far less than the
+  // 10ms the first window contains).
+  EXPECT_LT(after_reset, before_reset);
+  // And the window keeps growing after the restart.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(watch.elapsed_seconds(), 0.005);
+}
+
+TEST(Stopwatch, MillisecondsMatchSeconds) {
+  ru::Stopwatch watch;
+  // Not an exact equality check: elapsed_ms() and elapsed_seconds() read the
+  // clock independently, so the later read sees a slightly larger window.
+  const double seconds = watch.elapsed_seconds();
+  const double ms = watch.elapsed_ms();
+  EXPECT_GE(ms, seconds * 1e3);
+  EXPECT_LT(ms - seconds * 1e3, 1000.0);  // the two reads are within 1s
+}

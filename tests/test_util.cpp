@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -10,6 +11,7 @@
 #include "util/config.h"
 #include "util/csv.h"
 #include "util/error.h"
+#include "util/json.h"
 #include "util/stopwatch.h"
 #include "util/subsets.h"
 #include "util/table.h"
@@ -149,6 +151,52 @@ TEST(Config, LoadsFromFileAndRejectsMissing) {
   EXPECT_EQ(ru::Config::load(path).get_string("k", ""), "v");
   std::remove(path.c_str());
   EXPECT_THROW(ru::Config::load("/nonexistent-dir-xyz/a.cfg"), redopt::PreconditionError);
+}
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, EscapePlainStringUnchanged) {
+  EXPECT_EQ(ru::json_escape("hello world"), "hello world");
+  EXPECT_EQ(ru::json_escape(""), "");
+}
+
+TEST(Json, EscapeQuotesAndBackslashes) {
+  EXPECT_EQ(ru::json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(ru::json_escape("a\\b"), "a\\\\b");
+}
+
+TEST(Json, EscapeShortFormControlCharacters) {
+  EXPECT_EQ(ru::json_escape("a\nb\tc\rd\be\ff"), "a\\nb\\tc\\rd\\be\\ff");
+}
+
+TEST(Json, EscapeOtherControlCharactersAsUnicode) {
+  // Control bytes with no short form must survive as \uXXXX — replacing
+  // them with spaces would make two distinct inputs collide.
+  EXPECT_EQ(ru::json_escape("a\x01z"), "a\\u0001z");
+  EXPECT_EQ(ru::json_escape(std::string("x\x1f")), "x\\u001f");
+  EXPECT_EQ(ru::json_escape(std::string("n\0l", 3)), "n\\u0000l");
+  // 0x20 and above pass through.
+  EXPECT_EQ(ru::json_escape("\x7f"), "\x7f");
+}
+
+TEST(Json, NumberIntegralValuesPrintWithoutExponent) {
+  EXPECT_EQ(ru::json_number(0.0), "0");
+  EXPECT_EQ(ru::json_number(3.0), "3");
+  EXPECT_EQ(ru::json_number(-42.0), "-42");
+  EXPECT_EQ(ru::json_number(123456789.0), "123456789");
+}
+
+TEST(Json, NumberFractionalValuesRoundTrip) {
+  EXPECT_EQ(ru::json_number(0.5), "0.5");
+  EXPECT_EQ(std::stod(ru::json_number(0.1)), 0.1);
+  EXPECT_EQ(std::stod(ru::json_number(1.0 / 3.0)), 1.0 / 3.0);
+  EXPECT_EQ(std::stod(ru::json_number(1e300)), 1e300);
+}
+
+TEST(Json, NumberNonFiniteBecomesNull) {
+  EXPECT_EQ(ru::json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(ru::json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(ru::json_number(-std::numeric_limits<double>::infinity()), "null");
 }
 
 // ---------------------------------------------------------------- Stopwatch
