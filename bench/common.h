@@ -54,6 +54,8 @@ inline std::vector<std::string> with_runtime_flags(std::vector<std::string> flag
 /// "run.start" event (bench name + flags; the thread count goes in the nd
 /// section so manifests stay byte-identical across REDOPT_THREADS values),
 /// the bench's own event stream, the final metric snapshot, and "run.end".
+/// scripts/check_determinism.sh gates on exactly this property: it diffs
+/// nd-stripped manifests across REDOPT_THREADS in {1, 2, 8}.
 class Harness {
  public:
   Harness(const util::Cli& cli, std::string name)

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# End-to-end determinism gate: runs one real bench with a telemetry
+# manifest at REDOPT_THREADS = 1, 2, 8, strips the "nd" (nondeterministic:
+# wall-clock / lane-count) sections, and diffs the results byte for byte.
+# This is the runtime counterpart of the redopt-lint static rules — it
+# catches whatever the scanner's token patterns cannot see.
+#
+#   scripts/check_determinism.sh [bench] [iterations]
+#
+# Defaults: bench_fig2_traces (the paper's Figure 2 traces: DGD + CGE /
+# CWTM under two attacks — it exercises trainers, filters, telemetry, and
+# the parallel runtime) at 120 iterations.  Uses build/ by default; set
+# BUILD=<dir> to point at another build tree.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCH=${1:-bench_fig2_traces}
+ITERATIONS=${2:-120}
+BUILD=${BUILD:-build}
+
+if [ ! -x "$BUILD/bench/$BENCH" ]; then
+  cmake -B "$BUILD" >/dev/null
+  cmake --build "$BUILD" --target "$BENCH" -j "$(nproc)"
+fi
+
+OUT=$(mktemp -d -t redopt-determinism.XXXXXX)
+trap 'rm -rf "$OUT"' EXIT
+
+# The nd sections are flat JSON objects of scalar values (see
+# telemetry/events.h), so a non-greedy brace match strips them safely.
+strip_nd() { sed 's/,"nd":{[^{}]*}//g' "$1" > "$2"; }
+
+# Each run gets its own working directory and the *same relative*
+# manifest path: the harness records every flag value in the manifest, so
+# a per-run absolute path would itself be a (spurious) diff.
+BENCH_BIN=$(pwd)/$BUILD/bench/$BENCH
+for t in 1 2 8; do
+  mkdir -p "$OUT/$t"
+  (cd "$OUT/$t" && REDOPT_THREADS=$t "$BENCH_BIN" \
+    --iterations "$ITERATIONS" --stride "$ITERATIONS" \
+    --telemetry run.jsonl > stdout.txt)
+  strip_nd "$OUT/$t/run.jsonl" "$OUT/stripped-$t.jsonl"
+done
+
+status=0
+for t in 2 8; do
+  if ! diff -q "$OUT/stripped-1.jsonl" "$OUT/stripped-$t.jsonl" >/dev/null; then
+    echo "DETERMINISM FAILURE: manifest differs between REDOPT_THREADS=1 and $t:"
+    diff "$OUT/stripped-1.jsonl" "$OUT/stripped-$t.jsonl" | head -20
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  lines=$(wc -l < "$OUT/stripped-1.jsonl")
+  echo "determinism check passed: $BENCH manifests byte-identical at threads 1/2/8 ($lines stripped lines)"
+fi
+exit "$status"

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs redopt-lint over the tree.  Self-contained: compiles the scanner
+# directly (two translation units, no dependencies), so it works before
+# the first cmake configure and in minimal CI images.
+#
+#   scripts/check_lint.sh [extra redopt-lint args...]
+#
+# Exits nonzero on any unsuppressed finding.  Prefers an already-built
+# build/tools/redopt-lint/redopt-lint when present and newer than the
+# sources.
+set -eu
+cd "$(dirname "$0")/.."
+
+BIN=build/tools/redopt-lint/redopt-lint
+if [ ! -x "$BIN" ] || [ tools/redopt-lint/lint.cpp -nt "$BIN" ] ||
+   [ tools/redopt-lint/main.cpp -nt "$BIN" ]; then
+  BIN=$(mktemp -t redopt-lint.XXXXXX)
+  trap 'rm -f "$BIN"' EXIT
+  "${CXX:-c++}" -std=c++20 -O1 -Wall -Wextra \
+    tools/redopt-lint/lint.cpp tools/redopt-lint/main.cpp -o "$BIN"
+fi
+
+"$BIN" --root "$(pwd)" "$@"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <mutex>
 #include <sstream>
 
@@ -94,7 +95,10 @@ struct Registry::Impl {
   const std::uint64_t uid = next_registry_uid();
   mutable std::mutex mutex;
   std::vector<MetricInfo> metrics;
-  std::unordered_map<std::string, std::size_t> by_name;
+  // Name-keyed and *ordered*: snapshot() folds metrics by iterating this
+  // map, so serialized output never depends on hash-table layout or on
+  // the order call sites happened to register in (rule D2).
+  std::map<std::string, std::size_t> by_name;
   std::vector<double> gauges;  // indexed by metric id (kGauge only)
   mutable std::vector<std::unique_ptr<Shard>> shards;  // registration order
 
@@ -214,7 +218,11 @@ Snapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(impl.mutex);
   Snapshot out;
   out.reserve(impl.metrics.size());
-  for (std::size_t id = 0; id < impl.metrics.size(); ++id) {
+  // Fold in metric-name order (the map's iteration order), so two
+  // registries that registered the same metrics in different orders
+  // produce byte-identical serialized snapshots.
+  for (const auto& entry : impl.by_name) {
+    const std::size_t id = entry.second;
     const MetricInfo& info = impl.metrics[id];
     MetricValue value;
     value.name = info.name;

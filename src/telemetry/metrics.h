@@ -39,7 +39,6 @@
 #include <limits>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace redopt::telemetry {
@@ -157,8 +156,9 @@ class Registry {
   Histogram histogram(const std::string& name, const BucketLayout& layout,
                       Determinism det = Determinism::kStable);
 
-  /// Merged values of every registered metric, in registration order.
-  /// Serial-context only.
+  /// Merged values of every registered metric, sorted by metric name —
+  /// a canonical order, so serialized snapshots are byte-identical no
+  /// matter what order call sites registered in.  Serial-context only.
   Snapshot snapshot() const;
 
   /// Zeroes every metric value (registrations are kept).  Serial-context

@@ -1,4 +1,11 @@
 // Wall-clock stopwatch for coarse timing in benches and examples.
+//
+// This is the one sanctioned std::chrono user in src/ (redopt-lint rule
+// D1 carves this file out by path): every elapsed-time measurement goes
+// through Stopwatch, and everything derived from its values is flagged
+// Determinism::kUnstable in telemetry so sinks can mask it from
+// bit-identity checks.  Timing code anywhere else in src/ is a lint
+// error by design — add it here or justify an explicit allow(D1).
 #pragma once
 
 #include <chrono>

@@ -1,0 +1,244 @@
+// Tests for tools/redopt-lint: one violating and one clean fixture per
+// rule, suppression-directive handling, and the comment/string stripping
+// that keeps doc comments and these very fixtures from firing.
+//
+// Fixtures are passed to lint_lines() as in-memory snippets under
+// pseudo-paths; the banned tokens below live inside string literals, so
+// the repo-wide `redopt_lint` ctest scan (which blanks literals) never
+// trips over this file.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+using redopt::lint::Finding;
+using redopt::lint::lint_lines;
+
+namespace {
+
+/// Count of findings for @p rule.
+std::size_t count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(), [&](const Finding& f) { return f.rule == rule; }));
+}
+
+const Finding* find_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const auto& f : findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(LintRuleTable, EveryRuleHasIdSummaryRationale) {
+  const auto& rules = redopt::lint::rules();
+  ASSERT_EQ(rules.size(), 5u);
+  std::vector<std::string> ids;
+  for (const auto& r : rules) {
+    ids.emplace_back(r.id);
+    EXPECT_NE(std::string(r.summary), "");
+    EXPECT_NE(std::string(r.rationale), "");
+  }
+  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "H1", "T1"}));
+}
+
+// ---------------------------------------------------------------------------
+// D1: banned nondeterminism sources in src/
+// ---------------------------------------------------------------------------
+
+TEST(LintD1, FlagsRandomDeviceInSrc) {
+  const auto findings = lint_lines("src/core/foo.cpp", {"std::random_device rd;"});
+  ASSERT_EQ(count_rule(findings, "D1"), 1u);
+  const auto* f = find_rule(findings, "D1");
+  EXPECT_EQ(f->line, 1u);
+  EXPECT_NE(f->message.find("std::random_device"), std::string::npos);
+}
+
+TEST(LintD1, FlagsRandSrandTimeClockAndThreadId) {
+  const std::vector<std::string> lines = {
+      "int x = std::rand();",
+      "srand(42);",
+      "std::uint64_t seed = std::time(nullptr);",
+      "auto t0 = std::chrono::steady_clock::now();",
+      "auto id = std::this_thread::get_id();",
+  };
+  const auto findings = lint_lines("src/dgd/foo.cpp", lines);
+  EXPECT_EQ(count_rule(findings, "D1"), 5u);
+}
+
+TEST(LintD1, CleanOutsideSrcAndInStopwatchCarveout) {
+  // bench/ may time things however it likes; D1 guards src/ only.
+  EXPECT_TRUE(lint_lines("bench/foo.cpp", {"auto t = std::chrono::steady_clock::now();"}).empty());
+  // The one sanctioned wall-clock wrapper.
+  EXPECT_TRUE(
+      lint_lines("src/util/stopwatch.h",
+                 {"#pragma once", "using Clock = std::chrono::steady_clock;"})
+          .empty());
+}
+
+TEST(LintD1, IgnoresBannedTokensInCommentsAndStrings) {
+  const std::vector<std::string> lines = {
+      "// never use std::random_device here",
+      "/* rand() and time() are banned */",
+      "const char* msg = \"std::random_device is banned\";",
+      "int elapsed_time(int x);  // identifier containing 'time(' must not fire",
+  };
+  EXPECT_TRUE(lint_lines("src/core/foo.cpp", lines).empty());
+}
+
+// ---------------------------------------------------------------------------
+// D2: unordered containers in snapshot/serialization code
+// ---------------------------------------------------------------------------
+
+TEST(LintD2, FlagsUnorderedMapInTelemetry) {
+  const auto findings =
+      lint_lines("src/telemetry/foo.cpp", {"std::unordered_map<std::string, int> by_name;"});
+  ASSERT_EQ(count_rule(findings, "D2"), 1u);
+  EXPECT_NE(find_rule(findings, "D2")->message.find("hash layout"), std::string::npos);
+}
+
+TEST(LintD2, FlagsUnorderedSetInFileThatSnapshots) {
+  // Content-level surface detection: any src/ file producing snapshots.
+  const std::vector<std::string> lines = {
+      "std::unordered_set<int> seen;",
+      "auto snap = registry.snapshot();",
+  };
+  EXPECT_EQ(count_rule(lint_lines("src/core/foo.cpp", lines), "D2"), 1u);
+}
+
+TEST(LintD2, CleanInNonSerializationCode) {
+  // An unordered map in plain algorithm code (no snapshot/serialize
+  // surface) is fine — only serialized bytes must be order-stable.
+  EXPECT_TRUE(
+      lint_lines("src/filters/foo.cpp", {"std::unordered_map<int, int> scratch;"}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// D3: pointer-keyed ordering / address-dependent hashing
+// ---------------------------------------------------------------------------
+
+TEST(LintD3, FlagsPointerKeyedMapAndAddressHash) {
+  const std::vector<std::string> lines = {
+      "std::map<Node*, int> order;",
+      "std::hash<const Agent*> hasher;",
+      "auto key = reinterpret_cast<std::uintptr_t>(ptr);",
+  };
+  EXPECT_EQ(count_rule(lint_lines("src/net/foo.cpp", lines), "D3"), 3u);
+}
+
+TEST(LintD3, CleanForValueKeyedContainers) {
+  const std::vector<std::string> lines = {
+      "std::map<std::string, std::size_t> by_name;",
+      "std::set<std::pair<int, int>> edges;",
+  };
+  EXPECT_TRUE(lint_lines("src/net/foo.cpp", lines).empty());
+}
+
+// ---------------------------------------------------------------------------
+// H1: include hygiene
+// ---------------------------------------------------------------------------
+
+TEST(LintH1, FlagsMissingPragmaOnceAndUsingNamespace) {
+  const auto missing = lint_lines("src/core/foo.h", {"int f();"});
+  ASSERT_EQ(count_rule(missing, "H1"), 1u);
+  EXPECT_NE(find_rule(missing, "H1")->message.find("#pragma once"), std::string::npos);
+
+  const auto dumped =
+      lint_lines("src/core/bar.h", {"#pragma once", "using namespace std;"});
+  ASSERT_EQ(count_rule(dumped, "H1"), 1u);
+  EXPECT_EQ(find_rule(dumped, "H1")->line, 2u);
+}
+
+TEST(LintH1, CleanHeaderAndCppFileScopeUsing) {
+  EXPECT_TRUE(lint_lines("src/core/foo.h", {"#pragma once", "int f();"}).empty());
+  // Include guards count too.
+  EXPECT_TRUE(
+      lint_lines("src/core/g.h", {"#ifndef REDOPT_G_H", "#define REDOPT_G_H", "#endif"}).empty());
+  // `using namespace` in a .cpp is the repo's normal style (tests, benches).
+  EXPECT_TRUE(lint_lines("src/core/foo.cpp", {"using namespace redopt;"}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// T1: telemetry metric-name convention
+// ---------------------------------------------------------------------------
+
+TEST(LintT1, FlagsBadMetricNames) {
+  const std::vector<std::string> lines = {
+      "auto a = reg.counter(\"BadName\");",          // uppercase
+      "auto b = reg.counter(\"noprefix\");",         // no subsystem segment
+      "auto c = reg.gauge(\"net.Mixed.case\");",     // uppercase segment
+  };
+  EXPECT_EQ(count_rule(lint_lines("src/net/foo.cpp", lines), "T1"), 3u);
+}
+
+TEST(LintT1, FlagsWallClockMetricWithoutUnstableFlag) {
+  const auto findings = lint_lines(
+      "src/telemetry/foo.cpp",
+      {"seconds_ = reg.histogram(name + \".seconds\", layout);"});
+  ASSERT_EQ(count_rule(findings, "T1"), 1u);
+  EXPECT_NE(find_rule(findings, "T1")->message.find("kUnstable"), std::string::npos);
+}
+
+TEST(LintT1, CleanConventionalAndFlaggedRegistrations) {
+  const std::vector<std::string> lines = {
+      "auto a = reg.counter(\"net.messages_sent\");",
+      "auto b = reg.histogram(\"dgd.direction_norm\", layout);",
+      "seconds_ = reg.histogram(name + \".seconds\", layout,",
+      "                         telemetry::Determinism::kUnstable);",
+  };
+  EXPECT_TRUE(lint_lines("src/net/foo.cpp", lines).empty());
+}
+
+TEST(LintT1, DoesNotApplyOutsideSrc) {
+  // Tests and benches register short throwaway names ("h", "c") freely.
+  EXPECT_TRUE(lint_lines("tests/test_foo.cpp", {"auto h = r.counter(\"h\");"}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppression, SameLineAllowSilencesThatRuleOnly) {
+  const auto same_line = lint_lines(
+      "src/core/foo.cpp",
+      {"std::random_device rd;  // redopt-lint: allow(D1) — fixture, never executed"});
+  EXPECT_TRUE(same_line.empty());
+
+  // allow(D2) does not silence a D1 finding.
+  const auto wrong_rule =
+      lint_lines("src/core/foo.cpp", {"std::random_device rd;  // redopt-lint: allow(D2)"});
+  EXPECT_EQ(count_rule(wrong_rule, "D1"), 1u);
+}
+
+TEST(LintSuppression, PreviousLineAndListForms) {
+  const std::vector<std::string> lines = {
+      "// redopt-lint: allow(D1,D3) — seeding fixture",
+      "std::random_device rd;",
+      "auto key = reinterpret_cast<std::uintptr_t>(&rd);",
+  };
+  // The directive covers only the next line: D1 on line 2 is silenced,
+  // D3 on line 3 still fires.
+  const auto findings = lint_lines("src/core/foo.cpp", lines);
+  EXPECT_EQ(count_rule(findings, "D1"), 0u);
+  EXPECT_EQ(count_rule(findings, "D3"), 1u);
+}
+
+TEST(LintSuppression, AllowFileSilencesWholeFile) {
+  const std::vector<std::string> lines = {
+      "// redopt-lint: allow-file(D1) — this module wraps the OS entropy source",
+      "std::random_device a;",
+      "std::random_device b;",
+  };
+  EXPECT_TRUE(lint_lines("src/core/foo.cpp", lines).empty());
+}
+
+TEST(LintFormat, FindingRendersAsFileLineRuleMessage) {
+  const auto findings = lint_lines("src/core/foo.cpp", {"std::random_device rd;"});
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string text = redopt::lint::format_finding(findings[0]);
+  EXPECT_EQ(text.rfind("src/core/foo.cpp:1: [D1] ", 0), 0u);
+}

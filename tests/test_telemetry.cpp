@@ -153,6 +153,33 @@ TEST_F(TelemetryTest, ReRegistrationMismatchesThrow) {
   EXPECT_NO_THROW(r.histogram("h", tel::BucketLayout::linear(0.0, 1.0, 4)));
 }
 
+TEST_F(TelemetryTest, SnapshotOrderIsNameSortedNotRegistrationOrder) {
+  // Regression for rule D2: manifest byte-identity must not depend on
+  // the order call sites happened to register metrics in (nor on any
+  // hash-table layout).  Two registries with the same metrics registered
+  // in opposite orders must produce identical snapshots.
+  const auto layout = tel::BucketLayout::linear(0.0, 1.0, 3);
+  tel::Registry first;
+  first.counter("b.count").inc(2);
+  first.gauge("a.ratio").set(0.5);
+  first.histogram("c.size", layout).observe(1.5);
+
+  tel::Registry second;
+  second.histogram("c.size", layout).observe(1.5);
+  second.gauge("a.ratio").set(0.5);
+  second.counter("b.count").inc(2);
+
+  const auto sa = first.snapshot();
+  const auto sb = second.snapshot();
+  ASSERT_EQ(sa.size(), 3u);
+  EXPECT_EQ(sa[0].name, "a.ratio");
+  EXPECT_EQ(sa[1].name, "b.count");
+  EXPECT_EQ(sa[2].name, "c.size");
+  expect_stable_metrics_equal(sa, sb);
+  // The serialized forms (what a manifest actually contains) match too.
+  EXPECT_EQ(tel::render_prometheus(sa), tel::render_prometheus(sb));
+}
+
 TEST_F(TelemetryTest, BucketLayoutConstruction) {
   const auto lin = tel::BucketLayout::linear(1.0, 0.5, 3);
   EXPECT_EQ(lin.upper_bounds, (std::vector<double>{1.0, 1.5, 2.0}));

@@ -1,0 +1,399 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace redopt::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleInfo> kRules = {
+    {"D1", "banned nondeterminism source in src/",
+     "executions must be bit-reproducible; all randomness flows through rng::Rng, all timing "
+     "through util::Stopwatch (whose values telemetry marks kUnstable)"},
+    {"D2", "unordered container in snapshot/serialization code",
+     "hash-table iteration order depends on layout; serialized bytes must be a pure function of "
+     "the computation, so fold through std::map or sorted keys instead"},
+    {"D3", "pointer-keyed ordering or address-dependent hashing",
+     "addresses differ run to run, so any order or hash derived from them is nondeterministic"},
+    {"H1", "header hygiene: #pragma once required, `using namespace` forbidden in headers",
+     "missing guards break the one-definition rule; namespace dumps leak into every includer"},
+    {"T1", "telemetry metric name must be lowercase dotted snake_case; wall-clock metrics "
+     "must be registered Determinism::kUnstable",
+     "sinks key the bit-identity mask on names and the kUnstable flag; an unflagged wall-clock "
+     "metric silently breaks manifest byte-identity"},
+};
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_header(const std::string& path) { return ends_with(path, ".h"); }
+
+bool in_src(const std::string& path) { return starts_with(path, "src/"); }
+
+/// D1 carve-out: the one sanctioned wall-clock wrapper.  Everything that
+/// needs elapsed time goes through util::Stopwatch, and telemetry flags
+/// the resulting values kUnstable so sinks can mask them.
+bool is_clock_carveout(const std::string& path) { return path == "src/util/stopwatch.h"; }
+
+/// D2 surface: code whose output bytes must be reproducible.  The
+/// telemetry directory (snapshots, sinks, Prometheus rendering) and the
+/// serialization utilities; plus any src/ file that mentions `snapshot`
+/// in code (content-level detection handled by the caller).
+bool is_serialization_path(const std::string& path) {
+  if (starts_with(path, "src/telemetry/")) return true;
+  return in_src(path) &&
+         (path.find("instance_io") != std::string::npos ||
+          path.find("/json.") != std::string::npos || path.find("/csv.") != std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Comment / string stripping
+// ---------------------------------------------------------------------------
+
+/// Per-line scan product: `code` has comments and string/char literal
+/// bodies blanked with spaces (delimiters kept), `comment` holds the
+/// comment text so suppression directives survive the blanking.
+struct ScannedLine {
+  std::string code;
+  std::string comment;
+};
+
+/// Reduces raw source lines to code + comment views.  Tracks block
+/// comments across lines; handles escapes inside literals.  Raw string
+/// literals are treated as ordinary strings (good enough for a linter —
+/// the repo style avoids multi-line raw literals in src/).
+std::vector<ScannedLine> scan_lines(const std::vector<std::string>& lines) {
+  std::vector<ScannedLine> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& raw : lines) {
+    ScannedLine sl;
+    sl.code.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (in_block_comment) {
+        if (raw.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          sl.code += "  ";
+          i += 2;
+        } else {
+          sl.comment += raw[i];
+          sl.code += ' ';
+          ++i;
+        }
+        continue;
+      }
+      const char c = raw[i];
+      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+        sl.comment.append(raw, i + 2, std::string::npos);
+        sl.code.append(raw.size() - i, ' ');
+        break;
+      }
+      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+        in_block_comment = true;
+        sl.code += "  ";
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        sl.code += quote;
+        ++i;
+        while (i < raw.size()) {
+          if (raw[i] == '\\' && i + 1 < raw.size()) {
+            sl.code += "  ";
+            i += 2;
+            continue;
+          }
+          if (raw[i] == quote) {
+            sl.code += quote;
+            ++i;
+            break;
+          }
+          sl.code += ' ';
+          ++i;
+        }
+        continue;
+      }
+      sl.code += c;
+      ++i;
+    }
+    out.push_back(std::move(sl));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives
+// ---------------------------------------------------------------------------
+
+/// Parses `redopt-lint: allow(D1,D2)` / `allow-file(D1)` out of one
+/// line's comment text.  Returns rule IDs; `file_scope` reports which
+/// directive form was seen.
+std::vector<std::string> parse_allows(const std::string& comment, bool* file_scope) {
+  static const std::regex kDirective(R"(redopt-lint:\s*(allow|allow-file)\s*\(([^)]*)\))");
+  std::vector<std::string> ids;
+  std::smatch m;
+  if (!std::regex_search(comment, m, kDirective)) return ids;
+  *file_scope = (m[1].str() == "allow-file");
+  std::string list = m[2].str();
+  std::stringstream ss(list);
+  std::string id;
+  while (std::getline(ss, id, ',')) {
+    id.erase(std::remove_if(id.begin(), id.end(), [](unsigned char ch) { return std::isspace(ch); }),
+             id.end());
+    if (!id.empty()) ids.push_back(id);
+  }
+  return ids;
+}
+
+bool allows_rule(const std::vector<std::string>& ids, const std::string& rule) {
+  return std::find(ids.begin(), ids.end(), rule) != ids.end();
+}
+
+// ---------------------------------------------------------------------------
+// Rule patterns
+// ---------------------------------------------------------------------------
+
+struct Pattern {
+  std::regex re;
+  const char* what;  ///< message fragment naming the banned construct
+};
+
+const std::vector<Pattern>& d1_patterns() {
+  static const std::vector<Pattern> patterns = {
+      {std::regex(R"(\bstd::random_device\b)"), "std::random_device"},
+      {std::regex(R"((^|[^\w.])(std::)?s?rand\s*\()"), "rand()/srand()"},
+      {std::regex(R"((^|[^:\w_])(std::)?time\s*\(\s*(nullptr|NULL|0)?\s*\))"), "time()"},
+      {std::regex(R"((^|[^:\w_])clock\s*\(\s*\))"), "clock()"},
+      {std::regex(R"(\bgettimeofday\b)"), "gettimeofday()"},
+      {std::regex(R"(\bstd::chrono::\w*_clock\b)"), "std::chrono clock"},
+      {std::regex(R"(\bstd::this_thread::get_id\b)"), "std::this_thread::get_id"},
+      {std::regex(R"(\bgetpid\s*\()"), "getpid()"},
+  };
+  return patterns;
+}
+
+const std::regex& d2_pattern() {
+  static const std::regex re(R"(\bstd::unordered_(map|set)\b)");
+  return re;
+}
+
+const std::vector<Pattern>& d3_patterns() {
+  // Key type of std::map/std::set/std::hash/std::less containing a
+  // pointer: everything between '<' and the first ',' or the matching
+  // '>' (single-level approximation) that ends in '*'.
+  static const std::vector<Pattern> patterns = {
+      {std::regex(R"(\bstd::(map|set|multimap|multiset)\s*<\s*[\w:\s<>]*\*)"),
+       "pointer-keyed std::map/std::set"},
+      {std::regex(R"(\bstd::hash\s*<\s*[\w:\s<>]*\*)"), "std::hash over a pointer type"},
+      {std::regex(R"(\bstd::less\s*<\s*[\w:\s<>]*\*)"), "std::less over a pointer type"},
+      {std::regex(R"(\buintptr_t\b)"), "address-as-integer (uintptr_t)"},
+  };
+  return patterns;
+}
+
+const std::regex& h1_using_namespace() {
+  static const std::regex re(R"(^\s*using\s+namespace\b)");
+  return re;
+}
+
+const std::regex& t1_name_ok() {
+  static const std::regex re(R"(^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$)");
+  return re;
+}
+
+/// Wall-clock suffixes whose registrations must carry kUnstable.
+bool is_wallclock_name(const std::string& name) {
+  return ends_with(name, ".seconds") || ends_with(name, "_seconds") || ends_with(name, ".wall_s");
+}
+
+// ---------------------------------------------------------------------------
+// The scanner
+// ---------------------------------------------------------------------------
+
+struct Context {
+  const std::string& path;
+  const std::vector<std::string>& raw;
+  const std::vector<ScannedLine>& scanned;
+  std::vector<std::string> file_allows;
+  std::vector<Finding>* findings;
+
+  bool suppressed(std::size_t index, const char* rule) const {
+    if (allows_rule(file_allows, rule)) return true;
+    bool file_scope = false;
+    if (allows_rule(parse_allows(scanned[index].comment, &file_scope), rule)) return true;
+    if (index > 0 && allows_rule(parse_allows(scanned[index - 1].comment, &file_scope), rule)) {
+      return true;
+    }
+    return false;
+  }
+
+  void report(std::size_t index, const char* rule, std::string message) const {
+    if (suppressed(index, rule)) return;
+    findings->push_back(Finding{path, index + 1, rule, std::move(message)});
+  }
+};
+
+void check_d1(const Context& ctx) {
+  if (!in_src(ctx.path) || is_clock_carveout(ctx.path)) return;
+  for (std::size_t i = 0; i < ctx.scanned.size(); ++i) {
+    for (const Pattern& p : d1_patterns()) {
+      if (std::regex_search(ctx.scanned[i].code, p.re)) {
+        ctx.report(i, "D1",
+                   std::string(p.what) +
+                       " is a nondeterminism source; use rng::Rng seeded streams / util::Stopwatch");
+      }
+    }
+  }
+}
+
+void check_d2(const Context& ctx) {
+  if (!in_src(ctx.path)) return;
+  bool surface = is_serialization_path(ctx.path);
+  if (!surface) {
+    // Content-level detection: a src/ file that produces snapshots or
+    // JSON is a serialization surface wherever it lives.
+    static const std::regex kSurface(R"(\b(snapshot|to_json|serialize)\s*\()");
+    for (const ScannedLine& sl : ctx.scanned) {
+      if (std::regex_search(sl.code, kSurface)) {
+        surface = true;
+        break;
+      }
+    }
+  }
+  if (!surface) return;
+  for (std::size_t i = 0; i < ctx.scanned.size(); ++i) {
+    if (std::regex_search(ctx.scanned[i].code, d2_pattern())) {
+      ctx.report(i, "D2",
+                 "unordered container in snapshot/serialization code; iteration order depends on "
+                 "hash layout — use std::map or fold sorted keys");
+    }
+  }
+}
+
+void check_d3(const Context& ctx) {
+  if (!in_src(ctx.path)) return;
+  for (std::size_t i = 0; i < ctx.scanned.size(); ++i) {
+    for (const Pattern& p : d3_patterns()) {
+      if (std::regex_search(ctx.scanned[i].code, p.re)) {
+        ctx.report(i, "D3",
+                   std::string(p.what) + "; addresses vary run to run, key by a stable id instead");
+      }
+    }
+  }
+}
+
+void check_h1(const Context& ctx) {
+  if (!is_header(ctx.path)) return;
+  bool has_guard = false;
+  for (std::size_t i = 0; i < ctx.raw.size(); ++i) {
+    if (ctx.raw[i].find("#pragma once") != std::string::npos ||
+        ctx.raw[i].find("#ifndef") != std::string::npos) {
+      has_guard = true;
+      break;
+    }
+  }
+  if (!has_guard && !ctx.raw.empty()) {
+    ctx.report(0, "H1", "header lacks #pragma once (or an include guard)");
+  }
+  for (std::size_t i = 0; i < ctx.scanned.size(); ++i) {
+    if (std::regex_search(ctx.scanned[i].code, h1_using_namespace())) {
+      ctx.report(i, "H1", "`using namespace` in a header leaks into every includer");
+    }
+  }
+}
+
+void check_t1(const Context& ctx) {
+  if (!in_src(ctx.path)) return;
+  for (std::size_t i = 0; i < ctx.scanned.size(); ++i) {
+    // The name literal lives in the *raw* line (the code view blanks
+    // string bodies), so re-find the call there.
+    static const std::regex kCall(R"rx(\b(counter|gauge|histogram)\s*\(\s*"([^"]*)")rx");
+    const std::string& raw = ctx.raw[i];
+    for (auto it = std::sregex_iterator(raw.begin(), raw.end(), kCall);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[2].str();
+      if (!std::regex_match(name, t1_name_ok())) {
+        ctx.report(i, "T1",
+                   "metric name '" + name +
+                       "' violates the subsystem.noun_unit convention "
+                       "(lowercase dotted snake_case with a subsystem prefix)");
+      }
+    }
+    // Statement-level wall-clock check: any registration statement whose
+    // name (literal or concatenated suffix) ends in a wall-clock unit
+    // must say kUnstable before the closing ';'.
+    static const std::regex kWallLiteral(R"rx(\b(counter|gauge|histogram)\s*\([^;]*"([^"]*)")rx");
+    std::smatch wm;
+    if (std::regex_search(raw, wm, kWallLiteral) && is_wallclock_name(wm[2].str())) {
+      std::string stmt = ctx.scanned[i].code;
+      for (std::size_t j = i + 1; j < ctx.scanned.size() && j < i + 4; ++j) {
+        if (stmt.find(';') != std::string::npos) break;
+        stmt += ctx.scanned[j].code;
+      }
+      if (stmt.find("kUnstable") == std::string::npos) {
+        ctx.report(i, "T1",
+                   "wall-clock metric '" + wm[2].str() +
+                       "' must be registered Determinism::kUnstable so sinks can mask it");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+std::vector<Finding> lint_lines(const std::string& path, const std::vector<std::string>& lines) {
+  const std::vector<ScannedLine> scanned = scan_lines(lines);
+  std::vector<Finding> findings;
+  Context ctx{path, lines, scanned, {}, &findings};
+  for (const ScannedLine& sl : scanned) {
+    bool file_scope = false;
+    const auto ids = parse_allows(sl.comment, &file_scope);
+    if (file_scope) ctx.file_allows.insert(ctx.file_allows.end(), ids.begin(), ids.end());
+  }
+  check_d1(ctx);
+  check_d2(ctx);
+  check_d3(ctx);
+  check_h1(ctx);
+  check_t1(ctx);
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& file_path, const std::string& display_path) {
+  std::ifstream in(file_path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lint_lines(display_path, lines);
+}
+
+std::string format_finding(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.file << ":" << finding.line << ": [" << finding.rule << "] " << finding.message;
+  return os.str();
+}
+
+}  // namespace redopt::lint

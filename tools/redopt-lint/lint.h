@@ -1,0 +1,77 @@
+// redopt-lint: a project-specific static-analysis pass enforcing the
+// determinism and hygiene invariants the runtime tests rely on.
+//
+// The headline guarantee of this codebase — CGE/DGD executions under
+// 2f-redundancy are bit-identical at every REDOPT_THREADS value — is
+// enforced at runtime by tests, which cannot see a latent
+// std::unordered_map iteration or an unseeded clock until it happens to
+// flip a bit.  This linter makes the known nondeterminism sources a
+// compile gate instead of a debugging session.
+//
+// Design: a token/regex scanner over the raw sources (no libclang
+// dependency, so it builds anywhere the library builds).  Each line is
+// first reduced to a "code view" with comments and string/char literals
+// blanked out, so banned tokens in doc comments or test fixtures never
+// fire; suppression directives are read from the comment text that the
+// code view discards.
+//
+// Rules (stable IDs, one line each; `redopt-lint --list-rules` prints
+// the same table):
+//
+//   D1  banned nondeterminism sources in src/ (std::random_device,
+//       rand()/srand(), time()/clock()/gettimeofday(), std::chrono
+//       clocks outside util/stopwatch.h, std::this_thread::get_id)
+//   D2  unordered containers in snapshot/serialization code — folding a
+//       hash table into an output stream bakes hash-layout order into
+//       bytes that must be reproducible
+//   D3  pointer-keyed ordering or address-dependent hashing — addresses
+//       differ run to run, so any order derived from them does too
+//   H1  include hygiene: headers carry #pragma once (or a guard) and
+//       never `using namespace` at file scope
+//   T1  telemetry metric names are lowercase dotted snake_case
+//       (`subsystem.noun_unit`), and wall-clock metrics (".seconds",
+//       "_seconds", ".wall_s") are registered Determinism::kUnstable
+//
+// Suppression: `// redopt-lint: allow(D1)` (comma-separated list) on the
+// offending line or the line directly above silences those rules for
+// that line; `// redopt-lint: allow-file(D2)` anywhere in a file
+// silences a rule for the whole file.  Every suppression should carry a
+// justification in the surrounding comment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace redopt::lint {
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string file;     ///< path as given to the scanner
+  std::size_t line;     ///< 1-based line number
+  std::string rule;     ///< stable rule ID ("D1", ...)
+  std::string message;  ///< what fired and why it matters
+};
+
+/// Static description of one rule, for --list-rules and docs.
+struct RuleInfo {
+  const char* id;
+  const char* summary;    ///< what the rule bans/requires
+  const char* rationale;  ///< why violating it breaks the contract
+};
+
+/// The rule table, in ID order.
+const std::vector<RuleInfo>& rules();
+
+/// Lints in-memory content under a pseudo-path.  @p path decides which
+/// rules apply (D1/D3 fire under src/, D2 on serialization surfaces,
+/// H1 on headers); the fixture tests drive this directly.
+std::vector<Finding> lint_lines(const std::string& path, const std::vector<std::string>& lines);
+
+/// Reads @p file_path and lints it; @p display_path is the (usually
+/// repo-relative) path used for rule applicability and reporting.
+std::vector<Finding> lint_file(const std::string& file_path, const std::string& display_path);
+
+/// Renders @p finding as "file:line: [RULE] message".
+std::string format_finding(const Finding& finding);
+
+}  // namespace redopt::lint

@@ -1,0 +1,93 @@
+// CLI driver for redopt-lint.
+//
+//   redopt-lint [--root <dir>] [--list-rules] [paths...]
+//
+// Paths are interpreted relative to --root (default: the current
+// directory) and default to the directories the repo's invariants cover:
+// src bench tests examples tools.  Exits nonzero when any finding
+// survives suppression, printing one "file:line: [RULE] message" per
+// finding — the format editors and CI annotate directly.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_cxx_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+void collect(const fs::path& root, const std::string& rel, std::vector<std::string>* out) {
+  const fs::path target = root / rel;
+  if (fs::is_regular_file(target)) {
+    if (is_cxx_source(target)) out->push_back(rel);
+    return;
+  }
+  if (!fs::is_directory(target)) {
+    std::cerr << "redopt-lint: warning: no such path: " << target.string() << "\n";
+    return;
+  }
+  for (const auto& entry : fs::recursive_directory_iterator(target)) {
+    if (!entry.is_regular_file() || !is_cxx_source(entry.path())) continue;
+    out->push_back(fs::relative(entry.path(), root).generic_string());
+  }
+}
+
+int list_rules() {
+  for (const auto& rule : redopt::lint::rules()) {
+    std::cout << rule.id << "  " << rule.summary << "\n      why: " << rule.rationale << "\n";
+  }
+  std::cout << "\nsuppress with `// redopt-lint: allow(<rule>[,<rule>...])` on the offending\n"
+               "line or the line above, or `// redopt-lint: allow-file(<rule>)` for a file;\n"
+               "every suppression should carry a justification in the surrounding comment.\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "redopt-lint: --root needs a directory\n";
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: redopt-lint [--root <dir>] [--list-rules] [paths...]\n";
+      return 0;
+    }
+    targets.push_back(arg);
+  }
+  if (targets.empty()) targets = {"src", "bench", "tests", "examples", "tools"};
+
+  std::vector<std::string> files;
+  for (const std::string& t : targets) collect(root, t, &files);
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const std::string& rel : files) {
+    const auto findings = redopt::lint::lint_file((root / rel).string(), rel);
+    for (const auto& f : findings) std::cout << redopt::lint::format_finding(f) << "\n";
+    total += findings.size();
+  }
+  if (total > 0) {
+    std::cout << "redopt-lint: " << total << " finding(s) in " << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "redopt-lint: clean (" << files.size() << " files)\n";
+  return 0;
+}
