@@ -1,0 +1,83 @@
+// R-CH1 — chaos scenario sweep: generated fault-injection scenarios
+// (Byzantine attacks, crash/recover, stragglers, lossy links) run through
+// the chaos executor, reporting property-check outcomes per regime.
+//
+// The telemetry manifest (--telemetry run.jsonl) records one event per
+// scenario with only deterministic fields, so
+// scripts/check_determinism.sh bench_chaos gates the whole chaos pipeline
+// (generator, executor, filters, runtime) on thread-count independence.
+#include "common.h"
+
+#include "chaos/executor.h"
+#include "chaos/generator.h"
+#include "chaos/properties.h"
+#include "chaos/scenario.h"
+
+using namespace redopt;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv,
+                      bench::with_runtime_flags({"iterations", "seed", "csv", "stride"}));
+  const bench::Harness harness(cli, "R-CH1");
+  const auto count = static_cast<std::size_t>(cli.get_int("iterations", 120));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const auto print_stride = static_cast<std::size_t>(cli.get_int("stride", 20));
+
+  bench::banner("R-CH1", "chaos scenario sweep, " + std::to_string(count) + " scenarios");
+
+  auto csv = bench::maybe_csv(
+      cli.get_bool("csv", false), "chaos",
+      {"scenario", "regime", "ok", "initial_distance", "final_distance", "byzantine_replies",
+       "crashed_absences", "stale_replies", "dropped_replies"});
+
+  chaos::Generator generator(chaos::GeneratorSpec{}, seed);
+  std::size_t guaranteed = 0, guaranteed_ok = 0;
+  std::size_t degraded = 0, degraded_ok = 0;
+  double worst_guaranteed = 0.0;
+
+  for (std::size_t k = 0; k < count; ++k) {
+    const chaos::Scenario scenario = generator.next();
+    const chaos::ScenarioResult result = chaos::run_scenario(scenario);
+    const chaos::PropertyReport report = chaos::check_properties(scenario, result);
+    const bool is_guaranteed = scenario.guaranteed();
+
+    if (is_guaranteed) {
+      ++guaranteed;
+      if (report.ok) ++guaranteed_ok;
+      worst_guaranteed = std::max(worst_guaranteed, result.final_distance);
+    } else {
+      ++degraded;
+      if (report.ok) ++degraded_ok;
+    }
+
+    telemetry::emit(telemetry::Event("chaos.scenario")
+                        .with("name", scenario.name)
+                        .with("guaranteed", is_guaranteed)
+                        .with("ok", report.ok)
+                        .with("initial_distance", result.initial_distance)
+                        .with("final_distance", result.final_distance)
+                        .with("byzantine_replies", result.byzantine_replies)
+                        .with("crashed_absences", result.crashed_absences)
+                        .with("stale_replies", result.stale_replies)
+                        .with("dropped_replies", result.dropped_replies)
+                        .with("duplicated_replies", result.duplicated_replies));
+
+    if (csv) {
+      csv->write_row(std::vector<std::string>{
+          scenario.name, is_guaranteed ? "guaranteed" : "degraded", report.ok ? "1" : "0",
+          util::json_number(result.initial_distance), util::json_number(result.final_distance),
+          std::to_string(result.byzantine_replies), std::to_string(result.crashed_absences),
+          std::to_string(result.stale_replies), std::to_string(result.dropped_replies)});
+    }
+    if (print_stride > 0 && k % print_stride == 0) {
+      std::cout << scenario.name << (is_guaranteed ? "  [guaranteed]" : "  [degraded]")
+                << "  " << result.initial_distance << " -> " << result.final_distance
+                << (report.ok ? "" : "  VIOLATION: " + report.summary()) << "\n";
+    }
+  }
+
+  std::cout << "\nguaranteed regime: " << guaranteed_ok << "/" << guaranteed
+            << " ok (worst final distance " << worst_guaranteed << ")\n"
+            << "degraded regime:   " << degraded_ok << "/" << degraded << " ok\n";
+  return (guaranteed_ok == guaranteed && degraded_ok == degraded) ? 0 : 1;
+}

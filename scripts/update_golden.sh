@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates the golden trace files under tests/golden/ after an
+# intentional numerical-behaviour change.  Review the resulting diff like
+# any other code change before committing.
+#
+# usage: scripts/update_golden.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -x "$BUILD_DIR/tests/test_golden_traces" ]]; then
+  echo "error: $BUILD_DIR/tests/test_golden_traces not built" >&2
+  echo "build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+REDOPT_UPDATE_GOLDEN=1 "$BUILD_DIR/tests/test_golden_traces"
+echo "golden traces regenerated; review with: git diff tests/golden/"

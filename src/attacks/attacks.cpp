@@ -1,5 +1,6 @@
 #include "attacks/attacks.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/error.h"
@@ -83,6 +84,45 @@ InnerProductAttack::InnerProductAttack(double c) : c_(c) {
 Vector InnerProductAttack::craft(const AttackContext& ctx) const {
   detail::check_context(ctx, true, "ipm");
   return linalg::mean(*ctx.honest_gradients) * (-c_);
+}
+
+NormCamouflageAttack::NormCamouflageAttack(double aggression) : aggression_(aggression) {
+  REDOPT_REQUIRE(aggression > 0.0, "camouflage aggression must be positive");
+}
+
+Vector NormCamouflageAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, true, "camouflage");
+  const auto& honest = *ctx.honest_gradients;
+  std::vector<double> norms;
+  norms.reserve(honest.size());
+  for (const auto& g : honest) norms.push_back(g.norm());
+  std::sort(norms.begin(), norms.end());
+  const double median = norms[norms.size() / 2];
+  const Vector mu = linalg::mean(honest);
+  const double mu_norm = mu.norm();
+  if (mu_norm == 0.0) return Vector(mu.size());  // honest mean is zero: nothing to reverse
+  return mu * (-aggression_ * median / mu_norm);
+}
+
+OrthogonalDriftAttack::OrthogonalDriftAttack(double aggression) : aggression_(aggression) {
+  REDOPT_REQUIRE(aggression > 0.0, "orthogonal-drift aggression must be positive");
+}
+
+Vector OrthogonalDriftAttack::craft(const AttackContext& ctx) const {
+  detail::check_context(ctx, true, "orthogonal_drift");
+  const auto& honest = *ctx.honest_gradients;
+  const Vector mu = linalg::mean(honest);
+  const std::size_t d = mu.size();
+  if (d < 2) return Vector(d);  // no orthogonal complement in 1-D
+  double norm_sum = 0.0;
+  for (const auto& g : honest) norm_sum += g.norm();
+  const double target = aggression_ * norm_sum / static_cast<double>(honest.size());
+  Vector dir(ctx.rng->unit_sphere(d));
+  const double mu_sq = linalg::dot(mu, mu);
+  if (mu_sq > 0.0) dir = dir - mu * (linalg::dot(dir, mu) / mu_sq);
+  const double dir_norm = dir.norm();
+  if (dir_norm < 1e-12) return Vector(d);  // draw was (numerically) parallel to the mean
+  return dir * (target / dir_norm);
 }
 
 MimicAttack::MimicAttack(std::size_t target_rank) : target_rank_(target_rank) {}

@@ -129,6 +129,42 @@ class DropoutAttack final : public Attack {
   std::size_t drop_after_;
 };
 
+/// Adaptive norm-camouflage attack: observes the round's honest gradients
+/// and sends the *negated honest mean* rescaled so its norm equals the
+/// median honest norm (times an aggression factor).  Direction-wise it is
+/// the worst vector an adversary can pick (pure anti-descent), but its
+/// norm is indistinguishable from an honest reply, so norm-ranking filters
+/// such as CGE cannot prefer honest gradients over it on magnitude alone —
+/// only the redundancy bound limits its damage.
+class NormCamouflageAttack final : public Attack {
+ public:
+  /// @p aggression multiplies the camouflage norm; 1.0 blends in exactly,
+  /// values < 1 hide *below* the honest norms.
+  explicit NormCamouflageAttack(double aggression = 1.0);
+  Vector craft(const AttackContext& ctx) const override;
+  std::string name() const override { return "camouflage"; }
+
+ private:
+  double aggression_;
+};
+
+/// Adaptive orthogonal-drift attack: sends a random direction with the
+/// component along the honest mean projected out, scaled to the mean
+/// honest norm (times an aggression factor).  Contributes nothing to
+/// descent while steering the aggregate sideways — a slow-poison drift
+/// that norm tests cannot see and inner-product tests score as neutral.
+/// Degenerates to the zero vector in one dimension (no orthogonal
+/// complement) or when the random draw aligns with the mean.
+class OrthogonalDriftAttack final : public Attack {
+ public:
+  explicit OrthogonalDriftAttack(double aggression = 1.0);
+  Vector craft(const AttackContext& ctx) const override;
+  std::string name() const override { return "orthogonal_drift"; }
+
+ private:
+  double aggression_;
+};
+
 /// Data-poisoning style fault: the agent behaves like an honest agent whose
 /// local cost has been corrupted (e.g. label-flipped data).  The crafted
 /// value is the *negated* honest gradient mixed with noise, modelling the

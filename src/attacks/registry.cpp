@@ -12,6 +12,8 @@ std::unique_ptr<Attack> make_attack(const std::string& name, const AttackParams&
   if (name == "large_norm") return std::make_unique<LargeNormAttack>(p.magnitude);
   if (name == "lie") return std::make_unique<LittleIsEnoughAttack>(p.z);
   if (name == "ipm") return std::make_unique<InnerProductAttack>(p.c);
+  if (name == "camouflage") return std::make_unique<NormCamouflageAttack>(p.aggression);
+  if (name == "orthogonal_drift") return std::make_unique<OrthogonalDriftAttack>(p.aggression);
   if (name == "poisoned_cost") return std::make_unique<PoisonedCostAttack>(p.noise);
   if (name == "mimic") return std::make_unique<MimicAttack>(p.mimic_target);
   if (name == "dropout") return std::make_unique<DropoutAttack>(p.drop_after);
@@ -24,8 +26,9 @@ std::unique_ptr<Attack> make_attack(const std::string& name, const AttackParams&
 }
 
 std::vector<std::string> attack_names() {
-  return {"gradient_reverse", "random",        "zero",  "large_norm", "lie",
-          "ipm",              "poisoned_cost", "mimic", "dropout",    "switch"};
+  return {"gradient_reverse", "random",  "zero",    "large_norm",       "lie",
+          "ipm",              "camouflage", "orthogonal_drift", "poisoned_cost",
+          "mimic",            "dropout", "switch"};
 }
 
 }  // namespace redopt::attacks

@@ -19,6 +19,7 @@ struct AttackParams {
   double z = 1.0;            ///< LIE z-score
   double c = 1.0;            ///< IPM factor
   double noise = 0.1;        ///< poisoned-cost noise
+  double aggression = 1.0;   ///< camouflage / orthogonal_drift scale factor
   std::size_t drop_after = 0;  ///< dropout: last iteration with a reply
   std::size_t mimic_target = 0;  ///< mimic: honest-gradient rank to copy
   std::string switch_inner = "gradient_reverse";  ///< switch: wrapped attack
@@ -27,7 +28,8 @@ struct AttackParams {
 
 /// Constructs the attack registered under @p name.
 /// Known names: gradient_reverse, random, zero, large_norm, lie, ipm,
-/// poisoned_cost, mimic, dropout, switch (sleeper wrapping params.switch_inner).
+/// camouflage, orthogonal_drift, poisoned_cost, mimic, dropout, switch
+/// (sleeper wrapping params.switch_inner).
 /// Throws PreconditionError for unknown names.
 std::unique_ptr<Attack> make_attack(const std::string& name, const AttackParams& params = {});
 

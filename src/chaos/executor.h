@@ -1,0 +1,63 @@
+// Deterministic scenario execution.
+//
+// run_scenario() materializes a Scenario into a concrete adversarial DGD
+// execution: it generates the problem instance from the scenario seed,
+// runs the server round loop under the scenario's fault schedule and
+// channel model, and reports the trajectory observables Properties
+// asserts on.  The execution is bit-identical for every REDOPT_THREADS
+// value (honest gradient fan-out uses runtime::parallel_for with
+// per-slot writes; every random draw comes from a named fork of the
+// scenario seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "chaos/scenario.h"
+#include "filters/gradient_filter.h"
+#include "linalg/vector.h"
+
+namespace redopt::chaos {
+
+/// Observables of one scenario execution.
+struct ScenarioResult {
+  linalg::Vector estimate;   ///< final iterate
+  linalg::Vector reference;  ///< argmin of the never-faulty agents' aggregate
+  double initial_distance = 0.0;  ///< ||x^0 - reference||
+  double final_distance = 0.0;    ///< ||x^T - reference||
+  double max_distance = 0.0;      ///< max over recorded rounds
+  bool nonfinite = false;         ///< any NaN/Inf coordinate seen
+  std::size_t nonfinite_round = 0;  ///< first offending round (when nonfinite)
+
+  // Fault-injection counters (what the schedule actually did).
+  std::uint64_t byzantine_replies = 0;  ///< attack-crafted replies sent
+  std::uint64_t crashed_absences = 0;   ///< agent-rounds spent crashed
+  std::uint64_t stale_replies = 0;      ///< straggler replies (stale estimate)
+  std::uint64_t dropped_replies = 0;
+  std::uint64_t delayed_replies = 0;
+  std::uint64_t duplicated_replies = 0;
+  std::uint64_t superseded_replies = 0;  ///< arrivals replaced by a fresher one
+  std::uint64_t filter_rebuilds = 0;  ///< rounds aggregated with a reduced (n, f)
+};
+
+/// Execution knobs that are not part of the scenario itself.
+struct ExecutorOptions {
+  /// Overrides gradient-filter construction (test hook: the broken-filter
+  /// self-test injects a sign-flipped CGE here).  Default: filters registry.
+  std::function<filters::FilterPtr(const std::string& name, std::size_t n, std::size_t f)>
+      filter_factory;
+};
+
+/// Runs the scenario (validating it first).  Deterministic in the
+/// scenario alone: same scenario, same result, any thread count.
+ScenarioResult run_scenario(const Scenario& scenario, const ExecutorOptions& options = {});
+
+/// Runs the constructive exact algorithm on the scenario's instance, with
+/// every Byzantine agent submitting an adversarially displaced cost, and
+/// returns the distance from the algorithm's output to the honest
+/// reference.  Requires a "mean" or "block_regression" scenario with
+/// small n (the algorithm enumerates subsets).
+double exact_algorithm_distance(const Scenario& scenario);
+
+}  // namespace redopt::chaos

@@ -1,0 +1,192 @@
+#include "chaos/generator.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace redopt::chaos {
+
+namespace {
+
+/// Picks one element of @p pool restricted to @p allowed (falling back to
+/// @p fallback when the intersection is empty).
+std::string pick_restricted(rng::Rng& rng, const std::vector<std::string>& pool,
+                            const std::vector<std::string>& allowed,
+                            const std::string& fallback) {
+  std::vector<std::string> candidates;
+  for (const std::string& p : pool) {
+    if (std::find(allowed.begin(), allowed.end(), p) != allowed.end()) candidates.push_back(p);
+  }
+  if (candidates.empty()) return fallback;
+  return candidates[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+}
+
+std::size_t pick_size(rng::Rng& rng, std::size_t lo, std::size_t hi) {
+  if (hi < lo) hi = lo;
+  return static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+}
+
+/// Draws the scalar knob for a named attack in its natural range.
+double pick_attack_param(rng::Rng& rng, const std::string& attack, std::size_t n) {
+  if (attack == "random") return rng.uniform(10.0, 400.0);
+  if (attack == "large_norm") return rng.uniform(1e3, 1e6);
+  if (attack == "lie") return rng.uniform(0.5, 2.0);
+  if (attack == "poisoned_cost") return rng.uniform(0.1, 1.0);
+  if (attack == "mimic") {
+    return static_cast<double>(rng.uniform_int(0, static_cast<std::int64_t>(n)));
+  }
+  if (attack == "zero") return 1.0;
+  return rng.uniform(0.5, 2.5);  // gradient_reverse / ipm / camouflage / orthogonal_drift
+}
+
+}  // namespace
+
+Generator::Generator(GeneratorSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  REDOPT_REQUIRE(!spec_.filters.empty(), "generator: needs at least one filter");
+  REDOPT_REQUIRE(!spec_.problems.empty(), "generator: needs at least one problem family");
+  REDOPT_REQUIRE(spec_.min_n >= 4 && spec_.max_n >= spec_.min_n, "generator: bad n range");
+  REDOPT_REQUIRE(spec_.max_f >= 1, "generator: needs max_f >= 1");
+  REDOPT_REQUIRE(spec_.min_d >= 1 && spec_.max_d >= spec_.min_d, "generator: bad d range");
+  REDOPT_REQUIRE(spec_.min_rounds >= 1 && spec_.max_rounds >= spec_.min_rounds,
+                 "generator: bad round range");
+  REDOPT_REQUIRE(spec_.violate_probability >= 0.0 && spec_.violate_probability <= 1.0,
+                 "generator: violate_probability must lie in [0, 1]");
+}
+
+Scenario Generator::next() {
+  ++count_;
+  const bool degraded = rng_.uniform() < spec_.violate_probability;
+  Scenario s = degraded ? next_degraded() : next_guaranteed();
+  s.name = "gen-" + std::to_string(count_) + (degraded ? "-degraded" : "-guaranteed");
+  s.seed = rng_.next_u64() >> 1;  // keep within as_int's serialization range
+  s.validate();
+  return s;
+}
+
+Scenario Generator::next_guaranteed() {
+  Scenario s;
+  s.problem = pick_restricted(rng_, spec_.problems, {"mean", "block_regression"}, "mean");
+  s.filter = pick_restricted(rng_, spec_.filters, {"cge", "cwtm"}, "cge");
+  s.d = pick_size(rng_, spec_.min_d, spec_.max_d);
+  s.rounds = pick_size(rng_, std::max<std::size_t>(40, spec_.min_rounds),
+                       std::max<std::size_t>(40, spec_.max_rounds));
+  s.noise_sigma = 0.0;
+
+  // Guaranteed regime needs n > 3f + crashes: pick f first, then the crash
+  // count and n with that headroom.
+  const std::size_t f_cap = std::min(spec_.max_f, (spec_.max_n - 2) / 3);
+  const std::size_t f = pick_size(rng_, 1, std::max<std::size_t>(1, f_cap));
+  const std::size_t byz = pick_size(rng_, 0, f);
+  const std::size_t crash_cap = std::min(f - byz, spec_.max_n - 3 * f - 1);
+  const std::size_t crashes = pick_size(rng_, 0, crash_cap);
+  s.f = f;
+  s.n = pick_size(rng_, std::max(spec_.min_n, 3 * f + crashes + 1), spec_.max_n);
+
+  const std::size_t stragglers = pick_size(rng_, 0, std::min<std::size_t>(2, s.n - byz - crashes));
+  const auto agents = rng_.subset(s.n, byz + crashes + stragglers);
+  std::size_t next_agent = 0;
+
+  const auto& attack_pool = scenario_attack_names();
+  for (std::size_t k = 0; k < byz; ++k) {
+    FaultSpec spec;
+    spec.kind = FaultSpec::Kind::kByzantine;
+    spec.agent = agents[next_agent++];
+    spec.from = pick_size(rng_, 0, s.rounds / 2);
+    spec.until = 0;  // malicious to the end: the hardest window
+    spec.attack = attack_pool[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(attack_pool.size()) - 1))];
+    spec.attack_param = pick_attack_param(rng_, spec.attack, s.n);
+    s.faults.push_back(spec);
+  }
+  for (std::size_t k = 0; k < crashes; ++k) {
+    FaultSpec spec;
+    spec.kind = FaultSpec::Kind::kCrash;
+    spec.agent = agents[next_agent++];
+    spec.from = pick_size(rng_, 1, s.rounds - 1);
+    // Half the crashes recover, half stay down.
+    spec.until = rng_.uniform() < 0.5 ? 0 : pick_size(rng_, spec.from + 1, s.rounds);
+    s.faults.push_back(spec);
+  }
+  for (std::size_t k = 0; k < stragglers; ++k) {
+    FaultSpec spec;
+    spec.kind = FaultSpec::Kind::kStraggler;
+    spec.agent = agents[next_agent++];
+    spec.from = pick_size(rng_, 0, s.rounds / 2);
+    spec.until = 0;
+    spec.staleness = pick_size(rng_, 1, 5);
+    s.faults.push_back(spec);
+  }
+
+  s.channel.drop_probability = 0.0;
+  s.channel.duplicate_probability = rng_.uniform() < 0.3 ? rng_.uniform(0.05, 0.3) : 0.0;
+  s.channel.max_delay = pick_size(rng_, 0, 2);
+  return s;
+}
+
+Scenario Generator::next_degraded() {
+  Scenario s;
+  s.problem = spec_.problems[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(spec_.problems.size()) - 1))];
+  s.filter = spec_.filters[static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(spec_.filters.size()) - 1))];
+  s.rounds = pick_size(rng_, spec_.min_rounds, spec_.max_rounds);
+
+  const std::size_t f_cap = std::max<std::size_t>(1, std::min(spec_.max_f, (spec_.max_n - 1) / 2));
+  s.f = pick_size(rng_, 1, f_cap);
+  s.n = pick_size(rng_, std::max(spec_.min_n, 2 * s.f + 1), spec_.max_n);
+  s.d = pick_size(rng_, spec_.min_d, spec_.max_d);
+  if (s.problem == "regression") {
+    // Regression instances need n - 2f >= d.
+    s.d = std::min(s.d, s.n - 2 * s.f);
+  }
+
+  // Violate at least one guarantee precondition; often several.
+  const bool over_budget = rng_.uniform() < 0.5;
+  if (rng_.uniform() < 0.5) s.noise_sigma = rng_.uniform(0.01, 0.5);
+  if (rng_.uniform() < 0.5) s.channel.drop_probability = rng_.uniform(0.05, 0.3);
+  if (rng_.uniform() < 0.3) s.channel.duplicate_probability = rng_.uniform(0.05, 0.3);
+  if (rng_.uniform() < 0.5) s.channel.max_delay = pick_size(rng_, 1, 5);
+
+  std::size_t faulty_cap = over_budget ? std::min(s.n - 1, s.f + pick_size(rng_, 1, s.f + 1))
+                                       : s.f;
+  const std::size_t faulty = pick_size(rng_, over_budget ? s.f + 1 : 0,
+                                       std::max(faulty_cap, over_budget ? s.f + 1 : 0));
+  const std::size_t fault_count = std::min(faulty, s.n - 1);
+  const std::size_t stragglers = pick_size(rng_, 0, std::min<std::size_t>(2, s.n - fault_count));
+  const auto agents = rng_.subset(s.n, fault_count + stragglers);
+  std::size_t next_agent = 0;
+
+  const auto& attack_pool = scenario_attack_names();
+  for (std::size_t k = 0; k < fault_count; ++k) {
+    FaultSpec spec;
+    spec.agent = agents[next_agent++];
+    if (rng_.uniform() < 0.25) {
+      spec.kind = FaultSpec::Kind::kCrash;
+      spec.from = pick_size(rng_, 1, s.rounds - 1);
+      spec.until = rng_.uniform() < 0.5 ? 0 : pick_size(rng_, spec.from + 1, s.rounds);
+    } else {
+      spec.kind = FaultSpec::Kind::kByzantine;
+      spec.from = pick_size(rng_, 0, s.rounds / 2);
+      spec.until = rng_.uniform() < 0.3 ? pick_size(rng_, spec.from + 1, s.rounds) : 0;
+      spec.attack = attack_pool[static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(attack_pool.size()) - 1))];
+      spec.attack_param = pick_attack_param(rng_, spec.attack, s.n);
+    }
+    s.faults.push_back(spec);
+  }
+  for (std::size_t k = 0; k < stragglers; ++k) {
+    FaultSpec spec;
+    spec.kind = FaultSpec::Kind::kStraggler;
+    spec.agent = agents[next_agent++];
+    spec.from = pick_size(rng_, 0, s.rounds / 2);
+    spec.until = 0;
+    spec.staleness = pick_size(rng_, 1, 8);
+    s.faults.push_back(spec);
+  }
+  return s;
+}
+
+}  // namespace redopt::chaos

@@ -1,0 +1,73 @@
+#include "chaos/properties.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace redopt::chaos {
+
+std::string PropertyReport::summary() const {
+  if (violations.empty()) return "ok";
+  std::ostringstream os;
+  for (std::size_t k = 0; k < violations.size(); ++k) {
+    if (k > 0) os << "; ";
+    os << violations[k];
+  }
+  return os.str();
+}
+
+PropertyReport check_properties(const Scenario& scenario, const ScenarioResult& result,
+                                const PropertyOptions& options) {
+  PropertyReport report;
+  auto violation = [&](const std::string& what) {
+    report.ok = false;
+    report.violations.push_back(what);
+  };
+
+  if (result.nonfinite) {
+    violation("non-finite iterate at round " + std::to_string(result.nonfinite_round));
+  }
+
+  // Graceful degradation: the projection confines every iterate to the
+  // [-10, 10]^d box, so no iterate can be farther from the reference than
+  // the box diameter allows.  A larger distance means the executor let an
+  // unprojected (or corrupted) iterate through.
+  const double escape_bound =
+      result.reference.norm() + 10.0 * std::sqrt(static_cast<double>(scenario.d)) + 1e-6;
+  if (!result.nonfinite && result.max_distance > escape_bound) {
+    violation("iterates escaped the constraint set (max distance " +
+              std::to_string(result.max_distance) + " > bound " +
+              std::to_string(escape_bound) + ")");
+  }
+
+  if (scenario.guaranteed()) {
+    const double bound =
+        std::max(options.rel_tolerance * result.initial_distance, options.abs_tolerance);
+    if (!(result.final_distance <= bound)) {
+      violation("guaranteed regime did not converge: final distance " +
+                std::to_string(result.final_distance) + " > bound " + std::to_string(bound) +
+                " (initial " + std::to_string(result.initial_distance) + ")");
+    }
+  }
+
+  return report;
+}
+
+bool bit_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  auto same_double = [](double x, double y) {
+    if (std::isnan(x) || std::isnan(y)) return std::isnan(x) && std::isnan(y);
+    return x == y;
+  };
+  if (!(a.estimate == b.estimate)) return false;
+  if (!same_double(a.initial_distance, b.initial_distance)) return false;
+  if (!same_double(a.final_distance, b.final_distance)) return false;
+  if (!same_double(a.max_distance, b.max_distance)) return false;
+  if (a.nonfinite != b.nonfinite || a.nonfinite_round != b.nonfinite_round) return false;
+  return a.byzantine_replies == b.byzantine_replies &&
+         a.crashed_absences == b.crashed_absences && a.stale_replies == b.stale_replies &&
+         a.dropped_replies == b.dropped_replies && a.delayed_replies == b.delayed_replies &&
+         a.duplicated_replies == b.duplicated_replies &&
+         a.superseded_replies == b.superseded_replies &&
+         a.filter_rebuilds == b.filter_rebuilds;
+}
+
+}  // namespace redopt::chaos

@@ -1,0 +1,49 @@
+// Paper invariants asserted on every scenario execution.
+//
+// Two regimes, one checker.  Inside Scenario::guaranteed() — noiseless
+// paper instances, faults within the 2f-redundancy budget — the execution
+// must actually converge to the honest argmin (Theorems 2/4).  Outside
+// it, the paper promises nothing about the limit point, but the machinery
+// must still degrade gracefully: every iterate finite, every iterate
+// inside the constraint set.  A violation of either is a library bug, and
+// the chaos suite shrinks the offending scenario to a minimal reproducer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/executor.h"
+#include "chaos/scenario.h"
+
+namespace redopt::chaos {
+
+/// Convergence tolerances for the guaranteed regime: the final distance
+/// to the honest argmin must drop below
+///   max(rel_tolerance * initial_distance, abs_tolerance).
+/// The defaults are calibrated against the seeded generator suite (see
+/// tests/test_chaos.cpp); harmonic-step DGD contracts the distance by
+/// roughly 1/T, so 40+ rounds clear them with margin.
+struct PropertyOptions {
+  double rel_tolerance = 0.2;
+  double abs_tolerance = 0.08;
+};
+
+/// Outcome of checking one execution.
+struct PropertyReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  /// All violations joined into one line ("ok" when none).
+  std::string summary() const;
+};
+
+/// Asserts the regime-appropriate invariants on @p result.
+PropertyReport check_properties(const Scenario& scenario, const ScenarioResult& result,
+                                const PropertyOptions& options = {});
+
+/// Bitwise trajectory equality: same final iterate (exact double
+/// equality), same distances, same fault counters.  Used to assert
+/// determinism across REDOPT_THREADS values.
+bool bit_identical(const ScenarioResult& a, const ScenarioResult& b);
+
+}  // namespace redopt::chaos

@@ -1,0 +1,104 @@
+// Declarative chaos scenarios: seedable, composable fault schedules.
+//
+// A Scenario is a complete, serializable description of one adversarial
+// execution: the problem instance family, the gradient filter, and a set
+// of per-agent fault windows (Byzantine behaviour, crash/recover,
+// straggling) layered with channel faults (drop / duplicate / delay).
+// Everything downstream of the scenario — instance data, initial
+// estimate, attack randomness, channel draws — derives deterministically
+// from its seed, so a scenario IS its execution: serialize it to JSON,
+// replay it anywhere (tools/chaos-replay), get the same trajectory bit
+// for bit.
+//
+// guaranteed() carves out the regime where the paper's theorems promise
+// exact convergence; chaos::Properties asserts convergence there and only
+// graceful degradation (bounded, finite) everywhere else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redopt::chaos {
+
+/// One agent's fault behaviour over a window of rounds.  At most one spec
+/// per agent: an agent is Byzantine, crashed, or straggling — composing
+/// those on a single agent is modelled by the Byzantine spec alone, since
+/// a Byzantine agent subsumes every other misbehaviour.
+struct FaultSpec {
+  enum class Kind {
+    kByzantine,  ///< crafts attack replies during the window, honest outside
+    kCrash,      ///< silent during the window (no reply), honest outside
+    kStraggler,  ///< honest but replies with the gradient at x^{t - staleness}
+  };
+
+  Kind kind = Kind::kByzantine;
+  std::size_t agent = 0;
+  std::size_t from = 0;   ///< first faulty round
+  std::size_t until = 0;  ///< first healthy round again; 0 = faulty to the end
+  std::string attack = "gradient_reverse";  ///< Byzantine only: attack registry name
+  double attack_param = 1.0;  ///< the attack's scalar knob (scale / z / c / aggression)
+  std::size_t staleness = 1;  ///< straggler only: fixed lag s >= 1
+};
+
+/// Channel fault model applied to every reply, mirroring net::LinkFaults.
+struct ChannelFaults {
+  double drop_probability = 0.0;       ///< in [0, 1]
+  double duplicate_probability = 0.0;  ///< in [0, 1]; extra on-time copy
+  std::size_t max_delay = 0;           ///< extra rounds, uniform in [0, max_delay]
+};
+
+/// A fully specified chaos execution.
+struct Scenario {
+  std::string name;        ///< free-form label (shows up in failure reports)
+  std::uint64_t seed = 1;  ///< root of every random stream in the execution
+  std::string problem = "mean";  ///< "mean" | "regression" | "block_regression"
+  std::string filter = "cge";    ///< gradient-filter registry name
+  std::size_t n = 6;
+  std::size_t f = 1;
+  std::size_t d = 2;
+  std::size_t rounds = 60;
+  double noise_sigma = 0.0;  ///< observation noise of the generated instance
+  std::vector<FaultSpec> faults;
+  ChannelFaults channel;
+
+  /// Structural validation: n > 2f, f >= 1, agents in range and distinct
+  /// across specs, windows well-formed, attack names known, probabilities
+  /// in [0, 1], regression needs n - 2f >= d.  Throws PreconditionError.
+  void validate() const;
+
+  /// Agents with a Byzantine / crash spec, ascending.
+  std::vector<std::size_t> byzantine_agents() const;
+  std::vector<std::size_t> crash_agents() const;
+
+  /// Distinct agents that are Byzantine or crash at some point (stragglers
+  /// stay honest and do not count).
+  std::size_t faulty_agent_count() const;
+
+  /// Whether the execution stays within the paper's fault budget f.
+  bool within_budget() const { return faulty_agent_count() <= f; }
+
+  /// True when this scenario sits in the regime where exact convergence to
+  /// the honest argmin is guaranteed (and asserted by Properties):
+  /// noiseless mean / block-regression instances, a paper filter (cge /
+  /// cwtm), faults within budget, enough redundancy headroom for the
+  /// crash absences (n > 3f + #crash agents), and only mild asynchrony
+  /// (bounded delay / staleness, no drops).  Everything outside this
+  /// regime is held to graceful degradation only.
+  bool guaranteed() const;
+
+  /// Canonical JSON form (deterministic member order; round-trips through
+  /// scenario_from_json bit-exactly).
+  std::string to_json() const;
+};
+
+/// Parses a scenario serialized by to_json().  Unknown members are
+/// rejected.  Throws PreconditionError on malformed input.
+Scenario scenario_from_json(const std::string& text);
+
+/// Attack names a Byzantine FaultSpec may use (the registry minus the
+/// reply-schedule attacks dropout/switch, whose behaviour FaultSpec
+/// windows express directly).
+const std::vector<std::string>& scenario_attack_names();
+
+}  // namespace redopt::chaos

@@ -1,0 +1,169 @@
+#include "chaos/shrink.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace redopt::chaos {
+
+namespace {
+
+/// Re-fits every fault window into [0, rounds) after a round reduction.
+void clamp_windows(Scenario& s) {
+  for (FaultSpec& spec : s.faults) {
+    const std::size_t lo = spec.kind == FaultSpec::Kind::kCrash ? 1 : 0;
+    spec.from = std::max(lo, std::min(spec.from, s.rounds - 1));
+    if (spec.until != 0 && (spec.until >= s.rounds || spec.until <= spec.from)) spec.until = 0;
+  }
+}
+
+bool is_valid(const Scenario& s) {
+  try {
+    s.validate();
+  } catch (const PreconditionError&) {
+    return false;
+  }
+  return true;
+}
+
+/// All one-step simplifications of @p s, most aggressive first.  The
+/// shrink loop keeps the first one that still fails, so ordering is the
+/// search heuristic: structural deletions before numeric halvings before
+/// cosmetic weakenings.
+std::vector<Scenario> candidates(const Scenario& s, std::size_t min_rounds) {
+  std::vector<Scenario> out;
+
+  // Drop each fault spec.
+  for (std::size_t k = 0; k < s.faults.size(); ++k) {
+    Scenario c = s;
+    c.faults.erase(c.faults.begin() + static_cast<std::ptrdiff_t>(k));
+    out.push_back(std::move(c));
+  }
+
+  // Calm the channel, one knob at a time.
+  if (s.channel.drop_probability > 0.0) {
+    Scenario c = s;
+    c.channel.drop_probability = 0.0;
+    out.push_back(std::move(c));
+  }
+  if (s.channel.duplicate_probability > 0.0) {
+    Scenario c = s;
+    c.channel.duplicate_probability = 0.0;
+    out.push_back(std::move(c));
+  }
+  if (s.channel.max_delay > 0) {
+    Scenario c = s;
+    c.channel.max_delay = 0;
+    out.push_back(std::move(c));
+  }
+
+  // Quiet the instance noise.
+  if (s.noise_sigma > 0.0) {
+    Scenario c = s;
+    c.noise_sigma = 0.0;
+    out.push_back(std::move(c));
+  }
+
+  // Shorten the run: straight to the floor, then by halving.
+  if (s.rounds > min_rounds) {
+    Scenario c = s;
+    c.rounds = min_rounds;
+    clamp_windows(c);
+    out.push_back(std::move(c));
+  }
+  if (s.rounds / 2 >= min_rounds && s.rounds / 2 < s.rounds) {
+    Scenario c = s;
+    c.rounds = s.rounds / 2;
+    clamp_windows(c);
+    out.push_back(std::move(c));
+  }
+
+  // Remove the highest agent no fault spec references (renumbering the
+  // ones above it).
+  {
+    std::vector<bool> referenced(s.n, false);
+    for (const FaultSpec& spec : s.faults) referenced[spec.agent] = true;
+    for (std::size_t a = s.n; a-- > 0;) {
+      if (referenced[a]) continue;
+      if (s.n - 1 <= 2 * s.f) break;
+      Scenario c = s;
+      c.n = s.n - 1;
+      for (FaultSpec& spec : c.faults) {
+        if (spec.agent > a) --spec.agent;
+      }
+      out.push_back(std::move(c));
+      break;
+    }
+  }
+
+  // Smaller fault budget / dimension.
+  if (s.f > 1) {
+    Scenario c = s;
+    c.f = s.f - 1;
+    out.push_back(std::move(c));
+  }
+  if (s.d > 1) {
+    Scenario c = s;
+    c.d = s.d - 1;
+    out.push_back(std::move(c));
+  }
+
+  // Per-spec weakenings: earlier windows, less staleness, the simplest
+  // attack.
+  for (std::size_t k = 0; k < s.faults.size(); ++k) {
+    const FaultSpec& spec = s.faults[k];
+    const std::size_t lo = spec.kind == FaultSpec::Kind::kCrash ? 1 : 0;
+    if (spec.from / 2 >= lo && spec.from / 2 < spec.from) {
+      Scenario c = s;
+      c.faults[k].from = spec.from / 2;
+      out.push_back(std::move(c));
+    }
+    if (spec.kind == FaultSpec::Kind::kStraggler && spec.staleness > 1) {
+      Scenario c = s;
+      c.faults[k].staleness = spec.staleness / 2;
+      out.push_back(std::move(c));
+    }
+    if (spec.kind == FaultSpec::Kind::kByzantine &&
+        (spec.attack != "gradient_reverse" || spec.attack_param != 1.0)) {
+      Scenario c = s;
+      c.faults[k].attack = "gradient_reverse";
+      c.faults[k].attack_param = 1.0;
+      out.push_back(std::move(c));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace
+
+ShrinkOutcome shrink(const Scenario& failing, const ScenarioPredicate& still_fails,
+                     const ShrinkOptions& options) {
+  REDOPT_REQUIRE(still_fails != nullptr, "shrink: needs a predicate");
+  REDOPT_REQUIRE(options.min_rounds >= 1, "shrink: min_rounds must be >= 1");
+  REDOPT_REQUIRE(is_valid(failing), "shrink: the input scenario is invalid");
+  REDOPT_REQUIRE(still_fails(failing), "shrink: the input scenario does not fail the predicate");
+
+  ShrinkOutcome out;
+  out.scenario = failing;
+  out.runs = 1;  // the input check above
+
+  bool improved = true;
+  while (improved && out.runs < options.max_runs) {
+    improved = false;
+    for (Scenario& candidate : candidates(out.scenario, options.min_rounds)) {
+      if (out.runs >= options.max_runs) break;
+      if (!is_valid(candidate)) continue;
+      ++out.runs;
+      if (still_fails(candidate)) {
+        out.scenario = std::move(candidate);
+        ++out.improvements;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace redopt::chaos

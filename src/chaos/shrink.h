@@ -1,0 +1,41 @@
+// Greedy scenario minimization.
+//
+// When a generated scenario violates a property, the raw instance is
+// usually too big to reason about (a dozen agents, a hundred rounds,
+// several composed faults).  shrink() reduces it to a minimal reproducer:
+// it repeatedly tries simplifying transformations — drop a fault, calm
+// the channel, halve the rounds, remove an agent, weaken the attack — and
+// keeps a transformation whenever the caller's predicate says the
+// simplified scenario still fails.  The search is deterministic (fixed
+// transformation order, first improvement wins, restart) and bounded by a
+// run budget, so a shrink is itself reproducible.
+#pragma once
+
+#include <functional>
+
+#include "chaos/scenario.h"
+
+namespace redopt::chaos {
+
+/// Returns true when the scenario still exhibits the failure being
+/// minimized.  The predicate must be deterministic (run_scenario is).
+using ScenarioPredicate = std::function<bool(const Scenario&)>;
+
+struct ShrinkOptions {
+  std::size_t max_runs = 400;  ///< predicate-call budget
+  std::size_t min_rounds = 5;  ///< never shrink below this many rounds
+};
+
+struct ShrinkOutcome {
+  Scenario scenario;           ///< the minimized failing scenario
+  std::size_t runs = 0;        ///< predicate calls spent
+  std::size_t improvements = 0;  ///< transformations that stuck
+};
+
+/// Minimizes @p failing under @p still_fails.  Requires
+/// still_fails(failing) to hold; the returned scenario fails too (it is
+/// @p failing itself when nothing simpler does).
+ShrinkOutcome shrink(const Scenario& failing, const ScenarioPredicate& still_fails,
+                     const ShrinkOptions& options = {});
+
+}  // namespace redopt::chaos

@@ -1,5 +1,8 @@
 #include "data/instance_io.h"
 
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -38,6 +41,41 @@ void save_regression(const RegressionInstance& instance, const std::string& path
   REDOPT_REQUIRE(out.good(), "write failed for instance file: " + path);
 }
 
+namespace {
+
+// Byte-mutated or adversarial files must fail with a typed error before
+// any data-dependent allocation, so claimed sizes are parsed strictly
+// (operator>> into size_t silently wraps negatives) and sanity-capped.
+constexpr long long kMaxAgents = 1'000'000;
+constexpr long long kMaxDimensions = 10'000;
+
+std::size_t parse_size(const std::string& token, long long cap, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(token.c_str(), &end, 10);
+  REDOPT_REQUIRE(!token.empty() && errno == 0 && end == token.c_str() + token.size(),
+                 std::string("instance: ") + what + " is not an integer: " + token);
+  REDOPT_REQUIRE(value >= 0 && value <= cap,
+                 std::string("instance: ") + what + " out of range: " + token);
+  return static_cast<std::size_t>(value);
+}
+
+double parse_finite(std::istringstream& fields, const std::string& line, const char* what) {
+  double value = 0.0;
+  REDOPT_REQUIRE(static_cast<bool>(fields >> value),
+                 std::string("instance: missing or malformed ") + what + ": " + line);
+  REDOPT_REQUIRE(std::isfinite(value),
+                 std::string("instance: non-finite ") + what + ": " + line);
+  return value;
+}
+
+void reject_trailing(std::istringstream& fields, const std::string& line) {
+  std::string extra;
+  REDOPT_REQUIRE(!(fields >> extra), "instance: trailing tokens on line: " + line);
+}
+
+}  // namespace
+
 RegressionInstance regression_from_string(const std::string& text) {
   std::istringstream in(text);
   std::string line;
@@ -50,12 +88,26 @@ RegressionInstance regression_from_string(const std::string& text) {
   {
     REDOPT_REQUIRE(static_cast<bool>(std::getline(in, line)), "missing dimensions line");
     std::istringstream fields(line);
-    std::string kn, kd, kf;
-    REDOPT_REQUIRE(static_cast<bool>(fields >> kn >> n >> kd >> d >> kf >> f) &&
+    std::string kn, vn, kd, vd, kf, vf;
+    REDOPT_REQUIRE(static_cast<bool>(fields >> kn >> vn >> kd >> vd >> kf >> vf) &&
                        kn == "n" && kd == "d" && kf == "f",
                    "malformed dimensions line: " + line);
+    reject_trailing(fields, line);
+    n = parse_size(vn, kMaxAgents, "n");
+    d = parse_size(vd, kMaxDimensions, "d");
+    f = parse_size(vf, kMaxAgents, "f");
     REDOPT_REQUIRE(n >= 1 && d >= 1, "instance must have n >= 1, d >= 1");
+    REDOPT_REQUIRE(f <= n, "instance must have f <= n");
   }
+
+  // A claimed size far beyond what the text can hold means a corrupted
+  // header; check before allocating n x d.  Every row line carries at
+  // least d + 1 numeric tokens, so it is longer than d + 1 bytes.
+  const auto consumed = in.tellg();
+  const std::size_t remaining =
+      consumed < 0 ? 0 : text.size() - static_cast<std::size_t>(consumed);
+  REDOPT_REQUIRE(n * (d + 1) <= remaining,
+                 "instance: claimed dimensions exceed file contents");
 
   RegressionInstance instance;
   instance.problem.f = f;
@@ -66,9 +118,9 @@ RegressionInstance regression_from_string(const std::string& text) {
     REDOPT_REQUIRE(static_cast<bool>(fields >> token) && token == "x_star",
                    "malformed x_star line: " + line);
     for (std::size_t k = 0; k < d; ++k) {
-      REDOPT_REQUIRE(static_cast<bool>(fields >> instance.x_star[k]),
-                     "x_star line has too few values");
+      instance.x_star[k] = parse_finite(fields, line, "x_star value");
     }
+    reject_trailing(fields, line);
   }
 
   instance.a = linalg::Matrix(n, d);
@@ -80,13 +132,16 @@ RegressionInstance regression_from_string(const std::string& text) {
     REDOPT_REQUIRE(static_cast<bool>(fields >> token) && token == "row",
                    "malformed row line: " + line);
     for (std::size_t k = 0; k < d; ++k) {
-      REDOPT_REQUIRE(static_cast<bool>(fields >> instance.a(i, k)),
-                     "row line has too few values: " + line);
+      instance.a(i, k) = parse_finite(fields, line, "row value");
     }
     REDOPT_REQUIRE(static_cast<bool>(fields >> token) && token == "obs",
                    "row line missing 'obs': " + line);
-    REDOPT_REQUIRE(static_cast<bool>(fields >> instance.b[i]),
-                   "row line missing observation: " + line);
+    instance.b[i] = parse_finite(fields, line, "observation");
+    reject_trailing(fields, line);
+  }
+  while (std::getline(in, line)) {
+    REDOPT_REQUIRE(line.find_first_not_of(" \t\r") == std::string::npos,
+                   "instance: trailing content after last row: " + line);
   }
 
   instance.problem.costs.reserve(n);

@@ -38,6 +38,19 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
   std::vector<bool> is_byzantine(n, false);
   for (std::size_t id : byzantine_ids) is_byzantine[id] = true;
 
+  for (const CrashWindow& w : config.crashes) {
+    REDOPT_REQUIRE(w.agent < n, "crash window names an unknown agent");
+    REDOPT_REQUIRE(!is_byzantine[w.agent], "crash windows apply to honest agents only");
+    REDOPT_REQUIRE(w.begin >= 1, "crash windows must begin at iteration >= 1");
+    REDOPT_REQUIRE(w.begin < w.end, "crash window must be non-empty (begin < end)");
+  }
+  auto crashed_at = [&](std::size_t agent, std::size_t t) {
+    for (const CrashWindow& w : config.crashes) {
+      if (w.agent == agent && t >= w.begin && t < w.end) return true;
+    }
+    return false;
+  };
+
   linalg::Vector x = base.x0.empty() ? linalg::Vector(d) : base.x0;
   REDOPT_REQUIRE(x.size() == d, "x0 dimension mismatch");
   x = base.projection->project(x);
@@ -69,6 +82,7 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
   // exact in any recording order — safe to observe inside the fan-out.
   const auto metric_staleness = reg.histogram(
       "async.staleness", telemetry::BucketLayout::linear(0.0, 1.0, 16));
+  const auto metric_crashed = reg.counter("async.crashed_replies");
 
   TrainResult result;
   auto record = [&](std::size_t t) {
@@ -95,6 +109,13 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
     // bit-identical at any runtime::threads() setting.
     runtime::parallel_for(0, honest.size(), [&](std::size_t j) {
       const std::size_t i = honest[j];
+      // A crashed agent computes nothing; the server keeps seeing its
+      // last-sent gradient (gradients[i] holds the previous round's value
+      // across iterations).  No staleness draw is consumed while crashed.
+      if (crashed_at(i, t)) {
+        metric_crashed.inc();
+        return;
+      }
       // Straggler draw: consume randomness only when stragglers are
       // enabled, so probability 0 replays the synchronous execution.
       std::size_t staleness = 0;

@@ -17,15 +17,28 @@
 
 namespace redopt::dgd {
 
+/// A crash-and-recover window for one honest agent: during iterations
+/// [begin, end) the agent computes nothing and the server keeps seeing its
+/// last-sent gradient (the stale-reply analogue of a frozen process);
+/// from iteration end onward the agent participates normally again.
+/// begin must be >= 1 so a last-sent gradient exists.
+struct CrashWindow {
+  std::size_t agent = 0;
+  std::size_t begin = 1;  ///< first crashed iteration
+  std::size_t end = 1;    ///< first recovered iteration (exclusive bound)
+};
+
 /// Staleness model parameters.
 struct AsyncConfig {
   TrainerConfig base;             ///< filter, schedule, projection, iterations, seed
   double straggler_probability = 0.2;  ///< chance an honest reply is stale
   std::size_t max_staleness = 5;  ///< stale replies use x^{t-s}, s uniform in [1, max]
+  std::vector<CrashWindow> crashes;  ///< crash/recover schedule for honest agents
 };
 
 /// Runs DGD under the stale-gradient model.  With straggler_probability = 0
-/// the execution is bit-identical to dgd::train (checked by tests).
+/// and no crash windows the execution is bit-identical to dgd::train
+/// (checked by tests).
 TrainResult train_async(const core::MultiAgentProblem& problem,
                         const std::vector<std::size_t>& byzantine_ids,
                         const attacks::Attack* attack, const AsyncConfig& config,

@@ -13,6 +13,8 @@ SyncNetwork::SyncNetwork(std::vector<Node*> nodes, LinkFaults faults)
   for (const Node* n : nodes_) REDOPT_REQUIRE(n != nullptr, "network node is null");
   REDOPT_REQUIRE(faults_.drop_probability >= 0.0 && faults_.drop_probability <= 1.0,
                  "drop probability must lie in [0, 1]");
+  REDOPT_REQUIRE(faults_.duplicate_probability >= 0.0 && faults_.duplicate_probability <= 1.0,
+                 "duplicate probability must lie in [0, 1]");
 
   auto& reg = telemetry::registry();
   metric_rounds_ = reg.counter("net.rounds");
@@ -20,6 +22,7 @@ SyncNetwork::SyncNetwork(std::vector<Node*> nodes, LinkFaults faults)
   metric_delivered_ = reg.counter("net.messages_delivered");
   metric_dropped_ = reg.counter("net.messages_dropped");
   metric_delayed_ = reg.counter("net.messages_delayed");
+  metric_duplicated_ = reg.counter("net.messages_duplicated");
   metric_scalars_ = reg.counter("net.scalars_transferred");
 }
 
@@ -30,6 +33,7 @@ std::size_t SyncNetwork::run_round() {
   std::size_t delivered = 0;
   std::uint64_t dropped = 0;
   std::uint64_t delayed = 0;
+  std::uint64_t duplicated = 0;
   auto deliver = [&](Message m) {
     stats_.scalars_transferred += m.payload.size();
     metric_scalars_.inc(m.payload.size());
@@ -64,6 +68,14 @@ std::size_t SyncNetwork::run_round() {
       ++stats_.messages_dropped;
       ++dropped;
       return;
+    }
+    if (faults_.duplicate_probability > 0.0 &&
+        fault_rng_.uniform() < faults_.duplicate_probability) {
+      // One extra copy arrives on time; the original still runs the delay
+      // gauntlet below, so a duplicate can land before its original.
+      ++stats_.messages_duplicated;
+      ++duplicated;
+      deliver(m);
     }
     if (faults_.max_delay > 0) {
       const auto delay = static_cast<std::size_t>(
@@ -114,12 +126,14 @@ std::size_t SyncNetwork::run_round() {
   metric_delivered_.inc(delivered);
   metric_dropped_.inc(dropped);
   metric_delayed_.inc(delayed);
+  metric_duplicated_.inc(duplicated);
   if (telemetry::tracing_enabled()) {
     telemetry::emit(telemetry::Event("net.round")
                         .with("round", static_cast<std::uint64_t>(round_ - 1))
                         .with("delivered", static_cast<std::uint64_t>(delivered))
                         .with("dropped", dropped)
-                        .with("delayed", delayed));
+                        .with("delayed", delayed)
+                        .with("duplicated", duplicated));
   }
   return delivered;
 }

@@ -7,10 +7,10 @@
 // bit-reproducible.
 //
 // An optional LinkFaults model makes links lossy: each per-recipient
-// delivery is independently dropped or delayed, with draws taken from a
-// dedicated deterministic stream in delivery-expansion order (message
-// emission order, recipients ascending for broadcasts) — so a faulty
-// execution is just as reproducible as a lossless one.
+// delivery is independently dropped, duplicated, or delayed, with draws
+// taken from a dedicated deterministic stream in delivery-expansion order
+// (message emission order, recipients ascending for broadcasts) — so a
+// faulty execution is just as reproducible as a lossless one.
 #pragma once
 
 #include <cstdint>
@@ -29,15 +29,17 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t messages_delayed = 0;
+  std::uint64_t messages_duplicated = 0;  ///< extra copies injected by the fault model
   std::uint64_t scalars_transferred = 0;  ///< total payload entries delivered
 };
 
 /// Opt-in lossy-link model.  The default (both fields zero) consumes no
 /// randomness and reproduces the lossless network exactly.
 struct LinkFaults {
-  double drop_probability = 0.0;  ///< in [0, 1]; per per-recipient delivery
-  std::size_t max_delay = 0;      ///< extra rounds, drawn uniformly from [0, max_delay]
-  std::uint64_t seed = 1;         ///< seeds the fault stream
+  double drop_probability = 0.0;       ///< in [0, 1]; per per-recipient delivery
+  double duplicate_probability = 0.0;  ///< in [0, 1]; injects one extra on-time copy
+  std::size_t max_delay = 0;           ///< extra rounds, drawn uniformly from [0, max_delay]
+  std::uint64_t seed = 1;              ///< seeds the fault stream
 };
 
 class SyncNetwork {
@@ -76,6 +78,7 @@ class SyncNetwork {
   telemetry::Counter metric_delivered_;
   telemetry::Counter metric_dropped_;
   telemetry::Counter metric_delayed_;
+  telemetry::Counter metric_duplicated_;
   telemetry::Counter metric_scalars_;
 };
 

@@ -1,5 +1,7 @@
 #include "util/config.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -61,19 +63,34 @@ std::string Config::get_string(const std::string& key, const std::string& def) c
 std::int64_t Config::get_int(const std::string& key, std::int64_t def) const {
   const auto v = get(key);
   if (!v) return def;
-  return std::strtoll(v->c_str(), nullptr, 10);
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(v->c_str(), &end, 10);
+  REDOPT_REQUIRE(!v->empty() && errno == 0 && end == v->c_str() + v->size(),
+                 "config key '" + key + "' expects an integer, got: " + *v);
+  return value;
 }
 
 double Config::get_double(const std::string& key, double def) const {
   const auto v = get(key);
   if (!v) return def;
-  return std::strtod(v->c_str(), nullptr);
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(v->c_str(), &end);
+  REDOPT_REQUIRE(!v->empty() && errno == 0 && end == v->c_str() + v->size(),
+                 "config key '" + key + "' expects a number, got: " + *v);
+  REDOPT_REQUIRE(std::isfinite(value),
+                 "config key '" + key + "' expects a finite number, got: " + *v);
+  return value;
 }
 
 bool Config::get_bool(const std::string& key, bool def) const {
   const auto v = get(key);
   if (!v) return def;
-  return *v == "true" || *v == "1" || *v == "yes";
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  REDOPT_REQUIRE(false, "config key '" + key + "' expects a boolean, got: " + *v);
+  return def;  // unreachable
 }
 
 }  // namespace redopt::util

@@ -27,6 +27,11 @@ class Config {
 
   std::optional<std::string> get(const std::string& key) const;
   std::string get_string(const std::string& key, const std::string& def) const;
+
+  /// Typed accessors return @p def when the key is absent and throw
+  /// redopt::PreconditionError when the stored value does not parse as the
+  /// requested type in full ("12abc" is an error, not 12; booleans accept
+  /// exactly true/false/1/0/yes/no; doubles must be finite).
   std::int64_t get_int(const std::string& key, std::int64_t def) const;
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;

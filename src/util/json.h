@@ -1,15 +1,22 @@
-// Minimal JSON emission helpers shared by the telemetry JSONL sink and the
-// bench harnesses' BENCH_JSON summaries.
+// Minimal JSON support shared by the telemetry JSONL sink, the bench
+// harnesses' BENCH_JSON summaries, and the chaos scenario files.
 //
-// This is a *writer* only — redopt never parses JSON.  The helpers produce
-// deterministic output (fixed escaping, fixed number formatting), which the
-// telemetry determinism contract relies on: two runs that record the same
-// values produce byte-identical JSON.
+// Emission helpers produce deterministic output (fixed escaping, fixed
+// number formatting), which the telemetry determinism contract relies on:
+// two runs that record the same values produce byte-identical JSON.
+//
+// json_parse() is the reading side: a small strict recursive-descent
+// parser used to load chaos scenario reproducers and golden trace files.
+// It preserves object member order (no hash containers — parsed documents
+// re-serialize deterministically) and reports every malformed input as a
+// typed PreconditionError, never by crashing or silently misparsing.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace redopt::util {
 
@@ -34,5 +41,43 @@ std::string json_number(double v);
 /// gathers the lines across runs into BENCH_<date>.json files).
 void json_summary(const std::string& name, std::size_t threads,
                   const std::map<std::string, std::string>& params, double wall_seconds);
+
+/// A parsed JSON document node.  Objects keep their members in source
+/// order so a parse → serialize round-trip is deterministic.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Exact value for integer tokens that fit in int64 (doubles lose
+  /// precision past 2^53 — chaos scenario seeds are full 63-bit values).
+  bool has_integer = false;
+  std::int64_t integer = 0;
+  std::string string;
+  std::vector<JsonValue> items;                             ///< kArray elements
+  std::vector<std::pair<std::string, JsonValue>> members;   ///< kObject, source order
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Checked accessors; throw PreconditionError on a kind mismatch or (for
+  /// at()) a missing member.
+  const JsonValue& at(const std::string& key) const;
+  bool as_bool() const;
+  double as_number() const;
+  /// as_number() additionally checked to be an integer in [lo, hi].
+  std::int64_t as_int(std::int64_t lo, std::int64_t hi) const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+};
+
+/// Parses @p text as one JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).  Strict: rejects unterminated constructs,
+/// bad escapes, lone surrogates, numbers that overflow double, and nesting
+/// deeper than 64 levels.  Throws PreconditionError on any violation.
+JsonValue json_parse(const std::string& text);
 
 }  // namespace redopt::util

@@ -91,3 +91,74 @@ TEST(AsyncTrainer, ValidatesConfiguration) {
   cfg.base.filter = nullptr;
   EXPECT_THROW(dgd::train_async(inst.problem, {}, nullptr, cfg), redopt::PreconditionError);
 }
+
+TEST(AsyncTrainer, CrashAndRecoverStillConverges) {
+  // An honest agent freezes mid-training (the server keeps seeing its
+  // last-sent gradient) and later recovers; with faulty <= f the run must
+  // still reach the honest optimum.
+  rng::Rng rng(6);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto honest = dgd::honest_ids(6, {});
+  const Vector x_h = data::regression_argmin(inst, honest);
+  auto cfg = async_config("cge", 3000, 0.0, 1);
+  cfg.crashes = {{4, 50, 400}};
+  const auto result = dgd::train_async(inst.problem, {}, nullptr, cfg, x_h);
+  EXPECT_LT(result.final_distance, 0.02);
+}
+
+TEST(AsyncTrainer, CrashWithByzantineAgentWithinBudgetConverges) {
+  // A crashed-then-recovered agent plus one Byzantine agent: the crash is
+  // transient (not a standing fault), so redundancy still covers f = 1.
+  rng::Rng rng(7);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const Vector x_h = data::regression_argmin(inst, dgd::honest_ids(6, {2}));
+  const auto attack = attacks::make_attack("gradient_reverse");
+  auto cfg = async_config("cge", 3000, 0.0, 1);
+  cfg.crashes = {{1, 100, 300}};
+  const auto result = dgd::train_async(inst.problem, {2}, attack.get(), cfg, x_h);
+  EXPECT_LT(result.final_distance, 0.05);
+}
+
+TEST(AsyncTrainer, EmptyCrashListMatchesBaseline) {
+  rng::Rng rng(8);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.01, 1, rng);
+  const auto attack = attacks::make_attack("lie");
+  const auto cfg = async_config("cwtm", 120, 0.3, 3);
+  auto with_empty = cfg;
+  with_empty.crashes = {};
+  const auto a = dgd::train_async(inst.problem, {5}, attack.get(), cfg);
+  const auto b = dgd::train_async(inst.problem, {5}, attack.get(), with_empty);
+  EXPECT_EQ(a.estimate, b.estimate);  // bit-identical
+}
+
+TEST(AsyncTrainer, EveryReplyStaleStillConverges) {
+  // Bounded-staleness worst case: every honest reply is stale every round.
+  // Diminishing steps absorb any bounded delay, so the run still converges
+  // when the faulty count stays within f.
+  rng::Rng rng(9);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const Vector x_h = data::regression_argmin(inst, dgd::honest_ids(6, {2}));
+  const auto attack = attacks::make_attack("gradient_reverse");
+  const auto result = dgd::train_async(inst.problem, {2}, attack.get(),
+                                       async_config("cge", 4000, 1.0, 4), x_h);
+  EXPECT_LT(result.final_distance, 0.05);
+}
+
+TEST(AsyncTrainer, ValidatesCrashWindows) {
+  rng::Rng rng(10);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  auto cfg = async_config("cge", 50, 0.0, 2);
+  cfg.crashes = {{9, 5, 10}};  // unknown agent
+  EXPECT_THROW(dgd::train_async(inst.problem, {}, nullptr, cfg), redopt::PreconditionError);
+  cfg = async_config("cge", 50, 0.0, 2);
+  cfg.crashes = {{1, 0, 10}};  // begin must be >= 1 (needs a last-sent gradient)
+  EXPECT_THROW(dgd::train_async(inst.problem, {}, nullptr, cfg), redopt::PreconditionError);
+  cfg = async_config("cge", 50, 0.0, 2);
+  cfg.crashes = {{1, 10, 10}};  // empty window
+  EXPECT_THROW(dgd::train_async(inst.problem, {}, nullptr, cfg), redopt::PreconditionError);
+  cfg = async_config("cge", 50, 0.0, 2);
+  cfg.crashes = {{2, 5, 10}};  // Byzantine agents cannot also crash
+  const auto attack = attacks::make_attack("zero");
+  EXPECT_THROW(dgd::train_async(inst.problem, {2}, attack.get(), cfg),
+               redopt::PreconditionError);
+}

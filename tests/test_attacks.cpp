@@ -200,3 +200,60 @@ TEST(AttackRegistry, ParamsReachConstructors) {
   const auto attack = attacks::make_attack("gradient_reverse", p);
   EXPECT_EQ(attack->craft(fx.make()), (Vector{-6.0, 12.0}));
 }
+
+TEST(NormCamouflage, MatchesHonestMedianNormAgainstMeanDirection) {
+  ContextFixture fx;
+  const attacks::NormCamouflageAttack attack;
+  const Vector v = attack.craft(fx.make());
+  // Honest norms are 1, 3, sqrt(13); the median is 3, and the direction
+  // opposes the honest mean (2, 1)/|(2, 1)|.
+  EXPECT_NEAR(v.norm(), 3.0, 1e-12);
+  const Vector mean{2.0, 1.0};
+  EXPECT_LT(linalg::dot(v, mean), 0.0);
+  // Colinear with the mean: the attack hides inside the honest norm range.
+  const double cross = v[0] * mean[1] - v[1] * mean[0];
+  EXPECT_NEAR(cross, 0.0, 1e-12);
+}
+
+TEST(NormCamouflage, AggressionScalesTheNorm) {
+  ContextFixture fx;
+  const attacks::NormCamouflageAttack attack(0.5);
+  EXPECT_NEAR(attack.craft(fx.make()).norm(), 1.5, 1e-12);
+  EXPECT_THROW(attacks::NormCamouflageAttack(0.0), redopt::PreconditionError);
+}
+
+TEST(NormCamouflage, ZeroMeanFallsBackToZeroVector) {
+  ContextFixture fx;
+  fx.honest_gradients = {{1.0, 0.0}, {-1.0, 0.0}};
+  const attacks::NormCamouflageAttack attack;
+  EXPECT_EQ(attack.craft(fx.make()), (Vector{0.0, 0.0}));
+}
+
+TEST(OrthogonalDrift, OutputIsOrthogonalToHonestMean) {
+  ContextFixture fx;
+  const attacks::OrthogonalDriftAttack attack;
+  const Vector v = attack.craft(fx.make());
+  const Vector mean{2.0, 1.0};
+  EXPECT_NEAR(linalg::dot(v, mean), 0.0, 1e-9);
+  // Norm matches the average honest norm scaled by aggression (= 1).
+  const double avg = (1.0 + 3.0 + std::sqrt(13.0)) / 3.0;
+  EXPECT_NEAR(v.norm(), avg, 1e-9);
+}
+
+TEST(OrthogonalDrift, DeterministicGivenRngState) {
+  ContextFixture fx1, fx2;
+  const attacks::OrthogonalDriftAttack attack;
+  EXPECT_EQ(attack.craft(fx1.make()), attack.craft(fx2.make()));
+  EXPECT_THROW(attacks::OrthogonalDriftAttack(-1.0), redopt::PreconditionError);
+}
+
+TEST(AdaptiveAttacks, RegisteredInAttackFactory) {
+  const auto names = attacks::attack_names();
+  for (const char* name : {"camouflage", "orthogonal_drift"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), name), names.end()) << name;
+    attacks::AttackParams params;
+    params.aggression = 2.0;
+    const auto attack = attacks::make_attack(name, params);
+    EXPECT_EQ(attack->name(), name);
+  }
+}

@@ -1,0 +1,195 @@
+// Robustness fuzzing for every text-input surface: regression instance
+// files, key = value configs, the JSON parser, and chaos scenario files.
+// Each corpus starts from a valid document and applies seeded byte
+// mutations; the contract under test is "success or PreconditionError" —
+// parsers must never crash, hang, or silently misparse, no matter the
+// input.  The suites also pin down specific malformed inputs that the
+// mutation corpus might miss (overflow, negative sizes, non-finite
+// values, trailing garbage).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "chaos/generator.h"
+#include "chaos/scenario.h"
+#include "data/instance_io.h"
+#include "data/regression.h"
+#include "rng/rng.h"
+#include "util/config.h"
+#include "util/error.h"
+#include "util/json.h"
+
+using namespace redopt;
+
+namespace {
+
+constexpr std::size_t kMutantsPerSeed = 400;
+
+/// Applies 1-8 seeded byte mutations (overwrite, insert, delete, truncate)
+/// to @p base.  Deterministic per (base, rng state).
+std::string mutate(const std::string& base, rng::Rng& rng) {
+  std::string out = base;
+  const auto edits = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  for (std::size_t e = 0; e < edits && !out.empty(); ++e) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(out.size()) - 1));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:  // overwrite with an arbitrary byte
+        out[pos] = static_cast<char>(rng.uniform_int(0, 255));
+        break;
+      case 1:  // insert an arbitrary byte
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                   static_cast<char>(rng.uniform_int(0, 255)));
+        break;
+      case 2:  // delete one byte
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;
+      default:  // truncate
+        out.resize(pos);
+        break;
+    }
+  }
+  return out;
+}
+
+/// Runs @p parse on every mutant of @p base; anything but success or a
+/// typed error is a bug (a crash fails the whole binary, which is the
+/// point — the sanitizer CI job runs this same corpus under asan/ubsan).
+template <typename Parse>
+void fuzz_corpus(const std::string& base, std::uint64_t seed, const Parse& parse) {
+  rng::Rng rng(seed);
+  std::size_t survived = 0;
+  for (std::size_t k = 0; k < kMutantsPerSeed; ++k) {
+    const std::string mutant = mutate(base, rng);
+    try {
+      parse(mutant);
+      ++survived;
+    } catch (const PreconditionError&) {
+      // expected for malformed inputs
+    }
+  }
+  // Not an assertion target, just a sanity signal that the corpus is not
+  // trivially all-rejected (some mutations hit comments/whitespace).
+  (void)survived;
+}
+
+std::string valid_instance_text() {
+  rng::Rng rng(5);
+  const auto inst =
+      data::make_regression(data::paper_matrix(), linalg::Vector{1.0, -2.0}, 0.05, 1, rng);
+  return data::regression_to_string(inst);
+}
+
+}  // namespace
+
+TEST(FuzzInstanceIo, MutatedInstancesNeverCrash) {
+  const std::string base = valid_instance_text();
+  fuzz_corpus(base, 101, [](const std::string& text) { data::regression_from_string(text); });
+  fuzz_corpus(base, 202, [](const std::string& text) { data::regression_from_string(text); });
+}
+
+TEST(FuzzInstanceIo, ValidInstanceRoundTrips) {
+  const std::string base = valid_instance_text();
+  const auto parsed = data::regression_from_string(base);
+  EXPECT_EQ(data::regression_to_string(parsed), base);
+}
+
+TEST(FuzzInstanceIo, RejectsHostileHeaders) {
+  // Negative sizes must not wrap into huge allocations.
+  EXPECT_THROW(data::regression_from_string("redopt-regression v1\nn -5 d 2 f 1\n"),
+               PreconditionError);
+  // Claimed sizes beyond the file contents are rejected before allocation.
+  EXPECT_THROW(
+      data::regression_from_string("redopt-regression v1\nn 999999 d 9999 f 1\nx_star 0 0\n"),
+      PreconditionError);
+  EXPECT_THROW(data::regression_from_string("redopt-regression v1\nn 99999999999999999999 d 2 f 1\n"),
+               PreconditionError);
+  // f > n is inconsistent.
+  EXPECT_THROW(data::regression_from_string("redopt-regression v1\nn 2 d 1 f 3\n"
+                                            "x_star 1\nrow 1 obs 1\nrow 1 obs 1\n"),
+               PreconditionError);
+}
+
+TEST(FuzzInstanceIo, RejectsNonFiniteAndTrailingContent) {
+  const std::string header = "redopt-regression v1\nn 1 d 1 f 0\n";
+  EXPECT_THROW(data::regression_from_string(header + "x_star nan\nrow 1 obs 1\n"),
+               PreconditionError);
+  EXPECT_THROW(data::regression_from_string(header + "x_star 1\nrow inf obs 1\n"),
+               PreconditionError);
+  EXPECT_THROW(data::regression_from_string(header + "x_star 1\nrow 1 obs 1 extra\n"),
+               PreconditionError);
+  EXPECT_THROW(data::regression_from_string(header + "x_star 1\nrow 1 obs 1\ngarbage\n"),
+               PreconditionError);
+  EXPECT_THROW(data::regression_from_string(header + "x_star 1 2\nrow 1 obs 1\n"),
+               PreconditionError);
+}
+
+TEST(FuzzConfig, MutatedConfigsNeverCrash) {
+  const std::string base =
+      "# experiment description\n"
+      "filter = cge\n"
+      "iterations = 500\n"
+      "step = 0.25\n"
+      "trace = true\n";
+  fuzz_corpus(base, 303, [](const std::string& text) {
+    const util::Config config = util::Config::parse(text);
+    // Exercise the typed getters too: they must throw, not misparse.
+    try {
+      config.get_int("iterations", 0);
+    } catch (const PreconditionError&) {
+    }
+    try {
+      config.get_double("step", 0.0);
+    } catch (const PreconditionError&) {
+    }
+    try {
+      config.get_bool("trace", false);
+    } catch (const PreconditionError&) {
+    }
+  });
+}
+
+TEST(FuzzConfig, TypedGettersRejectMisparses) {
+  const util::Config config = util::Config::parse(
+      "count = 12abc\nrate = 0.5x\nflag = maybe\nhuge = 1e999\nok = 7\n");
+  EXPECT_THROW(config.get_int("count", 0), PreconditionError);
+  EXPECT_THROW(config.get_double("rate", 0.0), PreconditionError);
+  EXPECT_THROW(config.get_bool("flag", false), PreconditionError);
+  EXPECT_THROW(config.get_double("huge", 0.0), PreconditionError);
+  EXPECT_EQ(config.get_int("ok", 0), 7);
+  EXPECT_EQ(config.get_int("absent", 42), 42);  // absent keys keep defaults
+}
+
+TEST(FuzzJson, MutatedDocumentsNeverCrash) {
+  const std::string base =
+      R"({"name":"trace","values":[1,2.5,-3e2,true,false,null],)"
+      R"("nested":{"deep":["\u0041\n\"quoted\"",{}]},"count":12})";
+  fuzz_corpus(base, 404, [](const std::string& text) { util::json_parse(text); });
+  fuzz_corpus(base, 505, [](const std::string& text) { util::json_parse(text); });
+}
+
+TEST(FuzzJson, RejectsPathologicalDocuments) {
+  EXPECT_THROW(util::json_parse(std::string(1000, '[')), PreconditionError);  // deep nesting
+  EXPECT_THROW(util::json_parse("{\"a\":1,}"), PreconditionError);
+  EXPECT_THROW(util::json_parse("\"\\ud800\""), PreconditionError);  // lone surrogate
+  EXPECT_THROW(util::json_parse("1e999999"), PreconditionError);     // double overflow
+  EXPECT_THROW(util::json_parse("{\"a\":1} {\"b\":2}"), PreconditionError);
+}
+
+TEST(FuzzJson, LargeIntegersRoundTripExactly) {
+  const std::int64_t big = 8266114566950128573;  // not representable as double
+  const util::JsonValue v = util::json_parse(std::to_string(big));
+  EXPECT_EQ(v.as_int(0, std::numeric_limits<std::int64_t>::max()), big);
+}
+
+TEST(FuzzScenario, MutatedScenarioJsonNeverCrashes) {
+  chaos::Generator generator(chaos::GeneratorSpec{}, 77);
+  for (std::uint64_t seed = 606; seed <= 808; seed += 101) {
+    const std::string base = generator.next().to_json();
+    fuzz_corpus(base, seed,
+                [](const std::string& text) { chaos::scenario_from_json(text); });
+  }
+}

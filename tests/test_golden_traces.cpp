@@ -1,0 +1,149 @@
+// Golden-trace regression tests: a seeded attack x filter matrix runs DGD
+// on the paper's regression instance and the serialized trace must match
+// the checked-in JSON byte for byte.  Catches any silent numerical drift —
+// a reordered reduction, a changed default, a "harmless" refactor.
+//
+// To regenerate after an intentional behaviour change:
+//
+//   REDOPT_UPDATE_GOLDEN=1 ./tests/test_golden_traces   (or scripts/update_golden.sh)
+//
+// then review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "attacks/registry.h"
+#include "data/regression.h"
+#include "dgd/trainer.h"
+#include "filters/registry.h"
+#include "util/json.h"
+
+using namespace redopt;
+using linalg::Vector;
+
+namespace {
+
+#ifndef REDOPT_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define REDOPT_GOLDEN_DIR"
+#endif
+
+std::string golden_path(const std::string& name) {
+  return std::string(REDOPT_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+std::string vector_json(const Vector& v) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    if (k > 0) os << ",";
+    os << util::json_number(v[k]);
+  }
+  os << "]";
+  return os.str();
+}
+
+/// Serializes the observables we pin: deterministic member order and the
+/// repo's fixed number formatting (json_number round-trips doubles).
+std::string trace_json(const std::string& name, const dgd::TrainResult& result) {
+  std::ostringstream os;
+  os << "{\"case\":\"" << util::json_escape(name) << "\"";
+  os << ",\"final_estimate\":" << vector_json(result.estimate);
+  os << ",\"final_loss\":" << util::json_number(result.final_loss);
+  os << ",\"final_distance\":" << util::json_number(result.final_distance);
+  os << ",\"iterations\":[";
+  for (std::size_t k = 0; k < result.trace.iteration.size(); ++k) {
+    if (k > 0) os << ",";
+    os << result.trace.iteration[k];
+  }
+  os << "],\"loss\":[";
+  for (std::size_t k = 0; k < result.trace.loss.size(); ++k) {
+    if (k > 0) os << ",";
+    os << util::json_number(result.trace.loss[k]);
+  }
+  os << "],\"distance\":[";
+  for (std::size_t k = 0; k < result.trace.distance.size(); ++k) {
+    if (k > 0) os << ",";
+    os << util::json_number(result.trace.distance[k]);
+  }
+  os << "],\"estimates\":[";
+  for (std::size_t k = 0; k < result.trace.estimates.size(); ++k) {
+    if (k > 0) os << ",";
+    os << vector_json(result.trace.estimates[k]);
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+dgd::TrainResult run_case(const std::string& attack_name, const std::string& filter_name) {
+  rng::Rng rng(7);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const Vector x_h = data::regression_argmin(inst, dgd::honest_ids(6, {2}));
+
+  filters::FilterParams fp;
+  fp.n = 6;
+  fp.f = 1;
+  dgd::TrainerConfig cfg;
+  cfg.filter = filters::make_filter(filter_name, fp);
+  cfg.schedule = std::make_shared<dgd::HarmonicSchedule>(
+      (filter_name == "cge" || filter_name == "sum") ? 0.5 : 2.0);
+  cfg.projection = std::make_shared<dgd::BoxProjection>(dgd::BoxProjection::cube(2, 10.0));
+  cfg.iterations = 60;
+  cfg.trace_stride = 10;
+  cfg.seed = 7;
+
+  const auto attack = attacks::make_attack(attack_name);
+  return dgd::train(inst.problem, {2}, attack.get(), cfg, x_h);
+}
+
+void check_golden(const std::string& attack_name, const std::string& filter_name) {
+  const std::string name = attack_name + "_" + filter_name;
+  const std::string actual = trace_json(name, run_case(attack_name, filter_name));
+  const std::string path = golden_path(name);
+
+  if (std::getenv("REDOPT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_LOG_(INFO) << "regenerated " << path;
+    return;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run scripts/update_golden.sh and review the diff)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), actual)
+      << name << " drifted from its golden trace; if the change is intentional, "
+      << "regenerate with scripts/update_golden.sh and review the diff";
+}
+
+}  // namespace
+
+TEST(GoldenTraces, GradientReverseCge) { check_golden("gradient_reverse", "cge"); }
+TEST(GoldenTraces, GradientReverseCwtm) { check_golden("gradient_reverse", "cwtm"); }
+TEST(GoldenTraces, LieCge) { check_golden("lie", "cge"); }
+TEST(GoldenTraces, LieCwtm) { check_golden("lie", "cwtm"); }
+TEST(GoldenTraces, IpmCge) { check_golden("ipm", "cge"); }
+TEST(GoldenTraces, IpmCwtm) { check_golden("ipm", "cwtm"); }
+
+// The golden files pin parsed-and-reserialized stability too: loading a
+// golden through the strict JSON parser and re-emitting its numbers must
+// not change a byte (the parser keeps integers exact and json_number
+// round-trips doubles).
+TEST(GoldenTraces, GoldenFilesParseCleanly) {
+  for (const std::string name :
+       {"gradient_reverse_cge", "gradient_reverse_cwtm", "lie_cge", "lie_cwtm", "ipm_cge",
+        "ipm_cwtm"}) {
+    std::ifstream in(golden_path(name), std::ios::binary);
+    if (!in.good()) continue;  // covered by the per-case tests above
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const util::JsonValue doc = util::json_parse(buffer.str());
+    EXPECT_EQ(doc.at("case").as_string(), name);
+    EXPECT_GE(doc.at("iterations").as_array().size(), 2u);
+  }
+}

@@ -1,0 +1,107 @@
+// chaos-replay: run a serialized chaos scenario and check its properties.
+//
+// The other half of the shrink-to-reproducer workflow: when the chaos
+// suite fails, it prints a minimal scenario as JSON; save that to a file
+// and replay it here — same seed, same trajectory, bit for bit — while
+// iterating on a fix.
+//
+//   chaos-replay --scenario repro.json            # replay + property check
+//   chaos-replay --scenario repro.json --json     # machine-readable result
+//   chaos-replay --generate 5 --seed 7            # print sample scenarios
+//
+// Exit status: 0 when every property holds, 1 on a violation (so the
+// binary slots into scripts and CI directly).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "chaos/executor.h"
+#include "chaos/generator.h"
+#include "chaos/properties.h"
+#include "chaos/scenario.h"
+#include "runtime/runtime.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace redopt;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  REDOPT_REQUIRE(in.good(), "cannot open scenario file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int replay(const chaos::Scenario& scenario, bool as_json) {
+  const chaos::ScenarioResult result = chaos::run_scenario(scenario);
+  const chaos::PropertyReport report = chaos::check_properties(scenario, result);
+  if (as_json) {
+    std::cout << "{\"name\":\"" << util::json_escape(scenario.name) << "\""
+              << ",\"guaranteed\":" << (scenario.guaranteed() ? "true" : "false")
+              << ",\"ok\":" << (report.ok ? "true" : "false") << ",\"violations\":\""
+              << util::json_escape(report.summary()) << "\""
+              << ",\"initial_distance\":" << util::json_number(result.initial_distance)
+              << ",\"final_distance\":" << util::json_number(result.final_distance)
+              << ",\"max_distance\":" << util::json_number(result.max_distance)
+              << ",\"byzantine_replies\":" << result.byzantine_replies
+              << ",\"crashed_absences\":" << result.crashed_absences
+              << ",\"stale_replies\":" << result.stale_replies
+              << ",\"dropped_replies\":" << result.dropped_replies
+              << ",\"delayed_replies\":" << result.delayed_replies
+              << ",\"duplicated_replies\":" << result.duplicated_replies << "}\n";
+  } else {
+    std::cout << "scenario:  " << scenario.name << (scenario.guaranteed() ? "  [guaranteed]" : "")
+              << "\n"
+              << "estimate:  " << result.estimate.to_string() << "\n"
+              << "reference: " << result.reference.to_string() << "\n"
+              << "distance:  " << result.initial_distance << " -> " << result.final_distance
+              << " (max " << result.max_distance << ")\n"
+              << "faults:    byz=" << result.byzantine_replies
+              << " crash=" << result.crashed_absences << " stale=" << result.stale_replies
+              << " drop=" << result.dropped_replies << " delay=" << result.delayed_replies
+              << " dup=" << result.duplicated_replies << "\n"
+              << "properties: " << report.summary() << "\n";
+  }
+  return report.ok ? 0 : 1;
+}
+
+int run(int argc, char** argv) {
+  const util::Cli cli(argc, argv,
+                      {"scenario", "generate", "seed", "threads", "json", "help"});
+  if (cli.get_bool("help", false)) {
+    std::cout << "usage: chaos-replay --scenario FILE [--threads N] [--json]\n"
+              << "       chaos-replay --generate K [--seed S] [--json]\n";
+    return 0;
+  }
+  const std::int64_t threads = cli.get_int_env("threads", "REDOPT_THREADS", 0);
+  if (threads > 0) runtime::set_threads(static_cast<std::size_t>(threads));
+  const bool as_json = cli.get_bool("json", false);
+
+  const std::int64_t generate = cli.get_int("generate", 0);
+  if (generate > 0) {
+    chaos::Generator generator(chaos::GeneratorSpec{},
+                               static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    for (std::int64_t k = 0; k < generate; ++k) std::cout << generator.next().to_json() << "\n";
+    return 0;
+  }
+
+  const std::string path = cli.get_string("scenario", "");
+  REDOPT_REQUIRE(!path.empty(), "pass --scenario FILE or --generate K (see --help)");
+  return replay(chaos::scenario_from_json(read_file(path)), as_json);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "chaos-replay: " << e.what() << "\n";
+    return 2;
+  }
+}
