@@ -1,20 +1,79 @@
-// Shared main() for the google-benchmark perf binaries (R-P1, R-P2).
+// Shared main() for the google-benchmark perf binaries (R-P1, R-P2, R-P5).
 //
 // google-benchmark owns the command line, so the uniform --threads knob is
 // stripped here (REDOPT_THREADS env as fallback) and applied to the
 // runtime before benchmark::Initialize sees the remaining flags.
+//
+// Besides the normal console table, every perf binary prints one
+// machine-readable BENCH_JSON line per benchmark entry, e.g.
+//
+//   BENCH_JSON {"bench":"bench_filter_perf","name":"filter/cge/32/10",
+//               "real_ns":123.4,"cpu_ns":120.1,"iterations":100000}
+//
+// These are the lines scripts/collect_bench.sh gathers into BENCH_*.json
+// files and tools/perf-report compares across runs (see
+// docs/PERFORMANCE.md for the record/compare workflow).
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "runtime/runtime.h"
 #include "util/cli.h"
+#include "util/json.h"
 
 namespace redopt::bench {
+
+/// Console reporter that also captures one summary record per benchmark
+/// entry; the records are printed as BENCH_JSON lines after the run so
+/// they never interleave with the console table.
+class BenchJsonReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit BenchJsonReporter(std::string bench_name) : bench_name_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      const double iters = static_cast<double>(run.iterations);
+      std::string line = "{\"bench\":\"" + util::json_escape(bench_name_) + "\",\"name\":\"" +
+                         util::json_escape(run.benchmark_name()) + "\",\"real_ns\":" +
+                         util::json_number(run.real_accumulated_time / iters * 1e9) +
+                         ",\"cpu_ns\":" + util::json_number(run.cpu_accumulated_time / iters * 1e9) +
+                         ",\"iterations\":" + std::to_string(run.iterations);
+      for (const auto& [key, counter] : run.counters) {
+        line += ",\"counter." + util::json_escape(key) + "\":" + util::json_number(counter.value);
+      }
+      line += "}";
+      lines_.push_back(std::move(line));
+    }
+  }
+
+  /// Emits the collected BENCH_JSON lines (call after the run completes).
+  /// The leading newline terminates any console-reporter colour-reset
+  /// escape still pending on the current line, so every BENCH_JSON record
+  /// starts at column 0 (collect_bench.sh anchors on ^BENCH_JSON).
+  void print_bench_json(std::ostream& os) const {
+    os << "\n";
+    for (const auto& line : lines_) os << "BENCH_JSON " << line << "\n";
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> lines_;
+};
+
+/// Basename of argv[0] — the canonical bench name in BENCH_JSON records.
+inline std::string bench_binary_name(const char* argv0) {
+  std::string name = argv0 == nullptr ? "bench" : argv0;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name;
+}
 
 /// Runs the registered benchmarks after consuming --threads N /
 /// --threads=N (flag wins over the REDOPT_THREADS environment variable).
@@ -40,8 +99,10 @@ inline int run_perf_bench(int argc, char** argv) {
   int rest_argc = static_cast<int>(rest.size());
   benchmark::Initialize(&rest_argc, rest.data());
   if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  BenchJsonReporter reporter(bench_binary_name(argc > 0 ? argv[0] : nullptr));
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  reporter.print_bench_json(std::cout);
   return 0;
 }
 

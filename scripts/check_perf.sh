@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Perf-regression gate: records a candidate run of the perf benches and
+# compares it against the committed baseline with tools/perf-report.
+#
+#   scripts/check_perf.sh [BUILD] [perf-report flags...]
+#
+#   scripts/check_perf.sh                          # default 10% tolerance
+#   scripts/check_perf.sh build --tolerance 0.5    # CI hard gate (>2x only)
+#   scripts/check_perf.sh build \
+#     --require bench_filter_perf=2.0,bench_exact_perf=1.5
+#
+# BUILD must come before any flags (default: build).  PERF_MIN_TIME sets
+# google-benchmark's --benchmark_min_time: 0.05 by default (smoke
+# quality); use 0.2 to match how bench/baselines/BENCH_baseline.json was
+# recorded.  The candidate's console tables are suppressed — only the
+# BENCH_JSON records and the perf-report comparison are shown.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD=build
+if [ "$#" -gt 0 ] && [ "${1#-}" = "$1" ]; then
+  BUILD=$1
+  shift
+fi
+MIN_TIME=${PERF_MIN_TIME:-0.05}
+BASELINE="$ROOT/bench/baselines/BENCH_baseline.json"
+PERF_BENCHES=(bench_filter_perf bench_exact_perf bench_kernel_perf)
+
+[ -r "$BASELINE" ] || { echo "check_perf.sh: missing baseline $BASELINE" >&2; exit 1; }
+
+cmake --build "$BUILD" --target "${PERF_BENCHES[@]}" perf-report -j "$(nproc)"
+
+CANDIDATE=$(mktemp -t BENCH_candidate.XXXXXX)
+trap 'rm -f "$CANDIDATE"' EXIT
+for b in "${PERF_BENCHES[@]}"; do
+  echo "=== $b (--benchmark_min_time=$MIN_TIME) ===" >&2
+  "$BUILD/bench/$b" --benchmark_min_time="$MIN_TIME" \
+    | { grep '^BENCH_JSON ' || true; } | sed 's/^BENCH_JSON //' >> "$CANDIDATE"
+done
+[ -s "$CANDIDATE" ] || { echo "check_perf.sh: no BENCH_JSON records captured" >&2; exit 1; }
+
+"$BUILD/tools/perf-report/perf-report" "$BASELINE" "$CANDIDATE" "$@"

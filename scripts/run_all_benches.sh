@@ -1,16 +1,40 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure (DESIGN.md R-* index) at full scale,
-# teeing the output and dumping CSV series under bench_out/.
-set -u
+# teeing the output, dumping CSV series under bench_out/, and gathering
+# all BENCH_JSON records into a merged BENCH_<YYYYMMDD>.json via
+# scripts/collect_bench.sh.
+#
+#   scripts/run_all_benches.sh [BUILD] [LOG]
+#
+# Fails loudly: a missing bench directory, an empty bench set, or any
+# bench exiting nonzero aborts the run (pipefail keeps tee from masking
+# the bench's status).
+set -euo pipefail
+
+SCRIPT_DIR="$(cd "$(dirname "$0")" && pwd)"
 BUILD=${1:-build}
 OUT=${2:-bench_output.txt}
+
+[ -d "$BUILD/bench" ] || {
+  echo "run_all_benches.sh: no $BUILD/bench directory (configure and build first)" >&2
+  exit 1
+}
+
 : > "$OUT"
+found=0
 for b in "$BUILD"/bench/bench_*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
+  found=1
   echo "=== $b ===" | tee -a "$OUT"
   case "$b" in
     *_perf) "$b" 2>&1 | tee -a "$OUT" ;;
     *)      "$b" --csv 2>&1 | tee -a "$OUT" ;;
   esac
 done
-echo "done; full log in $OUT, CSV series in bench_out/"
+[ "$found" -eq 1 ] || {
+  echo "run_all_benches.sh: no bench binaries under $BUILD/bench" >&2
+  exit 1
+}
+
+"$SCRIPT_DIR/collect_bench.sh" "$OUT"
+echo "done; full log in $OUT, CSV series in bench_out/, BENCH_JSON records merged above"

@@ -1,12 +1,15 @@
 #include "core/argmin.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "core/absolute_cost.h"
 #include "core/aggregate_cost.h"
 #include "core/least_squares_cost.h"
 #include "core/quadratic_cost.h"
 #include "linalg/decompose.h"
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::core {
@@ -195,6 +198,153 @@ MinimizerSet argmin_set(const CostFunction& cost, const ArgminOptions& options) 
 
 Vector argmin_point(const CostFunction& cost, const ArgminOptions& options) {
   return argmin_set(cost, options).representative();
+}
+
+SubsetArgminEvaluator::SubsetArgminEvaluator(const std::vector<CostPtr>& costs,
+                                             const ArgminOptions& options)
+    : costs_(&costs), options_(options) {
+  REDOPT_REQUIRE(!costs.empty(), "subset argmin evaluator needs at least one cost");
+  for (const auto& c : costs) REDOPT_REQUIRE(c != nullptr, "subset argmin evaluator: null cost");
+  dimension_ = costs.front()->dimension();
+
+  bool all_least_squares = true;
+  bool all_quadratic = true;
+  bool all_absolute = true;
+  for (const auto& c : costs) {
+    const bool is_ls = dynamic_cast<const LeastSquaresCost*>(c.get()) != nullptr;
+    const bool is_quad = dynamic_cast<const QuadraticCost*>(c.get()) != nullptr;
+    const bool is_abs = dynamic_cast<const AbsoluteCost*>(c.get()) != nullptr;
+    if (!is_ls) all_least_squares = false;
+    if (!is_ls && !is_quad) all_quadratic = false;
+    if (!is_abs) all_absolute = false;
+  }
+
+  if (all_absolute) {
+    mode_ = Mode::kAbsolute;
+    abs_terms_.reserve(costs.size());
+    for (const auto& c : costs) abs_terms_.push_back(static_cast<const AbsoluteCost*>(c.get()));
+    return;
+  }
+  if (all_least_squares) {
+    mode_ = Mode::kLeastSquares;
+    ls_terms_.reserve(costs.size());
+    std::size_t total_rows = 0;
+    for (const auto& c : costs) {
+      const auto* ls = static_cast<const LeastSquaresCost*>(c.get());
+      ls_terms_.push_back(ls);
+      total_rows += ls->a().rows();
+    }
+    a_rows_.reserve(total_rows * dimension_);
+    b_rows_.reserve(total_rows);
+    return;
+  }
+  if (all_quadratic) {
+    mode_ = Mode::kQuadratic;
+    // Per-cost stationarity contributions, computed exactly as the flatten
+    // loop in argmin_set does for unit weights, so the per-subset sums
+    // below reproduce its accumulation bit-for-bit.
+    term_p_.reserve(costs.size());
+    term_q_.reserve(costs.size());
+    all_terms_psd_ = true;
+    for (const auto& c : costs) {
+      if (const auto* quad = dynamic_cast<const QuadraticCost*>(c.get())) {
+        term_p_.push_back(quad->p());
+        term_q_.push_back(quad->q());
+      } else {
+        const auto* ls = static_cast<const LeastSquaresCost*>(c.get());
+        Matrix pi = ls->a().gram();
+        pi *= 2.0;
+        term_p_.push_back(std::move(pi));
+        term_q_.push_back(-(linalg::matvec_transposed(ls->a(), ls->b()) * 2.0));
+      }
+      // PSD certificate: when every term's smallest eigenvalue is
+      // non-negative, Weyl's inequality gives min_eig(sum P_i) >=
+      // sum min_eig(P_i) >= 0, so the per-subset convexity check in
+      // evaluate_quadratic() can be skipped.
+      if (linalg::min_eigenvalue(term_p_.back()) < 0.0) all_terms_psd_ = false;
+    }
+    p_ws_ = Matrix(dimension_, dimension_);
+    q_ws_ = Vector(dimension_);
+    return;
+  }
+  mode_ = Mode::kGeneric;
+}
+
+MinimizerSet SubsetArgminEvaluator::evaluate(const std::vector<std::size_t>& subset) {
+  REDOPT_REQUIRE(!subset.empty(), "subset argmin over an empty subset");
+  for (std::size_t idx : subset)
+    REDOPT_REQUIRE(idx < costs_->size(), "subset index out of range");
+  switch (mode_) {
+    case Mode::kLeastSquares:
+      return evaluate_least_squares(subset);
+    case Mode::kQuadratic:
+      return evaluate_quadratic(subset);
+    case Mode::kAbsolute:
+      return evaluate_absolute(subset);
+    case Mode::kGeneric:
+      break;
+  }
+  return argmin_set(aggregate_subset(*costs_, subset), options_);
+}
+
+MinimizerSet SubsetArgminEvaluator::evaluate_least_squares(
+    const std::vector<std::size_t>& subset) {
+  const std::size_t d = dimension_;
+  // Stack the subset's rows in subset order — the Gram accumulation below
+  // runs over the stacked rows in this exact order, which is what keeps
+  // the result bit-identical to the generic all-least-squares path (the
+  // sum of per-cost Grams associates differently and is NOT used).
+  a_rows_.clear();
+  b_rows_.clear();
+  for (std::size_t idx : subset) {
+    const auto* ls = ls_terms_[idx];
+    const auto& rows = ls->a().data();
+    a_rows_.insert(a_rows_.end(), rows.begin(), rows.end());
+    const auto& rhs = ls->b().data();
+    b_rows_.insert(b_rows_.end(), rhs.begin(), rhs.end());
+  }
+  const std::size_t rows = b_rows_.size();
+
+  // Gram of the stacked matrix, same loop structure as Matrix::gram.
+  Matrix gram(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i; j < d; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < rows; ++r) acc += a_rows_[r * d + i] * a_rows_[r * d + j];
+      gram(i, j) = acc;
+      gram(j, i) = acc;
+    }
+  }
+  Vector atb(d);
+  linalg::kernels::matvec_transposed(a_rows_.data(), rows, d, b_rows_.data(), atb.data().data());
+  return solve_stationarity(gram, atb, options_.rank_tolerance);
+}
+
+MinimizerSet SubsetArgminEvaluator::evaluate_quadratic(const std::vector<std::size_t>& subset) {
+  std::fill(p_ws_.data().begin(), p_ws_.data().end(), 0.0);
+  std::fill(q_ws_.begin(), q_ws_.end(), 0.0);
+  for (std::size_t idx : subset) {
+    p_ws_ += term_p_[idx];
+    q_ws_ += term_q_[idx];
+  }
+  if (!all_terms_psd_) {
+    REDOPT_REQUIRE(linalg::min_eigenvalue(p_ws_) >= -1e-8 * std::max(1.0, p_ws_.max_abs()),
+                   "quadratic aggregate is not convex (negative curvature)");
+  }
+  return solve_stationarity(p_ws_, -q_ws_, options_.rank_tolerance);
+}
+
+MinimizerSet SubsetArgminEvaluator::evaluate_absolute(const std::vector<std::size_t>& subset) {
+  abs_points_.clear();
+  abs_weights_.clear();
+  for (std::size_t idx : subset) {
+    const auto* abs_cost = abs_terms_[idx];
+    abs_points_.insert(abs_points_.end(), abs_cost->points().begin(), abs_cost->points().end());
+    abs_weights_.insert(abs_weights_.end(), abs_cost->weights().begin(),
+                        abs_cost->weights().end());
+  }
+  const auto [lo, hi] = weighted_median_interval(abs_points_, abs_weights_);
+  return MinimizerSet::interval(lo, hi);
 }
 
 }  // namespace redopt::core

@@ -18,6 +18,9 @@
 
 namespace redopt::core {
 
+class AbsoluteCost;
+class LeastSquaresCost;
+
 /// Options for the numeric fallback minimizer.
 struct NumericArgminOptions {
   std::size_t max_iterations = 50'000;  ///< hard iteration cap
@@ -46,5 +49,64 @@ Vector argmin_point(const CostFunction& cost, const ArgminOptions& options = {})
 /// Numeric minimizer (exposed for tests): gradient descent with Armijo
 /// backtracking started from the origin.
 Vector numeric_argmin(const CostFunction& cost, const NumericArgminOptions& options = {});
+
+/// Precomputed fast path for repeated subset-argmin evaluations over one
+/// fixed cost list — the exact algorithm's inner loop evaluates
+/// argmin_set(aggregate_subset(costs, subset)) for thousands of
+/// overlapping subsets, and the generic path pays for an AggregateCost
+/// construction, a dynamic-cast flatten, and fresh stacking/accumulation
+/// buffers on every call.
+///
+/// The evaluator classifies the cost list once at construction:
+///   * all least-squares  -> per-call row stacking into a reused workspace
+///     (the Gram accumulation order over stacked rows is association-
+///     sensitive, so rows are stacked exactly as the generic path does);
+///   * all quadratic/least-squares -> per-cost (P_i, q_i) precomputed once
+///     and summed per subset; per-cost PSD certification replaces the
+///     per-subset convexity eigencheck (Weyl: min_eig(sum P_i) >=
+///     sum min_eig(P_i) >= 0), falling back to the per-subset check when
+///     any P_i fails to certify;
+///   * all absolute       -> per-subset weighted-median accumulation;
+///   * anything else      -> delegates to argmin_set(aggregate_subset(...)).
+///
+/// evaluate() is bit-identical to argmin_set(aggregate_subset(costs,
+/// subset), options) in every mode.  Instances are copyable (one per
+/// worker chunk) but not thread-safe: evaluate() mutates the workspaces.
+class SubsetArgminEvaluator {
+ public:
+  SubsetArgminEvaluator(const std::vector<CostPtr>& costs, const ArgminOptions& options);
+
+  /// Argmin set of sum_{i in subset} costs[i].
+  MinimizerSet evaluate(const std::vector<std::size_t>& subset);
+
+ private:
+  enum class Mode { kLeastSquares, kQuadratic, kAbsolute, kGeneric };
+
+  MinimizerSet evaluate_least_squares(const std::vector<std::size_t>& subset);
+  MinimizerSet evaluate_quadratic(const std::vector<std::size_t>& subset);
+  MinimizerSet evaluate_absolute(const std::vector<std::size_t>& subset);
+
+  const std::vector<CostPtr>* costs_;
+  ArgminOptions options_;
+  Mode mode_ = Mode::kGeneric;
+  std::size_t dimension_ = 0;
+
+  // Leaf views established at construction (borrowed from costs_).
+  std::vector<const LeastSquaresCost*> ls_terms_;
+  std::vector<const AbsoluteCost*> abs_terms_;
+
+  // kQuadratic: per-cost stationarity contributions and PSD certificates.
+  std::vector<Matrix> term_p_;
+  std::vector<Vector> term_q_;
+  bool all_terms_psd_ = false;
+
+  // Workspaces reused across evaluate() calls.
+  std::vector<double> a_rows_;  // kLeastSquares: stacked subset rows
+  std::vector<double> b_rows_;  // kLeastSquares: stacked subset rhs
+  Matrix p_ws_;
+  Vector q_ws_;
+  std::vector<double> abs_points_;
+  std::vector<double> abs_weights_;
+};
 
 }  // namespace redopt::core

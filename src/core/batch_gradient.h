@@ -1,0 +1,64 @@
+// Batched gradient evaluation for least-squares agent populations.
+//
+// The DGD/SGD/async trainer hot loops evaluate every agent's gradient at
+// the same iterate x each round.  For the paper's evaluation family —
+// every agent holds a LeastSquaresCost Q_i(x) = ||A_i x - b_i||^2 — the
+// virtual per-agent path allocates a residual and a gradient per call and
+// re-reads x once per agent.  This evaluator stacks all agents' rows once
+// at construction and exposes
+//
+//   * evaluate_all():  one stacked residual pass  r = R x - b  followed by
+//     per-agent transposed products — a single matrix op over the whole
+//     population; and
+//   * evaluate_agent(): one agent against caller-owned workspaces, for the
+//     trainers' parallel fan-out (each agent writes only its own slots, so
+//     the loop is allocation-free after warm-up and bit-identical at any
+//     lane count).
+//
+// Bit-identity contract: both entry points produce exactly the bytes of
+// LeastSquaresCost::gradient(x) for every agent — the same kernels run
+// over the same rows in the same order (the stacked matvec is row-
+// independent, so stacking changes nothing).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/cost_function.h"
+
+namespace redopt::core {
+
+class BatchGradientEvaluator {
+ public:
+  /// Builds an evaluator when every cost is a LeastSquaresCost; returns
+  /// nullptr otherwise (callers fall back to the virtual gradient path).
+  static std::unique_ptr<BatchGradientEvaluator> try_create(const std::vector<CostPtr>& costs);
+
+  std::size_t num_agents() const { return row_offsets_.size() - 1; }
+  std::size_t dimension() const { return d_; }
+  /// Observation rows held by agent @p i.
+  std::size_t agent_rows(std::size_t i) const { return row_offsets_[i + 1] - row_offsets_[i]; }
+
+  /// Gradients of all agents at @p x.  @p out is resized to num_agents()
+  /// vectors of dimension d and overwritten; no allocation once every
+  /// buffer has reached steady-state size.  Not thread-safe (uses the
+  /// internal stacked-residual workspace).
+  void evaluate_all(const Vector& x, std::vector<Vector>& out);
+
+  /// Gradient of agent @p i at @p x, written into @p out.  @p residual_ws
+  /// is caller-owned scratch (resized to the agent's row count).  Safe to
+  /// call concurrently for distinct agents with distinct workspaces.
+  void evaluate_agent(std::size_t i, const Vector& x, Vector& residual_ws, Vector& out) const;
+
+ private:
+  BatchGradientEvaluator() = default;
+
+  std::size_t d_ = 0;
+  std::vector<double> rows_;                // stacked row-major A blocks
+  std::vector<double> rhs_;                 // stacked b entries
+  std::vector<std::size_t> row_offsets_;    // agent i owns rows [off_i, off_{i+1})
+  std::vector<double> residual_;            // evaluate_all workspace
+};
+
+}  // namespace redopt::core

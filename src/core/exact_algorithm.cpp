@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
-#include <map>
 #include <set>
 #include <utility>
 
 #include "core/aggregate_cost.h"
+#include "core/subset_cache.h"
 #include "rng/rng.h"
 #include "runtime/runtime.h"
 #include "telemetry/events.h"
@@ -27,6 +27,7 @@ struct ExactMetrics {
   telemetry::Counter runs;
   telemetry::Counter outer_candidates;
   telemetry::Counter inner_evaluations;
+  telemetry::Counter inner_cache_hits;
   telemetry::Counter inner_cache_misses;
 
   ExactMetrics() {
@@ -34,6 +35,7 @@ struct ExactMetrics {
     runs = reg.counter("exact.runs");
     outer_candidates = reg.counter("exact.outer_candidates");
     inner_evaluations = reg.counter("exact.inner_evaluations", telemetry::Determinism::kUnstable);
+    inner_cache_hits = reg.counter("exact.inner_cache_hits", telemetry::Determinism::kUnstable);
     inner_cache_misses = reg.counter("exact.inner_cache_misses", telemetry::Determinism::kUnstable);
   }
 };
@@ -45,34 +47,37 @@ struct ExactMetrics {
 /// the totals are flushed into the registry after the reduce returns.
 struct RunCounters {
   std::atomic<std::uint64_t> inner_evaluations{0};
+  std::atomic<std::uint64_t> inner_cache_hits{0};
   std::atomic<std::uint64_t> inner_cache_misses{0};
 };
 
 /// Memoizing argmin-set lookup for inner subsets.  One instance per chunk
 /// of outer candidates: lexicographically adjacent outers share most of
 /// their inner subsets, so chunk-local caches retain nearly all the reuse
-/// without any cross-thread sharing.
+/// without any cross-thread sharing.  Lookups are LRU-bounded bitmask
+/// probes (core/subset_cache.h); misses are computed by the precomputed
+/// fast-path evaluator instead of rebuilding an AggregateCost per subset.
 class InnerCache {
  public:
-  InnerCache(const std::vector<CostPtr>& costs, const ArgminOptions& options,
-             RunCounters& counters)
-      : costs_(costs), options_(options), counters_(counters) {}
+  InnerCache(const SubsetArgminEvaluator& evaluator, RunCounters& counters)
+      : evaluator_(evaluator), counters_(counters) {}
+
+  ~InnerCache() {
+    counters_.inner_cache_hits.fetch_add(cache_.hits(), std::memory_order_relaxed);
+    counters_.inner_cache_misses.fetch_add(cache_.misses(), std::memory_order_relaxed);
+  }
 
   const MinimizerSet& set_for(const std::vector<std::size_t>& subset) {
     counters_.inner_evaluations.fetch_add(1, std::memory_order_relaxed);
-    auto it = cache_.find(subset);
-    if (it == cache_.end()) {
-      counters_.inner_cache_misses.fetch_add(1, std::memory_order_relaxed);
-      it = cache_.emplace(subset, argmin_set(aggregate_subset(costs_, subset), options_)).first;
-    }
-    return it->second;
+    const std::uint64_t sig = SubsetCache::signature(subset);
+    if (const MinimizerSet* cached = cache_.find(sig)) return *cached;
+    return cache_.insert(sig, evaluator_.evaluate(subset));
   }
 
  private:
-  const std::vector<CostPtr>& costs_;
-  const ArgminOptions& options_;
+  SubsetArgminEvaluator evaluator_;  // chunk-private copy (mutable workspaces)
   RunCounters& counters_;
-  std::map<std::vector<std::size_t>, MinimizerSet> cache_;
+  SubsetCache cache_;
 };
 
 /// Best outer candidate found in a contiguous chunk of the candidate list.
@@ -138,16 +143,21 @@ ExactAlgorithmResult run_exact_algorithm(const std::vector<CostPtr>& received_co
   metrics.outer_candidates.inc(outers.size());
   RunCounters counters;
 
+  // One classification/precompute pass serves every chunk (each takes a
+  // private copy of the workspaces).
+  const SubsetArgminEvaluator evaluator(received_costs, options);
+
   const std::size_t chunks = ranking_chunks(outers.size());
   const RangeBest best = runtime::parallel_reduce(
       std::size_t{0}, chunks, RangeBest{},
       [&](std::size_t c) {
         const auto [lo, hi] = chunk_bounds(outers.size(), chunks, c);
-        InnerCache cache(received_costs, options, counters);
+        InnerCache cache(evaluator, counters);
+        SubsetArgminEvaluator outer_eval = evaluator;
         RangeBest local;
         for (std::size_t k = lo; k < hi; ++k) {
           const auto& t = outers[k];
-          const Vector x_t = argmin_point(aggregate_subset(received_costs, t), options);
+          const Vector x_t = outer_eval.evaluate(t).representative();
 
           // r_T = max over (n-2f)-subsets of T of dist(x_T, argmin subset).
           double r_t = 0.0;
@@ -165,8 +175,13 @@ ExactAlgorithmResult run_exact_algorithm(const std::vector<CostPtr>& received_co
 
   const std::uint64_t inner_evaluations =
       counters.inner_evaluations.load(std::memory_order_relaxed);
+  const std::uint64_t inner_cache_hits =
+      counters.inner_cache_hits.load(std::memory_order_relaxed);
+  const std::uint64_t inner_cache_misses =
+      counters.inner_cache_misses.load(std::memory_order_relaxed);
   metrics.inner_evaluations.inc(inner_evaluations);
-  metrics.inner_cache_misses.inc(counters.inner_cache_misses.load(std::memory_order_relaxed));
+  metrics.inner_cache_hits.inc(inner_cache_hits);
+  metrics.inner_cache_misses.inc(inner_cache_misses);
 
   REDOPT_ASSERT(best.outer_index != std::numeric_limits<std::size_t>::max(),
                 "exact algorithm evaluated no subsets");
@@ -185,6 +200,9 @@ ExactAlgorithmResult run_exact_algorithm(const std::vector<CostPtr>& received_co
   result.chosen_set = best.chosen;
   result.chosen_score = best.score;
   result.subsets_evaluated = outers.size();
+  result.inner_evaluations = inner_evaluations;
+  result.inner_cache_hits = inner_cache_hits;
+  result.inner_cache_misses = inner_cache_misses;
   return result;
 }
 
@@ -261,6 +279,8 @@ ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& rec
   metrics.outer_candidates.inc(outers.size());
   RunCounters counters;
 
+  const SubsetArgminEvaluator evaluator(received_costs, options);
+
   // Inner-sampling streams are forked per outer candidate, so the drawn
   // inner subsets depend only on (seed, candidate position) — never on
   // evaluation order, pruning depth, or thread count.
@@ -269,11 +289,12 @@ ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& rec
       std::size_t{0}, chunks, RangeBest{},
       [&](std::size_t c) {
         const auto [lo, hi] = chunk_bounds(outers.size(), chunks, c);
-        InnerCache cache(received_costs, options, counters);
+        InnerCache cache(evaluator, counters);
+        SubsetArgminEvaluator outer_eval = evaluator;
         RangeBest local;
         for (std::size_t k = lo; k < hi; ++k) {
           const auto& t = outers[k];
-          const Vector x_t = argmin_point(aggregate_subset(received_costs, t), options);
+          const Vector x_t = outer_eval.evaluate(t).representative();
 
           double r_t = 0.0;
           if (sampling.guided) {
@@ -311,8 +332,13 @@ ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& rec
 
   const std::uint64_t inner_evaluations =
       counters.inner_evaluations.load(std::memory_order_relaxed);
+  const std::uint64_t inner_cache_hits =
+      counters.inner_cache_hits.load(std::memory_order_relaxed);
+  const std::uint64_t inner_cache_misses =
+      counters.inner_cache_misses.load(std::memory_order_relaxed);
   metrics.inner_evaluations.inc(inner_evaluations);
-  metrics.inner_cache_misses.inc(counters.inner_cache_misses.load(std::memory_order_relaxed));
+  metrics.inner_cache_hits.inc(inner_cache_hits);
+  metrics.inner_cache_misses.inc(inner_cache_misses);
 
   REDOPT_ASSERT(best.outer_index != std::numeric_limits<std::size_t>::max(),
                 "sampled exact algorithm evaluated no subsets");
@@ -331,6 +357,9 @@ ExactAlgorithmResult run_sampled_exact_algorithm(const std::vector<CostPtr>& rec
   result.chosen_set = best.chosen;
   result.chosen_score = best.score;
   result.subsets_evaluated = outers.size();
+  result.inner_evaluations = inner_evaluations;
+  result.inner_cache_hits = inner_cache_hits;
+  result.inner_cache_misses = inner_cache_misses;
   return result;
 }
 

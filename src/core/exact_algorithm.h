@@ -15,6 +15,7 @@
 // bench_exact_perf measures exactly how quickly it becomes infeasible.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/argmin.h"
@@ -28,6 +29,14 @@ struct ExactAlgorithmResult {
   std::vector<std::size_t> chosen_set;  ///< the minimizing subset S (|S| = n - f)
   double chosen_score = 0.0;            ///< r_S
   std::size_t subsets_evaluated = 0;    ///< number of (n-f)-subsets scored
+
+  // Memoizer statistics for the inner (n-2f)-subset argmin evaluations.
+  // These depend on the chunk-local pruning pattern, so they vary with the
+  // configured runtime::threads() value (the output above never does);
+  // compare them only between runs at the same lane count.
+  std::uint64_t inner_evaluations = 0;   ///< inner argmin lookups issued
+  std::uint64_t inner_cache_hits = 0;    ///< lookups served by the memoizer
+  std::uint64_t inner_cache_misses = 0;  ///< lookups that computed an argmin
 };
 
 /// Runs the algorithm on the n received cost functions with fault budget f.

@@ -1,0 +1,44 @@
+#include "core/subset_cache.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace redopt::core {
+
+SubsetCache::SubsetCache(std::size_t capacity) : capacity_(capacity) {
+  REDOPT_REQUIRE(capacity >= 1, "subset cache capacity must be positive");
+}
+
+std::uint64_t SubsetCache::signature(const std::vector<std::size_t>& subset) {
+  std::uint64_t sig = 0;
+  for (std::size_t idx : subset) {
+    REDOPT_REQUIRE(idx < 64, "subset signature requires agent indices < 64");
+    sig |= std::uint64_t{1} << idx;
+  }
+  return sig;
+}
+
+const MinimizerSet* SubsetCache::find(std::uint64_t sig) {
+  auto it = index_.find(sig);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->set;
+}
+
+const MinimizerSet& SubsetCache::insert(std::uint64_t sig, MinimizerSet set) {
+  REDOPT_ASSERT(index_.find(sig) == index_.end(), "subset cache: duplicate insert");
+  lru_.push_front(Entry{sig, std::move(set)});
+  index_.emplace(sig, lru_.begin());
+  if (index_.size() > capacity_) {
+    index_.erase(lru_.back().sig);
+    lru_.pop_back();
+  }
+  return lru_.front().set;
+}
+
+}  // namespace redopt::core

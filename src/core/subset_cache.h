@@ -1,0 +1,64 @@
+// Bounded memoizer for subset-argmin results, keyed by bitmask signature.
+//
+// The exact algorithm (core/exact_algorithm.h) evaluates the argmin set of
+// sum_{i in T-hat} Q_i for many overlapping inner subsets T-hat; adjacent
+// outer candidates share most of their inner subsets, so memoization
+// removes the bulk of the argmin work.  Subsets are keyed by a uint64
+// bitmask (bit i set <=> agent i in the subset), which makes lookups a
+// single integer comparison instead of a lexicographic vector compare —
+// and bounds the algorithm to n <= 64 agents, far beyond where exhaustive
+// enumeration is feasible anyway.
+//
+// The cache is LRU-bounded: memoizing every subset of a large run would
+// hold every MinimizerSet ever computed.  Eviction only ever causes
+// recomputation (argmin is deterministic), never a different result, so
+// capacity influences the hit/miss counters but not the algorithm output.
+//
+// Not thread-safe; the exact algorithm keeps one instance per ranking
+// chunk (no cross-thread sharing by construction).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "core/minimizer_set.h"
+
+namespace redopt::core {
+
+class SubsetCache {
+ public:
+  /// @p capacity is the maximum number of retained entries (>= 1).
+  explicit SubsetCache(std::size_t capacity = 4096);
+
+  /// Bitmask signature of a subset; requires every index < 64.
+  static std::uint64_t signature(const std::vector<std::size_t>& subset);
+
+  /// Cached result for @p sig, or nullptr on a miss.  A hit refreshes the
+  /// entry's LRU position.  The pointer is invalidated by the next insert().
+  const MinimizerSet* find(std::uint64_t sig);
+
+  /// Stores @p set under @p sig (which must not be present), evicting the
+  /// least-recently-used entry when over capacity.  Returns the stored set.
+  const MinimizerSet& insert(std::uint64_t sig, MinimizerSet set);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t sig;
+    MinimizerSet set;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace redopt::core

@@ -3,7 +3,9 @@
 #include <deque>
 #include <limits>
 
+#include "core/batch_gradient.h"
 #include "filters/instrumented.h"
+#include "filters/norm_cache.h"
 #include "runtime/runtime.h"
 #include "telemetry/events.h"
 #include "telemetry/metrics.h"
@@ -103,6 +105,12 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
   record(0);
   std::vector<linalg::Vector> gradients(n);
   std::vector<linalg::Vector> honest_gradients;
+  filters::NormCache round_cache;
+  // Batched least-squares path (bit-identical to the virtual gradient());
+  // per-agent residual workspaces keep the parallel fan-out allocation-free.
+  const auto batch_gradients = core::BatchGradientEvaluator::try_create(problem.costs);
+  std::vector<linalg::Vector> residual_ws(batch_gradients != nullptr ? n : 0);
+  linalg::Vector byz_gradient_ws;
   for (std::size_t t = 0; t < base.iterations; ++t) {
     // Honest fan-out: each agent draws staleness from its own stream and
     // writes its own gradient slot, so the parallel evaluation is
@@ -128,7 +136,11 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
       const std::size_t available = history.size() - 1;
       staleness = std::min(staleness, available);
       metric_staleness.observe(static_cast<double>(staleness));
-      gradients[i] = problem.costs[i]->gradient(history[staleness]);
+      if (batch_gradients != nullptr) {
+        batch_gradients->evaluate_agent(i, history[staleness], residual_ws[i], gradients[i]);
+      } else {
+        gradients[i] = problem.costs[i]->gradient(history[staleness]);
+      }
     });
     honest_gradients.clear();
     honest_gradients.reserve(honest.size());
@@ -136,7 +148,12 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
     for (std::size_t i = 0; i < n; ++i) {
       if (!is_byzantine[i]) continue;
       // Byzantine agents are never stale (the worst case for the server).
-      const linalg::Vector true_gradient = problem.costs[i]->gradient(x);
+      if (batch_gradients != nullptr) {
+        batch_gradients->evaluate_agent(i, x, residual_ws[i], byz_gradient_ws);
+      } else {
+        byz_gradient_ws = problem.costs[i]->gradient(x);
+      }
+      const linalg::Vector& true_gradient = byz_gradient_ws;
       attacks::AttackContext ctx;
       ctx.iteration = t;
       ctx.agent_id = i;
@@ -150,7 +167,8 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
       REDOPT_REQUIRE(gradients[i].size() == d, "attack crafted a wrong-dimension vector");
     }
 
-    const linalg::Vector direction = filter->apply(gradients);
+    round_cache.reset(gradients);
+    const linalg::Vector direction = filter->apply_with_cache(gradients, round_cache);
     const linalg::Vector previous = x;
     x = base.projection->project(x - direction * base.schedule->step(t));
     history.push_front(x);

@@ -66,6 +66,14 @@ OnlineTrainer::OnlineTrainer(const core::MultiAgentProblem& problem,
   active_.assign(n, true);
   n_active_ = n;
   f_active_ = problem_.f;
+  // Batched gradient fast path for all-least-squares populations: stacks
+  // every agent's rows once so the per-round fan-out reuses workspaces
+  // (bit-identical to the virtual gradient() — see core/batch_gradient.h).
+  batch_gradients_ = core::BatchGradientEvaluator::try_create(problem_.costs);
+  if (batch_gradients_ != nullptr) residual_ws_.resize(n);
+  responders_.reserve(n);
+  honest_gradients_.reserve(honest_.size());
+  gradients_.reserve(n);
   filter_ = config_.filter;
   // The instrumentation shim re-derives each call's accept set, which for
   // selection filters repeats the selection work — only pay for it when
@@ -95,14 +103,18 @@ linalg::Vector OnlineTrainer::step() {
   // fault-free link model).  Each agent's gradient is an independent
   // evaluation written to its own slot, so the fan-out is bit-identical
   // at any runtime::threads() setting.
-  std::vector<std::size_t> responders;
-  responders.reserve(honest_.size());
+  responders_.clear();
   for (std::size_t i = 0; i < n; ++i) {
-    if (active_[i] && !is_byzantine_[i]) responders.push_back(i);
+    if (active_[i] && !is_byzantine_[i]) responders_.push_back(i);
   }
-  std::vector<linalg::Vector> honest_gradients(responders.size());
-  runtime::parallel_for(0, responders.size(), [&](std::size_t j) {
-    honest_gradients[j] = problem_.costs[responders[j]]->gradient(x_);
+  honest_gradients_.resize(responders_.size());
+  runtime::parallel_for(0, responders_.size(), [&](std::size_t j) {
+    const std::size_t i = responders_[j];
+    if (batch_gradients_ != nullptr) {
+      batch_gradients_->evaluate_agent(i, x_, residual_ws_[i], honest_gradients_[j]);
+    } else {
+      honest_gradients_[j] = problem_.costs[i]->gradient(x_);
+    }
   });
 
   // Byzantine replies: first decide who responds at all, then craft.
@@ -110,15 +122,19 @@ linalg::Vector OnlineTrainer::step() {
   std::uint64_t eliminated_round_count = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (!active_[i] || !is_byzantine_[i]) continue;
-    const linalg::Vector true_gradient = problem_.costs[i]->gradient(x_);
+    if (batch_gradients_ != nullptr) {
+      batch_gradients_->evaluate_agent(i, x_, residual_ws_[i], byz_gradient_ws_);
+    } else {
+      byz_gradient_ws_ = problem_.costs[i]->gradient(x_);
+    }
     attacks::AttackContext ctx;
     ctx.iteration = t;
     ctx.agent_id = i;
     ctx.n = n_active_;
     ctx.f = f_active_;
     ctx.estimate = &x_;
-    ctx.honest_gradient = &true_gradient;
-    ctx.honest_gradients = &honest_gradients;
+    ctx.honest_gradient = &byz_gradient_ws_;
+    ctx.honest_gradients = &honest_gradients_;
     ctx.rng = &agent_rngs_[i];
     if (!attack_->responds(ctx)) {
       // Missing reply in a synchronous system: the agent is provably
@@ -143,31 +159,39 @@ linalg::Vector OnlineTrainer::step() {
 
   // Collect the round's gradients from the still-active agents, in
   // ascending agent-id order (honest replies were already computed).
-  std::vector<linalg::Vector> gradients;
-  gradients.reserve(n_active_);
+  // Slots are copy-assigned, so equal-size rounds reuse every buffer.
+  gradients_.resize(n_active_);
+  std::size_t slot = 0;
   std::size_t honest_index = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (!active_[i]) continue;
     if (!is_byzantine_[i]) {
-      gradients.push_back(honest_gradients[honest_index++]);
+      gradients_[slot++] = honest_gradients_[honest_index++];
       continue;
     }
-    const linalg::Vector true_gradient = problem_.costs[i]->gradient(x_);
+    if (batch_gradients_ != nullptr) {
+      batch_gradients_->evaluate_agent(i, x_, residual_ws_[i], byz_gradient_ws_);
+    } else {
+      byz_gradient_ws_ = problem_.costs[i]->gradient(x_);
+    }
     attacks::AttackContext ctx;
     ctx.iteration = t;
     ctx.agent_id = i;
     ctx.n = n_active_;
     ctx.f = f_active_;
     ctx.estimate = &x_;
-    ctx.honest_gradient = &true_gradient;
-    ctx.honest_gradients = &honest_gradients;
+    ctx.honest_gradient = &byz_gradient_ws_;
+    ctx.honest_gradients = &honest_gradients_;
     ctx.rng = &agent_rngs_[i];
-    gradients.push_back(attack_->craft(ctx));
-    REDOPT_REQUIRE(gradients.back().size() == d, "attack crafted a wrong-dimension vector");
+    gradients_[slot] = attack_->craft(ctx);
+    REDOPT_REQUIRE(gradients_[slot].size() == d, "attack crafted a wrong-dimension vector");
+    ++slot;
   }
 
-  // S2: filter and projected update.
-  linalg::Vector direction = filter_->apply(gradients);
+  // S2: filter and projected update.  The round cache shares norms and
+  // pairwise distances between the telemetry shim and the filter itself.
+  round_cache_.reset(gradients_);
+  linalg::Vector direction = filter_->apply_with_cache(gradients_, round_cache_);
   const linalg::Vector previous = x_;
   x_ = config_.projection->project(x_ - direction * config_.schedule->step(t));
   ++iteration_;

@@ -20,10 +20,12 @@
 #include <vector>
 
 #include "attacks/attack.h"
+#include "core/batch_gradient.h"
 #include "core/problem.h"
 #include "dgd/projection.h"
 #include "dgd/schedule.h"
 #include "filters/gradient_filter.h"
+#include "filters/norm_cache.h"
 #include "rng/rng.h"
 #include "telemetry/metrics.h"
 
@@ -118,6 +120,20 @@ class OnlineTrainer {
   std::size_t f_active_;
   filters::FilterPtr filter_;
   std::vector<std::size_t> eliminated_agents_;
+  // Reused across rounds (reset per round) so steady-state iterations stop
+  // allocating norm/distance scratch.
+  filters::NormCache round_cache_;
+
+  // Batched least-squares gradient path; nullptr when any cost is not a
+  // LeastSquaresCost, in which case step() uses the virtual gradient().
+  std::unique_ptr<core::BatchGradientEvaluator> batch_gradients_;
+  // Round buffers reused across step() calls.  Slots are overwritten by
+  // copy-assignment each round, so the steady state allocates nothing.
+  std::vector<std::size_t> responders_;
+  std::vector<linalg::Vector> honest_gradients_;
+  std::vector<linalg::Vector> gradients_;
+  std::vector<linalg::Vector> residual_ws_;  ///< per-agent evaluate_agent scratch
+  linalg::Vector byz_gradient_ws_;           ///< true-gradient scratch (serial loops)
 
   // Telemetry handles (registered at construction — serial context — so
   // step() only performs record operations).

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "filters/krum.h"
+#include "filters/norm_cache.h"
 #include "util/error.h"
 
 namespace redopt::filters {
@@ -13,52 +14,71 @@ BulyanFilter::BulyanFilter(std::size_t n, std::size_t f) : n_(n), f_(f) {
   REDOPT_REQUIRE(n >= 4 * f + 3, "Bulyan requires n >= 4f + 3");
 }
 
-std::vector<std::size_t> BulyanFilter::select_indices(const std::vector<Vector>& gradients) const {
-  // Stage 1: iterative Krum selection of theta gradients.  Reuse Krum by
-  // shrinking the candidate pool; the fault budget f stays fixed.
-  // krum_select tolerates pools below f + 3 in the final rounds (it
-  // degrades to nearest-neighbour there).
-  const std::size_t theta = n_ - 2 * f_;
-  std::vector<bool> active(n_, true);
-  std::vector<std::size_t> picks;
-  picks.reserve(theta);
-  for (std::size_t round = 0; round < theta; ++round) {
-    const std::size_t pick = krum_select(gradients, active, f_);
-    picks.push_back(pick);
-    active[pick] = false;
-  }
-  return picks;
+std::vector<std::size_t> BulyanFilter::select_indices(const std::vector<Vector>& gradients,
+                                                      NormCache& cache) const {
+  // Stage 1: iterative Krum selection of theta gradients.  The selection
+  // rule is Krum's (krum_select_iterative degrades the neighbourhood in
+  // the final rounds exactly like krum_select does for small pools); the
+  // pairwise distances are shared across all theta rounds, and each
+  // candidate's sorted distance array is maintained incrementally instead
+  // of being rebuilt per round.
+  return krum_select_iterative(gradients, f_, n_ - 2 * f_, cache.pairwise_distances_squared());
 }
 
 std::vector<std::size_t> BulyanFilter::accepted_inputs(
     const std::vector<Vector>& gradients) const {
+  NormCache cache(gradients);
+  return accepted_inputs_with_cache(gradients, cache);
+}
+
+std::vector<std::size_t> BulyanFilter::accepted_inputs_with_cache(
+    const std::vector<Vector>& gradients, NormCache& cache) const {
   detail::check_inputs(gradients, n_, "bulyan");
-  std::vector<std::size_t> picks = select_indices(gradients);
+  std::vector<std::size_t> picks = select_indices(gradients, cache);
   std::sort(picks.begin(), picks.end());
   return picks;
 }
 
 Vector BulyanFilter::apply(const std::vector<Vector>& gradients) const {
+  NormCache cache(gradients);
+  return apply_with_cache(gradients, cache);
+}
+
+Vector BulyanFilter::apply_with_cache(const std::vector<Vector>& gradients,
+                                      NormCache& cache) const {
   detail::check_inputs(gradients, n_, "bulyan");
   const std::size_t d = gradients.front().size();
   const std::size_t theta = n_ - 2 * f_;
   const std::size_t beta = theta - 2 * f_;
 
-  std::vector<Vector> selected;
-  selected.reserve(theta);
-  for (std::size_t pick : select_indices(gradients)) selected.push_back(gradients[pick]);
+  const std::vector<std::size_t> picks = select_indices(gradients, cache);
 
   // Stage 2: per coordinate, average the beta values closest to the median
-  // of the selected set.
+  // of the selected set.  The selected values are gathered once into a
+  // column-major theta x d scratch (tiled, like gather_columns) so the
+  // per-coordinate pass reads each column contiguously instead of striding
+  // across theta heap buffers.
+  std::vector<double> columns(theta * d);
+  constexpr std::size_t kTile = 32;
+  for (std::size_t t0 = 0; t0 < theta; t0 += kTile) {
+    const std::size_t t1 = std::min(theta, t0 + kTile);
+    for (std::size_t k0 = 0; k0 < d; k0 += kTile) {
+      const std::size_t k1 = std::min(d, k0 + kTile);
+      for (std::size_t t = t0; t < t1; ++t) {
+        const double* g = gradients[picks[t]].data().data();
+        for (std::size_t k = k0; k < k1; ++k) columns[k * theta + t] = g[k];
+      }
+    }
+  }
+
   Vector out(d);
-  std::vector<double> column(theta);
   for (std::size_t k = 0; k < d; ++k) {
-    for (std::size_t i = 0; i < theta; ++i) column[i] = selected[i][k];
-    std::sort(column.begin(), column.end());
+    double* column = columns.data() + k * theta;
+    std::sort(column, column + theta);
     const double median = (theta % 2 == 1)
                               ? column[theta / 2]
                               : 0.5 * (column[theta / 2 - 1] + column[theta / 2]);
-    std::sort(column.begin(), column.end(), [median](double a, double b) {
+    std::sort(column, column + theta, [median](double a, double b) {
       return std::abs(a - median) < std::abs(b - median);
     });
     double acc = 0.0;

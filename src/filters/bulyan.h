@@ -16,6 +16,7 @@ class BulyanFilter final : public GradientFilter {
   BulyanFilter(std::size_t n, std::size_t f);
 
   Vector apply(const std::vector<Vector>& gradients) const override;
+  Vector apply_with_cache(const std::vector<Vector>& gradients, NormCache& cache) const override;
   std::string name() const override { return "bulyan"; }
   std::size_t expected_inputs() const override { return n_; }
 
@@ -23,11 +24,15 @@ class BulyanFilter final : public GradientFilter {
   /// order.  Stage 2's coordinate-wise trimming mixes values from the
   /// selected set, so the selection stage is the meaningful accept set.
   std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override;
+  std::vector<std::size_t> accepted_inputs_with_cache(const std::vector<Vector>& gradients,
+                                                      NormCache& cache) const override;
 
  private:
   /// Stage-1 iterative Krum selection, in pick order (shared by apply and
-  /// accepted_inputs).
-  std::vector<std::size_t> select_indices(const std::vector<Vector>& gradients) const;
+  /// accepted_inputs).  All theta rounds read the one pairwise-distance
+  /// matrix owned by @p cache.
+  std::vector<std::size_t> select_indices(const std::vector<Vector>& gradients,
+                                          NormCache& cache) const;
 
   std::size_t n_;
   std::size_t f_;

@@ -20,6 +20,7 @@ class CgeFilter final : public GradientFilter {
   CgeFilter(std::size_t n, std::size_t f, bool normalize = false);
 
   Vector apply(const std::vector<Vector>& gradients) const override;
+  Vector apply_with_cache(const std::vector<Vector>& gradients, NormCache& cache) const override;
   std::string name() const override { return normalize_ ? "cge_avg" : "cge"; }
   std::size_t expected_inputs() const override { return n_; }
 
@@ -32,6 +33,8 @@ class CgeFilter final : public GradientFilter {
   std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override {
     return surviving_indices(gradients);
   }
+  std::vector<std::size_t> accepted_inputs_with_cache(const std::vector<Vector>& gradients,
+                                                      NormCache& cache) const override;
 
  private:
   std::size_t n_;

@@ -1,6 +1,8 @@
 #include "filters/geometric_median.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/error.h"
 
@@ -17,18 +19,23 @@ Vector GeometricMedianFilter::weiszfeld(const std::vector<Vector>& points, doubl
                                         std::size_t max_iterations, double smoothing) {
   REDOPT_REQUIRE(!points.empty(), "weiszfeld on empty point set");
   Vector z = linalg::mean(points);  // mean is the classical starting point
+  // Buffers are hoisted out of the iteration loop; axpy accumulates
+  // w * p directly (bit-identical to `numerator += p * w` — IEEE
+  // multiplication commutes) so the loop allocates nothing after warm-up.
+  Vector numerator(z.size());
+  Vector z_next(z.size());
   for (std::size_t it = 0; it < max_iterations; ++it) {
-    Vector numerator(z.size());
+    std::fill(numerator.begin(), numerator.end(), 0.0);
     double denominator = 0.0;
     for (const auto& p : points) {
       const double dist = std::max(linalg::distance(z, p), smoothing);
       const double w = 1.0 / dist;
-      numerator += p * w;
+      linalg::axpy(numerator, w, p);
       denominator += w;
     }
-    Vector z_next = numerator / denominator;
+    for (std::size_t i = 0; i < z.size(); ++i) z_next[i] = numerator[i] / denominator;
     const double moved = linalg::distance(z, z_next);
-    z = std::move(z_next);
+    std::swap(z, z_next);
     if (moved < tol) break;
   }
   return z;

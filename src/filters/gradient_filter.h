@@ -24,6 +24,8 @@ namespace redopt::filters {
 
 using linalg::Vector;
 
+class NormCache;
+
 /// Robust aggregation of n agent gradients into one descent direction.
 class GradientFilter {
  public:
@@ -33,6 +35,16 @@ class GradientFilter {
   /// The expected count is fixed at construction; passing a different
   /// number of gradients throws PreconditionError.
   virtual Vector apply(const std::vector<Vector>& gradients) const = 0;
+
+  /// Same as apply(), reading shared per-round quantities (norms, pairwise
+  /// distances) from @p cache instead of recomputing them.  The cache must
+  /// be bound to @p gradients.  Results are bit-identical to apply(); the
+  /// default forwards to apply() for filters with nothing to share.
+  virtual Vector apply_with_cache(const std::vector<Vector>& gradients, NormCache& cache) const;
+
+  /// Cached variant of accepted_inputs(); same contract as apply_with_cache.
+  virtual std::vector<std::size_t> accepted_inputs_with_cache(const std::vector<Vector>& gradients,
+                                                              NormCache& cache) const;
 
   /// Canonical registry name, e.g. "cge".
   virtual std::string name() const = 0;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "filters/norm_cache.h"
 #include "telemetry/metrics.h"
 #include "util/error.h"
 
@@ -27,20 +28,34 @@ class InstrumentedFilter final : public GradientFilter {
   }
 
   Vector apply(const std::vector<Vector>& gradients) const override {
-    for (const auto& g : gradients) gradient_norm_.observe(g.norm());
-    const std::vector<std::size_t> accepted = inner_->accepted_inputs(gradients);
+    NormCache cache(gradients);
+    return apply_with_cache(gradients, cache);
+  }
+
+  Vector apply_with_cache(const std::vector<Vector>& gradients, NormCache& cache) const override {
+    // One cache serves the norm histogram, the accept-set pass, and the
+    // aggregation itself — without it every round pays for the inner
+    // filter's selection work twice (accepted_inputs + apply) plus a third
+    // norm pass for the histogram.
+    for (double norm : cache.norms()) gradient_norm_.observe(norm);
+    const std::vector<std::size_t> accepted =
+        inner_->accepted_inputs_with_cache(gradients, cache);
     accepted_total_.inc(accepted.size());
     rejected_total_.inc(gradients.size() - accepted.size());
     for (std::size_t i : accepted) {
       if (i < agent_accepts_.size()) agent_accepts_[i].inc();
     }
-    return inner_->apply(gradients);
+    return inner_->apply_with_cache(gradients, cache);
   }
 
   std::string name() const override { return inner_->name(); }
   std::size_t expected_inputs() const override { return inner_->expected_inputs(); }
   std::vector<std::size_t> accepted_inputs(const std::vector<Vector>& gradients) const override {
     return inner_->accepted_inputs(gradients);
+  }
+  std::vector<std::size_t> accepted_inputs_with_cache(const std::vector<Vector>& gradients,
+                                                      NormCache& cache) const override {
+    return inner_->accepted_inputs_with_cache(gradients, cache);
   }
 
  private:

@@ -3,15 +3,21 @@
 #include <algorithm>
 #include <limits>
 
+#include "filters/norm_cache.h"
 #include "util/error.h"
 
 namespace redopt::filters {
 
 /// Krum score of each still-active gradient: sum of its n_active - f - 2
-/// smallest squared distances to other active gradients.
-std::size_t krum_select(const std::vector<Vector>& gradients,
-                        const std::vector<bool>& active, std::size_t f) {
+/// smallest squared distances to other active gradients.  Distances are
+/// read from the caller-provided flat n x n matrix @p dist2, so iterative
+/// callers (Multi-Krum, Bulyan) pay for the O(n^2 d) distance pass once
+/// rather than once per selection round.
+std::size_t krum_select_cached(const std::vector<Vector>& gradients,
+                               const std::vector<bool>& active, std::size_t f,
+                               const std::vector<double>& dist2) {
   const std::size_t n = gradients.size();
+  REDOPT_REQUIRE(dist2.size() == n * n, "krum selection: distance matrix shape mismatch");
   std::size_t n_active = 0;
   for (bool a : active) n_active += a ? 1 : 0;
   REDOPT_REQUIRE(n_active >= 1, "krum selection requires at least 1 active gradient");
@@ -41,13 +47,17 @@ std::size_t krum_select(const std::vector<Vector>& gradients,
   for (std::size_t i = 0; i < n; ++i) {
     if (!active[i]) continue;
     dists.clear();
+    const double* row = dist2.data() + i * n;
     for (std::size_t j = 0; j < n; ++j) {
       if (j == i || !active[j]) continue;
-      const double dij = linalg::distance(gradients[i], gradients[j]);
-      dists.push_back(dij * dij);
+      dists.push_back(row[j]);
     }
     std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(neighbourhood - 1),
                      dists.end());
+    // The neighbourhood sum runs in nth_element's partition order — the
+    // historical single-shot behaviour (deterministic for a given input).
+    // krum_select_iterative sums the same values in ascending order; see
+    // docs/PERFORMANCE.md for why that last-ulp difference is acceptable.
     double score = 0.0;
     for (std::size_t k = 0; k < neighbourhood; ++k) score += dists[k];
     if (score < best_score || (score == best_score && best < n && lex_less(i, best))) {
@@ -57,6 +67,82 @@ std::size_t krum_select(const std::vector<Vector>& gradients,
   }
   REDOPT_ASSERT(best < n, "krum selected no gradient");
   return best;
+}
+
+std::vector<std::size_t> krum_select_iterative(const std::vector<Vector>& gradients,
+                                               std::size_t f, std::size_t rounds,
+                                               const std::vector<double>& dist2) {
+  const std::size_t n = gradients.size();
+  REDOPT_REQUIRE(dist2.size() == n * n, "krum selection: distance matrix shape mismatch");
+  REDOPT_REQUIRE(rounds >= 1 && rounds <= n, "krum selection: invalid round count");
+
+  // Per-candidate ascending-sorted distances to the other active gradients.
+  // Maintained incrementally: when a gradient is selected, its distance is
+  // removed from every survivor's sorted array, which leaves exactly the
+  // sorted multiset a from-scratch rebuild over the shrunken pool would
+  // produce.  Scores are ascending prefix sums of these arrays, so every
+  // round's selection is bit-identical to calling krum_select_cached on the
+  // same pool — without the per-round O(a^2 log a) re-collection.
+  std::vector<std::vector<double>> sorted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = dist2.data() + i * n;
+    sorted[i].reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != i) sorted[i].push_back(row[j]);
+    }
+    std::sort(sorted[i].begin(), sorted[i].end());
+  }
+
+  auto lex_less = [&](std::size_t a, std::size_t b) {
+    return gradients[a].data() < gradients[b].data();
+  };
+
+  std::vector<bool> active(n, true);
+  std::size_t n_active = n;
+  std::vector<std::size_t> picks;
+  picks.reserve(rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    REDOPT_ASSERT(n_active >= 1, "krum iterative selection exhausted the pool");
+    const std::size_t neighbourhood = n_active >= f + 3 ? n_active - f - 2 : 1;
+    double best_score = std::numeric_limits<double>::infinity();
+    std::size_t best = n;  // sentinel
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      if (n_active == 1) {
+        best = i;
+        break;
+      }
+      const std::vector<double>& dists = sorted[i];
+      double score = 0.0;
+      for (std::size_t k = 0; k < neighbourhood; ++k) score += dists[k];
+      if (score < best_score || (score == best_score && best < n && lex_less(i, best))) {
+        best_score = score;
+        best = i;
+      }
+    }
+    REDOPT_ASSERT(best < n, "krum selected no gradient");
+    picks.push_back(best);
+    active[best] = false;
+    --n_active;
+    if (round + 1 == rounds) break;
+    // Drop the selected gradient's distance from every survivor.  Equal
+    // values may exist; erasing any one copy leaves the same multiset.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      const double value = dist2[i * n + best];
+      auto it = std::lower_bound(sorted[i].begin(), sorted[i].end(), value);
+      REDOPT_ASSERT(it != sorted[i].end() && *it == value,
+                    "krum iterative selection: stale distance array");
+      sorted[i].erase(it);
+    }
+  }
+  return picks;
+}
+
+std::size_t krum_select(const std::vector<Vector>& gradients,
+                        const std::vector<bool>& active, std::size_t f) {
+  NormCache cache(gradients);
+  return krum_select_cached(gradients, active, f, cache.pairwise_distances_squared());
 }
 
 KrumFilter::KrumFilter(std::size_t n, std::size_t f) : n_(n), f_(f) {
@@ -72,6 +158,20 @@ Vector KrumFilter::apply(const std::vector<Vector>& gradients) const {
   return gradients[select(gradients)];
 }
 
+Vector KrumFilter::apply_with_cache(const std::vector<Vector>& gradients,
+                                    NormCache& cache) const {
+  detail::check_inputs(gradients, n_, "krum");
+  return gradients[krum_select_cached(gradients, std::vector<bool>(n_, true), f_,
+                                      cache.pairwise_distances_squared())];
+}
+
+std::vector<std::size_t> KrumFilter::accepted_inputs_with_cache(
+    const std::vector<Vector>& gradients, NormCache& cache) const {
+  detail::check_inputs(gradients, n_, "krum");
+  return {krum_select_cached(gradients, std::vector<bool>(n_, true), f_,
+                             cache.pairwise_distances_squared())};
+}
+
 MultiKrumFilter::MultiKrumFilter(std::size_t n, std::size_t f, std::size_t m)
     : n_(n), f_(f), m_(m) {
   REDOPT_REQUIRE(m >= 1, "Multi-Krum requires m >= 1");
@@ -80,23 +180,29 @@ MultiKrumFilter::MultiKrumFilter(std::size_t n, std::size_t f, std::size_t m)
 }
 
 Vector MultiKrumFilter::apply(const std::vector<Vector>& gradients) const {
+  NormCache cache(gradients);
+  return apply_with_cache(gradients, cache);
+}
+
+Vector MultiKrumFilter::apply_with_cache(const std::vector<Vector>& gradients,
+                                         NormCache& cache) const {
   detail::check_inputs(gradients, n_, "multikrum");
   Vector acc(gradients.front().size());
-  for (std::size_t pick : accepted_inputs(gradients)) acc += gradients[pick];
+  for (std::size_t pick : accepted_inputs_with_cache(gradients, cache)) acc += gradients[pick];
   return acc / static_cast<double>(m_);
 }
 
 std::vector<std::size_t> MultiKrumFilter::accepted_inputs(
     const std::vector<Vector>& gradients) const {
+  NormCache cache(gradients);
+  return accepted_inputs_with_cache(gradients, cache);
+}
+
+std::vector<std::size_t> MultiKrumFilter::accepted_inputs_with_cache(
+    const std::vector<Vector>& gradients, NormCache& cache) const {
   detail::check_inputs(gradients, n_, "multikrum");
-  std::vector<bool> active(n_, true);
-  std::vector<std::size_t> picks;
-  picks.reserve(m_);
-  for (std::size_t round = 0; round < m_; ++round) {
-    const std::size_t pick = krum_select(gradients, active, f_);
-    picks.push_back(pick);
-    active[pick] = false;
-  }
+  std::vector<std::size_t> picks =
+      krum_select_iterative(gradients, f_, m_, cache.pairwise_distances_squared());
   std::sort(picks.begin(), picks.end());
   return picks;
 }

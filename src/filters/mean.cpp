@@ -13,6 +13,16 @@ std::vector<std::size_t> GradientFilter::accepted_inputs(
   return all;
 }
 
+Vector GradientFilter::apply_with_cache(const std::vector<Vector>& gradients,
+                                        NormCache& /*cache*/) const {
+  return apply(gradients);
+}
+
+std::vector<std::size_t> GradientFilter::accepted_inputs_with_cache(
+    const std::vector<Vector>& gradients, NormCache& /*cache*/) const {
+  return accepted_inputs(gradients);
+}
+
 namespace detail {
 
 void check_inputs(const std::vector<Vector>& gradients, std::size_t expected_n, const char* who) {

@@ -1,0 +1,67 @@
+#include "filters/norm_cache.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace redopt::filters {
+
+NormCache::NormCache(const std::vector<Vector>& gradients) : gradients_(&gradients) {}
+
+void NormCache::reset(const std::vector<Vector>& gradients) {
+  gradients_ = &gradients;
+  norms_ready_ = false;
+  dist2_ready_ = false;
+}
+
+const std::vector<double>& NormCache::norms() {
+  REDOPT_REQUIRE(gradients_ != nullptr, "NormCache used before being bound to gradients");
+  if (!norms_ready_) {
+    const auto& g = *gradients_;
+    norms_.resize(g.size());
+    for (std::size_t i = 0; i < g.size(); ++i) norms_[i] = g[i].norm();
+    norms_ready_ = true;
+  }
+  return norms_;
+}
+
+const std::vector<double>& NormCache::pairwise_distances_squared() {
+  REDOPT_REQUIRE(gradients_ != nullptr, "NormCache used before being bound to gradients");
+  if (!dist2_ready_) {
+    const auto& g = *gradients_;
+    const std::size_t n = g.size();
+    dist2_.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d2 = linalg::distance_squared(g[i], g[j]);
+        dist2_[i * n + j] = d2;
+        dist2_[j * n + i] = d2;
+      }
+    }
+    dist2_ready_ = true;
+  }
+  return dist2_;
+}
+
+void gather_columns(const std::vector<Vector>& gradients, std::vector<double>& out) {
+  REDOPT_REQUIRE(!gradients.empty(), "gather_columns on empty gradient set");
+  const std::size_t n = gradients.size();
+  const std::size_t d = gradients.front().size();
+  out.resize(n * d);
+  // Tile both dimensions so one tile of sources and destinations fits in
+  // cache; the naive k-outer loop touches n distinct heap buffers per
+  // coordinate, which thrashes at large d.
+  constexpr std::size_t kTile = 32;
+  for (std::size_t i0 = 0; i0 < n; i0 += kTile) {
+    const std::size_t i1 = std::min(n, i0 + kTile);
+    for (std::size_t k0 = 0; k0 < d; k0 += kTile) {
+      const std::size_t k1 = std::min(d, k0 + kTile);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* gi = gradients[i].data().data();
+        for (std::size_t k = k0; k < k1; ++k) out[k * n + i] = gi[k];
+      }
+    }
+  }
+}
+
+}  // namespace redopt::filters

@@ -1,0 +1,76 @@
+// Per-round cache of derived quantities over one gradient multiset.
+//
+// Several filters need the same derived data — CGE needs the n gradient
+// norms, Krum/Multi-Krum/Bulyan need the n x n pairwise squared distances —
+// and the telemetry shim (filters/instrumented.h) additionally runs both
+// accepted_inputs() and apply() on every round, doubling the work.  A
+// NormCache is created once per aggregation round (by the trainer or the
+// shim), handed to apply_with_cache() / accepted_inputs_with_cache(), and
+// computes each derived quantity lazily, at most once per round.
+//
+// Determinism: every cached quantity is computed with exactly the loops the
+// uncached filters used (norms in ascending agent order via Vector::norm;
+// pairwise distances via linalg::distance_squared with the strict kernels),
+// so caching never changes results — it only deduplicates work.
+//
+// Lifetime: the cache borrows the gradient vector it was bound to.  It must
+// not outlive the gradients, and reset() must be called whenever the
+// gradients change (the trainer reuses one cache across rounds to keep the
+// hot loop allocation-free after warm-up).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.h"
+
+namespace redopt::filters {
+
+using linalg::Vector;
+
+class NormCache {
+ public:
+  /// Unbound cache; reset() must be called before any accessor.  Lets a
+  /// trainer own one cache as a plain member and rebind it every round.
+  NormCache() = default;
+
+  /// Binds the cache to one gradient multiset.  Borrows; does not copy.
+  explicit NormCache(const std::vector<Vector>& gradients);
+
+  /// Rebinds to a (possibly new) gradient multiset and invalidates all
+  /// cached quantities.  Capacity is kept, so a trainer-owned cache stops
+  /// allocating once every buffer has reached its steady-state size.
+  void reset(const std::vector<Vector>& gradients);
+
+  /// Number of gradients in the bound multiset (0 when unbound).
+  std::size_t size() const { return gradients_ == nullptr ? 0 : gradients_->size(); }
+
+  /// The bound gradients (for filters that mix cached and direct access).
+  const std::vector<Vector>& gradients() const { return *gradients_; }
+
+  /// Euclidean norms ||g_i||, ascending agent order.  Computed on first use.
+  const std::vector<double>& norms();
+
+  /// Flat n x n matrix of pairwise squared distances ||g_i - g_j||^2
+  /// (entry i * n + j; symmetric, zero diagonal).  Computed on first use.
+  const std::vector<double>& pairwise_distances_squared();
+
+  // Introspection for tests: whether each quantity has been materialised.
+  bool norms_computed() const { return norms_ready_; }
+  bool pairwise_computed() const { return dist2_ready_; }
+
+ private:
+  const std::vector<Vector>* gradients_ = nullptr;
+  std::vector<double> norms_;
+  std::vector<double> dist2_;
+  bool norms_ready_ = false;
+  bool dist2_ready_ = false;
+};
+
+/// Gathers the gradients into a column-major d x n buffer (out[k * n + i] =
+/// gradients[i][k]) with cache-friendly tiling.  Coordinate-wise filters
+/// (CWTM, CWMed, Bulyan stage 2) read columns sequentially afterwards
+/// instead of striding across n separate heap buffers per coordinate.
+void gather_columns(const std::vector<Vector>& gradients, std::vector<double>& out);
+
+}  // namespace redopt::filters

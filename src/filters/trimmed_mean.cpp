@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "filters/norm_cache.h"
 #include "util/error.h"
 
 namespace redopt::filters {
@@ -15,10 +16,14 @@ Vector CwtmFilter::apply(const std::vector<Vector>& gradients) const {
   detail::check_inputs(gradients, n_, "cwtm");
   const std::size_t d = gradients.front().size();
   Vector out(d);
-  std::vector<double> column(n_);
+  // One tiled gather into a column-major scratch, then each coordinate's
+  // column is read (and sorted) contiguously.  The naive per-coordinate
+  // gather strides across n heap buffers and thrashes the cache at large d.
+  std::vector<double> columns;
+  gather_columns(gradients, columns);
   for (std::size_t k = 0; k < d; ++k) {
-    for (std::size_t i = 0; i < n_; ++i) column[i] = gradients[i][k];
-    std::sort(column.begin(), column.end());
+    double* column = columns.data() + k * n_;
+    std::sort(column, column + n_);
     double acc = 0.0;
     for (std::size_t i = f_; i < n_ - f_; ++i) acc += column[i];
     out[k] = acc / static_cast<double>(n_ - 2 * f_);
@@ -54,12 +59,20 @@ Vector CwMedianFilter::apply(const std::vector<Vector>& gradients) const {
   detail::check_inputs(gradients, n_, "cwmed");
   const std::size_t d = gradients.front().size();
   Vector out(d);
-  std::vector<double> column(n_);
+  std::vector<double> columns;
+  gather_columns(gradients, columns);
+  const std::size_t mid = n_ / 2;
   for (std::size_t k = 0; k < d; ++k) {
-    for (std::size_t i = 0; i < n_; ++i) column[i] = gradients[i][k];
-    std::sort(column.begin(), column.end());
-    out[k] = (n_ % 2 == 1) ? column[n_ / 2]
-                           : 0.5 * (column[n_ / 2 - 1] + column[n_ / 2]);
+    double* column = columns.data() + k * n_;
+    // Selection instead of a full sort: the median value(s) are the same
+    // order statistics either way, so the output bytes are unchanged.
+    std::nth_element(column, column + mid, column + n_);
+    if (n_ % 2 == 1) {
+      out[k] = column[mid];
+    } else {
+      const double lower = *std::max_element(column, column + mid);
+      out[k] = 0.5 * (lower + column[mid]);
+    }
   }
   return out;
 }

@@ -1,0 +1,145 @@
+#include "linalg/kernels.h"
+
+#include <algorithm>
+
+namespace redopt::linalg::kernels {
+
+bool fast_mode() {
+#ifdef REDOPT_FAST_KERNELS
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef REDOPT_FAST_KERNELS
+
+// Reordered reductions: 4 independent partial sums, folded pairwise at the
+// end.  Not bit-identical to the strict loops — gated behind the build
+// flag precisely because of that (see kernels.h).
+double dot(const double* a, const double* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+double norm_squared(const double* a, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * a[i];
+    s1 += a[i + 1] * a[i + 1];
+    s2 += a[i + 2] * a[i + 2];
+    s3 += a[i + 3] * a[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * a[i];
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+double distance_squared(const double* a, const double* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - b[i];
+    const double d1 = a[i + 1] - b[i + 1];
+    const double d2 = a[i + 2] - b[i + 2];
+    const double d3 = a[i + 3] - b[i + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    tail += d * d;
+  }
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
+#else  // strict mode (default): single accumulator, ascending index order
+
+double dot(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm_squared(const double* a, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * a[i];
+  return acc;
+}
+
+double distance_squared(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+#endif  // REDOPT_FAST_KERNELS
+
+void axpy(double* y, double alpha, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void add(double* y, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void sub(double* y, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] -= x[i];
+}
+
+void scale(double* y, double alpha, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] *= alpha;
+}
+
+void matvec(const double* a, std::size_t rows, std::size_t cols, const double* x, double* out) {
+  for (std::size_t i = 0; i < rows; ++i) out[i] = dot(a + i * cols, x, cols);
+}
+
+void matvec_transposed(const double* a, std::size_t rows, std::size_t cols, const double* x,
+                       double* out) {
+  std::fill(out, out + cols, 0.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    axpy(out, xi, a + i * cols, cols);
+  }
+}
+
+void gemm_add(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+              std::size_t n) {
+  // Block the j (output-column) dimension so a tile of C and the matching
+  // tile of each B row stay cache-resident across the k sweep.  For every
+  // C(i,j) the k accumulation is still strictly ascending.
+  constexpr std::size_t kBlock = 128;
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+    const std::size_t j1 = std::min(n, j0 + kBlock);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* ai = a + i * k;
+      double* ci = c + i * n;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double aik = ai[kk];
+        if (aik == 0.0) continue;
+        const double* bk = b + kk * n;
+        for (std::size_t j = j0; j < j1; ++j) ci[j] += aik * bk[j];
+      }
+    }
+  }
+}
+
+}  // namespace redopt::linalg::kernels

@@ -1,0 +1,71 @@
+// Low-level dense kernels shared by Vector/Matrix and the hot paths.
+//
+// Every higher-level operation (dot, norms, axpy, matvec, gemm) funnels
+// through these raw-pointer loops so the hot paths have exactly one place
+// where floating-point evaluation order is decided.  The determinism
+// contract (docs/PERFORMANCE.md, "Determinism vs. speed"):
+//
+//   * Default build: every reduction accumulates in ascending index order
+//     with a single accumulator — bit-identical to the naive reference
+//     loops the library used before the kernels existed, so golden traces
+//     and the cross-thread-count manifests are unchanged.
+//   * -DREDOPT_FAST_KERNELS=ON: dot / norm_squared / distance_squared
+//     switch to 4-lane partial sums (vectorizable, ~2-4x on wide vectors).
+//     This CHANGES the summation order, and therefore last-ulp results —
+//     golden traces must be regenerated (scripts/update_golden.sh) and the
+//     flag is never used for results that feed committed goldens.
+//
+// Element-wise kernels (axpy, add, sub, scale) have no reduction, so they
+// are bit-identical in both modes and free to vectorize.
+#pragma once
+
+#include <cstddef>
+
+namespace redopt::linalg::kernels {
+
+/// True when the library was compiled with -DREDOPT_FAST_KERNELS=ON
+/// (reordered multi-accumulator reductions).
+bool fast_mode();
+
+/// <a, b> over n entries.
+double dot(const double* a, const double* b, std::size_t n);
+
+/// sum a_i^2.
+double norm_squared(const double* a, std::size_t n);
+
+/// sum (a_i - b_i)^2.
+double distance_squared(const double* a, const double* b, std::size_t n);
+
+/// y += alpha * x (element-wise; order-independent, always vectorizable).
+void axpy(double* y, double alpha, const double* x, std::size_t n);
+
+/// y += x.
+void add(double* y, const double* x, std::size_t n);
+
+/// y -= x.
+void sub(double* y, const double* x, std::size_t n);
+
+/// y *= alpha.
+void scale(double* y, double alpha, std::size_t n);
+
+/// out = A x for row-major A (rows x cols): one strict-order dot per row.
+void matvec(const double* a, std::size_t rows, std::size_t cols, const double* x, double* out);
+
+/// out = A^T x for row-major A (rows x cols).  Accumulates row-by-row in
+/// ascending row order (out[j] += a(i,j) * x[i]); rows whose x[i] is
+/// exactly 0.0 are skipped, matching the historical sparse-friendly loop
+/// bit for bit (adding a 0.0 product could flip a -0.0 sign).  @p out is
+/// zero-initialised by the kernel.
+void matvec_transposed(const double* a, std::size_t rows, std::size_t cols, const double* x,
+                       double* out);
+
+/// C += A B ("gemm-lite"): row-major A (m x k), B (k x n), C (m x n).
+/// Blocked over the output for cache locality; the accumulation over k
+/// stays in ascending order for every C(i,j), and rows of A with an
+/// exactly-zero entry skip that term, so the result is bit-identical to
+/// the naive triple loop (and to linalg::matmul).  @p c is NOT cleared —
+/// callers wanting C = A B must zero it first.
+void gemm_add(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
+              std::size_t n);
+
+}  // namespace redopt::linalg::kernels

@@ -1,5 +1,7 @@
 #include "linalg/matrix.h"
 
+#include "linalg/kernels.h"
+
 #include <algorithm>
 #include <cmath>
 #include <ostream>
@@ -102,9 +104,7 @@ Matrix Matrix::gram() const {
 }
 
 double Matrix::frobenius_norm() const {
-  double acc = 0.0;
-  for (double x : data_) acc += x * x;
-  return std::sqrt(acc);
+  return std::sqrt(kernels::norm_squared(data_.data(), data_.size()));
 }
 
 double Matrix::max_abs() const {
@@ -115,18 +115,18 @@ double Matrix::max_abs() const {
 
 Matrix& Matrix::operator+=(const Matrix& rhs) {
   REDOPT_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix shape mismatch in +=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  kernels::add(data_.data(), rhs.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& rhs) {
   REDOPT_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "matrix shape mismatch in -=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  kernels::sub(data_.data(), rhs.data_.data(), data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator*=(double s) {
-  for (auto& x : data_) x *= s;
+  kernels::scale(data_.data(), s, data_.size());
   return *this;
 }
 
@@ -168,35 +168,23 @@ Matrix operator*(double s, Matrix m) {
 Matrix matmul(const Matrix& a, const Matrix& b) {
   REDOPT_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
   Matrix out(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
-    }
-  }
+  kernels::gemm_add(a.data().data(), b.data().data(), out.data().data(), a.rows(), a.cols(),
+                    b.cols());
   return out;
 }
 
 Vector matvec(const Matrix& a, const Vector& x) {
   REDOPT_REQUIRE(a.cols() == x.size(), "matvec shape mismatch");
   Vector out(a.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double acc = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) acc += a(i, j) * x[j];
-    out[i] = acc;
-  }
+  kernels::matvec(a.data().data(), a.rows(), a.cols(), x.data().data(), out.data().data());
   return out;
 }
 
 Vector matvec_transposed(const Matrix& a, const Vector& x) {
   REDOPT_REQUIRE(a.rows() == x.size(), "matvec_transposed shape mismatch");
   Vector out(a.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += a(i, j) * xi;
-  }
+  kernels::matvec_transposed(a.data().data(), a.rows(), a.cols(), x.data().data(),
+                             out.data().data());
   return out;
 }
 

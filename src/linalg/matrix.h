@@ -47,6 +47,10 @@ class Matrix {
   double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
   double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
 
+  /// Contiguous row-major storage (rows() * cols() entries).
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
   /// Bounds-checked access.
   double& at(std::size_t r, std::size_t c);
   double at(std::size_t r, std::size_t c) const;

@@ -1,5 +1,7 @@
 #include "linalg/vector.h"
 
+#include "linalg/kernels.h"
+
 #include <algorithm>
 #include <cmath>
 #include <ostream>
@@ -29,18 +31,18 @@ double Vector::at(std::size_t i) const {
 
 Vector& Vector::operator+=(const Vector& rhs) {
   require_same_dim(*this, rhs, "operator+=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  kernels::add(data_.data(), rhs.data_.data(), data_.size());
   return *this;
 }
 
 Vector& Vector::operator-=(const Vector& rhs) {
   require_same_dim(*this, rhs, "operator-=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  kernels::sub(data_.data(), rhs.data_.data(), data_.size());
   return *this;
 }
 
 Vector& Vector::operator*=(double s) {
-  for (auto& x : data_) x *= s;
+  kernels::scale(data_.data(), s, data_.size());
   return *this;
 }
 
@@ -53,9 +55,7 @@ Vector& Vector::operator/=(double s) {
 double Vector::norm() const { return std::sqrt(norm_squared()); }
 
 double Vector::norm_squared() const {
-  double acc = 0.0;
-  for (double x : data_) acc += x * x;
-  return acc;
+  return kernels::norm_squared(data_.data(), data_.size());
 }
 
 double Vector::norm_l1() const {
@@ -119,19 +119,21 @@ Vector operator/(Vector v, double s) {
 
 double dot(const Vector& a, const Vector& b) {
   require_same_dim(a, b, "dot");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::dot(a.data().data(), b.data().data(), a.size());
 }
 
 double distance(const Vector& a, const Vector& b) {
-  require_same_dim(a, b, "distance");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double diff = a[i] - b[i];
-    acc += diff * diff;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(distance_squared(a, b));
+}
+
+double distance_squared(const Vector& a, const Vector& b) {
+  require_same_dim(a, b, "distance_squared");
+  return kernels::distance_squared(a.data().data(), b.data().data(), a.size());
+}
+
+void axpy(Vector& y, double alpha, const Vector& x) {
+  require_same_dim(y, x, "axpy");
+  kernels::axpy(y.data().data(), alpha, x.data().data(), y.size());
 }
 
 Vector cwise_min(const Vector& a, const Vector& b) {

@@ -90,6 +90,12 @@ double dot(const Vector& a, const Vector& b);
 /// Euclidean distance ||a - b||.
 double distance(const Vector& a, const Vector& b);
 
+/// Squared Euclidean distance ||a - b||^2 (no square root).
+double distance_squared(const Vector& a, const Vector& b);
+
+/// y += alpha * x without allocating a temporary.  Dimensions must match.
+void axpy(Vector& y, double alpha, const Vector& x);
+
 /// Coordinate-wise minimum / maximum of two vectors.
 Vector cwise_min(const Vector& a, const Vector& b);
 Vector cwise_max(const Vector& a, const Vector& b);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "filters/instrumented.h"
+#include "filters/norm_cache.h"
 #include "runtime/runtime.h"
 #include "sgd/empirical_cost.h"
 #include "telemetry/events.h"
@@ -90,6 +91,7 @@ dgd::TrainResult train_sgd(const core::MultiAgentProblem& problem,
   std::vector<linalg::Vector> gradients(n);
   std::vector<linalg::Vector> honest_gradients;
   linalg::Vector velocity(d);
+  filters::NormCache round_cache;
   for (std::size_t t = 0; t < base.iterations; ++t) {
     // Honest mini-batch fan-out: each agent samples from its own stream
     // and writes its own gradient slot, so the parallel evaluation is
@@ -117,7 +119,8 @@ dgd::TrainResult train_sgd(const core::MultiAgentProblem& problem,
       REDOPT_REQUIRE(gradients[i].size() == d, "attack crafted a wrong-dimension vector");
     }
 
-    const linalg::Vector direction = filter->apply(gradients);
+    round_cache.reset(gradients);
+    const linalg::Vector direction = filter->apply_with_cache(gradients, round_cache);
     const linalg::Vector previous = x;
     if (config.momentum > 0.0) {
       velocity = velocity * config.momentum + direction;

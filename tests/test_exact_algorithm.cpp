@@ -10,6 +10,7 @@
 #include "dgd/trainer.h"
 #include "redundancy/redundancy.h"
 #include "rng/rng.h"
+#include "runtime/runtime.h"
 #include "util/error.h"
 #include "util/subsets.h"
 
@@ -179,4 +180,21 @@ TEST(ExactAlgorithm, ChosenSetHasCorrectSize) {
   const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.01, 1, rng);
   const auto result = core::run_exact_algorithm(inst.problem.costs, 1);
   EXPECT_EQ(result.chosen_set.size(), 5u);  // n - f
+}
+
+TEST(ExactAlgorithm, MemoizerReusesInnerArgminEvaluations) {
+  // At threads = 1 the whole enumeration is one chunk with one memoizer,
+  // so the counters are deterministic enough to assert on: every inner
+  // lookup is a hit or a miss, distinct (n - 2f)-subsets bound the
+  // misses (C(6, 4) = 15 here), and overlapping outer subsets guarantee
+  // genuine hits.
+  const std::size_t previous = runtime::threads();
+  runtime::set_threads(1);
+  rng::Rng rng(7);
+  const auto inst = data::make_regression(data::paper_matrix(), Vector{1.0, 1.0}, 0.0, 1, rng);
+  const auto result = core::run_exact_algorithm(inst.problem.costs, 1);
+  runtime::set_threads(previous);
+  EXPECT_EQ(result.inner_evaluations, result.inner_cache_hits + result.inner_cache_misses);
+  EXPECT_LE(result.inner_cache_misses, 15u);
+  EXPECT_GT(result.inner_cache_hits, 0u);
 }

@@ -1,0 +1,274 @@
+// perf-report: compares two BENCH_*.json files (JSON-lines emitted by the
+// perf bench binaries and gathered by scripts/collect_bench.sh) and prints
+// a per-benchmark speedup table.
+//
+//   perf-report BASELINE.json CANDIDATE.json [--tolerance 0.10]
+//               [--require bench_filter_perf=2.0,bench_exact_perf=1.5]
+//
+// Entries are matched by (bench, name); speedup = baseline_ns /
+// candidate_ns on real time, so > 1 means the candidate got faster.  The
+// report ends with two aggregates per bench binary:
+//   geomean    — the average per-entry speedup (every entry weighs the
+//                same, however fast it is)
+//   wall-clock — sum(baseline real_ns) / sum(candidate real_ns), i.e. how
+//                much faster one pass over the whole bench runs; big
+//                entries dominate, exactly as they dominate real runtime
+//
+// Exit status (what scripts/check_perf.sh and the CI perf-smoke job key
+// on):
+//   0  no entry regressed beyond --tolerance and every --require held
+//   1  at least one regression beyond tolerance, or a --require unmet
+//   2  usage / unreadable / unparseable input
+//
+// --tolerance is a fraction: 0.10 tolerates entries up to 10% slower than
+// baseline before they count as regressions.  --require asserts a minimum
+// wall-clock speedup per bench binary (the PR acceptance gates are
+// phrased as wall-clock factors).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+struct Entry {
+  std::string bench;  // binary name, e.g. "bench_filter_perf"
+  std::string name;   // benchmark entry, e.g. "filter/cge/32/10"
+  double real_ns = 0.0;
+};
+
+// Reads one BENCH_*.json file: one JSON object per non-empty line, with
+// optional "BENCH_JSON " prefixes tolerated so raw logs work too.
+std::vector<Entry> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "perf-report: cannot read " << path << "\n";
+    std::exit(2);
+  }
+  std::vector<Entry> entries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.rfind("BENCH_JSON ", 0) == 0) line = line.substr(11);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      const redopt::util::JsonValue doc = redopt::util::json_parse(line);
+      Entry e;
+      e.bench = doc.at("bench").as_string();
+      e.name = doc.at("name").as_string();
+      e.real_ns = doc.at("real_ns").as_number();
+      entries.push_back(std::move(e));
+    } catch (const std::exception& err) {
+      std::cerr << "perf-report: " << path << ":" << line_no << ": " << err.what() << "\n";
+      std::exit(2);
+    }
+  }
+  return entries;
+}
+
+std::string format_ns(double ns) {
+  char buf[64];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", ns);
+  }
+  return buf;
+}
+
+struct Requirement {
+  std::string bench;
+  double min_speedup = 1.0;
+};
+
+// Parses "benchA=2.0,benchB=1.5".
+std::vector<Requirement> parse_requirements(const std::string& spec) {
+  std::vector<Requirement> reqs;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::cerr << "perf-report: bad --require item '" << item << "' (want bench=factor)\n";
+      std::exit(2);
+    }
+    Requirement r;
+    r.bench = item.substr(0, eq);
+    try {
+      r.min_speedup = std::stod(item.substr(eq + 1));
+    } catch (...) {
+      std::cerr << "perf-report: bad --require factor in '" << item << "'\n";
+      std::exit(2);
+    }
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double tolerance = 0.10;
+  std::string require_spec;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* flag) -> std::string {
+      const std::string prefix = std::string(flag) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      if (i + 1 >= argc) {
+        std::cerr << "perf-report: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--tolerance" || arg.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::stod(value_of("--tolerance"));
+    } else if (arg == "--require" || arg.rfind("--require=", 0) == 0) {
+      require_spec = value_of("--require");
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: perf-report BASELINE.json CANDIDATE.json"
+                   " [--tolerance FRAC] [--require bench=factor,...]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "perf-report: unknown flag " << arg << "\n";
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    std::cerr << "usage: perf-report BASELINE.json CANDIDATE.json"
+                 " [--tolerance FRAC] [--require bench=factor,...]\n";
+    return 2;
+  }
+  const std::vector<Requirement> requirements = parse_requirements(require_spec);
+
+  const std::vector<Entry> baseline = load(positional[0]);
+  const std::vector<Entry> candidate = load(positional[1]);
+
+  // Last record wins when a file accumulated several runs of one entry.
+  std::map<std::pair<std::string, std::string>, double> base_ns;
+  for (const Entry& e : baseline) base_ns[{e.bench, e.name}] = e.real_ns;
+
+  struct Row {
+    Entry entry;
+    double baseline_ns = 0.0;
+    double speedup = 0.0;
+  };
+  std::vector<Row> rows;
+  std::map<std::pair<std::string, std::string>, double> seen;
+  for (const Entry& e : candidate) seen[{e.bench, e.name}] = e.real_ns;
+  std::size_t unmatched_candidate = 0;
+  for (const auto& [key, cand_ns] : seen) {
+    const auto it = base_ns.find(key);
+    if (it == base_ns.end()) {
+      ++unmatched_candidate;
+      continue;
+    }
+    Row row;
+    row.entry.bench = key.first;
+    row.entry.name = key.second;
+    row.entry.real_ns = cand_ns;
+    row.baseline_ns = it->second;
+    row.speedup = cand_ns > 0.0 ? it->second / cand_ns : 0.0;
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    std::cerr << "perf-report: no common (bench, name) entries between the two files\n";
+    return 2;
+  }
+
+  std::size_t width = 0;
+  for (const Row& r : rows) width = std::max(width, r.entry.name.size());
+
+  std::string current_bench;
+  std::map<std::string, std::pair<double, std::size_t>> log_speedups;  // bench -> (sum log, n)
+  std::map<std::string, std::pair<double, double>> totals;  // bench -> (sum base ns, sum cand ns)
+  std::vector<Row> regressions;
+  for (const Row& r : rows) {
+    if (r.entry.bench != current_bench) {
+      current_bench = r.entry.bench;
+      std::printf("\n%s  (speedup = baseline / candidate, >1 is faster)\n",
+                  current_bench.c_str());
+      std::printf("  %-*s  %12s  %12s  %8s\n", static_cast<int>(width), "name", "baseline",
+                  "candidate", "speedup");
+    }
+    const bool regressed = r.speedup < 1.0 - tolerance;
+    if (regressed) regressions.push_back(r);
+    std::printf("  %-*s  %12s  %12s  %7.2fx%s\n", static_cast<int>(width), r.entry.name.c_str(),
+                format_ns(r.baseline_ns).c_str(), format_ns(r.entry.real_ns).c_str(), r.speedup,
+                regressed ? "  <-- REGRESSION" : "");
+    auto& [sum_log, n] = log_speedups[r.entry.bench];
+    sum_log += std::log(r.speedup > 0.0 ? r.speedup : 1e-12);
+    ++n;
+    auto& [base_sum, cand_sum] = totals[r.entry.bench];
+    base_sum += r.baseline_ns;
+    cand_sum += r.entry.real_ns;
+  }
+
+  std::printf("\nsummary  (wall-clock = sum of baseline times / sum of candidate times)\n");
+  double total_log = 0.0;
+  std::size_t total_n = 0;
+  double grand_base = 0.0;
+  double grand_cand = 0.0;
+  std::map<std::string, double> wall_speedups;
+  for (const auto& [bench, acc] : log_speedups) {
+    const double geomean = std::exp(acc.first / static_cast<double>(acc.second));
+    const auto& [base_sum, cand_sum] = totals[bench];
+    const double wall = cand_sum > 0.0 ? base_sum / cand_sum : 0.0;
+    wall_speedups[bench] = wall;
+    std::printf("  %-24s  %3zu entr%s  geomean %6.2fx  wall-clock %6.2fx  (%s -> %s)\n",
+                bench.c_str(), acc.second, acc.second == 1 ? "y " : "ies", geomean, wall,
+                format_ns(base_sum).c_str(), format_ns(cand_sum).c_str());
+    total_log += acc.first;
+    total_n += acc.second;
+    grand_base += base_sum;
+    grand_cand += cand_sum;
+  }
+  std::printf("  %-24s  %3zu entries  geomean %6.2fx  wall-clock %6.2fx  (%s -> %s)\n", "overall",
+              total_n, std::exp(total_log / static_cast<double>(total_n)),
+              grand_cand > 0.0 ? grand_base / grand_cand : 0.0, format_ns(grand_base).c_str(),
+              format_ns(grand_cand).c_str());
+  if (unmatched_candidate > 0) {
+    std::printf("  (%zu candidate entr%s had no baseline counterpart and were skipped)\n",
+                unmatched_candidate, unmatched_candidate == 1 ? "y" : "ies");
+  }
+
+  int status = 0;
+  if (!regressions.empty()) {
+    std::printf("\n%zu regression(s) beyond tolerance %.0f%%:\n", regressions.size(),
+                tolerance * 100.0);
+    for (const Row& r : regressions) {
+      std::printf("  %s %s: %.2fx\n", r.entry.bench.c_str(), r.entry.name.c_str(), r.speedup);
+    }
+    status = 1;
+  }
+  for (const Requirement& req : requirements) {
+    const auto it = wall_speedups.find(req.bench);
+    if (it == wall_speedups.end()) {
+      std::printf("\nrequirement FAILED: no entries for %s\n", req.bench.c_str());
+      status = 1;
+    } else if (it->second < req.min_speedup) {
+      std::printf("\nrequirement FAILED: %s wall-clock speedup %.2fx < required %.2fx\n",
+                  req.bench.c_str(), it->second, req.min_speedup);
+      status = 1;
+    } else {
+      std::printf("\nrequirement met: %s wall-clock speedup %.2fx >= %.2fx\n", req.bench.c_str(),
+                  it->second, req.min_speedup);
+    }
+  }
+  return status;
+}
