@@ -1,0 +1,89 @@
+// R-P6 — transport message complexity (google-benchmark).
+//
+// Cost of one full scenario session per backend x reduction topology,
+// with the deterministic traffic counters (frames delivered, bytes on
+// wire, gather depth) exported per entry.  The topologies trade
+// coordinator fan-in against relay bytes: star ships every gradient one
+// hop at fan-in n, the chain pays O(n) hops per frame at fan-in 1, the
+// binary tree sits between — same delivered frame multiset on all three
+// (relays forward verbatim; the Byzantine-robust filters need every
+// individual gradient), so bytes_per_round isolates pure relay overhead.
+//
+// The socket entry forks a coordinator + n agent processes per iteration,
+// so its real_ns measures process orchestration, not arithmetic — that is
+// the point: it bounds what multi-process deployment costs over the
+// in-process backend for an identical (bit-identical, the transport tests
+// enforce) execution.
+#include <benchmark/benchmark.h>
+
+#include "chaos/scenario.h"
+#include "perf_common.h"
+#include "transport/session.h"
+#include "util/error.h"
+
+using namespace redopt;
+
+namespace {
+
+chaos::Scenario bench_scenario(std::size_t n) {
+  chaos::Scenario s;
+  s.name = "bench-transport";
+  s.seed = 97;
+  s.problem = "mean";
+  s.filter = "cge";
+  s.n = n;
+  s.f = 1;
+  s.d = 4;
+  s.rounds = 30;
+  chaos::FaultSpec byz;
+  byz.kind = chaos::FaultSpec::Kind::kByzantine;
+  byz.agent = 1;
+  byz.attack = "gradient_reverse";
+  s.faults = {byz};
+  s.channel.duplicate_probability = 0.2;
+  s.channel.max_delay = 2;
+  return s;
+}
+
+void run_session(benchmark::State& state, transport::BackendKind backend,
+                 transport::Topology topology) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const chaos::Scenario scenario = bench_scenario(n);
+  transport::SessionOptions options;
+  options.backend = backend;
+  options.topology = topology;
+
+  transport::TransportStats stats;
+  for (auto _ : state) {
+    const transport::ScenarioSession session =
+        transport::run_scenario_transport(scenario, options);
+    stats = session.transport;
+    benchmark::DoNotOptimize(session.result.final_distance);
+  }
+  const double rounds = static_cast<double>(scenario.rounds);
+  state.counters["frames_per_round"] = static_cast<double>(stats.frames_delivered) / rounds;
+  state.counters["bytes_per_round"] = static_cast<double>(stats.bytes_on_wire) / rounds;
+  state.counters["reduce_depth"] = static_cast<double>(stats.reduce_rounds) / rounds;
+}
+
+void inproc_star(benchmark::State& state) {
+  run_session(state, transport::BackendKind::kInproc, transport::Topology::kStar);
+}
+void inproc_chain(benchmark::State& state) {
+  run_session(state, transport::BackendKind::kInproc, transport::Topology::kChain);
+}
+void inproc_tree(benchmark::State& state) {
+  run_session(state, transport::BackendKind::kInproc, transport::Topology::kTree);
+}
+void socket_star(benchmark::State& state) {
+  run_session(state, transport::BackendKind::kSocket, transport::Topology::kStar);
+}
+
+BENCHMARK(inproc_star)->Name("transport/inproc/star")->Arg(8)->Arg(16);
+BENCHMARK(inproc_chain)->Name("transport/inproc/chain")->Arg(8)->Arg(16);
+BENCHMARK(inproc_tree)->Name("transport/inproc/tree")->Arg(8)->Arg(16);
+BENCHMARK(socket_star)->Name("transport/socket/star")->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) { return redopt::bench::run_perf_bench(argc, argv); }

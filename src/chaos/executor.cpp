@@ -29,8 +29,22 @@ bool in_window(const FaultSpec& spec, std::size_t t) {
   return spec.until == 0 || t < spec.until;
 }
 
-/// Maps a scenario's scalar attack knob onto the registry parameter the
-/// named attack actually reads.
+bool all_finite(const linalg::Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+/// One reply in flight: the gradient an agent emitted at a given round.
+struct Reply {
+  std::size_t agent = 0;
+  std::size_t emitted = 0;  ///< round the payload was computed in
+  linalg::Vector payload;
+};
+
+}  // namespace
+
 std::unique_ptr<attacks::Attack> make_scenario_attack(const std::string& name, double param) {
   attacks::AttackParams p;
   if (name == "gradient_reverse") p.scale = param;
@@ -44,16 +58,12 @@ std::unique_ptr<attacks::Attack> make_scenario_attack(const std::string& name, d
   return attacks::make_attack(name, p);
 }
 
-/// The scenario's problem instance and honest reference, both derived
-/// purely from the scenario (instance data from fork("problem"), the
-/// reference from the agents no fault spec ever touches as Byzantine or
-/// crashed).
-struct Materialized {
-  core::MultiAgentProblem problem;
-  linalg::Vector reference;
-};
+double scenario_schedule_coefficient(const std::string& filter, std::size_t n, std::size_t f) {
+  if (filter == "cge" || filter == "sum") return 1.0 / (2.0 * static_cast<double>(n - f));
+  return 0.5;
+}
 
-Materialized materialize(const Scenario& s) {
+MaterializedScenario materialize_scenario(const Scenario& s) {
   rng::Rng problem_rng = rng::Rng(s.seed).fork("problem");
 
   std::vector<bool> faulty(s.n, false);
@@ -66,7 +76,7 @@ Materialized materialize(const Scenario& s) {
   }
   REDOPT_REQUIRE(!never_faulty.empty(), "scenario: every agent is faulty");
 
-  Materialized out;
+  MaterializedScenario out;
   if (s.problem == "mean") {
     linalg::Vector mu(s.d);
     for (auto& v : mu) v = problem_rng.uniform(-3.0, 3.0);
@@ -99,30 +109,6 @@ Materialized materialize(const Scenario& s) {
   return out;
 }
 
-bool all_finite(const linalg::Vector& v) {
-  for (double x : v) {
-    if (!std::isfinite(x)) return false;
-  }
-  return true;
-}
-
-/// Filters that output on the paper's *sum* scale take a coefficient that
-/// shrinks with the survivor count; average-scale filters use the fixed
-/// coefficient matched to the mu = gamma = 2 instance families.
-double schedule_coefficient(const std::string& filter, std::size_t n, std::size_t f) {
-  if (filter == "cge" || filter == "sum") return 1.0 / (2.0 * static_cast<double>(n - f));
-  return 0.5;
-}
-
-/// One reply in flight: the gradient an agent emitted at a given round.
-struct Reply {
-  std::size_t agent = 0;
-  std::size_t emitted = 0;  ///< round the payload was computed in
-  linalg::Vector payload;
-};
-
-}  // namespace
-
 ScenarioResult run_scenario(const Scenario& s, const ExecutorOptions& options) {
   s.validate();
 
@@ -137,7 +123,7 @@ ScenarioResult run_scenario(const Scenario& s, const ExecutorOptions& options) {
   const auto metric_delayed = reg.counter("chaos.delayed_replies");
   const auto metric_duplicated = reg.counter("chaos.duplicated_replies");
 
-  const Materialized built = materialize(s);
+  const MaterializedScenario built = materialize_scenario(s);
   const auto& problem = built.problem;
   const std::size_t n = s.n;
   const std::size_t d = s.d;
@@ -203,7 +189,7 @@ ScenarioResult run_scenario(const Scenario& s, const ExecutorOptions& options) {
     return filter_cache.emplace(key, filters::make_filter("mean", fp)).first->second;
   };
 
-  const dgd::HarmonicSchedule schedule(schedule_coefficient(s.filter, n, s.f));
+  const dgd::HarmonicSchedule schedule(scenario_schedule_coefficient(s.filter, n, s.f));
   const dgd::BoxProjection projection = dgd::BoxProjection::cube(d, 10.0);
 
   rng::Rng x0_rng = root.fork("x0");
@@ -390,7 +376,7 @@ double exact_algorithm_distance(const Scenario& s) {
                  "exact-algorithm check supports mean / block_regression scenarios");
   REDOPT_REQUIRE(s.n <= 12, "exact-algorithm check enumerates subsets; keep n <= 12");
 
-  const Materialized built = materialize(s);
+  const MaterializedScenario built = materialize_scenario(s);
   const rng::Rng root(s.seed);
 
   // Every faulty agent (Byzantine or crashed) submits an adversarially

@@ -12,13 +12,37 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "attacks/attack.h"
 #include "chaos/scenario.h"
+#include "core/problem.h"
 #include "filters/gradient_filter.h"
 #include "linalg/vector.h"
 
 namespace redopt::chaos {
+
+/// The scenario's problem instance and honest reference, both derived
+/// purely from the scenario (instance data from fork("problem"), the
+/// reference from the agents no fault spec ever touches as Byzantine or
+/// crashed).  Public so transport sessions replay the exact instance the
+/// in-process executor runs.
+struct MaterializedScenario {
+  core::MultiAgentProblem problem;
+  linalg::Vector reference;
+};
+
+MaterializedScenario materialize_scenario(const Scenario& scenario);
+
+/// Maps a scenario's scalar attack knob onto the registry parameter the
+/// named attack actually reads.
+std::unique_ptr<attacks::Attack> make_scenario_attack(const std::string& name, double param);
+
+/// Filters that output on the paper's *sum* scale take a coefficient that
+/// shrinks with the survivor count; average-scale filters use the fixed
+/// coefficient matched to the mu = gamma = 2 instance families.
+double scenario_schedule_coefficient(const std::string& filter, std::size_t n, std::size_t f);
 
 /// Observables of one scenario execution.
 struct ScenarioResult {

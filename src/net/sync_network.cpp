@@ -24,6 +24,15 @@ SyncNetwork::SyncNetwork(std::vector<Node*> nodes, LinkFaults faults)
   metric_delayed_ = reg.counter("net.messages_delayed");
   metric_duplicated_ = reg.counter("net.messages_duplicated");
   metric_scalars_ = reg.counter("net.scalars_transferred");
+  metric_bytes_ = reg.counter("net.bytes_on_wire");
+  // Retries happen when a wall-clock timeout fires, so the count is
+  // timing-dependent by nature: masked from bit-identity checks.
+  metric_retried_ = reg.counter("net.messages_retried", telemetry::Determinism::kUnstable);
+}
+
+void SyncNetwork::record_retry(std::uint64_t count) {
+  stats_.messages_retried += count;
+  metric_retried_.inc(count);
 }
 
 std::size_t SyncNetwork::run_round() {
@@ -37,6 +46,8 @@ std::size_t SyncNetwork::run_round() {
   auto deliver = [&](Message m) {
     stats_.scalars_transferred += m.payload.size();
     metric_scalars_.inc(m.payload.size());
+    stats_.bytes_on_wire += sizeof(double) * m.payload.size();
+    metric_bytes_.inc(sizeof(double) * m.payload.size());
     inboxes[m.to].push_back(std::move(m));
     ++delivered;
   };

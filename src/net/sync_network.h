@@ -31,6 +31,12 @@ struct NetworkStats {
   std::uint64_t messages_delayed = 0;
   std::uint64_t messages_duplicated = 0;  ///< extra copies injected by the fault model
   std::uint64_t scalars_transferred = 0;  ///< total payload entries delivered
+  std::uint64_t bytes_on_wire = 0;        ///< payload bytes delivered (8 per scalar)
+  /// Deliveries re-attempted after a timeout.  The simulated network never
+  /// times out, so the field only moves via record_retry(); it exists so
+  /// NetworkStats and transport::TransportStats expose one traffic shape
+  /// to the message-complexity reports.
+  std::uint64_t messages_retried = 0;
 };
 
 /// Opt-in lossy-link model.  The default (both fields zero) consumes no
@@ -58,6 +64,9 @@ class SyncNetwork {
   const NetworkStats& stats() const { return stats_; }
   std::size_t current_round() const { return round_; }
 
+  /// Books @p count retried deliveries (see NetworkStats::messages_retried).
+  void record_retry(std::uint64_t count = 1);
+
  private:
   struct Delayed {
     Message message;
@@ -80,6 +89,8 @@ class SyncNetwork {
   telemetry::Counter metric_delayed_;
   telemetry::Counter metric_duplicated_;
   telemetry::Counter metric_scalars_;
+  telemetry::Counter metric_bytes_;
+  telemetry::Counter metric_retried_;
 };
 
 }  // namespace redopt::net

@@ -1,0 +1,159 @@
+#include "transport/agent_replica.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "chaos/executor.h"
+#include "transport/channel.h"
+#include "util/error.h"
+
+namespace redopt::transport {
+
+namespace {
+
+bool in_window(const chaos::FaultSpec& spec, std::size_t t) {
+  if (t < spec.from) return false;
+  return spec.until == 0 || t < spec.until;
+}
+
+std::size_t scenario_max_staleness(const chaos::Scenario& s) {
+  std::size_t max_staleness = 0;
+  for (const chaos::FaultSpec& spec : s.faults) {
+    if (spec.kind == chaos::FaultSpec::Kind::kStraggler) {
+      max_staleness = std::max(max_staleness, spec.staleness);
+    }
+  }
+  return max_staleness;
+}
+
+}  // namespace
+
+AgentReplica::AgentReplica(const chaos::Scenario& scenario,
+                           const core::MultiAgentProblem& problem, std::size_t agent)
+    : scenario_(scenario),
+      problem_(problem),
+      agent_(agent),
+      max_staleness_(scenario_max_staleness(scenario)),
+      spec_of_(scenario.n, nullptr),
+      attack_rng_(rng::Rng(scenario.seed).fork("byzantine-agent-" + std::to_string(agent))) {
+  REDOPT_REQUIRE(agent < scenario.n, "agent replica: agent id out of range");
+  for (const chaos::FaultSpec& spec : scenario_.faults) spec_of_[spec.agent] = &spec;
+  const chaos::FaultSpec* own = spec_of_[agent_];
+  if (own != nullptr && own->kind == chaos::FaultSpec::Kind::kByzantine) {
+    attack_ = chaos::make_scenario_attack(own->attack, own->attack_param);
+  }
+}
+
+linalg::Vector AgentReplica::honest_payload(std::size_t who, std::size_t round) const {
+  const chaos::FaultSpec* spec = spec_of_[who];
+  std::size_t staleness = 0;
+  if (spec != nullptr && spec->kind == chaos::FaultSpec::Kind::kStraggler &&
+      in_window(*spec, round)) {
+    staleness = std::min(spec->staleness, history_.size() - 1);
+  }
+  return problem_.costs[who]->gradient(history_[staleness]);
+}
+
+std::vector<util::Frame> AgentReplica::on_round(std::size_t round, const linalg::Vector& estimate) {
+  history_.push_front(estimate);
+  while (history_.size() > max_staleness_ + 1) history_.pop_back();
+
+  // Frames the channel delayed into this round are in flight regardless
+  // of what the fault schedule does to the agent now (even crashed
+  // agents' earlier replies still arrive).
+  std::vector<util::Frame> out;
+  if (auto it = delayed_.find(round); it != delayed_.end()) {
+    out = std::move(it->second);
+    delayed_.erase(it);
+  }
+
+  const RoundFate what = fate(scenario_, agent_, round);
+  if (!what.emits) return out;
+
+  // Byzantine agents are never stale: the attack sees the freshest state
+  // (worst case for the server).
+  linalg::Vector payload =
+      what.byzantine ? problem_.costs[agent_]->gradient(history_[0]) : honest_payload(agent_, round);
+
+  if (what.byzantine) {
+    const linalg::Vector true_gradient = payload;
+    // What the adversary observes: the replies of the agents that are
+    // not Byzantine this execution (stale where straggling) — recomputed
+    // locally, so the observation needs no extra communication.
+    std::vector<linalg::Vector> observed;
+    observed.reserve(scenario_.n);
+    for (std::size_t j = 0; j < scenario_.n; ++j) {
+      const chaos::FaultSpec* spec = spec_of_[j];
+      if (spec != nullptr && spec->kind == chaos::FaultSpec::Kind::kByzantine) continue;
+      if (spec != nullptr && spec->kind == chaos::FaultSpec::Kind::kCrash &&
+          in_window(*spec, round)) {
+        continue;
+      }
+      observed.push_back(honest_payload(j, round));
+    }
+    const std::vector<linalg::Vector> fallback{true_gradient};
+    attacks::AttackContext ctx;
+    ctx.iteration = round;
+    ctx.agent_id = agent_;
+    ctx.n = scenario_.n;
+    ctx.f = scenario_.f;
+    ctx.estimate = &history_[0];
+    ctx.honest_gradient = &true_gradient;
+    ctx.honest_gradients = observed.empty() ? &fallback : &observed;
+    ctx.rng = &attack_rng_;
+    payload = attack_->craft(ctx);
+    REDOPT_REQUIRE(payload.size() == scenario_.d, "attack crafted a wrong-dimension vector");
+  }
+
+  if (what.dropped) return out;
+
+  util::Frame frame;
+  frame.type = util::FrameType::kGradient;
+  frame.agent = static_cast<std::uint32_t>(agent_);
+  frame.round = round;
+  frame.emitted = round;
+  frame.hops = 1;
+  frame.payload.assign(payload.begin(), payload.end());
+  if (what.duplicated) out.push_back(frame);  // the extra copy lands on time
+  if (what.delay > 0) {
+    frame.round = round + what.delay;
+    delayed_[round + what.delay].push_back(std::move(frame));
+  } else {
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+AgentReplica::RoundFate AgentReplica::fate(const chaos::Scenario& scenario, std::size_t agent,
+                                           std::size_t round) {
+  REDOPT_REQUIRE(agent < scenario.n, "agent replica: agent id out of range");
+  const chaos::FaultSpec* spec = nullptr;
+  for (const chaos::FaultSpec& candidate : scenario.faults) {
+    if (candidate.agent == agent) spec = &candidate;
+  }
+
+  RoundFate what;
+  if (spec != nullptr && spec->kind == chaos::FaultSpec::Kind::kCrash && in_window(*spec, round)) {
+    what.emits = false;
+    return what;
+  }
+  what.byzantine = spec != nullptr && spec->kind == chaos::FaultSpec::Kind::kByzantine &&
+                   in_window(*spec, round);
+  // A straggler reply only counts as stale once there is an older
+  // estimate to be stale against (round >= 1 — the executor's
+  // history.size() > 1 condition).
+  what.stale = spec != nullptr && spec->kind == chaos::FaultSpec::Kind::kStraggler &&
+               in_window(*spec, round) && round >= 1;
+
+  const ChannelDecision decision =
+      channel_decision(scenario.channel, scenario.seed, agent, round);
+  what.dropped = decision.drop;
+  if (!what.dropped) {
+    what.duplicated = decision.duplicate;
+    what.delay = decision.delay;
+  }
+  return what;
+}
+
+}  // namespace redopt::transport

@@ -1,0 +1,84 @@
+// Deterministic per-agent emission engine for chaos scenarios.
+//
+// An AgentReplica is the "agent program" both transport backends run:
+// given the round's broadcast estimate it computes the frames this agent
+// puts on the wire — applying its own fault spec (crash windows,
+// Byzantine attacks, straggler staleness) and its own channel faults
+// (drop / duplicate / delay, from the pure per-(agent, round) streams in
+// channel.h).  All state is per-agent: estimate history, the delayed-
+// frame buffer, the attack's named RNG stream.  The inproc backend runs
+// n replicas in one process; the socket backend runs each replica inside
+// its own forked agent process — and because nothing here reads shared
+// mutable state or unshared randomness, both executions emit
+// bit-identical frames.
+//
+// Byzantine omniscience survives the process split the same way: an
+// attacking replica *recomputes* the honest agents' gradients locally
+// from its (fork-copied) problem instance instead of observing them over
+// the network — deterministic, and exactly the adversary model the
+// in-process chaos executor implements.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "attacks/attack.h"
+#include "chaos/scenario.h"
+#include "core/problem.h"
+#include "linalg/vector.h"
+#include "rng/rng.h"
+#include "util/frame.h"
+
+namespace redopt::transport {
+
+class AgentReplica {
+ public:
+  /// @p scenario and @p problem must outlive the replica (the session
+  /// owns both; fork() gives agent processes their own copies).
+  AgentReplica(const chaos::Scenario& scenario, const core::MultiAgentProblem& problem,
+               std::size_t agent);
+
+  /// The frames this agent sends during round @p round: previously
+  /// delayed frames falling due first, then the round's own emission
+  /// after fault-spec and channel treatment (possibly nothing, possibly
+  /// an extra duplicate).  Must be called once per round, rounds
+  /// ascending from 0.
+  std::vector<util::Frame> on_round(std::size_t round, const linalg::Vector& estimate);
+
+  std::size_t agent() const { return agent_; }
+
+  /// What the fault schedule does to @p agent in @p round — a pure
+  /// function of the scenario, replayed coordinator-side to fill the
+  /// ScenarioResult fault counters without any backchannel from the
+  /// agents.
+  struct RoundFate {
+    bool emits = true;       ///< false during a crash window
+    bool byzantine = false;  ///< reply is attack-crafted
+    bool stale = false;      ///< straggler reply computed on an old estimate
+    bool dropped = false;
+    bool duplicated = false;
+    std::size_t delay = 0;  ///< rounds the original reply is late
+  };
+  static RoundFate fate(const chaos::Scenario& scenario, std::size_t agent, std::size_t round);
+
+ private:
+  /// Gradient agent @p who would submit this round (staleness-adjusted);
+  /// used for the own payload and for Byzantine recomputation of the
+  /// honest agents' replies.
+  linalg::Vector honest_payload(std::size_t who, std::size_t round) const;
+
+  const chaos::Scenario& scenario_;
+  const core::MultiAgentProblem& problem_;
+  std::size_t agent_;
+  std::size_t max_staleness_ = 0;  ///< scenario-wide, so history depth matches the executor
+  std::vector<const chaos::FaultSpec*> spec_of_;
+  std::unique_ptr<attacks::Attack> attack_;
+  rng::Rng attack_rng_;
+  std::deque<linalg::Vector> history_;  ///< history_[s] is the estimate of round - s
+  std::map<std::size_t, std::vector<util::Frame>> delayed_;
+};
+
+}  // namespace redopt::transport

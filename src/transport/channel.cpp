@@ -1,0 +1,35 @@
+#include "transport/channel.h"
+
+#include <string>
+
+#include "rng/rng.h"
+
+namespace redopt::transport {
+
+ChannelDecision channel_decision(const chaos::ChannelFaults& faults, std::uint64_t seed,
+                                 std::size_t agent, std::size_t round) {
+  ChannelDecision decision;
+  if (faults.drop_probability <= 0.0 && faults.duplicate_probability <= 0.0 &&
+      faults.max_delay == 0) {
+    return decision;
+  }
+  rng::Rng stream = rng::Rng(seed).fork("transport-channel-a" + std::to_string(agent) + "-r" +
+                                        std::to_string(round));
+  // Draw all three knobs unconditionally so the decision is a pure
+  // function of the label, not of which probabilities are non-zero.
+  const double drop_draw = stream.uniform();
+  const double duplicate_draw = stream.uniform();
+  const std::size_t delay_draw =
+      faults.max_delay == 0
+          ? 0
+          : static_cast<std::size_t>(
+                stream.uniform_int(0, static_cast<std::int64_t>(faults.max_delay)));
+  decision.drop = faults.drop_probability > 0.0 && drop_draw < faults.drop_probability;
+  if (decision.drop) return decision;
+  decision.duplicate =
+      faults.duplicate_probability > 0.0 && duplicate_draw < faults.duplicate_probability;
+  decision.delay = delay_draw;
+  return decision;
+}
+
+}  // namespace redopt::transport

@@ -1,0 +1,33 @@
+// Per-reply channel-fault decisions for the transport backends.
+//
+// The chaos executor draws channel faults from one sequential stream in
+// agent order, which is fine for a single-process loop but would make a
+// multi-process execution depend on arrival order.  The transport
+// instead derives every decision from a *pure* function of
+// (seed, agent, round): each reply gets its own named fork of the
+// scenario seed, so agents can draw their own faults in their own
+// processes and the coordinator can replay the exact same decisions for
+// accounting — no stream is shared, no ordering matters, and both
+// backends see bit-identical fault schedules.
+#pragma once
+
+#include <cstdint>
+
+#include "chaos/scenario.h"
+
+namespace redopt::transport {
+
+/// What the channel does to one emitted reply.
+struct ChannelDecision {
+  bool drop = false;       ///< reply never arrives
+  bool duplicate = false;  ///< one extra on-time copy arrives
+  std::size_t delay = 0;   ///< extra rounds before the original arrives
+};
+
+/// The (deterministic) channel decision for agent @p agent's reply
+/// emitted in round @p round.  A zeroed ChannelFaults consumes no
+/// randomness and always returns the identity decision.
+ChannelDecision channel_decision(const chaos::ChannelFaults& faults, std::uint64_t seed,
+                                 std::size_t agent, std::size_t round);
+
+}  // namespace redopt::transport

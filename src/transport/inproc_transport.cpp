@@ -1,0 +1,146 @@
+#include "transport/inproc_transport.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/error.h"
+
+namespace redopt::transport {
+
+namespace {
+
+constexpr const char* kFrameTag = "frame";
+
+/// Packs encoded frame bytes into a Message payload: entry 0 carries the
+/// byte count, the rest carry the raw bytes 8 per double.  The doubles
+/// are never used arithmetically — the payload is just a byte carrier.
+linalg::Vector pack_bytes(const std::string& bytes) {
+  std::vector<double> packed(1 + (bytes.size() + 7) / 8, 0.0);
+  packed[0] = static_cast<double>(bytes.size());
+  if (!bytes.empty()) std::memcpy(packed.data() + 1, bytes.data(), bytes.size());
+  return linalg::Vector(std::move(packed));
+}
+
+std::string unpack_bytes(const linalg::Vector& payload) {
+  REDOPT_REQUIRE(!payload.empty(), "inproc transport: empty frame payload");
+  const auto size = static_cast<std::size_t>(payload[0]);
+  REDOPT_REQUIRE(size <= 8 * (payload.size() - 1),
+                 "inproc transport: frame payload length out of range");
+  std::string bytes(size, '\0');
+  if (size > 0) std::memcpy(bytes.data(), payload.data().data() + 1, size);
+  return bytes;
+}
+
+net::Message make_frame_message(std::size_t to, const std::string& bytes) {
+  net::Message message;
+  message.to = to;
+  message.tag = kFrameTag;
+  message.payload = pack_bytes(bytes);
+  return message;
+}
+
+}  // namespace
+
+/// One agent: relays the estimate down and gradient frames up its tree
+/// edges, and runs the emission callback when the estimate arrives.
+class InprocTransport::AgentNode : public net::Node {
+ public:
+  AgentNode(InprocTransport* owner, std::size_t agent, std::size_t n)
+      : owner_(owner), agent_(agent) {
+    const std::size_t parent = parent_of(owner->topology(), agent, n);
+    parent_node_ = parent == kCoordinatorNode ? n : parent;
+    children_ = children_of(owner->topology(), agent, n);
+  }
+
+  std::vector<net::Message> on_round(std::size_t /*round*/,
+                                     const std::vector<net::Message>& inbox) override {
+    std::vector<net::Message> out;
+    for (const net::Message& message : inbox) {
+      const std::string bytes = unpack_bytes(message.payload);
+      util::Frame frame = util::decode_frame(bytes);
+      if (frame.type == util::FrameType::kEstimate) {
+        for (std::size_t child : children_) out.push_back(make_frame_message(child, bytes));
+        const linalg::Vector estimate(frame.payload);
+        for (const util::Frame& emitted : owner_->agent_fn_(agent_, frame.round, estimate)) {
+          out.push_back(make_frame_message(parent_node_, util::encode_frame(emitted)));
+        }
+      } else if (frame.type == util::FrameType::kGradient) {
+        ++frame.hops;  // one more edge on the way up
+        out.push_back(make_frame_message(parent_node_, util::encode_frame(frame)));
+      }
+    }
+    return out;
+  }
+
+ private:
+  InprocTransport* owner_;
+  std::size_t agent_;
+  std::size_t parent_node_;
+  std::vector<std::size_t> children_;
+};
+
+/// The coordinator endpoint: emits the queued estimate frames at the
+/// start of an exchange and collects the gradient frames that bubble up.
+class InprocTransport::RootNode : public net::Node {
+ public:
+  void queue(std::vector<net::Message> messages) { queued_ = std::move(messages); }
+
+  std::vector<net::Message> on_round(std::size_t /*round*/,
+                                     const std::vector<net::Message>& inbox) override {
+    for (const net::Message& message : inbox) {
+      util::Frame frame = util::decode_frame(unpack_bytes(message.payload));
+      if (frame.type == util::FrameType::kGradient) collected_.push_back(std::move(frame));
+    }
+    return std::exchange(queued_, {});
+  }
+
+  std::vector<util::Frame> take() { return std::exchange(collected_, {}); }
+
+ private:
+  std::vector<net::Message> queued_;
+  std::vector<util::Frame> collected_;
+};
+
+InprocTransport::InprocTransport(Topology topology, std::size_t n, AgentFn agent_fn)
+    : Transport(topology, n), agent_fn_(std::move(agent_fn)) {
+  REDOPT_REQUIRE(n >= 1, "inproc transport: need at least one agent");
+  std::vector<net::Node*> nodes;
+  nodes.reserve(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    agents_.push_back(std::make_unique<AgentNode>(this, i, n));
+    nodes.push_back(agents_.back().get());
+  }
+  root_ = std::make_unique<RootNode>();
+  nodes.push_back(root_.get());
+  network_ = std::make_unique<net::SyncNetwork>(std::move(nodes));
+}
+
+InprocTransport::~InprocTransport() = default;
+
+const net::NetworkStats& InprocTransport::network_stats() const { return network_->stats(); }
+
+std::vector<util::Frame> InprocTransport::exchange(std::size_t round,
+                                                   const linalg::Vector& estimate) {
+  util::Frame down;
+  down.type = util::FrameType::kEstimate;
+  down.agent = util::kCoordinatorAgent;
+  down.round = round;
+  down.emitted = round;
+  down.payload = estimate.data();
+  const std::string bytes = util::encode_frame(down);
+
+  std::vector<net::Message> messages;
+  for (std::size_t child : children_of(topology(), kCoordinatorNode, num_agents())) {
+    messages.push_back(make_frame_message(child, bytes));
+  }
+  root_->queue(std::move(messages));
+
+  const std::size_t network_rounds = 2 * max_depth(topology(), num_agents()) + 1;
+  for (std::size_t k = 0; k < network_rounds; ++k) network_->run_round();
+
+  std::vector<util::Frame> frames = root_->take();
+  finish_exchange(frames, estimate.size());
+  return frames;
+}
+
+}  // namespace redopt::transport

@@ -1,0 +1,41 @@
+// In-process deterministic transport backend — the test oracle.
+//
+// Wraps net::SyncNetwork: the coordinator and the n agents are plain
+// net::Node participants, encoded frames ride inside Message payloads,
+// and one exchange() runs exactly 2 * max_depth + 1 lock-step network
+// rounds (the estimate walks down the tree one edge per round, gradient
+// frames walk back up one edge per round).  Everything is synchronous
+// and single-process, so this backend is bit-reproducible by
+// construction; the socket backend must match it frame for frame.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/sync_network.h"
+#include "transport/transport.h"
+
+namespace redopt::transport {
+
+class InprocTransport : public Transport {
+ public:
+  InprocTransport(Topology topology, std::size_t n, AgentFn agent_fn);
+  ~InprocTransport() override;
+
+  std::vector<util::Frame> exchange(std::size_t round, const linalg::Vector& estimate) override;
+  std::string name() const override { return "inproc"; }
+
+  /// The wrapped network's traffic counters.
+  const net::NetworkStats& network_stats() const;
+
+ private:
+  class AgentNode;
+  class RootNode;
+
+  AgentFn agent_fn_;
+  std::vector<std::unique_ptr<AgentNode>> agents_;
+  std::unique_ptr<RootNode> root_;
+  std::unique_ptr<net::SyncNetwork> network_;
+};
+
+}  // namespace redopt::transport

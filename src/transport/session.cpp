@@ -1,0 +1,410 @@
+#include "transport/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "dgd/projection.h"
+#include "dgd/schedule.h"
+#include "filters/registry.h"
+#include "rng/rng.h"
+#include "telemetry/metrics.h"
+#include "transport/agent_replica.h"
+#include "transport/inproc_transport.h"
+#include "util/error.h"
+
+namespace redopt::transport {
+
+namespace {
+
+bool all_finite(const linalg::Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+/// Everything a scenario session's agents need, owned by shared_ptr so
+/// the AgentFn closure (copied into the transport, and into forked agent
+/// processes) keeps it alive wherever it runs.
+struct ScenarioWorld {
+  chaos::Scenario scenario;
+  chaos::MaterializedScenario built;
+  std::vector<AgentReplica> replicas;
+};
+
+}  // namespace
+
+const std::vector<std::string>& backend_names() {
+  static const std::vector<std::string> names = {"inproc", "socket"};
+  return names;
+}
+
+std::string to_string(BackendKind backend) {
+  switch (backend) {
+    case BackendKind::kInproc:
+      return "inproc";
+    case BackendKind::kSocket:
+      return "socket";
+  }
+  return "inproc";  // unreachable
+}
+
+BackendKind backend_from_string(const std::string& name) {
+  if (name == "inproc") return BackendKind::kInproc;
+  if (name == "socket") return BackendKind::kSocket;
+  REDOPT_REQUIRE(false, "unknown backend '" + name + "': valid values are inproc, socket");
+  return BackendKind::kInproc;  // unreachable
+}
+
+std::unique_ptr<Transport> make_transport(const SessionOptions& options, std::size_t n,
+                                          AgentFn agent_fn) {
+  if (options.backend == BackendKind::kSocket) {
+    return std::make_unique<SocketTransport>(options.topology, n, std::move(agent_fn),
+                                             options.socket);
+  }
+  return std::make_unique<InprocTransport>(options.topology, n, std::move(agent_fn));
+}
+
+ScenarioSession run_scenario_transport(const chaos::Scenario& scenario,
+                                       const SessionOptions& options) {
+  scenario.validate();
+
+  // Telemetry handles first: registration must happen in a serial
+  // context.  The session books the same chaos.* fault counters the
+  // in-process executor does — it is the same fault schedule, observed
+  // from the coordinator's side of the transport.
+  auto& reg = telemetry::registry();
+  const auto metric_scenarios = reg.counter("chaos.scenarios");
+  const auto metric_rounds = reg.counter("chaos.rounds");
+  const auto metric_byzantine = reg.counter("chaos.byzantine_replies");
+  const auto metric_crashed = reg.counter("chaos.crashed_absences");
+  const auto metric_stale = reg.counter("chaos.stale_replies");
+  const auto metric_dropped = reg.counter("chaos.dropped_replies");
+  const auto metric_delayed = reg.counter("chaos.delayed_replies");
+  const auto metric_duplicated = reg.counter("chaos.duplicated_replies");
+
+  const std::size_t n = scenario.n;
+  const std::size_t d = scenario.d;
+
+  auto world = std::make_shared<ScenarioWorld>();
+  world->scenario = scenario;
+  world->built = chaos::materialize_scenario(scenario);
+  world->replicas.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    world->replicas.emplace_back(world->scenario, world->built.problem, i);
+  }
+  AgentFn agent_fn = [world](std::size_t agent, std::size_t round,
+                             const linalg::Vector& estimate) {
+    return world->replicas[agent].on_round(round, estimate);
+  };
+  // The transport must be built (and, for the socket backend, forked)
+  // only after the world is fully constructed, so every agent process
+  // inherits identical replica state.
+  const std::unique_ptr<Transport> transport = make_transport(options, n, std::move(agent_fn));
+
+  // Round-local filters, cached by the (reply count, fault budget) they
+  // were built for — the same (n, f) fallback chain as the executor.
+  std::map<std::pair<std::size_t, std::size_t>, filters::FilterPtr> filter_cache;
+  auto filter_for = [&](std::size_t n_round, std::size_t* f_used) -> const filters::FilterPtr& {
+    std::size_t f_try = std::min(scenario.f, n_round == 0 ? std::size_t{0} : n_round - 1);
+    while (true) {
+      const auto key = std::make_pair(n_round, f_try);
+      auto it = filter_cache.find(key);
+      if (it != filter_cache.end()) {
+        *f_used = f_try;
+        return it->second;
+      }
+      try {
+        filters::FilterParams fp;
+        fp.n = n_round;
+        fp.f = f_try;
+        auto made = filters::FilterPtr(filters::make_filter(scenario.filter, fp));
+        *f_used = f_try;
+        return filter_cache.emplace(key, std::move(made)).first->second;
+      } catch (const PreconditionError&) {
+        if (f_try == 0) break;
+        --f_try;
+      }
+    }
+    // Even f = 0 failed (e.g. krum with too few replies): degrade to the
+    // plain average so the execution stays total.
+    const auto key = std::make_pair(n_round, std::size_t{0});
+    auto it = filter_cache.find(key);
+    *f_used = 0;
+    if (it != filter_cache.end()) return it->second;
+    filters::FilterParams fp;
+    fp.n = n_round;
+    fp.f = 0;
+    return filter_cache.emplace(key, filters::make_filter("mean", fp)).first->second;
+  };
+
+  const dgd::HarmonicSchedule schedule(
+      chaos::scenario_schedule_coefficient(scenario.filter, n, scenario.f));
+  const dgd::BoxProjection projection = dgd::BoxProjection::cube(d, 10.0);
+
+  rng::Rng x0_rng = rng::Rng(scenario.seed).fork("x0");
+  linalg::Vector x(d);
+  for (auto& v : x) v = x0_rng.uniform(-5.0, 5.0);
+  x = projection.project(x);
+
+  ScenarioSession session;
+  chaos::ScenarioResult& result = session.result;
+  result.reference = world->built.reference;
+  result.initial_distance = linalg::distance(x, world->built.reference);
+  result.max_distance = result.initial_distance;
+  session.estimates.push_back(x);
+
+  for (std::size_t t = 0; t < scenario.rounds; ++t) {
+    const std::vector<util::Frame> frames = transport->exchange(t, x);
+    metric_rounds.inc();
+
+    // Fault accounting: replay every agent's (pure) round fate instead
+    // of trusting counters from the other side of the wire — identical
+    // on both backends by construction.
+    for (std::size_t i = 0; i < n; ++i) {
+      const AgentReplica::RoundFate fate = AgentReplica::fate(scenario, i, t);
+      if (!fate.emits) {
+        ++result.crashed_absences;
+        metric_crashed.inc();
+        continue;
+      }
+      if (fate.byzantine) {
+        ++result.byzantine_replies;
+        metric_byzantine.inc();
+      }
+      if (fate.stale) {
+        ++result.stale_replies;
+        metric_stale.inc();
+      }
+      if (fate.dropped) {
+        ++result.dropped_replies;
+        metric_dropped.inc();
+        continue;
+      }
+      if (fate.duplicated) {
+        ++result.duplicated_replies;
+        metric_duplicated.inc();
+      }
+      if (fate.delay > 0) {
+        ++result.delayed_replies;
+        metric_delayed.inc();
+      }
+    }
+
+    // Receive: keep the freshest reply per agent (sequence-number dedup,
+    // same as the executor's inbox).
+    struct Reply {
+      std::uint64_t emitted = 0;
+      const util::Frame* frame = nullptr;
+    };
+    std::map<std::uint32_t, Reply> inbox;
+    for (const util::Frame& frame : frames) {
+      auto [it, inserted] = inbox.try_emplace(frame.agent, Reply{frame.emitted, &frame});
+      if (inserted) continue;
+      if (frame.emitted > it->second.emitted) it->second = Reply{frame.emitted, &frame};
+      ++result.superseded_replies;
+    }
+
+    // Aggregate and step.
+    if (!inbox.empty()) {
+      std::vector<linalg::Vector> received;
+      received.reserve(inbox.size());
+      for (const auto& [agent, reply] : inbox) {
+        (void)agent;
+        received.push_back(linalg::Vector(reply.frame->payload));
+      }
+      std::size_t f_used = 0;
+      const filters::FilterPtr& filter = filter_for(received.size(), &f_used);
+      if (received.size() != n || f_used != scenario.f) ++result.filter_rebuilds;
+      const linalg::Vector direction = filter->apply(received);
+      x = projection.project(x - direction * schedule.step(t));
+    }
+    session.estimates.push_back(x);
+
+    if (!all_finite(x)) {
+      result.nonfinite = true;
+      result.nonfinite_round = t;
+      break;
+    }
+    result.max_distance =
+        std::max(result.max_distance, linalg::distance(x, world->built.reference));
+  }
+
+  metric_scenarios.inc();
+  result.estimate = x;
+  result.final_distance = result.nonfinite
+                              ? std::numeric_limits<double>::infinity()
+                              : linalg::distance(x, world->built.reference);
+  session.transport = transport->stats();
+  return session;
+}
+
+namespace {
+
+/// Per-process state of the dgd agents (copied into forked children by
+/// the socket backend, like ScenarioWorld).
+struct DgdWorld {
+  const core::MultiAgentProblem* problem = nullptr;
+  const attacks::Attack* attack = nullptr;
+  std::vector<char> is_byzantine;
+  std::vector<std::size_t> honest;
+  std::vector<rng::Rng> agent_rngs;
+};
+
+}  // namespace
+
+DgdTransportResult run_dgd(const core::MultiAgentProblem& problem,
+                           const std::vector<std::size_t>& byzantine_ids,
+                           const attacks::Attack* attack, const dgd::TrainerConfig& config,
+                           const SessionOptions& options,
+                           const std::optional<linalg::Vector>& reference) {
+  problem.validate();
+  REDOPT_REQUIRE(config.filter != nullptr, "config needs a gradient filter");
+  REDOPT_REQUIRE(config.schedule != nullptr, "config needs a step schedule");
+  REDOPT_REQUIRE(config.projection != nullptr, "config needs a projection set");
+  REDOPT_REQUIRE(byzantine_ids.size() <= problem.f, "more byzantine agents than fault budget");
+  REDOPT_REQUIRE(byzantine_ids.empty() || attack != nullptr,
+                 "byzantine agents present but no attack supplied");
+
+  const std::size_t n = problem.num_agents();
+  const std::size_t d = problem.dimension();
+  if (reference) REDOPT_REQUIRE(reference->size() == d, "reference dimension mismatch");
+
+  auto world = std::make_shared<DgdWorld>();
+  world->problem = &problem;
+  world->attack = attack;
+  world->honest = dgd::honest_ids(n, byzantine_ids);
+  world->is_byzantine.assign(n, 0);
+  for (std::size_t id : byzantine_ids) world->is_byzantine[id] = 1;
+  const rng::Rng root(config.seed);
+  world->agent_rngs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    world->agent_rngs.push_back(root.fork("byzantine-agent-" + std::to_string(i)));
+  }
+
+  AgentFn agent_fn = [world](std::size_t agent, std::size_t round,
+                             const linalg::Vector& x) -> std::vector<util::Frame> {
+    const core::MultiAgentProblem& prob = *world->problem;
+    linalg::Vector payload;
+    if (!world->is_byzantine[agent]) {
+      payload = prob.costs[agent]->gradient(x);
+    } else {
+      // Omniscient adversary, same model as net::run_server_protocol:
+      // the attack sees every honest gradient at the fresh estimate.
+      const linalg::Vector true_gradient = prob.costs[agent]->gradient(x);
+      std::vector<linalg::Vector> honest_gradients;
+      honest_gradients.reserve(world->honest.size());
+      for (std::size_t id : world->honest) {
+        honest_gradients.push_back(prob.costs[id]->gradient(x));
+      }
+      attacks::AttackContext ctx;
+      ctx.iteration = round;
+      ctx.agent_id = agent;
+      ctx.n = prob.num_agents();
+      ctx.f = prob.f;
+      ctx.estimate = &x;
+      ctx.honest_gradient = &true_gradient;
+      ctx.honest_gradients = &honest_gradients;
+      ctx.rng = &world->agent_rngs[agent];
+      // Omission faults simply do not reply; the coordinator's
+      // synchronous collection detects the gap and eliminates the agent.
+      if (!world->attack->responds(ctx)) return {};
+      payload = world->attack->craft(ctx);
+    }
+    util::Frame frame;
+    frame.type = util::FrameType::kGradient;
+    frame.agent = static_cast<std::uint32_t>(agent);
+    frame.round = round;
+    frame.emitted = round;
+    frame.hops = 1;
+    frame.payload.assign(payload.begin(), payload.end());
+    std::vector<util::Frame> out;
+    out.push_back(std::move(frame));
+    return out;
+  };
+  const std::unique_ptr<Transport> transport = make_transport(options, n, std::move(agent_fn));
+
+  linalg::Vector x = config.x0.empty() ? linalg::Vector(d) : config.x0;
+  REDOPT_REQUIRE(x.size() == d, "x0 dimension mismatch");
+  x = config.projection->project(x);
+
+  std::vector<bool> active(n, true);
+  std::size_t n_active = n;
+  std::size_t f_active = problem.f;
+  filters::FilterPtr filter = config.filter;
+  std::vector<std::size_t> eliminated_agents;
+
+  auto honest_loss = [&](const linalg::Vector& at) {
+    double acc = 0.0;
+    for (std::size_t id : world->honest) acc += problem.costs[id]->value(at);
+    return acc;
+  };
+
+  DgdTransportResult result;
+  auto record = [&](std::size_t t) {
+    if (config.trace_stride == 0) return;
+    if (t % config.trace_stride != 0 && t != config.iterations) return;
+    result.train.trace.iteration.push_back(t);
+    result.train.trace.loss.push_back(honest_loss(x));
+    result.train.trace.distance.push_back(reference
+                                              ? linalg::distance(x, *reference)
+                                              : std::numeric_limits<double>::quiet_NaN());
+    if (config.trace_estimates) result.train.trace.estimates.push_back(x);
+  };
+
+  record(0);
+  for (std::size_t t = 0; t < config.iterations; ++t) {
+    const std::vector<util::Frame> frames = transport->exchange(t, x);
+
+    std::vector<linalg::Vector> replies(n);
+    std::vector<bool> seen(n, false);
+    for (const util::Frame& frame : frames) {
+      REDOPT_REQUIRE(frame.agent < n, "gradient from unknown agent");
+      if (!active[frame.agent]) continue;  // eliminated agents are ignored
+      REDOPT_REQUIRE(!seen[frame.agent], "duplicate gradient from one agent");
+      seen[frame.agent] = true;
+      replies[frame.agent] = linalg::Vector(frame.payload);
+    }
+    // A missing reply in the synchronous model identifies the sender as
+    // faulty: eliminate it and update (n, f) — the paper's step S1.
+    bool eliminated_this_round = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i] && !seen[i]) {
+        active[i] = false;
+        --n_active;
+        if (f_active > 0) --f_active;
+        eliminated_agents.push_back(i);
+        eliminated_this_round = true;
+      }
+    }
+    if (eliminated_this_round) {
+      REDOPT_REQUIRE(config.filter_factory != nullptr,
+                     "agent eliminated but no filter_factory configured");
+      filter = config.filter_factory(n_active, f_active);
+      REDOPT_REQUIRE(filter != nullptr && filter->expected_inputs() == n_active,
+                     "filter_factory produced an unusable filter");
+    }
+
+    std::vector<linalg::Vector> gradients;
+    gradients.reserve(n_active);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i]) gradients.push_back(replies[i]);
+    }
+    const linalg::Vector direction = filter->apply(gradients);
+    x = config.projection->project(x - direction * config.schedule->step(t));
+    record(t + 1);
+  }
+
+  result.train.estimate = x;
+  result.train.eliminated_agents = eliminated_agents;
+  result.train.final_loss = honest_loss(x);
+  if (reference) result.train.final_distance = linalg::distance(x, *reference);
+  result.stats = transport->stats();
+  return result;
+}
+
+}  // namespace redopt::transport

@@ -1,0 +1,309 @@
+#include "transport/socket_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace redopt::transport {
+
+namespace {
+
+/// Caps a received length prefix; a corrupted prefix must not make the
+/// reader wait for gigabytes that will never come.
+constexpr std::uint32_t kMaxBodyBytes = 64u << 20;
+
+enum class IoStatus { kOk, kEof, kTimeout, kError };
+
+/// Reads exactly @p size bytes.  Each wait is a poll() bounded by
+/// @p timeout_ms, retried up to @p max_retries times; @p on_retry (when
+/// non-null) observes every extra attempt, EINTR included.
+IoStatus read_exact(int fd, unsigned char* out, std::size_t size, int timeout_ms, int max_retries,
+                    const std::function<void()>& on_retry) {
+  std::size_t have = 0;
+  int retries_left = max_retries;
+  auto retry = [&]() -> bool {
+    if (retries_left == 0) return false;
+    --retries_left;
+    if (on_retry) on_retry();
+    return true;
+  };
+  while (have < size) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      if (!retry()) return IoStatus::kTimeout;
+      continue;
+    }
+    if (ready < 0) {
+      if (errno == EINTR && retry()) continue;
+      return IoStatus::kError;
+    }
+    const ssize_t got = ::recv(fd, out + have, size - have, 0);
+    if (got == 0) return IoStatus::kEof;
+    if (got < 0) {
+      if ((errno == EINTR || errno == EAGAIN) && retry()) continue;
+      return IoStatus::kError;
+    }
+    have += static_cast<std::size_t>(got);
+  }
+  return IoStatus::kOk;
+}
+
+/// Reads one length-prefixed frame.  A corrupted body (checksum, magic,
+/// length mismatch) maps to kError: the link is no longer trustworthy.
+IoStatus read_frame(int fd, util::Frame* frame, int timeout_ms, int max_retries,
+                    const std::function<void()>& on_retry) {
+  unsigned char prefix[4];
+  IoStatus status = read_exact(fd, prefix, sizeof(prefix), timeout_ms, max_retries, on_retry);
+  if (status != IoStatus::kOk) return status;
+  const std::uint32_t body_length = static_cast<std::uint32_t>(prefix[0]) |
+                                    (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                                    (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                                    (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (body_length > kMaxBodyBytes) return IoStatus::kError;
+  std::vector<unsigned char> body(body_length);
+  status = read_exact(fd, body.data(), body.size(), timeout_ms, max_retries, on_retry);
+  if (status != IoStatus::kOk) return status;
+  try {
+    *frame = util::decode_frame_body(body.data(), body.size());
+  } catch (const PreconditionError&) {
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+/// Writes all of @p bytes; MSG_NOSIGNAL turns a dead peer into an error
+/// return instead of SIGPIPE.
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t wrote =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const util::Frame& frame) {
+  return write_all(fd, util::encode_frame(frame));
+}
+
+util::Frame control_frame(util::FrameType type, std::uint32_t agent, std::size_t round) {
+  util::Frame frame;
+  frame.type = type;
+  frame.agent = agent;
+  frame.round = round;
+  frame.emitted = round;
+  return frame;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(Topology topology, std::size_t n, AgentFn agent_fn,
+                                 SocketOptions options)
+    : Transport(topology, n),
+      agent_fn_(std::move(agent_fn)),
+      options_(std::move(options)),
+      root_children_(children_of(topology, kCoordinatorNode, n)) {
+  REDOPT_REQUIRE(n >= 1, "socket transport: need at least one agent");
+  REDOPT_REQUIRE(options_.die_at_round.empty() || options_.die_at_round.size() == n,
+                 "socket transport: die_at_round must be empty or size n");
+  REDOPT_REQUIRE(options_.timeout_ms > 0 && options_.max_retries >= 0,
+                 "socket transport: timeout must be positive, retries non-negative");
+
+  up_fd_.assign(n, -1);
+  down_fd_.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    int sv[2];
+    REDOPT_REQUIRE(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+                   "socket transport: socketpair failed");
+    up_fd_[i] = sv[0];
+    down_fd_[i] = sv[1];
+  }
+
+  pids_.assign(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const pid_t pid = ::fork();
+    REDOPT_REQUIRE(pid >= 0, "socket transport: fork failed");
+    if (pid == 0) {
+      // Agent process: keep only this agent's uplink and its children's
+      // edges, then run the agent loop.  Never returns.
+      for (std::size_t j = 0; j < num_agents(); ++j) {
+        if (j != i) close_fd(down_fd_[j]);
+        if (parent_of(this->topology(), j, num_agents()) != i) close_fd(up_fd_[j]);
+      }
+      agent_main(i);
+    }
+    pids_[i] = pid;
+  }
+  // Coordinator keeps only the root children's uplinks.
+  for (std::size_t j = 0; j < n; ++j) {
+    close_fd(down_fd_[j]);
+    if (parent_of(topology, j, n) != kCoordinatorNode) close_fd(up_fd_[j]);
+  }
+  link_alive_.assign(root_children_.size(), 1);
+}
+
+void SocketTransport::agent_main(std::size_t agent) {
+  const int parent_fd = down_fd_[agent];
+  const std::vector<std::size_t> children = children_of(topology(), agent, num_agents());
+  std::vector<char> child_alive(children.size(), 1);
+  const std::size_t dies_at = options_.die_at_round.empty() ? kNeverDies
+                                                            : options_.die_at_round[agent];
+  try {
+    for (;;) {
+      util::Frame in;
+      if (read_frame(parent_fd, &in, options_.timeout_ms, options_.max_retries, nullptr) !=
+          IoStatus::kOk) {
+        ::_exit(0);  // coordinator side went away
+      }
+      if (in.type == util::FrameType::kShutdown) {
+        for (std::size_t c = 0; c < children.size(); ++c) {
+          if (child_alive[c]) write_frame(up_fd_[children[c]], in);
+        }
+        ::_exit(0);
+      }
+      if (in.type != util::FrameType::kEstimate) continue;
+
+      // Relay the estimate down before anything else, so a die_at_round
+      // exit here still leaves the subtree informed (though its replies
+      // die with this relay's uplink).
+      const std::string estimate_bytes = util::encode_frame(in);
+      for (std::size_t c = 0; c < children.size(); ++c) {
+        if (child_alive[c] && !write_all(up_fd_[children[c]], estimate_bytes)) {
+          child_alive[c] = 0;
+        }
+      }
+      if (in.round >= dies_at) ::_exit(0);
+
+      const linalg::Vector estimate(in.payload);
+      for (const util::Frame& emitted : agent_fn_(agent, in.round, estimate)) {
+        if (!write_frame(parent_fd, emitted)) ::_exit(0);
+      }
+      for (std::size_t c = 0; c < children.size(); ++c) {
+        if (!child_alive[c]) continue;
+        for (;;) {
+          util::Frame frame;
+          if (read_frame(up_fd_[children[c]], &frame, options_.timeout_ms, options_.max_retries,
+                         nullptr) != IoStatus::kOk) {
+            child_alive[c] = 0;
+            break;
+          }
+          if (frame.type == util::FrameType::kRoundDone) break;
+          if (frame.type != util::FrameType::kGradient) continue;
+          ++frame.hops;  // one more edge on the way up
+          if (!write_frame(parent_fd, frame)) ::_exit(0);
+        }
+      }
+      if (!write_frame(parent_fd, control_frame(util::FrameType::kRoundDone,
+                                                static_cast<std::uint32_t>(agent), in.round))) {
+        ::_exit(0);
+      }
+    }
+  } catch (...) {
+    ::_exit(1);  // never let an exception unwind into the test harness
+  }
+}
+
+std::vector<util::Frame> SocketTransport::exchange(std::size_t round,
+                                                   const linalg::Vector& estimate) {
+  util::Frame down;
+  down.type = util::FrameType::kEstimate;
+  down.agent = util::kCoordinatorAgent;
+  down.round = round;
+  down.emitted = round;
+  down.payload = estimate.data();
+  const std::string estimate_bytes = util::encode_frame(down);
+
+  for (std::size_t c = 0; c < root_children_.size(); ++c) {
+    if (link_alive_[c] && !write_all(up_fd_[root_children_[c]], estimate_bytes)) {
+      link_alive_[c] = 0;
+      note_death();
+    }
+  }
+
+  std::vector<util::Frame> frames;
+  const std::function<void()> on_retry = [this] { note_retry(); };
+  for (std::size_t c = 0; c < root_children_.size(); ++c) {
+    if (!link_alive_[c]) continue;
+    for (;;) {
+      util::Frame frame;
+      const IoStatus status = read_frame(up_fd_[root_children_[c]], &frame, options_.timeout_ms,
+                                         options_.max_retries, on_retry);
+      if (status != IoStatus::kOk) {
+        link_alive_[c] = 0;
+        note_death();
+        break;
+      }
+      if (frame.type == util::FrameType::kRoundDone) break;
+      if (frame.type == util::FrameType::kGradient) frames.push_back(std::move(frame));
+    }
+  }
+  finish_exchange(frames, estimate.size());
+  return frames;
+}
+
+std::size_t SocketTransport::live_root_links() const {
+  std::size_t live = 0;
+  for (char alive : link_alive_) live += alive != 0;
+  return live;
+}
+
+void SocketTransport::shutdown_agents() {
+  for (std::size_t c = 0; c < root_children_.size(); ++c) {
+    if (link_alive_[c]) {
+      write_frame(up_fd_[root_children_[c]],
+                  control_frame(util::FrameType::kShutdown, util::kCoordinatorAgent, 0));
+    }
+  }
+  // Closing every coordinator-held fd unblocks any agent still reading
+  // (EOF), including subtrees whose relay died before forwarding the
+  // shutdown.
+  for (std::size_t j = 0; j < num_agents(); ++j) close_fd(up_fd_[j]);
+
+  for (std::size_t i = 0; i < num_agents(); ++i) {
+    if (pids_[i] <= 0) continue;
+    // Bounded patience, then force: ~5 s of 1 ms naps per straggler.
+    int status = 0;
+    bool reaped = false;
+    for (int attempt = 0; attempt < 5000; ++attempt) {
+      const pid_t got = ::waitpid(pids_[i], &status, WNOHANG);
+      if (got == pids_[i] || got < 0) {
+        reaped = true;
+        break;
+      }
+      ::usleep(1000);
+    }
+    if (!reaped) {
+      ::kill(pids_[i], SIGKILL);
+      ::waitpid(pids_[i], &status, 0);
+    }
+    pids_[i] = -1;
+  }
+}
+
+SocketTransport::~SocketTransport() { shutdown_agents(); }
+
+}  // namespace redopt::transport

@@ -1,0 +1,95 @@
+#include "transport/topology.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace redopt::transport {
+
+const std::vector<std::string>& topology_names() {
+  static const std::vector<std::string> names = {"star", "chain", "tree"};
+  return names;
+}
+
+std::string to_string(Topology topology) {
+  switch (topology) {
+    case Topology::kStar:
+      return "star";
+    case Topology::kChain:
+      return "chain";
+    case Topology::kTree:
+      return "tree";
+  }
+  return "star";  // unreachable
+}
+
+Topology topology_from_string(const std::string& name) {
+  if (name == "star") return Topology::kStar;
+  if (name == "chain") return Topology::kChain;
+  if (name == "tree") return Topology::kTree;
+  REDOPT_REQUIRE(false, "unknown topology '" + name + "': valid values are star, chain, tree");
+  return Topology::kStar;  // unreachable
+}
+
+std::size_t parent_of(Topology topology, std::size_t agent, std::size_t n) {
+  REDOPT_REQUIRE(agent < n, "topology: agent id out of range");
+  switch (topology) {
+    case Topology::kStar:
+      return kCoordinatorNode;
+    case Topology::kChain:
+      return agent == 0 ? kCoordinatorNode : agent - 1;
+    case Topology::kTree:
+      return agent == 0 ? kCoordinatorNode : (agent - 1) / 2;
+  }
+  return kCoordinatorNode;  // unreachable
+}
+
+std::vector<std::size_t> children_of(Topology topology, std::size_t node, std::size_t n) {
+  std::vector<std::size_t> children;
+  if (node == kCoordinatorNode) {
+    switch (topology) {
+      case Topology::kStar:
+        for (std::size_t i = 0; i < n; ++i) children.push_back(i);
+        break;
+      case Topology::kChain:
+      case Topology::kTree:
+        if (n > 0) children.push_back(0);
+        break;
+    }
+    return children;
+  }
+  REDOPT_REQUIRE(node < n, "topology: agent id out of range");
+  switch (topology) {
+    case Topology::kStar:
+      break;
+    case Topology::kChain:
+      if (node + 1 < n) children.push_back(node + 1);
+      break;
+    case Topology::kTree:
+      if (2 * node + 1 < n) children.push_back(2 * node + 1);
+      if (2 * node + 2 < n) children.push_back(2 * node + 2);
+      break;
+  }
+  return children;
+}
+
+std::size_t depth_of(Topology topology, std::size_t agent, std::size_t n) {
+  std::size_t depth = 1;
+  std::size_t node = agent;
+  for (std::size_t parent = parent_of(topology, node, n); parent != kCoordinatorNode;
+       parent = parent_of(topology, node, n)) {
+    node = parent;
+    ++depth;
+  }
+  return depth;
+}
+
+std::size_t max_depth(Topology topology, std::size_t n) {
+  std::size_t deepest = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    deepest = std::max(deepest, depth_of(topology, i, n));
+  }
+  return deepest;
+}
+
+}  // namespace redopt::transport

@@ -1,0 +1,52 @@
+// Reduction topologies for the gradient transport.
+//
+// A topology arranges the n agents into a gather tree rooted at the
+// coordinator (Hoplite-style switchable reduce trees): the estimate
+// flows root -> leaves along tree edges, gradient frames flow back up,
+// relayed by interior agents.  Because the Byzantine-robust filters need
+// every individual gradient (a relay must not sum its subtree, unlike a
+// plain all-reduce), relays forward frames verbatim and only the hop
+// count grows — so topology choice trades rounds-to-reduce against
+// per-link fan-in without changing the aggregate.
+//
+//   star   every agent is a direct child of the coordinator
+//          (depth 1, coordinator fan-in n)
+//   chain  agent 0 under the coordinator, agent i under agent i-1
+//          (depth n, fan-in 1 everywhere)
+//   tree   binary heap order: agent 0 under the coordinator, agent i
+//          under agent (i-1)/2 (depth ~log2 n, fan-in <= 2)
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace redopt::transport {
+
+enum class Topology { kStar, kChain, kTree };
+
+/// Node id meaning "the coordinator" in parent/children queries.
+inline constexpr std::size_t kCoordinatorNode = std::numeric_limits<std::size_t>::max();
+
+/// The valid --topology spellings, in display order.
+const std::vector<std::string>& topology_names();
+
+std::string to_string(Topology topology);
+
+/// Strict parse; the error message lists the valid values.
+Topology topology_from_string(const std::string& name);
+
+/// Parent of @p agent (< n), or kCoordinatorNode for a root child.
+std::size_t parent_of(Topology topology, std::size_t agent, std::size_t n);
+
+/// Children of @p node (an agent id, or kCoordinatorNode), ascending.
+std::vector<std::size_t> children_of(Topology topology, std::size_t node, std::size_t n);
+
+/// Tree edges between @p agent and the coordinator (>= 1).
+std::size_t depth_of(Topology topology, std::size_t agent, std::size_t n);
+
+/// Depth of the deepest agent; 0 when n == 0.
+std::size_t max_depth(Topology topology, std::size_t n);
+
+}  // namespace redopt::transport

@@ -1,0 +1,53 @@
+#include "transport/transport.h"
+
+#include <algorithm>
+
+namespace redopt::transport {
+
+Transport::Transport(Topology topology, std::size_t n)
+    : topology_(topology),
+      n_(n),
+      metric_exchanges_(telemetry::registry().counter("transport.exchanges")),
+      metric_delivered_(telemetry::registry().counter("transport.frames_delivered")),
+      metric_bytes_(telemetry::registry().counter("transport.bytes_on_wire")),
+      metric_reduce_rounds_(telemetry::registry().counter("transport.reduce_rounds")),
+      metric_retried_(telemetry::registry().counter("transport.messages_retried",
+                                                    telemetry::Determinism::kUnstable)),
+      metric_deaths_(telemetry::registry().counter("transport.agent_deaths",
+                                                   telemetry::Determinism::kUnstable)) {}
+
+void Transport::finish_exchange(std::vector<util::Frame>& frames, std::size_t estimate_dim) {
+  std::stable_sort(frames.begin(), frames.end(),
+                   [](const util::Frame& a, const util::Frame& b) {
+                     if (a.agent != b.agent) return a.agent < b.agent;
+                     return a.emitted < b.emitted;
+                   });
+  ++stats_.exchanges;
+  metric_exchanges_.inc();
+  const std::size_t depth = max_depth(topology_, n_);
+  stats_.reduce_rounds += depth;
+  metric_reduce_rounds_.inc(depth);
+
+  // Estimate broadcast: one frame per tree edge (n edges — every agent
+  // has exactly one parent link).
+  std::uint64_t bytes = static_cast<std::uint64_t>(n_) * util::frame_wire_size_for(estimate_dim);
+  for (const util::Frame& frame : frames) {
+    bytes += static_cast<std::uint64_t>(util::frame_wire_size(frame)) * frame.hops;
+  }
+  stats_.frames_delivered += frames.size();
+  metric_delivered_.inc(frames.size());
+  stats_.bytes_on_wire += bytes;
+  metric_bytes_.inc(bytes);
+}
+
+void Transport::note_retry() {
+  ++stats_.messages_retried;
+  metric_retried_.inc();
+}
+
+void Transport::note_death() {
+  ++stats_.agent_deaths;
+  metric_deaths_.inc();
+}
+
+}  // namespace redopt::transport

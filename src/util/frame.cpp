@@ -1,0 +1,146 @@
+#include "util/frame.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace redopt::util {
+
+namespace {
+
+constexpr unsigned char kMagic0 = 'R';
+constexpr unsigned char kMagic1 = 'F';
+constexpr unsigned char kVersion = 1;
+
+/// Body bytes before the payload doubles.
+constexpr std::size_t kHeaderSize = 2 + 1 + 1 + 4 + 8 + 8 + 4 + 4;
+constexpr std::size_t kCrcSize = 4;
+
+/// Caps the payload a decoder will allocate for; a corrupted count field
+/// must not turn into a multi-gigabyte allocation.
+constexpr std::size_t kMaxPayloadDoubles = std::size_t{1} << 22;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xffu));
+  out.push_back(static_cast<char>((v >> 8) & 0xffu));
+  out.push_back(static_cast<char>((v >> 16) & 0xffu));
+  out.push_back(static_cast<char>((v >> 24) & 0xffu));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xffu));
+  }
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int k = 7; k >= 0; --k) v = (v << 8) | static_cast<std::uint64_t>(p[k]);
+  return v;
+}
+
+const std::uint32_t* crc_table() {
+  static const auto table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+bool known_type(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(FrameType::kEstimate) &&
+         raw <= static_cast<std::uint8_t>(FrameType::kShutdown);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const unsigned char* data, std::size_t size) {
+  const std::uint32_t* table = crc_table();
+  std::uint32_t crc = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+std::size_t frame_wire_size_for(std::size_t payload_doubles) {
+  return 4 + kHeaderSize + 8 * payload_doubles + kCrcSize;
+}
+
+std::size_t frame_wire_size(const Frame& frame) {
+  return frame_wire_size_for(frame.payload.size());
+}
+
+std::string encode_frame(const Frame& frame) {
+  REDOPT_REQUIRE(frame.payload.size() <= kMaxPayloadDoubles, "frame: payload too large to encode");
+  std::string out;
+  out.reserve(frame_wire_size(frame));
+  const std::size_t body_length = kHeaderSize + 8 * frame.payload.size() + kCrcSize;
+  put_u32(out, static_cast<std::uint32_t>(body_length));
+  out.push_back(static_cast<char>(kMagic0));
+  out.push_back(static_cast<char>(kMagic1));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(frame.type));
+  put_u32(out, frame.agent);
+  put_u64(out, frame.round);
+  put_u64(out, frame.emitted);
+  put_u32(out, frame.hops);
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  for (double v : frame.payload) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    put_u64(out, bits);
+  }
+  const auto* body = reinterpret_cast<const unsigned char*>(out.data()) + 4;
+  put_u32(out, crc32(body, body_length - kCrcSize));
+  return out;
+}
+
+Frame decode_frame_body(const unsigned char* body, std::size_t size) {
+  REDOPT_REQUIRE(size >= kHeaderSize + kCrcSize, "frame: body shorter than the fixed header");
+  REDOPT_REQUIRE(body[0] == kMagic0 && body[1] == kMagic1, "frame: bad magic");
+  REDOPT_REQUIRE(body[2] == kVersion, "frame: unsupported version");
+  REDOPT_REQUIRE(known_type(body[3]), "frame: unknown frame type");
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(body[3]);
+  frame.agent = get_u32(body + 4);
+  frame.round = get_u64(body + 8);
+  frame.emitted = get_u64(body + 16);
+  frame.hops = get_u32(body + 24);
+  const std::uint32_t count = get_u32(body + 28);
+  REDOPT_REQUIRE(count <= kMaxPayloadDoubles, "frame: payload count exceeds the codec cap");
+  REDOPT_REQUIRE(size == kHeaderSize + 8 * static_cast<std::size_t>(count) + kCrcSize,
+                 "frame: body length disagrees with the payload count");
+
+  const std::uint32_t stored_crc = get_u32(body + size - kCrcSize);
+  REDOPT_REQUIRE(stored_crc == crc32(body, size - kCrcSize), "frame: checksum mismatch");
+
+  frame.payload.resize(count);
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::uint64_t bits = get_u64(body + kHeaderSize + 8 * static_cast<std::size_t>(k));
+    std::memcpy(&frame.payload[k], &bits, sizeof(double));
+  }
+  return frame;
+}
+
+Frame decode_frame(const std::string& bytes) {
+  REDOPT_REQUIRE(bytes.size() >= 4, "frame: shorter than the length prefix");
+  const auto* data = reinterpret_cast<const unsigned char*>(bytes.data());
+  const std::uint32_t body_length = get_u32(data);
+  REDOPT_REQUIRE(bytes.size() == 4 + static_cast<std::size_t>(body_length),
+                 "frame: length prefix disagrees with the buffer size");
+  return decode_frame_body(data + 4, body_length);
+}
+
+}  // namespace redopt::util

@@ -1,5 +1,6 @@
-// Robustness fuzzing for every text-input surface: regression instance
-// files, key = value configs, the JSON parser, and chaos scenario files.
+// Robustness fuzzing for every input surface: regression instance
+// files, key = value configs, the JSON parser, chaos scenario files, and
+// the transport wire codec (the one binary format).
 // Each corpus starts from a valid document and applies seeded byte
 // mutations; the contract under test is "success or PreconditionError" —
 // parsers must never crash, hang, or silently misparse, no matter the
@@ -20,6 +21,7 @@
 #include "rng/rng.h"
 #include "util/config.h"
 #include "util/error.h"
+#include "util/frame.h"
 #include "util/json.h"
 
 using namespace redopt;
@@ -192,4 +194,67 @@ TEST(FuzzScenario, MutatedScenarioJsonNeverCrashes) {
     fuzz_corpus(base, seed,
                 [](const std::string& text) { chaos::scenario_from_json(text); });
   }
+}
+
+namespace {
+
+std::string valid_frame_bytes() {
+  util::Frame frame;
+  frame.type = util::FrameType::kGradient;
+  frame.agent = 3;
+  frame.round = 12;
+  frame.emitted = 11;
+  frame.hops = 2;
+  frame.payload = {0.5, -1.25, 3e7, -0.0};
+  return util::encode_frame(frame);
+}
+
+}  // namespace
+
+TEST(FuzzFrame, MutatedWireBytesNeverCrash) {
+  // The transport wire codec is a *binary* input surface: every byte a
+  // peer process sends reaches decode_frame before anything trusts it.
+  // Same contract as the text parsers — success or PreconditionError —
+  // and the checksum means almost every mutant must be rejected.
+  const std::string base = valid_frame_bytes();
+  fuzz_corpus(base, 909, [](const std::string& bytes) { util::decode_frame(bytes); });
+  fuzz_corpus(base, 910, [](const std::string& bytes) { util::decode_frame(bytes); });
+}
+
+TEST(FuzzFrame, MutatedBodiesNeverCrash) {
+  // decode_frame_body is the path the socket reader actually takes after
+  // consuming the length prefix itself; fuzz it separately so prefix
+  // validation cannot mask body bugs.
+  const std::string base = valid_frame_bytes().substr(4);
+  fuzz_corpus(base, 911, [](const std::string& body) {
+    util::decode_frame_body(reinterpret_cast<const unsigned char*>(body.data()), body.size());
+  });
+}
+
+TEST(FuzzFrame, RejectsHostileLengthAndCount) {
+  const std::string base = valid_frame_bytes();
+  // A length prefix promising more body than exists must not over-read.
+  std::string long_prefix = base;
+  long_prefix[0] = static_cast<char>(0xff);
+  long_prefix[1] = static_cast<char>(0xff);
+  EXPECT_THROW(util::decode_frame(long_prefix), PreconditionError);
+  // A huge payload count must be rejected before any allocation sized by
+  // it (count * 8 would wrap or OOM).
+  util::Frame frame;
+  frame.payload = {1.0};
+  std::string bytes = util::encode_frame(frame);
+  const std::size_t count_offset = bytes.size() - 8 - 4 - 4;  // before payload + crc
+  for (std::size_t k = 0; k < 4; ++k) bytes[count_offset + k] = static_cast<char>(0xff);
+  EXPECT_THROW(util::decode_frame(bytes), PreconditionError);
+  EXPECT_THROW(util::decode_frame(std::string()), PreconditionError);
+}
+
+TEST(FuzzFrame, ValidFrameSurvivesItsOwnCorpus) {
+  // Sanity anchor: the unmutated base parses, so corpus rejections are
+  // the checksum doing its job rather than a broken encoder.
+  const std::string base = valid_frame_bytes();
+  const util::Frame frame = util::decode_frame(base);
+  EXPECT_EQ(frame.agent, 3u);
+  EXPECT_EQ(frame.payload.size(), 4u);
+  EXPECT_EQ(util::encode_frame(frame), base);
 }

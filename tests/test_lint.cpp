@@ -36,14 +36,14 @@ const Finding* find_rule(const std::vector<Finding>& findings, const std::string
 
 TEST(LintRuleTable, EveryRuleHasIdSummaryRationale) {
   const auto& rules = redopt::lint::rules();
-  ASSERT_EQ(rules.size(), 5u);
+  ASSERT_EQ(rules.size(), 6u);
   std::vector<std::string> ids;
   for (const auto& r : rules) {
     ids.emplace_back(r.id);
     EXPECT_NE(std::string(r.summary), "");
     EXPECT_NE(std::string(r.rationale), "");
   }
-  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "H1", "T1"}));
+  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "H1", "N1", "T1"}));
 }
 
 // ---------------------------------------------------------------------------
@@ -160,6 +160,51 @@ TEST(LintH1, CleanHeaderAndCppFileScopeUsing) {
       lint_lines("src/core/g.h", {"#ifndef REDOPT_G_H", "#define REDOPT_G_H", "#endif"}).empty());
   // `using namespace` in a .cpp is the repo's normal style (tests, benches).
   EXPECT_TRUE(lint_lines("src/core/foo.cpp", {"using namespace redopt;"}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// N1: raw socket / byte-order calls outside src/transport/
+// ---------------------------------------------------------------------------
+
+TEST(LintN1, FlagsSocketCallsAndHeadersOutsideTransport) {
+  const std::vector<std::string> lines = {
+      "#include <sys/socket.h>",
+      "int fd = socket(AF_UNIX, SOCK_STREAM, 0);",
+      "::send(fd, buf, len, 0);",
+      "auto port = htons(8080);",
+  };
+  const auto findings = lint_lines("src/net/foo.cpp", lines);
+  EXPECT_EQ(count_rule(findings, "N1"), 4u);
+  const auto* f = find_rule(findings, "N1");
+  EXPECT_NE(f->message.find("src/transport/"), std::string::npos);
+}
+
+TEST(LintN1, CleanInsideTransportAndOutsideSrc) {
+  const std::vector<std::string> lines = {
+      "#include <sys/socket.h>",
+      "::recv(fd, buf, len, 0);",
+  };
+  // src/transport/ owns the process boundary; the rule exempts it.
+  EXPECT_TRUE(lint_lines("src/transport/socket_transport.cpp", lines).empty());
+  // tools/ and tests/ drive sockets as they like (e.g. CI smoke harness).
+  EXPECT_TRUE(lint_lines("tools/foo/main.cpp", lines).empty());
+}
+
+TEST(LintN1, IgnoresLookalikeIdentifiersAndMemberCalls) {
+  const std::vector<std::string> lines = {
+      "websocket(url);",              // identifier merely containing 'socket'
+      "queue.send(message);",         // member call, not the raw syscall
+      "channel->recv(frame);",        // likewise through a pointer
+      "int message_sendto_count;",    // no call at all
+  };
+  EXPECT_TRUE(lint_lines("src/net/foo.cpp", lines).empty());
+}
+
+TEST(LintN1, SuppressibleWithAllowDirective) {
+  const auto findings = lint_lines(
+      "src/net/foo.cpp",
+      {"int fd = socket(AF_UNIX, SOCK_STREAM, 0);  // redopt-lint: allow(N1) — fixture"});
+  EXPECT_TRUE(findings.empty());
 }
 
 // ---------------------------------------------------------------------------

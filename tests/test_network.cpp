@@ -84,7 +84,23 @@ TEST(SyncNetwork, StatsCountTraffic) {
   EXPECT_EQ(network.stats().rounds, 2u);
   EXPECT_EQ(network.stats().messages_delivered, 2u);       // fan-out of 2
   EXPECT_EQ(network.stats().scalars_transferred, 6u);      // 3 scalars x 2
+  EXPECT_EQ(network.stats().bytes_on_wire, 48u);           // 6 doubles x 8 bytes
   EXPECT_EQ(network.current_round(), 2u);
+}
+
+TEST(SyncNetwork, RetriesAreZeroUnlessRecorded) {
+  // The simulated network never times out, so messages_retried only
+  // moves through record_retry() — the hook that keeps NetworkStats
+  // shape-compatible with transport::TransportStats for the
+  // message-complexity reports.
+  ScriptedNode sender({make_msg(1, "r", Vector{1.0})});
+  ScriptedNode receiver;
+  net::SyncNetwork network({&sender, &receiver});
+  network.run(2);
+  EXPECT_EQ(network.stats().messages_retried, 0u);
+  network.record_retry();
+  network.record_retry(3);
+  EXPECT_EQ(network.stats().messages_retried, 4u);
 }
 
 TEST(SyncNetwork, RejectsUnknownDestination) {

@@ -9,6 +9,12 @@
 //   chaos-replay --scenario repro.json --json     # machine-readable result
 //   chaos-replay --generate 5 --seed 7            # print sample scenarios
 //
+// By default the scenario runs on the in-process chaos executor.  Pass
+// --backend (and optionally --topology) to run it as a transport session
+// instead — the same round loop behind a src/transport/ backend:
+//
+//   chaos-replay --scenario repro.json --backend=socket --topology=tree
+//
 // Exit status: 0 when every property holds, 1 on a violation (so the
 // binary slots into scripts and CI directly).
 #include <fstream>
@@ -21,6 +27,7 @@
 #include "chaos/properties.h"
 #include "chaos/scenario.h"
 #include "runtime/runtime.h"
+#include "transport/session.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/json.h"
@@ -37,8 +44,8 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
-int replay(const chaos::Scenario& scenario, bool as_json) {
-  const chaos::ScenarioResult result = chaos::run_scenario(scenario);
+int report_result(const chaos::Scenario& scenario, const chaos::ScenarioResult& result,
+                  bool as_json, const transport::TransportStats* transport_stats) {
   const chaos::PropertyReport report = chaos::check_properties(scenario, result);
   if (as_json) {
     std::cout << "{\"name\":\"" << util::json_escape(scenario.name) << "\""
@@ -53,7 +60,15 @@ int replay(const chaos::Scenario& scenario, bool as_json) {
               << ",\"stale_replies\":" << result.stale_replies
               << ",\"dropped_replies\":" << result.dropped_replies
               << ",\"delayed_replies\":" << result.delayed_replies
-              << ",\"duplicated_replies\":" << result.duplicated_replies << "}\n";
+              << ",\"duplicated_replies\":" << result.duplicated_replies;
+    if (transport_stats != nullptr) {
+      std::cout << ",\"frames_delivered\":" << transport_stats->frames_delivered
+                << ",\"bytes_on_wire\":" << transport_stats->bytes_on_wire
+                << ",\"reduce_rounds\":" << transport_stats->reduce_rounds
+                << ",\"messages_retried\":" << transport_stats->messages_retried
+                << ",\"agent_deaths\":" << transport_stats->agent_deaths;
+    }
+    std::cout << "}\n";
   } else {
     std::cout << "scenario:  " << scenario.name << (scenario.guaranteed() ? "  [guaranteed]" : "")
               << "\n"
@@ -64,17 +79,36 @@ int replay(const chaos::Scenario& scenario, bool as_json) {
               << "faults:    byz=" << result.byzantine_replies
               << " crash=" << result.crashed_absences << " stale=" << result.stale_replies
               << " drop=" << result.dropped_replies << " delay=" << result.delayed_replies
-              << " dup=" << result.duplicated_replies << "\n"
-              << "properties: " << report.summary() << "\n";
+              << " dup=" << result.duplicated_replies << "\n";
+    if (transport_stats != nullptr) {
+      std::cout << "transport: frames=" << transport_stats->frames_delivered
+                << " bytes=" << transport_stats->bytes_on_wire
+                << " reduce_rounds=" << transport_stats->reduce_rounds
+                << " retries=" << transport_stats->messages_retried
+                << " deaths=" << transport_stats->agent_deaths << "\n";
+    }
+    std::cout << "properties: " << report.summary() << "\n";
   }
   return report.ok ? 0 : 1;
 }
 
+int replay(const chaos::Scenario& scenario, bool as_json) {
+  const chaos::ScenarioResult result = chaos::run_scenario(scenario);
+  return report_result(scenario, result, as_json, nullptr);
+}
+
+int replay_transport(const chaos::Scenario& scenario, bool as_json,
+                     const transport::SessionOptions& options) {
+  const transport::ScenarioSession session = transport::run_scenario_transport(scenario, options);
+  return report_result(scenario, session.result, as_json, &session.transport);
+}
+
 int run(int argc, char** argv) {
-  const util::Cli cli(argc, argv,
-                      {"scenario", "generate", "seed", "threads", "json", "help"});
+  const util::Cli cli(argc, argv, {"scenario", "generate", "seed", "threads", "json", "help",
+                                   "backend", "topology"});
   if (cli.get_bool("help", false)) {
     std::cout << "usage: chaos-replay --scenario FILE [--threads N] [--json]\n"
+              << "                    [--backend inproc|socket] [--topology star|chain|tree]\n"
               << "       chaos-replay --generate K [--seed S] [--json]\n";
     return 0;
   }
@@ -92,7 +126,18 @@ int run(int argc, char** argv) {
 
   const std::string path = cli.get_string("scenario", "");
   REDOPT_REQUIRE(!path.empty(), "pass --scenario FILE or --generate K (see --help)");
-  return replay(chaos::scenario_from_json(read_file(path)), as_json);
+  const chaos::Scenario scenario = chaos::scenario_from_json(read_file(path));
+
+  // Either transport flag switches the replay from the in-process chaos
+  // executor to a transport session; both parses are strict and name the
+  // valid values on error.
+  if (cli.get("backend") || cli.get("topology")) {
+    transport::SessionOptions options;
+    options.backend = transport::backend_from_string(cli.get_string("backend", "inproc"));
+    options.topology = transport::topology_from_string(cli.get_string("topology", "star"));
+    return replay_transport(scenario, as_json, options);
+  }
+  return replay(scenario, as_json);
 }
 
 }  // namespace

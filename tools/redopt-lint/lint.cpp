@@ -25,6 +25,10 @@ const std::vector<RuleInfo> kRules = {
      "addresses differ run to run, so any order or hash derived from them is nondeterministic"},
     {"H1", "header hygiene: #pragma once required, `using namespace` forbidden in headers",
      "missing guards break the one-definition rule; namespace dumps leak into every includer"},
+    {"N1", "raw socket / byte-order call outside src/transport/",
+     "process boundaries belong to the transport subsystem; a scattered socket or endianness "
+     "call bypasses its framing, checksums, timeout handling, and the cross-backend "
+     "determinism contract"},
     {"T1", "telemetry metric name must be lowercase dotted snake_case; wall-clock metrics "
      "must be registered Determinism::kUnstable",
      "sinks key the bit-identity mask on names and the kUnstable flag; an unflagged wall-clock "
@@ -209,6 +213,23 @@ const std::vector<Pattern>& d3_patterns() {
   return patterns;
 }
 
+const std::vector<Pattern>& n1_patterns() {
+  // The leading guard excludes identifiers merely containing the token
+  // (websocket, my_send) and member calls (queue.send, channel->recv):
+  // the rule targets the raw OS-level calls and includes only.
+  static const std::vector<Pattern> patterns = {
+      {std::regex(R"((^|[^:\w_.>])(::)?socket(pair)?\s*\()"), "socket()/socketpair()"},
+      {std::regex(R"((^|[^:\w_.>])(::)?(send|recv)(to|from|msg)?\s*\()"),
+       "send()/recv() family call"},
+      {std::regex(R"((^|[^:\w_.>])(::)?(set|get)sockopt\s*\()"), "setsockopt()/getsockopt()"},
+      {std::regex(R"(\b(htons|htonl|ntohs|ntohl|htobe\d+|betoh\d+|htole\d+|letoh\d+)\b)"),
+       "byte-order conversion"},
+      {std::regex(R"(#\s*include\s*<(sys/socket\.h|sys/un\.h|netinet/[^>]*|arpa/inet\.h)>)"),
+       "socket header include"},
+  };
+  return patterns;
+}
+
 const std::regex& h1_using_namespace() {
   static const std::regex re(R"(^\s*using\s+namespace\b)");
   return re;
@@ -320,6 +341,20 @@ void check_h1(const Context& ctx) {
   }
 }
 
+void check_n1(const Context& ctx) {
+  if (!in_src(ctx.path) || starts_with(ctx.path, "src/transport/")) return;
+  for (std::size_t i = 0; i < ctx.scanned.size(); ++i) {
+    for (const Pattern& p : n1_patterns()) {
+      if (std::regex_search(ctx.scanned[i].code, p.re)) {
+        ctx.report(i, "N1",
+                   std::string(p.what) +
+                       " outside src/transport/; go through the Transport interface (framing, "
+                       "checksums, timeouts live there)");
+      }
+    }
+  }
+}
+
 void check_t1(const Context& ctx) {
   if (!in_src(ctx.path)) return;
   for (std::size_t i = 0; i < ctx.scanned.size(); ++i) {
@@ -374,6 +409,7 @@ std::vector<Finding> lint_lines(const std::string& path, const std::vector<std::
   check_d2(ctx);
   check_d3(ctx);
   check_h1(ctx);
+  check_n1(ctx);
   check_t1(ctx);
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;

@@ -28,6 +28,10 @@
 //       differ run to run, so any order derived from them does too
 //   H1  include hygiene: headers carry #pragma once (or a guard) and
 //       never `using namespace` at file scope
+//   N1  raw socket / byte-order calls (socket, socketpair, send/recv,
+//       htons, ...) outside src/transport/ — process boundaries go
+//       through the Transport interface, which owns framing, checksums,
+//       and timeout handling
 //   T1  telemetry metric names are lowercase dotted snake_case
 //       (`subsystem.noun_unit`), and wall-clock metrics (".seconds",
 //       "_seconds", ".wall_s") are registered Determinism::kUnstable
