@@ -18,6 +18,7 @@
 #include "rng/rng.h"
 #include "runtime/runtime.h"
 #include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "util/error.h"
 
 namespace redopt::chaos {
@@ -123,6 +124,11 @@ ScenarioResult run_scenario(const Scenario& s, const ExecutorOptions& options) {
   const auto metric_delayed = reg.counter("chaos.delayed_replies");
   const auto metric_duplicated = reg.counter("chaos.duplicated_replies");
 
+  telemetry::ScopedSpan scenario_span("chaos.scenario");
+  scenario_span.attr("n", static_cast<std::uint64_t>(s.n))
+      .attr("f", static_cast<std::uint64_t>(s.f))
+      .attr("rounds", static_cast<std::uint64_t>(s.rounds));
+
   const MaterializedScenario built = materialize_scenario(s);
   const auto& problem = built.problem;
   const std::size_t n = s.n;
@@ -218,6 +224,14 @@ ScenarioResult run_scenario(const Scenario& s, const ExecutorOptions& options) {
   std::vector<linalg::Vector> payloads(n);
   std::vector<char> emits(n, 0);
   for (std::size_t t = 0; t < s.rounds; ++t) {
+    // The span opens and closes in this serial context; the parallel
+    // fan-outs inside the round never touch the span log.
+    telemetry::ScopedSpan round_span("chaos.round");
+    round_span.attr("t", static_cast<std::uint64_t>(t));
+    auto note = [&](const char* name, std::size_t agent) {
+      telemetry::span_instant(name, {{"agent", telemetry::Value(static_cast<std::uint64_t>(agent))},
+                                     {"t", telemetry::Value(static_cast<std::uint64_t>(t))}});
+    };
     // --- Emission: every non-crashed agent computes its reply. ---
     for (std::size_t i = 0; i < n; ++i) {
       const FaultSpec* spec = spec_of[i];
@@ -225,6 +239,7 @@ ScenarioResult run_scenario(const Scenario& s, const ExecutorOptions& options) {
       if (!emits[i]) {
         ++result.crashed_absences;
         metric_crashed.inc();
+        note("chaos.crashed", i);
       }
     }
     // Honest payloads (and the Byzantine agents' would-be-honest
@@ -302,12 +317,14 @@ ScenarioResult run_scenario(const Scenario& s, const ExecutorOptions& options) {
           channel_rng.uniform() < s.channel.drop_probability) {
         ++result.dropped_replies;
         metric_dropped.inc();
+        note("chaos.dropped", i);
         continue;
       }
       if (s.channel.duplicate_probability > 0.0 &&
           channel_rng.uniform() < s.channel.duplicate_probability) {
         ++result.duplicated_replies;
         metric_duplicated.inc();
+        note("chaos.duplicated", i);
         arrivals.push_back(reply);  // the extra copy lands on time
       }
       if (s.channel.max_delay > 0) {
@@ -316,6 +333,7 @@ ScenarioResult run_scenario(const Scenario& s, const ExecutorOptions& options) {
         if (delay > 0) {
           ++result.delayed_replies;
           metric_delayed.inc();
+          note("chaos.delayed", i);
           pending[t + delay].push_back(std::move(reply));
           continue;
         }

@@ -9,6 +9,7 @@
 #include "runtime/runtime.h"
 #include "telemetry/events.h"
 #include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "util/error.h"
 
 namespace redopt::dgd {
@@ -112,6 +113,9 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
   std::vector<linalg::Vector> residual_ws(batch_gradients != nullptr ? n : 0);
   linalg::Vector byz_gradient_ws;
   for (std::size_t t = 0; t < base.iterations; ++t) {
+    // Serial open/close; the fan-out below never touches the span log.
+    telemetry::ScopedSpan span("async.iteration");
+    span.attr("t", static_cast<std::uint64_t>(t));
     // Honest fan-out: each agent draws staleness from its own stream and
     // writes its own gradient slot, so the parallel evaluation is
     // bit-identical at any runtime::threads() setting.

@@ -6,6 +6,7 @@
 #include "filters/instrumented.h"
 #include "runtime/runtime.h"
 #include "telemetry/events.h"
+#include "telemetry/span.h"
 #include "util/error.h"
 
 namespace redopt::dgd {
@@ -98,6 +99,10 @@ linalg::Vector OnlineTrainer::step() {
   const std::size_t n = problem_.num_agents();
   const std::size_t d = problem_.dimension();
   const std::size_t t = iteration_;
+  // Opened and closed in this serial context; the gradient fan-out below
+  // never records into the span log.
+  telemetry::ScopedSpan span("dgd.iteration");
+  span.attr("t", static_cast<std::uint64_t>(t));
 
   // S1: honest replies (honest agents always reply in a synchronous
   // fault-free link model).  Each agent's gradient is an independent
@@ -145,6 +150,9 @@ linalg::Vector OnlineTrainer::step() {
       eliminated_agents_.push_back(i);
       eliminated_this_round = true;
       ++eliminated_round_count;
+      telemetry::span_instant("dgd.elimination",
+                              {{"agent", telemetry::Value(static_cast<std::uint64_t>(i))},
+                               {"t", telemetry::Value(static_cast<std::uint64_t>(t))}});
     }
   }
   if (eliminated_this_round) {
@@ -227,6 +235,11 @@ TrainResult train(const core::MultiAgentProblem& problem,
     REDOPT_REQUIRE(reference->size() == problem.dimension(), "reference point dimension mismatch");
   }
   OnlineTrainer trainer(problem, byzantine_ids, attack, config);
+
+  telemetry::ScopedSpan train_span("dgd.train");
+  train_span.attr("iterations", static_cast<std::uint64_t>(config.iterations))
+      .attr("n", static_cast<std::uint64_t>(problem.num_agents()))
+      .attr("f", static_cast<std::uint64_t>(problem.f));
 
   TrainResult result;
   auto record = [&](std::size_t t) {

@@ -4,6 +4,7 @@
 
 #include "filters/norm_cache.h"
 #include "telemetry/metrics.h"
+#include "telemetry/span.h"
 #include "util/error.h"
 
 namespace redopt::filters {
@@ -33,6 +34,9 @@ class InstrumentedFilter final : public GradientFilter {
   }
 
   Vector apply_with_cache(const std::vector<Vector>& gradients, NormCache& cache) const override {
+    telemetry::ScopedSpan span("filter.apply");
+    span.attr("filter", inner_->name())
+        .attr("n", static_cast<std::uint64_t>(gradients.size()));
     // One cache serves the norm histogram, the accept-set pass, and the
     // aggregation itself — without it every round pays for the inner
     // filter's selection work twice (accepted_inputs + apply) plus a third
@@ -42,6 +46,7 @@ class InstrumentedFilter final : public GradientFilter {
         inner_->accepted_inputs_with_cache(gradients, cache);
     accepted_total_.inc(accepted.size());
     rejected_total_.inc(gradients.size() - accepted.size());
+    span.attr("accepted", static_cast<std::uint64_t>(accepted.size()));
     for (std::size_t i : accepted) {
       if (i < agent_accepts_.size()) agent_accepts_[i].inc();
     }

@@ -1,0 +1,106 @@
+#include "telemetry/span.h"
+
+#include <algorithm>
+
+namespace redopt::telemetry {
+
+std::uint64_t SpanLog::open(const std::string& name) {
+  const std::uint64_t id = ++opened_;
+  const std::uint64_t parent = stack_.empty() ? 0 : stack_.back();
+  stack_.push_back(id);
+  if (spans_.size() < capacity_) {
+    SpanRecord record;
+    record.id = id;
+    record.parent = parent;
+    record.name = name;
+    record.start_s = epoch_.elapsed_seconds();
+    spans_.push_back(std::move(record));
+  } else {
+    ++dropped_;
+  }
+  return id;
+}
+
+void SpanLog::attr(std::uint64_t id, const std::string& key, Value value) {
+  // Ids are handed out sequentially and records are stored in open
+  // order, so the record for id (when it survived the cap) is spans_[id-1].
+  if (id == 0 || id > spans_.size()) return;
+  spans_[id - 1].attributes.emplace_back(key, std::move(value));
+}
+
+void SpanLog::close(std::uint64_t id) {
+  const double now = epoch_.elapsed_seconds();
+  auto close_one = [&](std::uint64_t victim) {
+    if (victim == 0 || victim > spans_.size()) return;
+    SpanRecord& record = spans_[victim - 1];
+    if (!record.closed) {
+      record.duration_s = now - record.start_s;
+      record.closed = true;
+    }
+  };
+  while (!stack_.empty()) {
+    const std::uint64_t top = stack_.back();
+    stack_.pop_back();
+    close_one(top);
+    if (top == id) return;
+  }
+  close_one(id);  // id was not on the stack (already popped defensively)
+}
+
+void SpanLog::instant(const std::string& name,
+                      std::vector<std::pair<std::string, Value>> attributes,
+                      Determinism determinism) {
+  if (instants_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  InstantRecord record;
+  record.span = stack_.empty() ? 0 : stack_.back();
+  record.name = name;
+  record.attributes = std::move(attributes);
+  record.determinism = determinism;
+  record.at_s = epoch_.elapsed_seconds();
+  instants_.push_back(std::move(record));
+}
+
+void SpanLog::clear() {
+  spans_.clear();
+  instants_.clear();
+  stack_.clear();
+  opened_ = 0;
+  dropped_ = 0;
+  epoch_.reset();
+}
+
+SpanLog& span_log() {
+  static SpanLog log;
+  return log;
+}
+
+void span_instant(const std::string& name,
+                  std::vector<std::pair<std::string, Value>> attributes,
+                  Determinism determinism) {
+  if (!enabled()) return;
+  span_log().instant(name, std::move(attributes), determinism);
+}
+
+ScopedSpan::ScopedSpan(const std::string& name) {
+  if (!enabled()) return;
+  log_ = &span_log();
+  id_ = log_->open(name);
+}
+
+ScopedSpan::ScopedSpan(SpanLog& log, const std::string& name) : log_(&log) {
+  id_ = log_->open(name);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (log_ != nullptr) log_->close(id_);
+}
+
+ScopedSpan& ScopedSpan::attr(const std::string& key, Value value) {
+  if (log_ != nullptr) log_->attr(id_, key, std::move(value));
+  return *this;
+}
+
+}  // namespace redopt::telemetry

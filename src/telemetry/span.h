@@ -1,0 +1,147 @@
+// Round-scoped spans: a hierarchical, count-deterministic record of what
+// the process did, designed to survive the determinism contract that the
+// metrics registry already honours.
+//
+// A span has a name, a parent (the span that was open when it opened),
+// and stable attributes — all pure functions of the computation, so the
+// *structure* of a span log (ids, parentage, names, attributes, instant
+// events) is byte-identical across backends and thread counts for the
+// same execution.  Wall-clock timings (start offset, duration) ride
+// along but are nondeterministic by nature; they are segregated exactly
+// like Determinism::kUnstable metric values: serializers put them under
+// "nd" keys so bit-identity checks can strip them wholesale.
+//
+// Instant events mark point occurrences inside the current span (a
+// dropped reply, an elimination).  Most are stable — their *count* is a
+// function of the computation — but timing-dependent ones (socket read
+// retries, link deaths) are flagged Determinism::kUnstable so the stable
+// projection can drop the whole record, not just its timestamp.
+//
+// Concurrency: a SpanLog is serial-context only, like Registry
+// registration — every wired call site opens spans outside parallel
+// regions (trainer loops, the chaos round loop, transport exchanges).
+// The capacity cap keeps a pathological caller from growing the log
+// without bound; drops are counted deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/events.h"
+#include "util/stopwatch.h"
+
+namespace redopt::telemetry {
+
+/// One completed (or still open) span.
+struct SpanRecord {
+  std::uint64_t id = 0;      ///< 1-based, assigned in open order
+  std::uint64_t parent = 0;  ///< id of the enclosing span; 0 = root
+  std::string name;
+  std::vector<std::pair<std::string, Value>> attributes;  ///< deterministic
+
+  // Wall-clock timing, relative to the owning log's epoch.  Excluded
+  // from the bit-identity contract (serialized under "nd").
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  bool closed = false;
+};
+
+/// A point event inside a span.
+struct InstantRecord {
+  std::uint64_t span = 0;  ///< enclosing span id; 0 = outside any span
+  std::string name;
+  std::vector<std::pair<std::string, Value>> attributes;
+  /// kUnstable when even the *occurrence count* is timing-dependent
+  /// (socket retries, link deaths); such records are dropped entirely by
+  /// the stable projection.
+  Determinism determinism = Determinism::kStable;
+  double at_s = 0.0;  ///< wall-clock offset; always nd
+};
+
+/// An append-only span + instant log with LIFO span nesting.
+class SpanLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 18;
+
+  explicit SpanLog(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  /// Opens a span under the currently open span and returns its id.
+  /// Ids keep advancing past the capacity cap (structure stays
+  /// deterministic); records beyond the cap are counted, not stored.
+  std::uint64_t open(const std::string& name);
+
+  /// Attaches a deterministic attribute to an open or closed span.
+  /// No-op for ids the cap dropped.
+  void attr(std::uint64_t id, const std::string& key, Value value);
+
+  /// Closes @p id, recording its duration.  Spans close LIFO (RAII
+  /// enforces this); closing out of order closes the intervening spans.
+  void close(std::uint64_t id);
+
+  /// Records a point event inside the currently open span.
+  void instant(const std::string& name,
+               std::vector<std::pair<std::string, Value>> attributes = {},
+               Determinism determinism = Determinism::kStable);
+
+  const std::vector<SpanRecord>& spans() const { return spans_; }
+  const std::vector<InstantRecord>& instants() const { return instants_; }
+
+  /// Total spans opened, dropped ones included (== the last id handed out).
+  std::uint64_t opened() const { return opened_; }
+  /// Span + instant records the capacity cap refused to store.  A pure
+  /// function of the computation (the cap is a constant), hence stable.
+  std::uint64_t dropped() const { return dropped_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Discards every record and resets ids; the epoch restarts too.
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<SpanRecord> spans_;
+  std::vector<InstantRecord> instants_;
+  std::vector<std::uint64_t> stack_;  ///< open span ids, innermost last
+  std::uint64_t opened_ = 0;
+  std::uint64_t dropped_ = 0;
+  util::Stopwatch epoch_;
+};
+
+/// The process-wide span log, shared by every wired call site (each
+/// AgentReplica additionally owns a private log that ships with its
+/// registry snapshot — see ship.h).
+SpanLog& span_log();
+
+/// Records an instant in the global log; no-op when telemetry is
+/// disabled, so hot paths can call it unconditionally.
+void span_instant(const std::string& name,
+                  std::vector<std::pair<std::string, Value>> attributes = {},
+                  Determinism determinism = Determinism::kStable);
+
+/// RAII span.  The single-argument form writes to the global log and is
+/// inert when telemetry was disabled at construction; the two-argument
+/// form writes to an explicit log unconditionally (per-agent logs record
+/// regardless of the global switch — forked agent processes inherit the
+/// switch state at fork time, so gating on it would diverge).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const std::string& name);
+  ScopedSpan(SpanLog& log, const std::string& name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a deterministic attribute; returns *this for chaining.
+  ScopedSpan& attr(const std::string& key, Value value);
+
+  /// The underlying span id (0 when inert).
+  std::uint64_t id() const { return id_; }
+
+ private:
+  SpanLog* log_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace redopt::telemetry

@@ -1,0 +1,84 @@
+#include "telemetry/trace_export.h"
+
+#include <variant>
+
+#include "util/json.h"
+
+namespace redopt::telemetry {
+
+namespace {
+
+void append_arg_value(std::string& out, const Value& value) {
+  if (const auto* i = std::get_if<std::int64_t>(&value)) {
+    out += std::to_string(*i);
+  } else if (const auto* u = std::get_if<std::uint64_t>(&value)) {
+    out += std::to_string(*u);
+  } else if (const auto* d = std::get_if<double>(&value)) {
+    out += util::json_number(*d);
+  } else if (const auto* b = std::get_if<bool>(&value)) {
+    out += *b ? "true" : "false";
+  } else {
+    out += '"';
+    out += util::json_escape(std::get<std::string>(value));
+    out += '"';
+  }
+}
+
+void append_args(std::string& out, const std::vector<std::pair<std::string, Value>>& attrs,
+                 std::uint64_t span_id, std::uint64_t parent) {
+  out += "\"args\":{\"span\":" + std::to_string(span_id);
+  out += ",\"parent\":" + std::to_string(parent);
+  for (const auto& [key, value] : attrs) {
+    out += ",\"";
+    out += util::json_escape(key);
+    out += "\":";
+    append_arg_value(out, value);
+  }
+  out += '}';
+}
+
+/// Microseconds, the unit the trace-event format expects.
+std::string us(double seconds) { return util::json_number(seconds * 1e6); }
+
+}  // namespace
+
+std::string render_chrome_trace(const std::vector<TraceTrack>& tracks) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto begin_event = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+  for (const TraceTrack& track : tracks) {
+    const std::string pid = std::to_string(track.pid);
+    begin_event();
+    out += "{\"ph\":\"M\",\"pid\":" + pid + ",\"tid\":0,\"name\":\"process_name\",";
+    out += "\"args\":{\"name\":\"" + util::json_escape(track.name) + "\"}}";
+    if (track.spans != nullptr) {
+      for (const SpanRecord& span : *track.spans) {
+        begin_event();
+        out += "{\"ph\":\"X\",\"pid\":" + pid + ",\"tid\":0,\"name\":\"";
+        out += util::json_escape(span.name);
+        out += "\",\"cat\":\"span\",";
+        append_args(out, span.attributes, span.id, span.parent);
+        out += ",\"ts\":" + us(span.start_s);
+        out += ",\"dur\":" + us(span.duration_s) + '}';
+      }
+    }
+    if (track.instants != nullptr) {
+      for (const InstantRecord& instant : *track.instants) {
+        begin_event();
+        out += "{\"ph\":\"i\",\"pid\":" + pid + ",\"tid\":0,\"name\":\"";
+        out += util::json_escape(instant.name);
+        out += "\",\"cat\":\"instant\",\"s\":\"t\",";
+        append_args(out, instant.attributes, instant.span, 0);
+        if (instant.determinism == Determinism::kUnstable) out += ",\"unstable\":true";
+        out += ",\"ts\":" + us(instant.at_s) + '}';
+      }
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace redopt::telemetry

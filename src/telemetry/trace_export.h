@@ -1,0 +1,35 @@
+// Chrome trace-event export: renders span logs as a JSON document the
+// Perfetto UI (ui.perfetto.dev) and chrome://tracing load directly.
+//
+// One TraceTrack per process: the coordinator is pid 0, each agent is
+// its own pid (one track per agent), named via "process_name" metadata
+// events.  Spans become complete ("ph":"X") events with microsecond
+// ts/dur from the log's wall-clock fields; instants become "ph":"i"
+// events.  Timing members ("ts", "dur") and records flagged
+// "unstable":true are exactly what stable_json_projection() strips, so
+// the same canonicalization applies to traces as to manifests.
+//
+// The document is emitted one event per line (still strictly valid
+// JSON), which keeps diffs and grep usable on large traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/span.h"
+
+namespace redopt::telemetry {
+
+/// One process's worth of spans and instants.
+struct TraceTrack {
+  std::uint32_t pid = 0;
+  std::string name;  ///< shown as the process name in the trace viewer
+  const std::vector<SpanRecord>* spans = nullptr;
+  const std::vector<InstantRecord>* instants = nullptr;
+};
+
+/// Renders @p tracks as one Chrome trace-event JSON document.
+std::string render_chrome_trace(const std::vector<TraceTrack>& tracks);
+
+}  // namespace redopt::telemetry

@@ -36,13 +36,25 @@ AgentReplica::AgentReplica(const chaos::Scenario& scenario,
       agent_(agent),
       max_staleness_(scenario_max_staleness(scenario)),
       spec_of_(scenario.n, nullptr),
-      attack_rng_(rng::Rng(scenario.seed).fork("byzantine-agent-" + std::to_string(agent))) {
+      attack_rng_(rng::Rng(scenario.seed).fork("byzantine-agent-" + std::to_string(agent))),
+      telemetry_(std::make_unique<telemetry::AgentTelemetry>()) {
   REDOPT_REQUIRE(agent < scenario.n, "agent replica: agent id out of range");
   for (const chaos::FaultSpec& spec : scenario_.faults) spec_of_[spec.agent] = &spec;
   const chaos::FaultSpec* own = spec_of_[agent_];
   if (own != nullptr && own->kind == chaos::FaultSpec::Kind::kByzantine) {
     attack_ = chaos::make_scenario_attack(own->attack, own->attack_param);
   }
+  telemetry::Registry& reg = telemetry_->registry;
+  m_rounds_ = reg.counter("replica.rounds");
+  m_frames_emitted_ = reg.counter("replica.frames_emitted");
+  m_byzantine_ = reg.counter("replica.byzantine_replies");
+  m_crashed_ = reg.counter("replica.crashed_absences");
+  m_stale_ = reg.counter("replica.stale_replies");
+  m_dropped_ = reg.counter("replica.dropped_replies");
+  m_delayed_ = reg.counter("replica.delayed_replies");
+  m_duplicated_ = reg.counter("replica.duplicated_replies");
+  m_gradient_norm_ =
+      reg.histogram("replica.gradient_norm", telemetry::BucketLayout::exponential(1e-3, 4.0, 12));
 }
 
 linalg::Vector AgentReplica::honest_payload(std::size_t who, std::size_t round) const {
@@ -56,6 +68,17 @@ linalg::Vector AgentReplica::honest_payload(std::size_t who, std::size_t round) 
 }
 
 std::vector<util::Frame> AgentReplica::on_round(std::size_t round, const linalg::Vector& estimate) {
+  // Every branch below books into the island with exactly the semantics
+  // of the coordinator's fate() replay (session.cpp) — that one-to-one
+  // mirror is what the attribution report reconciles against.
+  const std::uint64_t t = static_cast<std::uint64_t>(round);
+  telemetry::ScopedSpan span(telemetry_->spans, "replica.round");
+  span.attr("t", t);
+  m_rounds_.inc();
+  auto note = [&](const char* name) {
+    telemetry_->spans.instant(name, {{"t", telemetry::Value(t)}});
+  };
+
   history_.push_front(estimate);
   while (history_.size() > max_staleness_ + 1) history_.pop_back();
 
@@ -69,7 +92,20 @@ std::vector<util::Frame> AgentReplica::on_round(std::size_t round, const linalg:
   }
 
   const RoundFate what = fate(scenario_, agent_, round);
-  if (!what.emits) return out;
+  if (!what.emits) {
+    m_crashed_.inc();
+    note("replica.crashed");
+    m_frames_emitted_.inc(out.size());
+    return out;
+  }
+  if (what.byzantine) {
+    m_byzantine_.inc();
+    note("replica.byzantine");
+  }
+  if (what.stale) {
+    m_stale_.inc();
+    note("replica.stale");
+  }
 
   // Byzantine agents are never stale: the attack sees the freshest state
   // (worst case for the server).
@@ -105,8 +141,14 @@ std::vector<util::Frame> AgentReplica::on_round(std::size_t round, const linalg:
     payload = attack_->craft(ctx);
     REDOPT_REQUIRE(payload.size() == scenario_.d, "attack crafted a wrong-dimension vector");
   }
+  m_gradient_norm_.observe(payload.norm());
 
-  if (what.dropped) return out;
+  if (what.dropped) {
+    m_dropped_.inc();
+    note("replica.dropped");
+    m_frames_emitted_.inc(out.size());
+    return out;
+  }
 
   util::Frame frame;
   frame.type = util::FrameType::kGradient;
@@ -115,13 +157,20 @@ std::vector<util::Frame> AgentReplica::on_round(std::size_t round, const linalg:
   frame.emitted = round;
   frame.hops = 1;
   frame.payload.assign(payload.begin(), payload.end());
-  if (what.duplicated) out.push_back(frame);  // the extra copy lands on time
+  if (what.duplicated) {
+    m_duplicated_.inc();
+    note("replica.duplicated");
+    out.push_back(frame);  // the extra copy lands on time
+  }
   if (what.delay > 0) {
+    m_delayed_.inc();
+    note("replica.delayed");
     frame.round = round + what.delay;
     delayed_[round + what.delay].push_back(std::move(frame));
   } else {
     out.push_back(std::move(frame));
   }
+  m_frames_emitted_.inc(out.size());
   return out;
 }
 

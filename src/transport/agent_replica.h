@@ -30,6 +30,7 @@
 #include "core/problem.h"
 #include "linalg/vector.h"
 #include "rng/rng.h"
+#include "telemetry/ship.h"
 #include "util/frame.h"
 
 namespace redopt::transport {
@@ -49,6 +50,13 @@ class AgentReplica {
   std::vector<util::Frame> on_round(std::size_t round, const linalg::Vector& estimate);
 
   std::size_t agent() const { return agent_; }
+
+  /// This replica's private telemetry island (see telemetry/ship.h):
+  /// replica.* counters mirroring fate() exactly, a gradient-norm
+  /// histogram, and a replica.round span per on_round call.  Recorded
+  /// unconditionally — the global telemetry switch is fork-inherited
+  /// state, so gating on it would let the backends diverge.
+  const telemetry::AgentTelemetry& telemetry() const { return *telemetry_; }
 
   /// What the fault schedule does to @p agent in @p round — a pure
   /// function of the scenario, replayed coordinator-side to fill the
@@ -79,6 +87,19 @@ class AgentReplica {
   rng::Rng attack_rng_;
   std::deque<linalg::Vector> history_;  ///< history_[s] is the estimate of round - s
   std::map<std::size_t, std::vector<util::Frame>> delayed_;
+
+  // Telemetry island + pre-registered handles (unique_ptr keeps the
+  // replica movable; the registry itself is pinned).
+  std::unique_ptr<telemetry::AgentTelemetry> telemetry_;
+  telemetry::Counter m_rounds_;
+  telemetry::Counter m_frames_emitted_;
+  telemetry::Counter m_byzantine_;
+  telemetry::Counter m_crashed_;
+  telemetry::Counter m_stale_;
+  telemetry::Counter m_dropped_;
+  telemetry::Counter m_delayed_;
+  telemetry::Counter m_duplicated_;
+  telemetry::Histogram m_gradient_norm_;
 };
 
 }  // namespace redopt::transport

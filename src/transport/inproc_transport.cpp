@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "telemetry/span.h"
 #include "util/error.h"
 
 namespace redopt::transport {
@@ -11,31 +12,18 @@ namespace {
 
 constexpr const char* kFrameTag = "frame";
 
-/// Packs encoded frame bytes into a Message payload: entry 0 carries the
-/// byte count, the rest carry the raw bytes 8 per double.  The doubles
-/// are never used arithmetically — the payload is just a byte carrier.
-linalg::Vector pack_bytes(const std::string& bytes) {
-  std::vector<double> packed(1 + (bytes.size() + 7) / 8, 0.0);
-  packed[0] = static_cast<double>(bytes.size());
-  if (!bytes.empty()) std::memcpy(packed.data() + 1, bytes.data(), bytes.size());
-  return linalg::Vector(std::move(packed));
-}
-
+/// The frame-in-message envelope rides util::pack_blob: encoded frame
+/// bytes become a Message payload whose doubles are never used
+/// arithmetically — the payload is just a byte carrier.
 std::string unpack_bytes(const linalg::Vector& payload) {
-  REDOPT_REQUIRE(!payload.empty(), "inproc transport: empty frame payload");
-  const auto size = static_cast<std::size_t>(payload[0]);
-  REDOPT_REQUIRE(size <= 8 * (payload.size() - 1),
-                 "inproc transport: frame payload length out of range");
-  std::string bytes(size, '\0');
-  if (size > 0) std::memcpy(bytes.data(), payload.data().data() + 1, size);
-  return bytes;
+  return util::unpack_blob(payload.data());
 }
 
 net::Message make_frame_message(std::size_t to, const std::string& bytes) {
   net::Message message;
   message.to = to;
   message.tag = kFrameTag;
-  message.payload = pack_bytes(bytes);
+  message.payload = linalg::Vector(util::pack_blob(bytes));
   return message;
 }
 
@@ -101,8 +89,11 @@ class InprocTransport::RootNode : public net::Node {
   std::vector<util::Frame> collected_;
 };
 
-InprocTransport::InprocTransport(Topology topology, std::size_t n, AgentFn agent_fn)
-    : Transport(topology, n), agent_fn_(std::move(agent_fn)) {
+InprocTransport::InprocTransport(Topology topology, std::size_t n, AgentFn agent_fn,
+                                 TelemetryFn telemetry_fn)
+    : Transport(topology, n),
+      agent_fn_(std::move(agent_fn)),
+      telemetry_fn_(std::move(telemetry_fn)) {
   REDOPT_REQUIRE(n >= 1, "inproc transport: need at least one agent");
   std::vector<net::Node*> nodes;
   nodes.reserve(n + 1);
@@ -119,8 +110,21 @@ InprocTransport::~InprocTransport() = default;
 
 const net::NetworkStats& InprocTransport::network_stats() const { return network_->stats(); }
 
+std::vector<AgentBlob> InprocTransport::collect_telemetry() {
+  telemetry::ScopedSpan span("transport.collect_telemetry");
+  std::vector<AgentBlob> blobs;
+  if (!telemetry_fn_) return blobs;
+  blobs.reserve(num_agents());
+  for (std::size_t i = 0; i < num_agents(); ++i) {
+    blobs.push_back(AgentBlob{static_cast<std::uint32_t>(i), telemetry_fn_(i)});
+  }
+  return blobs;
+}
+
 std::vector<util::Frame> InprocTransport::exchange(std::size_t round,
                                                    const linalg::Vector& estimate) {
+  telemetry::ScopedSpan span("transport.exchange");
+  span.attr("round", static_cast<std::uint64_t>(round));
   util::Frame down;
   down.type = util::FrameType::kEstimate;
   down.agent = util::kCoordinatorAgent;

@@ -19,11 +19,17 @@ namespace redopt::transport {
 
 class InprocTransport : public Transport {
  public:
-  InprocTransport(Topology topology, std::size_t n, AgentFn agent_fn);
+  InprocTransport(Topology topology, std::size_t n, AgentFn agent_fn,
+                  TelemetryFn telemetry_fn = {});
   ~InprocTransport() override;
 
   std::vector<util::Frame> exchange(std::size_t round, const linalg::Vector& estimate) override;
   std::string name() const override { return "inproc"; }
+
+  /// Every agent is in-process and always reachable, so collection is a
+  /// direct call per agent — but through the same serialize → parse blob
+  /// round trip the socket backend ships over the wire.
+  std::vector<AgentBlob> collect_telemetry() override;
 
   /// The wrapped network's traffic counters.
   const net::NetworkStats& network_stats() const;
@@ -33,6 +39,7 @@ class InprocTransport : public Transport {
   class RootNode;
 
   AgentFn agent_fn_;
+  TelemetryFn telemetry_fn_;
   std::vector<std::unique_ptr<AgentNode>> agents_;
   std::unique_ptr<RootNode> root_;
   std::unique_ptr<net::SyncNetwork> network_;

@@ -12,6 +12,8 @@
 #include "filters/registry.h"
 #include "rng/rng.h"
 #include "telemetry/metrics.h"
+#include "telemetry/span.h"
+#include "telemetry/trace_export.h"
 #include "transport/agent_replica.h"
 #include "transport/inproc_transport.h"
 #include "util/error.h"
@@ -61,12 +63,13 @@ BackendKind backend_from_string(const std::string& name) {
 }
 
 std::unique_ptr<Transport> make_transport(const SessionOptions& options, std::size_t n,
-                                          AgentFn agent_fn) {
+                                          AgentFn agent_fn, TelemetryFn telemetry_fn) {
   if (options.backend == BackendKind::kSocket) {
     return std::make_unique<SocketTransport>(options.topology, n, std::move(agent_fn),
-                                             options.socket);
+                                             options.socket, std::move(telemetry_fn));
   }
-  return std::make_unique<InprocTransport>(options.topology, n, std::move(agent_fn));
+  return std::make_unique<InprocTransport>(options.topology, n, std::move(agent_fn),
+                                           std::move(telemetry_fn));
 }
 
 ScenarioSession run_scenario_transport(const chaos::Scenario& scenario,
@@ -101,10 +104,18 @@ ScenarioSession run_scenario_transport(const chaos::Scenario& scenario,
                              const linalg::Vector& estimate) {
     return world->replicas[agent].on_round(round, estimate);
   };
+  // Telemetry shipping runs agent-side too: on the socket backend this
+  // closure executes inside the forked agent process, serializing the
+  // fork-local replica's island.
+  TelemetryFn telemetry_fn = [world](std::size_t agent) {
+    return telemetry::serialize_agent_telemetry(static_cast<std::uint32_t>(agent),
+                                                world->replicas[agent].telemetry());
+  };
   // The transport must be built (and, for the socket backend, forked)
   // only after the world is fully constructed, so every agent process
   // inherits identical replica state.
-  const std::unique_ptr<Transport> transport = make_transport(options, n, std::move(agent_fn));
+  const std::unique_ptr<Transport> transport =
+      make_transport(options, n, std::move(agent_fn), std::move(telemetry_fn));
 
   // Round-local filters, cached by the (reply count, fault budget) they
   // were built for — the same (n, f) fallback chain as the executor.
@@ -158,15 +169,28 @@ ScenarioSession run_scenario_transport(const chaos::Scenario& scenario,
   result.max_distance = result.initial_distance;
   session.estimates.push_back(x);
 
+  // Attribution observes exactly what this loop already computes: the
+  // canonical frames of every exchange, the replayed fates, and the
+  // superseded arrivals.
+  AttributionBuilder attribution(options.topology, n, d);
+  telemetry::ScopedSpan scenario_span("session.scenario");
+  scenario_span.attr("n", static_cast<std::uint64_t>(n))
+      .attr("f", static_cast<std::uint64_t>(scenario.f))
+      .attr("rounds", static_cast<std::uint64_t>(scenario.rounds));
+
   for (std::size_t t = 0; t < scenario.rounds; ++t) {
+    telemetry::ScopedSpan round_span("session.round");
+    round_span.attr("t", static_cast<std::uint64_t>(t));
     const std::vector<util::Frame> frames = transport->exchange(t, x);
     metric_rounds.inc();
+    attribution.on_exchange(frames);
 
     // Fault accounting: replay every agent's (pure) round fate instead
     // of trusting counters from the other side of the wire — identical
     // on both backends by construction.
     for (std::size_t i = 0; i < n; ++i) {
       const AgentReplica::RoundFate fate = AgentReplica::fate(scenario, i, t);
+      attribution.on_fate(i, fate);
       if (!fate.emits) {
         ++result.crashed_absences;
         metric_crashed.inc();
@@ -207,6 +231,7 @@ ScenarioSession run_scenario_transport(const chaos::Scenario& scenario,
       if (inserted) continue;
       if (frame.emitted > it->second.emitted) it->second = Reply{frame.emitted, &frame};
       ++result.superseded_replies;
+      attribution.on_superseded(frame.agent);
     }
 
     // Aggregate and step.
@@ -219,7 +244,11 @@ ScenarioSession run_scenario_transport(const chaos::Scenario& scenario,
       }
       std::size_t f_used = 0;
       const filters::FilterPtr& filter = filter_for(received.size(), &f_used);
-      if (received.size() != n || f_used != scenario.f) ++result.filter_rebuilds;
+      if (received.size() != n || f_used != scenario.f) {
+        ++result.filter_rebuilds;
+        telemetry::span_instant("session.filter_rebuild",
+                                {{"t", telemetry::Value(static_cast<std::uint64_t>(t))}});
+      }
       const linalg::Vector direction = filter->apply(received);
       x = projection.project(x - direction * schedule.step(t));
     }
@@ -239,8 +268,54 @@ ScenarioSession run_scenario_transport(const chaos::Scenario& scenario,
   result.final_distance = result.nonfinite
                               ? std::numeric_limits<double>::infinity()
                               : linalg::distance(x, world->built.reference);
+
+  // Ship every surviving agent's telemetry island back to the
+  // coordinator (a dedicated kTelemetry sweep on the socket backend, a
+  // direct call on the inproc one — both through the same serialize →
+  // parse round trip) and reconcile the attribution ledger against it.
+  for (const AgentBlob& blob : transport->collect_telemetry()) {
+    session.agents.push_back(telemetry::parse_agent_snapshot(blob.blob));
+  }
   session.transport = transport->stats();
+  session.attribution = attribution.build(result, session.transport, session.agents);
+  if (const auto* inproc = dynamic_cast<const InprocTransport*>(transport.get())) {
+    session.network = inproc->network_stats();
+    session.has_network = true;
+  }
   return session;
+}
+
+std::string session_manifest_json(const ScenarioSession& session) {
+  // net.* belongs to the inproc backend's internal SyncNetwork substrate,
+  // which the socket backend replaces wholesale; the session-level
+  // manifest is the document both backends must agree on byte for byte,
+  // so the substrate's private counters stay out of it.
+  telemetry::Snapshot coordinator;
+  for (telemetry::MetricValue& m : telemetry::registry().snapshot()) {
+    if (m.name.rfind("net.", 0) == 0) continue;
+    coordinator.push_back(std::move(m));
+  }
+  return telemetry::render_merged_manifest(coordinator, session.agents);
+}
+
+std::string session_trace_json(const ScenarioSession& session) {
+  std::vector<telemetry::TraceTrack> tracks;
+  tracks.reserve(session.agents.size() + 1);
+  telemetry::TraceTrack coordinator;
+  coordinator.pid = 0;
+  coordinator.name = "coordinator";
+  coordinator.spans = &telemetry::span_log().spans();
+  coordinator.instants = &telemetry::span_log().instants();
+  tracks.push_back(coordinator);
+  for (const telemetry::AgentSnapshot& agent : session.agents) {
+    telemetry::TraceTrack track;
+    track.pid = agent.agent + 1;
+    track.name = "agent " + std::to_string(agent.agent);
+    track.spans = &agent.spans;
+    track.instants = &agent.instants;
+    tracks.push_back(track);
+  }
+  return telemetry::render_chrome_trace(tracks);
 }
 
 namespace {
@@ -379,6 +454,9 @@ DgdTransportResult run_dgd(const core::MultiAgentProblem& problem,
         if (f_active > 0) --f_active;
         eliminated_agents.push_back(i);
         eliminated_this_round = true;
+        telemetry::span_instant("session.elimination",
+                                {{"agent", telemetry::Value(static_cast<std::uint64_t>(i))},
+                                 {"t", telemetry::Value(static_cast<std::uint64_t>(t))}});
       }
     }
     if (eliminated_this_round) {

@@ -26,6 +26,9 @@
 #include "chaos/executor.h"
 #include "chaos/scenario.h"
 #include "dgd/trainer.h"
+#include "net/sync_network.h"
+#include "telemetry/ship.h"
+#include "transport/attribution.h"
 #include "transport/socket_transport.h"
 #include "transport/transport.h"
 
@@ -48,17 +51,38 @@ struct SessionOptions {
   SocketOptions socket;  ///< socket-backend knobs (timeouts, test hooks)
 };
 
-/// Builds a backend for @p n agents running @p agent_fn.  The socket
-/// backend forks its agent processes immediately.
+/// Builds a backend for @p n agents running @p agent_fn (and shipping
+/// @p telemetry_fn's islands, when set).  The socket backend forks its
+/// agent processes immediately, so both callbacks must be ready before
+/// the call.
 std::unique_ptr<Transport> make_transport(const SessionOptions& options, std::size_t n,
-                                          AgentFn agent_fn);
+                                          AgentFn agent_fn, TelemetryFn telemetry_fn = {});
 
 /// Outcome of a scenario session.
 struct ScenarioSession {
   chaos::ScenarioResult result;           ///< same observables as chaos::run_scenario
   std::vector<linalg::Vector> estimates;  ///< the full estimate trace x^0 .. x^T
   TransportStats transport;               ///< traffic of the execution
+
+  /// Every live agent's shipped telemetry island, ascending by agent id
+  /// (an agent whose socket link died is absent).
+  std::vector<telemetry::AgentSnapshot> agents;
+  /// The reconciled fault-attribution report (attribution.h).
+  AttributionReport attribution;
+  /// Wrapped sync-network counters — inproc backend only.
+  net::NetworkStats network;
+  bool has_network = false;
 };
+
+/// The unified telemetry manifest of a finished session: the process-wide
+/// registry snapshot plus every shipped agent island, one deterministic
+/// JSON document (byte-identical across backends and thread counts after
+/// telemetry::stable_json_projection).
+std::string session_manifest_json(const ScenarioSession& session);
+
+/// Chrome trace-event JSON (Perfetto-loadable): the coordinator's global
+/// span log as pid 0 plus one track per shipped agent as pid agent+1.
+std::string session_trace_json(const ScenarioSession& session);
 
 ScenarioSession run_scenario_transport(const chaos::Scenario& scenario,
                                        const SessionOptions& options = {});

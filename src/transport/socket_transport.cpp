@@ -5,12 +5,14 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstring>
 #include <string>
 #include <utility>
 
+#include "telemetry/span.h"
 #include "util/error.h"
 
 namespace redopt::transport {
@@ -122,9 +124,10 @@ void close_fd(int& fd) {
 }  // namespace
 
 SocketTransport::SocketTransport(Topology topology, std::size_t n, AgentFn agent_fn,
-                                 SocketOptions options)
+                                 SocketOptions options, TelemetryFn telemetry_fn)
     : Transport(topology, n),
       agent_fn_(std::move(agent_fn)),
+      telemetry_fn_(std::move(telemetry_fn)),
       options_(std::move(options)),
       root_children_(children_of(topology, kCoordinatorNode, n)) {
   REDOPT_REQUIRE(n >= 1, "socket transport: need at least one agent");
@@ -185,6 +188,47 @@ void SocketTransport::agent_main(std::size_t agent) {
         }
         ::_exit(0);
       }
+      if (in.type == util::FrameType::kTelemetry) {
+        // Telemetry collection sweep: relay the request down, ship this
+        // agent's own island, then forward the subtree's blobs upward
+        // exactly like gradient frames — and keep serving rounds after.
+        const std::string request_bytes = util::encode_frame(in);
+        for (std::size_t c = 0; c < children.size(); ++c) {
+          if (child_alive[c] && !write_all(up_fd_[children[c]], request_bytes)) {
+            child_alive[c] = 0;
+          }
+        }
+        if (telemetry_fn_) {
+          util::Frame blob;
+          blob.type = util::FrameType::kTelemetry;
+          blob.agent = static_cast<std::uint32_t>(agent);
+          blob.round = in.round;
+          blob.emitted = in.round;
+          blob.hops = 1;
+          blob.payload = util::pack_blob(telemetry_fn_(agent));
+          if (!write_frame(parent_fd, blob)) ::_exit(0);
+        }
+        for (std::size_t c = 0; c < children.size(); ++c) {
+          if (!child_alive[c]) continue;
+          for (;;) {
+            util::Frame frame;
+            if (read_frame(up_fd_[children[c]], &frame, options_.timeout_ms, options_.max_retries,
+                           nullptr) != IoStatus::kOk) {
+              child_alive[c] = 0;
+              break;
+            }
+            if (frame.type == util::FrameType::kRoundDone) break;
+            if (frame.type != util::FrameType::kTelemetry) continue;
+            ++frame.hops;  // one more edge on the way up
+            if (!write_frame(parent_fd, frame)) ::_exit(0);
+          }
+        }
+        if (!write_frame(parent_fd, control_frame(util::FrameType::kRoundDone,
+                                                  static_cast<std::uint32_t>(agent), in.round))) {
+          ::_exit(0);
+        }
+        continue;
+      }
       if (in.type != util::FrameType::kEstimate) continue;
 
       // Relay the estimate down before anything else, so a die_at_round
@@ -227,8 +271,44 @@ void SocketTransport::agent_main(std::size_t agent) {
   }
 }
 
+std::vector<AgentBlob> SocketTransport::collect_telemetry() {
+  telemetry::ScopedSpan span("transport.collect_telemetry");
+  std::vector<AgentBlob> blobs;
+  if (!telemetry_fn_) return blobs;
+  const std::string request_bytes =
+      util::encode_frame(control_frame(util::FrameType::kTelemetry, util::kCoordinatorAgent, 0));
+  for (std::size_t c = 0; c < root_children_.size(); ++c) {
+    if (link_alive_[c] && !write_all(up_fd_[root_children_[c]], request_bytes)) {
+      link_alive_[c] = 0;
+      note_death();
+    }
+  }
+  const std::function<void()> on_retry = [this] { note_retry(); };
+  for (std::size_t c = 0; c < root_children_.size(); ++c) {
+    if (!link_alive_[c]) continue;
+    for (;;) {
+      util::Frame frame;
+      const IoStatus status = read_frame(up_fd_[root_children_[c]], &frame, options_.timeout_ms,
+                                         options_.max_retries, on_retry);
+      if (status != IoStatus::kOk) {
+        link_alive_[c] = 0;
+        note_death();
+        break;
+      }
+      if (frame.type == util::FrameType::kRoundDone) break;
+      if (frame.type != util::FrameType::kTelemetry) continue;
+      blobs.push_back(AgentBlob{frame.agent, util::unpack_blob(frame.payload)});
+    }
+  }
+  std::sort(blobs.begin(), blobs.end(),
+            [](const AgentBlob& a, const AgentBlob& b) { return a.agent < b.agent; });
+  return blobs;
+}
+
 std::vector<util::Frame> SocketTransport::exchange(std::size_t round,
                                                    const linalg::Vector& estimate) {
+  telemetry::ScopedSpan span("transport.exchange");
+  span.attr("round", static_cast<std::uint64_t>(round));
   util::Frame down;
   down.type = util::FrameType::kEstimate;
   down.agent = util::kCoordinatorAgent;

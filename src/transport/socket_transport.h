@@ -40,14 +40,22 @@ inline constexpr std::size_t kNeverDies = std::numeric_limits<std::size_t>::max(
 
 class SocketTransport : public Transport {
  public:
-  /// Forks the n agent processes immediately.  @p agent_fn runs inside
-  /// the forked children, one agent each; it must not touch threads or
-  /// global mutable state (see agent_replica.h).
-  SocketTransport(Topology topology, std::size_t n, AgentFn agent_fn, SocketOptions options = {});
+  /// Forks the n agent processes immediately.  @p agent_fn (and
+  /// @p telemetry_fn, when set) run inside the forked children, one
+  /// agent each; they must not touch threads or global mutable state
+  /// (see agent_replica.h).
+  SocketTransport(Topology topology, std::size_t n, AgentFn agent_fn, SocketOptions options = {},
+                  TelemetryFn telemetry_fn = {});
   ~SocketTransport() override;
 
   std::vector<util::Frame> exchange(std::size_t round, const linalg::Vector& estimate) override;
   std::string name() const override { return "socket"; }
+
+  /// Runs one kTelemetry collection sweep: the request walks down the
+  /// tree, every live agent ships its serialized island back up (relays
+  /// forward their subtree's blobs like gradient frames).  Dead links
+  /// cost their subtree's blobs, never the sweep.
+  std::vector<AgentBlob> collect_telemetry() override;
 
   /// Agents whose coordinator-side link is still alive.
   std::size_t live_root_links() const;
@@ -57,6 +65,7 @@ class SocketTransport : public Transport {
   void shutdown_agents();
 
   AgentFn agent_fn_;
+  TelemetryFn telemetry_fn_;
   SocketOptions options_;
   std::vector<int> up_fd_;    ///< parent-of-i side of agent i's edge
   std::vector<int> down_fd_;  ///< agent-i side of its edge (children only)

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/span.h"
+
 namespace redopt::transport {
 
 Transport::Transport(Topology topology, std::size_t n)
@@ -43,11 +45,15 @@ void Transport::finish_exchange(std::vector<util::Frame>& frames, std::size_t es
 void Transport::note_retry() {
   ++stats_.messages_retried;
   metric_retried_.inc();
+  // Whether a read needed a retry is timing, not computation: the
+  // instant is flagged kUnstable so stable projections drop the record.
+  telemetry::span_instant("transport.retry", {}, telemetry::Determinism::kUnstable);
 }
 
 void Transport::note_death() {
   ++stats_.agent_deaths;
   metric_deaths_.inc();
+  telemetry::span_instant("transport.agent_death", {}, telemetry::Determinism::kUnstable);
 }
 
 }  // namespace redopt::transport

@@ -33,6 +33,18 @@ namespace redopt::transport {
 using AgentFn = std::function<std::vector<util::Frame>(std::size_t agent, std::size_t round,
                                                        const linalg::Vector& estimate)>;
 
+/// Serializes one agent's telemetry island (telemetry/ship.h) at
+/// collection time.  Runs agent-side: in-process on the inproc backend,
+/// inside the forked agent process on the socket backend — so, like
+/// AgentFn, it must be deterministic in the agent's own state.
+using TelemetryFn = std::function<std::string(std::size_t agent)>;
+
+/// One shipped telemetry blob, tagged by the agent that produced it.
+struct AgentBlob {
+  std::uint32_t agent = 0;
+  std::string blob;
+};
+
 /// Traffic observables of one transport.  Everything except the two
 /// kUnstable-flagged counters is a pure function of the execution, equal
 /// across backends and thread counts.
@@ -58,6 +70,13 @@ class Transport {
   virtual std::vector<util::Frame> exchange(std::size_t round, const linalg::Vector& estimate) = 0;
 
   virtual std::string name() const = 0;
+
+  /// Gathers every live agent's serialized telemetry island, ascending
+  /// by agent id.  Call at most once, after the last exchange; backends
+  /// without a TelemetryFn return nothing.  On the socket backend this
+  /// runs a dedicated kTelemetry collection sweep over the topology, and
+  /// agents whose link died are simply absent from the result.
+  virtual std::vector<AgentBlob> collect_telemetry() { return {}; }
 
   Topology topology() const { return topology_; }
   std::size_t num_agents() const { return n_; }

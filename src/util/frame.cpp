@@ -1,5 +1,6 @@
 #include "util/frame.h"
 
+#include <cmath>
 #include <cstring>
 
 #include "util/error.h"
@@ -59,7 +60,7 @@ const std::uint32_t* crc_table() {
 
 bool known_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(FrameType::kEstimate) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kShutdown);
+         raw <= static_cast<std::uint8_t>(FrameType::kTelemetry);
 }
 
 }  // namespace
@@ -131,6 +132,10 @@ Frame decode_frame_body(const unsigned char* body, std::size_t size) {
     const std::uint64_t bits = get_u64(body + kHeaderSize + 8 * static_cast<std::size_t>(k));
     std::memcpy(&frame.payload[k], &bits, sizeof(double));
   }
+  // A telemetry frame's payload is a packed blob; its self-declared byte
+  // count must agree with the payload size, or the frame is corrupt even
+  // though the checksum matched (e.g. a re-checksummed hostile frame).
+  if (frame.type == FrameType::kTelemetry && count > 0) validate_blob_payload(frame.payload);
   return frame;
 }
 
@@ -141,6 +146,35 @@ Frame decode_frame(const std::string& bytes) {
   REDOPT_REQUIRE(bytes.size() == 4 + static_cast<std::size_t>(body_length),
                  "frame: length prefix disagrees with the buffer size");
   return decode_frame_body(data + 4, body_length);
+}
+
+std::vector<double> pack_blob(const std::string& bytes) {
+  std::vector<double> packed(1 + (bytes.size() + 7) / 8, 0.0);
+  packed[0] = static_cast<double>(bytes.size());
+  if (!bytes.empty()) std::memcpy(packed.data() + 1, bytes.data(), bytes.size());
+  return packed;
+}
+
+void validate_blob_payload(const std::vector<double>& payload) {
+  REDOPT_REQUIRE(!payload.empty(), "blob: empty payload");
+  const double declared = payload[0];
+  // The declared length is a small non-negative integer stored in a
+  // double; anything else (NaN, fractional, negative) is corruption.
+  REDOPT_REQUIRE(declared >= 0.0 && declared == std::floor(declared) &&
+                     declared <= 8.0 * static_cast<double>(kMaxPayloadDoubles),
+                 "blob: declared byte count is not a valid length");
+  const auto size = static_cast<std::size_t>(declared);
+  const std::size_t room = 8 * (payload.size() - 1);
+  REDOPT_REQUIRE(size <= room, "blob: declared byte count exceeds the payload");
+  REDOPT_REQUIRE(room - size < 8, "blob: declared byte count disagrees with the payload size");
+}
+
+std::string unpack_blob(const std::vector<double>& payload) {
+  validate_blob_payload(payload);
+  const auto size = static_cast<std::size_t>(payload[0]);
+  std::string bytes(size, '\0');
+  if (size > 0) std::memcpy(bytes.data(), payload.data() + 1, size);
+  return bytes;
 }
 
 }  // namespace redopt::util

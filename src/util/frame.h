@@ -30,12 +30,15 @@
 namespace redopt::util {
 
 /// Protocol frame kinds.  kEstimate flows root -> leaves, kGradient flows
-/// leaves -> root, kRoundDone / kShutdown are socket-backend flow control.
+/// leaves -> root, kRoundDone / kShutdown are socket-backend flow control,
+/// kTelemetry carries a blob-packed telemetry snapshot (request downward
+/// from the coordinator, per-agent snapshot blobs upward).
 enum class FrameType : std::uint8_t {
   kEstimate = 1,
   kGradient = 2,
   kRoundDone = 3,
   kShutdown = 4,
+  kTelemetry = 5,
 };
 
 /// Sender id used on coordinator-originated frames (estimate, shutdown).
@@ -71,5 +74,22 @@ std::size_t frame_wire_size(const Frame& frame);
 
 /// Wire size of a frame carrying @p payload_doubles doubles.
 std::size_t frame_wire_size_for(std::size_t payload_doubles);
+
+/// Packs raw bytes into a frame payload: entry 0 carries the byte count,
+/// the remaining entries carry the bytes verbatim, 8 per double (the
+/// doubles are never used arithmetically — memcpy in, memcpy out, so the
+/// bits survive the codec exactly).  Used by kTelemetry frames and by the
+/// inproc transport's frame-in-message envelope.
+std::vector<double> pack_blob(const std::string& bytes);
+
+/// Inverse of pack_blob.  Throws PreconditionError when the declared
+/// byte count is absent, non-integral, out of range, or leaves more than
+/// seven bytes of padding (a well-formed packing is minimal).
+std::string unpack_blob(const std::vector<double>& payload);
+
+/// Validation of unpack_blob without materializing the bytes; decode
+/// applies it to every kTelemetry frame so a declared length that
+/// disagrees with the payload size is rejected at the codec boundary.
+void validate_blob_payload(const std::vector<double>& payload);
 
 }  // namespace redopt::util

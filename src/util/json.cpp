@@ -132,6 +132,66 @@ const std::vector<JsonValue>& JsonValue::as_array() const {
   return items;
 }
 
+// ---------------------------------------------------------------- serialize
+
+namespace {
+
+void serialize_into(const JsonValue& value, std::string& out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += value.boolean ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      if (value.has_integer) {
+        out += std::to_string(value.integer);
+      } else {
+        out += json_number(value.number);
+      }
+      return;
+    case JsonValue::Kind::kString:
+      out += '"';
+      out += json_escape(value.string);
+      out += '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& item : value.items) {
+        if (!first) out += ',';
+        first = false;
+        serialize_into(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.members) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(key);
+        out += "\":";
+        serialize_into(member, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_serialize(const JsonValue& value) {
+  std::string out;
+  serialize_into(value, out);
+  return out;
+}
+
 // ---------------------------------------------------------------- parser
 
 namespace {

@@ -80,4 +80,11 @@ class JsonValue {
 /// deeper than 64 levels.  Throws PreconditionError on any violation.
 JsonValue json_parse(const std::string& text);
 
+/// Serializes @p value compactly and deterministically: object members in
+/// stored order, integer tokens printed exactly, doubles via json_number.
+/// parse → serialize is a canonicalization (whitespace and number
+/// spellings normalize), which the telemetry stable-projection checks use
+/// to compare documents byte-for-byte.
+std::string json_serialize(const JsonValue& value);
+
 }  // namespace redopt::util

@@ -249,6 +249,79 @@ TEST(FuzzFrame, RejectsHostileLengthAndCount) {
   EXPECT_THROW(util::decode_frame(std::string()), PreconditionError);
 }
 
+namespace {
+
+std::string valid_telemetry_frame_bytes() {
+  util::Frame frame;
+  frame.type = util::FrameType::kTelemetry;
+  frame.agent = 3;
+  frame.round = 12;
+  frame.emitted = 12;
+  frame.hops = 1;
+  frame.payload = util::pack_blob(
+      R"({"agent":3,"metrics":[{"name":"replica.rounds","value":12}],"spans":[]})");
+  return util::encode_frame(frame);
+}
+
+}  // namespace
+
+TEST(FuzzFrame, MutatedTelemetryFramesNeverCrash) {
+  // kTelemetry frames add a second validation layer on top of the frame
+  // codec: the blob packing's declared byte count must agree with the
+  // payload size.  The corpus must only ever see success or the typed
+  // error out of either layer.
+  const std::string base = valid_telemetry_frame_bytes();
+  fuzz_corpus(base, 912, [](const std::string& bytes) { util::decode_frame(bytes); });
+  fuzz_corpus(base, 913, [](const std::string& bytes) {
+    const util::Frame frame = util::decode_frame(bytes);
+    if (frame.type == util::FrameType::kTelemetry) util::unpack_blob(frame.payload);
+  });
+}
+
+TEST(FuzzFrame, RejectsTelemetryLengthDisagreement) {
+  // A declared blob length that disagrees with the decoded payload size
+  // is rejected at the codec boundary, before anything trusts the bytes.
+  util::Frame frame;
+  frame.type = util::FrameType::kTelemetry;
+  frame.agent = 1;
+  frame.payload = util::pack_blob("snapshot bytes");
+
+  util::Frame overdeclared = frame;
+  overdeclared.payload[0] = static_cast<double>(8 * frame.payload.size());
+  EXPECT_THROW(util::decode_frame(util::encode_frame(overdeclared)), PreconditionError);
+
+  util::Frame negative = frame;
+  negative.payload[0] = -1.0;
+  EXPECT_THROW(util::decode_frame(util::encode_frame(negative)), PreconditionError);
+
+  util::Frame fractional = frame;
+  fractional.payload[0] += 0.5;
+  EXPECT_THROW(util::decode_frame(util::encode_frame(fractional)), PreconditionError);
+
+  util::Frame sloppy = frame;  // > 7 bytes of padding: packing not minimal
+  sloppy.payload.push_back(0.0);
+  EXPECT_THROW(util::decode_frame(util::encode_frame(sloppy)), PreconditionError);
+
+  util::Frame empty = frame;  // no count entry at all
+  empty.payload.clear();
+  EXPECT_THROW(util::unpack_blob(empty.payload), PreconditionError);
+
+  // The same payloads on a kGradient frame are plain doubles — no blob
+  // contract applies, so the codec accepts them unchanged.
+  util::Frame gradient = overdeclared;
+  gradient.type = util::FrameType::kGradient;
+  EXPECT_EQ(util::decode_frame(util::encode_frame(gradient)).payload, gradient.payload);
+}
+
+TEST(FuzzFrame, ValidTelemetryFrameRoundTrips) {
+  const std::string base = valid_telemetry_frame_bytes();
+  const util::Frame frame = util::decode_frame(base);
+  EXPECT_EQ(frame.type, util::FrameType::kTelemetry);
+  EXPECT_EQ(util::unpack_blob(frame.payload),
+            R"({"agent":3,"metrics":[{"name":"replica.rounds","value":12}],"spans":[]})");
+  EXPECT_EQ(util::encode_frame(frame), base);
+}
+
 TEST(FuzzFrame, ValidFrameSurvivesItsOwnCorpus) {
   // Sanity anchor: the unmutated base parses, so corpus rejections are
   // the checksum doing its job rather than a broken encoder.

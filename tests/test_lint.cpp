@@ -36,14 +36,14 @@ const Finding* find_rule(const std::vector<Finding>& findings, const std::string
 
 TEST(LintRuleTable, EveryRuleHasIdSummaryRationale) {
   const auto& rules = redopt::lint::rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   std::vector<std::string> ids;
   for (const auto& r : rules) {
     ids.emplace_back(r.id);
     EXPECT_NE(std::string(r.summary), "");
     EXPECT_NE(std::string(r.rationale), "");
   }
-  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "H1", "N1", "T1"}));
+  EXPECT_EQ(ids, (std::vector<std::string>{"D1", "D2", "D3", "H1", "N1", "T1", "T2"}));
 }
 
 // ---------------------------------------------------------------------------
@@ -241,6 +241,61 @@ TEST(LintT1, CleanConventionalAndFlaggedRegistrations) {
 TEST(LintT1, DoesNotApplyOutsideSrc) {
   // Tests and benches register short throwaway names ("h", "c") freely.
   EXPECT_TRUE(lint_lines("tests/test_foo.cpp", {"auto h = r.counter(\"h\");"}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// T2: duration-valued telemetry must ride the nd channel
+// ---------------------------------------------------------------------------
+
+TEST(LintT2, FlagsDurationEventFieldInStableSlot) {
+  const auto findings = lint_lines(
+      "src/dgd/foo.cpp", {"event.with(\"step_elapsed_ms\", elapsed);"});
+  ASSERT_EQ(count_rule(findings, "T2"), 1u);
+  EXPECT_NE(find_rule(findings, "T2")->message.find("with_nd"), std::string::npos);
+}
+
+TEST(LintT2, CleanWhenDurationFieldUsesWithNd) {
+  // with_nd routes the value into the nd object that sinks strip; the
+  // .with regex must not match the longer method name.
+  EXPECT_TRUE(
+      lint_lines("src/dgd/foo.cpp", {"event.with_nd(\"step_elapsed_ms\", elapsed);"}).empty());
+}
+
+TEST(LintT2, FlagsDurationSpanAttribute) {
+  const auto findings =
+      lint_lines("src/transport/foo.cpp", {"span.attr(\"exchange_duration_us\", us);"});
+  ASSERT_EQ(count_rule(findings, "T2"), 1u);
+  EXPECT_NE(find_rule(findings, "T2")->message.find("deterministic-only"), std::string::npos);
+}
+
+TEST(LintT2, FlagsSubSecondMetricWithoutUnstableFlag) {
+  const auto findings = lint_lines(
+      "src/net/foo.cpp", {"auto h = reg.histogram(\"net.rpc_elapsed_us\", layout);"});
+  ASSERT_EQ(count_rule(findings, "T2"), 1u);
+  EXPECT_NE(find_rule(findings, "T2")->message.find("kUnstable"), std::string::npos);
+}
+
+TEST(LintT2, CleanRegistrationsAndNonDurationKeys) {
+  const std::vector<std::string> lines = {
+      // Deterministic keys in stable slots are the normal case.
+      "event.with(\"round\", t).with(\"frames\", n);",
+      "span.attr(\"round\", t);",
+      // Flagged sub-second registration, multi-line statement.
+      "auto h = reg.histogram(\"net.rpc_elapsed_us\", layout,",
+      "                       telemetry::Determinism::kUnstable);",
+  };
+  EXPECT_TRUE(lint_lines("src/net/foo.cpp", lines).empty());
+}
+
+TEST(LintT2, LeavesWallClockSuffixesToT1AndSkipsNonSrc) {
+  // A bare ".seconds" registration is T1's finding, not a T2 double-report.
+  const auto findings = lint_lines(
+      "src/telemetry/foo.cpp", {"seconds_ = reg.histogram(name + \".seconds\", layout);"});
+  EXPECT_EQ(count_rule(findings, "T1"), 1u);
+  EXPECT_EQ(count_rule(findings, "T2"), 0u);
+  // tests/ and bench/ stamp durations however they like.
+  EXPECT_TRUE(
+      lint_lines("tests/test_foo.cpp", {"event.with(\"elapsed_ms\", ms);"}).empty());
 }
 
 // ---------------------------------------------------------------------------

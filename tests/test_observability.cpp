@@ -1,0 +1,366 @@
+// Observability pipeline tests: span-log semantics, the agent-island
+// blob round trip, merged-manifest and trace determinism across backends
+// and thread counts, and attribution-report reconciliation.
+//
+// The determinism tests are the teeth of the contract stated in
+// docs/OBSERVABILITY.md: run one pinned faulty scenario on the inproc
+// and socket backends (and again under different runtime thread counts),
+// and require the merged telemetry manifest and the Chrome trace to be
+// byte-identical after telemetry::stable_json_projection strips the
+// wall-clock ("nd"/"ts"/"dur") members and drops timing-dependent
+// ("unstable":true) records.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.h"
+#include "runtime/runtime.h"
+#include "telemetry/events.h"
+#include "telemetry/metrics.h"
+#include "telemetry/ship.h"
+#include "telemetry/span.h"
+#include "transport/session.h"
+#include "util/error.h"
+#include "util/json.h"
+
+using namespace redopt;
+
+namespace {
+
+/// The pinned determinism scenario: every fault kind plus channel
+/// faults, so all attribution columns and span instants move.
+chaos::Scenario faulty_scenario() {
+  chaos::Scenario s;
+  s.name = "observability-pinned";
+  s.seed = 19;
+  s.problem = "mean";
+  s.filter = "cge";
+  s.n = 8;
+  s.f = 2;
+  s.d = 2;
+  s.rounds = 30;
+
+  chaos::FaultSpec byz;
+  byz.kind = chaos::FaultSpec::Kind::kByzantine;
+  byz.agent = 0;
+  byz.from = 0;
+  byz.until = 0;
+  byz.attack = "gradient_reverse";
+  byz.attack_param = 1.0;
+
+  chaos::FaultSpec crash;
+  crash.kind = chaos::FaultSpec::Kind::kCrash;
+  crash.agent = 1;
+  crash.from = 2;
+  crash.until = 10;
+
+  chaos::FaultSpec straggler;
+  straggler.kind = chaos::FaultSpec::Kind::kStraggler;
+  straggler.agent = 2;
+  straggler.from = 1;
+  straggler.until = 0;
+  straggler.staleness = 3;
+
+  s.faults = {byz, crash, straggler};
+  s.channel.drop_probability = 0.1;
+  s.channel.duplicate_probability = 0.2;
+  s.channel.max_delay = 2;
+  return s;
+}
+
+transport::SessionOptions opts(transport::BackendKind backend,
+                               transport::Topology topology = transport::Topology::kTree) {
+  transport::SessionOptions o;
+  o.backend = backend;
+  o.topology = topology;
+  return o;
+}
+
+/// Resets the process-wide telemetry state so consecutive sessions in
+/// one test binary start from the same blank slate the CLI tools get.
+void reset_telemetry() {
+  telemetry::registry().reset();
+  telemetry::span_log().clear();
+  telemetry::set_enabled(true);
+}
+
+/// Runs the pinned scenario and returns the stable projections of the
+/// merged manifest and the Chrome trace.
+struct StableArtifacts {
+  std::string manifest;
+  std::string trace;
+  transport::ScenarioSession session;
+};
+
+StableArtifacts run_pinned(const transport::SessionOptions& options) {
+  reset_telemetry();
+  StableArtifacts out;
+  out.session = transport::run_scenario_transport(faulty_scenario(), options);
+  out.manifest = telemetry::stable_json_projection(transport::session_manifest_json(out.session));
+  out.trace = telemetry::stable_json_projection(transport::session_trace_json(out.session));
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpanLog semantics
+// ---------------------------------------------------------------------------
+
+TEST(SpanLog, NestsParentageAndClosesLifo) {
+  telemetry::SpanLog log;
+  const auto a = log.open("outer");
+  const auto b = log.open("inner");
+  log.attr(b, "round", telemetry::Value(std::int64_t{7}));
+  log.instant("tick");
+  log.close(b);
+  log.close(a);
+
+  ASSERT_EQ(log.spans().size(), 2u);
+  EXPECT_EQ(log.spans()[0].id, a);
+  EXPECT_EQ(log.spans()[0].parent, 0u);
+  EXPECT_EQ(log.spans()[1].parent, a);
+  EXPECT_TRUE(log.spans()[0].closed);
+  EXPECT_TRUE(log.spans()[1].closed);
+  ASSERT_EQ(log.spans()[1].attributes.size(), 1u);
+  EXPECT_EQ(log.spans()[1].attributes[0].first, "round");
+  ASSERT_EQ(log.instants().size(), 1u);
+  EXPECT_EQ(log.instants()[0].span, b);  // recorded inside the inner span
+}
+
+TEST(SpanLog, OutOfOrderCloseClosesInterveningSpans) {
+  telemetry::SpanLog log;
+  const auto a = log.open("outer");
+  (void)log.open("middle");
+  (void)log.open("inner");
+  log.close(a);  // closes inner and middle on the way out
+  for (const telemetry::SpanRecord& span : log.spans()) EXPECT_TRUE(span.closed);
+}
+
+TEST(SpanLog, CapacityCapCountsDropsDeterministically) {
+  telemetry::SpanLog log(2);
+  const auto a = log.open("kept1");
+  log.close(a);
+  const auto b = log.open("kept2");
+  log.close(b);
+  const auto c = log.open("dropped");
+  log.attr(c, "k", telemetry::Value(std::int64_t{1}));  // no-op past the cap
+  log.close(c);
+  log.instant("kept-i1");  // the caps are per list: instants have their own
+  log.instant("kept-i2");
+  log.instant("dropped-i3");
+
+  EXPECT_EQ(log.spans().size(), 2u);
+  EXPECT_EQ(log.instants().size(), 2u);
+  EXPECT_EQ(log.opened(), 3u);   // ids keep advancing: structure stays stable
+  EXPECT_EQ(log.dropped(), 2u);  // one span + one instant refused
+}
+
+TEST(SpanLog, ClearResetsIdsAndEpoch) {
+  telemetry::SpanLog log;
+  log.close(log.open("before"));
+  log.clear();
+  EXPECT_TRUE(log.spans().empty());
+  EXPECT_EQ(log.opened(), 0u);
+  EXPECT_EQ(log.open("after"), 1u);  // ids restart at 1
+}
+
+TEST(ScopedSpan, GlobalFormIsInertWhenDisabledExplicitLogAlwaysRecords) {
+  telemetry::set_enabled(false);
+  telemetry::span_log().clear();
+  {
+    telemetry::ScopedSpan inert("off.span");
+    inert.attr("k", telemetry::Value(std::int64_t{1}));
+    EXPECT_EQ(inert.id(), 0u);
+    telemetry::span_instant("off.instant");
+  }
+  EXPECT_TRUE(telemetry::span_log().spans().empty());
+  EXPECT_TRUE(telemetry::span_log().instants().empty());
+
+  // Per-agent islands record regardless of the global switch — the
+  // switch is fork-inherited state the backends must not depend on.
+  telemetry::SpanLog island;
+  {
+    telemetry::ScopedSpan recorded(island, "island.span");
+    EXPECT_NE(recorded.id(), 0u);
+  }
+  EXPECT_EQ(island.spans().size(), 1u);
+  telemetry::set_enabled(true);
+}
+
+// ---------------------------------------------------------------------------
+// Agent-island blob round trip
+// ---------------------------------------------------------------------------
+
+TEST(AgentShip, SnapshotSurvivesSerializeParseRoundTrip) {
+  telemetry::AgentTelemetry island;
+  auto rounds = island.registry.counter("replica.rounds");
+  rounds.inc(12);
+  auto norm = island.registry.histogram("replica.gradient_norm",
+                                        telemetry::BucketLayout::exponential(1e-3, 4.0, 12));
+  norm.observe(0.5);
+  {
+    telemetry::ScopedSpan span(island.spans, "replica.round");
+    span.attr("t", telemetry::Value(std::int64_t{3}));
+    island.spans.instant("replica.dropped", {{"t", telemetry::Value(std::int64_t{3})}});
+  }
+
+  const std::string blob = telemetry::serialize_agent_telemetry(5, island);
+  const telemetry::AgentSnapshot parsed = telemetry::parse_agent_snapshot(blob);
+
+  EXPECT_EQ(parsed.agent, 5u);
+  ASSERT_EQ(parsed.metrics.size(), 2u);  // name-sorted like Registry::snapshot()
+  EXPECT_EQ(parsed.metrics[0].name, "replica.gradient_norm");
+  EXPECT_EQ(parsed.metrics[1].name, "replica.rounds");
+  EXPECT_EQ(parsed.metrics[1].counter, 12u);
+  ASSERT_EQ(parsed.spans.size(), 1u);
+  EXPECT_EQ(parsed.spans[0].name, "replica.round");
+  ASSERT_EQ(parsed.spans[0].attributes.size(), 1u);
+  ASSERT_EQ(parsed.instants.size(), 1u);
+  EXPECT_EQ(parsed.instants[0].name, "replica.dropped");
+
+  // The round trip is canonical: re-serializing the parsed snapshot
+  // reproduces the exact bytes (both backends rely on this).
+  EXPECT_EQ(telemetry::serialize_agent_snapshot(parsed), blob);
+}
+
+TEST(AgentShip, ParseRejectsMalformedBlobs) {
+  EXPECT_THROW(telemetry::parse_agent_snapshot("not json"), PreconditionError);
+  EXPECT_THROW(telemetry::parse_agent_snapshot("{}"), PreconditionError);
+  EXPECT_THROW(telemetry::parse_agent_snapshot("[1,2,3]"), PreconditionError);
+}
+
+TEST(AgentShip, MergePrefixesPerAgentMetricNames) {
+  telemetry::AgentTelemetry island;
+  island.registry.counter("replica.rounds").inc(30);
+  const telemetry::AgentSnapshot snapshot =
+      telemetry::parse_agent_snapshot(telemetry::serialize_agent_telemetry(3, island));
+
+  const telemetry::Snapshot merged = telemetry::merge_agent_snapshots({}, {snapshot});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].name, "agent.3.replica.rounds");
+  EXPECT_EQ(merged[0].counter, 30u);
+
+  const std::string prometheus = telemetry::render_prometheus(merged);
+  EXPECT_NE(prometheus.find("redopt_agent_3_replica_rounds 30"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// stable_json_projection
+// ---------------------------------------------------------------------------
+
+TEST(StableProjection, StripsNdMembersAndUnstableRecords) {
+  const std::string projected = telemetry::stable_json_projection(
+      R"({"name":"x","nd":{"start_s":1.5},"ts":12,"dur":3,)"
+      R"("events":[{"name":"keep"},{"name":"drop","unstable":true}]})");
+  const util::JsonValue doc = util::json_parse(projected);
+  EXPECT_EQ(doc.find("nd"), nullptr);
+  EXPECT_EQ(doc.find("ts"), nullptr);
+  EXPECT_EQ(doc.find("dur"), nullptr);
+  const util::JsonValue* events = doc.find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items.size(), 1u);
+  EXPECT_EQ(events->items[0].find("name")->string, "keep");
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend and cross-thread determinism of the merged artifacts
+// ---------------------------------------------------------------------------
+
+TEST(TraceDeterminism, ManifestAndTraceAreByteIdenticalAcrossBackends) {
+  const StableArtifacts inproc = run_pinned(opts(transport::BackendKind::kInproc));
+  const StableArtifacts socket = run_pinned(opts(transport::BackendKind::kSocket));
+
+  ASSERT_EQ(inproc.session.agents.size(), 8u);
+  ASSERT_EQ(socket.session.agents.size(), 8u);
+  EXPECT_EQ(inproc.manifest, socket.manifest);
+  EXPECT_EQ(inproc.trace, socket.trace);
+}
+
+TEST(TraceDeterminism, ManifestAndTraceAreByteIdenticalAcrossThreadCounts) {
+  const std::size_t restore = runtime::threads();
+  runtime::set_threads(1);
+  const StableArtifacts one = run_pinned(opts(transport::BackendKind::kInproc));
+  runtime::set_threads(2);
+  const StableArtifacts two = run_pinned(opts(transport::BackendKind::kInproc));
+  runtime::set_threads(8);
+  const StableArtifacts eight = run_pinned(opts(transport::BackendKind::kInproc));
+  runtime::set_threads(restore);
+
+  EXPECT_EQ(one.manifest, two.manifest);
+  EXPECT_EQ(one.manifest, eight.manifest);
+  EXPECT_EQ(one.trace, two.trace);
+  EXPECT_EQ(one.trace, eight.trace);
+}
+
+TEST(TraceDeterminism, ArtifactsParseAndCoverEveryProcess) {
+  const StableArtifacts run = run_pinned(opts(transport::BackendKind::kSocket));
+
+  // The trace is one pid per process: coordinator 0 plus agents 1..8.
+  const util::JsonValue trace = util::json_parse(run.trace);
+  const util::JsonValue* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::vector<bool> seen(9, false);
+  for (const util::JsonValue& event : events->items) {
+    const std::int64_t pid = event.find("pid")->as_int(0, 64);
+    seen[static_cast<std::size_t>(pid)] = true;
+  }
+  for (std::size_t pid = 0; pid < seen.size(); ++pid) {
+    EXPECT_TRUE(seen[pid]) << "no trace events for pid " << pid;
+  }
+
+  // The manifest carries every agent island.
+  const util::JsonValue manifest = util::json_parse(run.manifest);
+  const util::JsonValue* agents = manifest.find("agents");
+  ASSERT_NE(agents, nullptr);
+  EXPECT_EQ(agents->items.size(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Attribution reconciliation
+// ---------------------------------------------------------------------------
+
+TEST(Attribution, ReportReconcilesOnBothBackends) {
+  for (const auto backend : {transport::BackendKind::kInproc, transport::BackendKind::kSocket}) {
+    const StableArtifacts run = run_pinned(opts(backend));
+    const transport::AttributionReport& report = run.session.attribution;
+
+    EXPECT_TRUE(report.frames_reconcile) << transport::to_string(backend);
+    EXPECT_TRUE(report.bytes_reconcile) << transport::to_string(backend);
+    EXPECT_TRUE(report.fates_reconcile) << transport::to_string(backend);
+    EXPECT_TRUE(report.agents_reconcile) << transport::to_string(backend);
+    ASSERT_TRUE(report.ok()) << transport::to_string(backend);
+
+    // Totals are exact equalities against the transport counters, not
+    // approximations: re-add them here so a reconcile-flag bug cannot
+    // hide a drifting cost model.
+    std::uint64_t frames = 0;
+    for (const transport::AgentAttribution& agent : report.agents) {
+      frames += agent.frames_delivered;
+    }
+    EXPECT_EQ(frames, report.stats.frames_delivered);
+    EXPECT_EQ(report.exchanges, report.stats.exchanges);
+    EXPECT_EQ(report.stats.frames_delivered, run.session.transport.frames_delivered);
+    EXPECT_EQ(report.stats.bytes_on_wire, run.session.transport.bytes_on_wire);
+  }
+}
+
+TEST(Attribution, NetworkMessageModelMatchesInprocSyncNetwork) {
+  const StableArtifacts run = run_pinned(opts(transport::BackendKind::kInproc));
+  ASSERT_TRUE(run.session.has_network);
+  EXPECT_EQ(run.session.attribution.network_messages, run.session.network.messages_delivered);
+}
+
+TEST(Attribution, ReportRendersDeterministicTextAndJson) {
+  const StableArtifacts a = run_pinned(opts(transport::BackendKind::kInproc));
+  const StableArtifacts b = run_pinned(opts(transport::BackendKind::kSocket));
+  EXPECT_EQ(a.session.attribution.to_text(), b.session.attribution.to_text());
+  EXPECT_EQ(a.session.attribution.to_json(), b.session.attribution.to_json());
+  // The JSON form parses strictly and names every agent.
+  const util::JsonValue doc = util::json_parse(a.session.attribution.to_json());
+  const util::JsonValue* agents = doc.find("agents");
+  ASSERT_NE(agents, nullptr);
+  EXPECT_EQ(agents->items.size(), 8u);
+}

@@ -15,8 +15,20 @@
 //
 //   chaos-replay --scenario repro.json --backend=socket --topology=tree
 //
-// Exit status: 0 when every property holds, 1 on a violation (so the
-// binary slots into scripts and CI directly).
+// Observability (any of these forces the transport path and switches
+// telemetry on):
+//
+//   --trace-out=trace.json   write a Chrome trace-event file of the run
+//                            (load it in Perfetto / chrome://tracing)
+//   --attribution            print the fault-attribution report, whose
+//                            per-agent/per-link totals must reconcile
+//                            exactly with the transport counters
+//   --dump-metrics           print the merged coordinator + per-agent
+//                            metrics in Prometheus text format
+//
+// Exit status: 0 when every property holds (and, with --attribution, the
+// report reconciles), 1 on a violation (so the binary slots into scripts
+// and CI directly).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -27,6 +39,9 @@
 #include "chaos/properties.h"
 #include "chaos/scenario.h"
 #include "runtime/runtime.h"
+#include "telemetry/events.h"
+#include "telemetry/metrics.h"
+#include "telemetry/ship.h"
 #include "transport/session.h"
 #include "util/cli.h"
 #include "util/error.h"
@@ -97,18 +112,49 @@ int replay(const chaos::Scenario& scenario, bool as_json) {
   return report_result(scenario, result, as_json, nullptr);
 }
 
+/// Observability outputs riding along a transport replay.
+struct ObservabilityOptions {
+  std::string trace_out;     ///< write Chrome trace JSON here (empty = off)
+  bool attribution = false;  ///< print + gate on the attribution report
+  bool dump_metrics = false; ///< print the merged Prometheus manifest
+  bool any() const { return !trace_out.empty() || attribution || dump_metrics; }
+};
+
 int replay_transport(const chaos::Scenario& scenario, bool as_json,
-                     const transport::SessionOptions& options) {
+                     const transport::SessionOptions& options,
+                     const ObservabilityOptions& observe) {
   const transport::ScenarioSession session = transport::run_scenario_transport(scenario, options);
-  return report_result(scenario, session.result, as_json, &session.transport);
+  int status = report_result(scenario, session.result, as_json, &session.transport);
+
+  if (!observe.trace_out.empty()) {
+    std::ofstream out(observe.trace_out, std::ios::binary | std::ios::trunc);
+    REDOPT_REQUIRE(out.good(), "cannot open trace output file: " + observe.trace_out);
+    out << transport::session_trace_json(session);
+    REDOPT_REQUIRE(out.good(), "failed writing trace output file: " + observe.trace_out);
+  }
+  if (observe.dump_metrics) {
+    std::cout << telemetry::render_prometheus(telemetry::merge_agent_snapshots(
+        telemetry::registry().snapshot(), session.agents));
+  }
+  if (observe.attribution) {
+    if (as_json) {
+      std::cout << session.attribution.to_json() << "\n";
+    } else {
+      std::cout << session.attribution.to_text();
+    }
+    if (!session.attribution.ok() && status == 0) status = 1;
+  }
+  return status;
 }
 
 int run(int argc, char** argv) {
   const util::Cli cli(argc, argv, {"scenario", "generate", "seed", "threads", "json", "help",
-                                   "backend", "topology"});
+                                   "backend", "topology", "trace-out", "attribution",
+                                   "dump-metrics"});
   if (cli.get_bool("help", false)) {
     std::cout << "usage: chaos-replay --scenario FILE [--threads N] [--json]\n"
               << "                    [--backend inproc|socket] [--topology star|chain|tree]\n"
+              << "                    [--trace-out FILE] [--attribution] [--dump-metrics]\n"
               << "       chaos-replay --generate K [--seed S] [--json]\n";
     return 0;
   }
@@ -128,14 +174,24 @@ int run(int argc, char** argv) {
   REDOPT_REQUIRE(!path.empty(), "pass --scenario FILE or --generate K (see --help)");
   const chaos::Scenario scenario = chaos::scenario_from_json(read_file(path));
 
-  // Either transport flag switches the replay from the in-process chaos
-  // executor to a transport session; both parses are strict and name the
-  // valid values on error.
-  if (cli.get("backend") || cli.get("topology")) {
+  ObservabilityOptions observe;
+  observe.trace_out = cli.get_string("trace-out", "");
+  observe.attribution = cli.get_bool("attribution", false);
+  observe.dump_metrics = cli.get_bool("dump-metrics", false);
+
+  // Either transport flag — or any observability flag — switches the
+  // replay from the in-process chaos executor to a transport session;
+  // the parses are strict and name the valid values on error.
+  if (cli.get("backend") || cli.get("topology") || observe.any()) {
+    // Switch telemetry on before the transport forks its agents: the
+    // coordinator's spans and the session metrics need the switch, and
+    // flipping it after the fork would not reach the agent processes
+    // (their islands record unconditionally either way).
+    if (observe.any()) telemetry::set_enabled(true);
     transport::SessionOptions options;
     options.backend = transport::backend_from_string(cli.get_string("backend", "inproc"));
     options.topology = transport::topology_from_string(cli.get_string("topology", "star"));
-    return replay_transport(scenario, as_json, options);
+    return replay_transport(scenario, as_json, options, observe);
   }
   return replay(scenario, as_json);
 }

@@ -33,6 +33,11 @@ const std::vector<RuleInfo> kRules = {
      "must be registered Determinism::kUnstable",
      "sinks key the bit-identity mask on names and the kUnstable flag; an unflagged wall-clock "
      "metric silently breaks manifest byte-identity"},
+    {"T2", "duration-valued telemetry must ride the nd channel: event fields via with_nd, "
+     "never as span attributes, and duration-unit metrics registered Determinism::kUnstable",
+     "stable event fields and span attributes are part of the cross-backend byte-identity "
+     "contract; a wall-clock duration smuggled into a stable slot diverges every manifest and "
+     "trace diff"},
 };
 
 // ---------------------------------------------------------------------------
@@ -245,6 +250,19 @@ bool is_wallclock_name(const std::string& name) {
   return ends_with(name, ".seconds") || ends_with(name, "_seconds") || ends_with(name, ".wall_s");
 }
 
+/// T2's duration-ish key predicate: the T1 wall-clock suffixes plus the
+/// sub-second units and the explicit duration/elapsed tokens.  Any key
+/// matching this names a value only a wall clock can produce.
+bool is_duration_key(const std::string& name) {
+  if (is_wallclock_name(name)) return true;
+  static const char* const kSuffixes[] = {"_ms",     "_us",     "_ns",    "_millis", "_micros",
+                                          "_nanos",  ".millis", ".micros", ".nanos"};
+  for (const char* suffix : kSuffixes) {
+    if (ends_with(name, suffix)) return true;
+  }
+  return name.find("duration") != std::string::npos || name.find("elapsed") != std::string::npos;
+}
+
 // ---------------------------------------------------------------------------
 // The scanner
 // ---------------------------------------------------------------------------
@@ -392,6 +410,58 @@ void check_t1(const Context& ctx) {
   }
 }
 
+void check_t2(const Context& ctx) {
+  if (!in_src(ctx.path)) return;
+  for (std::size_t i = 0; i < ctx.scanned.size(); ++i) {
+    const std::string& raw = ctx.raw[i];
+    // Event fields: .with("key", v) lands in the stable part of the
+    // record; a duration there must go through .with_nd instead.  The
+    // regex cannot match with_nd — '(' follows 'with' directly.
+    static const std::regex kWith(R"rx(\.with\s*\(\s*"([^"]*)")rx");
+    for (auto it = std::sregex_iterator(raw.begin(), raw.end(), kWith);
+         it != std::sregex_iterator(); ++it) {
+      const std::string key = (*it)[1].str();
+      if (is_duration_key(key)) {
+        ctx.report(i, "T2",
+                   "duration-valued event field '" + key +
+                       "' in a stable slot; use with_nd so sinks strip it from the manifest");
+      }
+    }
+    // Span attributes are stable-only by design: the span record already
+    // carries its wall-clock timing in nd members the projection strips.
+    static const std::regex kAttr(R"rx(\.attr\s*\(\s*"([^"]*)")rx");
+    for (auto it = std::sregex_iterator(raw.begin(), raw.end(), kAttr);
+         it != std::sregex_iterator(); ++it) {
+      const std::string key = (*it)[1].str();
+      if (is_duration_key(key)) {
+        ctx.report(i, "T2",
+                   "duration-valued span attribute '" + key +
+                       "'; span attributes are deterministic-only — the span's nd fields already "
+                       "record wall-clock timing");
+      }
+    }
+    // Sub-second duration-unit registrations need kUnstable exactly like
+    // T1's wall-clock suffixes (which T1 itself owns; no double report).
+    static const std::regex kCall(R"rx(\b(counter|gauge|histogram)\s*\([^;]*"([^"]*)")rx");
+    std::smatch m;
+    if (std::regex_search(raw, m, kCall)) {
+      const std::string name = m[2].str();
+      if (is_duration_key(name) && !is_wallclock_name(name)) {
+        std::string stmt = ctx.scanned[i].code;
+        for (std::size_t j = i + 1; j < ctx.scanned.size() && j < i + 4; ++j) {
+          if (stmt.find(';') != std::string::npos) break;
+          stmt += ctx.scanned[j].code;
+        }
+        if (stmt.find("kUnstable") == std::string::npos) {
+          ctx.report(i, "T2",
+                     "duration-unit metric '" + name +
+                         "' must be registered Determinism::kUnstable so sinks can mask it");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rules() { return kRules; }
@@ -411,6 +481,7 @@ std::vector<Finding> lint_lines(const std::string& path, const std::vector<std::
   check_h1(ctx);
   check_n1(ctx);
   check_t1(ctx);
+  check_t2(ctx);
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;

@@ -1,0 +1,164 @@
+// redopt-trace: validate and summarize the Chrome trace-event files that
+// chaos-replay --trace-out (and session_trace_json) produce.
+//
+//   redopt-trace --validate trace.json          # structural check + summary
+//   redopt-trace --validate trace.json --json   # machine-readable summary
+//   redopt-trace --stable trace.json            # print the stable projection
+//
+// --validate parses the file with the strict util::json_parse and checks
+// the trace-event contract the exporter promises: a top-level object with
+// a traceEvents array, every event an object carrying ph/pid/tid/name,
+// complete events ("X") with numeric ts + dur, instants ("i") with ts and
+// scope, metadata ("M") naming its process.  CI points Perfetto-bound
+// artifacts through this gate so a malformed export fails the build, not
+// the person who loads the trace.
+//
+// --stable prints telemetry::stable_json_projection of the file — the
+// byte-comparable form with wall-clock members stripped and
+// timing-dependent records dropped — for determinism diffs in scripts.
+//
+// Exit status: 0 valid, 1 contract violation, 2 I/O or parse error.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "telemetry/ship.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace redopt;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  REDOPT_REQUIRE(in.good(), "cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct TraceSummary {
+  std::size_t events = 0;
+  std::size_t metadata = 0;
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+  std::set<std::int64_t> pids;
+  std::vector<std::string> violations;
+};
+
+void check(TraceSummary& summary, bool condition, std::size_t index, const std::string& what) {
+  if (condition) return;
+  if (summary.violations.size() < 10) {
+    summary.violations.push_back("event " + std::to_string(index) + ": " + what);
+  }
+}
+
+bool is_number(const util::JsonValue* v) {
+  return v != nullptr && v->kind == util::JsonValue::Kind::kNumber;
+}
+
+bool is_string(const util::JsonValue* v) {
+  return v != nullptr && v->kind == util::JsonValue::Kind::kString;
+}
+
+TraceSummary summarize(const util::JsonValue& doc) {
+  TraceSummary summary;
+  REDOPT_REQUIRE(doc.kind == util::JsonValue::Kind::kObject,
+                 "trace: top level must be an object");
+  const util::JsonValue* events = doc.find("traceEvents");
+  REDOPT_REQUIRE(events != nullptr && events->kind == util::JsonValue::Kind::kArray,
+                 "trace: missing traceEvents array");
+  summary.events = events->items.size();
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    const util::JsonValue& event = events->items[i];
+    if (event.kind != util::JsonValue::Kind::kObject) {
+      check(summary, false, i, "not an object");
+      continue;
+    }
+    const util::JsonValue* ph = event.find("ph");
+    if (!is_string(ph)) {
+      check(summary, false, i, "missing ph");
+      continue;
+    }
+    check(summary, is_number(event.find("pid")), i, "missing pid");
+    check(summary, is_number(event.find("tid")), i, "missing tid");
+    check(summary, is_string(event.find("name")), i, "missing name");
+    if (const util::JsonValue* pid = event.find("pid"); is_number(pid)) {
+      summary.pids.insert(static_cast<std::int64_t>(pid->number));
+    }
+    const std::string& kind = ph->string;
+    if (kind == "M") {
+      ++summary.metadata;
+      check(summary, event.find("args") != nullptr, i, "metadata without args");
+    } else if (kind == "X") {
+      ++summary.spans;
+      check(summary, is_number(event.find("ts")), i, "complete event without ts");
+      check(summary, is_number(event.find("dur")), i, "complete event without dur");
+    } else if (kind == "i") {
+      ++summary.instants;
+      check(summary, is_number(event.find("ts")), i, "instant without ts");
+      check(summary, is_string(event.find("s")), i, "instant without scope");
+    } else {
+      check(summary, false, i, "unknown ph '" + kind + "'");
+    }
+  }
+  return summary;
+}
+
+int validate(const std::string& path, bool as_json) {
+  const TraceSummary summary = summarize(util::json_parse(read_file(path)));
+  const bool ok = summary.violations.empty();
+  if (as_json) {
+    std::cout << "{\"ok\":" << (ok ? "true" : "false") << ",\"events\":" << summary.events
+              << ",\"metadata\":" << summary.metadata << ",\"spans\":" << summary.spans
+              << ",\"instants\":" << summary.instants << ",\"processes\":" << summary.pids.size()
+              << ",\"violations\":[";
+    for (std::size_t i = 0; i < summary.violations.size(); ++i) {
+      if (i > 0) std::cout << ",";
+      std::cout << "\"" << util::json_escape(summary.violations[i]) << "\"";
+    }
+    std::cout << "]}\n";
+  } else {
+    std::cout << "trace: " << summary.events << " events (" << summary.metadata << " metadata, "
+              << summary.spans << " spans, " << summary.instants << " instants) across "
+              << summary.pids.size() << " processes\n";
+    for (const std::string& violation : summary.violations) {
+      std::cout << "violation: " << violation << "\n";
+    }
+    std::cout << (ok ? "ok" : "INVALID") << "\n";
+  }
+  return ok ? 0 : 1;
+}
+
+int run(int argc, char** argv) {
+  const util::Cli cli(argc, argv, {"validate", "stable", "json", "help"});
+  if (cli.get_bool("help", false)) {
+    std::cout << "usage: redopt-trace --validate FILE [--json]\n"
+              << "       redopt-trace --stable FILE\n";
+    return 0;
+  }
+  const std::string stable = cli.get_string("stable", "");
+  if (!stable.empty()) {
+    std::cout << telemetry::stable_json_projection(read_file(stable)) << "\n";
+    return 0;
+  }
+  const std::string path = cli.get_string("validate", "");
+  REDOPT_REQUIRE(!path.empty(), "pass --validate FILE or --stable FILE (see --help)");
+  return validate(path, cli.get_bool("json", false));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "redopt-trace: " << e.what() << "\n";
+    return 2;
+  }
+}
