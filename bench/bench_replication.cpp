@@ -9,8 +9,8 @@
 // "redundancy can be realized by design" remark implies.
 #include "common.h"
 
+#include "data/design.h"
 #include "data/replicated_regression.h"
-#include "redundancy/design.h"
 
 using namespace redopt;
 using linalg::Vector;
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     rng::Rng rng(seed);  // same shards/noise for every r
     const auto inst =
         data::make_replicated_regression(m, d, n, f, r, noise, Vector(d, 1.0), rng);
-    const bool covered = redundancy::covers_all_shards(inst.design, f);
+    const bool covered = data::covers_all_shards(inst.design, f);
     const double eps = redundancy::measure_redundancy(inst.problem.costs, f).epsilon;
 
     const auto honest = dgd::honest_ids(n, byzantine);

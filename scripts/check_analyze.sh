@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs redopt-analyze (module layering, FP-order authority, parallel
+# capture safety, header self-containment) over the tree.  Self-contained:
+# compiles the analyzer directly (five translation units, no
+# dependencies), so it works before the first cmake configure and in
+# minimal CI images.
+#
+#   scripts/check_analyze.sh [extra redopt-analyze args...]
+#
+# Exits nonzero on any finding not covered by the committed baseline
+# (tools/redopt-analyze/baseline.txt).  Prefers an already-built
+# build/tools/redopt-analyze/redopt-analyze when present and newer than
+# the sources.
+set -eu
+cd "$(dirname "$0")/.."
+
+BIN=build/tools/redopt-analyze/redopt-analyze
+SOURCES="tools/analysis-common/finding.cpp tools/analysis-common/scan.cpp \
+  tools/analysis-common/walker.cpp tools/redopt-analyze/model.cpp \
+  tools/redopt-analyze/analyze.cpp tools/redopt-analyze/main.cpp"
+STALE=0
+for src in $SOURCES; do
+  if [ ! -x "$BIN" ] || [ "$src" -nt "$BIN" ]; then STALE=1; fi
+done
+if [ "$STALE" = 1 ]; then
+  BIN=$(mktemp -t redopt-analyze.XXXXXX)
+  trap 'rm -f "$BIN"' EXIT
+  "${CXX:-c++}" -std=c++20 -O1 -Wall -Wextra -I tools $SOURCES -o "$BIN"
+fi
+
+"$BIN" --root "$(pwd)" "$@"

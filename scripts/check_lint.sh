@@ -12,12 +12,16 @@ set -eu
 cd "$(dirname "$0")/.."
 
 BIN=build/tools/redopt-lint/redopt-lint
-if [ ! -x "$BIN" ] || [ tools/redopt-lint/lint.cpp -nt "$BIN" ] ||
-   [ tools/redopt-lint/main.cpp -nt "$BIN" ]; then
+SOURCES="tools/analysis-common/finding.cpp tools/analysis-common/scan.cpp \
+  tools/analysis-common/walker.cpp tools/redopt-lint/lint.cpp tools/redopt-lint/main.cpp"
+STALE=0
+for src in $SOURCES; do
+  if [ ! -x "$BIN" ] || [ "$src" -nt "$BIN" ]; then STALE=1; fi
+done
+if [ "$STALE" = 1 ]; then
   BIN=$(mktemp -t redopt-lint.XXXXXX)
   trap 'rm -f "$BIN"' EXIT
-  "${CXX:-c++}" -std=c++20 -O1 -Wall -Wextra \
-    tools/redopt-lint/lint.cpp tools/redopt-lint/main.cpp -o "$BIN"
+  "${CXX:-c++}" -std=c++20 -O1 -Wall -Wextra -I tools $SOURCES -o "$BIN"
 fi
 
 "$BIN" --root "$(pwd)" "$@"

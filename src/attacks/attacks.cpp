@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::attacks {
@@ -67,12 +68,12 @@ Vector LittleIsEnoughAttack::craft(const AttackContext& ctx) const {
   const Vector mu = linalg::mean(honest);
   Vector sd(mu.size());
   for (std::size_t k = 0; k < mu.size(); ++k) {
-    double var = 0.0;
+    linalg::kernels::Sum var;
     for (const auto& g : honest) {
       const double diff = g[k] - mu[k];
-      var += diff * diff;
+      var.add(diff * diff);
     }
-    sd[k] = std::sqrt(var / static_cast<double>(honest.size()));
+    sd[k] = std::sqrt(var.value() / static_cast<double>(honest.size()));
   }
   return mu - sd * z_;
 }
@@ -114,9 +115,9 @@ Vector OrthogonalDriftAttack::craft(const AttackContext& ctx) const {
   const Vector mu = linalg::mean(honest);
   const std::size_t d = mu.size();
   if (d < 2) return Vector(d);  // no orthogonal complement in 1-D
-  double norm_sum = 0.0;
-  for (const auto& g : honest) norm_sum += g.norm();
-  const double target = aggression_ * norm_sum / static_cast<double>(honest.size());
+  linalg::kernels::Sum norm_sum;
+  for (const auto& g : honest) norm_sum.add(g.norm());
+  const double target = aggression_ * norm_sum.value() / static_cast<double>(honest.size());
   Vector dir(ctx.rng->unit_sphere(d));
   const double mu_sq = linalg::dot(mu, mu);
   if (mu_sq > 0.0) dir = dir - mu * (linalg::dot(dir, mu) / mu_sq);

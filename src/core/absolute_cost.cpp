@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::core {
@@ -20,25 +21,25 @@ AbsoluteCost::AbsoluteCost(std::vector<double> points)
 
 double AbsoluteCost::value(const Vector& x) const {
   REDOPT_REQUIRE(x.size() == 1, "absolute cost is scalar");
-  double acc = 0.0;
+  linalg::kernels::Sum acc;
   for (std::size_t j = 0; j < points_.size(); ++j) {
-    acc += weights_[j] * std::abs(x[0] - points_[j]);
+    acc.add(weights_[j] * std::abs(x[0] - points_[j]));
   }
-  return acc;
+  return acc.value();
 }
 
 Vector AbsoluteCost::gradient(const Vector& x) const {
   REDOPT_REQUIRE(x.size() == 1, "absolute cost is scalar");
-  double g = 0.0;
+  linalg::kernels::Sum g;
   for (std::size_t j = 0; j < points_.size(); ++j) {
     if (x[0] > points_[j]) {
-      g += weights_[j];
+      g.add(weights_[j]);
     } else if (x[0] < points_[j]) {
-      g -= weights_[j];
+      g.add(-weights_[j]);
     }
     // At a kink the subgradient contribution is chosen as 0.
   }
-  return Vector{g};
+  return Vector{g.value()};
 }
 
 std::unique_ptr<CostFunction> AbsoluteCost::clone() const {
@@ -53,11 +54,12 @@ std::pair<double, double> weighted_median_interval(const std::vector<double>& po
                                                    const std::vector<double>& weights) {
   REDOPT_REQUIRE(!points.empty(), "weighted median of no points");
   REDOPT_REQUIRE(points.size() == weights.size(), "point/weight count mismatch");
-  double total = 0.0;
+  linalg::kernels::Sum total_sum;
   for (double w : weights) {
     REDOPT_REQUIRE(w > 0.0, "weighted median needs positive weights");
-    total += w;
+    total_sum.add(w);
   }
+  const double total = total_sum.value();
 
   std::vector<std::size_t> order(points.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -70,14 +72,14 @@ std::pair<double, double> weighted_median_interval(const std::vector<double>& po
   // total/2 exactly, every x in [c_k, c_{k+1}] is optimal; otherwise c_k is
   // the unique minimizer.
   const double half = total / 2.0;
-  double prefix = 0.0;
+  linalg::kernels::Sum prefix;
   for (std::size_t idx = 0; idx < order.size(); ++idx) {
-    prefix += weights[order[idx]];
-    if (prefix > half + 1e-15 * total) {
+    prefix.add(weights[order[idx]]);
+    if (prefix.value() > half + 1e-15 * total) {
       const double c = points[order[idx]];
       return {c, c};
     }
-    if (std::abs(prefix - half) <= 1e-15 * total) {
+    if (std::abs(prefix.value() - half) <= 1e-15 * total) {
       // Exactly half the mass at or left of this point: the optimum is the
       // whole segment to the next point.
       REDOPT_ASSERT(idx + 1 < order.size(), "weighted median scan overran");

@@ -1,5 +1,6 @@
 #include "core/aggregate_cost.h"
 
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::core {
@@ -27,9 +28,9 @@ AggregateCost AggregateCost::average(std::vector<CostPtr> terms) {
 std::size_t AggregateCost::dimension() const { return terms_.front()->dimension(); }
 
 double AggregateCost::value(const Vector& x) const {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < terms_.size(); ++i) acc += weights_[i] * terms_[i]->value(x);
-  return acc;
+  linalg::kernels::Sum acc;
+  for (std::size_t i = 0; i < terms_.size(); ++i) acc.add(weights_[i] * terms_[i]->value(x));
+  return acc.value();
 }
 
 Vector AggregateCost::gradient(const Vector& x) const {
@@ -68,6 +69,16 @@ AggregateCost aggregate_subset(const std::vector<CostPtr>& costs,
     terms.push_back(costs[idx]);
   }
   return AggregateCost(std::move(terms));
+}
+
+double subset_value(const std::vector<CostPtr>& costs, const std::vector<std::size_t>& ids,
+                    const Vector& at) {
+  linalg::kernels::Sum acc;
+  for (std::size_t id : ids) {
+    REDOPT_REQUIRE(id < costs.size(), "subset index out of range");
+    acc.add(costs[id]->value(at));
+  }
+  return acc.value();
 }
 
 }  // namespace redopt::core

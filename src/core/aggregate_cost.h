@@ -47,4 +47,11 @@ class AggregateCost final : public CostFunction {
 AggregateCost aggregate_subset(const std::vector<CostPtr>& costs,
                                const std::vector<std::size_t>& subset);
 
+/// sum_{i in ids} costs[i]->value(at) without building an AggregateCost.
+/// Folds through linalg::kernels::Sum in @p ids order, so every caller that
+/// evaluates a loss over an agent subset (trainer traces, protocol metrics)
+/// shares one pinned accumulation order.
+double subset_value(const std::vector<CostPtr>& costs, const std::vector<std::size_t>& ids,
+                    const Vector& at);
+
 }  // namespace redopt::core

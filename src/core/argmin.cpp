@@ -57,8 +57,8 @@ MinimizerSet solve_stationarity(const Matrix& p, const Vector& rhs, double rel_t
   // x0 = V diag(1/lambda_i on the non-kernel part) V^T rhs
   Vector coeffs(d);
   for (std::size_t k = 0; k < d; ++k) {
-    double proj = 0.0;
-    for (std::size_t r = 0; r < d; ++r) proj += eig.eigenvectors(r, k) * rhs[r];
+    const double proj = linalg::kernels::dot_strided(eig.eigenvectors.data().data() + k, d,
+                                                     rhs.data().data(), 1, d);
     if (std::abs(eig.eigenvalues[k]) > rel_tol * scale) {
       coeffs[k] = proj / eig.eigenvalues[k];
     } else {
@@ -309,8 +309,8 @@ MinimizerSet SubsetArgminEvaluator::evaluate_least_squares(
   Matrix gram(d, d);
   for (std::size_t i = 0; i < d; ++i) {
     for (std::size_t j = i; j < d; ++j) {
-      double acc = 0.0;
-      for (std::size_t r = 0; r < rows; ++r) acc += a_rows_[r * d + i] * a_rows_[r * d + j];
+      const double acc =
+          linalg::kernels::dot_strided(a_rows_.data() + i, d, a_rows_.data() + j, d, rows);
       gram(i, j) = acc;
       gram(j, i) = acc;
     }

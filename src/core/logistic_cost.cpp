@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::core {
@@ -39,25 +40,25 @@ LogisticCost::LogisticCost(Matrix features, Vector labels, double reg)
 double LogisticCost::value(const Vector& w) const {
   REDOPT_REQUIRE(w.size() == dimension(), "logistic value dimension mismatch");
   const std::size_t m = features_.rows();
-  double acc = 0.0;
+  const std::size_t d = dimension();
+  linalg::kernels::Sum acc;
   for (std::size_t j = 0; j < m; ++j) {
-    double margin = 0.0;
-    for (std::size_t k = 0; k < dimension(); ++k) margin += features_(j, k) * w[k];
-    acc += log1pexp(-labels_[j] * margin);
+    const double margin = linalg::kernels::dot(features_.row_data(j), w.data().data(), d);
+    acc.add(log1pexp(-labels_[j] * margin));
   }
-  return acc / static_cast<double>(m) + 0.5 * reg_ * w.norm_squared();
+  return acc.value() / static_cast<double>(m) + 0.5 * reg_ * w.norm_squared();
 }
 
 Vector LogisticCost::gradient(const Vector& w) const {
   REDOPT_REQUIRE(w.size() == dimension(), "logistic gradient dimension mismatch");
   const std::size_t m = features_.rows();
-  Vector g(dimension());
+  const std::size_t d = dimension();
+  Vector g(d);
   for (std::size_t j = 0; j < m; ++j) {
-    double margin = 0.0;
-    for (std::size_t k = 0; k < dimension(); ++k) margin += features_(j, k) * w[k];
+    const double margin = linalg::kernels::dot(features_.row_data(j), w.data().data(), d);
     // d/dw log(1+exp(-y m)) = -y sigmoid(-y m) x
     const double coeff = -labels_[j] * sigmoid(-labels_[j] * margin);
-    for (std::size_t k = 0; k < dimension(); ++k) g[k] += coeff * features_(j, k);
+    linalg::kernels::axpy(g.data().data(), coeff, features_.row_data(j), d);
   }
   g /= static_cast<double>(m);
   g += w * reg_;
@@ -70,8 +71,7 @@ std::optional<Matrix> LogisticCost::hessian(const Vector& w) const {
   const std::size_t d = dimension();
   Matrix h(d, d);
   for (std::size_t j = 0; j < m; ++j) {
-    double margin = 0.0;
-    for (std::size_t k = 0; k < d; ++k) margin += features_(j, k) * w[k];
+    const double margin = linalg::kernels::dot(features_.row_data(j), w.data().data(), d);
     const double s = sigmoid(margin);
     const double coeff = s * (1.0 - s) / static_cast<double>(m);
     for (std::size_t p = 0; p < d; ++p)
@@ -96,8 +96,7 @@ double LogisticCost::accuracy(const Matrix& features, const Vector& labels, cons
   if (features.rows() == 0) return 0.0;
   std::size_t correct = 0;
   for (std::size_t j = 0; j < features.rows(); ++j) {
-    double margin = 0.0;
-    for (std::size_t k = 0; k < w.size(); ++k) margin += features(j, k) * w[k];
+    const double margin = linalg::kernels::dot(features.row_data(j), w.data().data(), w.size());
     if (margin * labels[j] > 0.0) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(features.rows());

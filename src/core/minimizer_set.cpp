@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::core {
@@ -19,8 +20,9 @@ MinimizerSet MinimizerSet::affine(Vector x0, Matrix basis) {
   // Verify orthonormality of the basis columns.
   for (std::size_t i = 0; i < basis.cols(); ++i) {
     for (std::size_t j = i; j < basis.cols(); ++j) {
-      double dotij = 0.0;
-      for (std::size_t r = 0; r < basis.rows(); ++r) dotij += basis(r, i) * basis(r, j);
+      const double dotij = linalg::kernels::dot_strided(
+          basis.data().data() + i, basis.cols(), basis.data().data() + j, basis.cols(),
+          basis.rows());
       const double expected = (i == j) ? 1.0 : 0.0;
       REDOPT_REQUIRE(std::abs(dotij - expected) <= 1e-8,
                      "affine basis columns must be orthonormal");
@@ -61,8 +63,8 @@ Vector MinimizerSet::project(const Vector& x) const {
   Vector p = point_;
   const Vector delta = x - point_;
   for (std::size_t k = 0; k < basis_.cols(); ++k) {
-    double coeff = 0.0;
-    for (std::size_t r = 0; r < basis_.rows(); ++r) coeff += basis_(r, k) * delta[r];
+    const double coeff = linalg::kernels::dot_strided(basis_.data().data() + k, basis_.cols(),
+                                                      delta.data().data(), 1, basis_.rows());
     for (std::size_t r = 0; r < basis_.rows(); ++r) p[r] += coeff * basis_(r, k);
   }
   return p;
@@ -81,8 +83,8 @@ bool subspace_contains(const Matrix& a, const Matrix& b, double tol) {
     Vector col = b.col(k);
     Vector residual = col;
     for (std::size_t j = 0; j < a.cols(); ++j) {
-      double coeff = 0.0;
-      for (std::size_t r = 0; r < a.rows(); ++r) coeff += a(r, j) * col[r];
+      const double coeff = linalg::kernels::dot_strided(a.data().data() + j, a.cols(),
+                                                        col.data().data(), 1, a.rows());
       for (std::size_t r = 0; r < a.rows(); ++r) residual[r] -= coeff * a(r, j);
     }
     if (residual.norm() > tol) return false;

@@ -1,5 +1,6 @@
 #include "core/smoothed_hinge_cost.h"
 
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::core {
@@ -17,30 +18,30 @@ SmoothedHingeCost::SmoothedHingeCost(Matrix features, Vector labels, double reg,
 double SmoothedHingeCost::value(const Vector& w) const {
   REDOPT_REQUIRE(w.size() == dimension(), "hinge value dimension mismatch");
   const std::size_t m = features_.rows();
-  double acc = 0.0;
+  const std::size_t d = dimension();
+  linalg::kernels::Sum acc;
   for (std::size_t j = 0; j < m; ++j) {
-    double margin = 0.0;
-    for (std::size_t k = 0; k < dimension(); ++k) margin += features_(j, k) * w[k];
+    const double margin = linalg::kernels::dot(features_.row_data(j), w.data().data(), d);
     const double z = labels_[j] * margin;
     if (z >= 1.0) {
       // zero loss
     } else if (z > 1.0 - h_) {
       const double u = 1.0 - z;
-      acc += u * u / (2.0 * h_);
+      acc.add(u * u / (2.0 * h_));
     } else {
-      acc += 1.0 - z - h_ / 2.0;
+      acc.add(1.0 - z - h_ / 2.0);
     }
   }
-  return acc / static_cast<double>(m) + 0.5 * reg_ * w.norm_squared();
+  return acc.value() / static_cast<double>(m) + 0.5 * reg_ * w.norm_squared();
 }
 
 Vector SmoothedHingeCost::gradient(const Vector& w) const {
   REDOPT_REQUIRE(w.size() == dimension(), "hinge gradient dimension mismatch");
   const std::size_t m = features_.rows();
-  Vector g(dimension());
+  const std::size_t d = dimension();
+  Vector g(d);
   for (std::size_t j = 0; j < m; ++j) {
-    double margin = 0.0;
-    for (std::size_t k = 0; k < dimension(); ++k) margin += features_(j, k) * w[k];
+    const double margin = linalg::kernels::dot(features_.row_data(j), w.data().data(), d);
     const double z = labels_[j] * margin;
     double dloss_dz;
     if (z >= 1.0) {
@@ -52,7 +53,7 @@ Vector SmoothedHingeCost::gradient(const Vector& w) const {
     }
     if (dloss_dz != 0.0) {
       const double coeff = dloss_dz * labels_[j];
-      for (std::size_t k = 0; k < dimension(); ++k) g[k] += coeff * features_(j, k);
+      linalg::kernels::axpy(g.data().data(), coeff, features_.row_data(j), d);
     }
   }
   g /= static_cast<double>(m);

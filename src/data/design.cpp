@@ -1,11 +1,11 @@
-#include "redundancy/design.h"
+#include "data/design.h"
 
 #include <algorithm>
 
 #include "util/error.h"
 #include "util/subsets.h"
 
-namespace redopt::redundancy {
+namespace redopt::data {
 
 ReplicationDesign cyclic_replication(std::size_t num_shards, std::size_t num_agents,
                                      std::size_t replication) {
@@ -71,4 +71,4 @@ std::size_t max_covered_f(const ReplicationDesign& design) {
   return best;
 }
 
-}  // namespace redopt::redundancy
+}  // namespace redopt::data

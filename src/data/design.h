@@ -13,14 +13,17 @@
 //   x*) every admissible aggregate has the same argmin — exact
 //   2f-redundancy by construction.
 //
-// data/replicated_regression.h instantiates this for linear regression;
-// bench_replication sweeps r to show the r = 2f + 1 threshold.
+// The layout lives in data/ (it is how instances are *constructed*; the
+// redundancy/ module *measures* the property on finished cost families,
+// one layer up).  data/replicated_regression.h instantiates this for
+// linear regression; bench_replication sweeps r to show the r = 2f + 1
+// threshold.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
-namespace redopt::redundancy {
+namespace redopt::data {
 
 /// A shard-to-agent assignment.
 struct ReplicationDesign {
@@ -45,4 +48,4 @@ bool covers_all_shards(const ReplicationDesign& design, std::size_t f);
 /// with covers_all_shards(design, f) true, 0 when none).
 std::size_t max_covered_f(const ReplicationDesign& design);
 
-}  // namespace redopt::redundancy
+}  // namespace redopt::data

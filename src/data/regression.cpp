@@ -4,7 +4,6 @@
 #include <limits>
 
 #include "linalg/decompose.h"
-#include "redundancy/redundancy.h"
 #include "util/error.h"
 #include "util/subsets.h"
 
@@ -33,10 +32,26 @@ Matrix redundant_matrix(std::size_t n, std::size_t d, std::size_t f, rng::Rng& r
       const auto row = rng.unit_sphere(d);
       for (std::size_t c = 0; c < d; ++c) a(r, c) = row[c];
     }
-    if (redundancy::regression_rank_condition(a, f)) return a;
+    if (regression_rank_condition(a, f)) return a;
   }
   REDOPT_REQUIRE(false, "failed to draw a 2f-redundant matrix (should be measure-1)");
   return {};  // unreachable
+}
+
+bool regression_rank_condition(const linalg::Matrix& a, std::size_t f, double rel_tol) {
+  const std::size_t n = a.rows();
+  const std::size_t d = a.cols();
+  REDOPT_REQUIRE(n > 2 * f, "rank condition requires n > 2f");
+  if (n - 2 * f < d) return false;  // too few rows to ever reach rank d
+  bool ok = true;
+  util::for_each_subset(n, n - 2 * f, [&](const std::vector<std::size_t>& rows) {
+    if (linalg::rank(a.select_rows(rows), rel_tol) < d) {
+      ok = false;
+      return false;  // stop early
+    }
+    return true;
+  });
+  return ok;
 }
 
 RegressionInstance make_regression(const Matrix& a, const Vector& x_star, double noise_sigma,

@@ -44,6 +44,13 @@ Matrix paper_matrix();
 Matrix redundant_matrix(std::size_t n, std::size_t d, std::size_t f, rng::Rng& rng,
                         std::size_t max_attempts = 100);
 
+/// The constructive rank condition the generators above enforce: with
+/// agent i holding observation row i of @p a, 2f-redundancy (noiseless)
+/// holds iff every (n - 2f)-row submatrix has full column rank d.  Lives
+/// here with the generators; redundancy::regression_rank_condition
+/// (the measurement layer, one module up) delegates to this.
+bool regression_rank_condition(const linalg::Matrix& a, std::size_t f, double rel_tol = 1e-10);
+
 /// Builds the per-agent costs for observations B = A x* + noise, where the
 /// noise is iid Gaussian with standard deviation @p noise_sigma.
 RegressionInstance make_regression(const Matrix& a, const Vector& x_star, double noise_sigma,

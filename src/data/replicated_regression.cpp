@@ -18,7 +18,7 @@ ReplicatedRegressionInstance make_replicated_regression(std::size_t num_shards, 
 
   ReplicatedRegressionInstance inst;
   inst.x_star = x_star;
-  inst.design = redundancy::cyclic_replication(num_shards, n, replication);
+  inst.design = cyclic_replication(num_shards, n, replication);
 
   // Unit-norm base rows with full column rank.
   for (int attempt = 0;; ++attempt) {

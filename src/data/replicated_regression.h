@@ -1,11 +1,11 @@
 // Replicated-shard distributed regression: 2f-redundancy by design.
 //
 // m observation rows ("shards") are assigned to n agents with a cyclic
-// replication layout (redundancy/design.h); agent i's cost is the
+// replication layout (data/design.h); agent i's cost is the
 // least-squares cost over its shard set.  This is the constructive
 // "realize 2f-redundancy by design" recipe the paper sketches for
 // distributed sensing/learning.  Replication factor r >= 2f + 1 makes
-// every admissible agent subset cover all shards (redundancy/design.h),
+// every admissible agent subset cover all shards (data/design.h),
 // which is what keeps the layout redundant *robustly*: with noiseless
 // observations any full-rank subset already minimizes at x*, but under
 // observation noise subsets that share more shards have closer
@@ -15,8 +15,8 @@
 #pragma once
 
 #include "core/problem.h"
+#include "data/design.h"
 #include "linalg/matrix.h"
-#include "redundancy/design.h"
 #include "rng/rng.h"
 
 namespace redopt::data {
@@ -27,7 +27,7 @@ using linalg::Vector;
 /// A replicated regression instance.
 struct ReplicatedRegressionInstance {
   core::MultiAgentProblem problem;          ///< agent i holds its shard rows
-  redundancy::ReplicationDesign design;     ///< the shard layout
+  ReplicationDesign design;                 ///< the shard layout
   Matrix shard_rows;                        ///< m x d base observation rows
   Vector shard_observations;                ///< m noisy observations
   Vector x_star;                            ///< ground truth

@@ -3,6 +3,7 @@
 #include <deque>
 #include <limits>
 
+#include "core/aggregate_cost.h"
 #include "core/batch_gradient.h"
 #include "filters/instrumented.h"
 #include "filters/norm_cache.h"
@@ -69,9 +70,7 @@ TrainResult train_async(const core::MultiAgentProblem& problem,
   }
 
   auto honest_loss = [&](const linalg::Vector& at) {
-    double acc = 0.0;
-    for (std::size_t id : honest) acc += problem.costs[id]->value(at);
-    return acc;
+    return core::subset_value(problem.costs, honest, at);
   };
 
   filters::FilterPtr filter = base.filter;

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "dgd/trainer.h"
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::dgd {
@@ -49,7 +50,7 @@ DescentProbeResult probe_descent_condition(const core::MultiAgentProblem& proble
     DescentShell shell;
     shell.radius = radius;
     shell.min_phi = std::numeric_limits<double>::infinity();
-    double phi_sum = 0.0;
+    linalg::kernels::Sum phi_sum;
 
     for (std::size_t s = 0; s < config.samples_per_radius; ++s) {
       const linalg::Vector x =
@@ -79,9 +80,9 @@ DescentProbeResult probe_descent_condition(const core::MultiAgentProblem& proble
 
       const double phi = linalg::dot(x - reference, filter.apply(gradients));
       shell.min_phi = std::min(shell.min_phi, phi);
-      phi_sum += phi;
+      phi_sum.add(phi);
     }
-    shell.mean_phi = phi_sum / static_cast<double>(config.samples_per_radius);
+    shell.mean_phi = phi_sum.value() / static_cast<double>(config.samples_per_radius);
     result.shells.push_back(shell);
   }
 

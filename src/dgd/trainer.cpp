@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/aggregate_cost.h"
 #include "filters/instrumented.h"
 #include "runtime/runtime.h"
 #include "telemetry/events.h"
@@ -90,9 +91,7 @@ OnlineTrainer::OnlineTrainer(const core::MultiAgentProblem& problem,
 }
 
 double OnlineTrainer::honest_loss() const {
-  double acc = 0.0;
-  for (std::size_t id : honest_) acc += problem_.costs[id]->value(x_);
-  return acc;
+  return core::subset_value(problem_.costs, honest_, x_);
 }
 
 linalg::Vector OnlineTrainer::step() {

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "filters/krum.h"
+#include "linalg/kernels.h"
 #include "filters/norm_cache.h"
 #include "util/error.h"
 
@@ -81,9 +82,7 @@ Vector BulyanFilter::apply_with_cache(const std::vector<Vector>& gradients,
     std::sort(column, column + theta, [median](double a, double b) {
       return std::abs(a - median) < std::abs(b - median);
     });
-    double acc = 0.0;
-    for (std::size_t i = 0; i < beta; ++i) acc += column[i];
-    out[k] = acc / static_cast<double>(beta);
+    out[k] = linalg::kernels::sum(column, beta) / static_cast<double>(beta);
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::filters {
@@ -26,14 +27,15 @@ Vector GeometricMedianFilter::weiszfeld(const std::vector<Vector>& points, doubl
   Vector z_next(z.size());
   for (std::size_t it = 0; it < max_iterations; ++it) {
     std::fill(numerator.begin(), numerator.end(), 0.0);
-    double denominator = 0.0;
+    linalg::kernels::Sum denominator;
     for (const auto& p : points) {
       const double dist = std::max(linalg::distance(z, p), smoothing);
       const double w = 1.0 / dist;
       linalg::axpy(numerator, w, p);
-      denominator += w;
+      denominator.add(w);
     }
-    for (std::size_t i = 0; i < z.size(); ++i) z_next[i] = numerator[i] / denominator;
+    const double denom = denominator.value();
+    for (std::size_t i = 0; i < z.size(); ++i) z_next[i] = numerator[i] / denom;
     const double moved = linalg::distance(z, z_next);
     std::swap(z, z_next);
     if (moved < tol) break;

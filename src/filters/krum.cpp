@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "filters/norm_cache.h"
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::filters {
@@ -58,8 +59,7 @@ std::size_t krum_select_cached(const std::vector<Vector>& gradients,
     // historical single-shot behaviour (deterministic for a given input).
     // krum_select_iterative sums the same values in ascending order; see
     // docs/PERFORMANCE.md for why that last-ulp difference is acceptable.
-    double score = 0.0;
-    for (std::size_t k = 0; k < neighbourhood; ++k) score += dists[k];
+    const double score = linalg::kernels::sum(dists.data(), neighbourhood);
     if (score < best_score || (score == best_score && best < n && lex_less(i, best))) {
       best_score = score;
       best = i;
@@ -113,8 +113,7 @@ std::vector<std::size_t> krum_select_iterative(const std::vector<Vector>& gradie
         break;
       }
       const std::vector<double>& dists = sorted[i];
-      double score = 0.0;
-      for (std::size_t k = 0; k < neighbourhood; ++k) score += dists[k];
+      const double score = linalg::kernels::sum(dists.data(), neighbourhood);
       if (score < best_score || (score == best_score && best < n && lex_less(i, best))) {
         best_score = score;
         best = i;

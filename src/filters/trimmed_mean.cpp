@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "filters/norm_cache.h"
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::filters {
@@ -24,9 +25,7 @@ Vector CwtmFilter::apply(const std::vector<Vector>& gradients) const {
   for (std::size_t k = 0; k < d; ++k) {
     double* column = columns.data() + k * n_;
     std::sort(column, column + n_);
-    double acc = 0.0;
-    for (std::size_t i = f_; i < n_ - f_; ++i) acc += column[i];
-    out[k] = acc / static_cast<double>(n_ - 2 * f_);
+    out[k] = linalg::kernels::sum(column + f_, n_ - 2 * f_) / static_cast<double>(n_ - 2 * f_);
   }
   return out;
 }

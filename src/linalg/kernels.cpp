@@ -66,6 +66,20 @@ double distance_squared(const double* a, const double* b, std::size_t n) {
   return ((s0 + s1) + (s2 + s3)) + tail;
 }
 
+double sum(const double* a, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i];
+    s1 += a[i + 1];
+    s2 += a[i + 2];
+    s3 += a[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i];
+  return ((s0 + s1) + (s2 + s3)) + tail;
+}
+
 #else  // strict mode (default): single accumulator, ascending index order
 
 double dot(const double* a, const double* b, std::size_t n) {
@@ -89,7 +103,20 @@ double distance_squared(const double* a, const double* b, std::size_t n) {
   return acc;
 }
 
+double sum(const double* a, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i];
+  return acc;
+}
+
 #endif  // REDOPT_FAST_KERNELS
+
+double dot_strided(const double* a, std::size_t stride_a, const double* b, std::size_t stride_b,
+                   std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i * stride_a] * b[i * stride_b];
+  return acc;
+}
 
 void axpy(double* y, double alpha, const double* x, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];

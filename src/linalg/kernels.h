@@ -68,4 +68,37 @@ void matvec_transposed(const double* a, std::size_t rows, std::size_t cols, cons
 void gemm_add(const double* a, const double* b, double* c, std::size_t m, std::size_t k,
               std::size_t n);
 
+/// sum a_i over n contiguous entries.  Strict mode: single accumulator in
+/// ascending index order; fast mode: 4-lane partial sums (same reordering
+/// contract as dot / norm_squared).
+double sum(const double* a, std::size_t n);
+
+/// <a, b> over n entries read with the given strides (a[i * stride_a],
+/// b[i * stride_b]).  Always a single accumulator in ascending i order —
+/// strided access does not vectorize profitably, so there is no fast-mode
+/// variant and the result is bit-identical in both builds.  The column-dot
+/// inside Gram-matrix assembly is the canonical caller.
+double dot_strided(const double* a, std::size_t stride_a, const double* b, std::size_t stride_b,
+                   std::size_t n);
+
+/// Streamed reduction with pinned evaluation order, for accumulations
+/// whose terms arrive one call at a time (per-agent cost values, per-shell
+/// probe statistics) rather than as a contiguous array.  add() folds each
+/// term into a single accumulator in call order in BOTH build modes: a
+/// streaming sum cannot be reordered without buffering, so Sum is the one
+/// kernel whose result never depends on REDOPT_FAST_KERNELS.  Every
+/// floating-point accumulation loop outside this layer should either call
+/// sum()/dot() on a staged buffer or fold through a Sum — that is what
+/// keeps the FP-order authority in one place (redopt-analyze rule B1).
+class Sum {
+ public:
+  /// Folds @p term into the running total (strict call order).
+  void add(double term) { total_ += term; }
+  /// The running total; identity (0.0) when nothing was added.
+  double value() const { return total_; }
+
+ private:
+  double total_ = 0.0;
+};
+
 }  // namespace redopt::linalg::kernels

@@ -51,6 +51,10 @@ class Matrix {
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 
+  /// Raw pointer to row @p r inside the row-major storage (cols() entries);
+  /// the fast path for handing a row to the linalg kernels without copying.
+  const double* row_data(std::size_t r) const { return data_.data() + r * cols_; }
+
   /// Bounds-checked access.
   double& at(std::size_t r, std::size_t c);
   double at(std::size_t r, std::size_t c) const;

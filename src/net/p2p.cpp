@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "core/aggregate_cost.h"
 #include "net/byzantine_broadcast.h"
 #include "net/om_protocol.h"
 #include "util/error.h"
@@ -46,9 +47,7 @@ P2pResult run_p2p_protocol(const core::MultiAgentProblem& problem,
   }
 
   auto honest_loss = [&](const linalg::Vector& at) {
-    double acc = 0.0;
-    for (std::size_t id : honest) acc += problem.costs[id]->value(at);
-    return acc;
+    return core::subset_value(problem.costs, honest, at);
   };
 
   P2pResult result;

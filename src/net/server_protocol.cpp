@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "core/aggregate_cost.h"
 #include "util/error.h"
 
 namespace redopt::net {
@@ -220,9 +221,7 @@ ServerProtocolResult run_server_protocol(const core::MultiAgentProblem& problem,
   SyncNetwork network(std::move(nodes));
 
   auto honest_loss = [&](const Vector& at) {
-    double acc = 0.0;
-    for (std::size_t id : honest) acc += problem.costs[id]->value(at);
-    return acc;
+    return core::subset_value(problem.costs, honest, at);
   };
 
   ServerProtocolResult result;

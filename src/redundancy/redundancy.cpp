@@ -5,7 +5,7 @@
 
 #include "core/aggregate_cost.h"
 #include "core/minimizer_set.h"
-#include "linalg/decompose.h"
+#include "data/regression.h"
 #include "util/error.h"
 #include "util/subsets.h"
 
@@ -57,19 +57,10 @@ bool has_2f_redundancy(const std::vector<core::CostPtr>& costs, std::size_t f, d
 }
 
 bool regression_rank_condition(const linalg::Matrix& a, std::size_t f, double rel_tol) {
-  const std::size_t n = a.rows();
-  const std::size_t d = a.cols();
-  REDOPT_REQUIRE(n > 2 * f, "rank condition requires n > 2f");
-  if (n - 2 * f < d) return false;  // too few rows to ever reach rank d
-  bool ok = true;
-  util::for_each_subset(n, n - 2 * f, [&](const std::vector<std::size_t>& rows) {
-    if (linalg::rank(a.select_rows(rows), rel_tol) < d) {
-      ok = false;
-      return false;  // stop early
-    }
-    return true;
-  });
-  return ok;
+  // The check itself lives with the instance generators (data/regression):
+  // it is the constructive side of redundancy, and keeping it there keeps
+  // the module layering acyclic (data never reaches up into redundancy).
+  return data::regression_rank_condition(a, f, rel_tol);
 }
 
 }  // namespace redopt::redundancy

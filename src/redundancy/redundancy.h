@@ -49,6 +49,8 @@ bool has_2f_redundancy(const std::vector<core::CostPtr>& costs, std::size_t f,
 /// Specialization for distributed linear regression where agent i holds
 /// observation row i of @p a: 2f-redundancy (with noiseless observations)
 /// holds iff every (n - 2f)-row submatrix has full column rank d.
+/// Delegates to data::regression_rank_condition (the constructive check
+/// the instance generators enforce).
 bool regression_rank_condition(const linalg::Matrix& a, std::size_t f, double rel_tol = 1e-10);
 
 }  // namespace redopt::redundancy

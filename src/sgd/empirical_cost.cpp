@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "util/error.h"
 
 namespace redopt::sgd {
@@ -85,22 +86,22 @@ double EmpiricalCost::dloss(double prediction, double target) const {
 
 void EmpiricalCost::accumulate_example_gradient(std::size_t j, const Vector& w, double weight,
                                                 Vector& out) const {
-  double prediction = 0.0;
-  for (std::size_t k = 0; k < dimension(); ++k) prediction += features_(j, k) * w[k];
+  const std::size_t d = dimension();
+  const double prediction = linalg::kernels::dot(features_.row_data(j), w.data().data(), d);
   const double coeff = weight * dloss(prediction, targets_[j]);
   if (coeff == 0.0) return;
-  for (std::size_t k = 0; k < dimension(); ++k) out[k] += coeff * features_(j, k);
+  linalg::kernels::axpy(out.data().data(), coeff, features_.row_data(j), d);
 }
 
 double EmpiricalCost::value(const Vector& w) const {
   REDOPT_REQUIRE(w.size() == dimension(), "empirical value dimension mismatch");
-  double acc = 0.0;
+  const std::size_t d = dimension();
+  linalg::kernels::Sum acc;
   for (std::size_t j = 0; j < num_examples(); ++j) {
-    double prediction = 0.0;
-    for (std::size_t k = 0; k < dimension(); ++k) prediction += features_(j, k) * w[k];
-    acc += loss_value(prediction, targets_[j]);
+    const double prediction = linalg::kernels::dot(features_.row_data(j), w.data().data(), d);
+    acc.add(loss_value(prediction, targets_[j]));
   }
-  return acc / static_cast<double>(num_examples()) + 0.5 * reg_ * w.norm_squared();
+  return acc.value() / static_cast<double>(num_examples()) + 0.5 * reg_ * w.norm_squared();
 }
 
 Vector EmpiricalCost::gradient(const Vector& w) const {

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/aggregate_cost.h"
 #include "filters/instrumented.h"
 #include "filters/norm_cache.h"
 #include "runtime/runtime.h"
@@ -56,9 +57,7 @@ dgd::TrainResult train_sgd(const core::MultiAgentProblem& problem,
   }
 
   auto honest_loss = [&](const linalg::Vector& at) {
-    double acc = 0.0;
-    for (std::size_t id : honest) acc += problem.costs[id]->value(at);
-    return acc;
+    return core::subset_value(problem.costs, honest, at);
   };
 
   auto agent_gradient = [&](std::size_t i, const linalg::Vector& at) {

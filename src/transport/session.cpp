@@ -7,6 +7,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/aggregate_cost.h"
 #include "dgd/projection.h"
 #include "dgd/schedule.h"
 #include "filters/registry.h"
@@ -414,9 +415,7 @@ DgdTransportResult run_dgd(const core::MultiAgentProblem& problem,
   std::vector<std::size_t> eliminated_agents;
 
   auto honest_loss = [&](const linalg::Vector& at) {
-    double acc = 0.0;
-    for (std::size_t id : world->honest) acc += problem.costs[id]->value(at);
-    return acc;
+    return core::subset_value(problem.costs, world->honest, at);
   };
 
   DgdTransportResult result;

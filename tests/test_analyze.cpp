@@ -1,0 +1,538 @@
+// Tests for tools/redopt-analyze: fixture trees driven through
+// analyze_memory(), one violating and one clean fixture per pass, plus
+// suppression-directive and baseline round-trip coverage.
+//
+// Fixtures are in-memory files under pseudo-paths; module layering and
+// include resolution behave exactly as on the real tree because the
+// model builder only sees the map it is given.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze.h"
+
+using redopt::analyze::analyze_memory;
+using redopt::analyze::Finding;
+
+namespace {
+
+using Sources = std::map<std::string, std::vector<std::string>>;
+
+std::size_t count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(), [&](const Finding& f) { return f.rule == rule; }));
+}
+
+const Finding* find_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const auto& f : findings) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(AnalyzeRuleTable, EveryRuleHasIdSummaryRationale) {
+  const auto& rules = redopt::analyze::rules();
+  ASSERT_EQ(rules.size(), 6u);
+  std::vector<std::string> ids;
+  for (const auto& r : rules) {
+    ids.emplace_back(r.id);
+    EXPECT_NE(std::string(r.summary), "");
+    EXPECT_NE(std::string(r.rationale), "");
+  }
+  EXPECT_EQ(ids, (std::vector<std::string>{"A1", "A2", "B1", "C1", "D1", "D2"}));
+}
+
+// ---------------------------------------------------------------------------
+// A1: module layering
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeA1, FlagsIncludeThatClimbsTheDag) {
+  const Sources sources = {
+      {"src/linalg/foo.h", {"#pragma once", "#include \"core/bar.h\""}},
+      {"src/core/bar.h", {"#pragma once"}},
+  };
+  const auto findings = analyze_memory(sources);
+  ASSERT_EQ(count_rule(findings, "A1"), 1u);
+  const auto* f = find_rule(findings, "A1");
+  EXPECT_EQ(f->file, "src/linalg/foo.h");
+  EXPECT_EQ(f->line, 2u);
+  EXPECT_EQ(f->key, "src/core/bar.h");
+}
+
+TEST(AnalyzeA1, AllowsDownwardInclude) {
+  const Sources sources = {
+      {"src/core/bar.h", {"#pragma once", "#include \"linalg/foo.h\""}},
+      {"src/linalg/foo.h", {"#pragma once"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "A1"), 0u);
+}
+
+TEST(AnalyzeA1, AllowsSameRankException) {
+  // data -> core is an explicit same-rank allowance.
+  const Sources sources = {
+      {"src/data/maker.h", {"#pragma once", "#include \"core/bar.h\""}},
+      {"src/core/bar.h", {"#pragma once"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "A1"), 0u);
+}
+
+TEST(AnalyzeA1, FlagsSrcDependingOnTools) {
+  const Sources sources = {
+      {"src/core/bar.cpp", {"#include \"analysis-common/finding.h\""}},
+      {"tools/analysis-common/finding.h", {"#pragma once"}},
+  };
+  ASSERT_EQ(count_rule(analyze_memory(sources), "A1"), 1u);
+}
+
+TEST(AnalyzeA1, ToolsMayIncludeAnything) {
+  const Sources sources = {
+      {"tools/widget/main.cpp", {"#include \"transport/session.h\""}},
+      {"src/transport/session.h", {"#pragma once"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "A1"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// A2: include cycles
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeA2, FlagsIncludeCycle) {
+  const Sources sources = {
+      {"src/core/a.h", {"#pragma once", "#include \"core/b.h\""}},
+      {"src/core/b.h", {"#pragma once", "#include \"core/a.h\""}},
+  };
+  EXPECT_GE(count_rule(analyze_memory(sources), "A2"), 1u);
+}
+
+TEST(AnalyzeA2, AllowsAcyclicChain) {
+  const Sources sources = {
+      {"src/core/a.h", {"#pragma once", "#include \"core/b.h\""}},
+      {"src/core/b.h", {"#pragma once", "#include \"core/c.h\""}},
+      {"src/core/c.h", {"#pragma once"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "A2"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// B1: floating-point accumulation authority
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeB1, FlagsLoopAccumulationOutsideAuthority) {
+  const Sources sources = {
+      {"src/core/foo.cpp",
+       {"double total(const double* xs, std::size_t n) {",
+        "  double acc = 0.0;",
+        "  for (std::size_t i = 0; i < n; ++i) acc += xs[i];",
+        "  return acc;",
+        "}"}},
+  };
+  const auto findings = analyze_memory(sources);
+  ASSERT_EQ(count_rule(findings, "B1"), 1u);
+  const auto* f = find_rule(findings, "B1");
+  EXPECT_EQ(f->line, 3u);
+  EXPECT_EQ(f->key, "acc");
+}
+
+TEST(AnalyzeB1, AllowsTheKernelAuthority) {
+  const Sources sources = {
+      {"src/linalg/kernels.cpp",
+       {"double sum(const double* xs, std::size_t n) {",
+        "  double acc = 0.0;",
+        "  for (std::size_t i = 0; i < n; ++i) acc += xs[i];",
+        "  return acc;",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "B1"), 0u);
+}
+
+TEST(AnalyzeB1, AllowsScalarRecurrence) {
+  // RHS independent of the loop: a geometric step, not a reduction.
+  const Sources sources = {
+      {"src/core/foo.cpp",
+       {"double decay() {",
+        "  double x = 1.0;",
+        "  for (int i = 0; i < 10; ++i) x *= 0.5;",
+        "  return x;",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "B1"), 0u);
+}
+
+TEST(AnalyzeB1, AllowsLoopLocalAccumulator) {
+  // Declared inside the loop body: reset every iteration, no order choice.
+  const Sources sources = {
+      {"src/core/foo.cpp",
+       {"void f(const double* xs, double* out, std::size_t n) {",
+        "  for (std::size_t i = 0; i < n; ++i) {",
+        "    double t = 0.0;",
+        "    t += xs[i];",
+        "    out[i] = t;",
+        "  }",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "B1"), 0u);
+}
+
+TEST(AnalyzeB1, SuppressedByAllowOnLine) {
+  const Sources sources = {
+      {"src/core/foo.cpp",
+       {"double total(const double* xs, std::size_t n) {",
+        "  double acc = 0.0;",
+        "  for (std::size_t i = 0; i < n; ++i) acc += xs[i];  // redopt-analyze: allow(B1)",
+        "  return acc;",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "B1"), 0u);
+}
+
+TEST(AnalyzeB1, SuppressedByAllowFile) {
+  const Sources sources = {
+      {"src/core/foo.cpp",
+       {"// redopt-analyze: allow-file(B1)",
+        "double total(const double* xs, std::size_t n) {",
+        "  double acc = 0.0;",
+        "  for (std::size_t i = 0; i < n; ++i) acc += xs[i];",
+        "  return acc;",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "B1"), 0u);
+}
+
+TEST(AnalyzeB1, LintDirectiveDoesNotSuppressAnalyze) {
+  // The two tools have separate directive namespaces.
+  const Sources sources = {
+      {"src/core/foo.cpp",
+       {"double total(const double* xs, std::size_t n) {",
+        "  double acc = 0.0;",
+        "  for (std::size_t i = 0; i < n; ++i) acc += xs[i];  // redopt-lint: allow(B1)",
+        "  return acc;",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "B1"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// C1: parallel capture safety
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeC1, FlagsByRefCaptureWrittenWithoutIndex) {
+  const Sources sources = {
+      {"src/dgd/worker.cpp",
+       {"void run(const double* xs, std::size_t n) {",
+        "  double total = 0.0;",
+        "  runtime::parallel_for(0, n, [&](std::size_t i) { total = total + xs[i]; });",
+        "}"}},
+  };
+  const auto findings = analyze_memory(sources);
+  ASSERT_EQ(count_rule(findings, "C1"), 1u);
+  const auto* f = find_rule(findings, "C1");
+  EXPECT_EQ(f->line, 3u);
+  EXPECT_EQ(f->key, "total");
+}
+
+TEST(AnalyzeC1, FlagsExplicitRefCapture) {
+  const Sources sources = {
+      {"src/dgd/worker.cpp",
+       {"void run(const double* xs, std::size_t n) {",
+        "  double total = 0.0;",
+        "  runtime::parallel_for(0, n, [&total, xs](std::size_t i) { total += xs[i]; });",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "C1"), 1u);
+}
+
+TEST(AnalyzeC1, AllowsIndexDisjointWrite) {
+  const Sources sources = {
+      {"src/dgd/worker.cpp",
+       {"void run(const double* xs, double* out, std::size_t n) {",
+        "  runtime::parallel_for(0, n, [&](std::size_t i) { out[i] = xs[i] * 2.0; });",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "C1"), 0u);
+}
+
+TEST(AnalyzeC1, AllowsWriteIndexedByBodyLocal) {
+  const Sources sources = {
+      {"src/dgd/worker.cpp",
+       {"void run(std::vector<double>& slots, const std::size_t* ids, std::size_t n) {",
+        "  runtime::parallel_for(0, n, [&](std::size_t j) {",
+        "    const std::size_t i = ids[j];",
+        "    slots[i] = 1.0;",
+        "  });",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "C1"), 0u);
+}
+
+TEST(AnalyzeC1, AllowsByValueCapture) {
+  const Sources sources = {
+      {"src/dgd/worker.cpp",
+       {"void run(double scale, double* out, std::size_t n) {",
+        "  runtime::parallel_for(0, n, [scale, out](std::size_t i) { out[i] = scale; });",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "C1"), 0u);
+}
+
+TEST(AnalyzeC1, IgnoresWritesToLambdaLocals) {
+  const Sources sources = {
+      {"src/dgd/worker.cpp",
+       {"void run(double* out, std::size_t n) {",
+        "  runtime::parallel_for(0, n, [&](std::size_t i) {",
+        "    double t = 0.0;",
+        "    t = t + 1.0;",
+        "    out[i] = t;",
+        "  });",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "C1"), 0u);
+}
+
+TEST(AnalyzeC1, NestedSerialLambdaIsNotAParallelSite) {
+  // A callback nested inside the parallel body writes an outer-lambda
+  // local: safe (each parallel iteration owns its own copy).
+  const Sources sources = {
+      {"src/core/search.cpp",
+       {"void run(std::size_t chunks) {",
+        "  runtime::parallel_reduce(0, chunks, Best{}, [&](std::size_t c) {",
+        "    double r_t = 0.0;",
+        "    util::for_each_subset_of(c, 2, [&](const Subset& s) {",
+        "      r_t = score(s);",
+        "      return true;",
+        "    });",
+        "    return r_t;",
+        "  });",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "C1"), 0u);
+}
+
+TEST(AnalyzeC1, MemberWriteTargetsTheObject) {
+  // `local.field = v` mutates `local`, which is a body local: safe.
+  const Sources sources = {
+      {"src/core/search.cpp",
+       {"void run(std::size_t n) {",
+        "  runtime::parallel_reduce(0, n, Best{}, [&](std::size_t c) {",
+        "    Best local;",
+        "    local.score = eval(c);",
+        "    return local;",
+        "  });",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "C1"), 0u);
+}
+
+TEST(AnalyzeC1, StructuredBindingIsNotAWrite) {
+  const Sources sources = {
+      {"src/core/search.cpp",
+       {"void run(std::size_t n, double* out) {",
+        "  runtime::parallel_for(0, n, [&](std::size_t c) {",
+        "    const auto [lo, hi] = bounds(c);",
+        "    out[c] = hi - lo;",
+        "  });",
+        "}"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "C1"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// D1: header self-containment
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// A core/ header defining class Gadget, for the D1 fixtures.
+Sources gadget_tree() {
+  return {
+      {"src/core/gadget.h",
+       {"#pragma once",
+        "namespace redopt::core {",
+        "class Gadget {",
+        " public:",
+        "  int v = 0;",
+        "};",
+        "}  // namespace redopt::core"}},
+  };
+}
+
+}  // namespace
+
+TEST(AnalyzeD1, FlagsReferenceWithoutInclude) {
+  Sources sources = gadget_tree();
+  sources["src/filters/user.h"] = {"#pragma once", "core::Gadget make_gadget();"};
+  const auto findings = analyze_memory(sources);
+  ASSERT_EQ(count_rule(findings, "D1"), 1u);
+  const auto* f = find_rule(findings, "D1");
+  EXPECT_EQ(f->file, "src/filters/user.h");
+  EXPECT_EQ(f->key, "core::Gadget");
+}
+
+TEST(AnalyzeD1, AllowsDirectInclude) {
+  Sources sources = gadget_tree();
+  sources["src/filters/user.h"] = {"#pragma once", "#include \"core/gadget.h\"",
+                                   "core::Gadget make_gadget();"};
+  EXPECT_EQ(count_rule(analyze_memory(sources), "D1"), 0u);
+}
+
+TEST(AnalyzeD1, AllowsTransitiveInclude) {
+  Sources sources = gadget_tree();
+  sources["src/filters/base.h"] = {"#pragma once", "#include \"core/gadget.h\""};
+  sources["src/filters/user.h"] = {"#pragma once", "#include \"filters/base.h\"",
+                                   "core::Gadget make_gadget();"};
+  EXPECT_EQ(count_rule(analyze_memory(sources), "D1"), 0u);
+}
+
+TEST(AnalyzeD1, AllowsLocalForwardDeclaration) {
+  Sources sources = gadget_tree();
+  sources["src/filters/user.h"] = {"#pragma once", "namespace redopt::core {", "class Gadget;",
+                                   "}  // namespace redopt::core",
+                                   "void consume(const core::Gadget& g);"};
+  EXPECT_EQ(count_rule(analyze_memory(sources), "D1"), 0u);
+}
+
+TEST(AnalyzeD1, UnknownSymbolsStayQuiet) {
+  // No defining header in the model: conservative, no finding.
+  const Sources sources = {
+      {"src/filters/user.h", {"#pragma once", "core::Mystery make();"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "D1"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// D2: definitions in headers
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeD2, FlagsNonInlineDefinition) {
+  const Sources sources = {
+      {"src/core/twice.h",
+       {"#pragma once", "namespace redopt::core {", "double twice(double x) { return 2.0 * x; }",
+        "}  // namespace redopt::core"}},
+  };
+  const auto findings = analyze_memory(sources);
+  ASSERT_EQ(count_rule(findings, "D2"), 1u);
+  const auto* f = find_rule(findings, "D2");
+  EXPECT_EQ(f->line, 3u);
+  EXPECT_EQ(f->key, "twice");
+}
+
+TEST(AnalyzeD2, AllowsInlineDefinition) {
+  const Sources sources = {
+      {"src/core/twice.h",
+       {"#pragma once", "namespace redopt::core {",
+        "inline double twice(double x) { return 2.0 * x; }", "}  // namespace redopt::core"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "D2"), 0u);
+}
+
+TEST(AnalyzeD2, AllowsTemplateDefinition) {
+  const Sources sources = {
+      {"src/core/twice.h",
+       {"#pragma once", "namespace redopt::core {", "template <class T>",
+        "T twice(T x) { return x + x; }", "}  // namespace redopt::core"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "D2"), 0u);
+}
+
+TEST(AnalyzeD2, MemberFunctionsAreNotNamespaceScope) {
+  const Sources sources = {
+      {"src/core/gadget.h",
+       {"#pragma once", "namespace redopt::core {", "class Gadget {", " public:",
+        "  int value() const { return v_; }", " private:", "  int v_ = 0;", "};",
+        "}  // namespace redopt::core"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "D2"), 0u);
+}
+
+TEST(AnalyzeD2, MacroContinuationLinesAreNotCode) {
+  // A multi-line do/while macro must not parse as a function definition
+  // (regression: only the first directive line used to be blanked).
+  const Sources sources = {
+      {"src/core/check.h",
+       {"#pragma once",
+        "#define CORE_CHECK(cond)  \\",
+        "  do {                    \\",
+        "    if (!(cond)) {        \\",
+        "    }                     \\",
+        "  } while (false)"}},
+  };
+  EXPECT_EQ(count_rule(analyze_memory(sources), "D2"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline round-trip
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeBaseline, ParsesTabSeparatedEntries) {
+  const auto entries = redopt::analyze::parse_baseline(
+      {"# comment", "", "B1\tsrc/rng/rng.cpp\tnorm2\t# rng sits below linalg"});
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rule, "B1");
+  EXPECT_EQ(entries[0].file, "src/rng/rng.cpp");
+  EXPECT_EQ(entries[0].key, "norm2");
+  EXPECT_EQ(entries[0].justification, "# rng sits below linalg");
+}
+
+TEST(AnalyzeBaseline, RenderParseApplyRoundTrip) {
+  const Sources sources = {
+      {"src/core/foo.cpp",
+       {"double total(const double* xs, std::size_t n) {",
+        "  double acc = 0.0;",
+        "  for (std::size_t i = 0; i < n; ++i) acc += xs[i];",
+        "  return acc;",
+        "}"}},
+  };
+  const auto findings = analyze_memory(sources);
+  ASSERT_EQ(findings.size(), 1u);
+
+  const std::string rendered = redopt::analyze::render_baseline(findings);
+  std::vector<std::string> lines;
+  std::string line;
+  for (char c : rendered) {
+    if (c == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  const auto entries = redopt::analyze::parse_baseline(lines);
+  ASSERT_EQ(entries.size(), 1u);
+
+  std::vector<redopt::analyze::BaselineEntry> stale;
+  const auto fresh = redopt::analyze::apply_baseline(findings, entries, &stale);
+  EXPECT_TRUE(fresh.empty());
+  EXPECT_TRUE(stale.empty());
+}
+
+TEST(AnalyzeBaseline, MatchesByKeyNotLine) {
+  const Sources sources = {
+      {"src/core/foo.cpp",
+       {"// a comment that moves the finding to a different line",
+        "double total(const double* xs, std::size_t n) {",
+        "  double acc = 0.0;",
+        "  for (std::size_t i = 0; i < n; ++i) acc += xs[i];",
+        "  return acc;",
+        "}"}},
+  };
+  const auto findings = analyze_memory(sources);
+  ASSERT_EQ(findings.size(), 1u);
+  const auto entries =
+      redopt::analyze::parse_baseline({"B1\tsrc/core/foo.cpp\tacc\t# accepted for the fixture"});
+  std::vector<redopt::analyze::BaselineEntry> stale;
+  EXPECT_TRUE(redopt::analyze::apply_baseline(findings, entries, &stale).empty());
+  EXPECT_TRUE(stale.empty());
+}
+
+TEST(AnalyzeBaseline, ReportsStaleEntries) {
+  const auto entries =
+      redopt::analyze::parse_baseline({"B1\tsrc/core/gone.cpp\tacc\t# fixed long ago"});
+  std::vector<redopt::analyze::BaselineEntry> stale;
+  EXPECT_TRUE(redopt::analyze::apply_baseline({}, entries, &stale).empty());
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].file, "src/core/gone.cpp");
+}

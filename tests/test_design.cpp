@@ -7,11 +7,11 @@
 #include "attacks/registry.h"
 #include "core/exact_algorithm.h"
 #include "core/quadratic_cost.h"
-#include "data/replicated_regression.h"
+#include "data/design.h"
 #include "data/regression.h"
+#include "data/replicated_regression.h"
 #include "dgd/trainer.h"
 #include "filters/registry.h"
-#include "redundancy/design.h"
 #include "redundancy/redundancy.h"
 #include "redundancy/resilience.h"
 #include "util/error.h"
@@ -22,7 +22,7 @@ using linalg::Vector;
 // ---------------------------------------------------------------- Layouts
 
 TEST(ReplicationDesign, CyclicLayoutStructure) {
-  const auto design = redundancy::cyclic_replication(5, 4, 2);
+  const auto design = data::cyclic_replication(5, 4, 2);
   EXPECT_EQ(design.shard_holders.size(), 5u);
   EXPECT_EQ(design.agent_shards.size(), 4u);
   // Shard 3 held by agents 3 and 0 (cyclic wrap).
@@ -39,30 +39,30 @@ TEST(ReplicationDesign, CyclicLayoutStructure) {
 }
 
 TEST(ReplicationDesign, ValidatesArguments) {
-  EXPECT_THROW(redundancy::cyclic_replication(0, 4, 2), redopt::PreconditionError);
-  EXPECT_THROW(redundancy::cyclic_replication(5, 4, 5), redopt::PreconditionError);
-  EXPECT_THROW(redundancy::cyclic_replication(5, 4, 0), redopt::PreconditionError);
+  EXPECT_THROW(data::cyclic_replication(0, 4, 2), redopt::PreconditionError);
+  EXPECT_THROW(data::cyclic_replication(5, 4, 5), redopt::PreconditionError);
+  EXPECT_THROW(data::cyclic_replication(5, 4, 0), redopt::PreconditionError);
 }
 
 TEST(ReplicationDesign, CoverageThresholdIsTwoFPlusOne) {
   // n = 7, f = 2: coverage needs r >= 2f + 1 = 5.
   const std::size_t n = 7, f = 2;
-  EXPECT_FALSE(redundancy::covers_all_shards(redundancy::cyclic_replication(7, n, 4), f));
-  EXPECT_TRUE(redundancy::covers_all_shards(redundancy::cyclic_replication(7, n, 5), f));
+  EXPECT_FALSE(data::covers_all_shards(data::cyclic_replication(7, n, 4), f));
+  EXPECT_TRUE(data::covers_all_shards(data::cyclic_replication(7, n, 5), f));
 }
 
 TEST(ReplicationDesign, MaxCoveredFMatchesFormula) {
   // Cyclic layout with m = n shards: r >= 2f + 1 <=> f <= (r - 1) / 2.
   for (std::size_t r : {1u, 3u, 5u}) {
-    const auto design = redundancy::cyclic_replication(9, 9, r);
-    EXPECT_EQ(redundancy::max_covered_f(design), (r - 1) / 2) << "r=" << r;
+    const auto design = data::cyclic_replication(9, 9, r);
+    EXPECT_EQ(data::max_covered_f(design), (r - 1) / 2) << "r=" << r;
   }
 }
 
 TEST(ReplicationDesign, FullReplicationCoversEverything) {
-  const auto design = redundancy::cyclic_replication(4, 5, 5);
-  EXPECT_TRUE(redundancy::covers_all_shards(design, 2));
-  EXPECT_EQ(redundancy::max_covered_f(design), 2u);  // capped by n > 2f
+  const auto design = data::cyclic_replication(4, 5, 5);
+  EXPECT_TRUE(data::covers_all_shards(design, 2));
+  EXPECT_EQ(data::max_covered_f(design), 2u);  // capped by n > 2f
 }
 
 // ---------------------------------------------------------------- Replicated regression

@@ -1,0 +1,73 @@
+#include "analysis-common/finding.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace redopt::analysis {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_finding(const Finding& finding) {
+  std::ostringstream os;
+  os << finding.file << ":" << finding.line << ": [" << finding.rule << "] " << finding.message;
+  return os.str();
+}
+
+std::string findings_json(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "  {\"file\": \"" << json_escape(f.file) << "\", \"line\": " << f.line
+       << ", \"rule\": \"" << json_escape(f.rule) << "\", \"message\": \""
+       << json_escape(f.message) << "\"";
+    if (!f.key.empty()) os << ", \"key\": \"" << json_escape(f.key) << "\"";
+    os << "}";
+  }
+  os << (findings.empty() ? "]\n" : "\n]\n");
+  return os.str();
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+}
+
+}  // namespace redopt::analysis

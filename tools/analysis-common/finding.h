@@ -1,0 +1,41 @@
+// Shared finding/report types for the project's static-analysis tools
+// (redopt-lint, redopt-analyze).  Both tools emit the same
+// "file:line: [RULE] message" text format and the same JSON shape, so
+// editors and CI consume one format regardless of which gate fired.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace redopt::analysis {
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string file;     ///< path as given to the scanner
+  std::size_t line;     ///< 1-based line number
+  std::string rule;     ///< stable rule ID ("D1", "A1", ...)
+  std::string message;  ///< what fired and why it matters
+  /// Stable discriminator for baseline matching (no line numbers, so it
+  /// survives unrelated edits).  Empty for tools without a baseline.
+  std::string key;
+};
+
+/// Static description of one rule, for --list-rules and docs.
+struct RuleInfo {
+  const char* id;
+  const char* summary;    ///< what the rule bans/requires
+  const char* rationale;  ///< why violating it breaks the contract
+};
+
+/// Renders @p finding as "file:line: [RULE] message".
+std::string format_finding(const Finding& finding);
+
+/// Renders findings as a JSON array of {file, line, rule, message[, key]}
+/// objects, one per finding, sorted as given.  Ends with a newline.
+std::string findings_json(const std::vector<Finding>& findings);
+
+/// Sorts by (file, line, rule) for stable output across filesystems.
+void sort_findings(std::vector<Finding>& findings);
+
+}  // namespace redopt::analysis

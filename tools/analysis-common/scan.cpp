@@ -1,0 +1,108 @@
+#include "analysis-common/scan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace redopt::analysis {
+
+std::vector<ScannedLine> scan_lines(const std::vector<std::string>& lines) {
+  std::vector<ScannedLine> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& raw : lines) {
+    ScannedLine sl;
+    sl.code.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (in_block_comment) {
+        if (raw.compare(i, 2, "*/") == 0) {
+          in_block_comment = false;
+          sl.code += "  ";
+          i += 2;
+        } else {
+          sl.comment += raw[i];
+          sl.code += ' ';
+          ++i;
+        }
+        continue;
+      }
+      const char c = raw[i];
+      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+        sl.comment.append(raw, i + 2, std::string::npos);
+        sl.code.append(raw.size() - i, ' ');
+        break;
+      }
+      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+        in_block_comment = true;
+        sl.code += "  ";
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        sl.code += quote;
+        ++i;
+        while (i < raw.size()) {
+          if (raw[i] == '\\' && i + 1 < raw.size()) {
+            sl.code += "  ";
+            i += 2;
+            continue;
+          }
+          if (raw[i] == quote) {
+            sl.code += quote;
+            ++i;
+            break;
+          }
+          sl.code += ' ';
+          ++i;
+        }
+        continue;
+      }
+      sl.code += c;
+      ++i;
+    }
+    out.push_back(std::move(sl));
+  }
+  return out;
+}
+
+std::vector<std::string> parse_allows(const std::string& tool, const std::string& comment,
+                                      bool* file_scope) {
+  // One compiled regex per tool name; the scanners call this per line.
+  static std::map<std::string, std::regex> cache;
+  auto it = cache.find(tool);
+  if (it == cache.end()) {
+    it = cache.emplace(tool, std::regex(tool + R"(:\s*(allow|allow-file)\s*\(([^)]*)\))")).first;
+  }
+  std::vector<std::string> ids;
+  std::smatch m;
+  if (!std::regex_search(comment, m, it->second)) return ids;
+  *file_scope = (m[1].str() == "allow-file");
+  std::string list = m[2].str();
+  std::stringstream ss(list);
+  std::string id;
+  while (std::getline(ss, id, ',')) {
+    id.erase(
+        std::remove_if(id.begin(), id.end(), [](unsigned char ch) { return std::isspace(ch); }),
+        id.end());
+    if (!id.empty()) ids.push_back(id);
+  }
+  return ids;
+}
+
+bool allows_rule(const std::vector<std::string>& ids, const std::string& rule) {
+  return std::find(ids.begin(), ids.end(), rule) != ids.end();
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace redopt::analysis

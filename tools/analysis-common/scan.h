@@ -1,0 +1,41 @@
+// Comment/string-aware line scanner shared by the static-analysis tools.
+//
+// Each raw source line is reduced to a "code view" with comments and
+// string/char literal bodies blanked out (delimiters kept), plus a
+// "comment view" carrying the comment text.  Rules match against the
+// code view so banned tokens inside doc comments or test fixtures never
+// fire; suppression directives are parsed from the comment view.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace redopt::analysis {
+
+/// Per-line scan product (see file comment).
+struct ScannedLine {
+  std::string code;
+  std::string comment;
+};
+
+/// Reduces raw source lines to code + comment views.  Tracks block
+/// comments across lines; handles escapes inside literals.  Raw string
+/// literals are treated as ordinary strings (good enough for a scanner —
+/// the repo style avoids multi-line raw literals in src/).
+std::vector<ScannedLine> scan_lines(const std::vector<std::string>& lines);
+
+/// Parses `<tool>: allow(D1,D2)` / `<tool>: allow-file(D1)` out of one
+/// line's comment text (e.g. tool = "redopt-lint").  Returns rule IDs;
+/// `file_scope` reports which directive form was seen.  Each tool has
+/// its own directive namespace: a `redopt-lint: allow(...)` never
+/// silences redopt-analyze and vice versa.
+std::vector<std::string> parse_allows(const std::string& tool, const std::string& comment,
+                                      bool* file_scope);
+
+/// True iff @p rule appears in @p ids.
+bool allows_rule(const std::vector<std::string>& ids, const std::string& rule);
+
+/// Reads @p path into lines ("" on a missing file yields no lines).
+std::vector<std::string> read_lines(const std::string& path);
+
+}  // namespace redopt::analysis

@@ -1,0 +1,42 @@
+#include "analysis-common/walker.h"
+
+#include <iostream>
+
+namespace fs = std::filesystem;
+
+namespace redopt::analysis {
+
+bool is_cxx_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cpp";
+}
+
+bool is_excluded_dir(const std::string& name) {
+  if (name.rfind("build", 0) == 0) return true;
+  if (!name.empty() && name[0] == '.') return true;
+  return name == "golden";
+}
+
+void collect_sources(const fs::path& root, const std::string& rel, const std::string& tool,
+                     std::vector<std::string>* out) {
+  const fs::path target = root / rel;
+  if (fs::is_regular_file(target)) {
+    if (is_cxx_source(target)) out->push_back(rel);
+    return;
+  }
+  if (!fs::is_directory(target)) {
+    std::cerr << tool << ": warning: no such path: " << target.string() << "\n";
+    return;
+  }
+  fs::recursive_directory_iterator it(target), end;
+  while (it != end) {
+    if (it->is_directory() && is_excluded_dir(it->path().filename().string())) {
+      it.disable_recursion_pending();
+    } else if (it->is_regular_file() && is_cxx_source(it->path())) {
+      out->push_back(fs::relative(it->path(), root).generic_string());
+    }
+    ++it;
+  }
+}
+
+}  // namespace redopt::analysis

@@ -1,0 +1,29 @@
+// Recursive C++ source walker shared by the static-analysis tools.
+//
+// One place owns the file-type filter and the exclude list (build
+// trees, golden trace data), so the tools cannot drift apart on what
+// "the tree" means.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace redopt::analysis {
+
+/// True for the extensions the analysis tools scan (.h, .cpp).
+bool is_cxx_source(const std::filesystem::path& p);
+
+/// True for directory *names* the walk prunes wholesale: build trees
+/// (any name starting with "build"), dot-directories (.git, .github),
+/// and golden trace data ("golden" under tests/).
+bool is_excluded_dir(const std::string& name);
+
+/// Collects C++ sources under @p root / @p rel (or @p rel itself when it
+/// names a file) into @p out as root-relative generic paths.  Prunes
+/// excluded directories; warns to stderr (prefixed with @p tool) when the
+/// path does not exist.  Appends — callers sort once at the end.
+void collect_sources(const std::filesystem::path& root, const std::string& rel,
+                     const std::string& tool, std::vector<std::string>* out);
+
+}  // namespace redopt::analysis

@@ -1,0 +1,765 @@
+#include "analyze.h"
+
+#include <algorithm>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "analysis-common/scan.h"
+
+namespace redopt::analyze {
+
+namespace {
+
+constexpr const char* kTool = "redopt-analyze";
+
+const std::vector<RuleInfo> kRules = {
+    {"A1", "module layering violation: #include climbs the dependency DAG",
+     "the module layers (util/rng/runtime/telemetry -> linalg -> core/data -> "
+     "filters/redundancy/attacks -> net/dgd/sgd -> chaos/transport -> tools) keep the "
+     "determinism authority and the build acyclic; an upward edge couples a foundation "
+     "to its consumers"},
+    {"A2", "include cycle across files",
+     "a transitive #include loop means no file in the cycle can be understood (or compiled) "
+     "before the others; breaking it forces the real dependency direction into the open"},
+    {"B1", "floating-point accumulation outside the FP-order authority",
+     "summation order decides last-ulp bits, and the bit-determinism contract allows exactly "
+     "one layer (src/linalg/kernels) to choose it; stray += loops fork the authority — stage "
+     "a buffer for kernels::sum/dot or fold through kernels::Sum"},
+    {"C1", "parallel lambda writes a by-reference capture without an index-disjoint subscript",
+     "parallel_for/parallel_reduce run the lambda concurrently; a plain write to a captured "
+     "local is a data race the deterministic single-thread test runs never exhibit"},
+    {"D1", "header is not self-contained: referenced symbol's header missing from closure",
+     "a header that compiles only because some includer happened to pull the dependency first "
+     "breaks as soon as include order changes; every header must include what it references"},
+    {"D2", "function definition at namespace scope in a header without inline",
+     "two translation units including the header each emit the definition — an ODR violation "
+     "the linker may or may not surface; mark it inline or move the body to a .cpp"},
+};
+
+// ---------------------------------------------------------------------------
+// Reporting with suppression
+// ---------------------------------------------------------------------------
+
+struct FileContext {
+  const SourceFile& file;
+  std::vector<std::string> file_allows;
+  std::vector<Finding>* findings;
+
+  explicit FileContext(const SourceFile& f, std::vector<Finding>* out) : file(f), findings(out) {
+    for (const analysis::ScannedLine& sl : f.scanned) {
+      bool file_scope = false;
+      const auto ids = analysis::parse_allows(kTool, sl.comment, &file_scope);
+      if (file_scope) file_allows.insert(file_allows.end(), ids.begin(), ids.end());
+    }
+  }
+
+  bool suppressed(std::size_t line, const char* rule) const {
+    if (analysis::allows_rule(file_allows, rule)) return true;
+    bool file_scope = false;
+    const auto& scanned = file.scanned;
+    if (line >= 1 && line <= scanned.size() &&
+        analysis::allows_rule(analysis::parse_allows(kTool, scanned[line - 1].comment, &file_scope),
+                              rule)) {
+      return true;
+    }
+    if (line >= 2 &&
+        analysis::allows_rule(analysis::parse_allows(kTool, scanned[line - 2].comment, &file_scope),
+                              rule)) {
+      return true;
+    }
+    return false;
+  }
+
+  void report(std::size_t line, const char* rule, std::string message, std::string key) const {
+    if (suppressed(line, rule)) return;
+    findings->push_back(Finding{file.path, line, rule, std::move(message), std::move(key)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Pass A: layering + cycles
+// ---------------------------------------------------------------------------
+
+void check_layering(const SourceFile& file, const FileContext& ctx) {
+  if (file.module.empty()) return;  // tests/bench/examples are not layered
+  for (const IncludeEdge& edge : file.includes) {
+    const std::string to = module_of(edge.target);
+    if (to.empty()) continue;
+    if (edge_allowed(file.module, to)) continue;
+    ctx.report(edge.line, "A1",
+               "include of " + edge.target + " climbs the module DAG (" + file.module + " -> " +
+                   to + "); move the shared piece down a layer or invert the dependency",
+               edge.target);
+  }
+}
+
+void check_cycles(const ProjectModel& model, std::vector<Finding>* findings) {
+  // Iterative DFS with an explicit stack; a back-edge into the gray set
+  // names a cycle.  Each distinct cycle (as a set of files) is reported
+  // once, at the back-edge's #include line.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> path;
+  std::set<std::string> reported_keys;
+
+  struct Frame {
+    const SourceFile* file;
+    std::size_t next_edge = 0;
+  };
+
+  for (const auto& [root, _] : model.files) {
+    if (color[root] != 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back(Frame{&model.files.at(root)});
+    color[root] = 1;
+    path.push_back(root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.next_edge >= frame.file->includes.size()) {
+        color[frame.file->path] = 2;
+        path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const IncludeEdge& edge = frame.file->includes[frame.next_edge++];
+      const int target_color = color[edge.target];
+      if (target_color == 1) {
+        // Cycle: from edge.target along `path` back to the current file.
+        const auto begin = std::find(path.begin(), path.end(), edge.target);
+        std::vector<std::string> cycle(begin, path.end());
+        std::vector<std::string> sorted = cycle;
+        std::sort(sorted.begin(), sorted.end());
+        std::string key;
+        for (const auto& p : sorted) key += (key.empty() ? "" : " -> ") + p;
+        if (reported_keys.insert(key).second) {
+          std::string chain;
+          for (const auto& p : cycle) chain += p + " -> ";
+          chain += edge.target;
+          FileContext ctx(*frame.file, findings);
+          ctx.report(edge.line, "A2", "include cycle: " + chain, key);
+        }
+      } else if (target_color == 0) {
+        color[edge.target] = 1;
+        path.push_back(edge.target);
+        stack.push_back(Frame{&model.files.at(edge.target)});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass B: FP-order authority
+// ---------------------------------------------------------------------------
+
+/// The FP-order authority: the kernels themselves plus the linalg
+/// implementation files whose element loops ARE the reference order the
+/// kernels' strict mode reproduces.  Everything else stages a buffer or
+/// folds through kernels::Sum.
+bool b1_authority(const std::string& path) {
+  static const std::set<std::string> kAuthority = {
+      "src/linalg/kernels.h", "src/linalg/kernels.cpp",
+      // Allowlist: pre-kernel reference loops and decompositions whose
+      // pivoting order is itself the documented contract.
+      "src/linalg/vector.cpp", "src/linalg/vector.h", "src/linalg/matrix.cpp",
+      "src/linalg/decompose.cpp", "src/linalg/svd.cpp"};
+  return kAuthority.count(path) > 0;
+}
+
+struct Loop {
+  std::size_t start = 0;       ///< offset of the for/while keyword
+  std::size_t body_begin = 0;  ///< first char of the body
+  std::size_t body_end = 0;    ///< one past the last body char
+  std::vector<std::string> vars;
+};
+
+std::size_t match_forward(const std::string& text, std::size_t open, char open_c, char close_c) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == open_c) ++depth;
+    if (text[i] == close_c && --depth == 0) return i;
+  }
+  return text.size();
+}
+
+std::vector<std::string> loop_vars_of(const std::string& header) {
+  std::vector<std::string> vars;
+  static const std::regex kIdent(R"([A-Za-z_]\w*)");
+  static const std::set<std::string> kTypeish = {"auto",   "const",    "std",  "size_t",
+                                                 "int",    "unsigned", "long", "double",
+                                                 "float",  "char",     "bool", "signed",
+                                                 "int64_t", "uint64_t", "int32_t", "uint32_t"};
+  const std::size_t semi = header.find(';');
+  if (semi != std::string::npos) {
+    // Classic for: every `name =` in the init clause.
+    const std::string init = header.substr(0, semi);
+    static const std::regex kAssign(R"(([A-Za-z_]\w*)\s*=)");
+    for (auto it = std::sregex_iterator(init.begin(), init.end(), kAssign);
+         it != std::sregex_iterator(); ++it) {
+      vars.push_back((*it)[1].str());
+    }
+    return vars;
+  }
+  const std::size_t colon = header.find(':');
+  if (colon != std::string::npos && (colon + 1 >= header.size() || header[colon + 1] != ':')) {
+    // Range-for: the non-type identifiers before the ':'.
+    const std::string decl = header.substr(0, colon);
+    for (auto it = std::sregex_iterator(decl.begin(), decl.end(), kIdent);
+         it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[0].str();
+      if (kTypeish.count(name) == 0) vars.push_back(name);
+    }
+  }
+  return vars;
+}
+
+std::vector<Loop> find_loops(const FlatCode& flat) {
+  std::vector<Loop> loops;
+  static const std::regex kLoop(R"((^|[^\w])(for|while)\s*\()");
+  for (auto it = std::sregex_iterator(flat.text.begin(), flat.text.end(), kLoop);
+       it != std::sregex_iterator(); ++it) {
+    Loop loop;
+    loop.start = static_cast<std::size_t>(it->position(2));
+    const std::size_t open = loop.start + it->str().size() - it->position(2) + it->position(0) -
+                             it->position(0);  // offset of '('
+    const std::size_t paren = flat.text.find('(', loop.start);
+    if (paren == std::string::npos) continue;
+    (void)open;
+    const std::size_t close = match_forward(flat.text, paren, '(', ')');
+    if (close >= flat.text.size()) continue;
+    const std::string header = flat.text.substr(paren + 1, close - paren - 1);
+    if ((*it)[2].str() == "for") loop.vars = loop_vars_of(header);
+    std::size_t p = close + 1;
+    while (p < flat.text.size() && std::isspace(static_cast<unsigned char>(flat.text[p]))) ++p;
+    if (p < flat.text.size() && flat.text[p] == '{') {
+      loop.body_begin = p + 1;
+      loop.body_end = match_forward(flat.text, p, '{', '}');
+    } else {
+      loop.body_begin = p;
+      const std::size_t semi = flat.text.find(';', p);
+      loop.body_end = semi == std::string::npos ? flat.text.size() : semi + 1;
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+bool word_at(const std::string& text, std::size_t pos) {
+  return pos == 0 || (!std::isalnum(static_cast<unsigned char>(text[pos - 1])) &&
+                      text[pos - 1] != '_');
+}
+
+bool mentions_word(const std::string& text, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const std::size_t end = pos + word.size();
+    const bool left = word_at(text, pos);
+    const bool right = end >= text.size() || (!std::isalnum(static_cast<unsigned char>(text[end])) &&
+                                              text[end] != '_');
+    if (left && right) return true;
+    pos = end;
+  }
+  return false;
+}
+
+void check_fp_authority(const SourceFile& file, const FileContext& ctx) {
+  if (file.module.empty() || file.module == "tools") return;
+  if (b1_authority(file.path)) return;
+  const FlatCode flat = flatten(file.scanned);
+  const std::vector<Loop> loops = find_loops(flat);
+  if (loops.empty()) return;
+
+  // double/float declarations (name -> offsets, ascending).
+  std::map<std::string, std::vector<std::size_t>> fp_decls;
+  static const std::regex kFpDecl(R"((^|[^\w])(double|float)\s+([A-Za-z_]\w*))");
+  for (auto it = std::sregex_iterator(flat.text.begin(), flat.text.end(), kFpDecl);
+       it != std::sregex_iterator(); ++it) {
+    fp_decls[(*it)[3].str()].push_back(static_cast<std::size_t>(it->position(3)));
+  }
+  if (fp_decls.empty()) return;
+
+  static const std::regex kAccum(R"(([A-Za-z_]\w*)\s*(\+=|\*=))");
+  for (auto it = std::sregex_iterator(flat.text.begin(), flat.text.end(), kAccum);
+       it != std::sregex_iterator(); ++it) {
+    const std::string var = (*it)[1].str();
+    const std::size_t off = static_cast<std::size_t>(it->position(1));
+    if (!word_at(flat.text, off)) continue;
+    const auto decl_it = fp_decls.find(var);
+    if (decl_it == fp_decls.end()) continue;
+
+    // Latest declaration before the use.
+    std::size_t decl_off = std::string::npos;
+    for (std::size_t d : decl_it->second) {
+      if (d < off) decl_off = d;
+    }
+    if (decl_off == std::string::npos) continue;
+
+    // Enclosing loops; skip the loop's own recurrence variables.
+    std::vector<const Loop*> enclosing;
+    for (const Loop& loop : loops) {
+      if (loop.body_begin <= off && off < loop.body_end) enclosing.push_back(&loop);
+    }
+    if (enclosing.empty()) continue;
+    bool is_loop_var = false;
+    std::vector<std::string> enclosing_vars;
+    for (const Loop* loop : enclosing) {
+      for (const std::string& v : loop->vars) {
+        enclosing_vars.push_back(v);
+        if (v == var) is_loop_var = true;
+      }
+    }
+    if (is_loop_var) continue;
+
+    // The accumulator must be declared OUTSIDE some enclosing loop; take
+    // the innermost such loop as the accumulation scope.
+    const Loop* scope = nullptr;
+    for (const Loop* loop : enclosing) {
+      if (loop->start > decl_off && (!scope || loop->start > scope->start)) scope = loop;
+    }
+    if (!scope) continue;
+
+    // Loop-dependent right-hand side: subscripts, calls, loop variables,
+    // or values produced inside the accumulation scope.  A plain scalar
+    // recurrence (x *= factor with loop-invariant factor) is exempt.
+    const std::size_t rhs_begin = static_cast<std::size_t>(it->position(2)) + 2;
+    const std::size_t rhs_end = flat.text.find(';', rhs_begin);
+    const std::string rhs = flat.text.substr(
+        rhs_begin, rhs_end == std::string::npos ? std::string::npos : rhs_end - rhs_begin);
+    bool dependent = rhs.find('[') != std::string::npos || rhs.find('(') != std::string::npos;
+    if (!dependent) {
+      for (const std::string& v : enclosing_vars) {
+        if (mentions_word(rhs, v)) {
+          dependent = true;
+          break;
+        }
+      }
+    }
+    if (!dependent) {
+      for (const auto& [name, offsets] : fp_decls) {
+        for (std::size_t d : offsets) {
+          if (d > scope->start && d < off && mentions_word(rhs, name)) dependent = true;
+        }
+      }
+    }
+    if (!dependent) continue;
+
+    ctx.report(flat.line_at(off), "B1",
+               "floating-point accumulation on '" + var +
+                   "' outside the FP-order authority; stage a buffer for "
+                   "linalg::kernels::sum/dot or fold through linalg::kernels::Sum",
+               var);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass C: parallel-capture safety
+// ---------------------------------------------------------------------------
+
+struct CaptureList {
+  bool default_ref = false;
+  bool default_val = false;
+  std::set<std::string> by_ref;
+  std::set<std::string> by_val;
+};
+
+CaptureList parse_captures(const std::string& text) {
+  CaptureList captures;
+  std::vector<std::string> entries;
+  std::string entry;
+  int depth = 0;
+  for (char c : text) {
+    if (c == '(' || c == '<' || c == '{' || c == '[') ++depth;
+    if (c == ')' || c == '>' || c == '}' || c == ']') --depth;
+    if (c == ',' && depth == 0) {
+      entries.push_back(entry);
+      entry.clear();
+    } else {
+      entry += c;
+    }
+  }
+  entries.push_back(entry);
+  static const std::regex kName(R"([A-Za-z_]\w*)");
+  for (std::string& e : entries) {
+    e.erase(0, e.find_first_not_of(" \t\n"));
+    if (e.empty()) continue;
+    if (e == "&") {
+      captures.default_ref = true;
+    } else if (e == "=") {
+      captures.default_val = true;
+    } else if (e[0] == '&') {
+      std::smatch m;
+      if (std::regex_search(e, m, kName) && m[0].str() != "this") {
+        captures.by_ref.insert(m[0].str());
+      }
+    } else {
+      std::smatch m;
+      if (std::regex_search(e, m, kName) && m[0].str() != "this") {
+        captures.by_val.insert(m[0].str());
+      }
+    }
+  }
+  return captures;
+}
+
+std::set<std::string> parse_params(const std::string& text) {
+  std::set<std::string> params;
+  std::string entry;
+  int depth = 0;
+  auto flush = [&] {
+    static const std::regex kLast(R"(([A-Za-z_]\w*)\s*$)");
+    std::smatch m;
+    if (std::regex_search(entry, m, kLast)) params.insert(m[1].str());
+    entry.clear();
+  };
+  for (char c : text) {
+    if (c == '(' || c == '<') ++depth;
+    if (c == ')' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      flush();
+    } else {
+      entry += c;
+    }
+  }
+  flush();
+  return params;
+}
+
+/// Identifiers declared inside a lambda body (type-then-name statements).
+std::set<std::string> body_declarations(const std::string& body) {
+  std::set<std::string> decls;
+  static const std::regex kDecl(
+      R"((^|[;{}(])\s*(const\s+)?([A-Za-z_][\w:]*(?:<[^<>;]*>)?)\s*[&*]?\s+([A-Za-z_]\w*)\s*[=;{(])");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    static const std::set<std::string> kNotTypes = {"return", "else", "delete", "new", "throw"};
+    if (kNotTypes.count((*it)[3].str()) == 0) decls.insert((*it)[4].str());
+  }
+  // Structured bindings (`const auto [lo, hi] = ...`) declare each name.
+  static const std::regex kBinding(R"((^|[^\w])auto\s*[&]?\s*\[([^\]]*)\])");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kBinding);
+       it != std::sregex_iterator(); ++it) {
+    std::stringstream names((*it)[2].str());
+    std::string name;
+    while (std::getline(names, name, ',')) {
+      const std::size_t b = name.find_first_not_of(" \t");
+      const std::size_t e = name.find_last_not_of(" \t");
+      if (b != std::string::npos) decls.insert(name.substr(b, e - b + 1));
+    }
+  }
+  // for/range-for loop variables declared in the body count too.
+  static const std::regex kLoopVar(R"((for)\s*\(([^;:()]*[&\s])?([A-Za-z_]\w*)\s*[:=])");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kLoopVar);
+       it != std::sregex_iterator(); ++it) {
+    decls.insert((*it)[3].str());
+  }
+  return decls;
+}
+
+struct Write {
+  std::string target;
+  std::string index;  ///< subscript/call-argument text, "" for plain writes
+  std::size_t offset = 0;
+};
+
+/// Walks an access chain (`obj.field`, `ptr->arr[i].field`) back from the
+/// member at @p off to its base identifier; a write through the chain
+/// mutates the base object, which is what capture safety is about.
+std::size_t chain_base(const std::string& body, std::size_t off) {
+  std::size_t base = off;
+  while (base > 0) {
+    std::size_t j = base;
+    if (body[j - 1] == '.') {
+      --j;
+    } else if (j >= 2 && body[j - 2] == '-' && body[j - 1] == '>') {
+      j -= 2;
+    } else {
+      break;
+    }
+    if (j > 0 && body[j - 1] == ']') {
+      int depth = 0;
+      while (j > 0) {
+        --j;
+        if (body[j] == ']') ++depth;
+        if (body[j] == '[' && --depth == 0) break;
+      }
+    }
+    std::size_t k = j;
+    while (k > 0 && (std::isalnum(static_cast<unsigned char>(body[k - 1])) || body[k - 1] == '_')) {
+      --k;
+    }
+    if (k == j) break;
+    base = k;
+  }
+  return base;
+}
+
+std::vector<Write> find_writes(const std::string& body) {
+  std::vector<Write> writes;
+  auto add = [&](std::string target, std::string index, std::size_t off) {
+    const std::size_t base = chain_base(body, off);
+    if (base != off) {
+      std::size_t end = base;
+      while (end < body.size() &&
+             (std::isalnum(static_cast<unsigned char>(body[end])) || body[end] == '_')) {
+        ++end;
+      }
+      target = body.substr(base, end - base);
+      off = base;
+    }
+    // `auto [lo, hi] = ...` parses as a subscripted write of `auto`; it is
+    // a declaration, not a write.
+    if (target == "auto" || target == "this") return;
+    writes.push_back(Write{std::move(target), std::move(index), off});
+  };
+  static const std::regex kPlain(R"(([A-Za-z_]\w*)\s*(\+=|-=|\*=|/=|=)([^=]|$))");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kPlain);
+       it != std::sregex_iterator(); ++it) {
+    add((*it)[1].str(), "", static_cast<std::size_t>(it->position(1)));
+  }
+  static const std::regex kSubscript(
+      R"(([A-Za-z_]\w*)\s*\[([^\[\]]*)\]\s*(\+=|-=|\*=|/=|=)([^=]|$))");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kSubscript);
+       it != std::sregex_iterator(); ++it) {
+    add((*it)[1].str(), (*it)[2].str(), static_cast<std::size_t>(it->position(1)));
+  }
+  static const std::regex kCallIndex(
+      R"(([A-Za-z_]\w*)\s*\(([^()]*)\)\s*(\+=|-=|\*=|/=|=)([^=]|$))");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kCallIndex);
+       it != std::sregex_iterator(); ++it) {
+    add((*it)[1].str(), (*it)[2].str(), static_cast<std::size_t>(it->position(1)));
+  }
+  static const std::regex kIncDec(R"(([A-Za-z_]\w*)\s*(\+\+|--)|(\+\+|--)\s*([A-Za-z_]\w*))");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kIncDec);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].matched ? (*it)[1].str() : (*it)[4].str();
+    const std::size_t off =
+        static_cast<std::size_t>((*it)[1].matched ? it->position(1) : it->position(4));
+    add(name, "", off);
+  }
+  static const std::regex kMutate(
+      R"(([A-Za-z_]\w*)\.(push_back|emplace_back|insert|erase|clear|resize|pop_back|assign|reset)\s*\()");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), kMutate);
+       it != std::sregex_iterator(); ++it) {
+    add((*it)[1].str(), "", static_cast<std::size_t>(it->position(1)));
+  }
+  return writes;
+}
+
+bool word_in_set(const std::string& text, const std::set<std::string>& words) {
+  for (const std::string& w : words) {
+    if (mentions_word(text, w)) return true;
+  }
+  return false;
+}
+
+void check_parallel_captures(const SourceFile& file, const FileContext& ctx) {
+  if (file.module.empty()) return;  // src/ and tools/ only
+  const FlatCode flat = flatten(file.scanned);
+  static const std::regex kCall(R"((^|[^\w])(parallel_for|parallel_reduce)\s*\()");
+  for (auto it = std::sregex_iterator(flat.text.begin(), flat.text.end(), kCall);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t open = flat.text.find('(', static_cast<std::size_t>(it->position(2)));
+    if (open == std::string::npos) continue;
+    const std::size_t close = match_forward(flat.text, open, '(', ')');
+    // Lambdas inside the argument list: a '[' that follows '(', ',' or
+    // whitespace-after-those (subscripts follow identifiers or ']'/')').
+    for (std::size_t i = open + 1; i < close; ++i) {
+      if (flat.text[i] != '[') continue;
+      std::size_t prev = i;
+      while (prev > open) {
+        --prev;
+        if (!std::isspace(static_cast<unsigned char>(flat.text[prev]))) break;
+      }
+      const char p = flat.text[prev];
+      if (p != '(' && p != ',' && p != '&' && p != '=') continue;
+      const std::size_t cap_close = match_forward(flat.text, i, '[', ']');
+      if (cap_close >= flat.text.size()) continue;
+      const CaptureList captures =
+          parse_captures(flat.text.substr(i + 1, cap_close - i - 1));
+      std::size_t cursor = cap_close + 1;
+      while (cursor < flat.text.size() &&
+             std::isspace(static_cast<unsigned char>(flat.text[cursor]))) {
+        ++cursor;
+      }
+      std::set<std::string> params;
+      if (cursor < flat.text.size() && flat.text[cursor] == '(') {
+        const std::size_t params_close = match_forward(flat.text, cursor, '(', ')');
+        params = parse_params(flat.text.substr(cursor + 1, params_close - cursor - 1));
+        cursor = params_close + 1;
+      }
+      const std::size_t body_open = flat.text.find('{', cursor);
+      if (body_open == std::string::npos) continue;
+      const std::size_t body_close = match_forward(flat.text, body_open, '{', '}');
+      const std::string body = flat.text.substr(body_open + 1, body_close - body_open - 1);
+      const std::set<std::string> locals = body_declarations(body);
+
+      i = body_close;  // nested lambdas inside this body are serial callbacks
+      for (const Write& write : find_writes(body)) {
+        const std::string& v = write.target;
+        if (params.count(v) > 0 || locals.count(v) > 0) continue;
+        const bool by_ref =
+            captures.by_ref.count(v) > 0 || (captures.default_ref && captures.by_val.count(v) == 0);
+        if (!by_ref) continue;
+        if (!write.index.empty() && (word_in_set(write.index, params) ||
+                                     word_in_set(write.index, locals))) {
+          continue;  // index-disjoint: each iteration touches its own slot
+        }
+        const std::size_t line = flat.line_at(body_open + 1 + write.offset);
+        ctx.report(line, "C1",
+                   "parallel lambda writes by-reference capture '" + v +
+                       "' without an index-disjoint subscript; give each iteration its own "
+                       "slot or reduce via parallel_reduce",
+                   v);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass D: header hygiene+
+// ---------------------------------------------------------------------------
+
+bool is_header(const std::string& path) {
+  return path.size() >= 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+const std::regex& module_ref_pattern() {
+  static const std::regex re(
+      R"((^|[^\w:])(util|rng|runtime|telemetry|linalg|core|data|filters|redundancy|attacks|net|dgd|sgd|chaos|transport)::([A-Za-z_]\w*))");
+  return re;
+}
+
+void check_self_contained(const ProjectModel& model, const SourceFile& file,
+                          const FileContext& ctx) {
+  if (!is_header(file.path) || file.module.empty() || file.module == "tools") return;
+  const std::set<std::string> closure = model.include_closure(file.path);
+  const auto declared_it = model.declared.find(file.path);
+  const FlatCode flat = flatten(file.scanned);
+  std::set<std::string> seen;
+  for (auto it = std::sregex_iterator(flat.text.begin(), flat.text.end(), module_ref_pattern());
+       it != std::sregex_iterator(); ++it) {
+    const std::string module = (*it)[2].str();
+    const std::string name = (*it)[3].str();
+    const std::string qualified = module + "::" + name;
+    if (!seen.insert(qualified).second) continue;
+    const auto mod_it = model.symbols.find(module);
+    if (mod_it == model.symbols.end()) continue;
+    const auto sym_it = mod_it->second.find(name);
+    if (sym_it == mod_it->second.end()) continue;  // unknown symbols stay conservative
+    bool reachable = false;
+    for (const SymbolDef& def : sym_it->second) {
+      if (closure.count(def.file) > 0) {
+        reachable = true;
+        break;
+      }
+    }
+    if (reachable) continue;
+    if (declared_it != model.declared.end() && declared_it->second.count(name) > 0) continue;
+    ctx.report(flat.line_at(static_cast<std::size_t>(it->position(3))), "D1",
+               "references " + qualified + " but does not (transitively) include " +
+                   sym_it->second.front().file,
+               qualified);
+  }
+}
+
+void check_header_definitions(const SourceFile& file, const FileContext& ctx) {
+  if (!is_header(file.path) || file.module.empty() || file.module == "tools") return;
+  const FlatCode flat = flatten(file.scanned);
+  const std::vector<BraceSpan> spans = brace_spans(flat);
+  static const std::regex kExempt(
+      R"((^|[^\w])(inline|constexpr|consteval|template|static)([^\w]|$))");
+  static const std::regex kName(R"(([A-Za-z_~]\w*)\s*\()");
+  for (const BraceSpan& span : spans) {
+    if (span.kind != BraceKind::kFunction) continue;
+    if (!at_namespace_scope(spans, span.open)) continue;
+    if (std::regex_search(span.head, kExempt)) continue;
+    if (span.head.find('=') != std::string::npos) continue;  // initializers, lambdas
+    std::string name = "function";
+    for (auto it = std::sregex_iterator(span.head.begin(), span.head.end(), kName);
+         it != std::sregex_iterator(); ++it) {
+      name = (*it)[1].str();
+      break;
+    }
+    ctx.report(flat.line_at(span.open), "D2",
+               "definition of '" + name +
+                   "' at namespace scope in a header without inline; two includers violate "
+                   "the one-definition rule",
+               name);
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() { return kRules; }
+
+std::vector<Finding> analyze_model(const ProjectModel& model) {
+  std::vector<Finding> findings;
+  for (const auto& [path, file] : model.files) {
+    FileContext ctx(file, &findings);
+    check_layering(file, ctx);
+    check_fp_authority(file, ctx);
+    check_parallel_captures(file, ctx);
+    check_self_contained(model, file, ctx);
+    check_header_definitions(file, ctx);
+  }
+  check_cycles(model, &findings);
+  analysis::sort_findings(findings);
+  return findings;
+}
+
+std::vector<Finding> analyze_memory(
+    const std::map<std::string, std::vector<std::string>>& sources) {
+  return analyze_model(build_model(sources));
+}
+
+std::vector<BaselineEntry> parse_baseline(const std::vector<std::string>& lines) {
+  std::vector<BaselineEntry> entries;
+  for (const std::string& line : lines) {
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::vector<std::string> fields;
+    std::string field;
+    std::stringstream ss(line);
+    while (std::getline(ss, field, '\t')) fields.push_back(field);
+    if (fields.size() < 3) continue;
+    BaselineEntry entry;
+    entry.rule = fields[0];
+    entry.file = fields[1];
+    entry.key = fields[2];
+    if (fields.size() > 3) entry.justification = fields[3];
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << f.rule << "\t" << f.file << "\t" << f.key << "\t# TODO: justify or fix\n";
+  }
+  return os.str();
+}
+
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const std::vector<BaselineEntry>& baseline,
+                                    std::vector<BaselineEntry>* stale) {
+  std::vector<bool> used(baseline.size(), false);
+  std::vector<Finding> fresh;
+  for (const Finding& f : findings) {
+    bool matched = false;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (baseline[i].rule == f.rule && baseline[i].file == f.file && baseline[i].key == f.key) {
+        used[i] = true;
+        matched = true;
+      }
+    }
+    if (!matched) fresh.push_back(f);
+  }
+  if (stale) {
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      if (!used[i]) stale->push_back(baseline[i]);
+    }
+  }
+  return fresh;
+}
+
+}  // namespace redopt::analyze

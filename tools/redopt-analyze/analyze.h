@@ -1,0 +1,81 @@
+// redopt-analyze: a multi-pass semantic analyzer over the project model
+// (see model.h).  Where redopt-lint matches single lines, this tool
+// reasons about relationships: include edges against the module layer
+// DAG, floating-point accumulation against the one sanctioned kernel
+// layer, lambda captures at parallel call sites, and headers against
+// the symbol index.
+//
+// Rules (stable IDs; `redopt-analyze --list-rules` prints the table):
+//
+//   A1  module layering: an #include edge that climbs the module DAG
+//       (util/rng -> linalg -> core/data -> filters/redundancy ->
+//       net/dgd/sgd -> chaos/transport; tools on top)
+//   A2  include cycle: a file participates in a transitive #include loop
+//   B1  floating-point accumulation (+=, *= on a double/float local
+//       inside a loop, with loop-dependent terms) outside the FP-order
+//       authority (src/linalg/kernels.* and the allowlisted linalg
+//       implementation files) — summation order decides last-ulp bits,
+//       so exactly one layer is allowed to choose it
+//   C1  unsafe parallel capture: a parallel_for / parallel_reduce lambda
+//       writes a by-reference capture without an index-disjoint
+//       subscript — a data race the single-thread test runs never see
+//   D1  non-self-contained header: a src/ header references a symbol
+//       (module::Name) whose defining header is not in its transitive
+//       include closure
+//   D2  function definition at namespace scope in a header without
+//       inline/constexpr/template — an ODR violation once two TUs
+//       include it
+//
+// Suppression mirrors redopt-lint with a separate directive namespace:
+// `// redopt-analyze: allow(B1)` on the line or the line above,
+// `// redopt-analyze: allow-file(B1)` for the file.  Accepted findings
+// live in tools/redopt-analyze/baseline.txt, keyed on stable
+// discriminators (never line numbers) so the baseline survives drift.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis-common/finding.h"
+#include "model.h"
+
+namespace redopt::analyze {
+
+using analysis::Finding;
+using analysis::RuleInfo;
+
+/// The rule table, in ID order.
+const std::vector<RuleInfo>& rules();
+
+/// Runs all passes over an already-built model.
+std::vector<Finding> analyze_model(const ProjectModel& model);
+
+/// Builds the model from in-memory sources and analyzes it (the fixture
+/// tests' entry point).
+std::vector<Finding> analyze_memory(const std::map<std::string, std::vector<std::string>>& sources);
+
+/// Baseline entry: a finding accepted with justification.  Matching is
+/// by (rule, file, key) — no line numbers.
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string key;
+  std::string justification;  ///< trailing "# ..." comment, if any
+};
+
+/// Parses baseline lines of the form `RULE<TAB>file<TAB>key[<TAB># why]`.
+/// Blank lines and lines starting with '#' are skipped.
+std::vector<BaselineEntry> parse_baseline(const std::vector<std::string>& lines);
+
+/// Renders findings in baseline format (one line per finding).
+std::string render_baseline(const std::vector<Finding>& findings);
+
+/// Splits @p findings into new findings (returned) and baseline matches;
+/// appends entries that matched nothing to @p stale (they name fixed
+/// findings and should be pruned from the baseline file).
+std::vector<Finding> apply_baseline(const std::vector<Finding>& findings,
+                                    const std::vector<BaselineEntry>& baseline,
+                                    std::vector<BaselineEntry>* stale);
+
+}  // namespace redopt::analyze

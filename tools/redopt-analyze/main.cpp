@@ -1,0 +1,147 @@
+// CLI driver for redopt-analyze.
+//
+//   redopt-analyze [--root <dir>] [--list-rules] [--json]
+//                  [--baseline <file> | --no-baseline]
+//                  [--write-baseline <file>] [paths...]
+//
+// Paths default to src tools — the layered code the project model
+// covers.  The committed baseline (tools/redopt-analyze/baseline.txt,
+// resolved under --root) names accepted findings by stable key; any
+// finding not in the baseline exits nonzero.  --write-baseline renders
+// the current findings in baseline format to seed or refresh the file.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis-common/finding.h"
+#include "analysis-common/scan.h"
+#include "analysis-common/walker.h"
+#include "analyze.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int list_rules() {
+  for (const auto& rule : redopt::analyze::rules()) {
+    std::cout << rule.id << "  " << rule.summary << "\n      why: " << rule.rationale << "\n";
+  }
+  std::cout << "\nsuppress with `// redopt-analyze: allow(<rule>[,<rule>...])` on the offending\n"
+               "line or the line above, or `// redopt-analyze: allow-file(<rule>)` for a file;\n"
+               "accepted findings live in tools/redopt-analyze/baseline.txt (rule, file, stable\n"
+               "key, tab-separated, with a trailing `# justification`).\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> targets;
+  std::string baseline_path = "tools/redopt-analyze/baseline.txt";
+  std::string write_baseline_path;
+  bool use_baseline = true;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
+    if (arg == "--no-baseline") {
+      use_baseline = false;
+      continue;
+    }
+    if (arg == "--root" || arg == "--baseline" || arg == "--write-baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "redopt-analyze: " << arg << " needs an argument\n";
+        return 2;
+      }
+      const std::string value = argv[++i];
+      if (arg == "--root") {
+        root = value;
+      } else if (arg == "--baseline") {
+        baseline_path = value;
+      } else {
+        write_baseline_path = value;
+      }
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: redopt-analyze [--root <dir>] [--list-rules] [--json]\n"
+                   "                      [--baseline <file> | --no-baseline]\n"
+                   "                      [--write-baseline <file>] [paths...]\n";
+      return 0;
+    }
+    targets.push_back(arg);
+  }
+  if (targets.empty()) targets = {"src", "tools"};
+
+  std::vector<std::string> files;
+  for (const std::string& t : targets) {
+    redopt::analysis::collect_sources(root, t, "redopt-analyze", &files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::map<std::string, std::vector<std::string>> sources;
+  for (const std::string& rel : files) {
+    sources.emplace(rel, redopt::analysis::read_lines((root / rel).string()));
+  }
+
+  std::vector<redopt::analyze::Finding> findings = redopt::analyze::analyze_memory(sources);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    out << "# redopt-analyze baseline: accepted findings, one per line as\n"
+           "# RULE<TAB>file<TAB>key<TAB># justification.  Keys are stable\n"
+           "# discriminators (no line numbers).  Keep this list short and\n"
+           "# every entry justified — fixing beats baselining.\n";
+    out << redopt::analyze::render_baseline(findings);
+    std::cout << "redopt-analyze: wrote " << findings.size() << " baseline entr"
+              << (findings.size() == 1 ? "y" : "ies") << " to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  std::vector<redopt::analyze::BaselineEntry> baseline;
+  if (use_baseline) {
+    const fs::path resolved =
+        fs::path(baseline_path).is_absolute() ? fs::path(baseline_path) : root / baseline_path;
+    if (fs::exists(resolved)) {
+      baseline =
+          redopt::analyze::parse_baseline(redopt::analysis::read_lines(resolved.string()));
+    }
+  }
+  std::vector<redopt::analyze::BaselineEntry> stale;
+  const std::vector<redopt::analyze::Finding> fresh =
+      redopt::analyze::apply_baseline(findings, baseline, &stale);
+
+  if (json) {
+    std::cout << redopt::analysis::findings_json(fresh);
+  } else {
+    for (const auto& f : fresh) std::cout << redopt::analysis::format_finding(f) << "\n";
+  }
+  for (const auto& entry : stale) {
+    std::cerr << "redopt-analyze: warning: stale baseline entry (fixed? prune it): " << entry.rule
+              << " " << entry.file << " " << entry.key << "\n";
+  }
+  if (!fresh.empty()) {
+    if (!json) {
+      std::cout << "redopt-analyze: " << fresh.size() << " finding(s) in " << files.size()
+                << " file(s)\n";
+    }
+    return 1;
+  }
+  if (!json) {
+    std::cout << "redopt-analyze: clean (" << files.size() << " files"
+              << (baseline.empty() ? "" : ", " + std::to_string(baseline.size() - stale.size()) +
+                                              " baselined")
+              << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,334 @@
+#include "model.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+
+namespace redopt::analyze {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// Lexically normalizes "a/b/../c" -> "a/c" (enough for quoted includes).
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string part;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (part == "..") {
+        if (!parts.empty()) parts.pop_back();
+      } else if (!part.empty() && part != ".") {
+        parts.push_back(part);
+      }
+      part.clear();
+    } else {
+      part += path[i];
+    }
+  }
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string module_of(const std::string& path) {
+  if (starts_with(path, "tools/")) return "tools";
+  if (!starts_with(path, "src/")) return "";
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+int layer_rank(const std::string& module) {
+  // The module dependency DAG (see CONTRIBUTING.md "Module layering"):
+  // higher layers may include lower ones, never the reverse.
+  static const std::map<std::string, int> kRanks = {
+      {"util", 0},
+      {"rng", 1},      {"runtime", 1}, {"telemetry", 1},
+      {"linalg", 2},
+      {"core", 3},     {"data", 3},
+      {"filters", 4},  {"redundancy", 4}, {"attacks", 4},
+      {"net", 5},      {"dgd", 5},     {"sgd", 5},
+      {"chaos", 6},    {"transport", 6},
+      {"tools", 7},
+  };
+  const auto it = kRanks.find(module);
+  return it == kRanks.end() ? -1 : it->second;
+}
+
+bool edge_allowed(const std::string& from_module, const std::string& to_module) {
+  if (from_module == to_module) return true;
+  if (from_module == "tools") return true;   // tools may depend on anything
+  if (to_module == "tools") return false;    // nothing depends on tools
+  const int from = layer_rank(from_module);
+  const int to = layer_rank(to_module);
+  if (from < 0 || to < 0) return true;  // unknown modules are not layered
+  if (to < from) return true;
+  // Same-rank allowances: construction uses the instance vocabulary
+  // (data -> core), the protocol layers reuse the DGD trainer pieces
+  // (net/sgd -> dgd), and the transport harness drives chaos schedules.
+  static const std::set<std::pair<std::string, std::string>> kAllowed = {
+      {"data", "core"}, {"net", "dgd"}, {"sgd", "dgd"}, {"transport", "chaos"}};
+  return kAllowed.count({from_module, to_module}) > 0;
+}
+
+const SourceFile* ProjectModel::find(const std::string& path) const {
+  const auto it = files.find(path);
+  return it == files.end() ? nullptr : &it->second;
+}
+
+std::set<std::string> ProjectModel::include_closure(const std::string& path) const {
+  std::set<std::string> closure;
+  std::vector<std::string> stack{path};
+  while (!stack.empty()) {
+    const std::string current = stack.back();
+    stack.pop_back();
+    if (!closure.insert(current).second) continue;
+    const SourceFile* file = find(current);
+    if (!file) continue;
+    for (const IncludeEdge& edge : file->includes) stack.push_back(edge.target);
+  }
+  return closure;
+}
+
+FlatCode flatten(const std::vector<analysis::ScannedLine>& scanned) {
+  FlatCode flat;
+  bool continued = false;  // previous line was a directive ending in backslash
+  for (std::size_t i = 0; i < scanned.size(); ++i) {
+    const std::string& code = scanned[i].code;
+    // Preprocessor lines are blanked: they are not statements, and a
+    // `#include` or `#define` folded into the next statement head would
+    // confuse the brace classifier and the symbol indexer.  Multi-line
+    // macros are blanked in full by tracking backslash continuations.
+    // (Pass A reads the #include lines from the scanned views directly.)
+    const std::size_t first = code.find_first_not_of(" \t");
+    const bool preprocessor = continued || (first != std::string::npos && code[first] == '#');
+    const std::size_t last = code.find_last_not_of(" \t");
+    continued = preprocessor && last != std::string::npos && code[last] == '\\';
+    for (char c : code) {
+      flat.text += preprocessor ? ' ' : c;
+      flat.line.push_back(i + 1);
+    }
+    flat.text += '\n';
+    flat.line.push_back(i + 1);
+  }
+  return flat;
+}
+
+std::vector<BraceSpan> brace_spans(const FlatCode& code) {
+  std::vector<BraceSpan> spans;
+  std::vector<std::size_t> open_stack;  // indices into spans
+  std::string head;
+  static const std::regex kType(R"((^|[^\w])(class|struct|enum|union)\b)");
+  for (std::size_t i = 0; i < code.text.size(); ++i) {
+    const char c = code.text[i];
+    if (c == '{') {
+      BraceSpan span;
+      span.open = i;
+      span.close = code.text.size();
+      span.head = head;
+      if (head.find("namespace") != std::string::npos) {
+        span.kind = BraceKind::kNamespace;
+      } else if (std::regex_search(head, kType) && head.find('(') == std::string::npos) {
+        span.kind = BraceKind::kType;
+      } else if (head.find(')') != std::string::npos) {
+        span.kind = BraceKind::kFunction;
+      } else {
+        span.kind = BraceKind::kOther;
+      }
+      open_stack.push_back(spans.size());
+      spans.push_back(std::move(span));
+      head.clear();
+    } else if (c == '}') {
+      if (!open_stack.empty()) {
+        spans[open_stack.back()].close = i;
+        open_stack.pop_back();
+      }
+      head.clear();
+    } else if (c == ';') {
+      head.clear();
+    } else {
+      head += c;
+    }
+  }
+  return spans;
+}
+
+bool at_namespace_scope(const std::vector<BraceSpan>& spans, std::size_t offset) {
+  for (const BraceSpan& span : spans) {
+    if (span.open < offset && offset < span.close && span.kind != BraceKind::kNamespace) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+const std::set<std::string>& identifier_blocklist() {
+  static const std::set<std::string> kBlocked = {
+      "if",     "for",    "while",   "switch",   "return", "sizeof",  "catch",
+      "static_assert",    "alignas", "decltype", "noexcept", "operator", "throw"};
+  return kBlocked;
+}
+
+/// Indexes the namespace-scope declarations of one header into the
+/// model's symbol tables.  Statement heads are the text between
+/// ';'/'{'/'}' separators; terminator says which separator ended the
+/// statement ('{' marks a definition with a body).
+void index_statement(const std::string& head, char terminator, const std::string& path,
+                     const std::string& module, std::size_t line, ProjectModel* model) {
+  static const std::regex kTypeDecl(R"((?:^|[^\w])(?:class|struct)\s+([A-Za-z_]\w*))");
+  static const std::regex kEnumDecl(R"((?:^|[^\w])enum\s+(?:class\s+|struct\s+)?([A-Za-z_]\w*))");
+  static const std::regex kAlias(R"((?:^|[^\w])using\s+([A-Za-z_]\w*)\s*=)");
+  static const std::regex kUsingDecl(R"((?:^|[^\w])using\s+(?:[A-Za-z_]\w*::)+([A-Za-z_]\w*)$)");
+  static const std::regex kFunction(R"(([A-Za-z_]\w*)\s*\()");
+
+  auto& module_symbols = model->symbols[module];
+  auto note = [&](const std::string& name, bool definition) {
+    model->declared[path].insert(name);
+    auto& defs = module_symbols[name];
+    for (const SymbolDef& def : defs) {
+      if (def.file == path) return;  // one entry per (symbol, header)
+    }
+    // Real definitions go to the front so reports name a defining header.
+    if (definition) {
+      defs.insert(defs.begin(), SymbolDef{path, line});
+    } else {
+      defs.push_back(SymbolDef{path, line});
+    }
+  };
+
+  std::smatch m;
+  if (std::regex_search(head, m, kTypeDecl)) {
+    // `class X {`, `class X : base {`, `class X final {` are definitions;
+    // `class X;` is a forward declaration (indexed, but never preferred).
+    note(m[1].str(), terminator == '{');
+    return;
+  }
+  if (std::regex_search(head, m, kEnumDecl)) {
+    note(m[1].str(), terminator == '{');
+    return;
+  }
+  if (std::regex_search(head, m, kAlias)) {
+    note(m[1].str(), true);
+    return;
+  }
+  // `using linalg::Vector;` re-exports the name into this module: the
+  // header carrying the using-declaration is its defining header here.
+  if (std::regex_search(head, m, kUsingDecl)) {
+    note(m[1].str(), true);
+    return;
+  }
+  // Free function declaration/definition: the first `name(` whose name is
+  // not a keyword.  Heads without parentheses (variables) are skipped —
+  // pass D only resolves type and function references.
+  for (auto it = std::sregex_iterator(head.begin(), head.end(), kFunction);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (identifier_blocklist().count(name) > 0) continue;
+    note(name, terminator == '{');
+    return;
+  }
+}
+
+void index_header(const SourceFile& file, ProjectModel* model) {
+  const FlatCode flat = flatten(file.scanned);
+  const std::vector<BraceSpan> spans = brace_spans(flat);
+  std::string head;
+  std::size_t head_start = 0;
+  bool head_open = false;
+  for (std::size_t i = 0; i < flat.text.size(); ++i) {
+    const char c = flat.text[i];
+    if (c == ';' || c == '{' || c == '}') {
+      if (c != '}' && head_open && at_namespace_scope(spans, i)) {
+        index_statement(head, c, file.path, file.module, flat.line_at(head_start), model);
+      }
+      if (c == '{') {
+        // Skip type/function bodies wholesale: nested declarations belong
+        // to the enclosing type, not the namespace.  Namespace bodies ARE
+        // namespace scope, so the walk descends into them.
+        for (const BraceSpan& span : spans) {
+          if (span.open == i) {
+            if (span.kind != BraceKind::kNamespace) i = span.close;
+            break;
+          }
+        }
+      }
+      head.clear();
+      head_open = false;
+    } else {
+      if (!head_open && !std::isspace(static_cast<unsigned char>(c))) {
+        head_open = true;
+        head_start = i;
+      }
+      head += c;
+    }
+  }
+}
+
+}  // namespace
+
+ProjectModel build_model(const std::map<std::string, std::vector<std::string>>& sources) {
+  ProjectModel model;
+  for (const auto& [path, lines] : sources) {
+    SourceFile file;
+    file.path = path;
+    file.module = module_of(path);
+    file.raw = lines;
+    file.scanned = analysis::scan_lines(lines);
+    model.files.emplace(path, std::move(file));
+  }
+
+  // Resolve quoted includes the way the build does: against src/ (the
+  // library's include root), against the including file's directory
+  // (the tools' local headers), against tools/ (analysis-common), and
+  // verbatim.  Unresolved includes (system headers, gtest) are dropped.
+  // The include TARGET lives in a string literal, which the code view
+  // blanks; the code view still proves the line is a real directive (not
+  // a commented-out one), and the raw line supplies the path.
+  static const std::regex kDirective(R"(^\s*#\s*include\s*")");
+  static const std::regex kInclude(R"(#\s*include\s*"([^"]+)\")");
+  for (auto& [path, file] : model.files) {
+    const std::string dir = dirname_of(path);
+    for (std::size_t i = 0; i < file.scanned.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(file.scanned[i].code, kDirective)) continue;
+      if (!std::regex_search(file.raw[i], m, kInclude)) continue;
+      const std::string quoted = m[1].str();
+      std::string resolved;
+      for (const std::string& candidate :
+           {std::string("src/") + quoted, dir.empty() ? quoted : dir + "/" + quoted,
+            std::string("tools/") + quoted, quoted}) {
+        const std::string norm = normalize(candidate);
+        if (model.files.count(norm) > 0) {
+          resolved = norm;
+          break;
+        }
+      }
+      if (!resolved.empty()) file.includes.push_back(IncludeEdge{i + 1, resolved});
+    }
+  }
+
+  // Symbol index over src/ headers.
+  for (const auto& [path, file] : model.files) {
+    if (file.module.empty() || file.module == "tools") continue;
+    if (path.size() < 2 || path.compare(path.size() - 2, 2, ".h") != 0) continue;
+    index_header(file, &model);
+  }
+  return model;
+}
+
+}  // namespace redopt::analyze

@@ -1,0 +1,125 @@
+// The project model redopt-analyze builds before any pass runs.
+//
+// Three layers, all derived from the comment/string-stripped code views
+// the shared scanner produces:
+//
+//   * per-TU token stream: raw lines + code/comment views (ScannedLine);
+//   * the full quoted-#include graph, resolved the way the build does
+//     (src-relative first, then relative to the including file's
+//     directory for the tools' local headers);
+//   * a lightweight symbol index: type / alias / function names defined
+//     in each src/ module's headers, so pass D can ask "which header
+//     defines linalg::Matrix?" without a real compiler.
+//
+// The model is built from an in-memory {path -> lines} map so the
+// fixture tests can assemble fake trees; the CLI fills the map from
+// disk via the shared walker.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis-common/scan.h"
+
+namespace redopt::analyze {
+
+/// One #include edge, kept with its source line for reporting.
+struct IncludeEdge {
+  std::size_t line = 0;     ///< 1-based line of the #include
+  std::string target;       ///< resolved repo-relative path (model files only)
+};
+
+/// One scanned translation unit (header or .cpp).
+struct SourceFile {
+  std::string path;    ///< repo-relative generic path
+  std::string module;  ///< "linalg" for src/linalg/..., "tools" under tools/, else ""
+  std::vector<std::string> raw;
+  std::vector<analysis::ScannedLine> scanned;
+  std::vector<IncludeEdge> includes;  ///< resolved edges into the model
+};
+
+/// Where a symbol is defined: the header path and the defining line.
+struct SymbolDef {
+  std::string file;
+  std::size_t line = 0;
+};
+
+/// The assembled model.
+struct ProjectModel {
+  std::map<std::string, SourceFile> files;  ///< path -> scanned file
+
+  /// module -> symbol name -> every header declaring it (definitions,
+  /// re-exporting using-declarations, forward declarations).  Indexed
+  /// from src/ headers only (names at namespace scope); the defining
+  /// module is taken from the header's path.  A referencing header is
+  /// self-contained if ANY of these is in its include closure.
+  std::map<std::string, std::map<std::string, std::vector<SymbolDef>>> symbols;
+
+  /// header -> names it declares (definitions AND forward declarations),
+  /// so a header that forward-declares a type it only uses by reference
+  /// is self-contained without including the definition.
+  std::map<std::string, std::set<std::string>> declared;
+
+  const SourceFile* find(const std::string& path) const;
+
+  /// Transitive include closure of @p path, including @p path itself.
+  std::set<std::string> include_closure(const std::string& path) const;
+};
+
+/// All code views of a file joined with '\n', with a char-offset ->
+/// 1-based line map so passes can parse across line boundaries (loop
+/// bodies, lambda captures) and still report precise locations.
+struct FlatCode {
+  std::string text;
+  std::vector<std::size_t> line;  ///< line.size() == text.size()
+
+  std::size_t line_at(std::size_t offset) const {
+    return offset < line.size() ? line[offset] : (line.empty() ? 1 : line.back());
+  }
+};
+
+FlatCode flatten(const std::vector<analysis::ScannedLine>& scanned);
+
+/// What a brace pair encloses, classified from the statement head
+/// preceding the '{'.
+enum class BraceKind { kNamespace, kType, kFunction, kOther };
+
+/// One matched (or unterminated) brace pair in a FlatCode.
+struct BraceSpan {
+  BraceKind kind = BraceKind::kOther;
+  std::size_t open = 0;   ///< offset of '{'
+  std::size_t close = 0;  ///< offset of '}' (text.size() if unterminated)
+  std::string head;       ///< statement text preceding the '{'
+};
+
+/// Matches every brace pair in @p code, innermost spans listed after the
+/// enclosing ones (open-offset order).
+std::vector<BraceSpan> brace_spans(const FlatCode& code);
+
+/// True iff every brace span containing @p offset is a namespace (i.e.
+/// the offset sits at namespace scope).
+bool at_namespace_scope(const std::vector<BraceSpan>& spans, std::size_t offset);
+
+/// Builds the model: scans every file, resolves includes, indexes symbols.
+ProjectModel build_model(const std::map<std::string, std::vector<std::string>>& sources);
+
+/// Module name for layering: "util" for src/util/foo.h, "tools" for any
+/// tools/ path, "" for everything else (tests, bench, examples).
+std::string module_of(const std::string& path);
+
+/// Layer rank of a module in the dependency DAG (docs: CONTRIBUTING.md);
+/// higher ranks may include lower ranks, never the reverse.  -1 for
+/// unknown modules.
+int layer_rank(const std::string& module);
+
+/// True iff an #include edge from @p from_module into @p to_module is
+/// legal: same module, strictly downward in rank, one of the explicit
+/// same-rank allowances (data->core, net->dgd, sgd->dgd,
+/// transport->chaos), or from tools/ (which may depend on anything).
+bool edge_allowed(const std::string& from_module, const std::string& to_module);
+
+}  // namespace redopt::analyze

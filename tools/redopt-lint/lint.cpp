@@ -1,12 +1,14 @@
 #include "lint.h"
 
 #include <algorithm>
-#include <cctype>
-#include <fstream>
 #include <regex>
 #include <sstream>
 
+#include "analysis-common/scan.h"
+
 namespace redopt::lint {
+
+using analysis::ScannedLine;
 
 namespace {
 
@@ -73,107 +75,16 @@ bool is_serialization_path(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
-// Comment / string stripping
-// ---------------------------------------------------------------------------
-
-/// Per-line scan product: `code` has comments and string/char literal
-/// bodies blanked with spaces (delimiters kept), `comment` holds the
-/// comment text so suppression directives survive the blanking.
-struct ScannedLine {
-  std::string code;
-  std::string comment;
-};
-
-/// Reduces raw source lines to code + comment views.  Tracks block
-/// comments across lines; handles escapes inside literals.  Raw string
-/// literals are treated as ordinary strings (good enough for a linter —
-/// the repo style avoids multi-line raw literals in src/).
-std::vector<ScannedLine> scan_lines(const std::vector<std::string>& lines) {
-  std::vector<ScannedLine> out;
-  out.reserve(lines.size());
-  bool in_block_comment = false;
-  for (const std::string& raw : lines) {
-    ScannedLine sl;
-    sl.code.reserve(raw.size());
-    for (std::size_t i = 0; i < raw.size();) {
-      if (in_block_comment) {
-        if (raw.compare(i, 2, "*/") == 0) {
-          in_block_comment = false;
-          sl.code += "  ";
-          i += 2;
-        } else {
-          sl.comment += raw[i];
-          sl.code += ' ';
-          ++i;
-        }
-        continue;
-      }
-      const char c = raw[i];
-      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
-        sl.comment.append(raw, i + 2, std::string::npos);
-        sl.code.append(raw.size() - i, ' ');
-        break;
-      }
-      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
-        in_block_comment = true;
-        sl.code += "  ";
-        i += 2;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        sl.code += quote;
-        ++i;
-        while (i < raw.size()) {
-          if (raw[i] == '\\' && i + 1 < raw.size()) {
-            sl.code += "  ";
-            i += 2;
-            continue;
-          }
-          if (raw[i] == quote) {
-            sl.code += quote;
-            ++i;
-            break;
-          }
-          sl.code += ' ';
-          ++i;
-        }
-        continue;
-      }
-      sl.code += c;
-      ++i;
-    }
-    out.push_back(std::move(sl));
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
 // Suppression directives
 // ---------------------------------------------------------------------------
 
-/// Parses `redopt-lint: allow(D1,D2)` / `allow-file(D1)` out of one
-/// line's comment text.  Returns rule IDs; `file_scope` reports which
-/// directive form was seen.
+/// redopt-lint's directive namespace over the shared parser.
 std::vector<std::string> parse_allows(const std::string& comment, bool* file_scope) {
-  static const std::regex kDirective(R"(redopt-lint:\s*(allow|allow-file)\s*\(([^)]*)\))");
-  std::vector<std::string> ids;
-  std::smatch m;
-  if (!std::regex_search(comment, m, kDirective)) return ids;
-  *file_scope = (m[1].str() == "allow-file");
-  std::string list = m[2].str();
-  std::stringstream ss(list);
-  std::string id;
-  while (std::getline(ss, id, ',')) {
-    id.erase(std::remove_if(id.begin(), id.end(), [](unsigned char ch) { return std::isspace(ch); }),
-             id.end());
-    if (!id.empty()) ids.push_back(id);
-  }
-  return ids;
+  return analysis::parse_allows("redopt-lint", comment, file_scope);
 }
 
 bool allows_rule(const std::vector<std::string>& ids, const std::string& rule) {
-  return std::find(ids.begin(), ids.end(), rule) != ids.end();
+  return analysis::allows_rule(ids, rule);
 }
 
 // ---------------------------------------------------------------------------
@@ -286,7 +197,7 @@ struct Context {
 
   void report(std::size_t index, const char* rule, std::string message) const {
     if (suppressed(index, rule)) return;
-    findings->push_back(Finding{path, index + 1, rule, std::move(message)});
+    findings->push_back(Finding{path, index + 1, rule, std::move(message), {}});
   }
 };
 
@@ -467,7 +378,7 @@ void check_t2(const Context& ctx) {
 const std::vector<RuleInfo>& rules() { return kRules; }
 
 std::vector<Finding> lint_lines(const std::string& path, const std::vector<std::string>& lines) {
-  const std::vector<ScannedLine> scanned = scan_lines(lines);
+  const std::vector<ScannedLine> scanned = analysis::scan_lines(lines);
   std::vector<Finding> findings;
   Context ctx{path, lines, scanned, {}, &findings};
   for (const ScannedLine& sl : scanned) {
@@ -490,17 +401,9 @@ std::vector<Finding> lint_lines(const std::string& path, const std::vector<std::
 }
 
 std::vector<Finding> lint_file(const std::string& file_path, const std::string& display_path) {
-  std::ifstream in(file_path);
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  return lint_lines(display_path, lines);
+  return lint_lines(display_path, analysis::read_lines(file_path));
 }
 
-std::string format_finding(const Finding& finding) {
-  std::ostringstream os;
-  os << finding.file << ":" << finding.line << ": [" << finding.rule << "] " << finding.message;
-  return os.str();
-}
+std::string format_finding(const Finding& finding) { return analysis::format_finding(finding); }
 
 }  // namespace redopt::lint

@@ -46,22 +46,14 @@
 #include <string>
 #include <vector>
 
+#include "analysis-common/finding.h"
+
 namespace redopt::lint {
 
-/// One rule violation at a specific source location.
-struct Finding {
-  std::string file;     ///< path as given to the scanner
-  std::size_t line;     ///< 1-based line number
-  std::string rule;     ///< stable rule ID ("D1", ...)
-  std::string message;  ///< what fired and why it matters
-};
-
-/// Static description of one rule, for --list-rules and docs.
-struct RuleInfo {
-  const char* id;
-  const char* summary;    ///< what the rule bans/requires
-  const char* rationale;  ///< why violating it breaks the contract
-};
+/// Finding/rule types are shared with redopt-analyze (analysis-common)
+/// so both gates render the same text and JSON formats.
+using Finding = redopt::analysis::Finding;
+using RuleInfo = redopt::analysis::RuleInfo;
 
 /// The rule table, in ID order.
 const std::vector<RuleInfo>& rules();

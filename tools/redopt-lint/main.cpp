@@ -1,44 +1,26 @@
 // CLI driver for redopt-lint.
 //
-//   redopt-lint [--root <dir>] [--list-rules] [paths...]
+//   redopt-lint [--root <dir>] [--list-rules] [--json] [paths...]
 //
 // Paths are interpreted relative to --root (default: the current
 // directory) and default to the directories the repo's invariants cover:
 // src bench tests examples tools.  Exits nonzero when any finding
 // survives suppression, printing one "file:line: [RULE] message" per
-// finding — the format editors and CI annotate directly.
+// finding (or, with --json, one JSON array of findings) — the same
+// formats redopt-analyze emits, so CI annotates both gates identically.
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis-common/finding.h"
+#include "analysis-common/walker.h"
 #include "lint.h"
 
 namespace fs = std::filesystem;
 
 namespace {
-
-bool is_cxx_source(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".cpp";
-}
-
-void collect(const fs::path& root, const std::string& rel, std::vector<std::string>* out) {
-  const fs::path target = root / rel;
-  if (fs::is_regular_file(target)) {
-    if (is_cxx_source(target)) out->push_back(rel);
-    return;
-  }
-  if (!fs::is_directory(target)) {
-    std::cerr << "redopt-lint: warning: no such path: " << target.string() << "\n";
-    return;
-  }
-  for (const auto& entry : fs::recursive_directory_iterator(target)) {
-    if (!entry.is_regular_file() || !is_cxx_source(entry.path())) continue;
-    out->push_back(fs::relative(entry.path(), root).generic_string());
-  }
-}
 
 int list_rules() {
   for (const auto& rule : redopt::lint::rules()) {
@@ -55,9 +37,14 @@ int list_rules() {
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::vector<std::string> targets;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") return list_rules();
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
     if (arg == "--root") {
       if (i + 1 >= argc) {
         std::cerr << "redopt-lint: --root needs a directory\n";
@@ -67,7 +54,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: redopt-lint [--root <dir>] [--list-rules] [paths...]\n";
+      std::cout << "usage: redopt-lint [--root <dir>] [--list-rules] [--json] [paths...]\n";
       return 0;
     }
     targets.push_back(arg);
@@ -75,17 +62,24 @@ int main(int argc, char** argv) {
   if (targets.empty()) targets = {"src", "bench", "tests", "examples", "tools"};
 
   std::vector<std::string> files;
-  for (const std::string& t : targets) collect(root, t, &files);
+  for (const std::string& t : targets) {
+    redopt::analysis::collect_sources(root, t, "redopt-lint", &files);
+  }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  std::size_t total = 0;
+  std::vector<redopt::lint::Finding> all;
   for (const std::string& rel : files) {
     const auto findings = redopt::lint::lint_file((root / rel).string(), rel);
-    for (const auto& f : findings) std::cout << redopt::lint::format_finding(f) << "\n";
-    total += findings.size();
+    all.insert(all.end(), findings.begin(), findings.end());
   }
-  if (total > 0) {
-    std::cout << "redopt-lint: " << total << " finding(s) in " << files.size() << " file(s)\n";
+  if (json) {
+    std::cout << redopt::analysis::findings_json(all);
+    return all.empty() ? 0 : 1;
+  }
+  for (const auto& f : all) std::cout << redopt::lint::format_finding(f) << "\n";
+  if (!all.empty()) {
+    std::cout << "redopt-lint: " << all.size() << " finding(s) in " << files.size() << " file(s)\n";
     return 1;
   }
   std::cout << "redopt-lint: clean (" << files.size() << " files)\n";
