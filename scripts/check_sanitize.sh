@@ -11,7 +11,7 @@ set -eu
 SANITIZE=${1:-thread}
 THREADS=${2:-4}
 BUILD="build-sanitize-${SANITIZE//,/-}"
-TESTS="test_runtime test_trainer test_async_trainer test_sgd test_telemetry test_chaos test_fuzz_io test_transport test_analyze"
+TESTS="test_runtime test_trainer test_async_trainer test_sgd test_telemetry test_chaos test_fuzz_io test_transport test_elastic test_analyze"
 
 cmake -B "$BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DREDOPT_SANITIZE="$SANITIZE"
 for t in $TESTS; do

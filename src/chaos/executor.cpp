@@ -77,20 +77,53 @@ MaterializedScenario materialize_scenario(const Scenario& s) {
   }
   REDOPT_REQUIRE(!never_faulty.empty(), "scenario: every agent is faulty");
 
+  // Elastic scenarios anchor the reference on the agents that are both
+  // never faulty and still live in the final round — the cohort whose
+  // aggregate the trainer can actually serve once churn settles.  An
+  // empty intersection falls back to the never-faulty set.
+  std::vector<std::size_t> reference_agents;
+  for (std::size_t i : never_faulty) {
+    if (s.member_at(i, s.rounds - 1)) reference_agents.push_back(i);
+  }
+  if (reference_agents.empty()) reference_agents = never_faulty;
+
   MaterializedScenario out;
   if (s.problem == "mean") {
     linalg::Vector mu(s.d);
     for (auto& v : mu) v = problem_rng.uniform(-3.0, 3.0);
     auto instance = data::make_mean_estimation(mu, s.noise_sigma, s.n, s.f, problem_rng);
-    out.reference = data::honest_sample_mean(instance, never_faulty);
+    out.reference = data::honest_sample_mean(instance, reference_agents);
     out.problem = std::move(instance.problem);
   } else if (s.problem == "block_regression") {
     linalg::Vector x_star(s.d);
     for (auto& v : x_star) v = problem_rng.uniform(-3.0, 3.0);
     auto instance =
         data::make_orthonormal_regression(s.n, s.d, s.f, s.noise_sigma, x_star, problem_rng);
-    out.reference = data::block_regression_argmin(instance, never_faulty);
+    out.reference = data::block_regression_argmin(instance, reference_agents);
     out.problem = std::move(instance.problem);
+  } else if (s.problem == "streaming_regression") {
+    linalg::Vector x_star(s.d);
+    for (auto& v : x_star) v = problem_rng.uniform(-3.0, 3.0);
+    out.problem.f = s.f;
+    for (std::size_t i = 0; i < s.n; ++i) {
+      auto cost = std::make_shared<data::StreamingLeastSquaresCost>(
+          s.d, x_star, s.noise_sigma, problem_rng.fork("stream-agent-" + std::to_string(i)));
+      out.streams.push_back(cost);
+      out.problem.costs.push_back(cost);
+    }
+    out.problem.validate();
+    // Reference: the honest aggregate argmin over the FINAL dataset —
+    // clone each reference agent's stream (rng state included) and absorb
+    // its entire arrival schedule, exactly as its replica will.
+    std::vector<std::shared_ptr<const data::StreamingLeastSquaresCost>> final_costs;
+    for (std::size_t i : reference_agents) {
+      auto final_cost = std::make_shared<data::StreamingLeastSquaresCost>(*out.streams[i]);
+      for (const StreamEvent& event : s.stream) {
+        if (event.agent == i) final_cost->absorb(event.rows);
+      }
+      final_costs.push_back(std::move(final_cost));
+    }
+    out.reference = data::streaming_argmin(final_costs);
   } else {
     REDOPT_REQUIRE(s.problem == "regression", "scenario: unknown problem family: " + s.problem);
     linalg::Vector x_star(s.d);
@@ -98,7 +131,7 @@ MaterializedScenario materialize_scenario(const Scenario& s) {
     const auto matrix = data::redundant_matrix(s.n, s.d, s.f, problem_rng);
     auto instance = data::make_regression(matrix, x_star, s.noise_sigma, s.f, problem_rng);
     try {
-      out.reference = data::regression_argmin(instance, never_faulty);
+      out.reference = data::regression_argmin(instance, reference_agents);
     } catch (const PreconditionError&) {
       // Over-budget scenarios can leave fewer than n - 2f honest rows, so
       // the honest argmin need not be unique; anchor on the planted
@@ -112,6 +145,9 @@ MaterializedScenario materialize_scenario(const Scenario& s) {
 
 ScenarioResult run_scenario(const Scenario& s, const ExecutorOptions& options) {
   s.validate();
+  REDOPT_REQUIRE(!s.elastic(),
+                 "scenario carries membership/stream events; run it through "
+                 "elastic::run_elastic (chaos-replay routes there automatically)");
 
   // Telemetry handles first: registration must happen in a serial context.
   auto& reg = telemetry::registry();

@@ -18,6 +18,7 @@
 #include "attacks/attack.h"
 #include "chaos/scenario.h"
 #include "core/problem.h"
+#include "data/streaming.h"
 #include "filters/gradient_filter.h"
 #include "linalg/vector.h"
 
@@ -26,11 +27,17 @@ namespace redopt::chaos {
 /// The scenario's problem instance and honest reference, both derived
 /// purely from the scenario (instance data from fork("problem"), the
 /// reference from the agents no fault spec ever touches as Byzantine or
-/// crashed).  Public so transport sessions replay the exact instance the
-/// in-process executor runs.
+/// crashed, intersected with the final round's live membership).  Public
+/// so transport sessions replay the exact instance the in-process
+/// executor runs.
 struct MaterializedScenario {
   core::MultiAgentProblem problem;
   linalg::Vector reference;
+  /// "streaming_regression" only: mutable typed handles to the per-agent
+  /// incremental costs (aliasing problem.costs).  The originals stay at
+  /// their initial one-cycle state; elastic replicas copy them (carrying
+  /// the stream rng) and absorb privately, so sharing stays safe.
+  std::vector<std::shared_ptr<data::StreamingLeastSquaresCost>> streams;
 };
 
 MaterializedScenario materialize_scenario(const Scenario& scenario);

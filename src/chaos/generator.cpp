@@ -54,16 +54,68 @@ Generator::Generator(GeneratorSpec spec, std::uint64_t seed)
                  "generator: bad round range");
   REDOPT_REQUIRE(spec_.violate_probability >= 0.0 && spec_.violate_probability <= 1.0,
                  "generator: violate_probability must lie in [0, 1]");
+  REDOPT_REQUIRE(spec_.elastic_probability >= 0.0 && spec_.elastic_probability <= 1.0,
+                 "generator: elastic_probability must lie in [0, 1]");
 }
 
 Scenario Generator::next() {
   ++count_;
   const bool degraded = rng_.uniform() < spec_.violate_probability;
   Scenario s = degraded ? next_degraded() : next_guaranteed();
-  s.name = "gen-" + std::to_string(count_) + (degraded ? "-degraded" : "-guaranteed");
+  // The > 0.0 guard keeps the default spec's draw sequence untouched.
+  const bool churned = spec_.elastic_probability > 0.0 &&
+                       rng_.uniform() < spec_.elastic_probability;
+  if (churned) add_churn(s);
+  s.name = "gen-" + std::to_string(count_) + (degraded ? "-degraded" : "-guaranteed") +
+           (s.elastic() ? "-elastic" : "");
   s.seed = rng_.next_u64() >> 1;  // keep within as_int's serialization range
   s.validate();
   return s;
+}
+
+void Generator::add_churn(Scenario& s) {
+  if (s.rounds < 8) return;
+  // Churn only agents no fault spec touches, and keep at least 2f + 1
+  // agents member-for-life so the live set can never empty (and a dip
+  // below n > 2f stays a transient, not the whole run).
+  std::vector<bool> faulty(s.n, false);
+  for (const FaultSpec& spec : s.faults) faulty[spec.agent] = true;
+  std::vector<std::size_t> pool;
+  for (std::size_t i = 0; i < s.n; ++i) {
+    if (!faulty[i]) pool.push_back(i);
+  }
+  if (pool.size() <= 2 * s.f + 1) return;
+  const std::size_t churners =
+      pick_size(rng_, 1, std::min<std::size_t>(2, pool.size() - 2 * s.f - 1));
+  for (std::size_t k = 0; k < churners; ++k) {
+    const std::size_t agent = pool[pool.size() - 1 - k];
+    if (rng_.uniform() < 0.5) {
+      // Late joiner: the first event being a join means it starts absent.
+      MembershipEvent join;
+      join.kind = MembershipEvent::Kind::kJoin;
+      join.agent = agent;
+      join.round = pick_size(rng_, 1, s.rounds / 2);
+      s.membership.push_back(join);
+    } else {
+      MembershipEvent leave;
+      leave.kind = MembershipEvent::Kind::kLeave;
+      leave.agent = agent;
+      leave.round = pick_size(rng_, 1, s.rounds / 2);
+      s.membership.push_back(leave);
+      if (rng_.uniform() < 0.5) {
+        MembershipEvent rejoin;
+        rejoin.kind = MembershipEvent::Kind::kJoin;
+        rejoin.agent = agent;
+        rejoin.round = pick_size(rng_, leave.round + 1, s.rounds - 1);
+        s.membership.push_back(rejoin);
+      }
+    }
+  }
+  std::sort(s.membership.begin(), s.membership.end(),
+            [](const MembershipEvent& a, const MembershipEvent& b) {
+              if (a.round != b.round) return a.round < b.round;
+              return a.agent < b.agent;
+            });
 }
 
 Scenario Generator::next_guaranteed() {

@@ -33,6 +33,11 @@ struct GeneratorSpec {
   /// faults, observation noise, or a lossy channel); the rest land in the
   /// guaranteed-convergence regime.
   double violate_probability = 0.4;
+  /// Probability of layering a membership-churn schedule (joins / leaves /
+  /// rejoins on fault-free agents) onto the drawn scenario.  Elastic
+  /// draws run through elastic::run_elastic.  The default 0.0 consumes no
+  /// rng draws, so historical scenario sequences are byte-stable.
+  double elastic_probability = 0.0;
 };
 
 class Generator {
@@ -48,6 +53,7 @@ class Generator {
  private:
   Scenario next_guaranteed();
   Scenario next_degraded();
+  void add_churn(Scenario& s);
 
   GeneratorSpec spec_;
   rng::Rng rng_;

@@ -33,8 +33,24 @@ FaultSpec::Kind kind_from_name(const std::string& name) {
 }
 
 bool known_problem(const std::string& p) {
-  return p == "mean" || p == "regression" || p == "block_regression";
+  return p == "mean" || p == "regression" || p == "block_regression" ||
+         p == "streaming_regression";
 }
+
+const char* membership_kind_name(MembershipEvent::Kind kind) {
+  return kind == MembershipEvent::Kind::kJoin ? "join" : "leave";
+}
+
+MembershipEvent::Kind membership_kind_from_name(const std::string& name) {
+  if (name == "join") return MembershipEvent::Kind::kJoin;
+  if (name == "leave") return MembershipEvent::Kind::kLeave;
+  REDOPT_REQUIRE(false, "scenario: unknown membership kind: " + name);
+  return MembershipEvent::Kind::kLeave;  // unreachable
+}
+
+/// Caps the total streamed rows a parsed scenario may demand, so a fuzzed
+/// document cannot turn replay into an unbounded absorb loop.
+constexpr std::size_t kMaxStreamRows = 1 << 16;
 
 }  // namespace
 
@@ -83,6 +99,118 @@ void Scenario::validate() const {
       REDOPT_REQUIRE(spec.from >= 1, "scenario: crash windows must begin at round >= 1");
     }
   }
+
+  // Membership events: canonically sorted by (round, agent), rounds in
+  // [1, rounds), per-agent kinds alternating on strictly increasing
+  // rounds, and at least one live member at every round.  Membership only
+  // changes at event rounds, so the liveness sweep folds the events once
+  // instead of walking every round.
+  std::vector<MembershipEvent::Kind> last_kind(n, MembershipEvent::Kind::kLeave);
+  std::vector<bool> has_event(n, false);
+  for (std::size_t k = 0; k < membership.size(); ++k) {
+    const MembershipEvent& event = membership[k];
+    REDOPT_REQUIRE(event.agent < n, "scenario: membership event names an unknown agent");
+    REDOPT_REQUIRE(event.round >= 1 && event.round < rounds,
+                   "scenario: membership event round must lie in [1, rounds)");
+    if (k > 0) {
+      const MembershipEvent& prev = membership[k - 1];
+      REDOPT_REQUIRE(prev.round < event.round ||
+                         (prev.round == event.round && prev.agent < event.agent),
+                     "scenario: membership events must be sorted by (round, agent)");
+    }
+    if (has_event[event.agent]) {
+      REDOPT_REQUIRE(last_kind[event.agent] != event.kind,
+                     "scenario: membership kinds must alternate per agent");
+    }
+    has_event[event.agent] = true;
+    last_kind[event.agent] = event.kind;
+  }
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < n; ++i) live += initially_member(i) ? 1 : 0;
+  REDOPT_REQUIRE(live >= 1, "scenario: at least one agent must be a member at round 0");
+  for (const MembershipEvent& event : membership) {
+    live += event.kind == MembershipEvent::Kind::kJoin ? 1 : std::size_t(-1);
+    REDOPT_REQUIRE(live >= 1 && live <= n,
+                   "scenario: membership schedule must keep >= 1 live member");
+  }
+
+  // Stream events: only the streaming family absorbs rows, events are
+  // canonically sorted and unique per (round, agent), and the total row
+  // demand stays bounded.
+  REDOPT_REQUIRE(stream.empty() || problem == "streaming_regression",
+                 "scenario: stream events require the streaming_regression problem");
+  std::size_t total_rows = 0;
+  for (std::size_t k = 0; k < stream.size(); ++k) {
+    const StreamEvent& event = stream[k];
+    REDOPT_REQUIRE(event.agent < n, "scenario: stream event names an unknown agent");
+    REDOPT_REQUIRE(event.round >= 1 && event.round < rounds,
+                   "scenario: stream event round must lie in [1, rounds)");
+    REDOPT_REQUIRE(event.rows >= 1, "scenario: stream event must carry >= 1 row");
+    if (k > 0) {
+      const StreamEvent& prev = stream[k - 1];
+      REDOPT_REQUIRE(prev.round < event.round ||
+                         (prev.round == event.round && prev.agent < event.agent),
+                     "scenario: stream events must be sorted by (round, agent)");
+    }
+    total_rows += event.rows;
+    REDOPT_REQUIRE(total_rows <= kMaxStreamRows,
+                   "scenario: stream events demand too many total rows");
+  }
+}
+
+bool Scenario::initially_member(std::size_t agent) const {
+  for (const MembershipEvent& event : membership) {
+    if (event.agent != agent) continue;
+    // First event in canonical order: a join means the agent starts out.
+    return event.kind == MembershipEvent::Kind::kLeave;
+  }
+  return true;
+}
+
+bool Scenario::member_at(std::size_t agent, std::size_t round) const {
+  bool member = initially_member(agent);
+  for (const MembershipEvent& event : membership) {
+    if (event.round > round) break;
+    if (event.agent == agent) member = event.kind == MembershipEvent::Kind::kJoin;
+  }
+  return member;
+}
+
+std::vector<std::size_t> Scenario::members_at(std::size_t round) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (member_at(i, round)) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Scenario::member_count_at(std::size_t round) const {
+  return members_at(round).size();
+}
+
+std::size_t Scenario::derived_f_at(std::size_t round) const {
+  const std::size_t m = member_count_at(round);
+  if (m > 2 * f) return f;
+  return m == 0 ? 0 : (m - 1) / 2;
+}
+
+bool Scenario::redundant_at(std::size_t round) const {
+  if (derived_f_at(round) != f) return false;
+  std::size_t live_crashes = 0;
+  for (const FaultSpec& spec : faults) {
+    if (spec.kind == FaultSpec::Kind::kCrash && member_at(spec.agent, round)) ++live_crashes;
+  }
+  return member_count_at(round) > 3 * f + live_crashes;
+}
+
+bool Scenario::redundant_throughout() const {
+  // Membership is piecewise constant between events: checking round 0 and
+  // each event round covers every regime of the schedule.
+  if (!redundant_at(0)) return false;
+  for (const MembershipEvent& event : membership) {
+    if (!redundant_at(event.round)) return false;
+  }
+  return true;
 }
 
 std::vector<std::size_t> Scenario::byzantine_agents() const {
@@ -109,7 +237,9 @@ std::size_t Scenario::faulty_agent_count() const {
 
 bool Scenario::guaranteed() const {
   if (noise_sigma != 0.0) return false;
-  if (problem != "mean" && problem != "block_regression") return false;
+  if (problem != "mean" && problem != "block_regression" && problem != "streaming_regression") {
+    return false;
+  }
   if (filter != "cge" && filter != "cwtm") return false;
   if (!within_budget()) return false;
   if (channel.drop_probability != 0.0) return false;
@@ -117,6 +247,7 @@ bool Scenario::guaranteed() const {
   if (rounds < 40) return false;
   const std::size_t crashes = crash_agents().size();
   if (n <= 3 * f + crashes) return false;
+  if (elastic() && !redundant_throughout()) return false;
   for (const FaultSpec& spec : faults) {
     if (spec.kind == FaultSpec::Kind::kStraggler && spec.staleness > 5) return false;
   }
@@ -149,7 +280,30 @@ std::string Scenario::to_json() const {
     if (spec.kind == FaultSpec::Kind::kStraggler) os << ",\"staleness\":" << spec.staleness;
     os << "}";
   }
-  os << "]}";
+  os << "]";
+  // Elastic members are emitted only when present, so fixed-membership
+  // scenarios keep their historical byte-exact form.
+  if (!membership.empty()) {
+    os << ",\"membership\":[";
+    for (std::size_t k = 0; k < membership.size(); ++k) {
+      const MembershipEvent& event = membership[k];
+      if (k > 0) os << ",";
+      os << "{\"kind\":\"" << membership_kind_name(event.kind)
+         << "\",\"agent\":" << event.agent << ",\"round\":" << event.round << "}";
+    }
+    os << "]";
+  }
+  if (!stream.empty()) {
+    os << ",\"stream\":[";
+    for (std::size_t k = 0; k < stream.size(); ++k) {
+      const StreamEvent& event = stream[k];
+      if (k > 0) os << ",";
+      os << "{\"agent\":" << event.agent << ",\"round\":" << event.round
+         << ",\"rows\":" << event.rows << "}";
+    }
+    os << "]";
+  }
+  os << "}";
   return os.str();
 }
 
@@ -178,7 +332,7 @@ Scenario scenario_from_json(const std::string& text) {
                  "scenario: document must be a JSON object");
   reject_unknown_members(doc,
                          {"name", "seed", "problem", "filter", "n", "f", "d", "rounds",
-                          "noise_sigma", "channel", "faults"},
+                          "noise_sigma", "channel", "faults", "membership", "stream"},
                          "scenario");
 
   Scenario s;
@@ -219,6 +373,32 @@ Scenario scenario_from_json(const std::string& text) {
     }
     if (spec.kind == FaultSpec::Kind::kStraggler) spec.staleness = as_size(item.at("staleness"));
     s.faults.push_back(spec);
+  }
+
+  if (const util::JsonValue* membership = doc.find("membership")) {
+    for (const util::JsonValue& item : membership->as_array()) {
+      REDOPT_REQUIRE(item.kind == util::JsonValue::Kind::kObject,
+                     "scenario: each membership event must be an object");
+      reject_unknown_members(item, {"kind", "agent", "round"}, "membership event");
+      MembershipEvent event;
+      event.kind = membership_kind_from_name(item.at("kind").as_string());
+      event.agent = as_size(item.at("agent"));
+      event.round = as_size(item.at("round"));
+      s.membership.push_back(event);
+    }
+  }
+
+  if (const util::JsonValue* stream = doc.find("stream")) {
+    for (const util::JsonValue& item : stream->as_array()) {
+      REDOPT_REQUIRE(item.kind == util::JsonValue::Kind::kObject,
+                     "scenario: each stream event must be an object");
+      reject_unknown_members(item, {"agent", "round", "rows"}, "stream event");
+      StreamEvent event;
+      event.agent = as_size(item.at("agent"));
+      event.round = as_size(item.at("round"));
+      event.rows = as_size(item.at("rows"));
+      s.stream.push_back(event);
+    }
   }
 
   s.validate();

@@ -48,11 +48,37 @@ struct ChannelFaults {
   std::size_t max_delay = 0;           ///< extra rounds, uniform in [0, max_delay]
 };
 
+/// One elastic-membership transition.  An agent whose FIRST event is a
+/// kJoin starts the run absent; one whose first event is a kLeave starts
+/// present.  Events for one agent must alternate kinds on strictly
+/// increasing rounds, so membership at round t is the initial state
+/// folded through every event with round <= t.
+struct MembershipEvent {
+  enum class Kind {
+    kJoin,   ///< agent (re)enters the live set at the start of this round
+    kLeave,  ///< agent departs at the start of this round
+  };
+
+  Kind kind = Kind::kLeave;
+  std::size_t agent = 0;
+  std::size_t round = 1;  ///< in [1, rounds); round 0 membership is implicit
+};
+
+/// One streaming data arrival: `rows` fresh observations land at agent
+/// `agent` at the start of round `round` and fold into its incremental
+/// cost (rank-1 sufficient-statistic updates).  Only meaningful for the
+/// "streaming_regression" problem family.
+struct StreamEvent {
+  std::size_t agent = 0;
+  std::size_t round = 1;  ///< in [1, rounds)
+  std::size_t rows = 1;   ///< observations arriving this round, >= 1
+};
+
 /// A fully specified chaos execution.
 struct Scenario {
   std::string name;        ///< free-form label (shows up in failure reports)
   std::uint64_t seed = 1;  ///< root of every random stream in the execution
-  std::string problem = "mean";  ///< "mean" | "regression" | "block_regression"
+  std::string problem = "mean";  ///< "mean" | "regression" | "block_regression" | "streaming_regression"
   std::string filter = "cge";    ///< gradient-filter registry name
   std::size_t n = 6;
   std::size_t f = 1;
@@ -61,11 +87,46 @@ struct Scenario {
   double noise_sigma = 0.0;  ///< observation noise of the generated instance
   std::vector<FaultSpec> faults;
   ChannelFaults channel;
+  std::vector<MembershipEvent> membership;  ///< sorted by (round, agent)
+  std::vector<StreamEvent> stream;          ///< sorted by (round, agent)
 
   /// Structural validation: n > 2f, f >= 1, agents in range and distinct
   /// across specs, windows well-formed, attack names known, probabilities
-  /// in [0, 1], regression needs n - 2f >= d.  Throws PreconditionError.
+  /// in [0, 1], regression needs n - 2f >= d; membership/stream events
+  /// canonically sorted, in [1, rounds), alternating kinds per agent, at
+  /// least one live member every round; stream events only on the
+  /// "streaming_regression" family.  Throws PreconditionError.
   void validate() const;
+
+  /// True when the scenario carries membership or stream events; elastic
+  /// scenarios run through elastic::run_elastic / run_elastic_transport,
+  /// not the fixed-membership executors.
+  bool elastic() const { return !membership.empty() || !stream.empty(); }
+
+  /// Membership at round 0, before any event fires.
+  bool initially_member(std::size_t agent) const;
+
+  /// Membership of `agent` during round `round` (events at round t fire
+  /// before round t's exchange).
+  bool member_at(std::size_t agent, std::size_t round) const;
+
+  /// Live agents during `round`, ascending; and their count.
+  std::vector<std::size_t> members_at(std::size_t round) const;
+  std::size_t member_count_at(std::size_t round) const;
+
+  /// The fault budget the coordinator can actually defend at `round`:
+  /// the largest f' <= f with member_count_at(round) > 2 f'.  Shrinking
+  /// membership forces f down (the filter is rebuilt with the derived
+  /// budget); full membership keeps the declared f.
+  std::size_t derived_f_at(std::size_t round) const;
+
+  /// Whether round `round` retains the guaranteed-regime redundancy
+  /// headroom: the derived budget still equals f and the live member
+  /// count exceeds 3f plus the crash-spec agents alive that round.
+  bool redundant_at(std::size_t round) const;
+
+  /// redundant_at over every round of the schedule.
+  bool redundant_throughout() const;
 
   /// Agents with a Byzantine / crash spec, ascending.
   std::vector<std::size_t> byzantine_agents() const;
@@ -83,8 +144,10 @@ struct Scenario {
   /// noiseless mean / block-regression instances, a paper filter (cge /
   /// cwtm), faults within budget, enough redundancy headroom for the
   /// crash absences (n > 3f + #crash agents), and only mild asynchrony
-  /// (bounded delay / staleness, no drops).  Everything outside this
-  /// regime is held to graceful degradation only.
+  /// (bounded delay / staleness, no drops).  Elastic scenarios must also
+  /// keep redundant_at() true through every round of churn — a dip below
+  /// the 2f-redundancy headroom demotes the run to graceful degradation.
+  /// Everything outside this regime is held to graceful degradation only.
   bool guaranteed() const;
 
   /// Canonical JSON form (deterministic member order; round-trips through

@@ -9,12 +9,18 @@ namespace redopt::chaos {
 namespace {
 
 /// Re-fits every fault window into [0, rounds) after a round reduction.
+/// Elastic events past the new horizon are dropped outright: per agent
+/// the events sit on increasing rounds, so removing the out-of-range
+/// suffix keeps the alternation (and the canonical sort) valid.
 void clamp_windows(Scenario& s) {
   for (FaultSpec& spec : s.faults) {
     const std::size_t lo = spec.kind == FaultSpec::Kind::kCrash ? 1 : 0;
     spec.from = std::max(lo, std::min(spec.from, s.rounds - 1));
     if (spec.until != 0 && (spec.until >= s.rounds || spec.until <= spec.from)) spec.until = 0;
   }
+  std::erase_if(s.membership,
+                [&](const MembershipEvent& event) { return event.round >= s.rounds; });
+  std::erase_if(s.stream, [&](const StreamEvent& event) { return event.round >= s.rounds; });
 }
 
 bool is_valid(const Scenario& s) {
@@ -38,6 +44,40 @@ std::vector<Scenario> candidates(const Scenario& s, std::size_t min_rounds) {
     Scenario c = s;
     c.faults.erase(c.faults.begin() + static_cast<std::ptrdiff_t>(k));
     out.push_back(std::move(c));
+  }
+
+  // Still the churn: drop one agent's whole membership history (all of
+  // its events at once — per-agent alternation can't survive a partial
+  // cut), then just its trailing event (e.g. a rejoin).
+  {
+    std::vector<bool> churned(s.n, false);
+    for (const MembershipEvent& event : s.membership) churned[event.agent] = true;
+    for (std::size_t a = 0; a < s.n; ++a) {
+      if (!churned[a]) continue;
+      Scenario c = s;
+      std::erase_if(c.membership,
+                    [&](const MembershipEvent& event) { return event.agent == a; });
+      out.push_back(std::move(c));
+      Scenario tail = s;
+      for (std::size_t k = tail.membership.size(); k-- > 0;) {
+        if (tail.membership[k].agent != a) continue;
+        tail.membership.erase(tail.membership.begin() + static_cast<std::ptrdiff_t>(k));
+        out.push_back(std::move(tail));
+        break;
+      }
+    }
+  }
+
+  // Thin the stream: drop each arrival, then halve its row count.
+  for (std::size_t k = 0; k < s.stream.size(); ++k) {
+    Scenario c = s;
+    c.stream.erase(c.stream.begin() + static_cast<std::ptrdiff_t>(k));
+    out.push_back(std::move(c));
+    if (s.stream[k].rows > 1) {
+      Scenario h = s;
+      h.stream[k].rows = s.stream[k].rows / 2;
+      out.push_back(std::move(h));
+    }
   }
 
   // Calm the channel, one knob at a time.
@@ -78,11 +118,14 @@ std::vector<Scenario> candidates(const Scenario& s, std::size_t min_rounds) {
     out.push_back(std::move(c));
   }
 
-  // Remove the highest agent no fault spec references (renumbering the
-  // ones above it).
+  // Remove the highest agent nothing references — no fault spec, no
+  // membership event, no stream arrival — renumbering the ones above it
+  // (decrementing distinct agent ids preserves the (round, agent) sort).
   {
     std::vector<bool> referenced(s.n, false);
     for (const FaultSpec& spec : s.faults) referenced[spec.agent] = true;
+    for (const MembershipEvent& event : s.membership) referenced[event.agent] = true;
+    for (const StreamEvent& event : s.stream) referenced[event.agent] = true;
     for (std::size_t a = s.n; a-- > 0;) {
       if (referenced[a]) continue;
       if (s.n - 1 <= 2 * s.f) break;
@@ -90,6 +133,12 @@ std::vector<Scenario> candidates(const Scenario& s, std::size_t min_rounds) {
       c.n = s.n - 1;
       for (FaultSpec& spec : c.faults) {
         if (spec.agent > a) --spec.agent;
+      }
+      for (MembershipEvent& event : c.membership) {
+        if (event.agent > a) --event.agent;
+      }
+      for (StreamEvent& event : c.stream) {
+        if (event.agent > a) --event.agent;
       }
       out.push_back(std::move(c));
       break;

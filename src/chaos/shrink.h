@@ -3,8 +3,9 @@
 // When a generated scenario violates a property, the raw instance is
 // usually too big to reason about (a dozen agents, a hundred rounds,
 // several composed faults).  shrink() reduces it to a minimal reproducer:
-// it repeatedly tries simplifying transformations — drop a fault, calm
-// the channel, halve the rounds, remove an agent, weaken the attack — and
+// it repeatedly tries simplifying transformations — drop a fault, still
+// the churn, thin the stream, calm the channel, halve the rounds, remove
+// an agent, weaken the attack — and
 // keeps a transformation whenever the caller's predicate says the
 // simplified scenario still fails.  The search is deterministic (fixed
 // transformation order, first improvement wins, restart) and bounded by a

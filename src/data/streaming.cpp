@@ -1,0 +1,111 @@
+#include "data/streaming.h"
+
+#include <sstream>
+
+#include "linalg/decompose.h"
+#include "util/error.h"
+
+namespace redopt::data {
+
+StreamingLeastSquaresCost::StreamingLeastSquaresCost(std::size_t d, const Vector& x_star,
+                                                     double noise_sigma, rng::Rng rng)
+    : basis_(d, d),
+      x_star_(x_star),
+      sigma_(noise_sigma),
+      rng_(rng),
+      gram_(d, d),
+      moment_(d) {
+  REDOPT_REQUIRE(d >= 1, "streaming cost needs dimension >= 1");
+  REDOPT_REQUIRE(x_star.size() == d, "streaming cost: x_star dimension mismatch");
+  REDOPT_REQUIRE(noise_sigma >= 0.0, "streaming cost: noise sigma must be non-negative");
+  // Random orthonormal basis via Gram-Schmidt on Gaussian rows, the
+  // block_regression construction (rows are then served one at a time).
+  for (std::size_t r = 0; r < d; ++r) {
+    Vector row;
+    double norm = 0.0;
+    do {
+      row = Vector(rng_.gaussian_vector(d));
+      for (std::size_t p = 0; p < r; ++p) {
+        const Vector prev = basis_.row(p);
+        row -= prev * linalg::dot(row, prev);
+      }
+      norm = row.norm();
+    } while (norm < 1e-8);  // re-draw on (measure-zero) degeneracy
+    basis_.set_row(r, row / norm);
+  }
+  absorb(d);  // the first full cycle: G = I, hess = 2 I
+}
+
+void StreamingLeastSquaresCost::absorb(std::size_t count) {
+  REDOPT_REQUIRE(count >= 1, "streaming cost: absorb needs count >= 1");
+  const std::size_t d = basis_.cols();
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t r = rows_ % d;
+    const double* a = basis_.row_data(r);
+    const double b =
+        linalg::kernels::dot(a, x_star_.data().data(), d) + rng_.gaussian(0.0, sigma_);
+    for (std::size_t rr = 0; rr < d; ++rr) {
+      linalg::kernels::axpy(gram_.data().data() + rr * d, a[rr], a, d);
+    }
+    linalg::kernels::axpy(moment_.data().data(), b, a, d);
+    energy_.add(b * b);
+    ++rows_;
+  }
+}
+
+double StreamingLeastSquaresCost::value(const Vector& x) const {
+  REDOPT_REQUIRE(x.size() == dimension(), "streaming cost: dimension mismatch");
+  const double scale = static_cast<double>(dimension()) / static_cast<double>(rows_);
+  const double quad = linalg::dot(x, linalg::matvec(gram_, x));
+  const double lin = linalg::dot(moment_, x);
+  return scale * (quad - 2.0 * lin + energy_.value());
+}
+
+Vector StreamingLeastSquaresCost::gradient(const Vector& x) const {
+  REDOPT_REQUIRE(x.size() == dimension(), "streaming cost: dimension mismatch");
+  const double scale =
+      2.0 * static_cast<double>(dimension()) / static_cast<double>(rows_);
+  return (linalg::matvec(gram_, x) - moment_) * scale;
+}
+
+std::optional<Matrix> StreamingLeastSquaresCost::hessian(const Vector& x) const {
+  REDOPT_REQUIRE(x.size() == dimension(), "streaming cost: dimension mismatch");
+  const double scale =
+      2.0 * static_cast<double>(dimension()) / static_cast<double>(rows_);
+  Matrix h = gram_;
+  linalg::kernels::scale(h.data().data(), scale, h.data().size());
+  return h;
+}
+
+std::unique_ptr<core::CostFunction> StreamingLeastSquaresCost::clone() const {
+  return std::make_unique<StreamingLeastSquaresCost>(*this);
+}
+
+std::string StreamingLeastSquaresCost::describe() const {
+  std::ostringstream os;
+  os << "streaming_least_squares(d=" << dimension() << ", rows=" << rows_ << ")";
+  return os.str();
+}
+
+Vector streaming_argmin(
+    const std::vector<std::shared_ptr<const StreamingLeastSquaresCost>>& costs) {
+  REDOPT_REQUIRE(!costs.empty(), "streaming argmin over empty agent set");
+  const std::size_t d = costs.front()->dimension();
+  Matrix lhs(d, d);
+  Vector rhs(d);
+  for (const auto& cost : costs) {
+    REDOPT_REQUIRE(cost != nullptr && cost->dimension() == d,
+                   "streaming argmin: dimension mismatch");
+    const double w =
+        static_cast<double>(d) / static_cast<double>(cost->rows_absorbed());
+    for (std::size_t r = 0; r < d; ++r) {
+      linalg::kernels::axpy(lhs.data().data() + r * d, w, cost->gram().row_data(r), d);
+    }
+    linalg::kernels::axpy(rhs.data().data(), w, cost->moment().data().data(), d);
+  }
+  const auto solved = linalg::solve_spd(lhs, rhs);
+  REDOPT_REQUIRE(solved.has_value(), "streaming argmin: singular aggregate system");
+  return *solved;
+}
+
+}  // namespace redopt::data

@@ -1,0 +1,90 @@
+// Streaming least-squares: incremental cost state for online workloads.
+//
+// In the online regime an agent's observations arrive over time instead of
+// up front.  Re-stacking the full (A, b) history every round would make the
+// per-round cost grow with the stream; instead the cost keeps the
+// normal-equation sufficient statistics
+//
+//   G = sum_k a_k a_k^T,   h = sum_k b_k a_k,   c = sum_k b_k^2
+//
+// and folds each arriving row in with a rank-1 update.  Scaled by d / k
+// (k = rows absorbed so far) the cost is
+//
+//   Q(x) = (d / k) (x^T G x - 2 h^T x + c),
+//   grad Q(x) = (2 d / k) (G x - h),   hess Q(x) = (2 d / k) G,
+//
+// identical to ||A x - b||^2 over the stacked rows up to the d/k
+// normalization.  Rows cycle a fixed per-agent orthonormal basis (the
+// block_regression construction, one row at a time), so at every full
+// cycle G = I exactly and the Hessian is 2 I: the instance stays inside
+// the mu = gamma = 2 envelope Theorem 4 needs, no matter how long the
+// stream runs.
+//
+// Determinism: every floating-point accumulation funnels through the
+// linalg/kernels FP-order authority — rank-1 updates via kernels::axpy
+// (element-wise, order-independent), the observation-energy scalar via
+// kernels::Sum (strict call order) — and each instance carries its own
+// forked rng, so absorbing the same stream schedule yields bit-identical
+// statistics on every thread count and across process boundaries (copies
+// carry the rng state and continue the identical row sequence).
+#pragma once
+
+#include <memory>
+
+#include "core/cost_function.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+#include "rng/rng.h"
+
+namespace redopt::data {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+class StreamingLeastSquaresCost final : public core::CostFunction {
+ public:
+  /// Seeds the stream and absorbs one full basis cycle (d rows), so a
+  /// fresh cost is exactly the orthonormal block instance: G = I and
+  /// hess = 2 I before any stream event fires.  Observations are
+  /// b_k = <a_k, x_star> + N(0, noise_sigma) drawn from @p rng, which the
+  /// cost owns and advances; copies replay the identical future stream.
+  StreamingLeastSquaresCost(std::size_t d, const Vector& x_star, double noise_sigma,
+                            rng::Rng rng);
+
+  /// Folds @p count fresh rows into the sufficient statistics (rank-1
+  /// updates, strict stream order).  Requires count >= 1.
+  void absorb(std::size_t count);
+
+  /// Rows absorbed so far (>= d; the constructor absorbs the first cycle).
+  std::size_t rows_absorbed() const { return rows_; }
+
+  std::size_t dimension() const override { return basis_.cols(); }
+  double value(const Vector& x) const override;
+  Vector gradient(const Vector& x) const override;
+  std::optional<Matrix> hessian(const Vector& x) const override;
+  std::unique_ptr<CostFunction> clone() const override;
+  std::string describe() const override;
+
+  /// The raw sufficient statistics (unscaled sums over absorbed rows).
+  const Matrix& gram() const { return gram_; }
+  const Vector& moment() const { return moment_; }
+
+ private:
+  Matrix basis_;    ///< d x d orthonormal row source (rows cycle)
+  Vector x_star_;   ///< planted parameter generating the observations
+  double sigma_;    ///< observation noise level
+  rng::Rng rng_;    ///< private stream randomness; copied with the cost
+  Matrix gram_;     ///< G = sum a a^T
+  Vector moment_;   ///< h = sum b a
+  linalg::kernels::Sum energy_;  ///< c = sum b^2, strict stream order
+  std::size_t rows_ = 0;
+};
+
+/// The exact minimizer of the aggregate sum_i Q_i over @p costs: solves
+/// (sum_i w_i G_i) x = sum_i w_i h_i with w_i = d / k_i.  Throws
+/// PreconditionError on an empty set or a singular system (cannot happen
+/// while every cost has absorbed at least one full cycle).
+Vector streaming_argmin(
+    const std::vector<std::shared_ptr<const StreamingLeastSquaresCost>>& costs);
+
+}  // namespace redopt::data

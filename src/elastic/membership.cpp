@@ -1,0 +1,216 @@
+#include "elastic/membership.h"
+
+#include <algorithm>
+#include <string>
+
+#include "rng/rng.h"
+#include "util/error.h"
+
+namespace redopt::elastic {
+
+MembershipSchedule::MembershipSchedule(const chaos::Scenario& s) : rounds_(s.rounds) {
+  std::vector<char> is_member(s.n, 0);
+  for (std::size_t i = 0; i < s.n; ++i) is_member[i] = s.initially_member(i) ? 1 : 0;
+
+  auto push_epoch = [&](std::size_t start, std::size_t joins, std::size_t leaves) {
+    Epoch e;
+    e.start = start;
+    e.is_member = is_member;
+    for (std::size_t i = 0; i < s.n; ++i) {
+      if (is_member[i]) e.members.push_back(i);
+    }
+    const std::size_t m = e.members.size();
+    e.derived_f = m > 2 * s.f ? s.f : (m == 0 ? 0 : (m - 1) / 2);
+    std::size_t live_crashes = 0;
+    for (const chaos::FaultSpec& spec : s.faults) {
+      if (spec.kind == chaos::FaultSpec::Kind::kCrash && is_member[spec.agent]) ++live_crashes;
+    }
+    e.redundant = e.derived_f == s.f && m > 3 * s.f + live_crashes;
+    e.joins = joins;
+    e.leaves = leaves;
+    epochs_.push_back(std::move(e));
+  };
+
+  push_epoch(0, 0, 0);
+  std::size_t k = 0;
+  while (k < s.membership.size()) {
+    const std::size_t round = s.membership[k].round;
+    std::size_t joins = 0;
+    std::size_t leaves = 0;
+    while (k < s.membership.size() && s.membership[k].round == round) {
+      const chaos::MembershipEvent& event = s.membership[k];
+      const char next = event.kind == chaos::MembershipEvent::Kind::kJoin ? 1 : 0;
+      if (next && !is_member[event.agent]) ++joins;
+      if (!next && is_member[event.agent]) ++leaves;
+      is_member[event.agent] = next;
+      ++k;
+    }
+    push_epoch(round, joins, leaves);
+  }
+}
+
+const MembershipSchedule::Epoch& MembershipSchedule::epoch_at(std::size_t round) const {
+  // Last epoch whose start is <= round.
+  std::size_t lo = 0;
+  std::size_t hi = epochs_.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (epochs_[mid].start <= round) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return epochs_[lo];
+}
+
+bool MembershipSchedule::member(std::size_t agent, std::size_t round) const {
+  const Epoch& e = epoch_at(round);
+  REDOPT_REQUIRE(agent < e.is_member.size(), "membership schedule: agent out of range");
+  return e.is_member[agent] != 0;
+}
+
+const std::vector<std::size_t>& MembershipSchedule::members(std::size_t round) const {
+  return epoch_at(round).members;
+}
+
+std::size_t MembershipSchedule::count(std::size_t round) const {
+  return epoch_at(round).members.size();
+}
+
+std::size_t MembershipSchedule::derived_f(std::size_t round) const {
+  return epoch_at(round).derived_f;
+}
+
+bool MembershipSchedule::redundant(std::size_t round) const {
+  return epoch_at(round).redundant;
+}
+
+std::size_t MembershipSchedule::joins_at(std::size_t round) const {
+  const Epoch& e = epoch_at(round);
+  return e.start == round ? e.joins : 0;
+}
+
+std::size_t MembershipSchedule::leaves_at(std::size_t round) const {
+  const Epoch& e = epoch_at(round);
+  return e.start == round ? e.leaves : 0;
+}
+
+namespace {
+
+chaos::Scenario churn_base(const char* name, std::uint64_t seed) {
+  chaos::Scenario s;
+  s.name = name;
+  s.seed = seed;
+  s.problem = "block_regression";
+  s.filter = "cge";
+  s.n = 8;
+  s.f = 1;
+  s.d = 2;
+  s.rounds = 60;
+  return s;
+}
+
+chaos::MembershipEvent event(chaos::MembershipEvent::Kind kind, std::size_t agent,
+                             std::size_t round) {
+  chaos::MembershipEvent e;
+  e.kind = kind;
+  e.agent = agent;
+  e.round = round;
+  return e;
+}
+
+void sort_membership(std::vector<chaos::MembershipEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const chaos::MembershipEvent& a, const chaos::MembershipEvent& b) {
+              return a.round != b.round ? a.round < b.round : a.agent < b.agent;
+            });
+}
+
+/// The seeded churn events of one profile over the n = 8, f = 1 base
+/// shape.  Jitters come from @p rng in a fixed draw order; the windows
+/// are disjoint, so the live count trajectory is profile-determined
+/// (join-heavy: 5,6,7,8,7,8; leave-heavy: 8,7,6,5,4,5) and never dips
+/// below the m > 3f redundancy headroom.
+std::vector<chaos::MembershipEvent> churn_events(ChurnProfile profile, rng::Rng& rng) {
+  using Kind = chaos::MembershipEvent::Kind;
+  auto jitter = [&rng] { return static_cast<std::size_t>(rng.uniform_int(0, 3)); };
+  std::vector<chaos::MembershipEvent> events;
+  if (profile == ChurnProfile::kJoinHeavy) {
+    // Agents 5..7 start absent and stagger in; agent 4 cycles out and back.
+    events.push_back(event(Kind::kJoin, 5, 5 + jitter()));
+    events.push_back(event(Kind::kJoin, 6, 11 + jitter()));
+    events.push_back(event(Kind::kJoin, 7, 18 + jitter()));
+    events.push_back(event(Kind::kLeave, 4, 30 + jitter()));
+    events.push_back(event(Kind::kJoin, 4, 40 + jitter()));
+  } else {
+    // Agents 2..5 stagger out mid-run; agent 2 returns late.
+    events.push_back(event(Kind::kLeave, 2, 15 + jitter()));
+    events.push_back(event(Kind::kLeave, 3, 22 + jitter()));
+    events.push_back(event(Kind::kLeave, 4, 29 + jitter()));
+    events.push_back(event(Kind::kLeave, 5, 36 + jitter()));
+    events.push_back(event(Kind::kJoin, 2, 46 + jitter()));
+  }
+  sort_membership(events);
+  return events;
+}
+
+}  // namespace
+
+chaos::Scenario make_churn_scenario(ChurnProfile profile, std::uint64_t seed) {
+  chaos::Scenario s = churn_base(
+      profile == ChurnProfile::kJoinHeavy ? "churn-join-heavy" : "churn-leave-heavy", seed);
+  rng::Rng rng = rng::Rng(seed).fork("churn");
+  s.membership = churn_events(profile, rng);
+  s.validate();
+  return s;
+}
+
+chaos::Scenario make_redundancy_dip_scenario(std::uint64_t seed) {
+  using Kind = chaos::MembershipEvent::Kind;
+  chaos::Scenario s = churn_base("churn-redundancy-dip", seed);
+  // A mass leave at round 20 shrinks the live set to agents {0, 1} — the
+  // derived budget collapses to f' = 0 — until everyone rejoins at round
+  // 32 and the guaranteed-regime headroom returns for the rest of the run.
+  for (std::size_t agent = 2; agent < s.n; ++agent) {
+    s.membership.push_back(event(Kind::kLeave, agent, 20));
+  }
+  for (std::size_t agent = 2; agent < s.n; ++agent) {
+    s.membership.push_back(event(Kind::kJoin, agent, 32));
+  }
+  sort_membership(s.membership);
+  s.validate();
+  return s;
+}
+
+chaos::Scenario make_streaming_churn_scenario(ChurnProfile profile, std::uint64_t seed) {
+  chaos::Scenario s = churn_base(
+      profile == ChurnProfile::kJoinHeavy ? "stream-churn-join-heavy" : "stream-churn-leave-heavy",
+      seed);
+  s.problem = "streaming_regression";
+  rng::Rng rng = rng::Rng(seed).fork("churn");
+  s.membership = churn_events(profile, rng);
+  // Fresh observations land at every agent every 6 rounds, phases spread
+  // by agent id, 1..3 rows per arrival.  Arrivals fire whether or not the
+  // agent is currently a member — data keeps accumulating while an agent
+  // sits out, exactly the rejoin-with-more-data case.
+  std::vector<chaos::StreamEvent> stream;
+  for (std::size_t agent = 0; agent < s.n; ++agent) {
+    for (std::size_t round = 3 + (agent % 3); round + 1 < s.rounds; round += 6) {
+      chaos::StreamEvent e;
+      e.agent = agent;
+      e.round = round;
+      e.rows = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+      stream.push_back(e);
+    }
+  }
+  std::sort(stream.begin(), stream.end(),
+            [](const chaos::StreamEvent& a, const chaos::StreamEvent& b) {
+              return a.round != b.round ? a.round < b.round : a.agent < b.agent;
+            });
+  s.stream = std::move(stream);
+  s.validate();
+  return s;
+}
+
+}  // namespace redopt::elastic

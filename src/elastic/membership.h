@@ -1,0 +1,95 @@
+// Elastic membership schedules: who is live when, and with what budget.
+//
+// A chaos::Scenario with membership events describes agents joining and
+// leaving mid-run.  chaos::Scenario::member_at answers point queries by
+// folding the event list; MembershipSchedule precomputes the fold into
+// membership *epochs* (the piecewise-constant segments between events) so
+// the per-round coordinator loop gets O(log epochs) lookups, a stable
+// members vector to iterate, and the derived fault budget f_t — the
+// largest f' <= f the live member count can still defend (m_t > 2 f').
+// When churn shrinks m_t past the declared budget the coordinator
+// rebuilds its gradient filter with f_t, the same degrade-don't-die
+// policy as the session layer's (n, f) fallback chain.
+//
+// The builders at the bottom generate the seeded churn schedules the
+// tests, goldens and benches share: join-heavy / leave-heavy profiles
+// that stay inside the guaranteed regime, a redundancy-dip schedule that
+// deliberately breaks it mid-run, and a streaming variant layering data
+// arrivals on top of the churn.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/scenario.h"
+
+namespace redopt::elastic {
+
+class MembershipSchedule {
+ public:
+  /// Precomputes the epochs of @p scenario (validated by the caller).
+  explicit MembershipSchedule(const chaos::Scenario& scenario);
+
+  std::size_t rounds() const { return rounds_; }
+
+  bool member(std::size_t agent, std::size_t round) const;
+
+  /// Live agents during @p round, ascending (stable reference into the
+  /// precomputed epoch).
+  const std::vector<std::size_t>& members(std::size_t round) const;
+  std::size_t count(std::size_t round) const;
+
+  /// The defensible fault budget at @p round (see header comment).
+  std::size_t derived_f(std::size_t round) const;
+
+  /// chaos::Scenario::redundant_at, precomputed.
+  bool redundant(std::size_t round) const;
+
+  /// Agents whose membership flips at exactly @p round (relative to the
+  /// previous round; both are 0 for round 0 and for event-free rounds).
+  std::size_t joins_at(std::size_t round) const;
+  std::size_t leaves_at(std::size_t round) const;
+
+ private:
+  struct Epoch {
+    std::size_t start = 0;                ///< first round of the epoch
+    std::vector<std::size_t> members;     ///< live agents, ascending
+    std::vector<char> is_member;          ///< indexed by agent
+    std::size_t derived_f = 0;
+    bool redundant = false;
+    std::size_t joins = 0;   ///< flips into the live set at `start`
+    std::size_t leaves = 0;  ///< flips out of the live set at `start`
+  };
+
+  const Epoch& epoch_at(std::size_t round) const;
+
+  std::size_t rounds_ = 0;
+  std::vector<Epoch> epochs_;  ///< ascending by start; epochs_[0].start == 0
+};
+
+/// The two churn shapes the integration tests and goldens pin.
+enum class ChurnProfile {
+  kJoinHeavy,   ///< agents start absent and stagger in (plus one rejoin cycle)
+  kLeaveHeavy,  ///< agents stagger out mid-run (one returns late)
+};
+
+/// A seeded churn scenario inside the guaranteed regime: n = 8, f = 1,
+/// d = 2, 60 rounds of noiseless block_regression under cge, with
+/// join/leave rounds jittered from fork("churn") of @p seed.  Every round
+/// keeps the 2f-redundancy headroom (redundant_throughout()), so
+/// chaos::check_properties asserts the Theorem-3 bound.
+chaos::Scenario make_churn_scenario(ChurnProfile profile, std::uint64_t seed);
+
+/// A churn scenario that deliberately dips BELOW the redundancy headroom:
+/// a mass leave shrinks the live set to 2 agents mid-run (forcing the
+/// derived budget to f' = 0), then the leavers rejoin and the run
+/// recovers.  guaranteed() is false; the property checker holds it to
+/// graceful degradation only.
+chaos::Scenario make_redundancy_dip_scenario(std::uint64_t seed);
+
+/// Streaming + churn: the streaming_regression family with per-agent
+/// row arrivals every few rounds layered under a join-heavy or
+/// leave-heavy membership schedule.  Stays in the guaranteed regime.
+chaos::Scenario make_streaming_churn_scenario(ChurnProfile profile, std::uint64_t seed);
+
+}  // namespace redopt::elastic

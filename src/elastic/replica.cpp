@@ -1,0 +1,237 @@
+#include "elastic/replica.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/error.h"
+
+namespace redopt::elastic {
+
+namespace {
+
+bool in_window(const chaos::FaultSpec& spec, std::size_t t) {
+  if (t < spec.from) return false;
+  return spec.until == 0 || t < spec.until;
+}
+
+std::size_t scenario_max_staleness(const chaos::Scenario& s) {
+  std::size_t max_staleness = 0;
+  for (const chaos::FaultSpec& spec : s.faults) {
+    if (spec.kind == chaos::FaultSpec::Kind::kStraggler) {
+      max_staleness = std::max(max_staleness, spec.staleness);
+    }
+  }
+  return max_staleness;
+}
+
+}  // namespace
+
+ElasticReplica::ElasticReplica(const chaos::Scenario& scenario,
+                               const chaos::MaterializedScenario& built, std::size_t agent)
+    : scenario_(scenario),
+      agent_(agent),
+      max_staleness_(scenario_max_staleness(scenario)),
+      spec_of_(scenario.n, nullptr),
+      attack_rng_(rng::Rng(scenario.seed).fork("byzantine-agent-" + std::to_string(agent))),
+      telemetry_(std::make_unique<telemetry::AgentTelemetry>()) {
+  REDOPT_REQUIRE(agent < scenario.n, "elastic replica: agent id out of range");
+  // Private world view: static costs are immutable and shared; streaming
+  // costs are cloned so this replica's absorbs never leak into another
+  // replica (or the coordinator's materialized originals).
+  costs_ = built.problem.costs;
+  if (!built.streams.empty()) {
+    streams_.reserve(built.streams.size());
+    for (std::size_t i = 0; i < built.streams.size(); ++i) {
+      auto copy = std::make_shared<data::StreamingLeastSquaresCost>(*built.streams[i]);
+      streams_.push_back(copy);
+      costs_[i] = copy;
+    }
+  }
+  for (const chaos::FaultSpec& spec : scenario_.faults) spec_of_[spec.agent] = &spec;
+  const chaos::FaultSpec* own = spec_of_[agent_];
+  if (own != nullptr && own->kind == chaos::FaultSpec::Kind::kByzantine) {
+    attack_ = chaos::make_scenario_attack(own->attack, own->attack_param);
+  }
+  telemetry::Registry& reg = telemetry_->registry;
+  m_rounds_ = reg.counter("replica.rounds");
+  m_frames_emitted_ = reg.counter("replica.frames_emitted");
+  m_member_rounds_ = reg.counter("elastic.member_rounds");
+  m_absent_rounds_ = reg.counter("elastic.absent_rounds");
+  m_joins_ = reg.counter("elastic.joins");
+  m_leaves_ = reg.counter("elastic.leaves");
+  m_stream_rows_ = reg.counter("elastic.stream_rows");
+  m_byzantine_ = reg.counter("replica.byzantine_replies");
+  m_crashed_ = reg.counter("replica.crashed_absences");
+  m_stale_ = reg.counter("replica.stale_replies");
+  m_dropped_ = reg.counter("replica.dropped_replies");
+  m_delayed_ = reg.counter("replica.delayed_replies");
+  m_duplicated_ = reg.counter("replica.duplicated_replies");
+  m_gradient_norm_ =
+      reg.histogram("replica.gradient_norm", telemetry::BucketLayout::exponential(1e-3, 4.0, 12));
+}
+
+linalg::Vector ElasticReplica::honest_payload(std::size_t who, std::size_t round) const {
+  const chaos::FaultSpec* spec = spec_of_[who];
+  std::size_t staleness = 0;
+  if (spec != nullptr && spec->kind == chaos::FaultSpec::Kind::kStraggler &&
+      in_window(*spec, round)) {
+    staleness = std::min(spec->staleness, history_.size() - 1);
+  }
+  return costs_[who]->gradient(history_[staleness]);
+}
+
+std::vector<util::Frame> ElasticReplica::on_round(std::size_t round,
+                                                  const linalg::Vector& estimate) {
+  const std::uint64_t t = static_cast<std::uint64_t>(round);
+  telemetry::ScopedSpan span(telemetry_->spans, "elastic.round");
+  span.attr("t", t);
+  m_rounds_.inc();
+  auto note = [&](const char* name) {
+    telemetry_->spans.instant(name, {{"t", telemetry::Value(t)}});
+  };
+
+  // Stream arrivals due this round fold into the private world copy —
+  // EVERY agent's arrivals, so Byzantine recomputation sees the same
+  // post-arrival world in every process.  Arrivals fire even while this
+  // agent sits out: data accumulates through a departure.
+  while (stream_cursor_ < scenario_.stream.size() &&
+         scenario_.stream[stream_cursor_].round <= round) {
+    const chaos::StreamEvent& event = scenario_.stream[stream_cursor_];
+    streams_[event.agent]->absorb(event.rows);
+    if (event.agent == agent_) {
+      m_stream_rows_.inc(event.rows);
+      note("elastic.stream_arrival");
+    }
+    ++stream_cursor_;
+  }
+
+  // History advances every round, member or not, so straggler staleness
+  // depths match the coordinator's round clock.
+  history_.push_front(estimate);
+  while (history_.size() > max_staleness_ + 1) history_.pop_back();
+
+  // Channel-delayed frames are in flight regardless of the agent's
+  // current membership or fate — a reply emitted before a departure
+  // still arrives.
+  std::vector<util::Frame> out;
+  if (auto it = delayed_.find(round); it != delayed_.end()) {
+    out = std::move(it->second);
+    delayed_.erase(it);
+  }
+
+  const bool member = scenario_.member_at(agent_, round);
+  if (has_prev_ && member && !prev_member_) {
+    m_joins_.inc();
+    note("elastic.join");
+  }
+  if (has_prev_ && !member && prev_member_) {
+    m_leaves_.inc();
+    note("elastic.leave");
+  }
+  has_prev_ = true;
+  prev_member_ = member;
+
+  if (!member) {
+    m_absent_rounds_.inc();
+    note("elastic.absent");
+    m_frames_emitted_.inc(out.size());
+    return out;
+  }
+  m_member_rounds_.inc();
+
+  const transport::AgentReplica::RoundFate what =
+      transport::AgentReplica::fate(scenario_, agent_, round);
+  if (!what.emits) {
+    m_crashed_.inc();
+    note("replica.crashed");
+    m_frames_emitted_.inc(out.size());
+    return out;
+  }
+  if (what.byzantine) {
+    m_byzantine_.inc();
+    note("replica.byzantine");
+  }
+  if (what.stale) {
+    m_stale_.inc();
+    note("replica.stale");
+  }
+
+  // Byzantine agents are never stale: the attack sees the freshest state.
+  linalg::Vector payload =
+      what.byzantine ? costs_[agent_]->gradient(history_[0]) : honest_payload(agent_, round);
+
+  if (what.byzantine) {
+    const linalg::Vector true_gradient = payload;
+    // The adversary observes the replies actually on the wire this
+    // round: live members that are neither Byzantine nor crashed.
+    std::vector<linalg::Vector> observed;
+    observed.reserve(scenario_.n);
+    for (std::size_t j = 0; j < scenario_.n; ++j) {
+      if (!scenario_.member_at(j, round)) continue;
+      const chaos::FaultSpec* spec = spec_of_[j];
+      if (spec != nullptr && spec->kind == chaos::FaultSpec::Kind::kByzantine) continue;
+      if (spec != nullptr && spec->kind == chaos::FaultSpec::Kind::kCrash &&
+          in_window(*spec, round)) {
+        continue;
+      }
+      observed.push_back(honest_payload(j, round));
+    }
+    const std::vector<linalg::Vector> fallback{true_gradient};
+    attacks::AttackContext ctx;
+    ctx.iteration = round;
+    ctx.agent_id = agent_;
+    // The attack context keeps the scenario's nominal (n, f): the
+    // adversary plans against the declared shape, while the coordinator
+    // defends with the derived budget of the live membership.
+    ctx.n = scenario_.n;
+    ctx.f = scenario_.f;
+    ctx.estimate = &history_[0];
+    ctx.honest_gradient = &true_gradient;
+    ctx.honest_gradients = observed.empty() ? &fallback : &observed;
+    ctx.rng = &attack_rng_;
+    payload = attack_->craft(ctx);
+    REDOPT_REQUIRE(payload.size() == scenario_.d, "attack crafted a wrong-dimension vector");
+  }
+  m_gradient_norm_.observe(payload.norm());
+
+  if (what.dropped) {
+    m_dropped_.inc();
+    note("replica.dropped");
+    m_frames_emitted_.inc(out.size());
+    return out;
+  }
+
+  util::Frame frame;
+  frame.type = util::FrameType::kGradient;
+  frame.agent = static_cast<std::uint32_t>(agent_);
+  frame.round = round;
+  frame.emitted = round;
+  frame.hops = 1;
+  frame.payload.assign(payload.begin(), payload.end());
+  if (what.duplicated) {
+    m_duplicated_.inc();
+    note("replica.duplicated");
+    out.push_back(frame);  // the extra copy lands on time
+  }
+  if (what.delay > 0) {
+    m_delayed_.inc();
+    note("replica.delayed");
+    frame.round = round + what.delay;
+    delayed_[round + what.delay].push_back(std::move(frame));
+  } else {
+    out.push_back(std::move(frame));
+  }
+  m_frames_emitted_.inc(out.size());
+  return out;
+}
+
+ElasticReplica::RoundFate ElasticReplica::fate(const chaos::Scenario& scenario,
+                                               std::size_t agent, std::size_t round) {
+  RoundFate what;
+  what.member = scenario.member_at(agent, round);
+  what.base = transport::AgentReplica::fate(scenario, agent, round);
+  return what;
+}
+
+}  // namespace redopt::elastic

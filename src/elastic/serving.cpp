@@ -1,0 +1,19 @@
+#include "elastic/serving.h"
+
+namespace redopt::elastic {
+
+void EstimateService::publish(std::size_t round, const linalg::Vector& estimate) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  current_.version += 1;
+  current_.round = round;
+  current_.estimate = estimate;
+  current_.valid = true;
+}
+
+EstimateService::Snapshot EstimateService::query() const {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+}  // namespace redopt::elastic

@@ -1,0 +1,54 @@
+// Concurrent estimate serving: the read path of an online trainer.
+//
+// While the coordinator trains, clients query the current estimate.  The
+// EstimateService is the hand-off point: the coordinator publishes one
+// immutable snapshot per round (between rounds, never mid-aggregation),
+// readers take the latest snapshot under a mutex and never observe a
+// torn vector.  Versions increase monotonically with publishes, so a
+// reader can prove it never travels back in time.
+//
+// Determinism contract: the coordinator's own deterministic per-round
+// queries are booked as stable telemetry by the session loop; reads from
+// foreign threads only touch the service's private atomic counter, never
+// the process registry — concurrent load cannot perturb the manifests
+// the cross-backend suites byte-compare.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "linalg/vector.h"
+
+namespace redopt::elastic {
+
+class EstimateService {
+ public:
+  /// One published estimate.  `valid` is false only before the first
+  /// publish (the default-constructed snapshot).
+  struct Snapshot {
+    std::uint64_t version = 0;  ///< strictly increasing across publishes
+    std::size_t round = 0;      ///< round the estimate was produced in
+    linalg::Vector estimate;
+    bool valid = false;
+  };
+
+  /// Publishes the estimate of @p round.  Coordinator-only, one writer.
+  void publish(std::size_t round, const linalg::Vector& estimate);
+
+  /// The latest snapshot (copy).  Safe from any thread, any time.
+  Snapshot query() const;
+
+  /// Queries served so far (all threads).  Timing-dependent under
+  /// concurrent readers; never fed into deterministic observables.
+  std::uint64_t queries_served() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot current_;
+  mutable std::atomic<std::uint64_t> queries_{0};
+};
+
+}  // namespace redopt::elastic

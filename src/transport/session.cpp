@@ -76,6 +76,9 @@ std::unique_ptr<Transport> make_transport(const SessionOptions& options, std::si
 ScenarioSession run_scenario_transport(const chaos::Scenario& scenario,
                                        const SessionOptions& options) {
   scenario.validate();
+  REDOPT_REQUIRE(!scenario.elastic(),
+                 "scenario carries membership/stream events; run it through "
+                 "elastic::run_elastic_transport (chaos-replay routes there automatically)");
 
   // Telemetry handles first: registration must happen in a serial
   // context.  The session books the same chaos.* fault counters the

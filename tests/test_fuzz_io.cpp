@@ -17,6 +17,7 @@
 #include "chaos/generator.h"
 #include "chaos/scenario.h"
 #include "data/instance_io.h"
+#include "elastic/membership.h"
 #include "data/regression.h"
 #include "rng/rng.h"
 #include "util/config.h"
@@ -193,6 +194,77 @@ TEST(FuzzScenario, MutatedScenarioJsonNeverCrashes) {
     const std::string base = generator.next().to_json();
     fuzz_corpus(base, seed,
                 [](const std::string& text) { chaos::scenario_from_json(text); });
+  }
+}
+
+TEST(FuzzScenario, MutatedElasticScenarioJsonNeverCrashes) {
+  // Elastic documents carry two extra arrays (membership, stream) with
+  // their own cross-field invariants (alternation, sort order, live-set
+  // non-emptiness, family gating) — every one must degrade to a
+  // PreconditionError under mutation, never a crash or a misparse that
+  // validate() would then trip over as a logic error.
+  const auto parse_and_validate = [](const std::string& text) {
+    chaos::scenario_from_json(text).validate();
+  };
+  fuzz_corpus(elastic::make_churn_scenario(elastic::ChurnProfile::kJoinHeavy, 31).to_json(), 909,
+              parse_and_validate);
+  fuzz_corpus(elastic::make_churn_scenario(elastic::ChurnProfile::kLeaveHeavy, 32).to_json(), 919,
+              parse_and_validate);
+  fuzz_corpus(elastic::make_streaming_churn_scenario(elastic::ChurnProfile::kJoinHeavy, 33).to_json(),
+              929, parse_and_validate);
+  fuzz_corpus(elastic::make_redundancy_dip_scenario(34).to_json(), 939, parse_and_validate);
+
+  chaos::GeneratorSpec spec;
+  spec.elastic_probability = 1.0;
+  chaos::Generator generator(spec, 88);
+  for (int k = 0; k < 4; ++k) {
+    fuzz_corpus(generator.next().to_json(), 949 + static_cast<std::uint64_t>(k),
+                parse_and_validate);
+  }
+}
+
+TEST(FuzzScenario, RejectsHostileElasticDocuments) {
+  const std::string base =
+      elastic::make_streaming_churn_scenario(elastic::ChurnProfile::kLeaveHeavy, 35).to_json();
+  const chaos::Scenario parsed = chaos::scenario_from_json(base);
+  EXPECT_NO_THROW(parsed.validate());
+
+  // Pinned malformed documents the random corpus might miss: each takes
+  // the valid base and breaks exactly one elastic invariant.
+  auto broken = [&base](const std::string& from, const std::string& to) {
+    std::string doc = base;
+    const std::size_t at = doc.find(from);
+    ASSERT_NE(at, std::string::npos) << from;
+    doc.replace(at, from.size(), to);
+    EXPECT_THROW(chaos::scenario_from_json(doc).validate(), PreconditionError) << to;
+  };
+  // An event round at/after the horizon.
+  broken("\"round\":15", "\"round\":999999");
+  // An out-of-range agent id.
+  broken("\"agent\":7", "\"agent\":70");
+  // A zero-row stream arrival.
+  {
+    std::string doc = base;
+    const std::size_t at = doc.find("\"rows\":");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t end = doc.find_first_of(",}", at + 7);
+    doc.replace(at, end - at, "\"rows\":0");
+    EXPECT_THROW(chaos::scenario_from_json(doc).validate(), PreconditionError);
+  }
+  // Unknown members are rejected outright (strict schema).
+  {
+    std::string doc = base;
+    doc.insert(doc.find("\"membership\""), "\"membership2\":[],");
+    EXPECT_THROW(chaos::scenario_from_json(doc), PreconditionError);
+  }
+  // A row count that overflows the total-stream-rows cap.
+  {
+    std::string doc = base;
+    const std::size_t at = doc.find("\"rows\":");
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t end = doc.find_first_of(",}", at + 7);
+    doc.replace(at, end - at, "\"rows\":281474976710656");
+    EXPECT_THROW(chaos::scenario_from_json(doc).validate(), PreconditionError);
   }
 }
 

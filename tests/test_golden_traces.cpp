@@ -18,6 +18,8 @@
 #include "attacks/registry.h"
 #include "data/regression.h"
 #include "dgd/trainer.h"
+#include "elastic/membership.h"
+#include "elastic/session.h"
 #include "filters/registry.h"
 #include "util/json.h"
 
@@ -98,9 +100,41 @@ dgd::TrainResult run_case(const std::string& attack_name, const std::string& fil
   return dgd::train(inst.problem, {2}, attack.get(), cfg, x_h);
 }
 
-void check_golden(const std::string& attack_name, const std::string& filter_name) {
-  const std::string name = attack_name + "_" + filter_name;
-  const std::string actual = trace_json(name, run_case(attack_name, filter_name));
+/// Serializes the deterministic observables of an elastic churn session:
+/// the scenario itself (so a golden also pins the serialized schedule),
+/// the estimate trace, and every membership/stream counter.
+std::string elastic_trace_json(const std::string& name, const chaos::Scenario& scenario,
+                               const elastic::ElasticSession& session) {
+  std::ostringstream os;
+  os << "{\"case\":\"" << util::json_escape(name) << "\"";
+  os << ",\"scenario\":" << scenario.to_json();
+  os << ",\"final_estimate\":" << vector_json(session.result.estimate);
+  os << ",\"reference\":" << vector_json(session.result.reference);
+  os << ",\"initial_distance\":" << util::json_number(session.result.initial_distance);
+  os << ",\"final_distance\":" << util::json_number(session.result.final_distance);
+  os << ",\"max_distance\":" << util::json_number(session.result.max_distance);
+  os << ",\"joins\":" << session.joins << ",\"leaves\":" << session.leaves
+     << ",\"member_agent_rounds\":" << session.member_agent_rounds
+     << ",\"absent_agent_rounds\":" << session.absent_agent_rounds
+     << ",\"stream_rows\":" << session.stream_rows
+     << ",\"f_rederivations\":" << session.f_rederivations
+     << ",\"rounds_below_redundancy\":" << session.rounds_below_redundancy
+     << ",\"filter_rebuilds\":" << session.result.filter_rebuilds;
+  os << ",\"query_distances\":[";
+  for (std::size_t k = 0; k < session.query_distances.size(); ++k) {
+    if (k > 0) os << ",";
+    os << util::json_number(session.query_distances[k]);
+  }
+  os << "],\"estimates\":[";
+  for (std::size_t k = 0; k < session.estimates.size(); ++k) {
+    if (k > 0) os << ",";
+    os << vector_json(session.estimates[k]);
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+void compare_or_update(const std::string& name, const std::string& actual) {
   const std::string path = golden_path(name);
 
   if (std::getenv("REDOPT_UPDATE_GOLDEN") != nullptr) {
@@ -121,6 +155,17 @@ void check_golden(const std::string& attack_name, const std::string& filter_name
       << "regenerate with scripts/update_golden.sh and review the diff";
 }
 
+void check_golden(const std::string& attack_name, const std::string& filter_name) {
+  const std::string name = attack_name + "_" + filter_name;
+  compare_or_update(name, trace_json(name, run_case(attack_name, filter_name)));
+}
+
+void check_elastic_golden(const std::string& name, elastic::ChurnProfile profile) {
+  const chaos::Scenario scenario = elastic::make_churn_scenario(profile, 11);
+  const elastic::ElasticSession session = elastic::run_elastic(scenario);
+  compare_or_update(name, elastic_trace_json(name, scenario, session));
+}
+
 }  // namespace
 
 TEST(GoldenTraces, GradientReverseCge) { check_golden("gradient_reverse", "cge"); }
@@ -130,6 +175,17 @@ TEST(GoldenTraces, LieCwtm) { check_golden("lie", "cwtm"); }
 TEST(GoldenTraces, IpmCge) { check_golden("ipm", "cge"); }
 TEST(GoldenTraces, IpmCwtm) { check_golden("ipm", "cwtm"); }
 
+// Elastic churn sessions: the golden pins the seeded membership schedule
+// (via the embedded scenario JSON), the full estimate trace and every
+// membership counter, so any drift in event folding, filter re-derivation
+// or the serving path shows up as a byte diff.
+TEST(GoldenTraces, ElasticChurnJoinHeavy) {
+  check_elastic_golden("elastic_churn_join_heavy", elastic::ChurnProfile::kJoinHeavy);
+}
+TEST(GoldenTraces, ElasticChurnLeaveHeavy) {
+  check_elastic_golden("elastic_churn_leave_heavy", elastic::ChurnProfile::kLeaveHeavy);
+}
+
 // The golden files pin parsed-and-reserialized stability too: loading a
 // golden through the strict JSON parser and re-emitting its numbers must
 // not change a byte (the parser keeps integers exact and json_number
@@ -137,13 +193,23 @@ TEST(GoldenTraces, IpmCwtm) { check_golden("ipm", "cwtm"); }
 TEST(GoldenTraces, GoldenFilesParseCleanly) {
   for (const std::string name :
        {"gradient_reverse_cge", "gradient_reverse_cwtm", "lie_cge", "lie_cwtm", "ipm_cge",
-        "ipm_cwtm"}) {
+        "ipm_cwtm", "elastic_churn_join_heavy", "elastic_churn_leave_heavy"}) {
     std::ifstream in(golden_path(name), std::ios::binary);
     if (!in.good()) continue;  // covered by the per-case tests above
     std::ostringstream buffer;
     buffer << in.rdbuf();
     const util::JsonValue doc = util::json_parse(buffer.str());
     EXPECT_EQ(doc.at("case").as_string(), name);
-    EXPECT_GE(doc.at("iterations").as_array().size(), 2u);
+    if (name.rfind("elastic_", 0) == 0) {
+      EXPECT_GE(doc.at("estimates").as_array().size(), 2u);
+      // The embedded scenario round-trips through the strict parser and
+      // still validates — goldens double as schema regression fixtures.
+      const chaos::Scenario parsed =
+          chaos::scenario_from_json(util::json_serialize(doc.at("scenario")));
+      EXPECT_NO_THROW(parsed.validate());
+      EXPECT_TRUE(parsed.elastic());
+    } else {
+      EXPECT_GE(doc.at("iterations").as_array().size(), 2u);
+    }
   }
 }

@@ -8,8 +8,12 @@
 //   chaos-replay --scenario repro.json            # replay + property check
 //   chaos-replay --scenario repro.json --json     # machine-readable result
 //   chaos-replay --generate 5 --seed 7            # print sample scenarios
+//   chaos-replay --generate 5 --elastic 0.5       # ... with membership churn
 //
-// By default the scenario runs on the in-process chaos executor.  Pass
+// Scenarios carrying membership or stream events route automatically to
+// the elastic session layer (elastic::run_elastic /
+// run_elastic_transport); everything else runs the fixed-membership
+// paths.  By default the scenario runs on the in-process executor.  Pass
 // --backend (and optionally --topology) to run it as a transport session
 // instead — the same round loop behind a src/transport/ backend:
 //
@@ -38,6 +42,7 @@
 #include "chaos/generator.h"
 #include "chaos/properties.h"
 #include "chaos/scenario.h"
+#include "elastic/session.h"
 #include "runtime/runtime.h"
 #include "telemetry/events.h"
 #include "telemetry/metrics.h"
@@ -60,7 +65,8 @@ std::string read_file(const std::string& path) {
 }
 
 int report_result(const chaos::Scenario& scenario, const chaos::ScenarioResult& result,
-                  bool as_json, const transport::TransportStats* transport_stats) {
+                  bool as_json, const transport::TransportStats* transport_stats,
+                  const elastic::ElasticSession* elastic_session = nullptr) {
   const chaos::PropertyReport report = chaos::check_properties(scenario, result);
   if (as_json) {
     std::cout << "{\"name\":\"" << util::json_escape(scenario.name) << "\""
@@ -76,6 +82,15 @@ int report_result(const chaos::Scenario& scenario, const chaos::ScenarioResult& 
               << ",\"dropped_replies\":" << result.dropped_replies
               << ",\"delayed_replies\":" << result.delayed_replies
               << ",\"duplicated_replies\":" << result.duplicated_replies;
+    if (elastic_session != nullptr) {
+      std::cout << ",\"joins\":" << elastic_session->joins
+                << ",\"leaves\":" << elastic_session->leaves
+                << ",\"member_agent_rounds\":" << elastic_session->member_agent_rounds
+                << ",\"absent_agent_rounds\":" << elastic_session->absent_agent_rounds
+                << ",\"stream_rows\":" << elastic_session->stream_rows
+                << ",\"f_rederivations\":" << elastic_session->f_rederivations
+                << ",\"rounds_below_redundancy\":" << elastic_session->rounds_below_redundancy;
+    }
     if (transport_stats != nullptr) {
       std::cout << ",\"frames_delivered\":" << transport_stats->frames_delivered
                 << ",\"bytes_on_wire\":" << transport_stats->bytes_on_wire
@@ -102,12 +117,25 @@ int report_result(const chaos::Scenario& scenario, const chaos::ScenarioResult& 
                 << " retries=" << transport_stats->messages_retried
                 << " deaths=" << transport_stats->agent_deaths << "\n";
     }
+    if (elastic_session != nullptr) {
+      std::cout << "elastic:   joins=" << elastic_session->joins
+                << " leaves=" << elastic_session->leaves
+                << " member_rounds=" << elastic_session->member_agent_rounds
+                << " absent_rounds=" << elastic_session->absent_agent_rounds
+                << " stream_rows=" << elastic_session->stream_rows
+                << " f_rederivations=" << elastic_session->f_rederivations
+                << " below_redundancy=" << elastic_session->rounds_below_redundancy << "\n";
+    }
     std::cout << "properties: " << report.summary() << "\n";
   }
   return report.ok ? 0 : 1;
 }
 
 int replay(const chaos::Scenario& scenario, bool as_json) {
+  if (scenario.elastic()) {
+    const elastic::ElasticSession session = elastic::run_elastic(scenario);
+    return report_result(scenario, session.result, as_json, nullptr, &session);
+  }
   const chaos::ScenarioResult result = chaos::run_scenario(scenario);
   return report_result(scenario, result, as_json, nullptr);
 }
@@ -120,9 +148,31 @@ struct ObservabilityOptions {
   bool any() const { return !trace_out.empty() || attribution || dump_metrics; }
 };
 
+int replay_elastic_transport(const chaos::Scenario& scenario, bool as_json,
+                             const transport::SessionOptions& options,
+                             const ObservabilityOptions& observe) {
+  REDOPT_REQUIRE(!observe.attribution,
+                 "--attribution is not available for elastic scenarios yet");
+  const elastic::ElasticSession session = elastic::run_elastic_transport(scenario, options);
+  const int status = report_result(scenario, session.result, as_json, &session.transport, &session);
+
+  if (!observe.trace_out.empty()) {
+    std::ofstream out(observe.trace_out, std::ios::binary | std::ios::trunc);
+    REDOPT_REQUIRE(out.good(), "cannot open trace output file: " + observe.trace_out);
+    out << elastic::elastic_trace_json(session);
+    REDOPT_REQUIRE(out.good(), "failed writing trace output file: " + observe.trace_out);
+  }
+  if (observe.dump_metrics) {
+    std::cout << telemetry::render_prometheus(telemetry::merge_agent_snapshots(
+        telemetry::registry().snapshot(), session.agents));
+  }
+  return status;
+}
+
 int replay_transport(const chaos::Scenario& scenario, bool as_json,
                      const transport::SessionOptions& options,
                      const ObservabilityOptions& observe) {
+  if (scenario.elastic()) return replay_elastic_transport(scenario, as_json, options, observe);
   const transport::ScenarioSession session = transport::run_scenario_transport(scenario, options);
   int status = report_result(scenario, session.result, as_json, &session.transport);
 
@@ -150,12 +200,12 @@ int replay_transport(const chaos::Scenario& scenario, bool as_json,
 int run(int argc, char** argv) {
   const util::Cli cli(argc, argv, {"scenario", "generate", "seed", "threads", "json", "help",
                                    "backend", "topology", "trace-out", "attribution",
-                                   "dump-metrics"});
+                                   "dump-metrics", "elastic"});
   if (cli.get_bool("help", false)) {
     std::cout << "usage: chaos-replay --scenario FILE [--threads N] [--json]\n"
               << "                    [--backend inproc|socket] [--topology star|chain|tree]\n"
               << "                    [--trace-out FILE] [--attribution] [--dump-metrics]\n"
-              << "       chaos-replay --generate K [--seed S] [--json]\n";
+              << "       chaos-replay --generate K [--seed S] [--elastic P] [--json]\n";
     return 0;
   }
   const std::int64_t threads = cli.get_int_env("threads", "REDOPT_THREADS", 0);
@@ -164,8 +214,9 @@ int run(int argc, char** argv) {
 
   const std::int64_t generate = cli.get_int("generate", 0);
   if (generate > 0) {
-    chaos::Generator generator(chaos::GeneratorSpec{},
-                               static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    chaos::GeneratorSpec spec;
+    spec.elastic_probability = cli.get_double("elastic", 0.0);
+    chaos::Generator generator(spec, static_cast<std::uint64_t>(cli.get_int("seed", 1)));
     for (std::int64_t k = 0; k < generate; ++k) std::cout << generator.next().to_json() << "\n";
     return 0;
   }

@@ -62,7 +62,8 @@ int layer_rank(const std::string& module) {
       {"filters", 4},  {"redundancy", 4}, {"attacks", 4},
       {"net", 5},      {"dgd", 5},     {"sgd", 5},
       {"chaos", 6},    {"transport", 6},
-      {"tools", 7},
+      {"elastic", 7},
+      {"tools", 8},
   };
   const auto it = kRanks.find(module);
   return it == kRanks.end() ? -1 : it->second;
