@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Docs-coverage gate: every top-level directory under src/ and tools/
+# must have a row in DESIGN.md §2 ("System inventory") that names it by
+# path (`src/<dir>/` or `tools/<dir>/`).  A subsystem that ships without
+# an inventory row is invisible to readers — this check fails the build
+# instead of letting the table drift behind the tree (it caught exactly
+# that drift for PRs 6-9; see docs/PERFORMANCE.md / OBSERVABILITY.md).
+#
+#   scripts/check_docs.sh
+#
+# Exit 0 when every directory is documented, 1 otherwise.
+set -eu
+cd "$(dirname "$0")/.."
+
+# The inventory section: between "## 2." and the next "## " heading.
+SECTION=$(awk '/^## 2\./{flag=1; next} /^## /{flag=0} flag' DESIGN.md)
+[ -n "$SECTION" ] || { echo "check_docs.sh: DESIGN.md has no '## 2.' section" >&2; exit 1; }
+
+missing=0
+for parent in src tools; do
+  for dir in "$parent"/*/; do
+    dir=${dir%/}
+    # Build trees or editor droppings are not subsystems.
+    ls "$dir"/*.cpp "$dir"/*.h >/dev/null 2>&1 || continue
+    if ! printf '%s' "$SECTION" | grep -q "$dir/"; then
+      echo "check_docs.sh: $dir/ has no DESIGN.md §2 inventory row" >&2
+      missing=1
+    fi
+  done
+done
+
+if [ "$missing" -ne 0 ]; then
+  echo "check_docs.sh: add a row to the '## 2. System inventory' table for each" >&2
+  echo "directory above (Subsystem | Directory | Contents)." >&2
+  exit 1
+fi
+echo "check_docs.sh: OK (every src/ and tools/ directory has an inventory row)"

@@ -24,7 +24,7 @@ if [ "$#" -gt 0 ] && [ "${1#-}" = "$1" ]; then
 fi
 MIN_TIME=${PERF_MIN_TIME:-0.05}
 BASELINE="$ROOT/bench/baselines/BENCH_baseline.json"
-PERF_BENCHES=(bench_filter_perf bench_exact_perf bench_kernel_perf bench_transport bench_elastic)
+PERF_BENCHES=(bench_filter_perf bench_exact_perf bench_kernel_perf bench_transport bench_elastic bench_serving)
 
 [ -r "$BASELINE" ] || { echo "check_perf.sh: missing baseline $BASELINE" >&2; exit 1; }
 

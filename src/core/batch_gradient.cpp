@@ -6,15 +6,41 @@
 
 namespace redopt::core {
 
-std::unique_ptr<BatchGradientEvaluator> BatchGradientEvaluator::try_create(
-    const std::vector<CostPtr>& costs) {
-  if (costs.empty()) return nullptr;
-  std::vector<const LeastSquaresCost*> terms;
-  terms.reserve(costs.size());
+bool BatchGradientEvaluator::all_least_squares(const std::vector<CostPtr>& costs,
+                                               std::size_t* d) {
+  if (costs.empty()) return false;
+  std::size_t dim = 0;
   for (const auto& c : costs) {
     const auto* ls = dynamic_cast<const LeastSquaresCost*>(c.get());
-    if (ls == nullptr) return nullptr;
-    terms.push_back(ls);
+    if (ls == nullptr) return false;
+    if (dim == 0) {
+      dim = ls->dimension();
+    } else if (ls->dimension() != dim) {
+      return false;
+    }
+  }
+  if (d != nullptr) *d = dim;
+  return true;
+}
+
+std::unique_ptr<BatchGradientEvaluator> BatchGradientEvaluator::try_create(
+    const std::vector<CostPtr>& costs) {
+  return try_create_grouped({costs});
+}
+
+std::unique_ptr<BatchGradientEvaluator> BatchGradientEvaluator::try_create_grouped(
+    const std::vector<std::vector<CostPtr>>& groups) {
+  if (groups.empty()) return nullptr;
+  std::vector<const LeastSquaresCost*> terms;
+  std::vector<std::size_t> group_offsets{0};
+  for (const auto& costs : groups) {
+    if (costs.empty()) return nullptr;
+    for (const auto& c : costs) {
+      const auto* ls = dynamic_cast<const LeastSquaresCost*>(c.get());
+      if (ls == nullptr) return nullptr;
+      terms.push_back(ls);
+    }
+    group_offsets.push_back(terms.size());
   }
   const std::size_t d = terms.front()->dimension();
   for (const auto* ls : terms) {
@@ -23,6 +49,7 @@ std::unique_ptr<BatchGradientEvaluator> BatchGradientEvaluator::try_create(
 
   auto evaluator = std::unique_ptr<BatchGradientEvaluator>(new BatchGradientEvaluator());
   evaluator->d_ = d;
+  evaluator->group_offsets_ = std::move(group_offsets);
   evaluator->row_offsets_.reserve(terms.size() + 1);
   evaluator->row_offsets_.push_back(0);
   std::size_t total_rows = 0;
@@ -77,6 +104,41 @@ void BatchGradientEvaluator::evaluate_agent(std::size_t i, const Vector& x, Vect
   double* g = out.data().data();
   linalg::kernels::matvec_transposed(block, rows, d_, r, g);
   linalg::kernels::scale(g, 2.0, d_);
+}
+
+void BatchGradientEvaluator::evaluate_groups(const std::vector<Vector>& xs,
+                                             std::vector<std::vector<Vector>>& out) {
+  REDOPT_REQUIRE(xs.size() == num_groups(), "batch gradient: one iterate per group required");
+  const std::size_t total_rows = row_offsets_.back();
+  residual_.resize(total_rows);
+  // One residual arena for the whole batch: each group's row block
+  // multiplies that group's iterate, then a single subtraction pass
+  // covers every row.  Row independence keeps each group's bytes equal
+  // to a per-group evaluate_all().
+  for (std::size_t g = 0; g < num_groups(); ++g) {
+    REDOPT_REQUIRE(xs[g].size() == d_, "batch gradient dimension mismatch");
+    const std::size_t row_lo = row_offsets_[group_offsets_[g]];
+    const std::size_t row_hi = row_offsets_[group_offsets_[g + 1]];
+    linalg::kernels::matvec(rows_.data() + row_lo * d_, row_hi - row_lo, d_, xs[g].data().data(),
+                            residual_.data() + row_lo);
+  }
+  linalg::kernels::sub(residual_.data(), rhs_.data(), total_rows);
+
+  out.resize(num_groups());
+  for (std::size_t g = 0; g < num_groups(); ++g) {
+    const std::size_t agents = group_agents(g);
+    out[g].resize(agents);
+    for (std::size_t local = 0; local < agents; ++local) {
+      const std::size_t i = group_offsets_[g] + local;
+      const std::size_t lo = row_offsets_[i];
+      const std::size_t rows = row_offsets_[i + 1] - lo;
+      if (out[g][local].size() != d_) out[g][local] = Vector(d_);
+      double* grad = out[g][local].data().data();
+      linalg::kernels::matvec_transposed(rows_.data() + lo * d_, rows, d_, residual_.data() + lo,
+                                         grad);
+      linalg::kernels::scale(grad, 2.0, d_);
+    }
+  }
 }
 
 }  // namespace redopt::core

@@ -35,10 +35,33 @@ class BatchGradientEvaluator {
   /// nullptr otherwise (callers fall back to the virtual gradient path).
   static std::unique_ptr<BatchGradientEvaluator> try_create(const std::vector<CostPtr>& costs);
 
+  /// Builds one evaluator over several same-dimension populations
+  /// stacked along a new batching axis — the serving scheduler stacks
+  /// concurrent jobs' agents into one machine this way.  Group g's
+  /// agents occupy global indices [group_offset(g), group_offset(g+1));
+  /// every per-agent entry point takes those global indices.  Returns
+  /// nullptr when any cost is not a LeastSquaresCost or dimensions
+  /// differ across groups.
+  static std::unique_ptr<BatchGradientEvaluator> try_create_grouped(
+      const std::vector<std::vector<CostPtr>>& groups);
+
+  /// True when every cost is a LeastSquaresCost of one dimension
+  /// (written to @p d when non-null) — the cheap compatibility probe
+  /// callers run before paying for construction.
+  static bool all_least_squares(const std::vector<CostPtr>& costs, std::size_t* d);
+
   std::size_t num_agents() const { return row_offsets_.size() - 1; }
   std::size_t dimension() const { return d_; }
   /// Observation rows held by agent @p i.
   std::size_t agent_rows(std::size_t i) const { return row_offsets_[i + 1] - row_offsets_[i]; }
+
+  std::size_t num_groups() const { return group_offsets_.size() - 1; }
+  /// First global agent index of group @p g (group_offset(num_groups())
+  /// is the total agent count).
+  std::size_t group_offset(std::size_t g) const { return group_offsets_[g]; }
+  std::size_t group_agents(std::size_t g) const {
+    return group_offsets_[g + 1] - group_offsets_[g];
+  }
 
   /// Gradients of all agents at @p x.  @p out is resized to num_agents()
   /// vectors of dimension d and overwritten; no allocation once every
@@ -51,6 +74,14 @@ class BatchGradientEvaluator {
   /// call concurrently for distinct agents with distinct workspaces.
   void evaluate_agent(std::size_t i, const Vector& x, Vector& residual_ws, Vector& out) const;
 
+  /// Gradients of every group's agents, each group at its own iterate
+  /// xs[g], in one stacked residual pass over all groups' rows.
+  /// out[g] is resized to group_agents(g) vectors of dimension d.
+  /// Bit-identical to evaluate_all() run per group (the stacked matvec
+  /// is row-independent, so batching across groups changes nothing).
+  /// Not thread-safe (shares the evaluate_all workspace).
+  void evaluate_groups(const std::vector<Vector>& xs, std::vector<std::vector<Vector>>& out);
+
  private:
   BatchGradientEvaluator() = default;
 
@@ -58,6 +89,7 @@ class BatchGradientEvaluator {
   std::vector<double> rows_;                // stacked row-major A blocks
   std::vector<double> rhs_;                 // stacked b entries
   std::vector<std::size_t> row_offsets_;    // agent i owns rows [off_i, off_{i+1})
+  std::vector<std::size_t> group_offsets_;  // group g owns agents [goff_g, goff_{g+1})
   std::vector<double> residual_;            // evaluate_all workspace
 };
 

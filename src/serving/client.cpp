@@ -1,0 +1,60 @@
+#include "serving/client.h"
+
+#include <utility>
+
+#include "transport/uds.h"
+#include "util/error.h"
+#include "util/frame.h"
+#include "util/json.h"
+
+namespace redopt::serving {
+
+Client::Client(std::string socket_path, int connect_timeout_ms, int io_timeout_ms,
+               int io_max_retries)
+    : socket_path_(std::move(socket_path)),
+      connect_timeout_ms_(connect_timeout_ms),
+      io_timeout_ms_(io_timeout_ms),
+      io_max_retries_(io_max_retries) {}
+
+std::string Client::request(const std::string& request_json) {
+  transport::UnixStream stream =
+      transport::UnixStream::connect(socket_path_, connect_timeout_ms_);
+  util::Frame frame;
+  frame.type = util::FrameType::kTelemetry;
+  frame.payload = util::pack_blob(request_json);
+  REDOPT_REQUIRE(stream.write_frame(frame), "client: daemon closed the connection");
+  util::Frame reply;
+  const auto status = stream.read_frame(&reply, io_timeout_ms_, io_max_retries_);
+  REDOPT_REQUIRE(status == transport::UdsIoStatus::kOk,
+                 "client: no response from daemon at " + socket_path_);
+  REDOPT_REQUIRE(reply.type == util::FrameType::kTelemetry,
+                 "client: unexpected response frame type");
+  return util::unpack_blob(reply.payload);
+}
+
+std::string Client::submit(const JobSpec& spec) {
+  return request("{\"op\":\"submit\",\"job\":" + spec.to_json() + "}");
+}
+
+std::string Client::status(const std::string& job_id) {
+  return request("{\"op\":\"status\",\"job\":\"" + util::json_escape(job_id) + "\"}");
+}
+
+std::string Client::result(const std::string& job_id) {
+  return request("{\"op\":\"result\",\"job\":\"" + util::json_escape(job_id) + "\"}");
+}
+
+std::string Client::list() { return request("{\"op\":\"list\"}"); }
+
+void Client::shutdown_daemon() {
+  transport::UnixStream stream =
+      transport::UnixStream::connect(socket_path_, connect_timeout_ms_);
+  util::Frame frame;
+  frame.type = util::FrameType::kShutdown;
+  REDOPT_REQUIRE(stream.write_frame(frame), "client: daemon closed the connection");
+  util::Frame reply;
+  // Best-effort: the daemon acks with a kShutdown frame before exiting.
+  (void)stream.read_frame(&reply, io_timeout_ms_, io_max_retries_);
+}
+
+}  // namespace redopt::serving

@@ -1,0 +1,45 @@
+// Client side of the redoptd wire protocol.
+//
+// One request per connection: connect to the daemon's Unix-domain
+// socket, send one kTelemetry frame whose blob is the JSON request,
+// read the single JSON response frame, close.  docs/SERVING.md walks
+// through the protocol; tools/redoptd wraps this class for the CLI.
+#pragma once
+
+#include <string>
+
+#include "serving/job.h"
+
+namespace redopt::serving {
+
+class Client {
+ public:
+  /// @p connect_timeout_ms bounds how long connect() retries while a
+  /// (re)starting daemon rebinds its socket.
+  explicit Client(std::string socket_path, int connect_timeout_ms = 2000,
+                  int io_timeout_ms = 5000, int io_max_retries = 50);
+
+  /// Sends one JSON request document, returns the daemon's JSON
+  /// response.  Throws redopt::PreconditionError on connection failure,
+  /// frame corruption, or a daemon that closed without replying.
+  std::string request(const std::string& request_json);
+
+  /// {"op":"submit","job":<spec>} — returns the response document; the
+  /// daemon's admission verdict is its "ok" member.
+  std::string submit(const JobSpec& spec);
+
+  std::string status(const std::string& job_id);
+  std::string result(const std::string& job_id);
+  std::string list();
+
+  /// Sends a kShutdown frame; the daemon drains and exits its loop.
+  void shutdown_daemon();
+
+ private:
+  std::string socket_path_;
+  int connect_timeout_ms_;
+  int io_timeout_ms_;
+  int io_max_retries_;
+};
+
+}  // namespace redopt::serving

@@ -1,0 +1,93 @@
+// The redoptd daemon core: socket front-end, durable state, recovery.
+//
+// One single-threaded event loop alternates between accepting client
+// requests on a Unix-domain socket and running scheduler slices; job
+// parallelism lives inside each slice's runtime::parallel_for fan-out,
+// so the daemon's observable behaviour is deterministic in the
+// submission sequence.
+//
+// Wire protocol (docs/SERVING.md has the full layout): every request
+// and response is one util::frame kTelemetry frame whose blob-packed
+// payload is a JSON document ({"op":"submit",...} -> {"ok":true,...}).
+// A kShutdown frame (or {"op":"shutdown"}) drains the loop.
+//
+// Durable state under state_dir:
+//   <job>.ckpt.json      — the latest checkpoint (rewritten atomically
+//                          after every slice; removed at completion)
+//   <job>.manifest.json  — the stable-projected final manifest
+// A daemon started over an existing state_dir adopts every *.ckpt.json
+// and resumes those jobs from their checkpoints; because slices and
+// checkpoints are deterministic, the recovered run's final manifest is
+// byte-identical to an uninterrupted one.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "serving/scheduler.h"
+#include "transport/uds.h"
+#include "util/stopwatch.h"
+
+namespace redopt::serving {
+
+struct DaemonOptions {
+  std::string socket_path;  ///< Unix-domain socket to listen on
+  std::string state_dir;    ///< checkpoint + manifest directory (created)
+  SchedulerOptions scheduler;
+  int accept_timeout_ms = 20;  ///< accept poll quantum between slices
+  int io_timeout_ms = 2000;    ///< per-frame read timeout
+  int io_max_retries = 50;
+  std::string trace_out;  ///< write a Chrome trace here at shutdown ("" = off)
+};
+
+class Daemon {
+ public:
+  /// Binds the listening socket and creates state_dir.  Throws
+  /// redopt::PreconditionError when either fails.
+  explicit Daemon(DaemonOptions options);
+
+  /// Adopts every checkpoint found in state_dir; returns how many jobs
+  /// resumed.  Checkpoints whose manifest already exists are complete
+  /// (the crash hit between manifest write and checkpoint removal) and
+  /// are cleaned up instead of re-run.
+  std::size_t recover();
+
+  /// One event-loop iteration: serve at most one client request, then
+  /// run one scheduler slice.  Returns true when either happened.
+  bool poll_once();
+
+  /// Loops poll_once() until a shutdown request arrives, then writes
+  /// the Chrome trace (when configured).
+  void serve();
+
+  bool shutdown_requested() const { return shutdown_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+  const std::string& state_dir() const { return options_.state_dir; }
+
+  /// JSON-in, JSON-out request dispatch (the daemon's entire protocol
+  /// surface; exposed for tests).  Never throws: every failure becomes
+  /// {"ok":false,"error":"..."}.
+  std::string handle_request(const std::string& request_json);
+
+ private:
+  void persist(const JobCheckpoint& checkpoint, bool finished);
+  std::string checkpoint_path(const std::string& job_id) const;
+  std::string manifest_path(const std::string& job_id) const;
+  void write_trace() const;
+
+  DaemonOptions options_;
+  Scheduler scheduler_;
+  transport::UnixListener listener_;
+  bool shutdown_ = false;
+  /// Wall clock since daemon start (the one sanctioned timing source);
+  /// job start offsets feed only the manifest's "nd" member.
+  util::Stopwatch uptime_;
+  std::map<std::string, double> started_at_;
+};
+
+/// Atomically replaces @p path with @p bytes (write to a sibling tmp
+/// file, then rename) so a crash mid-write never leaves a torn file.
+void atomic_write_file(const std::string& path, const std::string& bytes);
+
+}  // namespace redopt::serving

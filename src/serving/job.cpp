@@ -1,0 +1,73 @@
+#include "serving/job.h"
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace redopt::serving {
+
+namespace {
+
+bool valid_job_id_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '.' || c == '_' || c == '-';
+}
+
+}  // namespace
+
+void JobSpec::validate() const {
+  REDOPT_REQUIRE(!job_id.empty(), "job: job_id must be non-empty");
+  REDOPT_REQUIRE(job_id.size() <= 100, "job: job_id longer than 100 characters");
+  // The id names checkpoint/manifest files, so the charset is a strict
+  // allow-list and a leading '.' (hidden files, "..") is rejected.
+  REDOPT_REQUIRE(job_id.front() != '.', "job: job_id must not start with '.'");
+  for (char c : job_id) {
+    REDOPT_REQUIRE(valid_job_id_char(c),
+                   "job: job_id may only contain [A-Za-z0-9._-]: " + job_id);
+  }
+  scenario.validate();
+  REDOPT_REQUIRE(!scenario.elastic(),
+                 "job: elastic scenarios (membership/stream events) are not servable; "
+                 "run them through elastic::run_elastic");
+}
+
+std::string JobSpec::to_json() const {
+  std::string out = "{\"job\":\"" + util::json_escape(job_id) + "\",";
+  out += "\"scenario\":" + scenario.to_json() + "}";
+  return out;
+}
+
+JobSpec job_spec_from_json(const std::string& text) {
+  const util::JsonValue doc = util::json_parse(text);
+  REDOPT_REQUIRE(doc.kind == util::JsonValue::Kind::kObject, "job: expected a JSON object");
+  JobSpec spec;
+  bool saw_scenario = false;
+  for (const auto& [key, value] : doc.members) {
+    if (key == "job") {
+      spec.job_id = value.as_string();
+    } else if (key == "scenario") {
+      REDOPT_REQUIRE(value.kind == util::JsonValue::Kind::kObject,
+                     "job: scenario must be an object");
+      // Re-serialize the subtree and route it through the scenario
+      // parser so both layers apply the same strictness.
+      spec.scenario = chaos::scenario_from_json(util::json_serialize(value));
+      saw_scenario = true;
+    } else {
+      REDOPT_REQUIRE(false, "job: unknown member: " + key);
+    }
+  }
+  REDOPT_REQUIRE(!spec.job_id.empty(), "job: missing member: job");
+  REDOPT_REQUIRE(saw_scenario, "job: missing member: scenario");
+  spec.validate();
+  return spec;
+}
+
+const std::vector<std::string>& job_state_names() {
+  static const std::vector<std::string> names = {"queued", "running", "done"};
+  return names;
+}
+
+std::string to_string(JobState state) {
+  return job_state_names()[static_cast<std::size_t>(state)];
+}
+
+}  // namespace redopt::serving

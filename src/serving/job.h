@@ -1,0 +1,55 @@
+// Job submissions for the redoptd serving daemon.
+//
+// A JobSpec is one client-submitted training job: a named, fixed-
+// membership chaos::Scenario the daemon will drive to completion.  The
+// spec is the complete description — everything downstream (instance
+// data, initial estimate, attack and channel randomness) derives from
+// the scenario seed, so the daemon can checkpoint a job mid-flight and
+// resume it in a different process with the same trajectory bit for
+// bit (see serving/checkpoint.h and docs/SERVING.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "chaos/scenario.h"
+
+namespace redopt::serving {
+
+/// One submitted training job.
+struct JobSpec {
+  /// Client-chosen identifier, unique per daemon.  Restricted to
+  /// [A-Za-z0-9._-] (it names the job's checkpoint and manifest files).
+  std::string job_id;
+
+  /// The execution to run.  Must be a fixed-membership scenario:
+  /// elastic (membership / stream event) scenarios run through
+  /// elastic::run_elastic, not the serving scheduler.
+  chaos::Scenario scenario;
+
+  /// Structural validation: well-formed job_id, scenario.validate(),
+  /// and no elastic events.  Throws redopt::PreconditionError.
+  void validate() const;
+
+  /// Canonical JSON form: {"job":"<id>","scenario":{...}}.  Round-trips
+  /// through job_spec_from_json bit-exactly.
+  std::string to_json() const;
+};
+
+/// Strict inverse of JobSpec::to_json(); unknown members are rejected.
+/// Throws redopt::PreconditionError on malformed input.
+JobSpec job_spec_from_json(const std::string& text);
+
+/// Lifecycle states a job moves through inside the daemon:
+/// queued -> running -> done, with running jobs rotating back to queued
+/// at every budget-slice boundary (a checkpoint is written each time).
+/// Rejected submissions never enter the table.
+enum class JobState { kQueued, kRunning, kDone };
+
+/// The state spellings, in enum order (for status reports and
+/// util::parse_choice).
+const std::vector<std::string>& job_state_names();
+
+std::string to_string(JobState state);
+
+}  // namespace redopt::serving

@@ -1,0 +1,69 @@
+// The slice runner: resumable, deterministic execution of one job.
+//
+// This is the chaos executor's round loop restructured for checkpoint/
+// resume.  chaos::run_scenario draws channel and attack randomness from
+// streams forked once and advanced across rounds — private xoshiro
+// state a JSON checkpoint cannot carry.  The serving runner instead
+// derives every draw from per-round named forks of the scenario seed
+// ("channel-<t>", "attack-<agent>-<t>"), so the complete resumable
+// state is the small JobCheckpoint blob: iterate, straggler history,
+// in-flight delayed replies, counters.  Stop after any round, reload
+// the checkpoint in a fresh process, continue — the trajectory is bit-
+// identical to the uninterrupted run.
+//
+// On scenarios without channel faults and without rng-consuming attacks
+// the per-round forks are never drawn from, and the runner's trajectory
+// equals chaos::run_scenario's bit for bit (tests pin this as the
+// cross-implementation oracle).
+//
+// Gradient emission fans out over runtime::parallel_for with per-index
+// slot writes, so results are thread-count independent; when the
+// scheduler supplies a (possibly cross-job) core::BatchGradientEvaluator
+// the runner routes per-agent evaluation through it, bit-identical to
+// the virtual cost path by the evaluator's contract.
+#pragma once
+
+#include <cstddef>
+
+#include "chaos/executor.h"
+#include "core/batch_gradient.h"
+#include "serving/checkpoint.h"
+
+namespace redopt::serving {
+
+/// Per-slice execution context the scheduler owns across slices.
+struct SliceContext {
+  /// The materialized instance (pure function of the scenario; the
+  /// scheduler caches it per job so slices do not re-generate data).
+  const chaos::MaterializedScenario* built = nullptr;
+
+  /// Optional batched gradient path.  When set, agent i of this job
+  /// evaluates through evaluator->evaluate_agent(agent_base + i, ...)
+  /// — the scheduler stacks same-dimension populations across jobs
+  /// into one evaluator (the cross-job batching axis).
+  const core::BatchGradientEvaluator* evaluator = nullptr;
+  std::size_t agent_base = 0;
+};
+
+/// The round-0 state of a job: x0 from the scenario seed (the same
+/// "x0" fork chaos::run_scenario uses), projected into the box, with
+/// initial distance recorded against the honest reference.
+JobCheckpoint make_initial_checkpoint(const JobSpec& spec,
+                                      const chaos::MaterializedScenario& built);
+
+/// Runs up to @p max_rounds rounds from @p ck, mutating it in place.
+/// Returns the number of rounds actually run (0 when already finished).
+/// Caller checks ck.finished() for completion.
+std::size_t run_job_slice(JobCheckpoint& ck, std::size_t max_rounds, const SliceContext& ctx);
+
+/// The final job manifest: spec, rounds, result block (distances,
+/// estimate, fault counters) and a telemetry section built by shipping
+/// a per-job telemetry island through the serialize -> parse -> render
+/// pipeline (telemetry/ship.h).  Wall-clock lives under the "nd"
+/// member only, so telemetry::stable_json_projection() of the manifest
+/// is byte-identical across thread counts, processes, and kill/resume
+/// boundaries.  Requires ck.finished().
+std::string job_manifest_json(const JobCheckpoint& ck, const chaos::MaterializedScenario& built,
+                              double wall_seconds);
+
+}  // namespace redopt::serving

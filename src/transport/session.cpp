@@ -17,6 +17,7 @@
 #include "telemetry/trace_export.h"
 #include "transport/agent_replica.h"
 #include "transport/inproc_transport.h"
+#include "util/cli.h"
 #include "util/error.h"
 
 namespace redopt::transport {
@@ -57,10 +58,9 @@ std::string to_string(BackendKind backend) {
 }
 
 BackendKind backend_from_string(const std::string& name) {
-  if (name == "inproc") return BackendKind::kInproc;
-  if (name == "socket") return BackendKind::kSocket;
-  REDOPT_REQUIRE(false, "unknown backend '" + name + "': valid values are inproc, socket");
-  return BackendKind::kInproc;  // unreachable
+  // backend_names() lists the spellings in enum order, so the choice
+  // index is the enum value.
+  return static_cast<BackendKind>(util::parse_choice("backend", name, backend_names()));
 }
 
 std::unique_ptr<Transport> make_transport(const SessionOptions& options, std::size_t n,

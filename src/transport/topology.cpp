@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/cli.h"
 #include "util/error.h"
 
 namespace redopt::transport {
@@ -24,11 +25,9 @@ std::string to_string(Topology topology) {
 }
 
 Topology topology_from_string(const std::string& name) {
-  if (name == "star") return Topology::kStar;
-  if (name == "chain") return Topology::kChain;
-  if (name == "tree") return Topology::kTree;
-  REDOPT_REQUIRE(false, "unknown topology '" + name + "': valid values are star, chain, tree");
-  return Topology::kStar;  // unreachable
+  // topology_names() lists the spellings in enum order, so the choice
+  // index is the enum value.
+  return static_cast<Topology>(util::parse_choice("topology", name, topology_names()));
 }
 
 std::size_t parent_of(Topology topology, std::size_t agent, std::size_t n) {

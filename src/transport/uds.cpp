@@ -1,0 +1,221 @@
+#include "transport/uds.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace redopt::transport {
+
+namespace {
+
+/// Caps a received length prefix; a corrupted prefix must not make the
+/// reader wait for gigabytes that will never come.
+constexpr std::uint32_t kMaxBodyBytes = 64u << 20;
+
+/// Reads exactly @p size bytes.  Each wait is a poll() bounded by
+/// @p timeout_ms, retried up to @p max_retries times (EINTR included).
+UdsIoStatus read_exact(int fd, unsigned char* out, std::size_t size, int timeout_ms,
+                       int max_retries) {
+  std::size_t have = 0;
+  int retries_left = max_retries;
+  auto retry = [&]() -> bool {
+    if (retries_left == 0) return false;
+    --retries_left;
+    return true;
+  };
+  while (have < size) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      if (!retry()) return UdsIoStatus::kTimeout;
+      continue;
+    }
+    if (ready < 0) {
+      if (errno == EINTR && retry()) continue;
+      return UdsIoStatus::kError;
+    }
+    const ssize_t got = ::recv(fd, out + have, size - have, 0);
+    if (got == 0) return UdsIoStatus::kEof;
+    if (got < 0) {
+      if ((errno == EINTR || errno == EAGAIN) && retry()) continue;
+      return UdsIoStatus::kError;
+    }
+    have += static_cast<std::size_t>(got);
+  }
+  return UdsIoStatus::kOk;
+}
+
+/// Writes all of @p bytes; MSG_NOSIGNAL turns a dead peer into an error
+/// return instead of SIGPIPE.
+bool write_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t wrote = ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+sockaddr_un address_for(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  REDOPT_REQUIRE(path.size() + 1 <= sizeof(addr.sun_path),
+                 "unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- UnixStream
+
+UnixStream::~UnixStream() { close(); }
+
+UnixStream::UnixStream(UnixStream&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+UnixStream& UnixStream::operator=(UnixStream&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void UnixStream::close() { close_fd(fd_); }
+
+UnixStream UnixStream::connect(const std::string& path, int timeout_ms) {
+  const sockaddr_un addr = address_for(path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  REDOPT_REQUIRE(fd >= 0, "unix stream: socket() failed");
+  UnixStream stream(fd);
+  // A Unix-domain connect() either succeeds immediately or fails with
+  // the listener's state; poll-based retry covers the window where a
+  // restarting daemon has unlinked but not yet rebound its socket.
+  int waited_ms = 0;
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return stream;
+    }
+    if (errno == EINTR) continue;
+    constexpr int kRetrySliceMs = 20;
+    REDOPT_REQUIRE(waited_ms < timeout_ms,
+                   "unix stream: cannot connect to " + path + ": " + std::strerror(errno));
+    ::poll(nullptr, 0, kRetrySliceMs);  // sleep one slice, EINTR-tolerant
+    waited_ms += kRetrySliceMs;
+  }
+}
+
+UdsIoStatus UnixStream::read_frame(util::Frame* frame, int timeout_ms, int max_retries) const {
+  unsigned char prefix[4];
+  UdsIoStatus status = read_exact(fd_, prefix, sizeof(prefix), timeout_ms, max_retries);
+  if (status != UdsIoStatus::kOk) return status;
+  const std::uint32_t body_length = static_cast<std::uint32_t>(prefix[0]) |
+                                    (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                                    (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                                    (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (body_length > kMaxBodyBytes) return UdsIoStatus::kError;
+  std::vector<unsigned char> body(body_length);
+  status = read_exact(fd_, body.data(), body.size(), timeout_ms, max_retries);
+  if (status != UdsIoStatus::kOk) return status;
+  try {
+    *frame = util::decode_frame_body(body.data(), body.size());
+  } catch (const PreconditionError&) {
+    return UdsIoStatus::kError;
+  }
+  return UdsIoStatus::kOk;
+}
+
+bool UnixStream::write_frame(const util::Frame& frame) const {
+  return write_all(fd_, util::encode_frame(frame));
+}
+
+// -------------------------------------------------------------- UnixListener
+
+UnixListener::UnixListener(const std::string& path, int backlog) : path_(path) {
+  const sockaddr_un addr = address_for(path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  REDOPT_REQUIRE(fd_ >= 0, "unix listener: socket() failed");
+  // A crashed predecessor leaves its socket file behind; the name
+  // belongs to whoever listens next.
+  ::unlink(path.c_str());
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string reason = std::strerror(errno);
+    close_fd(fd_);
+    REDOPT_REQUIRE(false, "unix listener: cannot bind " + path + ": " + reason);
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const std::string reason = std::strerror(errno);
+    close();
+    REDOPT_REQUIRE(false, "unix listener: cannot listen on " + path + ": " + reason);
+  }
+}
+
+UnixListener::~UnixListener() { close(); }
+
+UnixListener::UnixListener(UnixListener&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+UnixListener& UnixListener::operator=(UnixListener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+void UnixListener::close() {
+  if (fd_ >= 0) {
+    close_fd(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+std::optional<UnixStream> UnixListener::accept(int timeout_ms) const {
+  for (;;) {
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return std::nullopt;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == ECONNABORTED) continue;
+      return std::nullopt;
+    }
+    return UnixStream(client);
+  }
+}
+
+}  // namespace redopt::transport

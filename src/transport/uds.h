@@ -1,0 +1,83 @@
+// Unix-domain stream sockets with poll-bounded, checksummed frame I/O.
+//
+// This is the transport layer's home for *named* (filesystem-path)
+// sockets, as SocketTransport is for anonymous socketpair() links.  The
+// serving daemon (src/serving/) listens and accepts through these
+// wrappers so raw socket and byte-order calls stay confined to
+// src/transport/ (lint rule N1).  The wire format is the util::Frame
+// checksummed codec: every message is one length-prefixed frame, and a
+// corrupted body (bad magic, checksum, length) surfaces as kError — the
+// link is no longer trustworthy.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "util/frame.h"
+
+namespace redopt::transport {
+
+/// Outcome of a bounded read: distinguishes "peer closed cleanly" from
+/// "peer is slow" from "the bytes are garbage".
+enum class UdsIoStatus { kOk, kEof, kTimeout, kError };
+
+/// A connected Unix-domain stream.  Owns the descriptor; move-only.
+class UnixStream {
+ public:
+  UnixStream() = default;
+  /// Adopts an already-connected descriptor (from UnixListener::accept).
+  explicit UnixStream(int fd) : fd_(fd) {}
+  ~UnixStream();
+  UnixStream(UnixStream&& other) noexcept;
+  UnixStream& operator=(UnixStream&& other) noexcept;
+  UnixStream(const UnixStream&) = delete;
+  UnixStream& operator=(const UnixStream&) = delete;
+
+  /// Connects to the listening socket at @p path.  Each poll() wait is
+  /// bounded by @p timeout_ms.  Throws redopt::PreconditionError when
+  /// the path does not name a live listener.
+  static UnixStream connect(const std::string& path, int timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Reads one length-prefixed frame.  Each wait is a poll() bounded by
+  /// @p timeout_ms, retried up to @p max_retries times.
+  UdsIoStatus read_frame(util::Frame* frame, int timeout_ms, int max_retries) const;
+
+  /// Writes one encoded frame; false when the peer is gone (no SIGPIPE).
+  bool write_frame(const util::Frame& frame) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening Unix-domain socket bound to a filesystem path.  The
+/// listener owns the name: construction unlinks any stale socket file
+/// left by a crashed predecessor, destruction unlinks its own.
+class UnixListener {
+ public:
+  /// Binds and listens at @p path.  Throws redopt::PreconditionError on
+  /// bind failure or when @p path exceeds the sockaddr_un limit.
+  explicit UnixListener(const std::string& path, int backlog = 16);
+  ~UnixListener();
+  UnixListener(UnixListener&& other) noexcept;
+  UnixListener& operator=(UnixListener&& other) noexcept;
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  void close();
+
+  /// Accepts one pending connection; std::nullopt when @p timeout_ms
+  /// elapses with nobody knocking.
+  std::optional<UnixStream> accept(int timeout_ms) const;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace redopt::transport

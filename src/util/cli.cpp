@@ -87,4 +87,19 @@ bool Cli::get_bool(const std::string& key, bool def) const {
   return *v == "true" || *v == "1" || *v == "yes";
 }
 
+std::size_t parse_choice(const std::string& what, const std::string& value,
+                         const std::vector<std::string>& choices) {
+  REDOPT_REQUIRE(!choices.empty(), "parse_choice: empty choice list for " + what);
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (choices[i] == value) return i;
+  }
+  std::string valid;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    if (i > 0) valid += ", ";
+    valid += choices[i];
+  }
+  REDOPT_REQUIRE(false, "unknown " + what + " '" + value + "': valid values are " + valid);
+  return 0;  // unreachable
+}
+
 }  // namespace redopt::util

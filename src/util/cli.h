@@ -44,4 +44,12 @@ class Cli {
   std::map<std::string, std::string> values_;
 };
 
+/// Strict choice parse: returns the index of @p value in @p choices.
+/// Throws redopt::PreconditionError naming @p what and listing every
+/// valid spelling when @p value is not among them.  Enum flag parsers
+/// (--backend, --topology, serving job states) all route through this
+/// helper so "unknown X" errors read identically everywhere.
+std::size_t parse_choice(const std::string& what, const std::string& value,
+                         const std::vector<std::string>& choices);
+
 }  // namespace redopt::util

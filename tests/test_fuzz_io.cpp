@@ -14,8 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "chaos/executor.h"
 #include "chaos/generator.h"
 #include "chaos/scenario.h"
+#include "serving/checkpoint.h"
+#include "serving/job.h"
+#include "serving/runner.h"
 #include "data/instance_io.h"
 #include "elastic/membership.h"
 #include "data/regression.h"
@@ -402,4 +406,88 @@ TEST(FuzzFrame, ValidFrameSurvivesItsOwnCorpus) {
   EXPECT_EQ(frame.agent, 3u);
   EXPECT_EQ(frame.payload.size(), 4u);
   EXPECT_EQ(util::encode_frame(frame), base);
+}
+
+namespace {
+
+/// A mid-flight serving checkpoint with every section populated: faulty
+/// scenario, straggler history window, in-flight delayed replies, and
+/// non-zero counters — the richest JSON document the daemon reads back
+/// from disk after a crash.
+std::string valid_checkpoint_json() {
+  chaos::Scenario s;
+  s.name = "fuzz-ckpt";
+  s.seed = 77;
+  s.problem = "regression";
+  s.filter = "cge";
+  s.n = 8;
+  s.f = 2;
+  s.d = 2;
+  s.rounds = 30;
+  chaos::FaultSpec byz;
+  byz.kind = chaos::FaultSpec::Kind::kByzantine;
+  byz.agent = 1;
+  byz.from = 2;
+  byz.attack = "random";
+  byz.attack_param = 40.0;
+  chaos::FaultSpec straggler;
+  straggler.kind = chaos::FaultSpec::Kind::kStraggler;
+  straggler.agent = 5;
+  straggler.from = 1;
+  straggler.staleness = 2;
+  s.faults = {byz, straggler};
+  s.channel.drop_probability = 0.1;
+  s.channel.duplicate_probability = 0.1;
+  s.channel.max_delay = 2;
+  s.validate();
+
+  serving::JobSpec spec;
+  spec.job_id = "fuzz";
+  spec.scenario = s;
+  const chaos::MaterializedScenario built = chaos::materialize_scenario(s);
+  serving::JobCheckpoint ck = serving::make_initial_checkpoint(spec, built);
+  serving::SliceContext ctx;
+  ctx.built = &built;
+  serving::run_job_slice(ck, 13, ctx);
+  return ck.to_json();
+}
+
+}  // namespace
+
+TEST(FuzzCheckpoint, MutatedCheckpointBlobsNeverCrash) {
+  // The daemon feeds checkpoint_from_json bytes read back from disk
+  // after a crash — torn writes and corruption are exactly what the
+  // mutation corpus simulates.  Contract: success or PreconditionError.
+  const std::string base = valid_checkpoint_json();
+  fuzz_corpus(base, 1101,
+              [](const std::string& text) { serving::checkpoint_from_json(text); });
+  fuzz_corpus(base, 1102,
+              [](const std::string& text) { serving::checkpoint_from_json(text); });
+}
+
+TEST(FuzzCheckpoint, RejectsHostileStructuredDocuments) {
+  // Structure-preserving corruptions the byte corpus is unlikely to hit:
+  // each document stays valid JSON but breaks a cross-field invariant
+  // the runner relies on to resume safely.
+  const std::string base = valid_checkpoint_json();
+  const auto tamper = [&base](const std::string& needle, const std::string& replacement) {
+    const auto at = base.find(needle);
+    EXPECT_NE(at, std::string::npos) << needle;
+    return base.substr(0, at) + replacement + base.substr(at + needle.size());
+  };
+  // An agent index pushed outside the population (the first match sits
+  // in the embedded spec's fault list; spec validation catches it).
+  EXPECT_THROW(serving::checkpoint_from_json(tamper("\"agent\":1,", "\"agent\":99,")),
+               PreconditionError);
+  // Counters with an unknown member.
+  EXPECT_THROW(
+      serving::checkpoint_from_json(tamper("\"filter_rebuilds\"", "\"made_up_counter\"")),
+      PreconditionError);
+  // A null distance (the original value lands under an unknown member —
+  // either defect alone is fatal).
+  EXPECT_THROW(serving::checkpoint_from_json(tamper(
+                   "\"initial_distance\":", "\"initial_distance\":null,\"blank_distance\":")),
+               PreconditionError);
+  // The unmutated base round-trips bit-exactly (corpus sanity anchor).
+  EXPECT_EQ(serving::checkpoint_from_json(base).to_json(), base);
 }

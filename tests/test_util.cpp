@@ -112,6 +112,36 @@ TEST(Cli, RejectsNonFlagToken) {
   EXPECT_THROW(ru::Cli(2, argv, {"alpha"}), redopt::PreconditionError);
 }
 
+TEST(Cli, ParseChoiceReturnsIndexInDeclarationOrder) {
+  const std::vector<std::string> choices = {"star", "chain", "tree"};
+  EXPECT_EQ(ru::parse_choice("topology", "star", choices), 0u);
+  EXPECT_EQ(ru::parse_choice("topology", "chain", choices), 1u);
+  EXPECT_EQ(ru::parse_choice("topology", "tree", choices), 2u);
+}
+
+TEST(Cli, ParseChoiceErrorNamesTheFlagAndListsEveryValue) {
+  const std::vector<std::string> choices = {"inproc", "socket"};
+  try {
+    ru::parse_choice("backend", "carrier-pigeon", choices);
+    FAIL() << "expected PreconditionError";
+  } catch (const redopt::PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown backend 'carrier-pigeon'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("inproc, socket"), std::string::npos) << msg;
+  }
+}
+
+TEST(Cli, ParseChoiceIsCaseSensitiveAndWholeToken) {
+  const std::vector<std::string> choices = {"star", "chain", "tree"};
+  EXPECT_THROW(ru::parse_choice("topology", "Star", choices), redopt::PreconditionError);
+  EXPECT_THROW(ru::parse_choice("topology", "st", choices), redopt::PreconditionError);
+  EXPECT_THROW(ru::parse_choice("topology", "", choices), redopt::PreconditionError);
+}
+
+TEST(Cli, ParseChoiceRejectsEmptyChoiceList) {
+  EXPECT_THROW(ru::parse_choice("thing", "x", {}), redopt::PreconditionError);
+}
+
 // ---------------------------------------------------------------- Config
 
 TEST(Config, ParsesKeyValuePairs) {

@@ -16,7 +16,7 @@ constexpr const char* kTool = "redopt-analyze";
 const std::vector<RuleInfo> kRules = {
     {"A1", "module layering violation: #include climbs the dependency DAG",
      "the module layers (util/rng/runtime/telemetry -> linalg -> core/data -> "
-     "filters/redundancy/attacks -> net/dgd/sgd -> chaos/transport -> elastic -> tools) keep the "
+     "filters/redundancy/attacks -> net/dgd/sgd -> chaos/transport -> elastic -> serving -> tools) keep the "
      "determinism authority and the build acyclic; an upward edge couples a foundation "
      "to its consumers"},
     {"A2", "include cycle across files",
@@ -624,7 +624,7 @@ bool is_header(const std::string& path) {
 
 const std::regex& module_ref_pattern() {
   static const std::regex re(
-      R"((^|[^\w:])(util|rng|runtime|telemetry|linalg|core|data|filters|redundancy|attacks|net|dgd|sgd|chaos|transport|elastic)::([A-Za-z_]\w*))");
+      R"((^|[^\w:])(util|rng|runtime|telemetry|linalg|core|data|filters|redundancy|attacks|net|dgd|sgd|chaos|transport|elastic|serving)::([A-Za-z_]\w*))");
   return re;
 }
 

@@ -63,7 +63,8 @@ int layer_rank(const std::string& module) {
       {"net", 5},      {"dgd", 5},     {"sgd", 5},
       {"chaos", 6},    {"transport", 6},
       {"elastic", 7},
-      {"tools", 8},
+      {"serving", 8},
+      {"tools", 9},
   };
   const auto it = kRanks.find(module);
   return it == kRanks.end() ? -1 : it->second;

@@ -1,0 +1,152 @@
+// redoptd: multi-tenant serving daemon for concurrent training jobs.
+//
+// One binary covers both sides of the wire.  Daemon side:
+//
+//   redoptd --serve --socket /tmp/redoptd.sock --state-dir /tmp/redoptd
+//
+// binds the Unix-domain socket, adopts any checkpoints left in the
+// state directory (crash recovery — see docs/SERVING.md), and loops:
+// accept one client request, run one scheduler slice, checkpoint.
+// Admission control and budgets come from the scheduler flags below.
+//
+// Client side (each sends one framed JSON request and prints the JSON
+// response):
+//
+//   redoptd --submit job.json --socket /tmp/redoptd.sock
+//   redoptd --status JOB      --socket /tmp/redoptd.sock
+//   redoptd --result JOB      --socket /tmp/redoptd.sock
+//   redoptd --list            --socket /tmp/redoptd.sock
+//   redoptd --shutdown        --socket /tmp/redoptd.sock
+//
+// And a generator for sample submissions (deterministic in --seed):
+//
+//   redoptd --generate 3 --seed 7
+//
+// Exit status: 0 on success ("ok":true responses), 1 when the daemon
+// answered {"ok":false,...}, 2 on usage or I/O errors — so the binary
+// slots into scripts/check_serving.sh and CI directly.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "chaos/generator.h"
+#include "runtime/runtime.h"
+#include "serving/client.h"
+#include "serving/daemon.h"
+#include "serving/job.h"
+#include "telemetry/events.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace redopt;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  REDOPT_REQUIRE(in.good(), "cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  REDOPT_REQUIRE(in.good() || in.eof(), "failed reading file: " + path);
+  return buffer.str();
+}
+
+/// Prints the daemon's JSON response; the process exit code mirrors its
+/// "ok" member so shell scripts can branch without a JSON parser.
+int finish(const std::string& response_json) {
+  std::cout << response_json << "\n";
+  const util::JsonValue doc = util::json_parse(response_json);
+  return doc.at("ok").as_bool() ? 0 : 1;
+}
+
+int run(int argc, char** argv) {
+  const util::Cli cli(argc, argv,
+                      {"serve", "socket", "state-dir", "max-jobs", "max-rounds", "max-dimension",
+                       "slice-rounds", "trace-out", "threads", "submit", "status", "result",
+                       "list", "shutdown", "generate", "seed", "help"});
+  if (cli.get_bool("help", false)) {
+    std::cout << "usage: redoptd --serve --socket PATH --state-dir DIR [--max-jobs N]\n"
+              << "               [--max-rounds N] [--max-dimension N] [--slice-rounds N]\n"
+              << "               [--trace-out FILE] [--threads N]\n"
+              << "       redoptd --submit FILE --socket PATH   # FILE holds a job spec\n"
+              << "       redoptd --status JOB --socket PATH\n"
+              << "       redoptd --result JOB --socket PATH\n"
+              << "       redoptd --list --socket PATH\n"
+              << "       redoptd --shutdown --socket PATH\n"
+              << "       redoptd --generate K [--seed S]       # print K sample job specs\n";
+    return 0;
+  }
+  const std::int64_t threads = cli.get_int_env("threads", "REDOPT_THREADS", 0);
+  if (threads > 0) runtime::set_threads(static_cast<std::size_t>(threads));
+
+  const std::int64_t generate = cli.get_int("generate", 0);
+  if (generate > 0) {
+    chaos::GeneratorSpec generator_spec;
+    chaos::Generator generator(generator_spec,
+                               static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    for (std::int64_t k = 0; k < generate; ++k) {
+      serving::JobSpec spec;
+      spec.job_id = "job-" + std::to_string(k);
+      spec.scenario = generator.next();
+      spec.validate();
+      std::cout << spec.to_json() << "\n";
+    }
+    return 0;
+  }
+
+  const std::string socket_path = cli.get_string("socket", "");
+  REDOPT_REQUIRE(!socket_path.empty(),
+                 "pass --socket PATH (and --serve, --submit, ... — see --help)");
+
+  if (cli.get_bool("serve", false)) {
+    serving::DaemonOptions options;
+    options.socket_path = socket_path;
+    options.state_dir = cli.get_string("state-dir", "");
+    REDOPT_REQUIRE(!options.state_dir.empty(), "serve: pass --state-dir DIR");
+    options.scheduler.max_jobs = static_cast<std::size_t>(cli.get_int("max-jobs", 8));
+    options.scheduler.max_rounds_per_job =
+        static_cast<std::size_t>(cli.get_int("max-rounds", 100000));
+    options.scheduler.max_dimension =
+        static_cast<std::size_t>(cli.get_int("max-dimension", 4096));
+    options.scheduler.slice_rounds = static_cast<std::size_t>(cli.get_int("slice-rounds", 16));
+    options.trace_out = cli.get_string("trace-out", "");
+    if (!options.trace_out.empty()) telemetry::set_enabled(true);
+
+    serving::Daemon daemon(std::move(options));
+    const std::size_t resumed = daemon.recover();
+    // One status line before the loop so launch scripts can wait on it.
+    std::cout << "redoptd: serving on " << socket_path << " (resumed " << resumed << " jobs)"
+              << std::endl;
+    daemon.serve();
+    return 0;
+  }
+
+  serving::Client client(socket_path);
+  if (const auto path = cli.get("submit")) {
+    return finish(client.submit(serving::job_spec_from_json(read_file(*path))));
+  }
+  if (const auto job_id = cli.get("status")) return finish(client.status(*job_id));
+  if (const auto job_id = cli.get("result")) return finish(client.result(*job_id));
+  if (cli.get_bool("list", false)) return finish(client.list());
+  if (cli.get_bool("shutdown", false)) {
+    client.shutdown_daemon();
+    std::cout << "{\"ok\":true,\"shutting_down\":true}\n";
+    return 0;
+  }
+  REDOPT_REQUIRE(false, "pick a mode: --serve, --submit, --status, --result, --list, "
+                        "--shutdown, or --generate (see --help)");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "redoptd: " << e.what() << "\n";
+    return 2;
+  }
+}
